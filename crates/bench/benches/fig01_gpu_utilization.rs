@@ -1,0 +1,30 @@
+//! Fig. 1: V100 GFLOP/s and fraction of peak running PCG (Ginkgo) on the
+//! six representative matrices.
+//!
+//! Paper values: ~15-45 GFLOP/s, 0.2-0.6% of the 7 TFLOP/s FP64 peak.
+
+use azul_bench::{gpu_overhead_scale, header, representative, row, BenchCtx};
+use azul_models::gpu::{GpuModel, GpuWorkload};
+
+fn main() {
+    let ctx = BenchCtx::from_env();
+    header(
+        "Fig. 1 — GPU (V100, Ginkgo PCG) utilization on representative matrices",
+        "0.2-0.6% of peak; even the best matrix only reaches 0.6%",
+    );
+    row(
+        "matrix",
+        &["GFLOP/s".into(), "% of peak".into()],
+    );
+    for m in representative(&ctx) {
+        let model = GpuModel::with_overhead_scale(gpu_overhead_scale(&m));
+        let w = GpuWorkload::from_matrix(&m.a);
+        let g = model.pcg_gflops(&w);
+        let pct = 100.0 * model.fraction_of_peak(&w);
+        row(
+            m.name,
+            &[format!("{g:.1}"), format!("{pct:.3}%")],
+        );
+        assert!(pct < 1.5, "GPU should stay far below peak");
+    }
+}

@@ -1,0 +1,71 @@
+//! Fig. 2: headline gmean GFLOP/s comparison on the representative set:
+//! GPU, Dalorex (in-order PEs + round-robin mapping), Azul PEs with the
+//! Dalorex mapping, and full Azul.
+//!
+//! Paper values (64x64 tiles, 16 TFLOP/s peak): GPU 35, Dalorex 93,
+//! Azul-PEs+Dalorex-mapping 748 (8x over Dalorex), Azul 7640 (10.2x over
+//! the previous). At reduced tile count the PE gap persists but the
+//! mapping gap compresses (it scales with the bisection width, ~sqrt(P)
+//! — see EXPERIMENTS.md).
+
+use azul_bench::{
+    gmean, gpu_overhead_scale, header, representative, row, run_pcg, BenchCtx,
+};
+use azul_mapping::strategies::{Mapper, RoundRobinMapper};
+use azul_models::gpu::{GpuModel, GpuWorkload};
+use azul_sim::config::SimConfig;
+
+fn main() {
+    let ctx = BenchCtx::from_env();
+    let matrices = representative(&ctx);
+
+    let mut gpu = Vec::new();
+    let mut dalorex = Vec::new();
+    let mut azul_pe_rr = Vec::new();
+    let mut azul = Vec::new();
+
+    for m in &matrices {
+        let model = GpuModel::with_overhead_scale(gpu_overhead_scale(m));
+        gpu.push(model.pcg_gflops(&GpuWorkload::from_matrix(&m.a)));
+
+        let rr = RoundRobinMapper.map(&m.a, ctx.grid);
+        dalorex.push(run_pcg(m, &rr, &SimConfig::dalorex(ctx.grid), &ctx).gflops);
+        azul_pe_rr.push(run_pcg(m, &rr, &SimConfig::azul(ctx.grid), &ctx).gflops);
+
+        let az = ctx.azul_mapper().map(&m.a, ctx.grid);
+        azul.push(run_pcg(m, &az, &SimConfig::azul(ctx.grid), &ctx).gflops);
+    }
+
+    let peak = SimConfig::azul(ctx.grid).peak_gflops();
+    header(
+        "Fig. 2 — gmean GFLOP/s by system",
+        "GPU 35 | Dalorex 93 | Azul PEs + Dalorex mapping 748 | Azul 7640 (64x64 tiles)",
+    );
+    println!(
+        "({}x{} tiles here; accelerator peak {peak:.0} GFLOP/s)",
+        ctx.grid.width(),
+        ctx.grid.height()
+    );
+    row("system", &["gmean GF/s".into(), "vs GPU".into()]);
+    let g_gpu = gmean(&gpu);
+    for (name, vals) in [
+        ("GPU", &gpu),
+        ("Dalorex", &dalorex),
+        ("AzulPE+RRmap", &azul_pe_rr),
+        ("Azul", &azul),
+    ] {
+        let g = gmean(vals);
+        row(name, &[format!("{g:.1}"), format!("{:.1}x", g / g_gpu)]);
+    }
+
+    // Shape checks: the paper's ordering must hold.
+    assert!(gmean(&dalorex) > g_gpu, "Dalorex should beat the GPU");
+    assert!(
+        gmean(&azul_pe_rr) > 2.0 * gmean(&dalorex),
+        "specialized PEs should widen the gap"
+    );
+    assert!(
+        gmean(&azul) > gmean(&azul_pe_rr),
+        "the Azul mapping should add further speedup"
+    );
+}

@@ -1,0 +1,34 @@
+//! Fig. 3: GPU runtime breakdown by kernel (SpTRSV / SpMV / vector ops)
+//! for PCG on the representative matrices.
+//!
+//! Paper: SpMV + SpTRSV dominate everywhere; SpTRSV is the largest share
+//! on most matrices.
+
+use azul_bench::{gpu_overhead_scale, header, representative, row, BenchCtx};
+use azul_models::gpu::{GpuModel, GpuWorkload};
+
+fn main() {
+    let ctx = BenchCtx::from_env();
+    header(
+        "Fig. 3 — GPU runtime breakdown by kernel",
+        "SpTRSV + SpMV dominate; vector ops are a visible but minor slice",
+    );
+    row(
+        "matrix",
+        &["SpTRSV".into(), "SpMV".into(), "VectorOps".into()],
+    );
+    for m in representative(&ctx) {
+        let model = GpuModel::with_overhead_scale(gpu_overhead_scale(&m));
+        let t = model.pcg_iteration_time(&GpuWorkload::from_matrix(&m.a));
+        let (spmv, sptrsv, vector) = t.fractions();
+        row(
+            m.name,
+            &[
+                format!("{:.1}%", sptrsv * 100.0),
+                format!("{:.1}%", spmv * 100.0),
+                format!("{:.1}%", vector * 100.0),
+            ],
+        );
+        assert!(spmv + sptrsv > 0.5, "sparse kernels must dominate");
+    }
+}

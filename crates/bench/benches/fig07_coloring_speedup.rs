@@ -1,0 +1,45 @@
+//! Fig. 7: GPU speedup from graph coloring + permutation.
+//!
+//! Paper: at least 2x, often much larger, on the five representative
+//! matrices shown (crankseg_1, shipsec1, consph, thermal2, apache2).
+
+use azul_bench::{gpu_overhead_scale, header, prepare, row, BenchCtx};
+use azul_models::gpu::{GpuModel, GpuWorkload};
+use azul_sparse::suite;
+
+fn main() {
+    let ctx = BenchCtx::from_env();
+    header(
+        "Fig. 7 — GPU runtime: original vs colored+permuted",
+        "speedups of >= 2x from permutation",
+    );
+    row(
+        "matrix",
+        &["orig (norm)".into(), "permuted".into(), "speedup".into()],
+    );
+    // Fig. 7 omits m_t1; match its matrix list.
+    for spec in suite::representative()
+        .into_iter()
+        .filter(|s| s.name != "m_t1")
+    {
+        let m = prepare(spec, ctx.scale);
+        let raw = spec.build(ctx.scale);
+        let model = GpuModel::with_overhead_scale(gpu_overhead_scale(&m));
+        let t_orig = model
+            .pcg_iteration_time(&GpuWorkload::from_matrix(&raw))
+            .total_s();
+        let t_perm = model
+            .pcg_iteration_time(&GpuWorkload::from_matrix(&m.a))
+            .total_s();
+        let speedup = t_orig / t_perm;
+        row(
+            spec.name,
+            &[
+                "1.00".into(),
+                format!("{:.2}", t_perm / t_orig),
+                format!("{speedup:.1}x"),
+            ],
+        );
+        assert!(speedup > 1.0, "{}: coloring should never hurt", spec.name);
+    }
+}

@@ -1,0 +1,32 @@
+//! Fig. 9: Dalorex (4096 scalar in-order cores, round-robin mapping)
+//! running PCG — GFLOP/s and fraction of its 16 TFLOP/s peak.
+//!
+//! Paper: at most 187 GFLOP/s, ~1% of peak.
+
+use azul_bench::{header, representative, row, run_pcg, BenchCtx};
+use azul_mapping::strategies::{Mapper, RoundRobinMapper};
+use azul_sim::config::SimConfig;
+
+fn main() {
+    let ctx = BenchCtx::from_env();
+    let cfg = SimConfig::dalorex(ctx.grid);
+    header(
+        "Fig. 9 — Dalorex performance on PCG",
+        "<= 187 GFLOP/s, ~1% of its 16 TFLOP/s peak (64x64 tiles)",
+    );
+    println!("(peak here: {:.0} GFLOP/s)", cfg.peak_gflops());
+    row("matrix", &["GFLOP/s".into(), "% of peak".into()]);
+    for m in representative(&ctx) {
+        let placement = RoundRobinMapper.map(&m.a, ctx.grid);
+        let rep = run_pcg(&m, &placement, &cfg, &ctx);
+        let pct = 100.0 * rep.gflops / cfg.peak_gflops();
+        row(
+            m.name,
+            &[format!("{:.1}", rep.gflops), format!("{pct:.2}%")],
+        );
+        assert!(
+            pct < 20.0,
+            "Dalorex must stay far below peak, got {pct:.1}%"
+        );
+    }
+}

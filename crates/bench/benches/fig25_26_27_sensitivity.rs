@@ -1,0 +1,77 @@
+//! Figs. 25, 26, 27: hardware-sensitivity studies on the representative
+//! set, reusing one Azul mapping per matrix across all configurations.
+//!
+//! * Fig. 25 — NoC hop-latency sweep (1-4 cycles): paper sees ~-4% gmean
+//!   throughput per extra cycle.
+//! * Fig. 26 — SRAM access-latency sweep (1-4 cycles): ~-3% per cycle.
+//! * Fig. 27 — multithreading on/off: ~1.5x from hiding dependence
+//!   stalls.
+
+use azul_bench::{gmean, header, representative, run_pcg, BenchCtx};
+use azul_mapping::strategies::Mapper;
+use azul_sim::config::SimConfig;
+
+fn main() {
+    let ctx = BenchCtx::from_env();
+    let matrices = representative(&ctx);
+    let placements: Vec<_> = matrices
+        .iter()
+        .map(|m| ctx.azul_mapper().map(&m.a, ctx.grid))
+        .collect();
+
+    let sweep = |mutate: &dyn Fn(&mut SimConfig)| -> f64 {
+        let mut gf = Vec::new();
+        for (m, p) in matrices.iter().zip(&placements) {
+            let mut cfg = SimConfig::azul(ctx.grid);
+            mutate(&mut cfg);
+            gf.push(run_pcg(m, p, &cfg, &ctx).gflops);
+        }
+        gmean(&gf)
+    };
+
+    header(
+        "Fig. 25 — NoC hop-latency sweep",
+        "~-4% gmean throughput per extra cycle/hop",
+    );
+    let mut hop_results = Vec::new();
+    for hop in 1..=4u32 {
+        let g = sweep(&|c| c.hop_latency = hop);
+        println!("  hop latency {hop} cyc: gmean {g:.1} GFLOP/s");
+        hop_results.push(g);
+    }
+    assert!(
+        hop_results[3] <= hop_results[0],
+        "higher hop latency cannot be faster"
+    );
+    assert!(
+        hop_results[3] > 0.5 * hop_results[0],
+        "Azul is barely latency sensitive (paper: a few % per cycle)"
+    );
+
+    header(
+        "Fig. 26 — SRAM access-latency sweep",
+        "~-3% gmean throughput per extra cycle",
+    );
+    let mut sram_results = Vec::new();
+    for lat in 1..=4u32 {
+        let g = sweep(&|c| c.sram_latency = lat);
+        println!("  SRAM latency {lat} cyc: gmean {g:.1} GFLOP/s");
+        sram_results.push(g);
+    }
+    assert!(sram_results[3] <= sram_results[0]);
+    assert!(
+        sram_results[3] > 0.5 * sram_results[0],
+        "Azul is barely SRAM-latency sensitive"
+    );
+
+    header(
+        "Fig. 27 — fine-grained multithreading",
+        "multithreading provides ~1.5x over single-threaded PEs",
+    );
+    let multi = sweep(&|_| {});
+    let single = sweep(&|c| c.contexts = 1);
+    println!("  multithreaded: gmean {multi:.1} GFLOP/s");
+    println!("  single-thread: gmean {single:.1} GFLOP/s");
+    println!("  speedup: {:.2}x (paper: 1.5x)", multi / single);
+    assert!(multi >= single, "multithreading should not hurt");
+}

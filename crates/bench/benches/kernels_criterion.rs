@@ -1,0 +1,83 @@
+//! Criterion micro-benchmarks of the substrate kernels: reference SpMV /
+//! SpTRSV / IC(0), greedy coloring, hypergraph partitioning, the Azul
+//! mapper, and one simulated SpMV kernel.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use azul_hypergraph::PartitionConfig;
+use azul_mapping::strategies::{AzulMapper, Mapper, RoundRobinMapper};
+use azul_mapping::workload::build_pcg_hypergraph;
+use azul_mapping::TileGrid;
+use azul_sim::config::SimConfig;
+use azul_sim::machine::run_kernel;
+use azul_sim::program::Program;
+use azul_solver::ic0::ic0;
+use azul_solver::kernels::sptrsv_lower;
+use azul_sparse::coloring::{greedy_coloring, ColoringStrategy};
+use azul_sparse::generate;
+
+fn bench_kernels(c: &mut Criterion) {
+    let a = generate::fem_mesh_3d(2000, 12, 7);
+    let x: Vec<f64> = (0..a.rows()).map(|i| (i as f64 * 0.1).sin()).collect();
+    let l = ic0(&a).expect("ic0 succeeds");
+
+    c.bench_function("spmv_reference_2k", |b| {
+        b.iter(|| black_box(a.spmv(black_box(&x))))
+    });
+
+    c.bench_function("sptrsv_reference_2k", |b| {
+        b.iter(|| black_box(sptrsv_lower(black_box(&l), black_box(&x))))
+    });
+
+    c.bench_function("ic0_factorization_2k", |b| {
+        b.iter(|| black_box(ic0(black_box(&a)).unwrap()))
+    });
+
+    c.bench_function("greedy_coloring_2k", |b| {
+        b.iter(|| black_box(greedy_coloring(&a, ColoringStrategy::LargestDegreeFirst)))
+    });
+}
+
+fn bench_mapping(c: &mut Criterion) {
+    let a = generate::fem_mesh_3d(800, 8, 3);
+    let grid = TileGrid::square(8);
+
+    let mut group = c.benchmark_group("mapping");
+    group.sample_size(10);
+    group.bench_function("hypergraph_partition_64way", |b| {
+        let w = build_pcg_hypergraph(&a, 2, 0);
+        b.iter(|| black_box(w.hg.partition(&PartitionConfig::fast(64))))
+    });
+    group.bench_function("azul_mapper_fast_64tiles", |b| {
+        let mapper = AzulMapper {
+            fast: true,
+            ..Default::default()
+        };
+        b.iter(|| black_box(mapper.map(&a, grid)))
+    });
+    group.finish();
+}
+
+fn bench_sim(c: &mut Criterion) {
+    let a = generate::fem_mesh_3d(500, 6, 5);
+    let grid = TileGrid::square(4);
+    let placement = RoundRobinMapper.map(&a, grid);
+    let prog = Program::compile_spmv(&a, &placement);
+    let cfg = SimConfig::azul(grid);
+    let x: Vec<f64> = (0..a.rows()).map(|i| (i as f64 * 0.3).cos()).collect();
+
+    let mut group = c.benchmark_group("simulator");
+    group.sample_size(10);
+    group.bench_function("simulated_spmv_16tiles", |b| {
+        b.iter_batched(
+            || (),
+            |_| black_box(run_kernel(&cfg, &prog, &x)),
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernels, bench_mapping, bench_sim);
+criterion_main!(benches);

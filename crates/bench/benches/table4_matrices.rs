@@ -1,0 +1,65 @@
+//! Table IV: the benchmark-matrix suite — paper dimensions vs the scaled
+//! synthetic analogs this reproduction runs (DESIGN.md §3).
+
+use azul_bench::{header, row, BenchCtx};
+use azul_sparse::stats::MatrixStats;
+use azul_sparse::suite;
+
+fn main() {
+    let ctx = BenchCtx::from_env();
+    header(
+        "Table IV — benchmark matrices (paper scale vs synthetic analog)",
+        "paper: 20 SPD matrices, 3.75e6-1.42e7 nnz, footprints 29-109 MB",
+    );
+    row(
+        "matrix",
+        &[
+            "paper n".into(),
+            "paper nnz".into(),
+            "paper nnz/r".into(),
+            "analog n".into(),
+            "analog nnz".into(),
+            "analog nnz/r".into(),
+            "A (KB)".into(),
+        ],
+    );
+    for spec in suite::suite_4k() {
+        let a = spec.build(ctx.scale);
+        let s = MatrixStats::of(&a);
+        row(
+            spec.name,
+            &[
+                format!("{:.2e}", spec.paper_n),
+                format!("{:.2e}", spec.paper_nnz),
+                format!("{:.0}", spec.paper_nnz_per_row()),
+                s.n.to_string(),
+                s.nnz.to_string(),
+                format!("{:.0}", s.avg_row_nnz),
+                format!("{:.0}", s.matrix_bytes as f64 / 1024.0),
+            ],
+        );
+        // The analog must land in the same density class.
+        let ratio = s.avg_row_nnz / spec.paper_nnz_per_row();
+        assert!(
+            (0.08..5.0).contains(&ratio), // nd12k (394 nnz/row) cannot be matched at reduced n
+            "{}: analog density off by {ratio:.1}x",
+            spec.name
+        );
+    }
+    println!();
+    println!("mid-section (16k-tile) and bottom (64k-tile) suites:");
+    for spec in suite::suite_16k().into_iter().chain(suite::suite_64k()) {
+        row(
+            spec.name,
+            &[
+                format!("{:.2e}", spec.paper_n),
+                format!("{:.2e}", spec.paper_nnz),
+                format!("{:.0}", spec.paper_nnz_per_row()),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+            ],
+        );
+    }
+}

@@ -1,0 +1,42 @@
+//! Table V: area estimates at 7 nm, plus the Table III capacity figures.
+//!
+//! Paper: PEs 17.8 mm², routers 6.6 mm², SRAMs 115.2 mm², I/O 15 mm²,
+//! total ≈ 155 mm² for 4096 tiles; 432 MB of SRAM.
+
+use azul_bench::{header, row};
+use azul_models::AreaModel;
+
+fn main() {
+    let model = AreaModel::default();
+    header(
+        "Table V — Azul area estimates (7 nm)",
+        "4096 tiles: PEs 17.8 | routers 6.6 | SRAM 115.2 | I/O 15 | total 155 mm²",
+    );
+    row(
+        "tiles",
+        &[
+            "PEs mm²".into(),
+            "routers".into(),
+            "SRAM".into(),
+            "I/O".into(),
+            "total".into(),
+            "SRAM MB".into(),
+        ],
+    );
+    for tiles in [256usize, 1024, 4096, 16384, 65536] {
+        let b = model.breakdown(tiles);
+        row(
+            &tiles.to_string(),
+            &[
+                format!("{:.1}", b.pes),
+                format!("{:.1}", b.routers),
+                format!("{:.1}", b.srams),
+                format!("{:.1}", b.io),
+                format!("{:.1}", b.total()),
+                format!("{:.0}", model.sram_capacity_mb(tiles)),
+            ],
+        );
+    }
+    let paper = model.breakdown(4096);
+    assert!((paper.total() - 155.0).abs() < 3.0, "Table V total must match");
+}

@@ -1,0 +1,623 @@
+//! Azul: the end-to-end accelerated sparse iterative solver.
+//!
+//! This crate is the public face of the reproduction — the API a
+//! downstream user adopts. It wires the whole pipeline together
+//! (Sec. II-C, Fig. 8's use case):
+//!
+//! 1. **preprocess** the matrix with graph coloring + symmetric
+//!    permutation to expose SpTRSV parallelism (Sec. II-A);
+//! 2. **factor** it with IC(0) for the preconditioner;
+//! 3. **map** every nonzero and vector element onto the tile grid with
+//!    the hypergraph mapper (or a baseline mapper, Sec. IV);
+//! 4. **compile** the SpMV/SpTRSV dataflow programs (Sec. IV-A);
+//! 5. **simulate** PCG cycle-by-cycle (Sec. V/VI), returning the solution
+//!    together with performance, traffic and energy-activity reports.
+//!
+//! The expensive steps (1–4) are done once by [`Azul::prepare`] and
+//! amortized across many solves with the same sparsity structure, exactly
+//! the physical-simulation pattern the paper targets: "Azul's placement
+//! algorithm spends a few minutes to map each problem, but this cost is
+//! quickly recouped when the simulation takes hours."
+//!
+//! # Example
+//!
+//! ```
+//! use azul_core::{Azul, AzulConfig};
+//! use azul_sparse::generate;
+//!
+//! let a = generate::grid_laplacian_2d(12, 12);
+//! let azul = Azul::new(AzulConfig::small_test());
+//! let prepared = azul.prepare(&a)?;
+//! let b = vec![1.0; a.rows()];
+//! let report = prepared.solve(&b);
+//! assert!(report.converged);
+//! println!("{:.1} GFLOP/s over {} iterations", report.gflops, report.iterations);
+//! # Ok::<(), azul_core::AzulError>(())
+//! ```
+
+use azul_mapping::strategies::{
+    AzulMapper, BlockMapper, Mapper, RoundRobinMapper, SparsePMapper,
+};
+use azul_mapping::{Placement, TileGrid};
+use azul_sim::config::SimConfig;
+use azul_sim::pcg::{PcgSim, PcgSimConfig, PcgSimReport};
+use azul_solver::SolverError;
+use azul_sparse::coloring::{color_and_permute, ColoringStrategy};
+use azul_sparse::{Csr, Permutation, SparseError};
+use std::time::Instant;
+
+/// Errors from the end-to-end pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AzulError {
+    /// The matrix does not fit the accelerator or is malformed.
+    Input(String),
+    /// A numeric failure (e.g. IC(0) breakdown).
+    Numeric(SolverError),
+}
+
+impl std::fmt::Display for AzulError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AzulError::Input(msg) => write!(f, "invalid input: {msg}"),
+            AzulError::Numeric(e) => write!(f, "numeric failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for AzulError {}
+
+impl From<SolverError> for AzulError {
+    fn from(e: SolverError) -> Self {
+        AzulError::Numeric(e)
+    }
+}
+
+impl From<SparseError> for AzulError {
+    fn from(e: SparseError) -> Self {
+        AzulError::Input(e.to_string())
+    }
+}
+
+/// Which mapping strategy to use (Sec. VI-C's comparison set).
+#[derive(Debug, Clone, PartialEq)]
+pub enum MappingStrategy {
+    /// Azul's hypergraph mapping (the default).
+    Azul(AzulMapper),
+    /// Dalorex's round-robin mapping.
+    RoundRobin,
+    /// Tascade's block mapping.
+    Block,
+    /// SparseP's coordinate-based 2-D chunking.
+    SparseP,
+}
+
+impl MappingStrategy {
+    fn mapper(&self) -> Box<dyn Mapper + '_> {
+        match self {
+            MappingStrategy::Azul(m) => Box::new(m.clone()),
+            MappingStrategy::RoundRobin => Box::new(RoundRobinMapper),
+            MappingStrategy::Block => Box::new(BlockMapper),
+            MappingStrategy::SparseP => Box::new(SparsePMapper),
+        }
+    }
+
+    /// The strategy's display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            MappingStrategy::Azul(_) => "azul",
+            MappingStrategy::RoundRobin => "round-robin",
+            MappingStrategy::Block => "block",
+            MappingStrategy::SparseP => "sparsep",
+        }
+    }
+}
+
+/// Which preconditioner the accelerator applies (Table II's rows that
+/// factor as `F F^T` and thus run on Azul's two-SpTRSV preconditioner
+/// step).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PreconditionerChoice {
+    /// Incomplete Cholesky IC(0) — the paper's evaluation default.
+    IncompleteCholesky,
+    /// Symmetric Gauss-Seidel (`M = (D+L) D^{-1} (D+U)`), the
+    /// preconditioner Sec. II-C highlights as trivially updatable because
+    /// it "simply takes A's lower triangle".
+    SymmetricGaussSeidel,
+    /// SSOR with the given relaxation factor in `(0, 2)`.
+    Ssor(f64),
+}
+
+/// Full configuration of an Azul accelerator instance.
+#[derive(Debug, Clone)]
+pub struct AzulConfig {
+    /// Hardware configuration (grid, PE model, latencies — Table III).
+    pub sim: SimConfig,
+    /// Mapping strategy.
+    pub mapping: MappingStrategy,
+    /// Whether to color + permute the matrix first (the paper always
+    /// does; disable for ablations).
+    pub coloring: bool,
+    /// Preconditioner applied on the accelerator.
+    pub preconditioner: PreconditionerChoice,
+    /// Reject matrices whose placement overflows any tile's SRAM
+    /// (Table III: 72 KB data + 36 KB accumulator per tile). Azul is an
+    /// all-SRAM design: operands must fit on-chip.
+    pub enforce_capacity: bool,
+    /// PCG run parameters (tolerance, iteration caps, timed iterations).
+    pub pcg: PcgSimConfig,
+}
+
+impl AzulConfig {
+    /// The default configuration on a given tile grid.
+    pub fn new(grid: TileGrid) -> Self {
+        AzulConfig {
+            sim: SimConfig::azul(grid),
+            mapping: MappingStrategy::Azul(AzulMapper::default()),
+            coloring: true,
+            preconditioner: PreconditionerChoice::IncompleteCholesky,
+            enforce_capacity: true,
+            pcg: PcgSimConfig::default(),
+        }
+    }
+
+    /// A small configuration for tests and doc examples (2x2 tiles).
+    pub fn small_test() -> Self {
+        AzulConfig::new(TileGrid::new(2, 2))
+    }
+}
+
+/// The Azul accelerator front-end.
+#[derive(Debug, Clone)]
+pub struct Azul {
+    config: AzulConfig,
+}
+
+/// Preprocessing metadata produced by [`Azul::prepare`].
+#[derive(Debug, Clone)]
+pub struct PrepareReport {
+    /// Colors used by the parallelism-improving permutation (0 when
+    /// coloring is disabled).
+    pub num_colors: usize,
+    /// Wall-clock seconds spent coloring + permuting.
+    pub coloring_seconds: f64,
+    /// Wall-clock seconds spent in the mapping algorithm (Sec. VI-D's
+    /// cost).
+    pub mapping_seconds: f64,
+    /// Wall-clock seconds spent factoring (IC(0)) and compiling kernels.
+    pub compile_seconds: f64,
+    /// Nonzero load imbalance of the placement (max/mean).
+    pub nnz_imbalance: f64,
+}
+
+/// A matrix prepared for repeated solves (Fig. 8's time-stepping loop).
+#[derive(Debug, Clone)]
+pub struct PreparedSolver {
+    perm: Option<Permutation>,
+    sim: PcgSim,
+    pcg_cfg: PcgSimConfig,
+    placement: Placement,
+    prepare: PrepareReport,
+    preconditioner: PreconditionerChoice,
+    n: usize,
+}
+
+/// The result of one accelerated solve.
+#[derive(Debug, Clone)]
+pub struct SolveReport {
+    /// The solution `x` (in the caller's original row order).
+    pub x: Vec<f64>,
+    /// Whether PCG converged.
+    pub converged: bool,
+    /// PCG iterations executed.
+    pub iterations: usize,
+    /// True residual `||b - A x||` in permuted space.
+    pub final_residual: f64,
+    /// Sustained throughput in GFLOP/s.
+    pub gflops: f64,
+    /// Extrapolated solve latency in seconds of accelerator time.
+    pub accelerator_seconds: f64,
+    /// The full simulator report (cycles, breakdowns, traffic, activity).
+    pub sim: PcgSimReport,
+}
+
+impl Azul {
+    /// Creates an accelerator front-end with the given configuration.
+    pub fn new(config: AzulConfig) -> Self {
+        Azul { config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &AzulConfig {
+        &self.config
+    }
+
+    /// Prepares a matrix: color/permute, map, factor, compile.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AzulError::Input`] for non-square or non-symmetric
+    /// matrices and [`AzulError::Numeric`] for factorization breakdowns.
+    pub fn prepare(&self, a: &Csr) -> Result<PreparedSolver, AzulError> {
+        if a.rows() != a.cols() {
+            return Err(AzulError::Input(format!(
+                "matrix must be square, got {}x{}",
+                a.rows(),
+                a.cols()
+            )));
+        }
+        if !a.is_symmetric(1e-9 * a.inf_norm().max(1.0)) {
+            return Err(AzulError::Input(
+                "PCG requires a symmetric matrix".into(),
+            ));
+        }
+
+        // 1. Parallelism-improving preprocessing.
+        let t0 = Instant::now();
+        let (pa, perm, num_colors) = if self.config.coloring {
+            let (pa, perm, coloring) =
+                color_and_permute(a, ColoringStrategy::LargestDegreeFirst);
+            (pa, Some(perm), coloring.num_colors())
+        } else {
+            (a.clone(), None, 0)
+        };
+        let coloring_seconds = t0.elapsed().as_secs_f64();
+
+        // 2. Mapping.
+        let t1 = Instant::now();
+        let placement = self.config.mapping.mapper().map(&pa, self.config.sim.grid);
+        let mapping_seconds = t1.elapsed().as_secs_f64();
+
+        // All-SRAM capacity check: every operand must fit on-chip. PCG
+        // keeps ~8 dense vectors per element (x, r, p, z, b, Ap and
+        // scratch) plus the L factor, which shares tril(A)'s pattern and
+        // roughly doubles the lower-triangle storage; the nonzero bytes
+        // below already count A in full, so L adds ~50%.
+        if self.config.enforce_capacity {
+            let usage = placement.sram_usage(&pa, 8);
+            for (tile, &(data, accum)) in usage.iter().enumerate() {
+                let data_with_factor = data + data / 2;
+                if data_with_factor > self.config.sim.data_sram_bytes
+                    || accum > self.config.sim.accum_sram_bytes
+                {
+                    return Err(AzulError::Input(format!(
+                        "tile {tile} needs ~{} B data / {} B accumulator, exceeding the                          {} B / {} B tile SRAMs; use a larger grid (matrix must fit on-chip)",
+                        data_with_factor,
+                        accum,
+                        self.config.sim.data_sram_bytes,
+                        self.config.sim.accum_sram_bytes
+                    )));
+                }
+            }
+        }
+
+        // 3+4. Factor + compile.
+        let t2 = Instant::now();
+        let sim = match self.config.preconditioner {
+            PreconditionerChoice::IncompleteCholesky => {
+                PcgSim::build(&pa, &placement, &self.config.sim)?
+            }
+            PreconditionerChoice::SymmetricGaussSeidel => {
+                let f = azul_solver::precond::sgs_factor(&pa);
+                PcgSim::build_with_factor(&pa, &f, &placement, &self.config.sim)
+            }
+            PreconditionerChoice::Ssor(omega) => {
+                if !(0.0..2.0).contains(&omega) || omega == 0.0 {
+                    return Err(AzulError::Input(format!(
+                        "SSOR omega must be in (0, 2), got {omega}"
+                    )));
+                }
+                let f = azul_solver::precond::ssor_factor(&pa, omega);
+                PcgSim::build_with_factor(&pa, &f, &placement, &self.config.sim)
+            }
+        };
+        let compile_seconds = t2.elapsed().as_secs_f64();
+
+        Ok(PreparedSolver {
+            perm,
+            n: a.rows(),
+            preconditioner: self.config.preconditioner,
+            pcg_cfg: self.config.pcg,
+            prepare: PrepareReport {
+                num_colors,
+                coloring_seconds,
+                mapping_seconds,
+                compile_seconds,
+                nnz_imbalance: placement.nnz_imbalance(),
+            },
+            placement,
+            sim,
+        })
+    }
+
+    /// Convenience: prepare and solve in one call.
+    ///
+    /// # Errors
+    ///
+    /// See [`Azul::prepare`].
+    pub fn solve(&self, a: &Csr, b: &[f64]) -> Result<SolveReport, AzulError> {
+        Ok(self.prepare(a)?.solve(b))
+    }
+}
+
+impl PreparedSolver {
+    /// Preprocessing metadata (mapping cost, coloring stats).
+    pub fn prepare_report(&self) -> &PrepareReport {
+        &self.prepare
+    }
+
+    /// Replaces the matrix values while keeping the sparsity pattern and
+    /// the (expensive) mapping — the paper's Sec. II-C pattern for
+    /// simulations whose stiffness values evolve with the state (e.g.
+    /// elastic bodies). `a_new` is given in the caller's original row
+    /// order and must have exactly the original sparsity pattern.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AzulError::Input`] on a pattern mismatch and
+    /// [`AzulError::Numeric`] on factorization breakdowns.
+    pub fn update_values(&mut self, a_new: &Csr) -> Result<(), AzulError> {
+        if a_new.rows() != self.n || a_new.cols() != self.n {
+            return Err(AzulError::Input(format!(
+                "expected a {}x{} matrix, got {}x{}",
+                self.n,
+                self.n,
+                a_new.rows(),
+                a_new.cols()
+            )));
+        }
+        let pa = match &self.perm {
+            Some(p) => a_new.permute_symmetric(p),
+            None => a_new.clone(),
+        };
+        let result = match self.preconditioner {
+            PreconditionerChoice::IncompleteCholesky => {
+                self.sim.update_values(&pa, &self.placement)
+            }
+            PreconditionerChoice::SymmetricGaussSeidel => {
+                let f = azul_solver::precond::sgs_factor(&pa);
+                self.sim.update_values_with_factor(&pa, &f, &self.placement)
+            }
+            PreconditionerChoice::Ssor(omega) => {
+                let f = azul_solver::precond::ssor_factor(&pa, omega);
+                self.sim.update_values_with_factor(&pa, &f, &self.placement)
+            }
+        };
+        result.map_err(|e| match e {
+            SolverError::Dimension(msg) => AzulError::Input(msg),
+            other => AzulError::Numeric(other),
+        })
+    }
+
+    /// The operand placement in use.
+    pub fn placement(&self) -> &Placement {
+        &self.placement
+    }
+
+    /// Solves `A x = b` on the accelerator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len()` differs from the prepared matrix dimension.
+    pub fn solve(&self, b: &[f64]) -> SolveReport {
+        assert_eq!(b.len(), self.n, "rhs length mismatch");
+        let pb = match &self.perm {
+            Some(p) => p.apply(b),
+            None => b.to_vec(),
+        };
+        let report = self.sim.run(&pb, &self.pcg_cfg);
+        let x = match &self.perm {
+            Some(p) => p.apply_inverse(&report.x),
+            None => report.x.clone(),
+        };
+        SolveReport {
+            x,
+            converged: report.converged,
+            iterations: report.iterations,
+            final_residual: report.final_residual,
+            gflops: report.gflops,
+            accelerator_seconds: report.elapsed_seconds,
+            sim: report,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use azul_sparse::{dense, generate};
+
+    fn rhs(n: usize) -> Vec<f64> {
+        (0..n).map(|i| ((i * 23 % 7) as f64) - 2.5).collect()
+    }
+
+    #[test]
+    fn end_to_end_solve_is_correct() {
+        let a = generate::grid_laplacian_2d(10, 10);
+        let b = rhs(a.rows());
+        let azul = Azul::new(AzulConfig::small_test());
+        let report = azul.solve(&a, &b).unwrap();
+        assert!(report.converged);
+        // Check the *unpermuted* solution against the original system.
+        let residual = dense::norm2(&dense::sub(&b, &a.spmv(&report.x)));
+        assert!(residual < 1e-7, "residual {residual}");
+        assert!(report.gflops > 0.0);
+    }
+
+    #[test]
+    fn prepare_once_solve_many() {
+        // The Fig. 8 pattern: one mapping, many right-hand sides.
+        let a = generate::fem_mesh_3d(80, 4, 9);
+        let azul = Azul::new(AzulConfig::small_test());
+        let prepared = azul.prepare(&a).unwrap();
+        for seed in 0..3 {
+            let b: Vec<f64> = (0..a.rows())
+                .map(|i| ((i * (seed + 3) % 11) as f64) / 11.0 + 0.1)
+                .collect();
+            let report = prepared.solve(&b);
+            assert!(report.converged, "seed {seed}");
+            let residual = dense::norm2(&dense::sub(&b, &a.spmv(&report.x)));
+            assert!(residual < 1e-7);
+        }
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        let azul = Azul::new(AzulConfig::small_test());
+        // Non-square.
+        let rect = azul_sparse::Coo::from_triplets(2, 3, [(0, 0, 1.0)])
+            .unwrap()
+            .to_csr();
+        assert!(matches!(azul.prepare(&rect), Err(AzulError::Input(_))));
+        // Non-symmetric.
+        let asym = azul_sparse::Coo::from_triplets(2, 2, [(0, 0, 2.0), (0, 1, 1.0), (1, 1, 2.0)])
+            .unwrap()
+            .to_csr();
+        assert!(matches!(azul.prepare(&asym), Err(AzulError::Input(_))));
+    }
+
+    #[test]
+    fn prepare_report_is_populated() {
+        let a = generate::grid_laplacian_2d(8, 8);
+        let azul = Azul::new(AzulConfig::small_test());
+        let prepared = azul.prepare(&a).unwrap();
+        let rep = prepared.prepare_report();
+        assert!(rep.num_colors >= 2);
+        assert!(rep.mapping_seconds >= 0.0);
+        assert!(rep.nnz_imbalance >= 1.0);
+    }
+
+    #[test]
+    fn coloring_can_be_disabled() {
+        let a = generate::grid_laplacian_2d(6, 6);
+        let mut cfg = AzulConfig::small_test();
+        cfg.coloring = false;
+        let azul = Azul::new(cfg);
+        let prepared = azul.prepare(&a).unwrap();
+        assert_eq!(prepared.prepare_report().num_colors, 0);
+        let b = rhs(a.rows());
+        assert!(prepared.solve(&b).converged);
+    }
+
+    #[test]
+    fn baseline_mappings_also_solve_correctly() {
+        let a = generate::grid_laplacian_2d(8, 8);
+        let b = rhs(a.rows());
+        for mapping in [
+            MappingStrategy::RoundRobin,
+            MappingStrategy::Block,
+            MappingStrategy::SparseP,
+        ] {
+            let mut cfg = AzulConfig::small_test();
+            cfg.mapping = mapping.clone();
+            let report = Azul::new(cfg).solve(&a, &b).unwrap();
+            assert!(report.converged, "{} failed", mapping.name());
+            let residual = dense::norm2(&dense::sub(&b, &a.spmv(&report.x)));
+            assert!(residual < 1e-7, "{}: residual {residual}", mapping.name());
+        }
+    }
+
+    #[test]
+    fn all_preconditioner_choices_solve_correctly() {
+        let a = generate::fem_mesh_3d(120, 5, 31);
+        let b = rhs(a.rows());
+        let mut iters = Vec::new();
+        for (name, choice) in [
+            ("ic0", PreconditionerChoice::IncompleteCholesky),
+            ("sgs", PreconditionerChoice::SymmetricGaussSeidel),
+            ("ssor", PreconditionerChoice::Ssor(1.2)),
+        ] {
+            let mut cfg = AzulConfig::small_test();
+            cfg.preconditioner = choice;
+            let report = Azul::new(cfg).solve(&a, &b).unwrap();
+            assert!(report.converged, "{name} failed");
+            let residual = dense::norm2(&dense::sub(&b, &a.spmv(&report.x)));
+            assert!(residual < 1e-7, "{name}: residual {residual}");
+            iters.push((name, report.iterations));
+        }
+        // All converge in a sane iteration count; they may differ.
+        assert!(iters.iter().all(|&(_, i)| i > 0 && i < 500), "{iters:?}");
+    }
+
+    #[test]
+    fn invalid_ssor_omega_rejected() {
+        let a = generate::grid_laplacian_2d(5, 5);
+        let mut cfg = AzulConfig::small_test();
+        cfg.preconditioner = PreconditionerChoice::Ssor(2.5);
+        assert!(matches!(
+            Azul::new(cfg).prepare(&a),
+            Err(AzulError::Input(_))
+        ));
+    }
+
+    #[test]
+    fn sgs_update_values_reuses_mapping() {
+        let a = generate::fem_mesh_3d(80, 4, 17);
+        let mut cfg = AzulConfig::small_test();
+        cfg.preconditioner = PreconditionerChoice::SymmetricGaussSeidel;
+        let mut prepared = Azul::new(cfg).prepare(&a).unwrap();
+        let b = rhs(a.rows());
+        assert!(prepared.solve(&b).converged);
+        let mut a2 = a.clone();
+        for v in a2.values_mut() {
+            *v *= 1.5;
+        }
+        prepared.update_values(&a2).unwrap();
+        let report = prepared.solve(&b);
+        assert!(report.converged);
+        let residual = dense::norm2(&dense::sub(&b, &a2.spmv(&report.x)));
+        assert!(residual < 1e-7);
+    }
+
+    #[test]
+    fn update_values_reuses_mapping() {
+        let a = generate::fem_mesh_3d(80, 4, 13);
+        let azul = Azul::new(AzulConfig::small_test());
+        let mut prepared = azul.prepare(&a).unwrap();
+        let b = rhs(a.rows());
+        let before = prepared.solve(&b);
+        assert!(before.converged);
+
+        // Stiffen the system (same mesh, new values).
+        let mut a2 = a.clone();
+        for v in a2.values_mut() {
+            *v *= 3.0;
+        }
+        prepared.update_values(&a2).unwrap();
+        let after = prepared.solve(&b);
+        assert!(after.converged);
+        let residual = dense::norm2(&dense::sub(&b, &a2.spmv(&after.x)));
+        assert!(residual < 1e-7, "residual against the NEW matrix: {residual}");
+
+        // Wrong-pattern and wrong-size updates are rejected.
+        let wrong = generate::fem_mesh_3d(80, 4, 14);
+        assert!(prepared.update_values(&wrong).is_err());
+        let small = generate::grid_laplacian_2d(4, 4);
+        assert!(matches!(
+            prepared.update_values(&small),
+            Err(AzulError::Input(_))
+        ));
+    }
+
+    #[test]
+    fn capacity_enforcement_rejects_oversized_matrices() {
+        // A single tile (72 KB data SRAM) cannot hold a ~100k-nonzero
+        // matrix (~1.2 MB + vectors).
+        let a = generate::fem_mesh_3d(2000, 24, 3);
+        assert!(a.nnz() * 12 > 72 * 1024, "test needs an oversized matrix");
+        let mut cfg = AzulConfig::new(TileGrid::new(1, 1));
+        cfg.mapping = MappingStrategy::Block;
+        let err = Azul::new(cfg).prepare(&a);
+        assert!(matches!(err, Err(AzulError::Input(_))), "{err:?}");
+        // Disabling the check lets it through.
+        let mut cfg2 = AzulConfig::new(TileGrid::new(1, 1));
+        cfg2.mapping = MappingStrategy::Block;
+        cfg2.enforce_capacity = false;
+        assert!(Azul::new(cfg2).prepare(&a).is_ok());
+    }
+
+    #[test]
+    fn error_conversions() {
+        let e: AzulError = SolverError::Breakdown("pivot".into()).into();
+        assert!(e.to_string().contains("pivot"));
+    }
+}

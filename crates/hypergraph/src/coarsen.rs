@@ -1,0 +1,237 @@
+//! Coarsening by heavy-connectivity matching.
+//!
+//! Pairs of vertices that share many (light, small) nets are merged,
+//! shrinking the hypergraph while preserving its cut structure. This is the
+//! first phase of the multilevel scheme.
+
+use crate::{Hypergraph, HypergraphBuilder, PartitionConfig};
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+
+/// One level of coarsening: the coarse hypergraph and the fine-to-coarse
+/// vertex map.
+#[derive(Debug, Clone)]
+pub struct CoarseLevel {
+    /// The coarsened hypergraph.
+    pub hg: Hypergraph,
+    /// `coarse_of[v]` = coarse vertex containing fine vertex `v`.
+    pub coarse_of: Vec<usize>,
+}
+
+/// Performs one round of heavy-connectivity matching.
+///
+/// Returns `None` if matching made insufficient progress (fewer than 5% of
+/// vertices merged), signalling the caller to stop coarsening.
+pub fn coarsen_once(
+    hg: &Hypergraph,
+    config: &PartitionConfig,
+    rng: &mut SmallRng,
+) -> Option<CoarseLevel> {
+    let n = hg.num_vertices();
+    if n <= config.coarsen_until {
+        return None;
+    }
+    let totals = hg.total_weights();
+    // Cap cluster weight (constraint 0) so no coarse vertex dominates a part.
+    let max_cluster = (totals[0] / config.coarsen_until.max(1) as u64)
+        .max(1)
+        .saturating_mul(3);
+
+    let mut order: Vec<usize> = (0..n).collect();
+    order.shuffle(rng);
+
+    let mut mate = vec![usize::MAX; n];
+    // Scratch: candidate scores for the vertex currently being matched.
+    let mut score = vec![0u64; n];
+    let mut touched: Vec<usize> = Vec::new();
+
+    let mut merged = 0usize;
+    for &v in &order {
+        if mate[v] != usize::MAX {
+            continue;
+        }
+        touched.clear();
+        for &e in hg.nets_of(v) {
+            let pins = hg.pins(e);
+            if pins.len() > config.max_net_size_for_matching || pins.len() < 2 {
+                continue;
+            }
+            // Connectivity contribution of this net, scaled to favor
+            // small nets (w / (|e|-1)), in fixed-point.
+            let contrib = (hg.net_weight(e) * 256) / (pins.len() as u64 - 1);
+            for &u in pins {
+                if u == v || mate[u] != usize::MAX {
+                    continue;
+                }
+                if score[u] == 0 {
+                    touched.push(u);
+                }
+                score[u] += contrib;
+            }
+        }
+        let mut best = usize::MAX;
+        let mut best_score = 0u64;
+        let wv = hg.vertex_weight(v, 0);
+        for &u in &touched {
+            let s = score[u];
+            score[u] = 0;
+            if s > best_score && wv + hg.vertex_weight(u, 0) <= max_cluster {
+                best_score = s;
+                best = u;
+            }
+        }
+        if best != usize::MAX {
+            mate[v] = best;
+            mate[best] = v;
+            merged += 1;
+        }
+    }
+
+    if merged < n / 20 {
+        return None;
+    }
+
+    // Assign coarse ids.
+    let mut coarse_of = vec![usize::MAX; n];
+    let mut next = 0usize;
+    for v in 0..n {
+        if coarse_of[v] != usize::MAX {
+            continue;
+        }
+        coarse_of[v] = next;
+        if mate[v] != usize::MAX {
+            coarse_of[mate[v]] = next;
+        }
+        next += 1;
+    }
+
+    // Build coarse hypergraph.
+    let c = hg.num_constraints();
+    let mut b = HypergraphBuilder::new(c);
+    let mut weights = vec![vec![0u64; c]; next];
+    for v in 0..n {
+        let cw = &mut weights[coarse_of[v]];
+        for (k, w) in cw.iter_mut().enumerate() {
+            *w += hg.vertex_weight(v, k);
+        }
+    }
+    for w in &weights {
+        b.add_vertex(w);
+    }
+    let mut pin_buf: Vec<usize> = Vec::new();
+    for e in 0..hg.num_nets() {
+        pin_buf.clear();
+        pin_buf.extend(hg.pins(e).iter().map(|&p| coarse_of[p]));
+        pin_buf.sort_unstable();
+        pin_buf.dedup();
+        if pin_buf.len() >= 2 {
+            b.add_net(hg.net_weight(e), &pin_buf)
+                .expect("coarse pins are valid by construction");
+        }
+    }
+    Some(CoarseLevel {
+        hg: b.finalize().expect("coarse hypergraph is well-formed"),
+        coarse_of,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::HypergraphBuilder;
+    use rand::SeedableRng;
+
+    fn chain(n: usize) -> Hypergraph {
+        let mut b = HypergraphBuilder::new(1);
+        for _ in 0..n {
+            b.add_vertex(&[1]);
+        }
+        for i in 0..n - 1 {
+            b.add_net(1, &[i, i + 1]).unwrap();
+        }
+        b.finalize().unwrap()
+    }
+
+    #[test]
+    fn coarsening_halves_chain() {
+        let hg = chain(100);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let cfg = PartitionConfig {
+            coarsen_until: 10,
+            ..Default::default()
+        };
+        let lvl = coarsen_once(&hg, &cfg, &mut rng).expect("chain should coarsen");
+        assert!(lvl.hg.num_vertices() < 70, "got {}", lvl.hg.num_vertices());
+        assert!(lvl.hg.num_vertices() >= 50);
+        // Weight is conserved.
+        assert_eq!(lvl.hg.total_weights(), vec![100]);
+    }
+
+    #[test]
+    fn coarse_map_is_surjective_and_consistent() {
+        let hg = chain(50);
+        let mut rng = SmallRng::seed_from_u64(2);
+        let cfg = PartitionConfig {
+            coarsen_until: 10,
+            ..Default::default()
+        };
+        let lvl = coarsen_once(&hg, &cfg, &mut rng).unwrap();
+        let m = lvl.hg.num_vertices();
+        let mut hit = vec![false; m];
+        for &c in &lvl.coarse_of {
+            assert!(c < m);
+            hit[c] = true;
+        }
+        assert!(hit.iter().all(|&h| h), "every coarse vertex is used");
+    }
+
+    #[test]
+    fn stops_below_threshold() {
+        let hg = chain(20);
+        let mut rng = SmallRng::seed_from_u64(3);
+        let cfg = PartitionConfig {
+            coarsen_until: 50,
+            ..Default::default()
+        };
+        assert!(coarsen_once(&hg, &cfg, &mut rng).is_none());
+    }
+
+    #[test]
+    fn multi_constraint_weights_summed() {
+        let mut b = HypergraphBuilder::new(2);
+        for i in 0..10 {
+            b.add_vertex(&[1, i as u64]);
+        }
+        for i in 0..9 {
+            b.add_net(1, &[i, i + 1]).unwrap();
+        }
+        let hg = b.finalize().unwrap();
+        let mut rng = SmallRng::seed_from_u64(4);
+        let cfg = PartitionConfig {
+            coarsen_until: 2,
+            ..Default::default()
+        };
+        let lvl = coarsen_once(&hg, &cfg, &mut rng).unwrap();
+        assert_eq!(lvl.hg.total_weights(), hg.total_weights());
+    }
+
+    #[test]
+    fn disconnected_vertices_survive() {
+        let mut b = HypergraphBuilder::new(1);
+        for _ in 0..30 {
+            b.add_vertex(&[1]);
+        }
+        // Only connect the first 20; the last 10 are isolated.
+        for i in 0..19 {
+            b.add_net(1, &[i, i + 1]).unwrap();
+        }
+        let hg = b.finalize().unwrap();
+        let mut rng = SmallRng::seed_from_u64(5);
+        let cfg = PartitionConfig {
+            coarsen_until: 4,
+            ..Default::default()
+        };
+        let lvl = coarsen_once(&hg, &cfg, &mut rng).unwrap();
+        assert_eq!(lvl.hg.total_weights(), vec![30]);
+    }
+}

@@ -1,0 +1,426 @@
+//! Two-way Fiduccia–Mattheyses refinement and greedy initial bisection.
+//!
+//! The FM pass moves boundary vertices between the two sides in
+//! best-gain-first order, allowing negative-gain moves to escape local
+//! minima, then rolls back to the best prefix seen. Balance is enforced
+//! against per-constraint side limits (the multi-constraint mechanism that
+//! implements the paper's time-balancing quantiles).
+
+use crate::Hypergraph;
+use rand::rngs::SmallRng;
+use rand::Rng;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Per-constraint side capacity: `limits[k][s]` is the maximum total
+/// weight of constraint `k` allowed on side `s`.
+pub type SideLimits = Vec<[u64; 2]>;
+
+/// Computes side limits for a bisection where side 0 targets fraction
+/// `frac` of every constraint, with `epsilon` slack plus one max vertex
+/// weight of headroom (so a single heavy vertex can never wedge the
+/// refinement).
+pub fn side_limits(hg: &Hypergraph, frac: f64, epsilon: f64) -> SideLimits {
+    let c = hg.num_constraints();
+    let totals = hg.total_weights();
+    let mut max_vw = vec![0u64; c];
+    for v in 0..hg.num_vertices() {
+        for (k, m) in max_vw.iter_mut().enumerate() {
+            *m = (*m).max(hg.vertex_weight(v, k));
+        }
+    }
+    (0..c)
+        .map(|k| {
+            let t = totals[k] as f64;
+            let l0 = (t * frac * (1.0 + epsilon)).ceil() as u64 + max_vw[k];
+            let l1 = (t * (1.0 - frac) * (1.0 + epsilon)).ceil() as u64 + max_vw[k];
+            [l0, l1]
+        })
+        .collect()
+}
+
+/// State of a 2-way partition under refinement.
+#[derive(Debug, Clone)]
+pub struct Bisection {
+    /// Side (0/1) of each vertex.
+    pub side: Vec<u8>,
+    /// Connectivity cut of the current assignment (for 2 ways this equals
+    /// the plain cut: each cut net counts its weight once).
+    pub cut: u64,
+    /// Per-side weight for each constraint: `weights[k][s]`.
+    pub weights: Vec<[u64; 2]>,
+    /// `pins_on[e][s]` = pins of net `e` on side `s`.
+    pins_on: Vec<[u32; 2]>,
+}
+
+impl Bisection {
+    /// Builds bisection state from an assignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `side.len() != hg.num_vertices()`.
+    pub fn new(hg: &Hypergraph, side: Vec<u8>) -> Self {
+        assert_eq!(side.len(), hg.num_vertices(), "assignment size mismatch");
+        let c = hg.num_constraints();
+        let mut weights = vec![[0u64; 2]; c];
+        for (v, &s) in side.iter().enumerate() {
+            for (k, w) in weights.iter_mut().enumerate() {
+                w[s as usize] += hg.vertex_weight(v, k);
+            }
+        }
+        let mut pins_on = vec![[0u32; 2]; hg.num_nets()];
+        let mut cut = 0u64;
+        #[allow(clippy::needless_range_loop)] // index used across several structures
+        for e in 0..hg.num_nets() {
+            for &p in hg.pins(e) {
+                pins_on[e][side[p] as usize] += 1;
+            }
+            if pins_on[e][0] > 0 && pins_on[e][1] > 0 {
+                cut += hg.net_weight(e);
+            }
+        }
+        Bisection {
+            side,
+            cut,
+            weights,
+            pins_on,
+        }
+    }
+
+    /// FM gain of moving vertex `v` to the other side: positive gains
+    /// reduce the cut.
+    fn gain(&self, hg: &Hypergraph, v: usize) -> i64 {
+        let from = self.side[v] as usize;
+        let to = 1 - from;
+        let mut g = 0i64;
+        for &e in hg.nets_of(v) {
+            let w = hg.net_weight(e) as i64;
+            if self.pins_on[e][from] == 1 {
+                g += w; // net becomes uncut
+            }
+            if self.pins_on[e][to] == 0 {
+                g -= w; // net becomes cut
+            }
+        }
+        g
+    }
+
+    /// Total weight by which any side exceeds any constraint limit.
+    pub fn overflow(&self, limits: &SideLimits) -> u64 {
+        self.weights
+            .iter()
+            .zip(limits)
+            .map(|(w, l)| w[0].saturating_sub(l[0]) + w[1].saturating_sub(l[1]))
+            .sum()
+    }
+
+    /// Whether moving `v` is allowed: either the destination stays within
+    /// every limit, or the partition is currently over-limit and the move
+    /// does not increase total overflow (balance repair).
+    fn move_allowed(&self, hg: &Hypergraph, v: usize, limits: &SideLimits) -> bool {
+        let from = self.side[v] as usize;
+        let to = 1 - from;
+        let mut over_before = 0u64;
+        let mut over_after = 0u64;
+        let mut dest_fits = true;
+        for (k, w) in self.weights.iter().enumerate() {
+            let vw = hg.vertex_weight(v, k);
+            let l = limits[k];
+            over_before += w[from].saturating_sub(l[from]) + w[to].saturating_sub(l[to]);
+            let nf = w[from] - vw;
+            let nt = w[to] + vw;
+            over_after += nf.saturating_sub(l[from]) + nt.saturating_sub(l[to]);
+            if nt > l[to] {
+                dest_fits = false;
+            }
+        }
+        if over_before == 0 {
+            dest_fits
+        } else {
+            over_after <= over_before
+        }
+    }
+
+    /// Applies the move of `v`, updating cut, weights and pin counts.
+    /// Returns the nets whose side counts crossed a gain-relevant
+    /// threshold (so the caller can refresh neighbor gains).
+    fn apply_move(&mut self, hg: &Hypergraph, v: usize, crossed: &mut Vec<usize>) {
+        let from = self.side[v] as usize;
+        let to = 1 - from;
+        crossed.clear();
+        for &e in hg.nets_of(v) {
+            let w = hg.net_weight(e);
+            let before = self.pins_on[e];
+            self.pins_on[e][from] -= 1;
+            self.pins_on[e][to] += 1;
+            let after = self.pins_on[e];
+            // Cut transitions.
+            if before[to] == 0 && after[to] > 0 && after[from] > 0 {
+                self.cut += w;
+            }
+            if before[from] > 0 && after[from] == 0 && before[to] > 0 {
+                self.cut -= w;
+            }
+            // Gains of other pins only change when a side count crosses
+            // 0<->1 or 1<->2.
+            if before[from] <= 2 || before[to] <= 1 {
+                crossed.push(e);
+            }
+        }
+        for (k, w) in self.weights.iter_mut().enumerate() {
+            let vw = hg.vertex_weight(v, k);
+            w[from] -= vw;
+            w[to] += vw;
+        }
+        self.side[v] = to as u8;
+    }
+}
+
+/// Runs `passes` FM passes, mutating `bis` in place. Returns the final cut.
+pub fn refine(hg: &Hypergraph, bis: &mut Bisection, limits: &SideLimits, passes: usize) -> u64 {
+    let n = hg.num_vertices();
+    let mut version = vec![0u32; n];
+    let mut crossed: Vec<usize> = Vec::new();
+
+    for _ in 0..passes {
+        // Best prefix minimizes (overflow, cut) lexicographically, so the
+        // pass both repairs balance violations and improves the cut.
+        let start_key = (bis.overflow(limits), bis.cut);
+        let mut locked = vec![false; n];
+        // Lazy max-heap of (gain, vertex, version-at-push).
+        let mut heap: BinaryHeap<(i64, Reverse<usize>, u32)> = BinaryHeap::new();
+        #[allow(clippy::needless_range_loop)] // index used across several structures
+        for v in 0..n {
+            version[v] = version[v].wrapping_add(1);
+            heap.push((bis.gain(hg, v), Reverse(v), version[v]));
+        }
+
+        // Move log for rollback.
+        let mut log: Vec<usize> = Vec::new();
+        let mut best_key = start_key;
+        let mut best_len = 0usize;
+        let mut deferred: Vec<usize> = Vec::new();
+
+        while let Some((g, Reverse(v), stamp)) = heap.pop() {
+            if locked[v] || stamp != version[v] {
+                continue;
+            }
+            debug_assert_eq!(g, bis.gain(hg, v));
+            if !bis.move_allowed(hg, v, limits) {
+                deferred.push(v);
+                continue;
+            }
+            bis.apply_move(hg, v, &mut crossed);
+            locked[v] = true;
+            log.push(v);
+            let key = (bis.overflow(limits), bis.cut);
+            if key < best_key {
+                best_key = key;
+                best_len = log.len();
+            }
+            // Refresh gains of pins on crossed nets.
+            for &e in &crossed {
+                for &u in hg.pins(e) {
+                    if !locked[u] {
+                        version[u] = version[u].wrapping_add(1);
+                        heap.push((bis.gain(hg, u), Reverse(u), version[u]));
+                    }
+                }
+            }
+            // Previously infeasible vertices may now fit.
+            for u in deferred.drain(..) {
+                if !locked[u] {
+                    version[u] = version[u].wrapping_add(1);
+                    heap.push((bis.gain(hg, u), Reverse(u), version[u]));
+                }
+            }
+        }
+
+        // Roll back to the best prefix.
+        while log.len() > best_len {
+            let v = log.pop().unwrap();
+            bis.apply_move(hg, v, &mut crossed);
+        }
+        debug_assert_eq!((bis.overflow(limits), bis.cut), best_key);
+        if best_key >= start_key {
+            break; // no improvement this pass
+        }
+    }
+    bis.cut
+}
+
+/// Greedy BFS-grown initial bisection targeting fraction `frac` of
+/// constraint-0 weight on side 0.
+pub fn initial_bisect(hg: &Hypergraph, frac: f64, rng: &mut SmallRng) -> Vec<u8> {
+    let n = hg.num_vertices();
+    if n == 0 {
+        return Vec::new();
+    }
+    let total0: u64 = (0..n).map(|v| hg.vertex_weight(v, 0)).sum();
+    let target0 = (total0 as f64 * frac) as u64;
+
+    let mut side = vec![1u8; n];
+    let mut w0 = 0u64;
+    let mut visited = vec![false; n];
+    let mut queue = std::collections::VecDeque::new();
+    let start = rng.gen_range(0..n);
+    queue.push_back(start);
+    visited[start] = true;
+    let mut scan = 0usize; // fallback cursor for disconnected graphs
+
+    while w0 < target0 {
+        let v = match queue.pop_front() {
+            Some(v) => v,
+            None => {
+                // Jump to the next unvisited vertex.
+                while scan < n && visited[scan] {
+                    scan += 1;
+                }
+                if scan >= n {
+                    break;
+                }
+                visited[scan] = true;
+                scan
+            }
+        };
+        side[v] = 0;
+        w0 += hg.vertex_weight(v, 0);
+        for &e in hg.nets_of(v) {
+            let pins = hg.pins(e);
+            if pins.len() > 256 {
+                continue; // huge nets give no locality signal
+            }
+            for &u in pins {
+                if !visited[u] {
+                    visited[u] = true;
+                    queue.push_back(u);
+                }
+            }
+        }
+    }
+    side
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::HypergraphBuilder;
+    use rand::SeedableRng;
+
+    /// Two dense clusters of 8 vertices joined by one bridge net.
+    fn two_clusters() -> Hypergraph {
+        let mut b = HypergraphBuilder::new(1);
+        for _ in 0..16 {
+            b.add_vertex(&[1]);
+        }
+        for cluster in 0..2 {
+            let base = cluster * 8;
+            for i in 0..8 {
+                for j in (i + 1)..8 {
+                    b.add_net(1, &[base + i, base + j]).unwrap();
+                }
+            }
+        }
+        b.add_net(1, &[7, 8]).unwrap(); // bridge
+        b.finalize().unwrap()
+    }
+
+    #[test]
+    fn fm_finds_the_bridge_cut() {
+        let hg = two_clusters();
+        let mut rng = SmallRng::seed_from_u64(11);
+        let limits = side_limits(&hg, 0.5, 0.1);
+        let mut best = u64::MAX;
+        for _ in 0..4 {
+            let side = initial_bisect(&hg, 0.5, &mut rng);
+            let mut bis = Bisection::new(&hg, side);
+            refine(&hg, &mut bis, &limits, 3);
+            best = best.min(bis.cut);
+        }
+        assert_eq!(best, 1, "optimal cut is the single bridge net");
+    }
+
+    #[test]
+    fn bisection_state_counts_cut_correctly() {
+        let mut b = HypergraphBuilder::new(1);
+        for _ in 0..4 {
+            b.add_vertex(&[1]);
+        }
+        b.add_net(5, &[0, 1]).unwrap();
+        b.add_net(3, &[1, 2]).unwrap();
+        b.add_net(2, &[2, 3]).unwrap();
+        let hg = b.finalize().unwrap();
+        let bis = Bisection::new(&hg, vec![0, 0, 1, 1]);
+        assert_eq!(bis.cut, 3);
+        assert_eq!(bis.weights[0], [2, 2]);
+    }
+
+    #[test]
+    fn gains_match_cut_deltas() {
+        let hg = two_clusters();
+        let mut rng = SmallRng::seed_from_u64(3);
+        let side = initial_bisect(&hg, 0.5, &mut rng);
+        let bis = Bisection::new(&hg, side.clone());
+        let mut crossed = Vec::new();
+        for v in 0..hg.num_vertices() {
+            let g = bis.gain(&hg, v);
+            let mut test = bis.clone();
+            let before = test.cut;
+            test.apply_move(&hg, v, &mut crossed);
+            assert_eq!(
+                before as i64 - test.cut as i64,
+                g,
+                "gain mismatch for vertex {v}"
+            );
+        }
+    }
+
+    #[test]
+    fn move_is_involutive() {
+        let hg = two_clusters();
+        let bis0 = Bisection::new(&hg, vec![0; 16]);
+        let mut bis = bis0.clone();
+        let mut crossed = Vec::new();
+        bis.apply_move(&hg, 3, &mut crossed);
+        bis.apply_move(&hg, 3, &mut crossed);
+        assert_eq!(bis.cut, bis0.cut);
+        assert_eq!(bis.side, bis0.side);
+        assert_eq!(bis.weights, bis0.weights);
+    }
+
+    #[test]
+    fn refinement_respects_limits() {
+        let hg = two_clusters();
+        let limits = side_limits(&hg, 0.5, 0.1);
+        let mut rng = SmallRng::seed_from_u64(7);
+        let side = initial_bisect(&hg, 0.5, &mut rng);
+        let mut bis = Bisection::new(&hg, side);
+        refine(&hg, &mut bis, &limits, 3);
+        for (k, w) in bis.weights.iter().enumerate() {
+            assert!(w[0] <= limits[k][0], "side 0 over limit");
+            assert!(w[1] <= limits[k][1], "side 1 over limit");
+        }
+    }
+
+    #[test]
+    fn initial_bisect_hits_target_fraction() {
+        let hg = two_clusters();
+        let mut rng = SmallRng::seed_from_u64(9);
+        let side = initial_bisect(&hg, 0.5, &mut rng);
+        let w0 = side.iter().filter(|&&s| s == 0).count();
+        assert!((6..=10).contains(&w0), "side 0 has {w0} of 16");
+    }
+
+    #[test]
+    fn side_limits_leave_headroom_for_heavy_vertices() {
+        let mut b = HypergraphBuilder::new(1);
+        b.add_vertex(&[100]);
+        b.add_vertex(&[1]);
+        b.add_net(1, &[0, 1]).unwrap();
+        let hg = b.finalize().unwrap();
+        let limits = side_limits(&hg, 0.5, 0.0);
+        // The heavy vertex must fit on either side.
+        assert!(limits[0][0] >= 100);
+        assert!(limits[0][1] >= 100);
+    }
+}

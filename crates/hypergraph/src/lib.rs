@@ -1,0 +1,372 @@
+//! Multilevel multi-constraint hypergraph partitioner.
+//!
+//! Azul's data-mapping algorithm (Sec. IV) formulates operand placement as
+//! hypergraph partitioning: every data element is a vertex, every
+//! communication set is a hyperedge, and a partition with low
+//! *connectivity-1* cut is a placement with little NoC traffic. The paper
+//! uses PaToH; this crate is a from-scratch replacement in the same
+//! algorithmic family:
+//!
+//! * **coarsening** by heavy-connectivity matching ([`coarsen`]),
+//! * **initial partitioning** by greedy BFS growth,
+//! * **FM refinement** with gain tracking and best-prefix rollback
+//!   ([`fm`]),
+//! * **recursive bisection** to k parts ([`recursive`]),
+//! * **multiple balance constraints** per vertex — the mechanism behind
+//!   the paper's time-balancing extension (Sec. IV-C), which buckets
+//!   operations into depth quantiles and balances each quantile across
+//!   parts.
+//!
+//! # Example
+//!
+//! ```
+//! use azul_hypergraph::{HypergraphBuilder, PartitionConfig};
+//!
+//! // Two triangles sharing one vertex; cutting at the shared vertex is
+//! // optimal.
+//! let mut b = HypergraphBuilder::new(1);
+//! for _ in 0..5 {
+//!     b.add_vertex(&[1]);
+//! }
+//! b.add_net(1, &[0, 1, 2])?;
+//! b.add_net(1, &[2, 3, 4])?;
+//! let hg = b.finalize()?;
+//! let p = hg.partition(&PartitionConfig::bisection());
+//! assert!(p.connectivity_cut(&hg) <= 1);
+//! # Ok::<(), azul_hypergraph::HypergraphError>(())
+//! ```
+
+pub mod coarsen;
+pub mod fm;
+pub mod partition;
+pub mod recursive;
+
+pub use partition::{Partition, PartitionConfig};
+
+/// Errors from hypergraph construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HypergraphError {
+    /// A net references a vertex id that does not exist.
+    BadPin {
+        /// The offending vertex id.
+        vertex: usize,
+        /// Number of vertices in the hypergraph.
+        num_vertices: usize,
+    },
+    /// A vertex weight vector has the wrong number of constraints.
+    BadWeights {
+        /// Constraints expected.
+        expected: usize,
+        /// Constraints supplied.
+        found: usize,
+    },
+}
+
+impl std::fmt::Display for HypergraphError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HypergraphError::BadPin {
+                vertex,
+                num_vertices,
+            } => write!(f, "pin {vertex} out of range for {num_vertices} vertices"),
+            HypergraphError::BadWeights { expected, found } => {
+                write!(f, "expected {expected} constraint weights, found {found}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for HypergraphError {}
+
+/// Convenient result alias for this crate.
+pub type Result<T> = std::result::Result<T, HypergraphError>;
+
+/// A hypergraph with weighted vertices (one weight per balance constraint)
+/// and weighted nets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Hypergraph {
+    num_vertices: usize,
+    num_constraints: usize,
+    /// Row-major `num_vertices x num_constraints` weights.
+    vweights: Vec<u64>,
+    net_weights: Vec<u64>,
+    net_ptr: Vec<usize>,
+    net_pins: Vec<usize>,
+    vtx_ptr: Vec<usize>,
+    vtx_nets: Vec<usize>,
+}
+
+impl Hypergraph {
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.num_vertices
+    }
+
+    /// Number of nets (hyperedges).
+    pub fn num_nets(&self) -> usize {
+        self.net_weights.len()
+    }
+
+    /// Number of balance constraints per vertex.
+    pub fn num_constraints(&self) -> usize {
+        self.num_constraints
+    }
+
+    /// Total number of pins (vertex-net incidences).
+    pub fn num_pins(&self) -> usize {
+        self.net_pins.len()
+    }
+
+    /// Weight of vertex `v` under constraint `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` or `k` is out of range.
+    pub fn vertex_weight(&self, v: usize, k: usize) -> u64 {
+        assert!(k < self.num_constraints, "constraint out of range");
+        self.vweights[v * self.num_constraints + k]
+    }
+
+    /// All constraint weights of vertex `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn vertex_weights(&self, v: usize) -> &[u64] {
+        &self.vweights[v * self.num_constraints..(v + 1) * self.num_constraints]
+    }
+
+    /// Weight of net `e`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `e` is out of range.
+    pub fn net_weight(&self, e: usize) -> u64 {
+        self.net_weights[e]
+    }
+
+    /// Pins of net `e`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `e` is out of range.
+    pub fn pins(&self, e: usize) -> &[usize] {
+        &self.net_pins[self.net_ptr[e]..self.net_ptr[e + 1]]
+    }
+
+    /// Nets incident to vertex `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn nets_of(&self, v: usize) -> &[usize] {
+        &self.vtx_nets[self.vtx_ptr[v]..self.vtx_ptr[v + 1]]
+    }
+
+    /// Total weight per constraint across all vertices.
+    pub fn total_weights(&self) -> Vec<u64> {
+        let mut t = vec![0u64; self.num_constraints];
+        for v in 0..self.num_vertices {
+            for (k, tk) in t.iter_mut().enumerate() {
+                *tk += self.vertex_weight(v, k);
+            }
+        }
+        t
+    }
+
+    /// Partitions the hypergraph into `config.parts` parts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.parts == 0`.
+    pub fn partition(&self, config: &PartitionConfig) -> Partition {
+        recursive::partition(self, config)
+    }
+}
+
+/// Incremental builder for [`Hypergraph`].
+#[derive(Debug, Clone)]
+pub struct HypergraphBuilder {
+    num_constraints: usize,
+    vweights: Vec<u64>,
+    net_weights: Vec<u64>,
+    net_ptr: Vec<usize>,
+    net_pins: Vec<usize>,
+}
+
+impl HypergraphBuilder {
+    /// Starts a builder with `num_constraints` balance constraints.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_constraints == 0`.
+    pub fn new(num_constraints: usize) -> Self {
+        assert!(num_constraints > 0, "need at least one constraint");
+        HypergraphBuilder {
+            num_constraints,
+            vweights: Vec::new(),
+            net_weights: Vec::new(),
+            net_ptr: vec![0],
+            net_pins: Vec::new(),
+        }
+    }
+
+    /// Adds a vertex with the given constraint weights, returning its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights.len() != num_constraints`.
+    pub fn add_vertex(&mut self, weights: &[u64]) -> usize {
+        assert_eq!(
+            weights.len(),
+            self.num_constraints,
+            "weight vector length mismatch"
+        );
+        self.vweights.extend_from_slice(weights);
+        self.vweights.len() / self.num_constraints - 1
+    }
+
+    /// Current number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.vweights.len() / self.num_constraints
+    }
+
+    /// Adds a net over `pins` with weight `weight`. Duplicate pins are
+    /// tolerated and deduplicated.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HypergraphError::BadPin`] if any pin exceeds the current
+    /// vertex count.
+    pub fn add_net(&mut self, weight: u64, pins: &[usize]) -> Result<()> {
+        let n = self.num_vertices();
+        let mut uniq: Vec<usize> = pins.to_vec();
+        uniq.sort_unstable();
+        uniq.dedup();
+        for &p in &uniq {
+            if p >= n {
+                return Err(HypergraphError::BadPin {
+                    vertex: p,
+                    num_vertices: n,
+                });
+            }
+        }
+        self.net_pins.extend_from_slice(&uniq);
+        self.net_ptr.push(self.net_pins.len());
+        self.net_weights.push(weight);
+        Ok(())
+    }
+
+    /// Finalizes the hypergraph, building the vertex-to-net incidence.
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible, but returns `Result` for future validation.
+    pub fn finalize(self) -> Result<Hypergraph> {
+        let num_vertices = self.num_vertices();
+        let mut cnt = vec![0usize; num_vertices + 1];
+        for &p in &self.net_pins {
+            cnt[p + 1] += 1;
+        }
+        for i in 0..num_vertices {
+            cnt[i + 1] += cnt[i];
+        }
+        let mut vtx_nets = vec![0usize; self.net_pins.len()];
+        let mut next = cnt.clone();
+        for e in 0..self.net_weights.len() {
+            for &p in &self.net_pins[self.net_ptr[e]..self.net_ptr[e + 1]] {
+                vtx_nets[next[p]] = e;
+                next[p] += 1;
+            }
+        }
+        Ok(Hypergraph {
+            num_vertices,
+            num_constraints: self.num_constraints,
+            vweights: self.vweights,
+            net_weights: self.net_weights,
+            net_ptr: self.net_ptr,
+            net_pins: self.net_pins,
+            vtx_ptr: cnt,
+            vtx_nets,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Hypergraph {
+        let mut b = HypergraphBuilder::new(2);
+        for i in 0..4 {
+            b.add_vertex(&[1, i as u64]);
+        }
+        b.add_net(3, &[0, 1]).unwrap();
+        b.add_net(1, &[1, 2, 3]).unwrap();
+        b.finalize().unwrap()
+    }
+
+    #[test]
+    fn builder_counts() {
+        let hg = small();
+        assert_eq!(hg.num_vertices(), 4);
+        assert_eq!(hg.num_nets(), 2);
+        assert_eq!(hg.num_pins(), 5);
+        assert_eq!(hg.num_constraints(), 2);
+    }
+
+    #[test]
+    fn weights_and_pins() {
+        let hg = small();
+        assert_eq!(hg.vertex_weight(2, 0), 1);
+        assert_eq!(hg.vertex_weight(2, 1), 2);
+        assert_eq!(hg.vertex_weights(3), &[1, 3]);
+        assert_eq!(hg.net_weight(0), 3);
+        assert_eq!(hg.pins(1), &[1, 2, 3]);
+        assert_eq!(hg.total_weights(), vec![4, 6]);
+    }
+
+    #[test]
+    fn incidence_is_consistent() {
+        let hg = small();
+        assert_eq!(hg.nets_of(0), &[0]);
+        assert_eq!(hg.nets_of(1), &[0, 1]);
+        assert_eq!(hg.nets_of(3), &[1]);
+    }
+
+    #[test]
+    fn duplicate_pins_are_deduped() {
+        let mut b = HypergraphBuilder::new(1);
+        b.add_vertex(&[1]);
+        b.add_vertex(&[1]);
+        b.add_net(1, &[0, 1, 0, 1]).unwrap();
+        let hg = b.finalize().unwrap();
+        assert_eq!(hg.pins(0), &[0, 1]);
+    }
+
+    #[test]
+    fn bad_pin_rejected() {
+        let mut b = HypergraphBuilder::new(1);
+        b.add_vertex(&[1]);
+        assert!(matches!(
+            b.add_net(1, &[0, 5]),
+            Err(HypergraphError::BadPin { .. })
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "weight vector length mismatch")]
+    fn wrong_weight_arity_panics() {
+        let mut b = HypergraphBuilder::new(2);
+        b.add_vertex(&[1]);
+    }
+
+    #[test]
+    fn error_display() {
+        let e = HypergraphError::BadPin {
+            vertex: 9,
+            num_vertices: 3,
+        };
+        assert!(e.to_string().contains('9'));
+    }
+}

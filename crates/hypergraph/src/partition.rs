@@ -1,0 +1,239 @@
+//! Partition representation, quality metrics and configuration.
+
+use crate::Hypergraph;
+
+/// Assignment of every vertex to one of `parts` parts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Partition {
+    part_of: Vec<u32>,
+    parts: usize,
+}
+
+impl Partition {
+    /// Builds a partition from an explicit assignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any assignment is `>= parts`.
+    pub fn new(part_of: Vec<u32>, parts: usize) -> Self {
+        assert!(
+            part_of.iter().all(|&p| (p as usize) < parts),
+            "part id out of range"
+        );
+        Partition { part_of, parts }
+    }
+
+    /// Number of parts.
+    pub fn parts(&self) -> usize {
+        self.parts
+    }
+
+    /// The part of vertex `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn part_of(&self, v: usize) -> usize {
+        self.part_of[v] as usize
+    }
+
+    /// The full assignment vector.
+    pub fn assignment(&self) -> &[u32] {
+        &self.part_of
+    }
+
+    /// The *connectivity-1* metric: `sum over nets of w(e) * (lambda(e)-1)`
+    /// where `lambda(e)` is the number of distinct parts net `e` spans.
+    ///
+    /// This is exactly the message count induced by a communication set
+    /// spanning `lambda` tiles (Sec. IV-B: "placing vertices in a set
+    /// across N tiles induces N-1 messages").
+    ///
+    /// # Panics
+    ///
+    /// Panics if the partition length differs from the hypergraph size.
+    pub fn connectivity_cut(&self, hg: &Hypergraph) -> u64 {
+        assert_eq!(self.part_of.len(), hg.num_vertices(), "size mismatch");
+        let mut seen = vec![u32::MAX; self.parts];
+        let mut cut = 0u64;
+        for e in 0..hg.num_nets() {
+            let mut lambda = 0u64;
+            for &p in hg.pins(e) {
+                let part = self.part_of[p] as usize;
+                if seen[part] != e as u32 {
+                    seen[part] = e as u32;
+                    lambda += 1;
+                }
+            }
+            if lambda > 1 {
+                cut += hg.net_weight(e) * (lambda - 1);
+            }
+        }
+        cut
+    }
+
+    /// Per-part total weight under constraint `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if sizes mismatch or `k` is out of range.
+    pub fn part_weights(&self, hg: &Hypergraph, k: usize) -> Vec<u64> {
+        assert_eq!(self.part_of.len(), hg.num_vertices(), "size mismatch");
+        let mut w = vec![0u64; self.parts];
+        for v in 0..hg.num_vertices() {
+            w[self.part_of[v] as usize] += hg.vertex_weight(v, k);
+        }
+        w
+    }
+
+    /// Imbalance of constraint `k`: `max_part_weight / ideal - 1`, where
+    /// `ideal = total / parts`. Returns 0 for an empty constraint.
+    ///
+    /// # Panics
+    ///
+    /// Panics if sizes mismatch or `k` is out of range.
+    pub fn imbalance(&self, hg: &Hypergraph, k: usize) -> f64 {
+        let w = self.part_weights(hg, k);
+        let total: u64 = w.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let ideal = total as f64 / self.parts as f64;
+        let max = *w.iter().max().unwrap() as f64;
+        max / ideal - 1.0
+    }
+}
+
+/// Configuration for [`Hypergraph::partition`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct PartitionConfig {
+    /// Number of parts.
+    pub parts: usize,
+    /// Allowed imbalance per constraint (0.10 = 10%).
+    pub epsilon: f64,
+    /// RNG seed for tie-breaking (deterministic given the seed).
+    pub seed: u64,
+    /// Stop coarsening when at most this many vertices remain.
+    pub coarsen_until: usize,
+    /// Nets larger than this are ignored during matching (they carry
+    /// little locality signal and are expensive to traverse).
+    pub max_net_size_for_matching: usize,
+    /// FM passes per uncoarsening level.
+    pub fm_passes: usize,
+    /// Number of initial-partition attempts at the coarsest level.
+    pub initial_tries: usize,
+}
+
+impl PartitionConfig {
+    /// A configuration for a plain 2-way split.
+    pub fn bisection() -> Self {
+        PartitionConfig {
+            parts: 2,
+            ..Default::default()
+        }
+    }
+
+    /// A configuration for `parts` parts with default quality settings.
+    pub fn k_way(parts: usize) -> Self {
+        PartitionConfig {
+            parts,
+            ..Default::default()
+        }
+    }
+
+    /// A faster, lower-quality preset (the analog of PaToH's `speed`
+    /// preset mentioned in Sec. VI-D).
+    pub fn fast(parts: usize) -> Self {
+        PartitionConfig {
+            parts,
+            fm_passes: 1,
+            initial_tries: 1,
+            coarsen_until: 80,
+            ..Default::default()
+        }
+    }
+}
+
+impl Default for PartitionConfig {
+    fn default() -> Self {
+        PartitionConfig {
+            parts: 2,
+            epsilon: 0.10,
+            seed: 0xA2_1CE5,
+            coarsen_until: 160,
+            max_net_size_for_matching: 64,
+            fm_passes: 3,
+            initial_tries: 4,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::HypergraphBuilder;
+
+    fn hg3() -> Hypergraph {
+        let mut b = HypergraphBuilder::new(1);
+        for _ in 0..6 {
+            b.add_vertex(&[1]);
+        }
+        b.add_net(2, &[0, 1, 2]).unwrap();
+        b.add_net(1, &[2, 3]).unwrap();
+        b.add_net(5, &[4, 5]).unwrap();
+        b.finalize().unwrap()
+    }
+
+    #[test]
+    fn connectivity_cut_counts_spanned_parts() {
+        let hg = hg3();
+        // Put {0,1} in part 0, {2,3} in part 1, {4,5} in part 2.
+        let p = Partition::new(vec![0, 0, 1, 1, 2, 2], 3);
+        // Net 0 spans parts {0,1}: (2-1)*2 = 2. Net 1 spans {1}: 0.
+        // Net 2 spans {2}: 0.
+        assert_eq!(p.connectivity_cut(&hg), 2);
+    }
+
+    #[test]
+    fn zero_cut_when_nets_internal() {
+        let hg = hg3();
+        let p = Partition::new(vec![0, 0, 0, 0, 1, 1], 2);
+        // Net 0 and 1 internal to part 0, net 2 internal to part 1.
+        assert_eq!(p.connectivity_cut(&hg), 0);
+    }
+
+    #[test]
+    fn three_way_net_counts_double() {
+        let mut b = HypergraphBuilder::new(1);
+        for _ in 0..3 {
+            b.add_vertex(&[1]);
+        }
+        b.add_net(7, &[0, 1, 2]).unwrap();
+        let hg = b.finalize().unwrap();
+        let p = Partition::new(vec![0, 1, 2], 3);
+        assert_eq!(p.connectivity_cut(&hg), 14); // (3-1)*7
+    }
+
+    #[test]
+    fn part_weights_and_imbalance() {
+        let hg = hg3();
+        let p = Partition::new(vec![0, 0, 0, 0, 1, 1], 2);
+        assert_eq!(p.part_weights(&hg, 0), vec![4, 2]);
+        // ideal = 3, max = 4, imbalance = 1/3
+        assert!((p.imbalance(&hg, 0) - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "part id out of range")]
+    fn out_of_range_part_rejected() {
+        Partition::new(vec![0, 3], 2);
+    }
+
+    #[test]
+    fn presets() {
+        assert_eq!(PartitionConfig::bisection().parts, 2);
+        assert_eq!(PartitionConfig::k_way(16).parts, 16);
+        let fast = PartitionConfig::fast(8);
+        assert!(fast.fm_passes < PartitionConfig::default().fm_passes);
+    }
+}

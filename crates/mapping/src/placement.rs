@@ -1,0 +1,286 @@
+//! The assignment of operands to tiles.
+
+use crate::grid::{TileGrid, TileId};
+use azul_sparse::Csr;
+
+/// A complete operand placement for one matrix workload.
+///
+/// * `nnz_tile[p]` is the tile holding the `p`-th stored nonzero of the
+///   matrix (in row-major CSR order, i.e. aligned with
+///   [`Csr::iter`](azul_sparse::Csr::iter));
+/// * `vec_tile[i]` is the *home tile* of index `i`: it stores element `i`
+///   of every dense vector (`x`, `r`, `p`, `z`, `b`, …), receives the
+///   reductions for row `i`, and performs the variable solve for row `i`
+///   in SpTRSV.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Placement {
+    grid: TileGrid,
+    nnz_tile: Vec<TileId>,
+    vec_tile: Vec<TileId>,
+}
+
+impl Placement {
+    /// Builds a placement from explicit assignments.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any tile id is out of range for the grid.
+    pub fn new(grid: TileGrid, nnz_tile: Vec<TileId>, vec_tile: Vec<TileId>) -> Self {
+        let p = grid.num_tiles() as u32;
+        assert!(
+            nnz_tile.iter().all(|&t| t < p),
+            "nonzero tile id out of range"
+        );
+        assert!(
+            vec_tile.iter().all(|&t| t < p),
+            "vector tile id out of range"
+        );
+        Placement {
+            grid,
+            nnz_tile,
+            vec_tile,
+        }
+    }
+
+    /// The tile grid this placement targets.
+    pub fn grid(&self) -> TileGrid {
+        self.grid
+    }
+
+    /// Tile of the `p`-th stored nonzero (CSR row-major order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is out of range.
+    pub fn nnz_tile(&self, p: usize) -> TileId {
+        self.nnz_tile[p]
+    }
+
+    /// All nonzero assignments.
+    pub fn nnz_tiles(&self) -> &[TileId] {
+        &self.nnz_tile
+    }
+
+    /// Home tile of vector index `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn vec_tile(&self, i: usize) -> TileId {
+        self.vec_tile[i]
+    }
+
+    /// All vector-element assignments.
+    pub fn vec_tiles(&self) -> &[TileId] {
+        &self.vec_tile
+    }
+
+    /// Number of matrix nonzeros placed.
+    pub fn num_nnz(&self) -> usize {
+        self.nnz_tile.len()
+    }
+
+    /// Vector dimension.
+    pub fn num_rows(&self) -> usize {
+        self.vec_tile.len()
+    }
+
+    /// Number of nonzeros stored on each tile (data-balance view;
+    /// constraint (1) of Sec. IV-B).
+    pub fn nnz_per_tile(&self) -> Vec<usize> {
+        let mut c = vec![0usize; self.grid.num_tiles()];
+        for &t in &self.nnz_tile {
+            c[t as usize] += 1;
+        }
+        c
+    }
+
+    /// Max/mean nonzero load ratio across tiles (1.0 = perfectly
+    /// balanced).
+    pub fn nnz_imbalance(&self) -> f64 {
+        let c = self.nnz_per_tile();
+        let max = *c.iter().max().unwrap_or(&0) as f64;
+        let mean = self.nnz_tile.len() as f64 / self.grid.num_tiles() as f64;
+        if mean == 0.0 {
+            0.0
+        } else {
+            max / mean
+        }
+    }
+
+    /// The distinct tiles holding nonzeros of each column of `a`, sorted.
+    ///
+    /// This is the destination set of the column multicast (SendV); its
+    /// size relates directly to the hypergraph column-net connectivity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a`'s nonzero count differs from the placement.
+    pub fn column_tile_sets(&self, a: &Csr) -> Vec<Vec<TileId>> {
+        assert_eq!(a.nnz(), self.nnz_tile.len(), "matrix/placement mismatch");
+        let mut sets: Vec<Vec<TileId>> = vec![Vec::new(); a.cols()];
+        for (p, (_, c, _)) in a.iter().enumerate() {
+            sets[c].push(self.nnz_tile[p]);
+        }
+        for s in &mut sets {
+            s.sort_unstable();
+            s.dedup();
+        }
+        sets
+    }
+
+    /// The distinct tiles holding nonzeros of each row of `a`, sorted
+    /// (the source set of the row reduction).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a`'s nonzero count differs from the placement.
+    pub fn row_tile_sets(&self, a: &Csr) -> Vec<Vec<TileId>> {
+        assert_eq!(a.nnz(), self.nnz_tile.len(), "matrix/placement mismatch");
+        let mut sets: Vec<Vec<TileId>> = vec![Vec::new(); a.rows()];
+        for (p, (r, _, _)) in a.iter().enumerate() {
+            sets[r].push(self.nnz_tile[p]);
+        }
+        for s in &mut sets {
+            s.sort_unstable();
+            s.dedup();
+        }
+        sets
+    }
+
+    /// Per-tile SRAM usage estimate in bytes: `(data, accumulator)` for
+    /// each tile.
+    ///
+    /// Data SRAM holds the matrix nonzeros (96 bits each: 64-bit value +
+    /// 32-bit metadata, Table III) plus this tile's elements of the dense
+    /// vectors (`vectors` of them, 8 bytes each — PCG keeps x, r, p, z, b
+    /// and a scratch vector). Accumulator SRAM holds one 96-bit slot per
+    /// distinct row this tile contributes to (partial sums / reduction
+    /// combines).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a`'s nonzero count differs from the placement.
+    pub fn sram_usage(&self, a: &Csr, vectors: usize) -> Vec<(usize, usize)> {
+        assert_eq!(a.nnz(), self.nnz_tile.len(), "matrix/placement mismatch");
+        let p = self.grid.num_tiles();
+        let mut data = vec![0usize; p];
+        let mut rows_per_tile: Vec<std::collections::HashSet<usize>> =
+            vec![std::collections::HashSet::new(); p];
+        for (k, (r, _, _)) in a.iter().enumerate() {
+            let t = self.nnz_tile[k] as usize;
+            data[t] += 12; // 96-bit nonzero
+            rows_per_tile[t].insert(r);
+        }
+        for &t in &self.vec_tile {
+            data[t as usize] += 8 * vectors;
+        }
+        data.iter()
+            .zip(&rows_per_tile)
+            .map(|(&d, rows)| (d, rows.len() * 12))
+            .collect()
+    }
+
+    /// Restricts this placement to a sub-pattern of `a` given by `keep`
+    /// (e.g. the lower triangle for SpTRSV), returning nonzero tiles
+    /// aligned with the filtered matrix's CSR order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a`'s nonzero count differs from the placement.
+    pub fn restrict(&self, a: &Csr, mut keep: impl FnMut(usize, usize) -> bool) -> Vec<TileId> {
+        assert_eq!(a.nnz(), self.nnz_tile.len(), "matrix/placement mismatch");
+        let mut out = Vec::new();
+        for (p, (r, c, _)) in a.iter().enumerate() {
+            if keep(r, c) {
+                out.push(self.nnz_tile[p]);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use azul_sparse::Coo;
+
+    fn sample() -> (Csr, Placement) {
+        // 3x3 with 5 nnz; 2x2 grid.
+        let a = Coo::from_triplets(
+            3,
+            3,
+            [(0, 0, 1.0), (0, 2, 2.0), (1, 1, 3.0), (2, 0, 4.0), (2, 2, 5.0)],
+        )
+        .unwrap()
+        .to_csr();
+        let g = TileGrid::new(2, 2);
+        let p = Placement::new(g, vec![0, 1, 2, 3, 0], vec![0, 2, 3]);
+        (a, p)
+    }
+
+    #[test]
+    fn accessors() {
+        let (_, p) = sample();
+        assert_eq!(p.num_nnz(), 5);
+        assert_eq!(p.num_rows(), 3);
+        assert_eq!(p.nnz_tile(1), 1);
+        assert_eq!(p.vec_tile(2), 3);
+    }
+
+    #[test]
+    fn column_sets_dedup_tiles() {
+        let (a, p) = sample();
+        let cols = p.column_tile_sets(&a);
+        // col 0 has nnz at positions 0 (tile 0) and 3 (tile 3).
+        assert_eq!(cols[0], vec![0, 3]);
+        // col 2 has nnz at positions 1 (tile 1) and 4 (tile 0).
+        assert_eq!(cols[2], vec![0, 1]);
+        assert_eq!(cols[1], vec![2]);
+    }
+
+    #[test]
+    fn row_sets() {
+        let (a, p) = sample();
+        let rows = p.row_tile_sets(&a);
+        assert_eq!(rows[0], vec![0, 1]);
+        assert_eq!(rows[1], vec![2]);
+        assert_eq!(rows[2], vec![0, 3]);
+    }
+
+    #[test]
+    fn restrict_to_lower_triangle() {
+        let (a, p) = sample();
+        let lower_tiles = p.restrict(&a, |r, c| c <= r);
+        // lower entries in CSR order: (0,0)->0, (1,1)->2, (2,0)->3, (2,2)->0
+        assert_eq!(lower_tiles, vec![0, 2, 3, 0]);
+    }
+
+    #[test]
+    fn imbalance_of_uniform_placement_is_low() {
+        let g = TileGrid::new(2, 2);
+        let p = Placement::new(g, vec![0, 1, 2, 3, 0, 1, 2, 3], vec![0, 1]);
+        assert!((p.nnz_imbalance() - 1.0).abs() < 1e-12);
+        assert_eq!(p.nnz_per_tile(), vec![2, 2, 2, 2]);
+    }
+
+    #[test]
+    fn sram_usage_accounts_nonzeros_vectors_and_rows() {
+        let (a, p) = sample();
+        let usage = p.sram_usage(&a, 2);
+        // Tile 0 holds nnz #0 (row 0) and #4 (row 2): 2*12 data bytes,
+        // 2 distinct rows -> 24 accumulator bytes; plus vec elem 0 homed
+        // there: 2 vectors * 8 bytes.
+        assert_eq!(usage[0], (2 * 12 + 16, 24));
+        // Total data bytes = nnz*12 + n*vectors*8.
+        let total_data: usize = usage.iter().map(|&(d, _)| d).sum();
+        assert_eq!(total_data, 5 * 12 + 3 * 2 * 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn oversized_tile_id_rejected() {
+        let g = TileGrid::new(2, 2);
+        Placement::new(g, vec![7], vec![]);
+    }
+}

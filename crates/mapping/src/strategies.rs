@@ -1,0 +1,333 @@
+//! The four mapping strategies compared in the paper (Sec. III, VI-C).
+
+use crate::grid::{TileGrid, TileId};
+use crate::placement::Placement;
+use crate::workload::{build_pcg_hypergraph, DEFAULT_QUANTILES, DEFAULT_ROW_EDGE_WEIGHT};
+use azul_hypergraph::PartitionConfig;
+use azul_sparse::Csr;
+
+/// A data-mapping strategy: assigns every nonzero and vector element of a
+/// workload to a tile.
+pub trait Mapper {
+    /// Strategy name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Maps matrix `a`'s operands onto `grid`.
+    fn map(&self, a: &Csr, grid: TileGrid) -> Placement;
+}
+
+/// Dalorex's mapping: nonzero `i` (in row-major enumeration) goes to tile
+/// `i mod P`; vector element `i` likewise. Position-based and
+/// sparsity-pattern agnostic.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RoundRobinMapper;
+
+impl Mapper for RoundRobinMapper {
+    fn name(&self) -> &'static str {
+        "round-robin"
+    }
+
+    fn map(&self, a: &Csr, grid: TileGrid) -> Placement {
+        let p = grid.num_tiles();
+        let nnz_tile: Vec<TileId> = (0..a.nnz()).map(|i| (i % p) as TileId).collect();
+        let vec_tile: Vec<TileId> = (0..a.rows()).map(|i| (i % p) as TileId).collect();
+        Placement::new(grid, nnz_tile, vec_tile)
+    }
+}
+
+/// Tascade's (and MPI systems') mapping: contiguous blocks of
+/// `ceil(nnz/P)` nonzeros per tile; vector elements in contiguous blocks
+/// of `ceil(n/P)`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BlockMapper;
+
+impl Mapper for BlockMapper {
+    fn name(&self) -> &'static str {
+        "block"
+    }
+
+    fn map(&self, a: &Csr, grid: TileGrid) -> Placement {
+        let p = grid.num_tiles();
+        let nnz_chunk = a.nnz().div_ceil(p).max(1);
+        let vec_chunk = a.rows().div_ceil(p).max(1);
+        let nnz_tile: Vec<TileId> = (0..a.nnz()).map(|i| (i / nnz_chunk) as TileId).collect();
+        let vec_tile: Vec<TileId> = (0..a.rows()).map(|i| (i / vec_chunk) as TileId).collect();
+        Placement::new(grid, nnz_tile, vec_tile)
+    }
+}
+
+/// SparseP's coordinate-based 2-D chunking (Sec. VI-C): `sqrt(P)` column
+/// chunks of equal nonzero count, each subdivided into `sqrt(P)` row
+/// chunks of equal nonzero count. Vector element `i` lives with the chunk
+/// containing the diagonal coordinate `(i, i)`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SparsePMapper;
+
+impl Mapper for SparsePMapper {
+    fn name(&self) -> &'static str {
+        "sparsep"
+    }
+
+    fn map(&self, a: &Csr, grid: TileGrid) -> Placement {
+        let (pc, pr) = factor_near_square(grid.num_tiles());
+        let n = a.rows();
+        // Column chunk boundaries: equal nonzeros per column chunk.
+        let mut col_nnz = vec![0usize; n];
+        for (_, c, _) in a.iter() {
+            col_nnz[c] += 1;
+        }
+        let col_chunk_of = balanced_chunks(&col_nnz, pc);
+
+        // Within each column chunk, row chunk boundaries of equal nnz.
+        let mut row_nnz_per_chunk = vec![vec![0usize; n]; pc];
+        for (r, c, _) in a.iter() {
+            row_nnz_per_chunk[col_chunk_of[c]][r] += 1;
+        }
+        let row_chunk_of: Vec<Vec<usize>> = row_nnz_per_chunk
+            .iter()
+            .map(|counts| balanced_chunks(counts, pr))
+            .collect();
+
+        let nnz_tile: Vec<TileId> = a
+            .iter()
+            .map(|(r, c, _)| {
+                let cc = col_chunk_of[c];
+                let rc = row_chunk_of[cc][r];
+                (cc * pr + rc) as TileId
+            })
+            .collect();
+        let vec_tile: Vec<TileId> = (0..n)
+            .map(|i| {
+                let cc = col_chunk_of[i];
+                let rc = row_chunk_of[cc][i];
+                (cc * pr + rc) as TileId
+            })
+            .collect();
+        Placement::new(grid, nnz_tile, vec_tile)
+    }
+}
+
+/// Azul's hypergraph-partitioning mapper (Sec. IV): column nets for
+/// multicasts, weighted row nets for reductions, and q-quantile
+/// time-balancing constraints, partitioned with the multilevel partitioner.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AzulMapper {
+    /// Weight of row (reduction) nets relative to column nets (default 2).
+    pub row_edge_weight: u64,
+    /// Time-balance quantiles (default 5; 0 disables, for ablations).
+    pub quantiles: usize,
+    /// Allowed imbalance per constraint.
+    pub epsilon: f64,
+    /// Partitioner seed.
+    pub seed: u64,
+    /// Use the fast (lower-quality) partitioner preset — the analog of
+    /// PaToH's `speed` preset discussed in Sec. VI-D.
+    pub fast: bool,
+}
+
+impl Default for AzulMapper {
+    fn default() -> Self {
+        AzulMapper {
+            row_edge_weight: DEFAULT_ROW_EDGE_WEIGHT,
+            quantiles: DEFAULT_QUANTILES,
+            epsilon: 0.10,
+            seed: 0xA201,
+            fast: false,
+        }
+    }
+}
+
+impl AzulMapper {
+    /// An Azul mapper using the fast partitioner preset (lower quality,
+    /// much cheaper — Sec. VI-D's speed/quality tradeoff).
+    pub fn fast_default() -> Self {
+        AzulMapper {
+            fast: true,
+            ..Default::default()
+        }
+    }
+
+    /// An Azul mapper without time balancing (Fig. 17's "Nonzero
+    /// Balancing" baseline).
+    pub fn without_time_balancing() -> Self {
+        AzulMapper {
+            quantiles: 0,
+            ..Default::default()
+        }
+    }
+
+    /// An Azul mapper with equal row/column net weights (ablation of the
+    /// reduction-cost weighting of Sec. IV-C).
+    pub fn with_uniform_edge_weights() -> Self {
+        AzulMapper {
+            row_edge_weight: 1,
+            ..Default::default()
+        }
+    }
+}
+
+impl Mapper for AzulMapper {
+    fn name(&self) -> &'static str {
+        "azul"
+    }
+
+    fn map(&self, a: &Csr, grid: TileGrid) -> Placement {
+        let w = build_pcg_hypergraph(a, self.row_edge_weight, self.quantiles);
+        let mut cfg = if self.fast {
+            PartitionConfig::fast(grid.num_tiles())
+        } else {
+            PartitionConfig::k_way(grid.num_tiles())
+        };
+        cfg.epsilon = self.epsilon;
+        cfg.seed = self.seed;
+        let part = w.hg.partition(&cfg);
+        let nnz_tile: Vec<TileId> = (0..w.num_nnz)
+            .map(|p| part.part_of(w.nnz_vertex(p)) as TileId)
+            .collect();
+        let vec_tile: Vec<TileId> = (0..w.num_rows)
+            .map(|i| part.part_of(w.vec_vertex(i)) as TileId)
+            .collect();
+        Placement::new(grid, nnz_tile, vec_tile)
+    }
+}
+
+/// Splits `p` into factors `(a, b)` with `a * b == p`, as square as
+/// possible (`a >= b`).
+fn factor_near_square(p: usize) -> (usize, usize) {
+    let mut b = (p as f64).sqrt() as usize;
+    while b > 1 && !p.is_multiple_of(b) {
+        b -= 1;
+    }
+    (p / b.max(1), b.max(1))
+}
+
+/// Assigns each index to one of `k` chunks so chunks are contiguous and
+/// have near-equal total `weights`.
+fn balanced_chunks(weights: &[usize], k: usize) -> Vec<usize> {
+    let total: usize = weights.iter().sum();
+    let target = total.div_ceil(k.max(1)).max(1);
+    let mut chunk = 0usize;
+    let mut acc = 0usize;
+    weights
+        .iter()
+        .map(|&w| {
+            if acc >= target && chunk + 1 < k {
+                chunk += 1;
+                acc = 0;
+            }
+            acc += w;
+            chunk
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use azul_sparse::generate;
+
+    fn grid4() -> TileGrid {
+        TileGrid::new(2, 2)
+    }
+
+    #[test]
+    fn round_robin_cycles_tiles() {
+        let a = generate::grid_laplacian_2d(4, 4);
+        let p = RoundRobinMapper.map(&a, grid4());
+        for (i, &t) in p.nnz_tiles().iter().enumerate() {
+            assert_eq!(t as usize, i % 4);
+        }
+        assert!((p.nnz_imbalance() - 1.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn block_mapper_is_contiguous() {
+        let a = generate::grid_laplacian_2d(4, 4);
+        let p = BlockMapper.map(&a, grid4());
+        let tiles = p.nnz_tiles();
+        for w in tiles.windows(2) {
+            assert!(w[1] >= w[0], "blocks must be non-decreasing");
+        }
+        // All four tiles used.
+        let used: std::collections::HashSet<_> = tiles.iter().collect();
+        assert_eq!(used.len(), 4);
+    }
+
+    #[test]
+    fn sparsep_balances_nonzeros() {
+        let a = generate::fem_mesh_3d(200, 6, 5);
+        let p = SparsePMapper.map(&a, TileGrid::new(4, 4));
+        assert!(p.nnz_imbalance() < 2.0, "imbalance {}", p.nnz_imbalance());
+        let used: std::collections::HashSet<_> = p.nnz_tiles().iter().collect();
+        assert!(used.len() >= 12, "most tiles used, got {}", used.len());
+    }
+
+    #[test]
+    fn azul_mapper_balances_and_localizes() {
+        let a = generate::grid_laplacian_2d(12, 12);
+        let grid = TileGrid::new(2, 2);
+        let p = AzulMapper::default().map(&a, grid);
+        assert!(p.nnz_imbalance() < 1.6, "imbalance {}", p.nnz_imbalance());
+        // Column locality: most columns live on one tile.
+        let sets = p.column_tile_sets(&a);
+        // Time-balance constraints trade some locality away, but at least
+        // a third of columns should still be tile-local (round-robin gets
+        // essentially none).
+        let single = sets.iter().filter(|s| s.len() == 1).count();
+        assert!(
+            single * 3 > sets.len(),
+            "expected >=1/3 single-tile columns, got {single}/{}",
+            sets.len()
+        );
+    }
+
+    #[test]
+    fn azul_beats_round_robin_on_column_locality() {
+        let a = generate::fem_mesh_3d(150, 5, 9);
+        let grid = TileGrid::new(4, 4);
+        let rr = RoundRobinMapper.map(&a, grid);
+        let az = AzulMapper::default().map(&a, grid);
+        let span = |p: &Placement| -> usize {
+            p.column_tile_sets(&a).iter().map(Vec::len).sum()
+        };
+        assert!(
+            span(&az) < span(&rr) / 2,
+            "azul span {} vs rr span {}",
+            span(&az),
+            span(&rr)
+        );
+    }
+
+    #[test]
+    fn mapper_names() {
+        assert_eq!(RoundRobinMapper.name(), "round-robin");
+        assert_eq!(BlockMapper.name(), "block");
+        assert_eq!(SparsePMapper.name(), "sparsep");
+        assert_eq!(AzulMapper::default().name(), "azul");
+    }
+
+    #[test]
+    fn factorization_helper() {
+        assert_eq!(factor_near_square(16), (4, 4));
+        assert_eq!(factor_near_square(12), (4, 3));
+        assert_eq!(factor_near_square(7), (7, 1));
+        assert_eq!(factor_near_square(1), (1, 1));
+    }
+
+    #[test]
+    fn balanced_chunks_near_equal() {
+        let w = vec![1usize; 100];
+        let c = balanced_chunks(&w, 4);
+        let mut sizes = vec![0usize; 4];
+        for &ch in &c {
+            sizes[ch] += 1;
+        }
+        assert!(sizes.iter().all(|&s| (20..=30).contains(&s)), "{sizes:?}");
+    }
+
+    #[test]
+    fn ablation_constructors() {
+        assert_eq!(AzulMapper::without_time_balancing().quantiles, 0);
+        assert_eq!(AzulMapper::with_uniform_edge_weights().row_edge_weight, 1);
+    }
+}

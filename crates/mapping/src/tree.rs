@@ -1,0 +1,221 @@
+//! Multicast and reduction trees on the torus (Sec. IV-D, Fig. 18).
+//!
+//! Sending a value from one tile to many (or reducing many partials into
+//! one) with point-to-point messages wastes links and serializes at the
+//! source. Azul's compiler instead builds *communication trees*: the union
+//! of dimension-order (X-then-Y) routes from the root to every destination
+//! forms a tree in which each link is used exactly once, and intermediate
+//! tiles forward (multicast) or combine (reduction) values.
+
+use crate::grid::{TileGrid, TileId};
+use std::collections::BTreeMap;
+
+/// A communication tree rooted at one tile, spanning a destination set.
+///
+/// For a multicast, data flows root → leaves; for a reduction the same
+/// tree is used leaves → root, with intermediate tiles combining partials.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CommTree {
+    root: TileId,
+    /// Child lists, sorted by parent tile.
+    children: BTreeMap<TileId, Vec<TileId>>,
+    /// Parent of every non-root tile in the tree.
+    parent: BTreeMap<TileId, TileId>,
+    /// Destination (participant) tiles, sorted.
+    dests: Vec<TileId>,
+    /// Total number of links (= total hop count of one traversal).
+    links: usize,
+}
+
+impl CommTree {
+    /// Builds the XY-route tree from `root` to `dests` on `grid`.
+    ///
+    /// Duplicate destinations and the root itself are tolerated (the root
+    /// is dropped from the destination set — it already has the value).
+    pub fn build(grid: TileGrid, root: TileId, dests: &[TileId]) -> Self {
+        let mut children: BTreeMap<TileId, Vec<TileId>> = BTreeMap::new();
+        let mut parent: BTreeMap<TileId, TileId> = BTreeMap::new();
+        let mut uniq: Vec<TileId> = dests.iter().copied().filter(|&d| d != root).collect();
+        uniq.sort_unstable();
+        uniq.dedup();
+        let mut links = 0usize;
+        for &d in &uniq {
+            let mut prev = root;
+            for hop in grid.xy_route(root, d) {
+                if let std::collections::btree_map::Entry::Vacant(e) = parent.entry(hop) {
+                    e.insert(prev);
+                    children.entry(prev).or_default().push(hop);
+                    links += 1;
+                } else {
+                    debug_assert_eq!(
+                        parent[&hop], prev,
+                        "XY routes from one root always agree on parents"
+                    );
+                }
+                prev = hop;
+            }
+        }
+        CommTree {
+            root,
+            children,
+            parent,
+            dests: uniq,
+            links,
+        }
+    }
+
+    /// The root tile.
+    pub fn root(&self) -> TileId {
+        self.root
+    }
+
+    /// The destination (participant) tiles, sorted, excluding the root.
+    pub fn dests(&self) -> &[TileId] {
+        &self.dests
+    }
+
+    /// Whether `t` is a destination.
+    pub fn is_dest(&self, t: TileId) -> bool {
+        self.dests.binary_search(&t).is_ok()
+    }
+
+    /// Children of `t` in the tree (empty for leaves and tiles outside the
+    /// tree).
+    pub fn children_of(&self, t: TileId) -> &[TileId] {
+        self.children.get(&t).map_or(&[], Vec::as_slice)
+    }
+
+    /// Parent of `t`, or `None` for the root / tiles outside the tree.
+    pub fn parent_of(&self, t: TileId) -> Option<TileId> {
+        self.parent.get(&t).copied()
+    }
+
+    /// Number of tree links; one multicast traverses each exactly once.
+    pub fn num_links(&self) -> usize {
+        self.links
+    }
+
+    /// All tiles that participate in the tree (root, forwarders, leaves).
+    pub fn tiles(&self) -> Vec<TileId> {
+        let mut v: Vec<TileId> = self.parent.keys().copied().collect();
+        v.push(self.root);
+        v.sort_unstable();
+        v
+    }
+
+    /// Iterates over directed links `(parent, child)`.
+    pub fn iter_links(&self) -> impl Iterator<Item = (TileId, TileId)> + '_ {
+        self.children
+            .iter()
+            .flat_map(|(&p, cs)| cs.iter().map(move |&c| (p, c)))
+    }
+
+    /// For a reduction: the number of inputs each participating tile must
+    /// combine before forwarding up (children contributions plus one if
+    /// the tile is itself a destination/leaf contributor).
+    pub fn reduction_fan_in(&self, t: TileId) -> usize {
+        self.children_of(t).len() + usize::from(self.is_dest(t) || t == self.root)
+    }
+}
+
+/// Total links used by naive point-to-point sends from `root` to `dests`
+/// (for comparison against trees, as in Fig. 18).
+pub fn point_to_point_hops(grid: TileGrid, root: TileId, dests: &[TileId]) -> usize {
+    dests
+        .iter()
+        .filter(|&&d| d != root)
+        .map(|&d| grid.distance(root, d))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tree_to_single_dest_is_a_path() {
+        let g = TileGrid::square(8);
+        let t = CommTree::build(g, g.id(3, 3), &[g.id(6, 3)]);
+        assert_eq!(t.num_links(), 3);
+        assert_eq!(t.dests(), &[g.id(6, 3)]);
+        assert_eq!(t.children_of(g.id(3, 3)), &[g.id(4, 3)]);
+    }
+
+    #[test]
+    fn shared_prefix_links_are_counted_once() {
+        // Fig. 18's point: multiple dests to the left share east-west links.
+        let g = TileGrid::square(8);
+        let root = g.id(3, 3);
+        // Dests in the same column x=1, rows 1, 3, 6.
+        let dests = [g.id(1, 1), g.id(1, 3), g.id(1, 6)];
+        let tree = CommTree::build(g, root, &dests);
+        let p2p = point_to_point_hops(g, root, &dests);
+        assert!(
+            tree.num_links() < p2p,
+            "tree {} should beat p2p {}",
+            tree.num_links(),
+            p2p
+        );
+        // Tree: 2 links west + 2 up + 2 down (wrap makes row 6 2 hops north
+        // of row 3? no: dy(3->6)=3 south or 5 north, so 3 south) => 2+2+3=7.
+        assert_eq!(tree.num_links(), 7);
+    }
+
+    #[test]
+    fn every_dest_is_reachable_from_root() {
+        let g = TileGrid::square(6);
+        let root = g.id(0, 0);
+        let dests: Vec<TileId> = (0..g.num_tiles() as u32).step_by(5).collect();
+        let tree = CommTree::build(g, root, &dests);
+        for &d in tree.dests() {
+            // Walk up parents to the root.
+            let mut cur = d;
+            let mut steps = 0;
+            while cur != root {
+                cur = tree.parent_of(cur).expect("parent chain reaches root");
+                steps += 1;
+                assert!(steps <= g.num_tiles(), "cycle detected");
+            }
+        }
+    }
+
+    #[test]
+    fn root_in_dests_is_ignored() {
+        let g = TileGrid::square(4);
+        let tree = CommTree::build(g, 5, &[5, 5]);
+        assert_eq!(tree.num_links(), 0);
+        assert!(tree.dests().is_empty());
+    }
+
+    #[test]
+    fn duplicate_dests_deduped() {
+        let g = TileGrid::square(4);
+        let tree = CommTree::build(g, 0, &[3, 3, 3]);
+        assert_eq!(tree.dests(), &[3]);
+    }
+
+    #[test]
+    fn reduction_fan_in_counts_children_and_self() {
+        let g = TileGrid::square(8);
+        let root = g.id(3, 3);
+        let dests = [g.id(1, 1), g.id(1, 6), g.id(5, 3)];
+        let tree = CommTree::build(g, root, &dests);
+        // The branch tile (1,3) forwards for both column dests but is not
+        // itself a dest: fan-in = 2 children (north+south), 0 self.
+        assert_eq!(tree.reduction_fan_in(g.id(1, 3)), 2);
+        // A leaf dest has fan-in 1 (itself).
+        assert_eq!(tree.reduction_fan_in(g.id(1, 1)), 1);
+        // Root: children + 1 (home's own contribution).
+        assert!(tree.reduction_fan_in(root) >= 2);
+    }
+
+    #[test]
+    fn link_count_matches_iterator() {
+        let g = TileGrid::square(6);
+        let dests: Vec<TileId> = vec![7, 14, 21, 28, 35];
+        let tree = CommTree::build(g, 0, &dests);
+        assert_eq!(tree.iter_links().count(), tree.num_links());
+        // Tiles = links + 1 (it's a tree).
+        assert_eq!(tree.tiles().len(), tree.num_links() + 1);
+    }
+}

@@ -1,0 +1,229 @@
+//! Hypergraph construction for the PCG workload (Sec. IV-B, Fig. 16).
+//!
+//! Every matrix nonzero and every vector element becomes a vertex. Each
+//! column `j` contributes a *column net* — `v_j` together with all
+//! nonzeros of column `j` (the multicast communication set) — and each row
+//! `i` a *row net* — `y_i` together with all nonzeros of row `i` (the
+//! reduction set). Row nets get a higher weight because non-local
+//! reductions are more expensive than multicasts (Sec. IV-C).
+//!
+//! Time balancing (Sec. IV-C) adds `q` extra balance constraints: each
+//! operation is bucketed into a depth quantile of the SpTRSV dependence
+//! graph, and each quantile is balanced across parts.
+
+use azul_hypergraph::{Hypergraph, HypergraphBuilder};
+use azul_sparse::{levels, Csr};
+
+/// Default weight ratio of row (reduction) nets to column (multicast)
+/// nets.
+pub const DEFAULT_ROW_EDGE_WEIGHT: u64 = 2;
+
+/// Default number of time-balancing quantiles (the paper uses q = 5).
+pub const DEFAULT_QUANTILES: usize = 5;
+
+/// A hypergraph for one matrix workload plus the vertex-id layout.
+#[derive(Debug, Clone)]
+pub struct WorkloadHypergraph {
+    /// The hypergraph: vertices `0..nnz` are matrix nonzeros in CSR
+    /// row-major order; vertices `nnz..nnz+n` are vector elements.
+    pub hg: Hypergraph,
+    /// Number of matrix-nonzero vertices (vector vertices follow).
+    pub num_nnz: usize,
+    /// Vector dimension.
+    pub num_rows: usize,
+}
+
+impl WorkloadHypergraph {
+    /// Vertex id of the `p`-th nonzero.
+    pub fn nnz_vertex(&self, p: usize) -> usize {
+        debug_assert!(p < self.num_nnz);
+        p
+    }
+
+    /// Vertex id of vector element `i`.
+    pub fn vec_vertex(&self, i: usize) -> usize {
+        debug_assert!(i < self.num_rows);
+        self.num_nnz + i
+    }
+}
+
+/// Builds the PCG mapping hypergraph for matrix `a`.
+///
+/// * `row_edge_weight` — weight of row (reduction) nets; column nets get
+///   weight 1.
+/// * `quantiles` — number of time-balance constraints (0 disables time
+///   balancing; the paper's Fig. 17 uses 5).
+///
+/// # Panics
+///
+/// Panics if `a` is not square.
+pub fn build_pcg_hypergraph(a: &Csr, row_edge_weight: u64, quantiles: usize) -> WorkloadHypergraph {
+    assert_eq!(a.rows(), a.cols(), "PCG needs a square matrix");
+    let n = a.rows();
+    let nnz = a.nnz();
+    let num_constraints = 1 + quantiles;
+    let mut b = HypergraphBuilder::new(num_constraints);
+
+    // Depth quantile of every vertex, if time balancing is on.
+    let quantile_of = if quantiles > 0 {
+        Some(depth_quantiles(a, quantiles))
+    } else {
+        None
+    };
+
+    // Nonzero vertices.
+    let mut wbuf = vec![0u64; num_constraints];
+    for p in 0..nnz {
+        wbuf.iter_mut().for_each(|w| *w = 0);
+        wbuf[0] = 1;
+        if let Some(q) = &quantile_of {
+            wbuf[1 + q.entry[p]] = 1;
+        }
+        b.add_vertex(&wbuf);
+    }
+    // Vector vertices.
+    for i in 0..n {
+        wbuf.iter_mut().for_each(|w| *w = 0);
+        wbuf[0] = 1;
+        if let Some(q) = &quantile_of {
+            wbuf[1 + q.variable[i]] = 1;
+        }
+        b.add_vertex(&wbuf);
+    }
+
+    // Column nets: {v_j} ∪ nonzeros of column j.
+    let mut col_pins: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut row_pins: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (p, (r, c, _)) in a.iter().enumerate() {
+        col_pins[c].push(p);
+        row_pins[r].push(p);
+    }
+    for (j, pins) in col_pins.iter_mut().enumerate() {
+        pins.push(nnz + j);
+        b.add_net(1, pins).expect("column pins are valid");
+    }
+    // Row nets: {y_i} ∪ nonzeros of row i, weighted.
+    for (i, pins) in row_pins.iter_mut().enumerate() {
+        pins.push(nnz + i);
+        b.add_net(row_edge_weight, pins).expect("row pins are valid");
+    }
+
+    WorkloadHypergraph {
+        hg: b.finalize().expect("workload hypergraph is well-formed"),
+        num_nnz: nnz,
+        num_rows: n,
+    }
+}
+
+/// Depth quantiles of all entries and variables, from the SpTRSV
+/// dependence DAG of `tril(a)`.
+struct DepthQuantiles {
+    /// Quantile of each stored entry of `a` (CSR order).
+    entry: Vec<usize>,
+    /// Quantile of each variable (row).
+    variable: Vec<usize>,
+}
+
+fn depth_quantiles(a: &Csr, q: usize) -> DepthQuantiles {
+    let n = a.rows();
+    // Variable depths in the lower-triangular solve.
+    let ls = levels::level_sets(&a.lower_triangle());
+    let var_depth = ls.level_of();
+
+    // Quantile boundaries with equal variable population.
+    let mut sorted: Vec<usize> = var_depth.to_vec();
+    sorted.sort_unstable();
+    let quantile = |d: usize| -> usize {
+        // Index of the first element > d, scaled into q buckets.
+        let rank = sorted.partition_point(|&x| x <= d);
+        (((rank.saturating_sub(1)) * q) / n.max(1)).min(q - 1)
+    };
+
+    // Entry (r, c) performs its FMAC when variable min(r, c) resolves.
+    let entry: Vec<usize> = a
+        .iter()
+        .map(|(r, c, _)| quantile(var_depth[r.min(c)]))
+        .collect();
+    let variable: Vec<usize> = (0..n).map(|i| quantile(var_depth[i])).collect();
+    DepthQuantiles { entry, variable }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use azul_sparse::generate;
+
+    #[test]
+    fn vertex_layout() {
+        let a = generate::grid_laplacian_2d(4, 4);
+        let w = build_pcg_hypergraph(&a, 2, 0);
+        assert_eq!(w.hg.num_vertices(), a.nnz() + 16);
+        assert_eq!(w.nnz_vertex(3), 3);
+        assert_eq!(w.vec_vertex(0), a.nnz());
+        // One column net and one row net per index.
+        assert_eq!(w.hg.num_nets(), 32);
+    }
+
+    #[test]
+    fn row_nets_carry_higher_weight() {
+        let a = generate::grid_laplacian_2d(3, 3);
+        let w = build_pcg_hypergraph(&a, 3, 0);
+        let n = 9;
+        // First n nets are column nets (weight 1), next n row nets.
+        for e in 0..n {
+            assert_eq!(w.hg.net_weight(e), 1);
+        }
+        for e in n..2 * n {
+            assert_eq!(w.hg.net_weight(e), 3);
+        }
+    }
+
+    #[test]
+    fn nets_contain_vector_vertex() {
+        let a = generate::grid_laplacian_2d(3, 3);
+        let w = build_pcg_hypergraph(&a, 2, 0);
+        // Column net j includes vec vertex j.
+        for j in 0..9 {
+            assert!(w.hg.pins(j).contains(&w.vec_vertex(j)));
+        }
+        // Row net i includes vec vertex i.
+        for i in 0..9 {
+            assert!(w.hg.pins(9 + i).contains(&w.vec_vertex(i)));
+        }
+    }
+
+    #[test]
+    fn quantile_constraints_partition_weight() {
+        let a = generate::fem_mesh_3d(100, 4, 3);
+        let q = 5;
+        let w = build_pcg_hypergraph(&a, 2, q);
+        assert_eq!(w.hg.num_constraints(), 1 + q);
+        let totals = w.hg.total_weights();
+        // Constraint 0 counts every vertex.
+        assert_eq!(totals[0] as usize, a.nnz() + 100);
+        // Quantile constraints cover every vertex exactly once.
+        let qsum: u64 = totals[1..].iter().sum();
+        assert_eq!(qsum as usize, a.nnz() + 100);
+        // No quantile is empty for a matrix with real depth spread.
+        assert!(totals[1..].iter().all(|&t| t > 0), "{totals:?}");
+    }
+
+    #[test]
+    fn zero_quantiles_is_single_constraint() {
+        let a = generate::tridiagonal(10);
+        let w = build_pcg_hypergraph(&a, 2, 0);
+        assert_eq!(w.hg.num_constraints(), 1);
+    }
+
+    #[test]
+    fn deep_chain_spreads_across_quantiles() {
+        // Tridiagonal: depth = row index; quantiles = contiguous fifths.
+        let a = generate::tridiagonal(50);
+        let w = build_pcg_hypergraph(&a, 2, 5);
+        let totals = w.hg.total_weights();
+        let spread: Vec<u64> = totals[1..].to_vec();
+        let max = *spread.iter().max().unwrap();
+        let min = *spread.iter().min().unwrap();
+        assert!(max <= 2 * min, "quantiles should be near-equal: {spread:?}");
+    }
+}

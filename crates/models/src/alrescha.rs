@@ -1,0 +1,73 @@
+//! The ALRESCHA baseline model (Sec. VI-A, baseline 2).
+//!
+//! The paper models ALRESCHA generously: "a full-utilization accelerator
+//! that completely saturates its 288 GB/s main-memory bandwidth, and
+//! achieves perfect reuse on all vectors, so that the only memory traffic
+//! is from the sparse matrices in SpMV and SpTRSV".
+
+/// ALRESCHA as a bandwidth-saturating accelerator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AlreschaModel {
+    /// Main-memory bandwidth in GB/s (288 in the paper).
+    pub mem_bw_gbs: f64,
+}
+
+impl Default for AlreschaModel {
+    fn default() -> Self {
+        AlreschaModel { mem_bw_gbs: 288.0 }
+    }
+}
+
+/// Bytes per stored nonzero (8-byte value + 4-byte index).
+const BYTES_PER_NNZ: f64 = 12.0;
+
+impl AlreschaModel {
+    /// Time of one PCG iteration in seconds: the matrices of one SpMV and
+    /// two SpTRSVs stream from memory; vectors are fully reused on-chip.
+    pub fn pcg_iteration_time(&self, nnz: usize, nnz_l: usize) -> f64 {
+        let bytes = (nnz as f64 + 2.0 * nnz_l as f64) * BYTES_PER_NNZ;
+        bytes / (self.mem_bw_gbs * 1e9)
+    }
+
+    /// Sustained PCG GFLOP/s.
+    pub fn pcg_gflops(&self, n: usize, nnz: usize, nnz_l: usize) -> f64 {
+        let flops = 2.0 * nnz as f64 + 4.0 * nnz_l as f64 + 12.0 * n as f64;
+        flops / self.pcg_iteration_time(nnz, nnz_l) / 1e9
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn throughput_is_near_48_gflops() {
+        // Sec. III: "this memory bandwidth bound limits ALRESCHA's
+        // throughput to 48 GFLOP/s". With FMAC-dominated kernels, FLOPs ≈
+        // 2/12 bytes * 288 GB/s = 48 GFLOP/s.
+        let m = AlreschaModel::default();
+        let g = m.pcg_gflops(1_000_000, 10_000_000, 5_500_000);
+        // Slightly above 48 because the vector-op FLOPs ride on the
+        // perfectly reused on-chip vectors.
+        assert!(
+            (40.0..64.0).contains(&g),
+            "expected ~48-60 GFLOP/s, got {g:.1}"
+        );
+    }
+
+    #[test]
+    fn gflops_roughly_scale_invariant() {
+        let m = AlreschaModel::default();
+        let small = m.pcg_gflops(1_000, 30_000, 15_500);
+        let large = m.pcg_gflops(100_000, 3_000_000, 1_550_000);
+        assert!((small - large).abs() / large < 0.05);
+    }
+
+    #[test]
+    fn time_scales_with_matrix_size() {
+        let m = AlreschaModel::default();
+        assert!(
+            m.pcg_iteration_time(2_000_000, 1_000_000) > m.pcg_iteration_time(1_000_000, 500_000)
+        );
+    }
+}

@@ -1,0 +1,97 @@
+//! Area model at 7 nm (Table V, Sec. VI-E).
+
+/// Per-component area constants, from the paper's RTL synthesis (ASAP7)
+/// and SRAM density figures.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AreaModel {
+    /// PE area in mm² (RTL synthesis on ASAP7 at 2 GHz).
+    pub pe_mm2: f64,
+    /// Router area in mm² (DSENT, scaled to 7 nm).
+    pub router_mm2: f64,
+    /// Per-tile SRAM area in mm² (108 KB at 3.75 MB/mm²).
+    pub sram_mm2: f64,
+    /// I/O (HBM2e PHY class interface) area in mm².
+    pub io_mm2: f64,
+}
+
+impl Default for AreaModel {
+    fn default() -> Self {
+        AreaModel {
+            pe_mm2: 0.0043,
+            router_mm2: 0.0016,
+            sram_mm2: 0.0281,
+            io_mm2: 15.0,
+        }
+    }
+}
+
+/// A computed area breakdown in mm².
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AreaBreakdown {
+    /// Total PE area.
+    pub pes: f64,
+    /// Total router area.
+    pub routers: f64,
+    /// Total SRAM area.
+    pub srams: f64,
+    /// I/O area.
+    pub io: f64,
+}
+
+impl AreaBreakdown {
+    /// Total die area.
+    pub fn total(&self) -> f64 {
+        self.pes + self.routers + self.srams + self.io
+    }
+}
+
+impl AreaModel {
+    /// Area breakdown for a design with `num_tiles` tiles.
+    pub fn breakdown(&self, num_tiles: usize) -> AreaBreakdown {
+        let t = num_tiles as f64;
+        AreaBreakdown {
+            pes: t * self.pe_mm2,
+            routers: t * self.router_mm2,
+            srams: t * self.sram_mm2,
+            io: self.io_mm2,
+        }
+    }
+
+    /// Total on-chip SRAM capacity in MB for `num_tiles` tiles (108 KB per
+    /// tile: 72 KB data + 36 KB accumulator).
+    pub fn sram_capacity_mb(&self, num_tiles: usize) -> f64 {
+        num_tiles as f64 * 108.0 * 1024.0 / 1e6
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_v_total_area() {
+        // Table V: 4096 tiles => PEs 17.8, routers 6.6, SRAM 115.2, I/O 15,
+        // total ≈ 155 mm².
+        let m = AreaModel::default();
+        let b = m.breakdown(4096);
+        assert!((b.pes - 17.6).abs() < 0.5);
+        assert!((b.routers - 6.6).abs() < 0.2);
+        assert!((b.srams - 115.1).abs() < 0.5);
+        assert!((b.total() - 155.0).abs() < 2.0, "total {}", b.total());
+    }
+
+    #[test]
+    fn sram_dominates() {
+        let m = AreaModel::default();
+        let b = m.breakdown(4096);
+        assert!(b.srams / b.total() > 0.7, "SRAM should be ~74% of area");
+    }
+
+    #[test]
+    fn capacity_matches_table_iii() {
+        // Table III: 432 MB total for 4096 tiles.
+        let m = AreaModel::default();
+        let mb = m.sram_capacity_mb(4096);
+        assert!((mb - 452.0).abs() < 30.0, "capacity {mb} MB");
+    }
+}

@@ -1,0 +1,167 @@
+//! Power/energy model (Fig. 24, Sec. VI-E).
+//!
+//! Per-event energies come from the paper's CACTI/RTL/DSENT methodology
+//! (e.g. 10.9 pJ per 96-bit accumulator-SRAM read); activity factors come
+//! from the simulator's [`KernelStats`]. Power = dynamic energy / elapsed
+//! time + leakage.
+
+use azul_sim::stats::{KernelStats, OpKind};
+
+/// Per-event energy constants (picojoules) and leakage.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyModel {
+    /// 96-bit Data-SRAM (72 KB) read.
+    pub data_read_pj: f64,
+    /// Accumulator-SRAM (36 KB) read-modify-write (read ≈ 10.9 pJ per the
+    /// paper, plus the write).
+    pub accum_rmw_pj: f64,
+    /// FP64 FMAC.
+    pub fmac_pj: f64,
+    /// FP64 add.
+    pub add_pj: f64,
+    /// FP64 multiply.
+    pub mul_pj: f64,
+    /// Router traversal (DSENT, scaled to 7 nm).
+    pub router_pj: f64,
+    /// Link traversal (two-tile-length global wire).
+    pub link_pj: f64,
+    /// Leakage per tile in milliwatts.
+    pub leakage_mw_per_tile: f64,
+}
+
+impl Default for EnergyModel {
+    fn default() -> Self {
+        EnergyModel {
+            data_read_pj: 13.0,
+            accum_rmw_pj: 21.8, // 10.9 read + 10.9 write
+            fmac_pj: 11.0,
+            add_pj: 6.0,
+            mul_pj: 8.0,
+            router_pj: 4.0,
+            link_pj: 3.0,
+            leakage_mw_per_tile: 10.0,
+        }
+    }
+}
+
+/// A computed power breakdown in watts (Fig. 24's stacks).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerBreakdown {
+    /// SRAM dynamic power.
+    pub sram_w: f64,
+    /// Compute (FPU) dynamic power.
+    pub compute_w: f64,
+    /// NoC dynamic power.
+    pub noc_w: f64,
+    /// Leakage power.
+    pub leakage_w: f64,
+}
+
+impl PowerBreakdown {
+    /// Total power.
+    pub fn total(&self) -> f64 {
+        self.sram_w + self.compute_w + self.noc_w + self.leakage_w
+    }
+}
+
+impl EnergyModel {
+    /// Dynamic energy of a kernel run, in joules, by component
+    /// `(sram, compute, noc)`.
+    pub fn dynamic_energy_j(&self, stats: &KernelStats) -> (f64, f64, f64) {
+        let sram =
+            stats.sram_reads as f64 * self.data_read_pj + stats.accum_rmws as f64 * self.accum_rmw_pj;
+        let compute = stats.ops_of(OpKind::Fmac) as f64 * self.fmac_pj
+            + stats.ops_of(OpKind::Add) as f64 * self.add_pj
+            + stats.ops_of(OpKind::Mul) as f64 * self.mul_pj;
+        let noc = stats.router_traversals as f64 * self.router_pj
+            + stats.link_activations as f64 * self.link_pj;
+        (sram * 1e-12, compute * 1e-12, noc * 1e-12)
+    }
+
+    /// Power breakdown given the stats of an interval and its duration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `elapsed_s <= 0`.
+    pub fn power(&self, stats: &KernelStats, elapsed_s: f64, num_tiles: usize) -> PowerBreakdown {
+        assert!(elapsed_s > 0.0, "elapsed time must be positive");
+        let (sram_j, compute_j, noc_j) = self.dynamic_energy_j(stats);
+        PowerBreakdown {
+            sram_w: sram_j / elapsed_s,
+            compute_w: compute_j / elapsed_s,
+            noc_w: noc_j / elapsed_s,
+            leakage_w: self.leakage_mw_per_tile * 1e-3 * num_tiles as f64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn busy_stats(cycles: u64, tiles: u64) -> KernelStats {
+        // A PE mix resembling Fig. 21: ~45% FMAC, some adds/sends.
+        let total = cycles * tiles;
+        let mut s = KernelStats {
+            cycles,
+            ..Default::default()
+        };
+        s.ops[OpKind::Fmac as usize] = total * 45 / 100;
+        s.ops[OpKind::Add as usize] = total * 10 / 100;
+        s.ops[OpKind::Mul as usize] = total * 2 / 100;
+        s.ops[OpKind::Send as usize] = total * 8 / 100;
+        s.sram_reads = s.ops[OpKind::Fmac as usize] + s.ops[OpKind::Send as usize];
+        s.accum_rmws = s.ops[OpKind::Fmac as usize] + s.ops[OpKind::Add as usize];
+        s.link_activations = total * 10 / 100;
+        s.router_traversals = total * 12 / 100;
+        s
+    }
+
+    #[test]
+    fn paper_scale_power_is_order_200w() {
+        // Fig. 24: 4096 tiles at 2 GHz average ~210 W, up to 288 W.
+        let m = EnergyModel::default();
+        let cycles = 2_000_000_000u64; // one second at 2 GHz
+        let stats = busy_stats(cycles, 4096);
+        let p = m.power(&stats, 1.0, 4096);
+        assert!(
+            (120.0..320.0).contains(&p.total()),
+            "total power {:.0} W out of the paper's range",
+            p.total()
+        );
+    }
+
+    #[test]
+    fn sram_dominates_power() {
+        // Sec. VI-E: "SRAMs dominate energy due to the high rate of memory
+        // accesses".
+        let m = EnergyModel::default();
+        let stats = busy_stats(1_000_000, 4096);
+        let p = m.power(&stats, 0.0005, 4096);
+        assert!(p.sram_w > p.compute_w);
+        assert!(p.sram_w > p.noc_w);
+    }
+
+    #[test]
+    fn idle_machine_burns_only_leakage() {
+        let m = EnergyModel::default();
+        let stats = KernelStats {
+            cycles: 100,
+            ..Default::default()
+        };
+        let p = m.power(&stats, 1.0, 256);
+        assert_eq!(p.sram_w, 0.0);
+        assert_eq!(p.compute_w, 0.0);
+        assert!((p.leakage_w - 2.56).abs() < 1e-9);
+    }
+
+    #[test]
+    fn energy_components_scale_with_activity() {
+        let m = EnergyModel::default();
+        let s1 = busy_stats(1000, 16);
+        let s2 = busy_stats(2000, 16);
+        let (a1, b1, c1) = m.dynamic_energy_j(&s1);
+        let (a2, b2, c2) = m.dynamic_energy_j(&s2);
+        assert!(a2 > 1.9 * a1 && b2 > 1.9 * b1 && c2 > 1.9 * c1);
+    }
+}

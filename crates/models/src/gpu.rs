@@ -1,0 +1,261 @@
+//! V100 GPU performance model for PCG (the paper's baseline 1).
+//!
+//! The paper's GPU measurements (Figs. 1, 3, 7) show three effects this
+//! model captures:
+//!
+//! 1. **SpMV is memory-bandwidth-bound**: each iteration streams the whole
+//!    matrix from HBM with no reuse.
+//! 2. **SpTRSV is level-set-bound**: the solve executes one kernel per
+//!    dependence level with a device synchronization in between, and its
+//!    irregular accesses reach only a fraction of peak bandwidth. Graph
+//!    coloring (Fig. 7) helps exactly because it slashes the level count.
+//! 3. **Vector operations pay kernel-launch overheads**: dots are
+//!    device-wide reductions with extra launches (Sec. II-A notes the
+//!    "repeated kernel launch overheads").
+
+use azul_sparse::{coloring, levels, Csr};
+
+/// One PCG iteration's time on the modeled GPU, by kernel class.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GpuPcgTime {
+    /// Seconds in SpMV.
+    pub spmv_s: f64,
+    /// Seconds in the two triangular solves.
+    pub sptrsv_s: f64,
+    /// Seconds in vector operations (dots, axpys).
+    pub vector_s: f64,
+}
+
+impl GpuPcgTime {
+    /// Total iteration time in seconds.
+    pub fn total_s(&self) -> f64 {
+        self.spmv_s + self.sptrsv_s + self.vector_s
+    }
+
+    /// Runtime fractions `(spmv, sptrsv, vector)` (Fig. 3's bars).
+    pub fn fractions(&self) -> (f64, f64, f64) {
+        let t = self.total_s().max(1e-300);
+        (self.spmv_s / t, self.sptrsv_s / t, self.vector_s / t)
+    }
+}
+
+/// The matrix-dependent inputs of the model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GpuWorkload {
+    /// Matrix dimension.
+    pub n: usize,
+    /// Nonzeros of `A`.
+    pub nnz: usize,
+    /// Nonzeros of the triangular factor `L` (diagonal included).
+    pub nnz_l: usize,
+    /// Dependence levels of the lower solve.
+    pub levels_lower: usize,
+    /// Dependence levels of the transpose solve.
+    pub levels_upper: usize,
+}
+
+impl GpuWorkload {
+    /// Derives the workload parameters from a concrete matrix (levels are
+    /// measured on `tril(a)` and its transpose).
+    pub fn from_matrix(a: &Csr) -> GpuWorkload {
+        let l = a.lower_triangle();
+        let lo = levels::level_sets(&l);
+        let up = levels::level_sets(&a.upper_triangle().transpose());
+        GpuWorkload {
+            n: a.rows(),
+            nnz: a.nnz(),
+            nnz_l: l.nnz(),
+            levels_lower: lo.num_levels(),
+            levels_upper: up.num_levels(),
+        }
+    }
+
+    /// The workload after graph coloring + permutation preprocessing
+    /// (Sec. II-A), the form all paper results use.
+    pub fn from_matrix_colored(a: &Csr) -> GpuWorkload {
+        let (pa, _, _) =
+            coloring::color_and_permute(a, coloring::ColoringStrategy::LargestDegreeFirst);
+        GpuWorkload::from_matrix(&pa)
+    }
+}
+
+/// An NVIDIA V100 running Ginkgo's PCG, as an analytic model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GpuModel {
+    /// Peak FP64 throughput in GFLOP/s (V100: 7000, Fig. 2's "GPU peak").
+    pub peak_gflops: f64,
+    /// Raw HBM bandwidth in GB/s (V100: 900).
+    pub mem_bw_gbs: f64,
+    /// Achievable bandwidth fraction for streaming SpMV.
+    pub eff_spmv: f64,
+    /// Achievable bandwidth fraction for the irregular SpTRSV.
+    pub eff_sptrsv: f64,
+    /// Kernel-launch overhead in microseconds.
+    pub launch_us: f64,
+    /// Per-level synchronization overhead in microseconds (SpTRSV).
+    pub sync_us: f64,
+}
+
+impl Default for GpuModel {
+    fn default() -> Self {
+        GpuModel {
+            peak_gflops: 7000.0,
+            mem_bw_gbs: 900.0,
+            eff_spmv: 0.70,
+            eff_sptrsv: 0.15,
+            launch_us: 8.0,
+            sync_us: 5.0,
+        }
+    }
+}
+
+/// Bytes per stored nonzero in the GPU's CSR stream (8-byte value +
+/// 4-byte column index).
+const BYTES_PER_NNZ: f64 = 12.0;
+
+impl GpuModel {
+    /// A model whose fixed overheads (launches, syncs) are scaled by
+    /// `factor`. Used when evaluating on scaled-down suite matrices so
+    /// fixed costs keep the same *relative* weight they have at paper
+    /// scale (see EXPERIMENTS.md).
+    pub fn with_overhead_scale(factor: f64) -> Self {
+        let base = GpuModel::default();
+        GpuModel {
+            launch_us: base.launch_us * factor,
+            sync_us: base.sync_us * factor,
+            ..base
+        }
+    }
+
+    /// Time of one PCG iteration, by kernel class.
+    pub fn pcg_iteration_time(&self, w: &GpuWorkload) -> GpuPcgTime {
+        let bw_spmv = self.mem_bw_gbs * 1e9 * self.eff_spmv;
+        let bw_tri = self.mem_bw_gbs * 1e9 * self.eff_sptrsv;
+        let launch = self.launch_us * 1e-6;
+        let sync = self.sync_us * 1e-6;
+
+        // SpMV: stream the matrix + read x + write y.
+        let spmv_bytes = w.nnz as f64 * BYTES_PER_NNZ + 2.0 * w.n as f64 * 8.0;
+        let spmv_s = spmv_bytes / bw_spmv + launch;
+
+        // SpTRSV: one kernel + sync per level; matrix streamed at the
+        // lower triangular efficiency.
+        let tri_bytes = w.nnz_l as f64 * BYTES_PER_NNZ + 2.0 * w.n as f64 * 8.0;
+        let solve = |levels: usize| tri_bytes / bw_tri + levels as f64 * (launch + sync);
+        let sptrsv_s = solve(w.levels_lower) + solve(w.levels_upper);
+
+        // Vector ops: 3 dots (2 launches each: partial + final reduce) and
+        // 3 axpy-class updates (1 launch each), all bandwidth-bound.
+        let dot_bytes = 2.0 * w.n as f64 * 8.0;
+        let axpy_bytes = 3.0 * w.n as f64 * 8.0;
+        let vector_s =
+            3.0 * (dot_bytes / bw_spmv + 2.0 * launch) + 3.0 * (axpy_bytes / bw_spmv + launch);
+
+        GpuPcgTime {
+            spmv_s,
+            sptrsv_s,
+            vector_s,
+        }
+    }
+
+    /// Sustained PCG GFLOP/s on this workload.
+    pub fn pcg_gflops(&self, w: &GpuWorkload) -> f64 {
+        let flops = 2.0 * w.nnz as f64 // SpMV
+            + 2.0 * 2.0 * w.nnz_l as f64 // two SpTRSVs
+            + 12.0 * w.n as f64; // dots + axpys
+        flops / self.pcg_iteration_time(w).total_s() / 1e9
+    }
+
+    /// Fraction of the GPU's peak FP64 throughput achieved (Fig. 1's right
+    /// axis).
+    pub fn fraction_of_peak(&self, w: &GpuWorkload) -> f64 {
+        self.pcg_gflops(w) / self.peak_gflops
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use azul_sparse::generate;
+
+    /// Paper-scale workload shaped like `thermal2` (Table IV).
+    fn thermal2_full_scale() -> GpuWorkload {
+        GpuWorkload {
+            n: 1_228_045,
+            nnz: 8_580_313,
+            nnz_l: (8_580_313 + 1_228_045) / 2,
+            levels_lower: 12,
+            levels_upper: 12,
+        }
+    }
+
+    #[test]
+    fn gpu_lands_in_sub_one_percent_of_peak() {
+        // Fig. 1: representative matrices achieve 0.2-0.6% of peak.
+        let m = GpuModel::default();
+        let f = m.fraction_of_peak(&thermal2_full_scale());
+        assert!(
+            (0.001..0.01).contains(&f),
+            "expected <1% of peak, got {:.3}%",
+            f * 100.0
+        );
+    }
+
+    #[test]
+    fn sptrsv_dominates_runtime() {
+        // Fig. 3: SpMV + SpTRSV dominate, with SpTRSV the largest share on
+        // most matrices.
+        let m = GpuModel::default();
+        let t = m.pcg_iteration_time(&thermal2_full_scale());
+        let (spmv, sptrsv, vector) = t.fractions();
+        assert!(sptrsv > spmv, "sptrsv {sptrsv} vs spmv {spmv}");
+        assert!(vector < 0.4, "vector ops are not dominant: {vector}");
+    }
+
+    #[test]
+    fn coloring_speeds_up_the_gpu() {
+        // Fig. 7: permutation gives >= 2x on parallelism-limited matrices.
+        let a = generate::fem_mesh_3d(400, 10, 5);
+        let m = GpuModel::default();
+        let orig = GpuWorkload::from_matrix(&a);
+        let colored = GpuWorkload::from_matrix_colored(&a);
+        assert!(colored.levels_lower < orig.levels_lower);
+        let speedup =
+            m.pcg_iteration_time(&orig).total_s() / m.pcg_iteration_time(&colored).total_s();
+        assert!(speedup > 1.2, "coloring speedup only {speedup}");
+    }
+
+    #[test]
+    fn more_levels_means_slower() {
+        let m = GpuModel::default();
+        let mut w = thermal2_full_scale();
+        let fast = m.pcg_gflops(&w);
+        w.levels_lower = 500;
+        w.levels_upper = 500;
+        let slow = m.pcg_gflops(&w);
+        assert!(slow < fast);
+    }
+
+    #[test]
+    fn workload_from_matrix_is_consistent() {
+        let a = generate::grid_laplacian_2d(12, 12);
+        let w = GpuWorkload::from_matrix(&a);
+        assert_eq!(w.n, 144);
+        assert_eq!(w.nnz, a.nnz());
+        assert!(w.levels_lower >= 2);
+    }
+
+    #[test]
+    fn overhead_scaling_shrinks_fixed_costs() {
+        let w = GpuWorkload {
+            n: 1000,
+            nnz: 30_000,
+            nnz_l: 15_500,
+            levels_lower: 10,
+            levels_upper: 10,
+        };
+        let full = GpuModel::default();
+        let scaled = GpuModel::with_overhead_scale(0.01);
+        assert!(scaled.pcg_iteration_time(&w).total_s() < full.pcg_iteration_time(&w).total_s());
+    }
+}

@@ -1,0 +1,23 @@
+//! Analytic baseline models and physical-design estimates for the Azul
+//! reproduction.
+//!
+//! * [`gpu`] — a V100 + Ginkgo performance model for PCG, calibrated to
+//!   the paper's Fig. 1/3 observations: memory-bandwidth-bound SpMV,
+//!   level-set-synchronized SpTRSV, and kernel-launch overheads on the
+//!   vector operations (the reason GPUs reach <1% of peak).
+//! * [`alrescha`] — the paper's own generous ALRESCHA model (Sec. VI-A):
+//!   a full-utilization accelerator that saturates 288 GB/s of memory
+//!   bandwidth with perfect vector reuse.
+//! * [`area`] — Table V's area model (7 nm).
+//! * [`energy`] — the activity-factor power model behind Fig. 24
+//!   (SRAM/compute/NoC/leakage).
+
+pub mod alrescha;
+pub mod area;
+pub mod energy;
+pub mod gpu;
+
+pub use alrescha::AlreschaModel;
+pub use area::AreaModel;
+pub use energy::{EnergyModel, PowerBreakdown};
+pub use gpu::{GpuModel, GpuPcgTime, GpuWorkload};

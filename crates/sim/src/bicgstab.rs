@@ -1,0 +1,359 @@
+//! BiCGStab on the simulated accelerator.
+//!
+//! Sec. II-B: "other iterative solvers like GMRES and BiCGStab have the
+//! same kernels and challenges" — every step of BiCGStab is an SpMV, a
+//! preconditioner application (two SpTRSVs with a factored `M = F F^T`),
+//! or a dense vector operation. This module runs right-preconditioned
+//! BiCGStab through exactly the same compiled kernel programs and timing
+//! machinery as [`crate::pcg::PcgSim`], demonstrating the generality the
+//! paper claims for the hardware.
+
+use crate::config::SimConfig;
+use crate::machine::run_kernel;
+use crate::program::Program;
+use crate::stats::{KernelClass, KernelStats};
+use crate::vecops::{VecOp, VecOpModel};
+use azul_mapping::Placement;
+use azul_solver::flops::{self, FlopBreakdown};
+use azul_solver::ic0::ic0;
+use azul_solver::SolverError;
+use azul_sparse::{dense, Csr};
+
+/// Run-time configuration for a BiCGStab simulation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BiCgStabSimConfig {
+    /// Convergence tolerance on `||r||_2`.
+    pub tol: f64,
+    /// Iteration cap.
+    pub max_iters: usize,
+    /// Iterations to cycle-simulate (later ones reuse the measured cost).
+    pub timed_iterations: usize,
+}
+
+impl Default for BiCgStabSimConfig {
+    fn default() -> Self {
+        BiCgStabSimConfig {
+            tol: 1e-10,
+            max_iters: 2000,
+            timed_iterations: 2,
+        }
+    }
+}
+
+/// A BiCGStab instance compiled for the accelerator.
+#[derive(Debug, Clone)]
+pub struct BiCgStabSim {
+    cfg: SimConfig,
+    a: Csr,
+    spmv: Program,
+    lower: Program,
+    upper: Program,
+    vec_model: VecOpModel,
+    nnz_l: usize,
+}
+
+/// Results of a simulated BiCGStab solve.
+#[derive(Debug, Clone)]
+pub struct BiCgStabSimReport {
+    /// The computed solution.
+    pub x: Vec<f64>,
+    /// Whether the solve converged.
+    pub converged: bool,
+    /// Iterations executed.
+    pub iterations: usize,
+    /// True final residual.
+    pub final_residual: f64,
+    /// Measured steady-state cycles per iteration.
+    pub cycles_per_iteration: f64,
+    /// Per-iteration cycles by kernel class `[Spmv, Sptrsv, VectorOps]`.
+    pub kernel_cycles: [f64; 3],
+    /// Merged statistics over the timed portion.
+    pub stats: KernelStats,
+    /// FLOPs of one iteration.
+    pub flops_per_iteration: FlopBreakdown,
+    /// Sustained throughput in GFLOP/s.
+    pub gflops: f64,
+}
+
+impl BiCgStabSim {
+    /// Builds the pipeline with an IC(0) preconditioner (valid because
+    /// this crate's workloads are SPD; BiCGStab itself also handles
+    /// non-symmetric systems with other factors).
+    ///
+    /// # Errors
+    ///
+    /// Propagates IC(0) breakdowns.
+    pub fn build(a: &Csr, placement: &Placement, cfg: &SimConfig) -> Result<Self, SolverError> {
+        let l = ic0(a)?;
+        Ok(BiCgStabSim {
+            cfg: cfg.clone(),
+            a: a.clone(),
+            spmv: Program::compile_spmv(a, placement),
+            lower: Program::compile_sptrsv_lower(&l, a, placement),
+            upper: Program::compile_sptrsv_upper(&l, a, placement),
+            vec_model: VecOpModel::new(placement),
+            nnz_l: l.nnz(),
+        })
+    }
+
+    /// Runs BiCGStab with right-hand side `b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len()` differs from the matrix dimension.
+    pub fn run(&self, b: &[f64], run_cfg: &BiCgStabSimConfig) -> BiCgStabSimReport {
+        let n = self.a.rows();
+        assert_eq!(b.len(), n, "rhs length mismatch");
+        let timed_budget = if run_cfg.timed_iterations == 0 {
+            usize::MAX
+        } else {
+            run_cfg.timed_iterations
+        };
+
+        let mut stats = KernelStats::default();
+        let mut kernel_cycles = [0u64; 3];
+        let mut iter_cycles_acc = 0u64;
+        let mut timed_done = 0usize;
+
+        // Timed kernel helpers (mirror PcgSim's accounting).
+        let spmv_timed = |v: &[f64],
+                              timing: bool,
+                              stats: &mut KernelStats,
+                              kc: &mut [u64; 3],
+                              acc: &mut u64|
+         -> Vec<f64> {
+            if timing {
+                let (out, s) = run_kernel(&self.cfg, &self.spmv, v);
+                kc[KernelClass::Spmv as usize] += s.cycles;
+                *acc += s.cycles;
+                stats.merge(&s);
+                out
+            } else {
+                self.a.spmv(v)
+            }
+        };
+        // M^-1 v = F^-T (F^-1 v): two triangular solves.
+        let precond = |sim: &Self,
+                       v: &[f64],
+                       timing: bool,
+                       stats: &mut KernelStats,
+                       kc: &mut [u64; 3],
+                       acc: &mut u64|
+         -> Vec<f64> {
+            if timing {
+                let (y, s1) = run_kernel(&sim.cfg, &sim.lower, v);
+                let (z, s2) = run_kernel(&sim.cfg, &sim.upper, &y);
+                kc[KernelClass::Sptrsv as usize] += s1.cycles + s2.cycles;
+                *acc += s1.cycles + s2.cycles;
+                stats.merge(&s1);
+                stats.merge(&s2);
+                z
+            } else {
+                // Functional: the programs encode L and L^T solves; use
+                // the stored coefficients via a quick run of the reference
+                // kernels would need l; reuse the compiled inv_diag path
+                // by running the (cheap at small n) kernels functionally.
+                let (y, _) = run_kernel(&sim.cfg_ideal(), &sim.lower, v);
+                let (z, _) = run_kernel(&sim.cfg_ideal(), &sim.upper, &y);
+                z
+            }
+        };
+        let vec_cost = |sim: &Self,
+                        op: VecOp,
+                        count: u64,
+                        timing: bool,
+                        stats: &mut KernelStats,
+                        kc: &mut [u64; 3],
+                        acc: &mut u64| {
+            if timing {
+                for _ in 0..count {
+                    let s = sim.vec_model.stats(&sim.cfg, op, n);
+                    kc[KernelClass::VectorOps as usize] += s.cycles;
+                    *acc += s.cycles;
+                    stats.merge(&s);
+                }
+            }
+        };
+
+        // ---- BiCGStab (right preconditioned), initial guess 0 ----
+        let mut x = vec![0.0f64; n];
+        let mut r = b.to_vec();
+        let r_hat = r.clone();
+        let (mut rho_old, mut alpha, mut omega) = (1.0f64, 1.0f64, 1.0f64);
+        let mut v = vec![0.0f64; n];
+        let mut p = vec![0.0f64; n];
+        let mut iterations = 0usize;
+        let mut converged = dense::norm2(&r) <= run_cfg.tol;
+
+        while !converged && iterations < run_cfg.max_iters {
+            let timing = timed_done < timed_budget;
+            let mut this_iter = 0u64;
+
+            let rho = dense::dot(&r_hat, &r);
+            vec_cost(self, VecOp::Dot, 1, timing, &mut stats, &mut kernel_cycles, &mut this_iter);
+            if rho == 0.0 {
+                break;
+            }
+            let beta = (rho / rho_old) * (alpha / omega);
+            for i in 0..n {
+                p[i] = r[i] + beta * (p[i] - omega * v[i]);
+            }
+            vec_cost(self, VecOp::Xpby, 2, timing, &mut stats, &mut kernel_cycles, &mut this_iter);
+
+            let y = precond(self, &p, timing, &mut stats, &mut kernel_cycles, &mut this_iter);
+            v = spmv_timed(&y, timing, &mut stats, &mut kernel_cycles, &mut this_iter);
+            let rhat_v = dense::dot(&r_hat, &v);
+            vec_cost(self, VecOp::Dot, 1, timing, &mut stats, &mut kernel_cycles, &mut this_iter);
+            if rhat_v == 0.0 {
+                break;
+            }
+            alpha = rho / rhat_v;
+            let mut s_vec = r.clone();
+            dense::axpy(-alpha, &v, &mut s_vec);
+            dense::axpy(alpha, &y, &mut x);
+            vec_cost(self, VecOp::Axpy, 2, timing, &mut stats, &mut kernel_cycles, &mut this_iter);
+
+            let snorm = dense::norm2(&s_vec);
+            vec_cost(self, VecOp::Dot, 1, timing, &mut stats, &mut kernel_cycles, &mut this_iter);
+            if snorm <= run_cfg.tol {
+                if timing {
+                    timed_done += 1;
+                    iter_cycles_acc += this_iter;
+                }
+                iterations += 1;
+                converged = true;
+                break;
+            }
+
+            let z = precond(self, &s_vec, timing, &mut stats, &mut kernel_cycles, &mut this_iter);
+            let t = spmv_timed(&z, timing, &mut stats, &mut kernel_cycles, &mut this_iter);
+            let tt = dense::dot(&t, &t);
+            vec_cost(self, VecOp::Dot, 2, timing, &mut stats, &mut kernel_cycles, &mut this_iter);
+            if tt == 0.0 {
+                break;
+            }
+            omega = dense::dot(&t, &s_vec) / tt;
+            dense::axpy(omega, &z, &mut x);
+            r = s_vec;
+            dense::axpy(-omega, &t, &mut r);
+            vec_cost(self, VecOp::Axpy, 2, timing, &mut stats, &mut kernel_cycles, &mut this_iter);
+
+            rho_old = rho;
+            iterations += 1;
+            converged = dense::norm2(&r) <= run_cfg.tol;
+            vec_cost(self, VecOp::Dot, 1, timing, &mut stats, &mut kernel_cycles, &mut this_iter);
+            if timing {
+                timed_done += 1;
+                iter_cycles_acc += this_iter;
+            }
+            if omega == 0.0 {
+                break;
+            }
+        }
+
+        let cycles_per_iteration = if timed_done > 0 {
+            iter_cycles_acc as f64 / timed_done as f64
+        } else {
+            0.0
+        };
+        // Per-iteration FLOPs: 2 SpMVs, 4 SpTRSVs, ~6 dots + ~6 axpys.
+        let flops_per_iteration = FlopBreakdown {
+            spmv: 2 * flops::spmv_flops(&self.a),
+            sptrsv: 4 * flops::sptrsv_flops(self.nnz_l),
+            vector: 12 * flops::dot_flops(n),
+        };
+        let gflops = if cycles_per_iteration > 0.0 {
+            flops_per_iteration.total() as f64 / cycles_per_iteration * self.cfg.clock_ghz
+        } else {
+            0.0
+        };
+        let per_iter = |k: usize| {
+            if timed_done > 0 {
+                kernel_cycles[k] as f64 / timed_done as f64
+            } else {
+                0.0
+            }
+        };
+        let final_residual = dense::norm2(&dense::sub(b, &self.a.spmv(&x)));
+        BiCgStabSimReport {
+            x,
+            converged,
+            iterations,
+            final_residual,
+            cycles_per_iteration,
+            kernel_cycles: [per_iter(0), per_iter(1), per_iter(2)],
+            stats,
+            flops_per_iteration,
+            gflops,
+        }
+    }
+
+    /// An ideal-PE twin config used for fast functional-only kernel runs
+    /// of untimed iterations.
+    fn cfg_ideal(&self) -> SimConfig {
+        SimConfig {
+            pe_model: crate::config::PeModel::Ideal,
+            ..self.cfg.clone()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use azul_mapping::strategies::{AzulMapper, Mapper, RoundRobinMapper};
+    use azul_mapping::TileGrid;
+    use azul_sparse::generate;
+
+    fn rhs(n: usize) -> Vec<f64> {
+        (0..n).map(|i| ((i * 11 % 7) as f64) / 7.0 + 0.4).collect()
+    }
+
+    #[test]
+    fn bicgstab_sim_solves_spd_system() {
+        let a = generate::grid_laplacian_2d(8, 8);
+        let grid = TileGrid::new(2, 2);
+        let p = RoundRobinMapper.map(&a, grid);
+        let sim = BiCgStabSim::build(&a, &p, &SimConfig::azul(grid)).unwrap();
+        let b = rhs(a.rows());
+        let report = sim.run(&b, &BiCgStabSimConfig::default());
+        assert!(report.converged, "residual {}", report.final_residual);
+        assert!(report.final_residual < 1e-8);
+        assert!(report.gflops > 0.0);
+        // Same kernel classes as PCG: SpMV + SpTRSV dominate.
+        let total: f64 = report.kernel_cycles.iter().sum();
+        assert!(report.kernel_cycles[0] + report.kernel_cycles[1] > 0.5 * total);
+    }
+
+    #[test]
+    fn bicgstab_converges_in_fewer_or_similar_iterations_to_its_reference() {
+        let a = generate::fem_mesh_3d(100, 5, 77);
+        let grid = TileGrid::new(2, 2);
+        let p = AzulMapper::fast_default().map(&a, grid);
+        let sim = BiCgStabSim::build(&a, &p, &SimConfig::azul(grid)).unwrap();
+        let b = rhs(a.rows());
+        let report = sim.run(&b, &BiCgStabSimConfig::default());
+        assert!(report.converged);
+        // The solution truly solves the system.
+        let residual = dense::norm2(&dense::sub(&b, &a.spmv(&report.x)));
+        assert!(residual < 1e-7);
+    }
+
+    #[test]
+    fn timed_iterations_cap_respected() {
+        let a = generate::grid_laplacian_2d(6, 6);
+        let grid = TileGrid::new(2, 2);
+        let p = RoundRobinMapper.map(&a, grid);
+        let sim = BiCgStabSim::build(&a, &p, &SimConfig::azul(grid)).unwrap();
+        let b = rhs(a.rows());
+        let report = sim.run(
+            &b,
+            &BiCgStabSimConfig {
+                timed_iterations: 1,
+                ..Default::default()
+            },
+        );
+        assert!(report.converged);
+        assert!(report.cycles_per_iteration > 0.0);
+    }
+}

@@ -1,0 +1,173 @@
+//! Simulated hardware configuration (Table III).
+
+use azul_mapping::TileGrid;
+
+/// Which processing-element model each tile uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum PeModel {
+    /// The specialized Azul PE (Sec. V-A): 1 operation/cycle, hardened
+    /// control flow, fine-grained multithreading.
+    #[default]
+    Azul,
+    /// Dalorex's in-order scalar core: every arithmetic/send operation
+    /// pays additional bookkeeping-instruction cycles (address
+    /// calculation, loop branches), modeled by
+    /// [`SimConfig::dalorex_overhead`]. Single-threaded.
+    Dalorex,
+    /// An idealized PE that executes every task instantly; only the NoC
+    /// constrains performance. Used for the mapping studies (Figs. 10/11).
+    Ideal,
+}
+
+/// Full simulator configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimConfig {
+    /// The tile grid (the paper's default is 64x64; scaled runs use
+    /// smaller grids, see DESIGN.md §3).
+    pub grid: TileGrid,
+    /// PE model for every tile.
+    pub pe_model: PeModel,
+    /// Data/Accumulator SRAM access latency in cycles (Table III: 2,
+    /// pipelined). Affects the RAW-hazard window.
+    pub sram_latency: u32,
+    /// NoC per-hop latency in cycles (Table III: 1).
+    pub hop_latency: u32,
+    /// Number of hardware task contexts per PE (fine-grained
+    /// multithreading, Sec. V-A). 1 disables multithreading (Fig. 27).
+    pub contexts: usize,
+    /// Extra issue cycles per operation for the Dalorex PE model,
+    /// calibrated so the Azul PE is ~8x faster at equal mapping (Fig. 2).
+    pub dalorex_overhead: u32,
+    /// Router input-queue capacity in flits.
+    pub router_queue_capacity: usize,
+    /// PE message-buffer capacity; triggers beyond this spill to the Data
+    /// SRAM (Sec. V-A) and are counted for energy.
+    pub msg_buffer_capacity: usize,
+    /// Clock frequency in GHz (Table III: 2 GHz), used to convert cycles
+    /// to time and GFLOP/s.
+    pub clock_ghz: f64,
+    /// Safety limit: a kernel that exceeds this many cycles aborts with a
+    /// panic (deadlock escape hatch for development).
+    pub max_kernel_cycles: u64,
+    /// When nonzero, record a `(cycle, cumulative issued ops)` sample
+    /// every this many cycles into `KernelStats::trace` (Fig. 17's
+    /// time-balancing curves).
+    pub trace_interval: u64,
+    /// Per-tile Data SRAM capacity in bytes (Table III: 72 KB).
+    pub data_sram_bytes: usize,
+    /// Per-tile Accumulator SRAM capacity in bytes (Table III: 36 KB).
+    pub accum_sram_bytes: usize,
+}
+
+impl SimConfig {
+    /// The Azul configuration of Table III on the given grid.
+    pub fn azul(grid: TileGrid) -> Self {
+        SimConfig {
+            grid,
+            pe_model: PeModel::Azul,
+            ..Self::base(grid)
+        }
+    }
+
+    /// The Dalorex baseline: same tiles/NoC, scalar in-order cores
+    /// (Sec. VI-A baseline 3).
+    pub fn dalorex(grid: TileGrid) -> Self {
+        SimConfig {
+            grid,
+            pe_model: PeModel::Dalorex,
+            contexts: 1,
+            ..Self::base(grid)
+        }
+    }
+
+    /// Idealized PEs (mapping studies, Figs. 10/11).
+    pub fn ideal(grid: TileGrid) -> Self {
+        SimConfig {
+            grid,
+            pe_model: PeModel::Ideal,
+            ..Self::base(grid)
+        }
+    }
+
+    fn base(grid: TileGrid) -> Self {
+        SimConfig {
+            grid,
+            pe_model: PeModel::Azul,
+            sram_latency: 2,
+            hop_latency: 1,
+            contexts: 4,
+            dalorex_overhead: 7,
+            router_queue_capacity: 16,
+            msg_buffer_capacity: 16,
+            clock_ghz: 2.0,
+            max_kernel_cycles: 500_000_000,
+            trace_interval: 0,
+            data_sram_bytes: 72 * 1024,
+            accum_sram_bytes: 36 * 1024,
+        }
+    }
+
+    /// The RAW-hazard window in cycles: an operation reading an
+    /// accumulator slot must wait this long after the previous write to
+    /// the same slot (accumulator read + floating-point accumulate stages,
+    /// Table III's pipeline).
+    pub fn hazard_latency(&self) -> u64 {
+        self.sram_latency as u64 + 2
+    }
+
+    /// Peak double-precision throughput in GFLOP/s
+    /// (1 FMAC = 2 FLOPs per PE per cycle).
+    pub fn peak_gflops(&self) -> f64 {
+        self.grid.num_tiles() as f64 * 2.0 * self.clock_ghz
+    }
+
+    /// Converts a cycle count to seconds at the configured clock.
+    pub fn cycles_to_seconds(&self, cycles: u64) -> f64 {
+        cycles as f64 / (self.clock_ghz * 1e9)
+    }
+
+    /// Total on-chip SRAM capacity in bytes (Table III: 432 MB for the
+    /// 64x64 configuration).
+    pub fn total_sram_bytes(&self) -> usize {
+        self.grid.num_tiles() * (self.data_sram_bytes + self.accum_sram_bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_differ_in_pe_model() {
+        let g = TileGrid::square(4);
+        assert_eq!(SimConfig::azul(g).pe_model, PeModel::Azul);
+        assert_eq!(SimConfig::dalorex(g).pe_model, PeModel::Dalorex);
+        assert_eq!(SimConfig::ideal(g).pe_model, PeModel::Ideal);
+        assert_eq!(SimConfig::dalorex(g).contexts, 1);
+        assert!(SimConfig::azul(g).contexts > 1);
+    }
+
+    #[test]
+    fn table_iii_numbers() {
+        // The paper's 64x64 configuration: 16 TFLOP/s peak at 2 GHz.
+        let cfg = SimConfig::azul(TileGrid::square(64));
+        assert_eq!(cfg.peak_gflops(), 16384.0);
+        assert_eq!(cfg.sram_latency, 2);
+        assert_eq!(cfg.hop_latency, 1);
+    }
+
+    #[test]
+    fn hazard_window_tracks_sram_latency() {
+        let g = TileGrid::square(2);
+        let mut cfg = SimConfig::azul(g);
+        assert_eq!(cfg.hazard_latency(), 4);
+        cfg.sram_latency = 4;
+        assert_eq!(cfg.hazard_latency(), 6);
+    }
+
+    #[test]
+    fn cycle_time_conversion() {
+        let cfg = SimConfig::azul(TileGrid::square(2));
+        assert!((cfg.cycles_to_seconds(2_000_000_000) - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,374 @@
+//! The tick engine: runs one compiled kernel to quiescence.
+//!
+//! Matching the paper's methodology (Sec. VI-A), every hardware component
+//! is ticked each cycle it has work: routers move flits, PEs issue
+//! operations. The machine co-simulates function and timing — the output
+//! vector carries real `f64` results that are validated against the
+//! reference solvers.
+//!
+//! An active-tile list keeps the per-cycle cost proportional to the tiles
+//! that actually have work, which matters in the long dependence-limited
+//! tails of SpTRSV.
+
+use crate::config::SimConfig;
+use crate::pe::{Pe, Trigger};
+use crate::program::Program;
+use crate::router::{tick_router_at, Delivery, FlitKind, Router};
+use crate::stats::KernelStats;
+
+/// Runs `program` on the simulated machine.
+///
+/// `input` is the trigger vector: `x` for SpMV, `b` for SpTRSV. Returns
+/// the output vector (`y` or the solved `x`) and kernel statistics.
+///
+/// # Panics
+///
+/// Panics if `input.len() != program.n`, or if the kernel exceeds
+/// `cfg.max_kernel_cycles` (deadlock tripwire).
+pub fn run_kernel(cfg: &SimConfig, program: &Program, input: &[f64]) -> (Vec<f64>, KernelStats) {
+    assert_eq!(input.len(), program.n, "input length mismatch");
+    let num_tiles = cfg.grid.num_tiles();
+    assert_eq!(
+        num_tiles,
+        program.grid.num_tiles(),
+        "config grid must match program grid"
+    );
+
+    let mut stats = KernelStats::default();
+    let mut out = vec![0.0f64; program.n];
+    let mut routers: Vec<Router> = (0..num_tiles)
+        .map(|t| Router::new(t as u32, cfg.router_queue_capacity))
+        .collect();
+    let mut pes: Vec<Pe> = (0..num_tiles)
+        .map(|t| Pe::new(t as u32, cfg, program.tile(t as u32), input))
+        .collect();
+
+    // Active-tile tracking: a tile ticks while it has router or PE work.
+    let mut active: Vec<usize> = Vec::with_capacity(num_tiles);
+    let mut on_list: Vec<bool> = vec![false; num_tiles];
+    let activate = |t: usize, active: &mut Vec<usize>, on_list: &mut Vec<bool>| {
+        if !on_list[t] {
+            on_list[t] = true;
+            active.push(t);
+        }
+    };
+
+    // Kernel-start triggers.
+    #[allow(clippy::needless_range_loop)] // index used across several structures
+    for t in 0..num_tiles {
+        let tp = program.tile(t as u32);
+        for &j in &tp.send_v {
+            if program.x_tree[j as usize].is_some() {
+                pes[t].push_trigger(cfg, Trigger::SendV { idx: j }, &mut stats);
+            }
+            if tp.saac.contains_key(&j) {
+                pes[t].push_trigger(
+                    cfg,
+                    Trigger::X {
+                        idx: j,
+                        val: input[j as usize],
+                    },
+                    &mut stats,
+                );
+            }
+        }
+        for &i in &tp.initial_solves {
+            pes[t].push_trigger(cfg, Trigger::Solve { idx: i }, &mut stats);
+        }
+        if pes[t].has_work() {
+            activate(t, &mut active, &mut on_list);
+        }
+    }
+
+    let mut now = 0u64;
+    let mut deliveries: Vec<Delivery> = Vec::new();
+    let mut newly_active: Vec<usize> = Vec::new();
+
+    while !active.is_empty() {
+        if now >= cfg.max_kernel_cycles {
+            for &t in active.iter().take(8) {
+                eprintln!(
+                    "tile {t}: router occ {} {:?}, pe work {}",
+                    routers[t].occupancy(),
+                    routers[t].debug_heads(now),
+                    pes[t].has_work()
+                );
+            }
+            panic!(
+                "kernel exceeded {} cycles ({} active tiles) — likely deadlock",
+                cfg.max_kernel_cycles,
+                active.len()
+            );
+        }
+        newly_active.clear();
+        let current = std::mem::take(&mut active);
+        for &t in &current {
+            on_list[t] = false;
+        }
+
+        // Routers first: deliveries trigger PE tasks this same cycle.
+        for &t in &current {
+            deliveries.clear();
+            tick_router_at(
+                t,
+                now,
+                cfg.hop_latency as u64,
+                &mut routers,
+                program,
+                &mut deliveries,
+                &mut newly_active,
+                &mut stats,
+            );
+            for d in &deliveries {
+                let trig = match d.flit.kind {
+                    FlitKind::X => Trigger::X {
+                        idx: d.flit.idx,
+                        val: d.flit.val,
+                    },
+                    FlitKind::Partial => Trigger::Partial {
+                        idx: d.flit.idx,
+                        val: d.flit.val,
+                    },
+                };
+                pes[t].push_trigger(cfg, trig, &mut stats);
+            }
+        }
+
+        // PEs.
+        for &t in &current {
+            let tp = program.tile(t as u32);
+            pes[t].tick(
+                now,
+                cfg,
+                tp,
+                program,
+                &mut routers[t],
+                input,
+                &mut out,
+                &mut stats,
+            );
+        }
+
+        // Progress trace sample (Fig. 17).
+        if cfg.trace_interval > 0 && now.is_multiple_of(cfg.trace_interval) {
+            stats.trace.push((now, stats.total_ops()));
+        }
+
+        // Re-arm tiles that still have work.
+        for &t in &current {
+            if pes[t].has_work() || routers[t].occupancy() > 0 {
+                activate(t, &mut active, &mut on_list);
+            }
+        }
+        #[allow(clippy::needless_range_loop)] // index used across several structures
+        for i in 0..newly_active.len() {
+            let t = newly_active[i];
+            activate(t, &mut active, &mut on_list);
+        }
+
+        now += 1;
+    }
+
+    stats.cycles = now;
+    (out, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PeModel;
+    use crate::program::Program;
+    use azul_mapping::strategies::{AzulMapper, BlockMapper, Mapper, RoundRobinMapper};
+    use azul_mapping::TileGrid;
+    use azul_solver::ic0::ic0;
+    use azul_solver::kernels::{sptrsv_lower, sptrsv_lower_transpose};
+    use azul_sparse::{dense, generate};
+
+    fn test_input(n: usize) -> Vec<f64> {
+        (0..n).map(|i| ((i * 29 % 13) as f64) / 13.0 + 0.2).collect()
+    }
+
+    #[test]
+    fn spmv_matches_reference_on_grid() {
+        let a = generate::grid_laplacian_2d(8, 8);
+        let grid = TileGrid::new(2, 2);
+        let p = RoundRobinMapper.map(&a, grid);
+        let prog = Program::compile_spmv(&a, &p);
+        let cfg = SimConfig::azul(grid);
+        let x = test_input(a.rows());
+        let (y, stats) = run_kernel(&cfg, &prog, &x);
+        let expect = a.spmv(&x);
+        assert!(
+            dense::max_abs_diff(&y, &expect) < 1e-10,
+            "sim SpMV diverges from reference"
+        );
+        assert_eq!(stats.ops_of(crate::stats::OpKind::Fmac), a.nnz() as u64);
+        assert!(stats.cycles > 0);
+        assert!(stats.messages > 0, "multi-tile run must communicate");
+    }
+
+    #[test]
+    fn spmv_matches_reference_under_all_mappers() {
+        let a = generate::fem_mesh_3d(120, 5, 3);
+        let grid = TileGrid::new(4, 4);
+        let x = test_input(a.rows());
+        let expect = a.spmv(&x);
+        let mappers: Vec<Box<dyn Mapper>> = vec![
+            Box::new(RoundRobinMapper),
+            Box::new(BlockMapper),
+            Box::new(AzulMapper::default()),
+        ];
+        for m in mappers {
+            let p = m.map(&a, grid);
+            let prog = Program::compile_spmv(&a, &p);
+            let cfg = SimConfig::azul(grid);
+            let (y, _) = run_kernel(&cfg, &prog, &x);
+            assert!(
+                dense::max_abs_diff(&y, &expect) < 1e-9,
+                "mapper {} wrong",
+                m.name()
+            );
+        }
+    }
+
+    #[test]
+    fn sptrsv_lower_matches_reference() {
+        let a = generate::fem_mesh_3d(100, 4, 7);
+        let l = ic0(&a).unwrap();
+        let grid = TileGrid::new(2, 2);
+        let p = RoundRobinMapper.map(&a, grid);
+        let prog = Program::compile_sptrsv_lower(&l, &a, &p);
+        let cfg = SimConfig::azul(grid);
+        let b = test_input(a.rows());
+        let (x, stats) = run_kernel(&cfg, &prog, &b);
+        let expect = sptrsv_lower(&l, &b);
+        assert!(
+            dense::rel_l2_diff(&x, &expect) < 1e-10,
+            "sim SpTRSV diverges"
+        );
+        // One Mul (diagonal solve) per row.
+        assert_eq!(stats.ops_of(crate::stats::OpKind::Mul), a.rows() as u64);
+    }
+
+    #[test]
+    fn sptrsv_upper_matches_reference() {
+        let a = generate::fem_mesh_3d(100, 4, 7);
+        let l = ic0(&a).unwrap();
+        let grid = TileGrid::new(2, 2);
+        let p = BlockMapper.map(&a, grid);
+        let prog = Program::compile_sptrsv_upper(&l, &a, &p);
+        let cfg = SimConfig::azul(grid);
+        let b = test_input(a.rows());
+        let (x, _) = run_kernel(&cfg, &prog, &b);
+        let expect = sptrsv_lower_transpose(&l, &b);
+        assert!(dense::rel_l2_diff(&x, &expect) < 1e-10);
+    }
+
+    #[test]
+    fn tridiagonal_sptrsv_is_serial() {
+        // The fully sequential case of Fig. 6: cycles must scale ~linearly
+        // with n, far above the all-parallel lower bound.
+        let a = generate::tridiagonal(64);
+        let l = a.lower_triangle();
+        let grid = TileGrid::new(2, 2);
+        let p = BlockMapper.map(&a, grid);
+        let prog = Program::compile_sptrsv_lower(&l, &a, &p);
+        let cfg = SimConfig::azul(grid);
+        let b = vec![1.0; 64];
+        let (x, stats) = run_kernel(&cfg, &prog, &b);
+        let expect = sptrsv_lower(&l, &b);
+        assert!(dense::rel_l2_diff(&x, &expect) < 1e-10);
+        assert!(
+            stats.cycles >= 64 * 2,
+            "serial chain must take many cycles, got {}",
+            stats.cycles
+        );
+    }
+
+    #[test]
+    fn ideal_pe_is_faster_than_azul_pe() {
+        let a = generate::fem_mesh_3d(150, 6, 11);
+        let grid = TileGrid::new(2, 2);
+        let p = RoundRobinMapper.map(&a, grid);
+        let prog = Program::compile_spmv(&a, &p);
+        let x = test_input(a.rows());
+        let (y_azul, s_azul) = run_kernel(&SimConfig::azul(grid), &prog, &x);
+        let (y_ideal, s_ideal) = run_kernel(&SimConfig::ideal(grid), &prog, &x);
+        assert!(dense::max_abs_diff(&y_azul, &y_ideal) < 1e-9);
+        assert!(
+            s_ideal.cycles < s_azul.cycles,
+            "ideal {} should beat azul {}",
+            s_ideal.cycles,
+            s_azul.cycles
+        );
+    }
+
+    #[test]
+    fn dalorex_pe_is_much_slower_than_azul_pe() {
+        let a = generate::fem_mesh_3d(150, 6, 11);
+        let grid = TileGrid::new(2, 2);
+        let p = AzulMapper::default().map(&a, grid);
+        let prog = Program::compile_spmv(&a, &p);
+        let x = test_input(a.rows());
+        let (y_a, s_a) = run_kernel(&SimConfig::azul(grid), &prog, &x);
+        let (y_d, s_d) = run_kernel(&SimConfig::dalorex(grid), &prog, &x);
+        assert!(dense::max_abs_diff(&y_a, &y_d) < 1e-9);
+        assert!(
+            s_d.cycles as f64 > 3.0 * s_a.cycles as f64,
+            "dalorex {} vs azul {}",
+            s_d.cycles,
+            s_a.cycles
+        );
+    }
+
+    #[test]
+    fn better_mapping_means_fewer_link_activations() {
+        let a = generate::fem_mesh_3d(200, 6, 19);
+        let grid = TileGrid::new(4, 4);
+        let x = test_input(a.rows());
+        let run = |p: &azul_mapping::Placement| -> KernelStats {
+            let prog = Program::compile_spmv(&a, p);
+            run_kernel(&SimConfig::ideal(grid), &prog, &x).1
+        };
+        let rr = run(&RoundRobinMapper.map(&a, grid));
+        let az = run(&AzulMapper::default().map(&a, grid));
+        assert!(
+            az.link_activations * 2 < rr.link_activations,
+            "azul {} vs rr {}",
+            az.link_activations,
+            rr.link_activations
+        );
+    }
+
+    #[test]
+    fn single_threaded_pe_is_slower_or_equal() {
+        let a = generate::fem_mesh_3d(120, 5, 23);
+        let grid = TileGrid::new(2, 2);
+        let p = AzulMapper::default().map(&a, grid);
+        let prog = Program::compile_spmv(&a, &p);
+        let x = test_input(a.rows());
+        let multi = run_kernel(&SimConfig::azul(grid), &prog, &x).1;
+        let mut cfg1 = SimConfig::azul(grid);
+        cfg1.contexts = 1;
+        cfg1.pe_model = PeModel::Azul;
+        let single = run_kernel(&cfg1, &prog, &x).1;
+        assert!(single.cycles >= multi.cycles);
+    }
+
+    #[test]
+    fn higher_sram_latency_is_slower_or_equal() {
+        let a = generate::fem_mesh_3d(120, 5, 29);
+        let grid = TileGrid::new(2, 2);
+        let p = BlockMapper.map(&a, grid);
+        let l = ic0(&a).unwrap();
+        let prog = Program::compile_sptrsv_lower(&l, &a, &p);
+        let b = test_input(a.rows());
+        let mut fast = SimConfig::azul(grid);
+        fast.sram_latency = 1;
+        let mut slow = SimConfig::azul(grid);
+        slow.sram_latency = 4;
+        let f = run_kernel(&fast, &prog, &b).1;
+        let s = run_kernel(&slow, &prog, &b).1;
+        assert!(s.cycles >= f.cycles, "slow {} vs fast {}", s.cycles, f.cycles);
+    }
+}

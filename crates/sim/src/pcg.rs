@@ -1,0 +1,532 @@
+//! End-to-end PCG on the simulated accelerator (Listing 1, Sec. VI).
+//!
+//! [`PcgSim`] compiles the three heavy kernels (SpMV with `A`, the solves
+//! with `L` and `L^T`) once per (matrix, placement) pair, then runs the
+//! PCG loop. The first `timed_iterations` iterations are simulated
+//! cycle-by-cycle (the per-iteration cost is steady-state: the same
+//! kernels touch the same data every iteration); remaining iterations use
+//! the reference kernels for functional progress and reuse the measured
+//! per-iteration cycle cost. The reported GFLOP/s follow the paper's
+//! accounting (an FMAC = 2 FLOPs).
+
+use crate::config::SimConfig;
+use crate::machine::run_kernel;
+use crate::program::Program;
+use crate::stats::{KernelClass, KernelStats};
+use crate::vecops::{VecOp, VecOpModel};
+use azul_mapping::Placement;
+use azul_solver::flops::{self, FlopBreakdown};
+use azul_solver::ic0::ic0;
+use azul_solver::kernels::{sptrsv_lower, sptrsv_lower_transpose};
+use azul_solver::SolverError;
+use azul_sparse::{dense, Csr};
+
+/// Run-time configuration of a PCG simulation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PcgSimConfig {
+    /// Convergence tolerance on `||r||_2`.
+    pub tol: f64,
+    /// Iteration cap.
+    pub max_iters: usize,
+    /// Iterations to simulate cycle-by-cycle; later iterations reuse the
+    /// measured steady-state cost. 0 means "time every iteration".
+    pub timed_iterations: usize,
+}
+
+impl Default for PcgSimConfig {
+    fn default() -> Self {
+        PcgSimConfig {
+            tol: 1e-10,
+            max_iters: 2000,
+            timed_iterations: 2,
+        }
+    }
+}
+
+/// A PCG instance compiled for the accelerator.
+#[derive(Debug, Clone)]
+pub struct PcgSim {
+    cfg: SimConfig,
+    a: Csr,
+    l: Csr,
+    spmv: Program,
+    /// Triangular-solve programs; `None` runs plain (unpreconditioned) CG.
+    lower: Option<Program>,
+    upper: Option<Program>,
+    vec_model: VecOpModel,
+}
+
+/// Results of a simulated PCG solve.
+#[derive(Debug, Clone)]
+pub struct PcgSimReport {
+    /// The computed solution.
+    pub x: Vec<f64>,
+    /// Whether the solve converged within the iteration cap.
+    pub converged: bool,
+    /// Iterations executed.
+    pub iterations: usize,
+    /// True final residual `||b - A x||`.
+    pub final_residual: f64,
+    /// Iterations that were cycle-simulated.
+    pub timed_iterations: usize,
+    /// Measured steady-state cycles per iteration.
+    pub cycles_per_iteration: f64,
+    /// Extrapolated total cycles (setup + iterations).
+    pub total_cycles: u64,
+    /// Per-iteration cycles by kernel class `[Spmv, Sptrsv, VectorOps]`
+    /// (Fig. 22's breakdown).
+    pub kernel_cycles: [f64; 3],
+    /// Merged statistics over the timed portion.
+    pub stats: KernelStats,
+    /// FLOPs of one iteration, by kernel.
+    pub flops_per_iteration: FlopBreakdown,
+    /// Sustained double-precision throughput in GFLOP/s (steady state).
+    pub gflops: f64,
+    /// Extrapolated solve time in seconds at the configured clock.
+    pub elapsed_seconds: f64,
+}
+
+impl PcgSimReport {
+    /// Fraction of peak compute throughput achieved.
+    pub fn fraction_of_peak(&self, cfg: &SimConfig) -> f64 {
+        self.gflops / cfg.peak_gflops()
+    }
+}
+
+impl PcgSim {
+    /// Builds the PCG pipeline: factors `a` with IC(0) and compiles the
+    /// three kernels under `placement`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates IC(0) breakdowns.
+    pub fn build(a: &Csr, placement: &Placement, cfg: &SimConfig) -> Result<Self, SolverError> {
+        let l = ic0(a)?;
+        Ok(Self::build_with_factor(a, &l, placement, cfg))
+    }
+
+    /// Builds with a caller-supplied lower-triangular factor sharing
+    /// `tril(a)`'s pattern (e.g. a Gauss-Seidel preconditioner).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the factor pattern does not match `tril(a)` or the
+    /// placement does not match `a`.
+    pub fn build_with_factor(a: &Csr, l: &Csr, placement: &Placement, cfg: &SimConfig) -> Self {
+        PcgSim {
+            cfg: cfg.clone(),
+            a: a.clone(),
+            l: l.clone(),
+            spmv: Program::compile_spmv(a, placement),
+            lower: Some(Program::compile_sptrsv_lower(l, a, placement)),
+            upper: Some(Program::compile_sptrsv_upper(l, a, placement)),
+            vec_model: VecOpModel::new(placement),
+        }
+    }
+
+    /// Builds an *unpreconditioned* CG pipeline (Table II's "Conjugate
+    /// Gradients / None" row): only the SpMV kernel runs; the
+    /// preconditioner step is the identity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the placement does not match `a`.
+    pub fn build_unpreconditioned(a: &Csr, placement: &Placement, cfg: &SimConfig) -> Self {
+        PcgSim {
+            cfg: cfg.clone(),
+            a: a.clone(),
+            l: Csr::identity(a.rows()),
+            spmv: Program::compile_spmv(a, placement),
+            lower: None,
+            upper: None,
+            vec_model: VecOpModel::new(placement),
+        }
+    }
+
+    /// The simulator configuration in use.
+    pub fn config(&self) -> &SimConfig {
+        &self.cfg
+    }
+
+    /// The matrix currently loaded.
+    pub fn matrix(&self) -> &Csr {
+        &self.a
+    }
+
+    /// Replaces the matrix *values* while keeping the sparsity pattern,
+    /// placement and communication trees — the Sec. II-C time-stepping
+    /// case where `A`'s stiffness values change but its structure (the
+    /// mesh) does not. Re-factors IC(0) and recompiles the kernel
+    /// programs; the expensive mapping is untouched.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolverError::Dimension`] if `a_new`'s sparsity pattern
+    /// differs from the current matrix, or propagates IC(0) breakdowns.
+    pub fn update_values(&mut self, a_new: &Csr, placement: &Placement) -> Result<(), SolverError> {
+        if a_new.row_ptr() != self.a.row_ptr() || a_new.col_idx() != self.a.col_idx() {
+            return Err(SolverError::Dimension(
+                "update_values requires an identical sparsity pattern".into(),
+            ));
+        }
+        let l = ic0(a_new)?;
+        self.update_values_with_factor(a_new, &l, placement)
+    }
+
+    /// As [`PcgSim::update_values`], but with a caller-supplied factor
+    /// (e.g. a refreshed Gauss-Seidel/SSOR factor).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolverError::Dimension`] on a pattern mismatch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the factor's pattern differs from `tril(a_new)`.
+    pub fn update_values_with_factor(
+        &mut self,
+        a_new: &Csr,
+        l_new: &Csr,
+        placement: &Placement,
+    ) -> Result<(), SolverError> {
+        if a_new.row_ptr() != self.a.row_ptr() || a_new.col_idx() != self.a.col_idx() {
+            return Err(SolverError::Dimension(
+                "update_values requires an identical sparsity pattern".into(),
+            ));
+        }
+        self.spmv = Program::compile_spmv(a_new, placement);
+        self.lower = Some(Program::compile_sptrsv_lower(l_new, a_new, placement));
+        self.upper = Some(Program::compile_sptrsv_upper(l_new, a_new, placement));
+        self.a = a_new.clone();
+        self.l = l_new.clone();
+        Ok(())
+    }
+
+    /// Runs PCG with right-hand side `b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len()` differs from the matrix dimension.
+    pub fn run(&self, b: &[f64], run_cfg: &PcgSimConfig) -> PcgSimReport {
+        let n = self.a.rows();
+        assert_eq!(b.len(), n, "rhs length mismatch");
+        let timed_budget = if run_cfg.timed_iterations == 0 {
+            usize::MAX
+        } else {
+            run_cfg.timed_iterations
+        };
+
+        let mut stats = KernelStats::default();
+        let mut kernel_cycles = [0u64; 3]; // timed portion only
+        let mut setup_cycles = 0u64;
+
+        // Helper closures for timed kernels.
+        let run_timed = |prog: &Program,
+                             input: &[f64],
+                             class: KernelClass,
+                             stats: &mut KernelStats,
+                             kernel_cycles: &mut [u64; 3]|
+         -> (Vec<f64>, u64) {
+            let (out, s) = run_kernel(&self.cfg, prog, input);
+            let c = s.cycles;
+            kernel_cycles[class as usize] += c;
+            stats.merge(&s);
+            (out, c)
+        };
+        let vec_cost = |model: &VecOpModel,
+                        op: VecOp,
+                        stats: &mut KernelStats,
+                        kernel_cycles: &mut [u64; 3]|
+         -> u64 {
+            let s = model.stats(&self.cfg, op, n);
+            let c = s.cycles;
+            kernel_cycles[KernelClass::VectorOps as usize] += c;
+            stats.merge(&s);
+            c
+        };
+
+        // ---- Setup (timed): r = b; z = p = L^-T L^-1 r; rz = r.z ----
+        let mut x = vec![0.0f64; n];
+        let mut r = b.to_vec();
+        let z0 = match (&self.lower, &self.upper) {
+            (Some(lo), Some(up)) => {
+                let (y0, c1) = run_timed(lo, &r, KernelClass::Sptrsv, &mut stats, &mut kernel_cycles);
+                let (z0, c2) = run_timed(up, &y0, KernelClass::Sptrsv, &mut stats, &mut kernel_cycles);
+                setup_cycles += c1 + c2;
+                z0
+            }
+            _ => r.clone(),
+        };
+        setup_cycles += vec_cost(&self.vec_model, VecOp::Dot, &mut stats, &mut kernel_cycles);
+        let mut p = z0.clone();
+        let mut z = z0;
+        let mut rz_old = dense::dot(&r, &z);
+        // Reset the per-kernel tally so it reflects iterations only.
+        let setup_kernel_cycles = kernel_cycles;
+        kernel_cycles = [0; 3];
+
+        let mut iterations = 0usize;
+        let mut timed_done = 0usize;
+        let mut iter_cycles_acc = 0u64;
+        let mut converged = dense::norm2(&r) <= run_cfg.tol;
+
+        while !converged && iterations < run_cfg.max_iters {
+            let timing = timed_done < timed_budget;
+            let mut this_iter = 0u64;
+
+            // Ap = A p
+            let ap = if timing {
+                let (out, c) =
+                    run_timed(&self.spmv, &p, KernelClass::Spmv, &mut stats, &mut kernel_cycles);
+                this_iter += c;
+                out
+            } else {
+                self.a.spmv(&p)
+            };
+            // alpha = rz / (p . Ap)
+            if timing {
+                this_iter += vec_cost(&self.vec_model, VecOp::Dot, &mut stats, &mut kernel_cycles);
+            }
+            let p_ap = dense::dot(&p, &ap);
+            if p_ap == 0.0 || !p_ap.is_finite() {
+                break;
+            }
+            let alpha = rz_old / p_ap;
+            // x += alpha p ; r -= alpha Ap
+            dense::axpy(alpha, &p, &mut x);
+            dense::axpy(-alpha, &ap, &mut r);
+            if timing {
+                this_iter += vec_cost(&self.vec_model, VecOp::Axpy, &mut stats, &mut kernel_cycles);
+                this_iter += vec_cost(&self.vec_model, VecOp::Axpy, &mut stats, &mut kernel_cycles);
+                // convergence check (norm)
+                this_iter += vec_cost(&self.vec_model, VecOp::Dot, &mut stats, &mut kernel_cycles);
+            }
+            // z = L^-T L^-1 r (identity when unpreconditioned)
+            z = match (&self.lower, &self.upper) {
+                (Some(lo), Some(up)) => {
+                    let y = if timing {
+                        let (out, c) =
+                            run_timed(lo, &r, KernelClass::Sptrsv, &mut stats, &mut kernel_cycles);
+                        this_iter += c;
+                        out
+                    } else {
+                        sptrsv_lower(&self.l, &r)
+                    };
+                    if timing {
+                        let (out, c) =
+                            run_timed(up, &y, KernelClass::Sptrsv, &mut stats, &mut kernel_cycles);
+                        this_iter += c;
+                        out
+                    } else {
+                        sptrsv_lower_transpose(&self.l, &y)
+                    }
+                }
+                _ => r.clone(),
+            };
+            // beta = rz_new / rz_old ; p = z + beta p
+            if timing {
+                this_iter += vec_cost(&self.vec_model, VecOp::Dot, &mut stats, &mut kernel_cycles);
+            }
+            let rz_new = dense::dot(&r, &z);
+            let beta = rz_new / rz_old;
+            dense::xpby(&z, beta, &mut p);
+            if timing {
+                this_iter += vec_cost(&self.vec_model, VecOp::Xpby, &mut stats, &mut kernel_cycles);
+            }
+            rz_old = rz_new;
+
+            if timing {
+                timed_done += 1;
+                iter_cycles_acc += this_iter;
+            }
+            iterations += 1;
+            converged = dense::norm2(&r) <= run_cfg.tol;
+        }
+
+        let cycles_per_iteration = if timed_done > 0 {
+            iter_cycles_acc as f64 / timed_done as f64
+        } else {
+            0.0
+        };
+        let total_cycles = setup_cycles + (cycles_per_iteration * iterations as f64) as u64;
+        let nnz_l = if self.lower.is_some() { self.l.nnz() } else { 0 };
+        let flops_per_iteration = flops::pcg_iteration_breakdown(&self.a, nnz_l);
+        let gflops = if cycles_per_iteration > 0.0 {
+            flops_per_iteration.total() as f64 / cycles_per_iteration * self.cfg.clock_ghz
+        } else {
+            0.0
+        };
+        let per_iter_kernel = |k: usize| {
+            if timed_done > 0 {
+                kernel_cycles[k] as f64 / timed_done as f64
+            } else {
+                0.0
+            }
+        };
+        let final_residual = dense::norm2(&dense::sub(b, &self.a.spmv(&x)));
+        let _ = setup_kernel_cycles;
+
+        PcgSimReport {
+            x,
+            converged,
+            iterations,
+            final_residual,
+            timed_iterations: timed_done,
+            cycles_per_iteration,
+            total_cycles,
+            kernel_cycles: [per_iter_kernel(0), per_iter_kernel(1), per_iter_kernel(2)],
+            stats,
+            flops_per_iteration,
+            gflops,
+            elapsed_seconds: self.cfg.cycles_to_seconds(total_cycles),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use azul_mapping::strategies::{AzulMapper, Mapper, RoundRobinMapper};
+    use azul_mapping::TileGrid;
+    use azul_sparse::generate;
+
+    fn rhs(n: usize) -> Vec<f64> {
+        (0..n).map(|i| ((i * 17 % 11) as f64) / 11.0 + 0.3).collect()
+    }
+
+    #[test]
+    fn pcg_sim_converges_and_matches_reference() {
+        let a = generate::grid_laplacian_2d(8, 8);
+        let grid = TileGrid::new(2, 2);
+        let p = RoundRobinMapper.map(&a, grid);
+        let sim = PcgSim::build(&a, &p, &SimConfig::azul(grid)).unwrap();
+        let b = rhs(a.rows());
+        let report = sim.run(&b, &PcgSimConfig::default());
+        assert!(report.converged, "residual {}", report.final_residual);
+        assert!(report.final_residual <= 1e-8);
+
+        // The reference PCG with the same preconditioner agrees.
+        let m = azul_solver::precond::IncompleteCholesky::new(&a).unwrap();
+        let reference = azul_solver::pcg(&a, &b, &m, &azul_solver::PcgConfig::default());
+        assert_eq!(report.iterations, reference.iterations);
+        assert!(dense::rel_l2_diff(&report.x, &reference.x) < 1e-6);
+    }
+
+    #[test]
+    fn timed_iterations_bound_simulation_work() {
+        let a = generate::grid_laplacian_2d(8, 8);
+        let grid = TileGrid::new(2, 2);
+        let p = RoundRobinMapper.map(&a, grid);
+        let sim = PcgSim::build(&a, &p, &SimConfig::azul(grid)).unwrap();
+        let b = rhs(a.rows());
+        let report = sim.run(
+            &b,
+            &PcgSimConfig {
+                timed_iterations: 1,
+                ..Default::default()
+            },
+        );
+        assert_eq!(report.timed_iterations, 1);
+        assert!(report.cycles_per_iteration > 0.0);
+        assert!(report.total_cycles > report.cycles_per_iteration as u64);
+    }
+
+    #[test]
+    fn gflops_below_peak_and_positive() {
+        let a = generate::fem_mesh_3d(120, 5, 3);
+        let grid = TileGrid::new(2, 2);
+        let p = AzulMapper::default().map(&a, grid);
+        let cfg = SimConfig::azul(grid);
+        let sim = PcgSim::build(&a, &p, &cfg).unwrap();
+        let b = rhs(a.rows());
+        let report = sim.run(&b, &PcgSimConfig::default());
+        assert!(report.gflops > 0.0);
+        assert!(report.fraction_of_peak(&cfg) < 1.0);
+        assert!(report.fraction_of_peak(&cfg) > 0.001);
+    }
+
+    #[test]
+    fn kernel_breakdown_covers_iteration() {
+        let a = generate::grid_laplacian_2d(10, 10);
+        let grid = TileGrid::new(2, 2);
+        let p = RoundRobinMapper.map(&a, grid);
+        let sim = PcgSim::build(&a, &p, &SimConfig::azul(grid)).unwrap();
+        let b = rhs(a.rows());
+        let report = sim.run(&b, &PcgSimConfig::default());
+        let total: f64 = report.kernel_cycles.iter().sum();
+        assert!((total - report.cycles_per_iteration).abs() < 1e-6);
+        // SpTRSV involves two solves and limited parallelism: it should be
+        // a visible fraction.
+        assert!(report.kernel_cycles[KernelClass::Sptrsv as usize] > 0.0);
+        assert!(report.kernel_cycles[KernelClass::Spmv as usize] > 0.0);
+        assert!(report.kernel_cycles[KernelClass::VectorOps as usize] > 0.0);
+    }
+
+    #[test]
+    fn unpreconditioned_cg_matches_reference_cg() {
+        let a = generate::grid_laplacian_2d(8, 8);
+        let grid = TileGrid::new(2, 2);
+        let p = RoundRobinMapper.map(&a, grid);
+        let sim = PcgSim::build_unpreconditioned(&a, &p, &SimConfig::azul(grid));
+        let b = rhs(a.rows());
+        let out = sim.run(&b, &PcgSimConfig::default());
+        assert!(out.converged);
+        let reference = azul_solver::cg(&a, &b, &azul_solver::PcgConfig::default());
+        assert_eq!(out.iterations, reference.iterations);
+        assert!(dense::rel_l2_diff(&out.x, &reference.x) < 1e-6);
+        // No triangular-solve work at all.
+        assert_eq!(out.kernel_cycles[KernelClass::Sptrsv as usize], 0.0);
+        assert_eq!(out.flops_per_iteration.sptrsv, 0);
+    }
+
+    #[test]
+    fn update_values_keeps_pattern_and_tracks_new_matrix() {
+        let a = generate::grid_laplacian_2d(6, 6);
+        let grid = TileGrid::new(2, 2);
+        let p = RoundRobinMapper.map(&a, grid);
+        let mut sim = PcgSim::build(&a, &p, &SimConfig::azul(grid)).unwrap();
+        let b = rhs(a.rows());
+        let before = sim.run(&b, &PcgSimConfig::default());
+        assert!(before.converged);
+
+        // Scale all values by 2: same pattern, solution halves.
+        let mut a2 = a.clone();
+        for v in a2.values_mut() {
+            *v *= 2.0;
+        }
+        sim.update_values(&a2, &p).unwrap();
+        let after = sim.run(&b, &PcgSimConfig::default());
+        assert!(after.converged);
+        for i in 0..a.rows() {
+            assert!((after.x[i] * 2.0 - before.x[i]).abs() < 1e-7);
+        }
+
+        // A different pattern is rejected.
+        let other = generate::grid_laplacian_2d(4, 9);
+        assert!(sim.update_values(&other, &p).is_err());
+    }
+
+    #[test]
+    fn azul_mapping_beats_round_robin_end_to_end() {
+        let a = generate::fem_mesh_3d(200, 6, 41);
+        let grid = TileGrid::new(4, 4);
+        let cfg = SimConfig::azul(grid);
+        let b = rhs(a.rows());
+        let run_cfg = PcgSimConfig {
+            timed_iterations: 1,
+            ..Default::default()
+        };
+        let rr = PcgSim::build(&a, &RoundRobinMapper.map(&a, grid), &cfg)
+            .unwrap()
+            .run(&b, &run_cfg);
+        let az = PcgSim::build(&a, &AzulMapper::default().map(&a, grid), &cfg)
+            .unwrap()
+            .run(&b, &run_cfg);
+        assert!(
+            az.cycles_per_iteration < rr.cycles_per_iteration,
+            "azul {} vs rr {}",
+            az.cycles_per_iteration,
+            rr.cycles_per_iteration
+        );
+    }
+}

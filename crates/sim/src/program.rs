@@ -1,0 +1,576 @@
+//! Compilation of kernels into per-tile dataflow task programs
+//! (Sec. IV-A, IV-D).
+//!
+//! A [`Program`] is everything the machine needs to run one kernel:
+//!
+//! * per-tile entry tables for the dominant ScaleAndAccumCol task
+//!   (Listing 2): contiguous `(accumulator slot, coefficient)` pairs per
+//!   triggering index;
+//! * accumulator-slot descriptors with `updates_remaining` counts and
+//!   completion actions (send a partial, finalize an output element, or
+//!   solve a variable);
+//! * multicast trees for value distribution and reduction trees for
+//!   partial sums (Fig. 18), built with [`CommTree`];
+//! * initial tasks (SpMV's SendV; SpTRSV's dependence-free rows).
+//!
+//! SpMV, the lower solve `L x = b` and the transpose solve `L^T x = b` all
+//! compile through one generic path over "work items"
+//! `(trigger, target, coeff, tile)`: an item's FMAC fires when the
+//! `trigger` value arrives and accumulates into `target`'s partial sum.
+
+use azul_mapping::tree::CommTree;
+use azul_mapping::{Placement, TileGrid, TileId};
+use azul_sparse::Csr;
+use std::collections::HashMap;
+
+/// What happens when an accumulator slot's `updates_remaining` hits zero.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SlotAction {
+    /// Send the slot value up the target's reduction tree.
+    SendPartial {
+        /// Reduction-tree index (the target row).
+        target: u32,
+    },
+    /// Write the slot value to output element `target` (SpMV home slots).
+    FinalY {
+        /// Output element index.
+        target: u32,
+    },
+    /// Solve variable `target`: multiply by the stored reciprocal
+    /// diagonal, write the output, and multicast the result (SpTRSV home
+    /// slots).
+    Solve {
+        /// Variable index.
+        target: u32,
+    },
+}
+
+/// A per-tile accumulator slot.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SlotDesc {
+    /// Updates (local FMACs + incoming partials) before completion.
+    pub remaining: u32,
+    /// Completion action.
+    pub action: SlotAction,
+    /// Whether the slot starts at `b[target]` (SpTRSV home slots) instead
+    /// of zero.
+    pub init_from_b: bool,
+}
+
+/// One ScaleAndAccumCol entry: `acc[slot] += coeff * incoming_value`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Entry {
+    /// Tile-local accumulator slot.
+    pub slot: u32,
+    /// Matrix coefficient.
+    pub coeff: f64,
+}
+
+/// The compiled program of one tile.
+#[derive(Debug, Clone, Default)]
+pub struct TileProgram {
+    /// ScaleAndAccumCol entry table, grouped by trigger index.
+    pub entries: Vec<Entry>,
+    /// Trigger index -> `(start, end)` range in `entries`.
+    pub saac: HashMap<u32, (u32, u32)>,
+    /// Accumulator slots.
+    pub slots: Vec<SlotDesc>,
+    /// Target index -> slot receiving that target's partials (homes,
+    /// participants and branch combiners of the reduction tree).
+    pub combine_slot: HashMap<u32, u32>,
+    /// Trigger indices whose value this tile multicasts at kernel start
+    /// (SpMV SendV tasks).
+    pub send_v: Vec<u32>,
+    /// Variables this tile solves unconditionally at kernel start
+    /// (SpTRSV rows with no dependences).
+    pub initial_solves: Vec<u32>,
+}
+
+/// Which kernel a program implements (controls value semantics).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProgramKind {
+    /// `y = A x`: triggers are input-vector elements, outputs are row sums.
+    Spmv,
+    /// `L x = b` or `L^T x = b`: triggers are solved variables, outputs
+    /// are variables; home slots start at `b`.
+    Sptrsv,
+}
+
+/// A compiled kernel: per-tile programs plus the communication trees.
+#[derive(Debug, Clone)]
+pub struct Program {
+    /// Kernel kind.
+    pub kind: ProgramKind,
+    /// Vector dimension.
+    pub n: usize,
+    /// The tile grid.
+    pub grid: TileGrid,
+    /// All communication trees.
+    pub trees: Vec<CommTree>,
+    /// Trigger index -> multicast tree (None if the value is never needed
+    /// remotely).
+    pub x_tree: Vec<Option<u32>>,
+    /// Target index -> reduction tree (None if all work is on the home
+    /// tile).
+    pub partial_tree: Vec<Option<u32>>,
+    /// Per-tile programs, indexed by tile id.
+    pub tiles: Vec<TileProgram>,
+    /// Home tile of each vector element.
+    pub home: Vec<TileId>,
+    /// Reciprocal diagonal values (SpTRSV only; stored as `1/d` to keep
+    /// division off the critical path, Sec. VI-A).
+    pub inv_diag: Vec<f64>,
+    /// Total FMAC work items (for sanity checks / FLOP accounting).
+    pub num_items: usize,
+}
+
+/// One unit of FMAC work for the generic compiler.
+#[derive(Debug, Clone, Copy)]
+struct WorkItem {
+    trigger: u32,
+    target: u32,
+    coeff: f64,
+    tile: TileId,
+}
+
+impl Program {
+    /// Compiles SpMV `y = A x` for `a` under `placement`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the placement does not match `a`.
+    pub fn compile_spmv(a: &Csr, placement: &Placement) -> Program {
+        assert_eq!(a.nnz(), placement.num_nnz(), "placement/matrix mismatch");
+        assert_eq!(a.rows(), placement.num_rows(), "placement/matrix mismatch");
+        let items: Vec<WorkItem> = a
+            .iter()
+            .enumerate()
+            .map(|(p, (r, c, v))| WorkItem {
+                trigger: c as u32,
+                target: r as u32,
+                coeff: v,
+                tile: placement.nnz_tile(p),
+            })
+            .collect();
+        compile(
+            ProgramKind::Spmv,
+            a.rows(),
+            placement,
+            items,
+            vec![1.0; a.rows()],
+        )
+    }
+
+    /// Compiles the lower-triangular solve `L x = b` where `l` is lower
+    /// triangular with a full diagonal and shares the sparsity pattern of
+    /// `tril(a_pattern)`, whose nonzeros `placement` places.
+    ///
+    /// # Panics
+    ///
+    /// Panics if patterns or placement are inconsistent, or a diagonal is
+    /// missing.
+    pub fn compile_sptrsv_lower(l: &Csr, a_pattern: &Csr, placement: &Placement) -> Program {
+        let (tile_of, inv_diag) = lower_tiles_and_diag(l, a_pattern, placement);
+        let mut items = Vec::new();
+        for (k, (r, c, v)) in l.iter().filter(|&(r, c, _)| c <= r).enumerate() {
+            if c < r {
+                items.push(WorkItem {
+                    trigger: c as u32,
+                    target: r as u32,
+                    coeff: -v,
+                    tile: tile_of[k],
+                });
+            }
+        }
+        compile(ProgramKind::Sptrsv, l.rows(), placement, items, inv_diag)
+    }
+
+    /// Compiles the transpose solve `L^T x = b`: the entry `L_ij` (i > j)
+    /// serves as `L^T_ji`, so triggers and targets swap roles relative to
+    /// the lower solve while physical tiles stay the same.
+    ///
+    /// # Panics
+    ///
+    /// Panics as [`Program::compile_sptrsv_lower`] does.
+    pub fn compile_sptrsv_upper(l: &Csr, a_pattern: &Csr, placement: &Placement) -> Program {
+        let (tile_of, inv_diag) = lower_tiles_and_diag(l, a_pattern, placement);
+        let mut items = Vec::new();
+        for (k, (r, c, v)) in l.iter().filter(|&(r, c, _)| c <= r).enumerate() {
+            if c < r {
+                items.push(WorkItem {
+                    trigger: r as u32,
+                    target: c as u32,
+                    coeff: -v,
+                    tile: tile_of[k],
+                });
+            }
+        }
+        compile(ProgramKind::Sptrsv, l.rows(), placement, items, inv_diag)
+    }
+
+    /// The tile program of tile `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is out of range.
+    pub fn tile(&self, t: TileId) -> &TileProgram {
+        &self.tiles[t as usize]
+    }
+}
+
+/// Tiles of the lower-triangle entries of `l` (in `l.iter()` order
+/// restricted to `c <= r`) and the reciprocal diagonal.
+fn lower_tiles_and_diag(
+    l: &Csr,
+    a_pattern: &Csr,
+    placement: &Placement,
+) -> (Vec<TileId>, Vec<f64>) {
+    assert_eq!(
+        a_pattern.nnz(),
+        placement.num_nnz(),
+        "placement/matrix mismatch"
+    );
+    let tile_of = placement.restrict(a_pattern, |r, c| c <= r);
+    let lower_nnz = l.iter().filter(|&(r, c, _)| c <= r).count();
+    assert_eq!(
+        tile_of.len(),
+        lower_nnz,
+        "factor pattern must match tril(A) pattern"
+    );
+    let inv_diag: Vec<f64> = l
+        .diagonal()
+        .iter()
+        .enumerate()
+        .map(|(i, &d)| {
+            assert!(d != 0.0, "zero or missing diagonal at row {i}");
+            1.0 / d
+        })
+        .collect();
+    (tile_of, inv_diag)
+}
+
+/// The generic compiler.
+fn compile(
+    kind: ProgramKind,
+    n: usize,
+    placement: &Placement,
+    items: Vec<WorkItem>,
+    inv_diag: Vec<f64>,
+) -> Program {
+    let grid = placement.grid();
+    let num_tiles = grid.num_tiles();
+    let home: Vec<TileId> = placement.vec_tiles().to_vec();
+    let mut tiles: Vec<TileProgram> = vec![TileProgram::default(); num_tiles];
+
+    // Group items by (tile, trigger) for entry tables, and collect the
+    // per-trigger and per-target tile sets.
+    let mut by_tile_trigger: HashMap<(TileId, u32), Vec<usize>> = HashMap::new();
+    let mut trigger_tiles: Vec<Vec<TileId>> = vec![Vec::new(); n];
+    let mut target_tiles: Vec<Vec<TileId>> = vec![Vec::new(); n];
+    for (k, it) in items.iter().enumerate() {
+        by_tile_trigger.entry((it.tile, it.trigger)).or_default().push(k);
+        trigger_tiles[it.trigger as usize].push(it.tile);
+        target_tiles[it.target as usize].push(it.tile);
+    }
+    for v in trigger_tiles.iter_mut().chain(target_tiles.iter_mut()) {
+        v.sort_unstable();
+        v.dedup();
+    }
+
+    // Local FMAC count per (tile, target): contributes to slot remaining.
+    let mut local_count: HashMap<(TileId, u32), u32> = HashMap::new();
+    for it in &items {
+        *local_count.entry((it.tile, it.target)).or_insert(0) += 1;
+    }
+
+    // Multicast trees.
+    let mut trees: Vec<CommTree> = Vec::new();
+    let mut x_tree: Vec<Option<u32>> = vec![None; n];
+    for j in 0..n {
+        let root = home[j];
+        let remote: Vec<TileId> = trigger_tiles[j].iter().copied().filter(|&t| t != root).collect();
+        if !remote.is_empty() {
+            trees.push(CommTree::build(grid, root, &remote));
+            x_tree[j] = Some((trees.len() - 1) as u32);
+        }
+    }
+
+    // Reduction trees and slots.
+    let mut partial_tree: Vec<Option<u32>> = vec![None; n];
+    // Slot id allocation per tile, keyed by target.
+    let alloc_slot = |tiles: &mut Vec<TileProgram>,
+                          tile: TileId,
+                          target: u32,
+                          remaining: u32,
+                          action: SlotAction,
+                          init_from_b: bool|
+     -> u32 {
+        let tp = &mut tiles[tile as usize];
+        let id = tp.slots.len() as u32;
+        tp.slots.push(SlotDesc {
+            remaining,
+            action,
+            init_from_b,
+        });
+        tp.combine_slot.insert(target, id);
+        id
+    };
+
+    for i in 0..n {
+        let root = home[i];
+        let participants: Vec<TileId> = target_tiles[i]
+            .iter()
+            .copied()
+            .filter(|&t| t != root)
+            .collect();
+        let home_local = local_count.get(&(root, i as u32)).copied().unwrap_or(0);
+
+        let home_action = match kind {
+            ProgramKind::Spmv => SlotAction::FinalY { target: i as u32 },
+            ProgramKind::Sptrsv => SlotAction::Solve { target: i as u32 },
+        };
+        let init_from_b = kind == ProgramKind::Sptrsv;
+
+        if participants.is_empty() {
+            // All work local to the home tile.
+            let slot = alloc_slot(&mut tiles, root, i as u32, home_local, home_action, init_from_b);
+            if home_local == 0 && kind == ProgramKind::Sptrsv {
+                tiles[root as usize].initial_solves.push(i as u32);
+            }
+            let _ = slot;
+            continue;
+        }
+        let tree = CommTree::build(grid, root, &participants);
+        let tree_id = trees.len() as u32;
+        // Build slots on every combining node of the tree.
+        for t in tree.tiles() {
+            let children = tree.children_of(t).len() as u32;
+            if t == root {
+                alloc_slot(
+                    &mut tiles,
+                    root,
+                    i as u32,
+                    home_local + children,
+                    home_action,
+                    init_from_b,
+                );
+            } else if tree.is_dest(t) {
+                let local = local_count.get(&(t, i as u32)).copied().unwrap_or(0);
+                debug_assert!(local > 0, "tree dests hold local work");
+                alloc_slot(
+                    &mut tiles,
+                    t,
+                    i as u32,
+                    local + children,
+                    SlotAction::SendPartial { target: i as u32 },
+                    false,
+                );
+            } else if children >= 2 {
+                alloc_slot(
+                    &mut tiles,
+                    t,
+                    i as u32,
+                    children,
+                    SlotAction::SendPartial { target: i as u32 },
+                    false,
+                );
+            }
+            // children == 1 non-dest: pure relay, router-only.
+        }
+        trees.push(tree);
+        partial_tree[i] = Some(tree_id);
+    }
+
+    // Entry tables, grouped per (tile, trigger), slots already allocated.
+    let mut groups: Vec<(&(TileId, u32), &Vec<usize>)> = by_tile_trigger.iter().collect();
+    groups.sort_by_key(|(&(tile, trig), _)| (tile, trig));
+    for (&(tile, trig), idxs) in groups {
+        let tp = &mut tiles[tile as usize];
+        let start = tp.entries.len() as u32;
+        for &k in idxs {
+            let it = &items[k];
+            let slot = *tp
+                .combine_slot
+                .get(&it.target)
+                .expect("slot allocated for every local target");
+            tp.entries.push(Entry {
+                slot,
+                coeff: it.coeff,
+            });
+        }
+        tp.saac.insert(trig, (start, tp.entries.len() as u32));
+    }
+
+    // Initial SendV tasks (SpMV): every trigger whose value is consumed.
+    if kind == ProgramKind::Spmv {
+        for j in 0..n {
+            if !trigger_tiles[j].is_empty() {
+                tiles[home[j] as usize].send_v.push(j as u32);
+            }
+        }
+    }
+
+    Program {
+        kind,
+        n,
+        grid,
+        trees,
+        x_tree,
+        partial_tree,
+        tiles,
+        home,
+        inv_diag,
+        num_items: items.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use azul_mapping::strategies::{Mapper, RoundRobinMapper};
+    use azul_sparse::generate;
+    use azul_solver::ic0::ic0;
+
+    fn setup() -> (Csr, Placement) {
+        let a = generate::grid_laplacian_2d(6, 6);
+        let grid = TileGrid::new(2, 2);
+        let p = RoundRobinMapper.map(&a, grid);
+        (a, p)
+    }
+
+    #[test]
+    fn spmv_program_covers_all_nonzeros() {
+        let (a, p) = setup();
+        let prog = Program::compile_spmv(&a, &p);
+        let total_entries: usize = prog.tiles.iter().map(|t| t.entries.len()).sum();
+        assert_eq!(total_entries, a.nnz());
+        assert_eq!(prog.num_items, a.nnz());
+        assert_eq!(prog.kind, ProgramKind::Spmv);
+    }
+
+    #[test]
+    fn spmv_slot_remaining_counts_cover_entries_and_partials() {
+        let (a, p) = setup();
+        let prog = Program::compile_spmv(&a, &p);
+        // Sum of home-slot remaining over all rows equals
+        // nnz contributions routed through trees + local; globally the
+        // total remaining across all slots = nnz + total tree partials.
+        let total_remaining: u64 = prog
+            .tiles
+            .iter()
+            .flat_map(|t| t.slots.iter())
+            .map(|s| s.remaining as u64)
+            .sum();
+        let partial_sends: u64 = prog
+            .tiles
+            .iter()
+            .flat_map(|t| t.slots.iter())
+            .filter(|s| matches!(s.action, SlotAction::SendPartial { .. }))
+            .count() as u64;
+        assert_eq!(total_remaining, a.nnz() as u64 + partial_sends);
+    }
+
+    #[test]
+    fn every_row_has_exactly_one_final_slot() {
+        let (a, p) = setup();
+        let prog = Program::compile_spmv(&a, &p);
+        let mut finals = vec![0usize; a.rows()];
+        for tp in &prog.tiles {
+            for s in &tp.slots {
+                if let SlotAction::FinalY { target } = s.action {
+                    finals[target as usize] += 1;
+                }
+            }
+        }
+        assert!(finals.iter().all(|&c| c == 1), "{finals:?}");
+    }
+
+    #[test]
+    fn sendv_tasks_live_on_home_tiles() {
+        let (a, p) = setup();
+        let prog = Program::compile_spmv(&a, &p);
+        let mut seen = vec![false; a.rows()];
+        for (t, tp) in prog.tiles.iter().enumerate() {
+            for &j in &tp.send_v {
+                assert_eq!(prog.home[j as usize] as usize, t);
+                seen[j as usize] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "every column multicast scheduled");
+    }
+
+    #[test]
+    fn sptrsv_lower_has_initial_solves() {
+        let (a, p) = setup();
+        let l = ic0(&a).unwrap();
+        let prog = Program::compile_sptrsv_lower(&l, &a, &p);
+        assert_eq!(prog.kind, ProgramKind::Sptrsv);
+        // Row 0 has no strictly-lower entries: solved at start, either via
+        // an explicit initial solve or a zero-remaining home slot.
+        let home0 = prog.home[0] as usize;
+        let has_initial = prog.tiles[home0].initial_solves.contains(&0)
+            || prog.tiles[home0]
+                .combine_slot
+                .get(&0)
+                .map(|&s| prog.tiles[home0].slots[s as usize].remaining == 0)
+                .unwrap_or(false);
+        assert!(has_initial);
+    }
+
+    #[test]
+    fn sptrsv_upper_mirrors_lower_work() {
+        let (a, p) = setup();
+        let l = ic0(&a).unwrap();
+        let lo = Program::compile_sptrsv_lower(&l, &a, &p);
+        let up = Program::compile_sptrsv_upper(&l, &a, &p);
+        assert_eq!(lo.num_items, up.num_items);
+        // The last variable has no dependences in the upper solve.
+        let n = a.rows();
+        let home_last = up.home[n - 1] as usize;
+        let slot = up.tiles[home_last].combine_slot.get(&((n - 1) as u32));
+        let ready = up.tiles[home_last]
+            .initial_solves
+            .contains(&((n - 1) as u32))
+            || slot
+                .map(|&s| up.tiles[home_last].slots[s as usize].remaining == 0)
+                .unwrap_or(false);
+        assert!(ready);
+    }
+
+    #[test]
+    fn sptrsv_home_slots_load_b() {
+        let (a, p) = setup();
+        let l = ic0(&a).unwrap();
+        let prog = Program::compile_sptrsv_lower(&l, &a, &p);
+        for (i, &h) in prog.home.iter().enumerate() {
+            let tp = &prog.tiles[h as usize];
+            let slot = tp.combine_slot[&(i as u32)];
+            assert!(tp.slots[slot as usize].init_from_b);
+            assert!(matches!(
+                tp.slots[slot as usize].action,
+                SlotAction::Solve { .. }
+            ));
+        }
+    }
+
+    #[test]
+    fn inv_diag_is_reciprocal() {
+        let (a, p) = setup();
+        let l = ic0(&a).unwrap();
+        let prog = Program::compile_sptrsv_lower(&l, &a, &p);
+        for i in 0..a.rows() {
+            assert!((prog.inv_diag[i] * l.get(i, i) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn single_tile_grid_needs_no_trees() {
+        let a = generate::grid_laplacian_2d(4, 4);
+        let grid = TileGrid::new(1, 1);
+        let p = Placement::new(grid, vec![0; a.nnz()], vec![0; 16]);
+        let prog = Program::compile_spmv(&a, &p);
+        assert!(prog.trees.is_empty());
+        assert!(prog.x_tree.iter().all(Option::is_none));
+        assert!(prog.partial_tree.iter().all(Option::is_none));
+    }
+}

@@ -1,0 +1,426 @@
+//! Per-tile router model for the 2-D torus NoC (Sec. V-B).
+//!
+//! Each router has four direction inputs plus a local inject port. Every
+//! cycle it can forward at most one flit per output link (Table III:
+//! 96-bit links, one flit carries a 64-bit value plus 32 bits of
+//! metadata). Flits are routed along precompiled
+//! [`CommTree`](azul_mapping::tree::CommTree)s: multicast
+//! flits fan out toward tree children, reduction partials climb toward
+//! the tree root, and combining happens at the PEs of combiner tiles.
+
+use crate::program::Program;
+use azul_mapping::TileId;
+use std::collections::VecDeque;
+
+/// Message kinds carried by flits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlitKind {
+    /// A multicast value (input-vector element or solved variable).
+    X,
+    /// A reduction partial sum.
+    Partial,
+}
+
+/// One network flit: a 64-bit value plus 32-bit metadata, exactly one
+/// link-width (Table III).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Flit {
+    /// Message kind.
+    pub kind: FlitKind,
+    /// The row/column index the value belongs to.
+    pub idx: u32,
+    /// The payload value.
+    pub val: f64,
+    /// True while the flit is still at its injection tile (so a partial
+    /// injected by a combiner is not re-delivered to the same combiner).
+    pub outbound: bool,
+}
+
+/// Input-port indices: the four directions plus local injection.
+pub const PORT_E: usize = 0;
+/// West input port.
+pub const PORT_W: usize = 1;
+/// North input port.
+pub const PORT_N: usize = 2;
+/// South input port.
+pub const PORT_S: usize = 3;
+/// Local PE injection port.
+pub const PORT_INJECT: usize = 4;
+
+/// A queued flit with its earliest processing cycle (models hop latency)
+/// and partial-fork progress: multicast forwarding to multiple children
+/// proceeds one free output at a time instead of atomically, which keeps
+/// congested multicast trees deadlock-free.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Queued {
+    ready: u64,
+    flit: Flit,
+    /// Bitmask of output directions already served.
+    forwarded: u8,
+    /// Whether local delivery has already happened.
+    delivered: bool,
+}
+
+/// One tile's router.
+#[derive(Debug, Clone)]
+pub struct Router {
+    tile: TileId,
+    inputs: [VecDeque<Queued>; 5],
+    /// Round-robin arbitration cursor.
+    rr: usize,
+    capacity: usize,
+}
+
+/// What the router asks its tile to do with a delivered flit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Delivery {
+    /// The delivered flit.
+    pub flit: Flit,
+}
+
+impl Router {
+    /// Creates the router of `tile` with the given input-queue capacity.
+    pub fn new(tile: TileId, capacity: usize) -> Self {
+        Router {
+            tile,
+            inputs: Default::default(),
+            rr: 0,
+            capacity,
+        }
+    }
+
+    /// Whether the local inject port can accept another flit.
+    pub fn can_inject(&self) -> bool {
+        self.inputs[PORT_INJECT].len() < self.capacity
+    }
+
+    /// Injects a locally generated flit (PE Send operation).
+    pub fn inject(&mut self, now: u64, flit: Flit) {
+        self.inputs[PORT_INJECT].push_back(Queued {
+            ready: now + 1,
+            flit,
+            forwarded: 0,
+            delivered: false,
+        });
+    }
+
+    /// Number of buffered flits across all input ports.
+    pub fn occupancy(&self) -> usize {
+        self.inputs.iter().map(VecDeque::len).sum()
+    }
+
+    /// Accepts a flit arriving from a neighbor on `port`.
+    fn accept(&mut self, port: usize, ready: u64, flit: Flit) {
+        self.inputs[port].push_back(Queued {
+            ready,
+            flit,
+            forwarded: 0,
+            delivered: false,
+        });
+    }
+
+    /// Whether input `port` has room. Direction ports are modeled with
+    /// ample buffering: real tori need dateline virtual channels to stay
+    /// deadlock-free under full backpressure; we idealize buffer space
+    /// instead and keep the 1-flit-per-link-per-cycle bandwidth limit,
+    /// which is what determines performance (see DESIGN.md §5). The
+    /// inject port stays finite (checked via [`Router::can_inject`]) so
+    /// PEs feel send backpressure.
+    fn has_room(&self, _port: usize) -> bool {
+        true
+    }
+
+    /// The tile id this router serves.
+    pub fn tile(&self) -> TileId {
+        self.tile
+    }
+
+    /// Debug view of each input port's head flit:
+    /// `(port, kind, idx, outbound, ready<=now, queue_len)`.
+    pub fn debug_heads(&self, now: u64) -> Vec<(usize, FlitKind, u32, bool, bool, usize)> {
+        self.inputs
+            .iter()
+            .enumerate()
+            .filter_map(|(p, q)| {
+                q.front()
+                    .map(|h| (p, h.flit.kind, h.flit.idx, h.flit.outbound, h.ready <= now, q.len()))
+            })
+            .collect()
+    }
+}
+
+/// Ticks the router of tile `t`: moves at most one flit per output link,
+/// appends local deliveries to `deliveries`, records tiles that received
+/// flits into `activated` (for the machine's active-tile tracking), and
+/// updates traffic stats.
+///
+/// Implemented as a free function over the whole router array because a
+/// forward touches two routers (source output, destination input).
+#[allow(clippy::too_many_arguments)]
+pub fn tick_router_at(
+    t: usize,
+    now: u64,
+    hop_latency: u64,
+    routers: &mut [Router],
+    program: &Program,
+    deliveries: &mut Vec<Delivery>,
+    activated: &mut Vec<usize>,
+    stats: &mut crate::stats::KernelStats,
+) {
+    let grid = program.grid;
+    // Each output direction may carry one flit this cycle.
+    let mut dir_used = [false; 4];
+    let rr_start = routers[t].rr;
+    routers[t].rr = (routers[t].rr + 1) % 5;
+    for q in 0..5 {
+        let port = (rr_start + q) % 5;
+        // Peek head flit if ready.
+        let Some(&head) = routers[t].inputs[port].front() else {
+            continue;
+        };
+        if head.ready > now {
+            continue;
+        }
+        let flit = head.flit;
+        let tile = t as TileId;
+        // Determine required outputs and local delivery.
+        let mut out_dirs: Vec<(usize, TileId)> = Vec::new();
+        let mut deliver = false;
+        match flit.kind {
+            FlitKind::X => {
+                let tree_id =
+                    program.x_tree[flit.idx as usize].expect("multicast flit has a tree");
+                let tree = &program.trees[tree_id as usize];
+                for &child in tree.children_of(tile) {
+                    let dir = direction_of(grid, tile, child);
+                    out_dirs.push((dir, child));
+                }
+                deliver = !flit.outbound && tree.is_dest(tile);
+            }
+            FlitKind::Partial => {
+                let is_combiner = program.tiles[t].combine_slot.contains_key(&flit.idx);
+                if !flit.outbound && is_combiner {
+                    deliver = true;
+                } else {
+                    let tree_id = program.partial_tree[flit.idx as usize]
+                        .expect("partial flit has a tree");
+                    let tree = &program.trees[tree_id as usize];
+                    let parent = tree
+                        .parent_of(tile)
+                        .expect("non-root tile climbing a reduction tree");
+                    out_dirs.push((direction_of(grid, tile, parent), parent));
+                }
+            }
+        }
+
+        // Partial fork: serve whatever outputs are free this cycle; the
+        // flit stays queued until every child and the local delivery are
+        // done. This keeps congested multicast trees deadlock-free.
+        let mut forwarded = head.forwarded;
+        let mut delivered = head.delivered;
+        let mut progressed = false;
+        for &(dir, next) in &out_dirs {
+            if forwarded & (1 << dir) != 0 {
+                continue;
+            }
+            if dir_used[dir] || !routers[next as usize].has_room(reverse_port(dir)) {
+                continue;
+            }
+            dir_used[dir] = true;
+            forwarded |= 1 << dir;
+            progressed = true;
+            stats.link_activations += 1;
+            let mut copy = flit;
+            copy.outbound = false;
+            routers[next as usize].accept(reverse_port(dir), now + hop_latency, copy);
+            activated.push(next as usize);
+        }
+        if deliver && !delivered {
+            deliveries.push(Delivery { flit });
+            delivered = true;
+            progressed = true;
+        }
+
+        let all_dirs_done = out_dirs.iter().all(|&(dir, _)| forwarded & (1 << dir) != 0);
+        if all_dirs_done && (delivered || !deliver) {
+            routers[t].inputs[port].pop_front();
+            stats.router_traversals += 1;
+        } else if progressed {
+            let h = routers[t].inputs[port].front_mut().expect("head still queued");
+            h.forwarded = forwarded;
+            h.delivered = delivered;
+        }
+    }
+}
+
+/// Convenience: ticks every router (used by unit tests and small runs).
+pub fn tick_routers(
+    now: u64,
+    hop_latency: u64,
+    routers: &mut [Router],
+    program: &Program,
+    deliveries: &mut [Vec<Delivery>],
+    stats: &mut crate::stats::KernelStats,
+) {
+    let mut activated = Vec::new();
+    #[allow(clippy::needless_range_loop)] // index used across several structures
+    for t in 0..routers.len() {
+        tick_router_at(
+            t,
+            now,
+            hop_latency,
+            routers,
+            program,
+            &mut deliveries[t],
+            &mut activated,
+            stats,
+        );
+    }
+}
+
+/// Direction index (E/W/N/S as PORT_*) of the link from `from` to
+/// adjacent `to`.
+fn direction_of(grid: azul_mapping::TileGrid, from: TileId, to: TileId) -> usize {
+    grid.neighbors(from)
+        .iter()
+        .position(|&n| n == to)
+        .expect("tree links connect adjacent tiles")
+}
+
+/// The input port on the receiving router for a flit leaving via `dir`.
+fn reverse_port(dir: usize) -> usize {
+    match dir {
+        PORT_E => PORT_W,
+        PORT_W => PORT_E,
+        PORT_N => PORT_S,
+        PORT_S => PORT_N,
+        _ => unreachable!("not a direction"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::Program;
+    use azul_mapping::strategies::{Mapper, RoundRobinMapper};
+    use azul_mapping::TileGrid;
+    use azul_sparse::generate;
+
+    fn spmv_program_2x2() -> Program {
+        let a = generate::grid_laplacian_2d(4, 4);
+        let grid = TileGrid::new(2, 2);
+        let p = RoundRobinMapper.map(&a, grid);
+        Program::compile_spmv(&a, &p)
+    }
+
+    #[test]
+    fn inject_and_capacity() {
+        let mut r = Router::new(0, 2);
+        assert!(r.can_inject());
+        r.inject(0, Flit { kind: FlitKind::X, idx: 0, val: 1.0, outbound: true });
+        r.inject(0, Flit { kind: FlitKind::X, idx: 1, val: 1.0, outbound: true });
+        assert!(!r.can_inject());
+        assert_eq!(r.occupancy(), 2);
+    }
+
+    #[test]
+    fn multicast_flit_reaches_all_dests() {
+        let prog = spmv_program_2x2();
+        // Find a column with a real multicast tree.
+        let j = (0..prog.n)
+            .find(|&j| prog.x_tree[j].is_some())
+            .expect("some column is multi-tile under round-robin");
+        let tree_id = prog.x_tree[j].unwrap() as usize;
+        let dests: Vec<TileId> = prog.trees[tree_id].dests().to_vec();
+        let root = prog.trees[tree_id].root();
+
+        let num = prog.grid.num_tiles();
+        let mut routers: Vec<Router> = (0..num as u32).map(|t| Router::new(t, 16)).collect();
+        routers[root as usize].inject(
+            0,
+            Flit { kind: FlitKind::X, idx: j as u32, val: 2.5, outbound: true },
+        );
+        let mut deliveries: Vec<Vec<Delivery>> = vec![Vec::new(); num];
+        let mut stats = crate::stats::KernelStats::default();
+        for cycle in 0..50 {
+            tick_routers(cycle, 1, &mut routers, &prog, &mut deliveries, &mut stats);
+        }
+        for &d in &dests {
+            assert_eq!(
+                deliveries[d as usize].len(),
+                1,
+                "dest {d} should get exactly one delivery"
+            );
+            assert_eq!(deliveries[d as usize][0].flit.val, 2.5);
+        }
+        assert_eq!(stats.link_activations as usize, prog.trees[tree_id].num_links());
+        // Root does not deliver to itself.
+        if !dests.contains(&root) {
+            assert!(deliveries[root as usize].is_empty());
+        }
+    }
+
+    #[test]
+    fn partial_flit_climbs_to_home() {
+        let prog = spmv_program_2x2();
+        let i = (0..prog.n)
+            .find(|&i| prog.partial_tree[i].is_some())
+            .expect("some row spans tiles");
+        let tree_id = prog.partial_tree[i].unwrap() as usize;
+        let tree = &prog.trees[tree_id];
+        let leaf = *tree.dests().last().unwrap();
+        let home = tree.root();
+
+        let num = prog.grid.num_tiles();
+        let mut routers: Vec<Router> = (0..num as u32).map(|t| Router::new(t, 16)).collect();
+        routers[leaf as usize].inject(
+            0,
+            Flit { kind: FlitKind::Partial, idx: i as u32, val: 7.0, outbound: true },
+        );
+        let mut deliveries: Vec<Vec<Delivery>> = vec![Vec::new(); num];
+        let mut stats = crate::stats::KernelStats::default();
+        for cycle in 0..50 {
+            tick_routers(cycle, 1, &mut routers, &prog, &mut deliveries, &mut stats);
+        }
+        // The partial must be delivered at some combiner tile along the
+        // way (possibly the home itself).
+        let delivered: Vec<usize> = (0..num).filter(|&t| !deliveries[t].is_empty()).collect();
+        assert_eq!(delivered.len(), 1);
+        let t = delivered[0];
+        assert!(prog.tiles[t].combine_slot.contains_key(&(i as u32)));
+        // It made progress toward home: either home itself or a tile
+        // strictly between.
+        let _ = home;
+    }
+
+    #[test]
+    fn hop_latency_delays_arrival() {
+        let prog = spmv_program_2x2();
+        let j = (0..prog.n)
+            .find(|&j| prog.x_tree[j].is_some())
+            .unwrap();
+        let tree_id = prog.x_tree[j].unwrap() as usize;
+        let root = prog.trees[tree_id].root();
+        let num = prog.grid.num_tiles();
+
+        let run = |hop: u64| -> u64 {
+            let mut routers: Vec<Router> = (0..num as u32).map(|t| Router::new(t, 16)).collect();
+            routers[root as usize].inject(
+                0,
+                Flit { kind: FlitKind::X, idx: j as u32, val: 1.0, outbound: true },
+            );
+            let mut deliveries: Vec<Vec<Delivery>> = vec![Vec::new(); num];
+            let mut stats = crate::stats::KernelStats::default();
+            for cycle in 0..200 {
+                tick_routers(cycle, hop, &mut routers, &prog, &mut deliveries, &mut stats);
+                if deliveries.iter().map(Vec::len).sum::<usize>()
+                    == prog.trees[tree_id].dests().len()
+                {
+                    return cycle;
+                }
+            }
+            panic!("multicast never completed");
+        };
+        assert!(run(4) > run(1), "higher hop latency takes longer");
+    }
+}

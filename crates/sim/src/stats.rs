@@ -1,0 +1,158 @@
+//! Simulation statistics: the raw material of Figs. 11, 21, 22 and 24.
+
+/// PE operation kinds (the categories of Fig. 21).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpKind {
+    /// Fused multiply-accumulate (the dominant operation).
+    Fmac,
+    /// Standalone add (reduction combines).
+    Add,
+    /// Standalone multiply (diagonal solves, scalings).
+    Mul,
+    /// Message injection into the router.
+    Send,
+}
+
+/// Kernel classes for runtime breakdowns (Fig. 3 / Fig. 22).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum KernelClass {
+    /// Sparse matrix-vector multiply.
+    Spmv,
+    /// Sparse triangular solve.
+    Sptrsv,
+    /// Dense vector operations (dots, axpys).
+    VectorOps,
+}
+
+/// Aggregated statistics of one kernel invocation.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct KernelStats {
+    /// Wall-clock cycles from launch to quiescence.
+    pub cycles: u64,
+    /// Issued operations by kind, summed over all PEs:
+    /// `[Fmac, Add, Mul, Send]`.
+    pub ops: [u64; 4],
+    /// Extra issue cycles consumed by Dalorex bookkeeping instructions.
+    pub overhead_cycles: u64,
+    /// Cycles where a PE had pending work but could not issue (hazards,
+    /// router backpressure).
+    pub stall_cycles: u64,
+    /// Cycles where a PE had no work at all.
+    pub idle_cycles: u64,
+    /// Messages injected into the NoC.
+    pub messages: u64,
+    /// Link traversals (Fig. 11's "link activations").
+    pub link_activations: u64,
+    /// Router traversals (for NoC energy).
+    pub router_traversals: u64,
+    /// Data-SRAM reads (operand fetches, message spills).
+    pub sram_reads: u64,
+    /// Accumulator-SRAM read-modify-writes.
+    pub accum_rmws: u64,
+    /// Message-buffer overflows spilled to the Data SRAM.
+    pub spills: u64,
+    /// Optional progress trace: `(cycle, cumulative issued operations)`
+    /// samples, recorded when `SimConfig::trace_interval > 0`. This is the
+    /// data behind Fig. 17's issued-instructions-over-time curves.
+    pub trace: Vec<(u64, u64)>,
+}
+
+impl KernelStats {
+    /// Adds `other` into `self` (for accumulating across kernels).
+    pub fn merge(&mut self, other: &KernelStats) {
+        self.cycles += other.cycles;
+        for k in 0..4 {
+            self.ops[k] += other.ops[k];
+        }
+        self.overhead_cycles += other.overhead_cycles;
+        self.stall_cycles += other.stall_cycles;
+        self.idle_cycles += other.idle_cycles;
+        self.messages += other.messages;
+        self.link_activations += other.link_activations;
+        self.router_traversals += other.router_traversals;
+        self.sram_reads += other.sram_reads;
+        self.accum_rmws += other.accum_rmws;
+        self.spills += other.spills;
+    }
+
+    /// Records one issued operation of the given kind.
+    pub fn count_op(&mut self, kind: OpKind) {
+        self.ops[kind as usize] += 1;
+    }
+
+    /// Issued operations of one kind.
+    pub fn ops_of(&self, kind: OpKind) -> u64 {
+        self.ops[kind as usize]
+    }
+
+    /// Total issued operations.
+    pub fn total_ops(&self) -> u64 {
+        self.ops.iter().sum()
+    }
+
+    /// The PE cycle breakdown of Fig. 21: fractions of total PE-cycles
+    /// spent on `[Fmac, Add, Mul, Send, stalls-and-idle]`, where total
+    /// PE-cycles = `num_tiles * cycles`.
+    pub fn cycle_breakdown(&self, num_tiles: usize) -> [f64; 5] {
+        let total = (num_tiles as u64 * self.cycles).max(1) as f64;
+        let f = self.ops_of(OpKind::Fmac) as f64 / total;
+        let a = self.ops_of(OpKind::Add) as f64 / total;
+        let m = self.ops_of(OpKind::Mul) as f64 / total;
+        let s = self.ops_of(OpKind::Send) as f64 / total;
+        let busy = f + a + m + s;
+        [f, a, m, s, (1.0 - busy).max(0.0)]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn count_and_query_ops() {
+        let mut s = KernelStats::default();
+        s.count_op(OpKind::Fmac);
+        s.count_op(OpKind::Fmac);
+        s.count_op(OpKind::Send);
+        assert_eq!(s.ops_of(OpKind::Fmac), 2);
+        assert_eq!(s.ops_of(OpKind::Send), 1);
+        assert_eq!(s.total_ops(), 3);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = KernelStats {
+            cycles: 10,
+            messages: 5,
+            ..Default::default()
+        };
+        let b = KernelStats {
+            cycles: 7,
+            messages: 2,
+            link_activations: 9,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.cycles, 17);
+        assert_eq!(a.messages, 7);
+        assert_eq!(a.link_activations, 9);
+    }
+
+    #[test]
+    fn breakdown_sums_to_one() {
+        let mut s = KernelStats {
+            cycles: 100,
+            ..Default::default()
+        };
+        for _ in 0..150 {
+            s.count_op(OpKind::Fmac);
+        }
+        for _ in 0..30 {
+            s.count_op(OpKind::Add);
+        }
+        let b = s.cycle_breakdown(4); // 400 PE-cycles
+        let sum: f64 = b.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+        assert!((b[0] - 0.375).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,212 @@
+//! BiCGStab — the stabilized bi-conjugate gradient solver of Table II, for
+//! non-symmetric systems.
+
+use crate::flops::{self, FlopBreakdown};
+use crate::pcg::SolveOutcome;
+use crate::precond::Preconditioner;
+use azul_sparse::{dense, Csr};
+
+/// Configuration for [`bicgstab`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BiCgStabConfig {
+    /// Convergence tolerance on `||r||_2`.
+    pub tol: f64,
+    /// Iteration cap.
+    pub max_iters: usize,
+}
+
+impl Default for BiCgStabConfig {
+    fn default() -> Self {
+        BiCgStabConfig {
+            tol: 1e-10,
+            max_iters: 5000,
+        }
+    }
+}
+
+/// Solves `A x = b` with right-preconditioned BiCGStab (initial guess 0).
+///
+/// # Panics
+///
+/// Panics if `b.len() != a.rows()` or `a` is not square.
+pub fn bicgstab<M: Preconditioner + ?Sized>(
+    a: &Csr,
+    b: &[f64],
+    m: &M,
+    config: &BiCgStabConfig,
+) -> SolveOutcome {
+    let n = a.rows();
+    assert_eq!(a.cols(), n, "bicgstab needs a square matrix");
+    assert_eq!(b.len(), n, "rhs length mismatch");
+
+    let mut fl = FlopBreakdown::default();
+    let mut x = vec![0.0; n];
+    let mut r = b.to_vec();
+    let r_hat = r.clone();
+    let mut rho_old = 1.0;
+    let mut alpha = 1.0;
+    let mut omega = 1.0;
+    let mut v = vec![0.0; n];
+    let mut p = vec![0.0; n];
+
+    let mut iterations = 0;
+    let mut converged = dense::norm2(&r) <= config.tol;
+    fl.vector += flops::dot_flops(n);
+
+    while !converged && iterations < config.max_iters {
+        let rho = dense::dot(&r_hat, &r);
+        fl.vector += flops::dot_flops(n);
+        if rho == 0.0 {
+            break;
+        }
+        let beta = (rho / rho_old) * (alpha / omega);
+        // p = r + beta (p - omega v)
+        for i in 0..n {
+            p[i] = r[i] + beta * (p[i] - omega * v[i]);
+        }
+        fl.vector += 2 * flops::axpy_flops(n);
+        // v = A M^-1 p
+        let y = m.apply(&p);
+        fl.add(m.flops_per_apply());
+        v = a.spmv(&y);
+        fl.spmv += flops::spmv_flops(a);
+        let rhat_v = dense::dot(&r_hat, &v);
+        fl.vector += flops::dot_flops(n);
+        if rhat_v == 0.0 {
+            break;
+        }
+        alpha = rho / rhat_v;
+        // s = r - alpha v
+        let mut s = r.clone();
+        dense::axpy(-alpha, &v, &mut s);
+        fl.vector += flops::axpy_flops(n);
+        // x += alpha y (right preconditioning)
+        dense::axpy(alpha, &y, &mut x);
+        fl.vector += flops::axpy_flops(n);
+        let snorm = dense::norm2(&s);
+        fl.vector += flops::dot_flops(n);
+        if snorm <= config.tol {
+            iterations += 1;
+            converged = true;
+            break;
+        }
+        // t = A M^-1 s
+        let z = m.apply(&s);
+        fl.add(m.flops_per_apply());
+        let t = a.spmv(&z);
+        fl.spmv += flops::spmv_flops(a);
+        let tt = dense::dot(&t, &t);
+        fl.vector += flops::dot_flops(n);
+        if tt == 0.0 {
+            break;
+        }
+        omega = dense::dot(&t, &s) / tt;
+        fl.vector += flops::dot_flops(n);
+        // x += omega z ; r = s - omega t
+        dense::axpy(omega, &z, &mut x);
+        r = s;
+        dense::axpy(-omega, &t, &mut r);
+        fl.vector += 2 * flops::axpy_flops(n);
+
+        rho_old = rho;
+        iterations += 1;
+        let rnorm = dense::norm2(&r);
+        fl.vector += flops::dot_flops(n);
+        converged = rnorm <= config.tol;
+        if omega == 0.0 {
+            break;
+        }
+    }
+
+    let final_residual = dense::norm2(&dense::sub(b, &a.spmv(&x)));
+    SolveOutcome {
+        x,
+        iterations,
+        converged,
+        final_residual,
+        flops: fl,
+        residual_history: Vec::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ilu0::ilu0;
+    use crate::precond::{Identity, Preconditioner};
+    use azul_sparse::{generate, Coo};
+
+    /// ILU(0) wrapped as a `Preconditioner`.
+    struct IluPrecond(crate::ilu0::Ilu0);
+
+    impl Preconditioner for IluPrecond {
+        fn apply(&self, r: &[f64]) -> Vec<f64> {
+            self.0.solve(r)
+        }
+        fn flops_per_apply(&self) -> FlopBreakdown {
+            FlopBreakdown {
+                sptrsv: flops::sptrsv_flops(self.0.l.nnz()) + flops::sptrsv_flops(self.0.u.nnz()),
+                ..Default::default()
+            }
+        }
+        fn name(&self) -> &'static str {
+            "ilu0"
+        }
+    }
+
+    fn rhs(n: usize) -> Vec<f64> {
+        (0..n).map(|i| ((i * 13 % 7) as f64) - 3.0).collect()
+    }
+
+    #[test]
+    fn solves_spd_system() {
+        let a = generate::grid_laplacian_2d(10, 10);
+        let b = rhs(a.rows());
+        let out = bicgstab(&a, &b, &Identity, &BiCgStabConfig::default());
+        assert!(out.converged, "stalled at {}", out.final_residual);
+        assert!(out.final_residual < 1e-8);
+    }
+
+    #[test]
+    fn solves_nonsymmetric_system() {
+        // Perturb a Laplacian into a non-symmetric diagonally dominant matrix.
+        let base = generate::grid_laplacian_2d(8, 8);
+        let mut coo = Coo::new(base.rows(), base.cols());
+        for (r, c, v) in base.iter() {
+            let skew = if r < c { 0.3 } else { 0.0 };
+            coo.push(r, c, v + skew * v.abs()).unwrap();
+        }
+        let a = coo.to_csr();
+        assert!(!a.is_symmetric(1e-12));
+        let b = rhs(a.rows());
+        let out = bicgstab(&a, &b, &Identity, &BiCgStabConfig::default());
+        assert!(out.converged);
+        assert!(out.final_residual < 1e-8);
+    }
+
+    #[test]
+    fn ilu_preconditioning_reduces_iterations() {
+        let a = generate::fem_mesh_3d(200, 6, 77);
+        let b = rhs(a.rows());
+        let plain = bicgstab(&a, &b, &Identity, &BiCgStabConfig::default());
+        let f = ilu0(&a).unwrap();
+        let m = IluPrecond(f);
+        let pre = bicgstab(&a, &b, &m, &BiCgStabConfig::default());
+        assert!(plain.converged && pre.converged);
+        assert!(
+            pre.iterations <= plain.iterations,
+            "ILU should not be slower: {} vs {}",
+            pre.iterations,
+            plain.iterations
+        );
+        assert!(pre.flops.sptrsv > 0);
+    }
+
+    #[test]
+    fn zero_rhs_is_trivial() {
+        let a = generate::tridiagonal(5);
+        let out = bicgstab(&a, &[0.0; 5], &Identity, &BiCgStabConfig::default());
+        assert!(out.converged);
+        assert_eq!(out.iterations, 0);
+    }
+}

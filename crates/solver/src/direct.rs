@@ -1,0 +1,166 @@
+//! Small dense direct solver, used as exact ground truth in tests.
+//!
+//! The paper contrasts iterative solvers with direct (factorization)
+//! methods in Sec. II; this module provides a dense Cholesky
+//! factorization for modest dimensions so integration tests can compare
+//! iterative solutions against an exact solve.
+
+use crate::{Result, SolverError};
+use azul_sparse::Csr;
+
+/// A dense Cholesky factorization `A = L L^T` of an SPD matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DenseCholesky {
+    n: usize,
+    /// Row-major lower-triangular factor.
+    l: Vec<f64>,
+}
+
+impl DenseCholesky {
+    /// Factors a symmetric positive-definite matrix.
+    ///
+    /// Intended for validation at small `n`; cost is `O(n^3)` time and
+    /// `O(n^2)` memory.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolverError::Dimension`] for non-square input and
+    /// [`SolverError::Breakdown`] if the matrix is not positive definite.
+    pub fn factor(a: &Csr) -> Result<Self> {
+        let n = a.rows();
+        if a.cols() != n {
+            return Err(SolverError::Dimension(format!(
+                "dense cholesky needs a square matrix, got {}x{}",
+                a.rows(),
+                a.cols()
+            )));
+        }
+        // Densify.
+        let mut m = vec![0.0f64; n * n];
+        for (r, c, v) in a.iter() {
+            m[r * n + c] = v;
+        }
+        // In-place lower Cholesky.
+        let mut l = vec![0.0f64; n * n];
+        for i in 0..n {
+            for j in 0..=i {
+                let mut s = m[i * n + j];
+                for k in 0..j {
+                    s -= l[i * n + k] * l[j * n + k];
+                }
+                if i == j {
+                    if s <= 0.0 {
+                        return Err(SolverError::Breakdown(format!(
+                            "non-positive pivot {s:.3e} at row {i}"
+                        )));
+                    }
+                    l[i * n + i] = s.sqrt();
+                } else {
+                    l[i * n + j] = s / l[j * n + j];
+                }
+            }
+        }
+        Ok(DenseCholesky { n, l })
+    }
+
+    /// Dimension of the factored matrix.
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Solves `A x = b` exactly via forward + backward substitution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len() != self.dim()`.
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        let n = self.n;
+        assert_eq!(b.len(), n, "rhs length mismatch");
+        // L y = b
+        let mut y = vec![0.0f64; n];
+        #[allow(clippy::needless_range_loop)] // index used across several structures
+        for i in 0..n {
+            let mut s = b[i];
+            for k in 0..i {
+                s -= self.l[i * n + k] * y[k];
+            }
+            y[i] = s / self.l[i * n + i];
+        }
+        // L^T x = y
+        let mut x = vec![0.0f64; n];
+        #[allow(clippy::needless_range_loop)] // index used across several structures
+        for i in (0..n).rev() {
+            let mut s = y[i];
+            for k in (i + 1)..n {
+                s -= self.l[k * n + i] * x[k];
+            }
+            x[i] = s / self.l[i * n + i];
+        }
+        x
+    }
+}
+
+/// Convenience: factor and solve in one call.
+///
+/// # Errors
+///
+/// See [`DenseCholesky::factor`].
+pub fn dense_solve(a: &Csr, b: &[f64]) -> Result<Vec<f64>> {
+    Ok(DenseCholesky::factor(a)?.solve(b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use azul_sparse::{dense, generate, Coo};
+
+    #[test]
+    fn solves_small_exactly() {
+        // A = [[4,1],[1,3]], b = [1,2] -> x = (1/11, 7/11)
+        let a = Coo::from_triplets(2, 2, [(0, 0, 4.0), (0, 1, 1.0), (1, 0, 1.0), (1, 1, 3.0)])
+            .unwrap()
+            .to_csr();
+        let x = dense_solve(&a, &[1.0, 2.0]).unwrap();
+        assert!((x[0] - 1.0 / 11.0).abs() < 1e-14);
+        assert!((x[1] - 7.0 / 11.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn agrees_with_spmv_roundtrip() {
+        let a = generate::fem_mesh_3d(120, 5, 33);
+        let x_true: Vec<f64> = (0..120).map(|i| ((i * 7 % 13) as f64) - 6.0).collect();
+        let b = a.spmv(&x_true);
+        let x = dense_solve(&a, &b).unwrap();
+        assert!(dense::rel_l2_diff(&x, &x_true) < 1e-9);
+    }
+
+    #[test]
+    fn matches_pcg_solution() {
+        let a = generate::grid_laplacian_2d(8, 8);
+        let b: Vec<f64> = (0..64).map(|i| 1.0 + (i % 3) as f64).collect();
+        let exact = dense_solve(&a, &b).unwrap();
+        let m = crate::precond::IncompleteCholesky::new(&a).unwrap();
+        let iterative = crate::pcg(&a, &b, &m, &crate::PcgConfig::default());
+        assert!(dense::rel_l2_diff(&iterative.x, &exact) < 1e-7);
+    }
+
+    #[test]
+    fn rejects_indefinite() {
+        let a = Coo::from_triplets(2, 2, [(0, 0, 1.0), (0, 1, 5.0), (1, 0, 5.0), (1, 1, 1.0)])
+            .unwrap()
+            .to_csr();
+        assert!(matches!(
+            DenseCholesky::factor(&a),
+            Err(SolverError::Breakdown(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_rectangular() {
+        let a = Coo::from_triplets(2, 3, [(0, 0, 1.0)]).unwrap().to_csr();
+        assert!(matches!(
+            DenseCholesky::factor(&a),
+            Err(SolverError::Dimension(_))
+        ));
+    }
+}

@@ -1,0 +1,134 @@
+//! FLOP accounting, the common currency of every experiment.
+//!
+//! The paper reports performance in double-precision GFLOP/s with an FMAC
+//! counting as 2 FLOPs. These helpers define the per-kernel FLOP costs used
+//! consistently by the reference solvers, the analytic baseline models and
+//! the simulator's GFLOP/s conversions.
+
+use azul_sparse::Csr;
+
+/// FLOPs of one SpMV with matrix `a`: one FMAC per nonzero.
+pub fn spmv_flops(a: &Csr) -> u64 {
+    2 * a.nnz() as u64
+}
+
+/// FLOPs of one triangular solve with `nnz_l` stored entries (diagonal
+/// included): an FMAC per off-diagonal plus a multiply by the stored
+/// reciprocal diagonal — counted as 2 per nonzero as the paper does.
+pub fn sptrsv_flops(nnz_l: usize) -> u64 {
+    2 * nnz_l as u64
+}
+
+/// FLOPs of a dot product of length `n`.
+pub fn dot_flops(n: usize) -> u64 {
+    2 * n as u64
+}
+
+/// FLOPs of an `axpy`/`xpby` of length `n`.
+pub fn axpy_flops(n: usize) -> u64 {
+    2 * n as u64
+}
+
+/// Per-kernel FLOP breakdown of a solve (Fig. 3 / Fig. 22 categories).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FlopBreakdown {
+    /// FLOPs in sparse matrix-vector products.
+    pub spmv: u64,
+    /// FLOPs in sparse triangular solves.
+    pub sptrsv: u64,
+    /// FLOPs in dense vector operations (dots, axpys, scaling).
+    pub vector: u64,
+}
+
+impl FlopBreakdown {
+    /// Total FLOPs across all kernels.
+    pub fn total(&self) -> u64 {
+        self.spmv + self.sptrsv + self.vector
+    }
+
+    /// Adds another breakdown element-wise.
+    pub fn add(&mut self, other: FlopBreakdown) {
+        self.spmv += other.spmv;
+        self.sptrsv += other.sptrsv;
+        self.vector += other.vector;
+    }
+
+    /// Fraction of total FLOPs per kernel, `(spmv, sptrsv, vector)`.
+    /// Returns zeros for an empty breakdown.
+    pub fn fractions(&self) -> (f64, f64, f64) {
+        let t = self.total();
+        if t == 0 {
+            return (0.0, 0.0, 0.0);
+        }
+        let t = t as f64;
+        (
+            self.spmv as f64 / t,
+            self.sptrsv as f64 / t,
+            self.vector as f64 / t,
+        )
+    }
+}
+
+/// FLOPs of one PCG iteration (Listing 1's loop body) with matrix `a` and
+/// IC-preconditioner triangle of `nnz_l` stored entries.
+///
+/// Counts: one SpMV, two SpTRSVs, two dot products, the `||r||` check, and
+/// three vector updates.
+pub fn pcg_iteration_breakdown(a: &Csr, nnz_l: usize) -> FlopBreakdown {
+    let n = a.rows();
+    FlopBreakdown {
+        spmv: spmv_flops(a),
+        sptrsv: 2 * sptrsv_flops(nnz_l),
+        vector: 2 * dot_flops(n) + dot_flops(n) + 3 * axpy_flops(n),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use azul_sparse::generate;
+
+    #[test]
+    fn kernel_flop_formulas() {
+        let a = generate::grid_laplacian_2d(4, 4);
+        assert_eq!(spmv_flops(&a), 2 * a.nnz() as u64);
+        assert_eq!(sptrsv_flops(100), 200);
+        assert_eq!(dot_flops(10), 20);
+        assert_eq!(axpy_flops(10), 20);
+    }
+
+    #[test]
+    fn breakdown_totals_and_fractions() {
+        let mut b = FlopBreakdown {
+            spmv: 60,
+            sptrsv: 30,
+            vector: 10,
+        };
+        assert_eq!(b.total(), 100);
+        let (s, t, v) = b.fractions();
+        assert!((s - 0.6).abs() < 1e-12);
+        assert!((t - 0.3).abs() < 1e-12);
+        assert!((v - 0.1).abs() < 1e-12);
+        b.add(FlopBreakdown {
+            spmv: 1,
+            sptrsv: 2,
+            vector: 3,
+        });
+        assert_eq!(b.total(), 106);
+    }
+
+    #[test]
+    fn empty_breakdown_fractions_are_zero() {
+        assert_eq!(FlopBreakdown::default().fractions(), (0.0, 0.0, 0.0));
+    }
+
+    #[test]
+    fn pcg_iteration_counts_all_kernels() {
+        let a = generate::grid_laplacian_2d(6, 6);
+        let l = a.lower_triangle();
+        let b = pcg_iteration_breakdown(&a, l.nnz());
+        assert_eq!(b.spmv, 2 * a.nnz() as u64);
+        assert_eq!(b.sptrsv, 4 * l.nnz() as u64);
+        assert_eq!(b.vector, 12 * a.rows() as u64);
+    }
+}

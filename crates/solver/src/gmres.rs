@@ -1,0 +1,252 @@
+//! Restarted GMRES — Table II lists GMRES as sharing Azul's kernels.
+
+use crate::flops::{self, FlopBreakdown};
+use crate::pcg::SolveOutcome;
+use crate::precond::Preconditioner;
+use azul_sparse::{dense, Csr};
+
+/// Configuration for [`gmres`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GmresConfig {
+    /// Convergence tolerance on `||r||_2`.
+    pub tol: f64,
+    /// Restart length (Krylov subspace dimension per cycle).
+    pub restart: usize,
+    /// Cap on total inner iterations.
+    pub max_iters: usize,
+}
+
+impl Default for GmresConfig {
+    fn default() -> Self {
+        GmresConfig {
+            tol: 1e-10,
+            restart: 30,
+            max_iters: 5000,
+        }
+    }
+}
+
+/// Solves `A x = b` with right-preconditioned restarted GMRES (initial
+/// guess 0).
+///
+/// # Panics
+///
+/// Panics if `b.len() != a.rows()`, `a` is not square, or
+/// `config.restart == 0`.
+pub fn gmres<M: Preconditioner + ?Sized>(
+    a: &Csr,
+    b: &[f64],
+    m: &M,
+    config: &GmresConfig,
+) -> SolveOutcome {
+    let n = a.rows();
+    assert_eq!(a.cols(), n, "gmres needs a square matrix");
+    assert_eq!(b.len(), n, "rhs length mismatch");
+    assert!(config.restart > 0, "restart length must be positive");
+
+    let mut fl = FlopBreakdown::default();
+    let mut x = vec![0.0; n];
+    let mut total_iters = 0usize;
+    let mut converged = false;
+
+    'outer: while total_iters < config.max_iters {
+        // r = b - A x
+        let r = dense::sub(b, &a.spmv(&x));
+        fl.spmv += flops::spmv_flops(a);
+        fl.vector += n as u64;
+        let beta = dense::norm2(&r);
+        fl.vector += flops::dot_flops(n);
+        if beta <= config.tol {
+            converged = true;
+            break;
+        }
+        let k_max = config.restart.min(config.max_iters - total_iters);
+
+        // Arnoldi with modified Gram-Schmidt.
+        let mut v: Vec<Vec<f64>> = Vec::with_capacity(k_max + 1);
+        let mut v0 = r.clone();
+        dense::scale(1.0 / beta, &mut v0);
+        fl.vector += n as u64;
+        v.push(v0);
+        let mut h = vec![vec![0.0f64; k_max]; k_max + 1];
+        // Givens rotation state.
+        let mut cs = vec![0.0f64; k_max];
+        let mut sn = vec![0.0f64; k_max];
+        let mut g = vec![0.0f64; k_max + 1];
+        g[0] = beta;
+        let mut k_done = 0usize;
+
+        for k in 0..k_max {
+            // w = A M^-1 v_k
+            let z = m.apply(&v[k]);
+            fl.add(m.flops_per_apply());
+            let mut w = a.spmv(&z);
+            fl.spmv += flops::spmv_flops(a);
+            for (j, vj) in v.iter().enumerate().take(k + 1) {
+                let hjk = dense::dot(&w, vj);
+                fl.vector += flops::dot_flops(n);
+                h[j][k] = hjk;
+                dense::axpy(-hjk, vj, &mut w);
+                fl.vector += flops::axpy_flops(n);
+            }
+            let wnorm = dense::norm2(&w);
+            fl.vector += flops::dot_flops(n);
+            h[k + 1][k] = wnorm;
+
+            // Apply accumulated Givens rotations to column k.
+            for j in 0..k {
+                let t = cs[j] * h[j][k] + sn[j] * h[j + 1][k];
+                h[j + 1][k] = -sn[j] * h[j][k] + cs[j] * h[j + 1][k];
+                h[j][k] = t;
+            }
+            // New rotation to zero h[k+1][k].
+            let denom = (h[k][k] * h[k][k] + h[k + 1][k] * h[k + 1][k]).sqrt();
+            if denom == 0.0 {
+                k_done = k + 1;
+                break;
+            }
+            cs[k] = h[k][k] / denom;
+            sn[k] = h[k + 1][k] / denom;
+            h[k][k] = denom;
+            h[k + 1][k] = 0.0;
+            g[k + 1] = -sn[k] * g[k];
+            g[k] *= cs[k];
+
+            total_iters += 1;
+            k_done = k + 1;
+
+            let res = g[k + 1].abs();
+            if res <= config.tol || wnorm == 0.0 {
+                update_solution(&mut x, &v, &h, &g, k_done, m, &mut fl);
+                converged = res <= config.tol;
+                if converged {
+                    break 'outer;
+                }
+                continue 'outer;
+            }
+            let mut vk1 = w;
+            dense::scale(1.0 / wnorm, &mut vk1);
+            fl.vector += n as u64;
+            v.push(vk1);
+        }
+        update_solution(&mut x, &v, &h, &g, k_done, m, &mut fl);
+    }
+
+    let final_residual = dense::norm2(&dense::sub(b, &a.spmv(&x)));
+    SolveOutcome {
+        x,
+        iterations: total_iters,
+        converged: converged || final_residual <= config.tol,
+        final_residual,
+        flops: fl,
+        residual_history: Vec::new(),
+    }
+}
+
+/// Back-solves the small triangular system and updates `x += M^-1 V y`.
+fn update_solution<M: Preconditioner + ?Sized>(
+    x: &mut [f64],
+    v: &[Vec<f64>],
+    h: &[Vec<f64>],
+    g: &[f64],
+    k: usize,
+    m: &M,
+    fl: &mut FlopBreakdown,
+) {
+    if k == 0 {
+        return;
+    }
+    let mut y = vec![0.0f64; k];
+    for i in (0..k).rev() {
+        let mut s = g[i];
+        for (j, &yj) in y.iter().enumerate().skip(i + 1) {
+            s -= h[i][j] * yj;
+        }
+        y[i] = s / h[i][i];
+    }
+    let n = x.len();
+    let mut update = vec![0.0f64; n];
+    for (j, &yj) in y.iter().enumerate() {
+        dense::axpy(yj, &v[j], &mut update);
+        fl.vector += flops::axpy_flops(n);
+    }
+    let z = m.apply(&update);
+    fl.add(m.flops_per_apply());
+    dense::axpy(1.0, &z, x);
+    fl.vector += flops::axpy_flops(n);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::precond::{Identity, Jacobi};
+    use azul_sparse::{generate, Coo};
+
+    fn rhs(n: usize) -> Vec<f64> {
+        (0..n).map(|i| ((i * 7 % 5) as f64) + 0.5).collect()
+    }
+
+    #[test]
+    fn solves_spd_grid() {
+        let a = generate::grid_laplacian_2d(8, 8);
+        let b = rhs(a.rows());
+        let out = gmres(&a, &b, &Identity, &GmresConfig::default());
+        assert!(out.converged, "residual {}", out.final_residual);
+        assert!(out.final_residual < 1e-8);
+    }
+
+    #[test]
+    fn solves_nonsymmetric() {
+        let base = generate::grid_laplacian_2d(6, 6);
+        let mut coo = Coo::new(base.rows(), base.cols());
+        for (r, c, v) in base.iter() {
+            coo.push(r, c, if r > c { v * 0.5 } else { v }).unwrap();
+        }
+        let a = coo.to_csr();
+        let b = rhs(a.rows());
+        let out = gmres(&a, &b, &Identity, &GmresConfig::default());
+        assert!(out.converged);
+    }
+
+    #[test]
+    fn restart_shorter_than_convergence_still_works() {
+        let a = generate::grid_laplacian_2d(10, 10);
+        let b = rhs(a.rows());
+        let out = gmres(
+            &a,
+            &b,
+            &Identity,
+            &GmresConfig {
+                restart: 5,
+                ..Default::default()
+            },
+        );
+        assert!(out.converged, "residual {}", out.final_residual);
+    }
+
+    #[test]
+    fn jacobi_preconditioning_converges() {
+        let a = generate::fem_mesh_3d(150, 5, 2);
+        let b = rhs(a.rows());
+        let out = gmres(&a, &b, &Jacobi::new(&a), &GmresConfig::default());
+        assert!(out.converged);
+        assert!(out.flops.vector > 0);
+    }
+
+    #[test]
+    fn iteration_cap_respected() {
+        let a = generate::grid_laplacian_2d(20, 20);
+        let b = rhs(a.rows());
+        let out = gmres(
+            &a,
+            &b,
+            &Identity,
+            &GmresConfig {
+                max_iters: 4,
+                tol: 1e-14,
+                ..Default::default()
+            },
+        );
+        assert!(out.iterations <= 4);
+    }
+}

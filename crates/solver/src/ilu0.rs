@@ -1,0 +1,166 @@
+//! Incomplete LU factorization with zero fill-in, ILU(0).
+//!
+//! Produces unit-lower-triangular `L` and upper-triangular `U` with the
+//! sparsity pattern of `A` such that `L U ≈ A`. Listed in Table II as the
+//! BiCGStab preconditioner for non-symmetric systems.
+
+use crate::{Result, SolverError};
+use azul_sparse::Csr;
+
+/// The ILU(0) factors of a matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Ilu0 {
+    /// Unit lower-triangular factor (unit diagonal stored explicitly).
+    pub l: Csr,
+    /// Upper-triangular factor.
+    pub u: Csr,
+}
+
+/// Computes the ILU(0) factorization of a square matrix with a full
+/// diagonal.
+///
+/// # Errors
+///
+/// Returns [`SolverError::Dimension`] for non-square input and
+/// [`SolverError::Breakdown`] if a zero pivot appears.
+pub fn ilu0(a: &Csr) -> Result<Ilu0> {
+    let n = a.rows();
+    if a.cols() != n {
+        return Err(SolverError::Dimension(format!(
+            "ilu0 needs a square matrix, got {}x{}",
+            a.rows(),
+            a.cols()
+        )));
+    }
+    // Work on a value copy of A's pattern (IKJ variant restricted to the
+    // pattern).
+    let mut f = a.clone();
+    let row_ptr = f.row_ptr().to_vec();
+    let col_idx = f.col_idx().to_vec();
+    // diag_pos[i] = index of A[i][i] in the arrays.
+    let mut diag_pos = vec![usize::MAX; n];
+    for i in 0..n {
+        #[allow(clippy::needless_range_loop)] // index used across several structures
+        for p in row_ptr[i]..row_ptr[i + 1] {
+            if col_idx[p] == i {
+                diag_pos[i] = p;
+            }
+        }
+        if diag_pos[i] == usize::MAX {
+            return Err(SolverError::Breakdown(format!(
+                "missing diagonal entry in row {i}"
+            )));
+        }
+    }
+
+    #[allow(clippy::needless_range_loop)] // indexes several arrays
+    for i in 1..n {
+        let (lo, hi) = (row_ptr[i], row_ptr[i + 1]);
+        for p in lo..hi {
+            let k = col_idx[p];
+            if k >= i {
+                break;
+            }
+            // L[i][k] = A[i][k] / U[k][k]
+            let ukk = f.values()[diag_pos[k]];
+            if ukk == 0.0 {
+                return Err(SolverError::Breakdown(format!("zero pivot at row {k}")));
+            }
+            let lik = f.values()[p] / ukk;
+            f.values_mut()[p] = lik;
+            // A[i][j] -= L[i][k] * U[k][j] for j > k in row i's pattern.
+            let (klo, khi) = (diag_pos[k] + 1, row_ptr[k + 1]);
+            let mut pi = p + 1;
+            for pk in klo..khi {
+                let j = col_idx[pk];
+                while pi < hi && col_idx[pi] < j {
+                    pi += 1;
+                }
+                if pi < hi && col_idx[pi] == j {
+                    let ukj = f.values()[pk];
+                    f.values_mut()[pi] -= lik * ukj;
+                }
+            }
+        }
+    }
+
+    let mut l = f.filter(|r, c| c < r);
+    // Add the unit diagonal to L.
+    let mut coo = azul_sparse::Coo::with_capacity(n, n, l.nnz() + n);
+    for (r, c, v) in l.iter() {
+        coo.push(r, c, v).expect("in bounds");
+    }
+    for i in 0..n {
+        coo.push(i, i, 1.0).expect("in bounds");
+    }
+    l = coo.to_csr();
+    let u = f.filter(|r, c| c >= r);
+    Ok(Ilu0 { l, u })
+}
+
+impl Ilu0 {
+    /// Applies `(LU)^{-1} r` via two triangular solves.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r.len()` differs from the factor dimension.
+    pub fn solve(&self, r: &[f64]) -> Vec<f64> {
+        let y = crate::kernels::sptrsv_lower(&self.l, r);
+        crate::kernels::sptrsv_upper(&self.u, &y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use azul_sparse::{dense, generate, Coo};
+
+    #[test]
+    fn exact_on_tridiagonal() {
+        // Pattern of LU equals pattern of A for tridiagonal: exact factorization.
+        let a = generate::tridiagonal(15);
+        let f = ilu0(&a).unwrap();
+        let x_true: Vec<f64> = (0..15).map(|i| (i as f64).sin()).collect();
+        let b = a.spmv(&x_true);
+        let x = f.solve(&b);
+        assert!(dense::rel_l2_diff(&x, &x_true) < 1e-10);
+    }
+
+    #[test]
+    fn l_unit_diagonal_u_upper() {
+        let a = generate::fem_mesh_3d(80, 5, 3);
+        let f = ilu0(&a).unwrap();
+        for i in 0..a.rows() {
+            assert_eq!(f.l.get(i, i), 1.0);
+        }
+        for (r, c, _) in f.l.iter() {
+            assert!(c <= r);
+        }
+        for (r, c, _) in f.u.iter() {
+            assert!(c >= r);
+        }
+    }
+
+    #[test]
+    fn approximate_inverse_quality() {
+        let a = generate::grid_laplacian_2d(8, 8);
+        let f = ilu0(&a).unwrap();
+        let x: Vec<f64> = (0..64).map(|i| ((i % 7) as f64) - 3.0).collect();
+        let z = f.solve(&a.spmv(&x));
+        assert!(dense::rel_l2_diff(&z, &x) < 0.5);
+    }
+
+    #[test]
+    fn missing_diagonal_is_breakdown() {
+        let a = Coo::from_triplets(2, 2, [(0, 1, 1.0), (1, 0, 1.0)])
+            .unwrap()
+            .to_csr();
+        assert!(matches!(ilu0(&a), Err(SolverError::Breakdown(_))));
+    }
+
+    #[test]
+    fn nonsquare_rejected() {
+        let a = Coo::from_triplets(2, 3, [(0, 0, 1.0)]).unwrap().to_csr();
+        assert!(matches!(ilu0(&a), Err(SolverError::Dimension(_))));
+    }
+}

@@ -1,0 +1,171 @@
+//! The sparse triangular-solve kernels (Fig. 4).
+//!
+//! SpMV lives on [`Csr::spmv`]; this module adds forward and backward
+//! substitution, the SpTRSV kernels that dominate PCG alongside SpMV
+//! (Fig. 3).
+
+use azul_sparse::Csr;
+
+/// Solves `L x = b` where `L` is lower triangular with nonzero diagonal.
+///
+/// Entries above the diagonal are ignored, so a full matrix may be passed
+/// to solve with its lower triangle.
+///
+/// # Panics
+///
+/// Panics if `L` is not square, `b` has the wrong length, or a diagonal
+/// entry is missing/zero.
+pub fn sptrsv_lower(l: &Csr, b: &[f64]) -> Vec<f64> {
+    let n = l.rows();
+    assert_eq!(l.cols(), n, "triangular solve needs a square matrix");
+    assert_eq!(b.len(), n, "rhs length mismatch");
+    let mut x = vec![0.0; n];
+    for i in 0..n {
+        let mut acc = b[i];
+        let mut diag = 0.0;
+        for (j, v) in l.row(i) {
+            if j < i {
+                acc -= v * x[j];
+            } else if j == i {
+                diag = v;
+            }
+        }
+        assert!(diag != 0.0, "zero or missing diagonal at row {i}");
+        x[i] = acc / diag;
+    }
+    x
+}
+
+/// Solves `U x = b` where `U` is upper triangular with nonzero diagonal.
+///
+/// Entries below the diagonal are ignored.
+///
+/// # Panics
+///
+/// Panics if `U` is not square, `b` has the wrong length, or a diagonal
+/// entry is missing/zero.
+pub fn sptrsv_upper(u: &Csr, b: &[f64]) -> Vec<f64> {
+    let n = u.rows();
+    assert_eq!(u.cols(), n, "triangular solve needs a square matrix");
+    assert_eq!(b.len(), n, "rhs length mismatch");
+    let mut x = vec![0.0; n];
+    for i in (0..n).rev() {
+        let mut acc = b[i];
+        let mut diag = 0.0;
+        for (j, v) in u.row(i) {
+            if j > i {
+                acc -= v * x[j];
+            } else if j == i {
+                diag = v;
+            }
+        }
+        assert!(diag != 0.0, "zero or missing diagonal at row {i}");
+        x[i] = acc / diag;
+    }
+    x
+}
+
+/// Solves `L^T x = b` given lower-triangular `L` (used for the
+/// `trisolve(L^T, ...)` step of Listing 1 without materializing the
+/// transpose).
+///
+/// # Panics
+///
+/// Panics as [`sptrsv_lower`] does.
+pub fn sptrsv_lower_transpose(l: &Csr, b: &[f64]) -> Vec<f64> {
+    let n = l.rows();
+    assert_eq!(l.cols(), n, "triangular solve needs a square matrix");
+    assert_eq!(b.len(), n, "rhs length mismatch");
+    // Column-oriented backward substitution on L's rows.
+    let mut x = b.to_vec();
+    for i in (0..n).rev() {
+        let mut diag = 0.0;
+        for (j, v) in l.row(i) {
+            if j == i {
+                diag = v;
+            }
+        }
+        assert!(diag != 0.0, "zero or missing diagonal at row {i}");
+        x[i] /= diag;
+        let xi = x[i];
+        for (j, v) in l.row(i) {
+            if j < i {
+                x[j] -= v * xi;
+            }
+        }
+    }
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use azul_sparse::{dense, generate, Coo};
+
+    fn lower_sample() -> Csr {
+        // L = [2 0 0; 1 3 0; 0 -1 4]
+        Coo::from_triplets(
+            3,
+            3,
+            [(0, 0, 2.0), (1, 0, 1.0), (1, 1, 3.0), (2, 1, -1.0), (2, 2, 4.0)],
+        )
+        .unwrap()
+        .to_csr()
+    }
+
+    #[test]
+    fn lower_solve_exact() {
+        let l = lower_sample();
+        let x = sptrsv_lower(&l, &[2.0, 7.0, 2.0]);
+        // x0 = 1; x1 = (7-1)/3 = 2; x2 = (2+2)/4 = 1
+        assert_eq!(x, vec![1.0, 2.0, 1.0]);
+        // verify L x = b
+        assert!(dense::max_abs_diff(&l.spmv(&x), &[2.0, 7.0, 2.0]) < 1e-14);
+    }
+
+    #[test]
+    fn upper_solve_exact() {
+        let u = lower_sample().transpose();
+        let b = [2.0, 7.0, 2.0];
+        let x = sptrsv_upper(&u, &b);
+        assert!(dense::max_abs_diff(&u.spmv(&x), &b) < 1e-14);
+    }
+
+    #[test]
+    fn lower_transpose_matches_materialized() {
+        let a = generate::fem_mesh_3d(120, 5, 17);
+        let l = a.lower_triangle();
+        let b: Vec<f64> = (0..120).map(|i| (i as f64 * 0.7).cos()).collect();
+        let via_transpose = sptrsv_upper(&l.transpose(), &b);
+        let direct = sptrsv_lower_transpose(&l, &b);
+        assert!(dense::max_abs_diff(&via_transpose, &direct) < 1e-10);
+    }
+
+    #[test]
+    fn full_matrix_uses_lower_triangle_only() {
+        let a = generate::grid_laplacian_2d(5, 5);
+        let b = vec![1.0; 25];
+        let x_full = sptrsv_lower(&a, &b);
+        let x_tri = sptrsv_lower(&a.lower_triangle(), &b);
+        assert!(dense::max_abs_diff(&x_full, &x_tri) < 1e-14);
+    }
+
+    #[test]
+    fn random_lower_roundtrip() {
+        let a = generate::fem_mesh_3d(200, 6, 23);
+        let l = a.lower_triangle();
+        let x_true: Vec<f64> = (0..200).map(|i| ((i * 37 % 100) as f64) / 50.0 - 1.0).collect();
+        let b = l.spmv(&x_true);
+        let x = sptrsv_lower(&l, &b);
+        assert!(dense::rel_l2_diff(&x, &x_true) < 1e-10);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero or missing diagonal")]
+    fn missing_diagonal_panics() {
+        let l = Coo::from_triplets(2, 2, [(0, 0, 1.0), (1, 0, 1.0)])
+            .unwrap()
+            .to_csr();
+        sptrsv_lower(&l, &[1.0, 1.0]);
+    }
+}

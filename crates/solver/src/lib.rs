@@ -1,0 +1,86 @@
+//! Reference (functional) iterative solvers for the Azul reproduction.
+//!
+//! This crate is the numerical ground truth: the accelerator simulator's
+//! results are validated against these implementations, and the FLOP
+//! accounting here defines the GFLOP/s numbers reported by every
+//! experiment.
+//!
+//! It provides:
+//!
+//! * the two dominant kernels, [`kernels::sptrsv_lower`] /
+//!   [`kernels::sptrsv_upper`] (SpMV lives on
+//!   [`Csr::spmv`](azul_sparse::Csr::spmv));
+//! * preconditioners ([`precond`]): identity, Jacobi, symmetric
+//!   Gauss-Seidel, SSOR, incomplete Cholesky IC(0) and incomplete LU
+//!   ILU(0) — the rows of Table II;
+//! * solvers: [`pcg()`] (Listing 1), plain CG, [`bicgstab()`], restarted
+//!   [`gmres()`], and [`power_iteration`] — Table II's algorithm column;
+//! * FLOP accounting ([`flops`]) for each kernel, used to convert cycle
+//!   counts into GFLOP/s.
+//!
+//! # Example
+//!
+//! ```
+//! use azul_sparse::generate;
+//! use azul_solver::{pcg, precond::IncompleteCholesky, PcgConfig};
+//!
+//! let a = generate::grid_laplacian_2d(10, 10);
+//! let b = vec![1.0; a.rows()];
+//! let m = IncompleteCholesky::new(&a)?;
+//! let out = pcg(&a, &b, &m, &PcgConfig::default());
+//! assert!(out.converged);
+//! # Ok::<(), azul_solver::SolverError>(())
+//! ```
+
+pub mod bicgstab;
+pub mod direct;
+pub mod flops;
+pub mod gmres;
+pub mod ic0;
+pub mod ilu0;
+pub mod kernels;
+pub mod pcg;
+pub mod power;
+pub mod precond;
+
+pub use bicgstab::{bicgstab, BiCgStabConfig};
+pub use direct::{dense_solve, DenseCholesky};
+pub use gmres::{gmres, GmresConfig};
+pub use pcg::{cg, pcg, PcgConfig, SolveOutcome};
+pub use power::{power_iteration, PowerConfig};
+
+/// Errors from solver construction or execution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SolverError {
+    /// Factorization hit a non-positive pivot that shifting could not fix.
+    Breakdown(String),
+    /// Operands have inconsistent dimensions.
+    Dimension(String),
+}
+
+impl std::fmt::Display for SolverError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SolverError::Breakdown(msg) => write!(f, "numerical breakdown: {msg}"),
+            SolverError::Dimension(msg) => write!(f, "dimension mismatch: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SolverError {}
+
+/// Convenient result alias for this crate.
+pub type Result<T> = std::result::Result<T, SolverError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display() {
+        assert!(SolverError::Breakdown("pivot".into())
+            .to_string()
+            .contains("pivot"));
+        assert!(SolverError::Dimension("n".into()).to_string().contains("n"));
+    }
+}

@@ -1,0 +1,248 @@
+//! Preconditioned conjugate gradients (Listing 1).
+
+use crate::flops::{self, FlopBreakdown};
+use crate::precond::{Identity, Preconditioner};
+use azul_sparse::{dense, Csr};
+
+/// Configuration for [`pcg`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PcgConfig {
+    /// Convergence tolerance on `||r||_2` (Listing 1's `tol`).
+    pub tol: f64,
+    /// Iteration cap.
+    pub max_iters: usize,
+    /// Whether to record `||r||` after every iteration.
+    pub record_residuals: bool,
+}
+
+impl Default for PcgConfig {
+    fn default() -> Self {
+        PcgConfig {
+            tol: 1e-10,
+            max_iters: 5000,
+            record_residuals: false,
+        }
+    }
+}
+
+/// Result of an iterative solve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SolveOutcome {
+    /// The computed solution.
+    pub x: Vec<f64>,
+    /// Number of iterations executed.
+    pub iterations: usize,
+    /// Whether `||r|| <= tol` was reached within the iteration cap.
+    pub converged: bool,
+    /// Final residual norm `||b - A x||_2` (recomputed, not recursive).
+    pub final_residual: f64,
+    /// Total FLOPs executed, by kernel.
+    pub flops: FlopBreakdown,
+    /// `||r||` after each iteration (empty unless requested).
+    pub residual_history: Vec<f64>,
+}
+
+/// Solves `A x = b` with preconditioned conjugate gradients, following the
+/// paper's Listing 1 exactly (initial guess `x = 0`).
+///
+/// # Panics
+///
+/// Panics if `b.len() != a.rows()` or `a` is not square.
+pub fn pcg<M: Preconditioner + ?Sized>(
+    a: &Csr,
+    b: &[f64],
+    m: &M,
+    config: &PcgConfig,
+) -> SolveOutcome {
+    let n = a.rows();
+    assert_eq!(a.cols(), n, "pcg needs a square matrix");
+    assert_eq!(b.len(), n, "rhs length mismatch");
+
+    let mut flops_total = FlopBreakdown::default();
+    let mut history = Vec::new();
+
+    // x = 0, r = b
+    let mut x = vec![0.0; n];
+    let mut r = b.to_vec();
+    // z = p = M^-1 r
+    let z = m.apply(&r);
+    flops_total.add(m.flops_per_apply());
+    let mut p = z.clone();
+    let mut rz_old = dense::dot(&r, &z);
+    flops_total.vector += flops::dot_flops(n);
+
+    let mut iterations = 0;
+    let mut converged = dense::norm2(&r) <= config.tol;
+    flops_total.vector += flops::dot_flops(n);
+
+    while !converged && iterations < config.max_iters {
+        // Ap = A p
+        let ap = a.spmv(&p);
+        flops_total.spmv += flops::spmv_flops(a);
+        // alpha = rz_old / (p . Ap)
+        let p_ap = dense::dot(&p, &ap);
+        flops_total.vector += flops::dot_flops(n);
+        if p_ap == 0.0 || !p_ap.is_finite() {
+            break; // numerical breakdown; return best effort
+        }
+        let alpha = rz_old / p_ap;
+        // x += alpha p ; r -= alpha Ap
+        dense::axpy(alpha, &p, &mut x);
+        dense::axpy(-alpha, &ap, &mut r);
+        flops_total.vector += 2 * flops::axpy_flops(n);
+        // z = M^-1 r
+        let z = m.apply(&r);
+        flops_total.add(m.flops_per_apply());
+        // beta = rz_new / rz_old ; p = z + beta p
+        let rz_new = dense::dot(&r, &z);
+        flops_total.vector += flops::dot_flops(n);
+        let beta = rz_new / rz_old;
+        dense::xpby(&z, beta, &mut p);
+        flops_total.vector += flops::axpy_flops(n);
+        rz_old = rz_new;
+
+        iterations += 1;
+        let rnorm = dense::norm2(&r);
+        flops_total.vector += flops::dot_flops(n);
+        if config.record_residuals {
+            history.push(rnorm);
+        }
+        converged = rnorm <= config.tol;
+    }
+
+    // True residual, recomputed.
+    let final_residual = dense::norm2(&dense::sub(b, &a.spmv(&x)));
+    SolveOutcome {
+        x,
+        iterations,
+        converged,
+        final_residual,
+        flops: flops_total,
+        residual_history: history,
+    }
+}
+
+/// Plain conjugate gradients: [`pcg`] with the identity preconditioner.
+///
+/// # Panics
+///
+/// Panics as [`pcg`] does.
+pub fn cg(a: &Csr, b: &[f64], config: &PcgConfig) -> SolveOutcome {
+    pcg(a, b, &Identity, config)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::precond::{IncompleteCholesky, Jacobi, SymmetricGaussSeidel};
+    use azul_sparse::generate;
+
+    fn rhs(n: usize) -> Vec<f64> {
+        (0..n).map(|i| ((i * 31 % 17) as f64) / 17.0 + 0.1).collect()
+    }
+
+    #[test]
+    fn cg_solves_grid() {
+        let a = generate::grid_laplacian_2d(12, 12);
+        let b = rhs(a.rows());
+        let out = cg(&a, &b, &PcgConfig::default());
+        assert!(out.converged, "cg failed in {} iters", out.iterations);
+        assert!(out.final_residual <= 1e-9);
+    }
+
+    #[test]
+    fn ic_preconditioner_reduces_iterations() {
+        let a = generate::grid_laplacian_2d(20, 20);
+        let b = rhs(a.rows());
+        let plain = cg(&a, &b, &PcgConfig::default());
+        let m = IncompleteCholesky::new(&a).unwrap();
+        let pre = pcg(&a, &b, &m, &PcgConfig::default());
+        assert!(pre.converged && plain.converged);
+        assert!(
+            pre.iterations < plain.iterations,
+            "IC(0) should converge faster: {} vs {}",
+            pre.iterations,
+            plain.iterations
+        );
+    }
+
+    #[test]
+    fn jacobi_and_sgs_converge_on_fem() {
+        let a = generate::fem_mesh_3d(200, 6, 5);
+        let b = rhs(a.rows());
+        let cfg = PcgConfig {
+            tol: 1e-8,
+            ..Default::default()
+        };
+        let j = pcg(&a, &b, &Jacobi::new(&a), &cfg);
+        assert!(j.converged);
+        let s = pcg(&a, &b, &SymmetricGaussSeidel::new(&a), &cfg);
+        assert!(s.converged);
+        assert!(s.iterations <= j.iterations, "SGS should beat Jacobi");
+    }
+
+    #[test]
+    fn residual_history_is_recorded_and_decreases_overall() {
+        let a = generate::grid_laplacian_2d(10, 10);
+        let b = rhs(a.rows());
+        let out = cg(
+            &a,
+            &b,
+            &PcgConfig {
+                record_residuals: true,
+                ..Default::default()
+            },
+        );
+        assert_eq!(out.residual_history.len(), out.iterations);
+        let first = out.residual_history[0];
+        let last = *out.residual_history.last().unwrap();
+        assert!(last < first);
+    }
+
+    #[test]
+    fn flops_are_positive_and_spmv_dominated_without_preconditioner() {
+        let a = generate::fem_mesh_3d(150, 8, 9);
+        let b = rhs(a.rows());
+        let out = cg(&a, &b, &PcgConfig::default());
+        assert!(out.flops.spmv > 0);
+        assert_eq!(out.flops.sptrsv, 0);
+        assert!(out.flops.spmv > out.flops.vector);
+    }
+
+    #[test]
+    fn sptrsv_flops_dominate_with_ic_on_dense_rows() {
+        let a = generate::fem_mesh_3d(150, 8, 9);
+        let b = rhs(a.rows());
+        let m = IncompleteCholesky::new(&a).unwrap();
+        let out = pcg(&a, &b, &m, &PcgConfig::default());
+        // Two trisolves with tril(A)'s pattern ≈ same nnz as one SpMV.
+        assert!(out.flops.sptrsv > 0);
+        let (fs, ft, fv) = out.flops.fractions();
+        assert!(fs > 0.2 && ft > 0.2 && fv < 0.5);
+    }
+
+    #[test]
+    fn max_iters_caps_work() {
+        let a = generate::grid_laplacian_2d(30, 30);
+        let b = rhs(a.rows());
+        let out = cg(
+            &a,
+            &b,
+            &PcgConfig {
+                max_iters: 3,
+                ..Default::default()
+            },
+        );
+        assert_eq!(out.iterations, 3);
+        assert!(!out.converged);
+    }
+
+    #[test]
+    fn zero_rhs_converges_immediately() {
+        let a = generate::tridiagonal(10);
+        let out = cg(&a, &[0.0; 10], &PcgConfig::default());
+        assert!(out.converged);
+        assert_eq!(out.iterations, 0);
+        assert_eq!(out.x, vec![0.0; 10]);
+    }
+}

@@ -1,0 +1,446 @@
+//! Preconditioners (Table II).
+//!
+//! A preconditioner approximates `A^{-1}`: PCG converges in fewer
+//! iterations when each residual is passed through
+//! [`Preconditioner::apply`]. The kernel content of each preconditioner is
+//! what matters for Azul: Jacobi adds vector work, while symmetric
+//! Gauss-Seidel / SSOR / incomplete Cholesky add the two SpTRSVs that
+//! dominate PCG runtime (Fig. 3).
+
+use crate::flops::{self, FlopBreakdown};
+use crate::ic0::ic0;
+use crate::kernels::{sptrsv_lower, sptrsv_lower_transpose};
+use crate::Result;
+use azul_sparse::Csr;
+
+/// A symmetric preconditioner `M ≈ A`, applied as `z = M^{-1} r`.
+pub trait Preconditioner {
+    /// Applies the preconditioner to a residual.
+    fn apply(&self, r: &[f64]) -> Vec<f64>;
+
+    /// FLOPs of one application, broken down by kernel.
+    fn flops_per_apply(&self) -> FlopBreakdown;
+
+    /// Human-readable name for reports.
+    fn name(&self) -> &'static str;
+
+    /// The lower-triangular factor driving SpTRSV work, if the
+    /// preconditioner has one (used by the accelerator pipeline to compile
+    /// triangular-solve kernels).
+    fn triangular_factor(&self) -> Option<&Csr> {
+        None
+    }
+}
+
+/// No preconditioning (`M = I`); turns PCG into plain CG.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Identity;
+
+impl Preconditioner for Identity {
+    fn apply(&self, r: &[f64]) -> Vec<f64> {
+        r.to_vec()
+    }
+
+    fn flops_per_apply(&self) -> FlopBreakdown {
+        FlopBreakdown::default()
+    }
+
+    fn name(&self) -> &'static str {
+        "none"
+    }
+}
+
+/// Diagonal (Jacobi) preconditioner: `z_i = r_i / A_ii`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Jacobi {
+    inv_diag: Vec<f64>,
+}
+
+impl Jacobi {
+    /// Builds the preconditioner from the matrix diagonal.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any diagonal entry is zero.
+    pub fn new(a: &Csr) -> Self {
+        let inv_diag: Vec<f64> = a
+            .diagonal()
+            .iter()
+            .enumerate()
+            .map(|(i, &d)| {
+                assert!(d != 0.0, "zero diagonal at row {i}");
+                1.0 / d
+            })
+            .collect();
+        Jacobi { inv_diag }
+    }
+}
+
+impl Preconditioner for Jacobi {
+    fn apply(&self, r: &[f64]) -> Vec<f64> {
+        r.iter().zip(&self.inv_diag).map(|(x, d)| x * d).collect()
+    }
+
+    fn flops_per_apply(&self) -> FlopBreakdown {
+        FlopBreakdown {
+            vector: self.inv_diag.len() as u64,
+            ..Default::default()
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "jacobi"
+    }
+}
+
+/// Symmetric Gauss-Seidel preconditioner:
+/// `M = (D + L) D^{-1} (D + U)` where `A = L + D + U`.
+///
+/// Application costs two SpTRSVs and one diagonal scaling, exactly the
+/// kernel mix of Table II's "Sym. Gauss-Seidel" row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SymmetricGaussSeidel {
+    lower: Csr, // D + L
+    diag: Vec<f64>,
+}
+
+impl SymmetricGaussSeidel {
+    /// Builds the preconditioner from a symmetric matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any diagonal entry is zero.
+    pub fn new(a: &Csr) -> Self {
+        let diag = a.diagonal();
+        assert!(
+            diag.iter().all(|&d| d != 0.0),
+            "symmetric Gauss-Seidel needs a full diagonal"
+        );
+        SymmetricGaussSeidel {
+            lower: a.lower_triangle(),
+            diag,
+        }
+    }
+}
+
+impl Preconditioner for SymmetricGaussSeidel {
+    fn apply(&self, r: &[f64]) -> Vec<f64> {
+        // (D + L) y = r ; w = D y ; (D + U) z = w, with U = L^T.
+        let y = sptrsv_lower(&self.lower, r);
+        let w: Vec<f64> = y.iter().zip(&self.diag).map(|(a, b)| a * b).collect();
+        sptrsv_lower_transpose(&self.lower, &w)
+    }
+
+    fn flops_per_apply(&self) -> FlopBreakdown {
+        FlopBreakdown {
+            sptrsv: 2 * flops::sptrsv_flops(self.lower.nnz()),
+            vector: self.diag.len() as u64,
+            ..Default::default()
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "symmetric-gauss-seidel"
+    }
+
+    fn triangular_factor(&self) -> Option<&Csr> {
+        Some(&self.lower)
+    }
+}
+
+/// SSOR preconditioner with relaxation factor `omega`:
+/// `M = (D/ω + L) (ω/(2-ω))⁻¹·... ` — applied with two triangular solves.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Ssor {
+    lower_scaled: Csr, // D/omega + L
+    diag: Vec<f64>,
+    omega: f64,
+}
+
+impl Ssor {
+    /// Builds an SSOR preconditioner.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `omega` is outside `(0, 2)` or a diagonal entry is zero.
+    pub fn new(a: &Csr, omega: f64) -> Self {
+        assert!(
+            omega > 0.0 && omega < 2.0,
+            "SSOR requires 0 < omega < 2, got {omega}"
+        );
+        let diag = a.diagonal();
+        assert!(diag.iter().all(|&d| d != 0.0), "SSOR needs a full diagonal");
+        let mut lower_scaled = a.lower_triangle();
+        let row_ptr = lower_scaled.row_ptr().to_vec();
+        let col_idx = lower_scaled.col_idx().to_vec();
+        #[allow(clippy::needless_range_loop)] // indexes several arrays
+        for i in 0..a.rows() {
+            for p in row_ptr[i]..row_ptr[i + 1] {
+                if col_idx[p] == i {
+                    lower_scaled.values_mut()[p] = diag[i] / omega;
+                }
+            }
+        }
+        Ssor {
+            lower_scaled,
+            diag,
+            omega,
+        }
+    }
+
+    /// The relaxation factor.
+    pub fn omega(&self) -> f64 {
+        self.omega
+    }
+}
+
+impl Preconditioner for Ssor {
+    fn apply(&self, r: &[f64]) -> Vec<f64> {
+        // M^{-1} r with M = (2-ω)/ω * (D/ω + L) (D/ω)^{-1} (D/ω + L)^T ... we
+        // apply the standard form: solve (D/ω + L) y = r, scale by D/ω,
+        // solve (D/ω + L)^T z = (D/ω) y, then scale by ω/(2-ω)... The
+        // constant factor does not change PCG's search directions but keeps
+        // M consistent with its definition.
+        let y = sptrsv_lower(&self.lower_scaled, r);
+        let w: Vec<f64> = y
+            .iter()
+            .zip(&self.diag)
+            .map(|(v, d)| v * d / self.omega)
+            .collect();
+        let mut z = sptrsv_lower_transpose(&self.lower_scaled, &w);
+        let c = self.omega / (2.0 - self.omega);
+        for zi in &mut z {
+            *zi *= c;
+        }
+        z
+    }
+
+    fn flops_per_apply(&self) -> FlopBreakdown {
+        FlopBreakdown {
+            sptrsv: 2 * flops::sptrsv_flops(self.lower_scaled.nnz()),
+            vector: 3 * self.diag.len() as u64,
+            ..Default::default()
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "ssor"
+    }
+
+    fn triangular_factor(&self) -> Option<&Csr> {
+        Some(&self.lower_scaled)
+    }
+}
+
+/// Incomplete-Cholesky IC(0) preconditioner, the paper's default:
+/// `M = L L^T` with `L` from [`ic0`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct IncompleteCholesky {
+    l: Csr,
+}
+
+impl IncompleteCholesky {
+    /// Factors `a` with IC(0).
+    ///
+    /// # Errors
+    ///
+    /// Propagates factorization breakdowns from [`ic0`].
+    pub fn new(a: &Csr) -> Result<Self> {
+        Ok(IncompleteCholesky { l: ic0(a)? })
+    }
+
+    /// The lower-triangular factor.
+    pub fn factor(&self) -> &Csr {
+        &self.l
+    }
+}
+
+impl Preconditioner for IncompleteCholesky {
+    fn apply(&self, r: &[f64]) -> Vec<f64> {
+        // z = L^-T (L^-1 r), Listing 1 line 9.
+        let y = sptrsv_lower(&self.l, r);
+        sptrsv_lower_transpose(&self.l, &y)
+    }
+
+    fn flops_per_apply(&self) -> FlopBreakdown {
+        FlopBreakdown {
+            sptrsv: 2 * flops::sptrsv_flops(self.l.nnz()),
+            ..Default::default()
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "incomplete-cholesky"
+    }
+
+    fn triangular_factor(&self) -> Option<&Csr> {
+        Some(&self.l)
+    }
+}
+
+/// The symmetric Gauss-Seidel preconditioner in *factored* form:
+/// a lower-triangular `F` with `F F^T = (D + L) D^{-1} (D + U)`, sharing
+/// `tril(a)`'s sparsity pattern.
+///
+/// This is the form Azul executes: the accelerator's preconditioner step
+/// is two triangular solves with one factor (Listing 1), so any
+/// preconditioner expressible as `F F^T` runs on the same hardware
+/// kernels. `F = (D + L) D^{-1/2}`.
+///
+/// # Panics
+///
+/// Panics if the matrix is not square or a diagonal entry is not positive.
+pub fn sgs_factor(a: &Csr) -> Csr {
+    scaled_lower_factor(a, 1.0)
+}
+
+/// The SSOR preconditioner in factored form:
+/// `F = sqrt((2-omega)/omega) * (D/omega + L) * D^{-1/2}`, so that
+/// `F F^T = (omega/(2-omega))^{-1} (D/omega + L) (D/omega)^{-1}... ` —
+/// precisely the `M` whose inverse [`Ssor::apply`] applies.
+///
+/// # Panics
+///
+/// Panics if `omega` is outside `(0, 2)`, the matrix is not square, or a
+/// diagonal entry is not positive.
+pub fn ssor_factor(a: &Csr, omega: f64) -> Csr {
+    assert!(
+        omega > 0.0 && omega < 2.0,
+        "SSOR requires 0 < omega < 2, got {omega}"
+    );
+    scaled_lower_factor(a, omega)
+}
+
+/// Shared construction: `sqrt((2-w)/w) * (D/w + L) * (D/w)^{-1/2}` (with
+/// `w = 1` this reduces to `(D + L) D^{-1/2}`, the SGS factor).
+fn scaled_lower_factor(a: &Csr, omega: f64) -> Csr {
+    assert_eq!(a.rows(), a.cols(), "factor needs a square matrix");
+    let diag = a.diagonal();
+    assert!(
+        diag.iter().all(|&d| d > 0.0),
+        "SPD matrix needs a positive diagonal"
+    );
+    let scale = ((2.0 - omega) / omega).sqrt();
+    let mut f = a.lower_triangle();
+    let row_ptr = f.row_ptr().to_vec();
+    let col_idx = f.col_idx().to_vec();
+    let vals = f.values_mut();
+    for i in 0..row_ptr.len() - 1 {
+        for p in row_ptr[i]..row_ptr[i + 1] {
+            let j = col_idx[p];
+            let dj_over_w = diag[j] / omega;
+            if j == i {
+                // Diagonal of (D/w + L) is D_ii/w; times (D_ii/w)^{-1/2}.
+                vals[p] = scale * dj_over_w.sqrt();
+            } else {
+                vals[p] = scale * vals[p] / dj_over_w.sqrt();
+            }
+        }
+    }
+    f
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use azul_sparse::{dense, generate};
+
+    #[test]
+    fn identity_is_noop() {
+        let r = vec![1.0, -2.0, 3.0];
+        assert_eq!(Identity.apply(&r), r);
+        assert_eq!(Identity.flops_per_apply().total(), 0);
+    }
+
+    #[test]
+    fn jacobi_divides_by_diagonal() {
+        let a = generate::tridiagonal(4); // diag = 2
+        let j = Jacobi::new(&a);
+        assert_eq!(j.apply(&[2.0, 4.0, 6.0, 8.0]), vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(j.flops_per_apply().vector, 4);
+    }
+
+    #[test]
+    fn sgs_apply_matches_explicit_solves() {
+        let a = generate::grid_laplacian_2d(5, 5);
+        let m = SymmetricGaussSeidel::new(&a);
+        let r: Vec<f64> = (0..25).map(|i| (i as f64 * 0.3).sin()).collect();
+        let z = m.apply(&r);
+        // Verify M z = r with M = (D+L) D^-1 (D+U).
+        let u = a.lower_triangle().transpose();
+        let dz = u.spmv(&z); // (D+U) z
+        let inv_d: Vec<f64> = a.diagonal().iter().map(|d| 1.0 / d).collect();
+        let w: Vec<f64> = dz.iter().zip(&inv_d).map(|(v, d)| v * d).collect();
+        let mz = a.lower_triangle().spmv(&w);
+        assert!(dense::max_abs_diff(&mz, &r) < 1e-10);
+    }
+
+    #[test]
+    fn ssor_reduces_to_sgs_at_omega_one() {
+        let a = generate::grid_laplacian_2d(4, 4);
+        let sgs = SymmetricGaussSeidel::new(&a);
+        let ssor = Ssor::new(&a, 1.0);
+        let r: Vec<f64> = (0..16).map(|i| (i as f64) / 16.0).collect();
+        assert!(dense::max_abs_diff(&sgs.apply(&r), &ssor.apply(&r)) < 1e-10);
+    }
+
+    #[test]
+    #[should_panic(expected = "0 < omega < 2")]
+    fn ssor_rejects_bad_omega() {
+        let a = generate::tridiagonal(3);
+        Ssor::new(&a, 2.5);
+    }
+
+    #[test]
+    fn ic_apply_approximates_inverse() {
+        let a = generate::fem_mesh_3d(100, 5, 1);
+        let m = IncompleteCholesky::new(&a).unwrap();
+        let x: Vec<f64> = (0..100).map(|i| ((i % 11) as f64) - 5.0).collect();
+        let z = m.apply(&a.spmv(&x));
+        assert!(dense::rel_l2_diff(&z, &x) < 0.5);
+        assert!(m.triangular_factor().is_some());
+    }
+
+    #[test]
+    fn sgs_factor_reproduces_sgs_application() {
+        // F F^T = M_sgs, so F^-T F^-1 r == SymmetricGaussSeidel::apply(r).
+        let a = generate::fem_mesh_3d(120, 5, 8);
+        let f = sgs_factor(&a);
+        let sgs = SymmetricGaussSeidel::new(&a);
+        let r: Vec<f64> = (0..a.rows()).map(|i| (i as f64 * 0.37).sin()).collect();
+        let y = sptrsv_lower(&f, &r);
+        let z = sptrsv_lower_transpose(&f, &y);
+        assert!(dense::max_abs_diff(&z, &sgs.apply(&r)) < 1e-9);
+    }
+
+    #[test]
+    fn ssor_factor_reproduces_ssor_application() {
+        let a = generate::grid_laplacian_2d(7, 7);
+        let omega = 1.3;
+        let f = ssor_factor(&a, omega);
+        let ssor = Ssor::new(&a, omega);
+        let r: Vec<f64> = (0..a.rows()).map(|i| 1.0 - (i % 4) as f64).collect();
+        let y = sptrsv_lower(&f, &r);
+        let z = sptrsv_lower_transpose(&f, &y);
+        assert!(dense::max_abs_diff(&z, &ssor.apply(&r)) < 1e-9);
+    }
+
+    #[test]
+    fn factors_share_tril_pattern() {
+        let a = generate::fem_mesh_3d(80, 4, 3);
+        let tril = a.lower_triangle();
+        for f in [sgs_factor(&a), ssor_factor(&a, 0.8)] {
+            assert_eq!(f.row_ptr(), tril.row_ptr());
+            assert_eq!(f.col_idx(), tril.col_idx());
+        }
+    }
+
+    #[test]
+    fn flops_include_sptrsv_for_triangular_preconditioners() {
+        let a = generate::grid_laplacian_2d(4, 4);
+        let m = IncompleteCholesky::new(&a).unwrap();
+        assert!(m.flops_per_apply().sptrsv > 0);
+        let s = SymmetricGaussSeidel::new(&a);
+        assert!(s.flops_per_apply().sptrsv > 0);
+    }
+}

@@ -1,0 +1,246 @@
+//! Coordinate (triplet) sparse format.
+//!
+//! [`Coo`] is the assembly format: entries may be pushed in any order and
+//! duplicates are summed on conversion to [`Csr`](crate::Csr) /
+//! [`Csc`](crate::Csc).
+
+use crate::{Result, SparseError};
+
+/// A sparse matrix in coordinate (triplet) form.
+///
+/// `Coo` is intended for incremental assembly; convert with
+/// [`Coo::to_csr`] or [`Coo::to_csc`] for computation.
+///
+/// # Example
+///
+/// ```
+/// use azul_sparse::Coo;
+///
+/// let mut a = Coo::new(2, 2);
+/// a.push(0, 0, 2.0)?;
+/// a.push(1, 1, 3.0)?;
+/// a.push(0, 0, 1.0)?; // duplicate: summed on conversion
+/// let csr = a.to_csr();
+/// assert_eq!(csr.get(0, 0), 3.0);
+/// # Ok::<(), azul_sparse::SparseError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Coo {
+    rows: usize,
+    cols: usize,
+    entries: Vec<(usize, usize, f64)>,
+}
+
+impl Coo {
+    /// Creates an empty `rows` x `cols` matrix.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        Coo {
+            rows,
+            cols,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Creates an empty matrix with capacity for `cap` entries.
+    pub fn with_capacity(rows: usize, cols: usize, cap: usize) -> Self {
+        Coo {
+            rows,
+            cols,
+            entries: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Builds a matrix directly from triplets.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseError::IndexOutOfBounds`] if any triplet lies outside
+    /// the given shape.
+    pub fn from_triplets(
+        rows: usize,
+        cols: usize,
+        triplets: impl IntoIterator<Item = (usize, usize, f64)>,
+    ) -> Result<Self> {
+        let mut m = Coo::new(rows, cols);
+        for (r, c, v) in triplets {
+            m.push(r, c, v)?;
+        }
+        Ok(m)
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored entries (duplicates counted individually).
+    pub fn nnz(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the matrix stores no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Appends entry `(row, col, val)`.
+    ///
+    /// Zero values are kept (they become explicit zeros); duplicates are
+    /// summed when converting to a compressed format.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseError::IndexOutOfBounds`] if the coordinate lies
+    /// outside the matrix.
+    pub fn push(&mut self, row: usize, col: usize, val: f64) -> Result<()> {
+        if row >= self.rows || col >= self.cols {
+            return Err(SparseError::IndexOutOfBounds {
+                row,
+                col,
+                rows: self.rows,
+                cols: self.cols,
+            });
+        }
+        self.entries.push((row, col, val));
+        Ok(())
+    }
+
+    /// Appends entries at `(row, col)` and `(col, row)` (for assembling
+    /// symmetric matrices from one triangle).
+    ///
+    /// Diagonal entries are pushed once.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseError::IndexOutOfBounds`] if the coordinate lies
+    /// outside the matrix.
+    pub fn push_sym(&mut self, row: usize, col: usize, val: f64) -> Result<()> {
+        self.push(row, col, val)?;
+        if row != col {
+            self.push(col, row, val)?;
+        }
+        Ok(())
+    }
+
+    /// Iterates over stored triplets in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
+        self.entries.iter().copied()
+    }
+
+    /// Converts to CSR, sorting entries and summing duplicates.
+    pub fn to_csr(&self) -> crate::Csr {
+        let mut sorted = self.entries.clone();
+        sorted.sort_unstable_by_key(|a| (a.0, a.1));
+        // Merge duplicates.
+        let mut merged: Vec<(usize, usize, f64)> = Vec::with_capacity(sorted.len());
+        for (r, c, v) in sorted {
+            match merged.last_mut() {
+                Some(last) if last.0 == r && last.1 == c => last.2 += v,
+                _ => merged.push((r, c, v)),
+            }
+        }
+        let mut row_ptr = vec![0usize; self.rows + 1];
+        for &(r, _, _) in &merged {
+            row_ptr[r + 1] += 1;
+        }
+        for i in 0..self.rows {
+            row_ptr[i + 1] += row_ptr[i];
+        }
+        let col_idx: Vec<usize> = merged.iter().map(|e| e.1).collect();
+        let values: Vec<f64> = merged.iter().map(|e| e.2).collect();
+        crate::Csr::from_raw_parts(self.rows, self.cols, row_ptr, col_idx, values)
+            .expect("COO conversion produces valid CSR by construction")
+    }
+
+    /// Converts to CSC, sorting entries and summing duplicates.
+    pub fn to_csc(&self) -> crate::Csc {
+        self.to_csr().to_csc()
+    }
+}
+
+impl Extend<(usize, usize, f64)> for Coo {
+    /// Extends the matrix with triplets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any triplet is out of bounds; use [`Coo::push`] for a
+    /// fallible variant.
+    fn extend<T: IntoIterator<Item = (usize, usize, f64)>>(&mut self, iter: T) {
+        for (r, c, v) in iter {
+            self.push(r, c, v).expect("triplet out of bounds in extend");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_is_empty() {
+        let m = Coo::new(3, 4);
+        assert_eq!(m.rows(), 3);
+        assert_eq!(m.cols(), 4);
+        assert_eq!(m.nnz(), 0);
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn push_bounds_check() {
+        let mut m = Coo::new(2, 2);
+        assert!(m.push(0, 0, 1.0).is_ok());
+        assert!(matches!(
+            m.push(2, 0, 1.0),
+            Err(SparseError::IndexOutOfBounds { .. })
+        ));
+        assert!(matches!(
+            m.push(0, 2, 1.0),
+            Err(SparseError::IndexOutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn duplicates_are_summed_in_csr() {
+        let m = Coo::from_triplets(2, 2, [(0, 0, 1.0), (0, 0, 2.5), (1, 0, -1.0)]).unwrap();
+        let csr = m.to_csr();
+        assert_eq!(csr.nnz(), 2);
+        assert_eq!(csr.get(0, 0), 3.5);
+        assert_eq!(csr.get(1, 0), -1.0);
+        assert_eq!(csr.get(1, 1), 0.0);
+    }
+
+    #[test]
+    fn push_sym_mirrors_offdiagonal() {
+        let mut m = Coo::new(3, 3);
+        m.push_sym(0, 1, 4.0).unwrap();
+        m.push_sym(2, 2, 9.0).unwrap();
+        let csr = m.to_csr();
+        assert_eq!(csr.get(0, 1), 4.0);
+        assert_eq!(csr.get(1, 0), 4.0);
+        assert_eq!(csr.get(2, 2), 9.0);
+        assert_eq!(csr.nnz(), 3);
+    }
+
+    #[test]
+    fn unsorted_input_sorts_correctly() {
+        let m = Coo::from_triplets(3, 3, [(2, 1, 1.0), (0, 2, 2.0), (1, 0, 3.0), (0, 0, 4.0)])
+            .unwrap();
+        let csr = m.to_csr();
+        assert_eq!(csr.get(2, 1), 1.0);
+        assert_eq!(csr.get(0, 2), 2.0);
+        assert_eq!(csr.get(1, 0), 3.0);
+        assert_eq!(csr.get(0, 0), 4.0);
+    }
+
+    #[test]
+    fn extend_collects_triplets() {
+        let mut m = Coo::new(2, 2);
+        m.extend([(0, 1, 1.0), (1, 1, 2.0)]);
+        assert_eq!(m.nnz(), 2);
+    }
+}

@@ -1,0 +1,193 @@
+//! Compressed sparse column (CSC) format.
+//!
+//! The Azul dataflow kernels are column-driven (a multicast of `v_j` triggers
+//! work on all local nonzeros of column `j`, Listing 2), so the mapping and
+//! simulation crates consume matrices in CSC form.
+
+use crate::Csr;
+
+/// A sparse matrix in compressed-sparse-column form.
+///
+/// Within each column, row indices are strictly increasing.
+///
+/// # Example
+///
+/// ```
+/// use azul_sparse::Coo;
+///
+/// let a = Coo::from_triplets(2, 2, [(0, 0, 2.0), (1, 0, 1.0)])?.to_csc();
+/// assert_eq!(a.col(0).collect::<Vec<_>>(), vec![(0, 2.0), (1, 1.0)]);
+/// assert_eq!(a.col_nnz(1), 0);
+/// # Ok::<(), azul_sparse::SparseError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Csc {
+    rows: usize,
+    cols: usize,
+    col_ptr: Vec<usize>,
+    row_idx: Vec<usize>,
+    values: Vec<f64>,
+}
+
+impl Csc {
+    /// Builds a CSC matrix by reinterpreting the transpose of a CSR matrix.
+    ///
+    /// `t` must be the transpose of the matrix this CSC will represent: its
+    /// rows become our columns.
+    pub(crate) fn from_transposed_csr(t: Csr) -> Csc {
+        Csc {
+            rows: t.cols(),
+            cols: t.rows(),
+            col_ptr: t.row_ptr().to_vec(),
+            row_idx: t.col_idx().to_vec(),
+            values: t.values().to_vec(),
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored nonzeros.
+    pub fn nnz(&self) -> usize {
+        self.row_idx.len()
+    }
+
+    /// The column-pointer array (`cols + 1` entries).
+    pub fn col_ptr(&self) -> &[usize] {
+        &self.col_ptr
+    }
+
+    /// The row-index array (`nnz` entries).
+    pub fn row_idx(&self) -> &[usize] {
+        &self.row_idx
+    }
+
+    /// The value array (`nnz` entries).
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// The `(row, value)` pairs of column `c`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c >= self.cols()`.
+    pub fn col(&self, c: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
+        let lo = self.col_ptr[c];
+        let hi = self.col_ptr[c + 1];
+        self.row_idx[lo..hi]
+            .iter()
+            .copied()
+            .zip(self.values[lo..hi].iter().copied())
+    }
+
+    /// Number of stored entries in column `c`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c >= self.cols()`.
+    pub fn col_nnz(&self, c: usize) -> usize {
+        self.col_ptr[c + 1] - self.col_ptr[c]
+    }
+
+    /// Iterates over all stored entries as `(row, col, value)` in
+    /// column-major order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
+        (0..self.cols).flat_map(move |c| self.col(c).map(move |(r, v)| (r, c, v)))
+    }
+
+    /// Sparse matrix-vector product `y = A x`, column-driven (scatter form).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.cols()`.
+    pub fn spmv(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.cols, "spmv operand length mismatch");
+        let mut y = vec![0.0; self.rows];
+        #[allow(clippy::needless_range_loop)] // indexes several arrays
+        for c in 0..self.cols {
+            let xc = x[c];
+            if xc == 0.0 {
+                continue;
+            }
+            for (r, v) in self.col(c) {
+                y[r] += v * xc;
+            }
+        }
+        y
+    }
+
+    /// Converts back to CSR form.
+    pub fn to_csr(&self) -> Csr {
+        // Our arrays are exactly a CSR description of the transpose;
+        // transposing that yields the original matrix in CSR.
+        Csr::from_raw_parts(
+            self.cols,
+            self.rows,
+            self.col_ptr.clone(),
+            self.row_idx.clone(),
+            self.values.clone(),
+        )
+        .expect("CSC arrays are a valid CSR of the transpose")
+        .transpose()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Coo;
+
+    #[test]
+    fn csc_roundtrip() {
+        let a = Coo::from_triplets(
+            3,
+            4,
+            [(0, 0, 1.0), (0, 3, 2.0), (1, 1, 3.0), (2, 0, 4.0), (2, 2, 5.0)],
+        )
+        .unwrap()
+        .to_csr();
+        let c = a.to_csc();
+        assert_eq!(c.rows(), 3);
+        assert_eq!(c.cols(), 4);
+        assert_eq!(c.nnz(), 5);
+        assert_eq!(c.to_csr(), a);
+    }
+
+    #[test]
+    fn col_iteration_sorted_by_row() {
+        let a = Coo::from_triplets(3, 2, [(2, 0, 1.0), (0, 0, 2.0), (1, 1, 3.0)])
+            .unwrap()
+            .to_csc();
+        let col0: Vec<_> = a.col(0).collect();
+        assert_eq!(col0, vec![(0, 2.0), (2, 1.0)]);
+        assert_eq!(a.col_nnz(1), 1);
+    }
+
+    #[test]
+    fn spmv_matches_csr() {
+        let coo = Coo::from_triplets(
+            3,
+            3,
+            [(0, 0, 1.0), (0, 2, 2.0), (1, 1, 3.0), (2, 0, 4.0), (2, 2, 5.0)],
+        )
+        .unwrap();
+        let x = [1.0, 2.0, 3.0];
+        assert_eq!(coo.to_csc().spmv(&x), coo.to_csr().spmv(&x));
+    }
+
+    #[test]
+    fn iter_is_column_major() {
+        let a = Coo::from_triplets(2, 2, [(0, 1, 1.0), (1, 0, 2.0)])
+            .unwrap()
+            .to_csc();
+        let entries: Vec<_> = a.iter().collect();
+        assert_eq!(entries, vec![(1, 0, 2.0), (0, 1, 1.0)]);
+    }
+}

@@ -1,0 +1,139 @@
+//! Dense vector helpers used by the solvers and kernels.
+//!
+//! These are free functions over `&[f64]` / `&mut [f64]` rather than a
+//! vector newtype: every consumer in the workspace already owns plain
+//! buffers (simulator SRAM images, solver workspaces), and slices keep the
+//! caller in control of allocation (C-CALLER-CONTROL).
+
+/// Dot product `x . y`.
+///
+/// # Panics
+///
+/// Panics if `x.len() != y.len()`.
+pub fn dot(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "dot operand length mismatch");
+    x.iter().zip(y).map(|(a, b)| a * b).sum()
+}
+
+/// Euclidean norm `||x||_2`.
+pub fn norm2(x: &[f64]) -> f64 {
+    dot(x, x).sqrt()
+}
+
+/// Infinity norm `max |x_i|` (0 for an empty vector).
+pub fn norm_inf(x: &[f64]) -> f64 {
+    x.iter().fold(0.0, |m, v| m.max(v.abs()))
+}
+
+/// `y += alpha * x`.
+///
+/// # Panics
+///
+/// Panics if `x.len() != y.len()`.
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), y.len(), "axpy operand length mismatch");
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+/// `y = x + beta * y` (the update used for PCG's direction vector).
+///
+/// # Panics
+///
+/// Panics if `x.len() != y.len()`.
+pub fn xpby(x: &[f64], beta: f64, y: &mut [f64]) {
+    assert_eq!(x.len(), y.len(), "xpby operand length mismatch");
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi = xi + beta * *yi;
+    }
+}
+
+/// `x *= alpha`.
+pub fn scale(alpha: f64, x: &mut [f64]) {
+    for xi in x.iter_mut() {
+        *xi *= alpha;
+    }
+}
+
+/// Element-wise subtraction `x - y` into a new vector.
+///
+/// # Panics
+///
+/// Panics if `x.len() != y.len()`.
+pub fn sub(x: &[f64], y: &[f64]) -> Vec<f64> {
+    assert_eq!(x.len(), y.len(), "sub operand length mismatch");
+    x.iter().zip(y).map(|(a, b)| a - b).collect()
+}
+
+/// Maximum absolute difference between two vectors.
+///
+/// # Panics
+///
+/// Panics if `x.len() != y.len()`.
+pub fn max_abs_diff(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "operand length mismatch");
+    x.iter()
+        .zip(y)
+        .fold(0.0, |m, (a, b)| m.max((a - b).abs()))
+}
+
+/// Relative L2 difference `||x - y|| / max(||y||, eps)`.
+///
+/// # Panics
+///
+/// Panics if `x.len() != y.len()`.
+pub fn rel_l2_diff(x: &[f64], y: &[f64]) -> f64 {
+    let d = norm2(&sub(x, y));
+    d / norm2(y).max(1e-300)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_and_norms() {
+        let x = [3.0, 4.0];
+        assert_eq!(dot(&x, &x), 25.0);
+        assert_eq!(norm2(&x), 5.0);
+        assert_eq!(norm_inf(&[-7.0, 2.0]), 7.0);
+        assert_eq!(norm_inf(&[]), 0.0);
+    }
+
+    #[test]
+    fn axpy_updates_in_place() {
+        let mut y = vec![1.0, 1.0];
+        axpy(2.0, &[1.0, -1.0], &mut y);
+        assert_eq!(y, vec![3.0, -1.0]);
+    }
+
+    #[test]
+    fn xpby_is_direction_update() {
+        // p = z + beta * p
+        let mut p = vec![1.0, 2.0];
+        xpby(&[10.0, 20.0], 0.5, &mut p);
+        assert_eq!(p, vec![10.5, 21.0]);
+    }
+
+    #[test]
+    fn scale_and_sub() {
+        let mut x = vec![1.0, -2.0];
+        scale(-3.0, &mut x);
+        assert_eq!(x, vec![-3.0, 6.0]);
+        assert_eq!(sub(&[1.0, 2.0], &[0.5, 3.0]), vec![0.5, -1.0]);
+    }
+
+    #[test]
+    fn diffs() {
+        assert_eq!(max_abs_diff(&[1.0, 5.0], &[1.5, 5.0]), 0.5);
+        assert!(rel_l2_diff(&[1.0, 0.0], &[1.0, 0.0]) == 0.0);
+        assert!((rel_l2_diff(&[2.0], &[1.0]) - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_dot_panics() {
+        dot(&[1.0], &[1.0, 2.0]);
+    }
+}

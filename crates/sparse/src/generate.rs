@@ -1,0 +1,358 @@
+//! Synthetic matrix generators.
+//!
+//! The paper evaluates on SuiteSparse SPD matrices (Table IV). Those inputs
+//! are not redistributable here, so this module generates matrices from the
+//! two structural families that drive every result in the paper:
+//!
+//! * **grid/stencil matrices** ([`grid_laplacian_2d`], [`grid_laplacian_3d`],
+//!   [`anisotropic_laplacian_2d`]): ~5–7 nonzeros per row, large `n`,
+//!   high SpTRSV parallelism after coloring — analogs of `thermal2`,
+//!   `apache2`, `ecology2`, `G3_circuit`, `tmt_sym`;
+//! * **unstructured 3-D FEM-like matrices** ([`fem_mesh_3d`]): 20–80
+//!   nonzeros per row, spatially clustered sparsity, limited SpTRSV
+//!   parallelism — analogs of `crankseg_1`, `m_t1`, `shipsec1`, `consph`,
+//!   `nd12k`, `thread`, …
+//!
+//! All generators are deterministic given their seed and produce symmetric
+//! positive-definite matrices by diagonal dominance.
+
+use crate::{Coo, Csr};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// 5-point Laplacian on an `nx` x `ny` grid (Dirichlet boundaries).
+///
+/// The canonical grid-structured SPD matrix: 4 on the diagonal, -1 for each
+/// of the up-to-4 neighbors.
+///
+/// # Panics
+///
+/// Panics if `nx == 0 || ny == 0`.
+pub fn grid_laplacian_2d(nx: usize, ny: usize) -> Csr {
+    assert!(nx > 0 && ny > 0, "grid dimensions must be positive");
+    let n = nx * ny;
+    let mut coo = Coo::with_capacity(n, n, 5 * n);
+    let idx = |x: usize, y: usize| y * nx + x;
+    for y in 0..ny {
+        for x in 0..nx {
+            let i = idx(x, y);
+            coo.push(i, i, 4.0).unwrap();
+            if x + 1 < nx {
+                coo.push_sym(i, idx(x + 1, y), -1.0).unwrap();
+            }
+            if y + 1 < ny {
+                coo.push_sym(i, idx(x, y + 1), -1.0).unwrap();
+            }
+        }
+    }
+    coo.to_csr()
+}
+
+/// 7-point Laplacian on an `nx` x `ny` x `nz` grid (Dirichlet boundaries).
+///
+/// # Panics
+///
+/// Panics if any dimension is zero.
+pub fn grid_laplacian_3d(nx: usize, ny: usize, nz: usize) -> Csr {
+    assert!(nx > 0 && ny > 0 && nz > 0, "grid dimensions must be positive");
+    let n = nx * ny * nz;
+    let mut coo = Coo::with_capacity(n, n, 7 * n);
+    let idx = |x: usize, y: usize, z: usize| (z * ny + y) * nx + x;
+    for z in 0..nz {
+        for y in 0..ny {
+            for x in 0..nx {
+                let i = idx(x, y, z);
+                coo.push(i, i, 6.0).unwrap();
+                if x + 1 < nx {
+                    coo.push_sym(i, idx(x + 1, y, z), -1.0).unwrap();
+                }
+                if y + 1 < ny {
+                    coo.push_sym(i, idx(x, y + 1, z), -1.0).unwrap();
+                }
+                if z + 1 < nz {
+                    coo.push_sym(i, idx(x, y, z + 1), -1.0).unwrap();
+                }
+            }
+        }
+    }
+    coo.to_csr()
+}
+
+/// Anisotropic 5-point Laplacian: x-couplings weighted `epsilon`, mimicking
+/// thermal/circuit matrices whose conditioning stresses the solver.
+///
+/// # Panics
+///
+/// Panics if dimensions are zero or `epsilon <= 0`.
+pub fn anisotropic_laplacian_2d(nx: usize, ny: usize, epsilon: f64) -> Csr {
+    assert!(nx > 0 && ny > 0, "grid dimensions must be positive");
+    assert!(epsilon > 0.0, "anisotropy must be positive");
+    let n = nx * ny;
+    let mut coo = Coo::with_capacity(n, n, 5 * n);
+    let idx = |x: usize, y: usize| y * nx + x;
+    for y in 0..ny {
+        for x in 0..nx {
+            let i = idx(x, y);
+            coo.push(i, i, 2.0 * (1.0 + epsilon)).unwrap();
+            if x + 1 < nx {
+                coo.push_sym(i, idx(x + 1, y), -epsilon).unwrap();
+            }
+            if y + 1 < ny {
+                coo.push_sym(i, idx(x, y + 1), -1.0).unwrap();
+            }
+        }
+    }
+    coo.to_csr()
+}
+
+/// Symmetric tridiagonal matrix `[-1, 2, -1]` of dimension `n` — the fully
+/// sequential SpTRSV example of Fig. 6.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn tridiagonal(n: usize) -> Csr {
+    assert!(n > 0, "dimension must be positive");
+    let mut coo = Coo::with_capacity(n, n, 3 * n);
+    for i in 0..n {
+        coo.push(i, i, 2.0).unwrap();
+        if i + 1 < n {
+            coo.push_sym(i, i + 1, -1.0).unwrap();
+        }
+    }
+    coo.to_csr()
+}
+
+/// Unstructured 3-D FEM-like SPD matrix.
+///
+/// Places `n` points in the unit cube (deterministically from `seed`),
+/// connects each point to its `k` nearest neighbors (symmetrized), and
+/// assembles an SPD M-matrix: off-diagonals `-w(d)` decaying with distance,
+/// diagonal = row sum of magnitudes × 1.05. The result has ~`2k` nonzeros
+/// per row with strong spatial clustering, matching the structure of 3-D
+/// finite-element stiffness matrices.
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `k == 0` or `k >= n`.
+pub fn fem_mesh_3d(n: usize, k: usize, seed: u64) -> Csr {
+    assert!(n > 0 && k > 0 && k < n, "need 0 < k < n");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let pts: Vec<[f64; 3]> = (0..n)
+        .map(|_| [rng.gen::<f64>(), rng.gen::<f64>(), rng.gen::<f64>()])
+        .collect();
+
+    // Bucket grid for k-NN: ~4 points per cell.
+    let m = (((n as f64) / 4.0).cbrt().ceil() as usize).max(1);
+    let cell_of = |p: &[f64; 3]| {
+        let cx = ((p[0] * m as f64) as usize).min(m - 1);
+        let cy = ((p[1] * m as f64) as usize).min(m - 1);
+        let cz = ((p[2] * m as f64) as usize).min(m - 1);
+        (cz * m + cy) * m + cx
+    };
+    let mut buckets: Vec<Vec<usize>> = vec![Vec::new(); m * m * m];
+    for (i, p) in pts.iter().enumerate() {
+        buckets[cell_of(p)].push(i);
+    }
+
+    let dist2 = |a: &[f64; 3], b: &[f64; 3]| {
+        let dx = a[0] - b[0];
+        let dy = a[1] - b[1];
+        let dz = a[2] - b[2];
+        dx * dx + dy * dy + dz * dz
+    };
+
+    let mut coo = Coo::with_capacity(n, n, n * (2 * k + 1));
+    let mut pattern: std::collections::HashSet<(usize, usize)> = std::collections::HashSet::new();
+    for i in 0..n {
+        let p = &pts[i];
+        let cx = ((p[0] * m as f64) as usize).min(m - 1) as isize;
+        let cy = ((p[1] * m as f64) as usize).min(m - 1) as isize;
+        let cz = ((p[2] * m as f64) as usize).min(m - 1) as isize;
+        // Expand the search radius until we have at least k candidates.
+        let mut radius = 1isize;
+        let mut cand: Vec<usize> = Vec::new();
+        loop {
+            cand.clear();
+            for dz in -radius..=radius {
+                for dy in -radius..=radius {
+                    for dx in -radius..=radius {
+                        let (x, y, z) = (cx + dx, cy + dy, cz + dz);
+                        if x < 0 || y < 0 || z < 0 {
+                            continue;
+                        }
+                        let (x, y, z) = (x as usize, y as usize, z as usize);
+                        if x >= m || y >= m || z >= m {
+                            continue;
+                        }
+                        cand.extend(buckets[(z * m + y) * m + x].iter().copied());
+                    }
+                }
+            }
+            if cand.len() > k || radius as usize >= m {
+                break;
+            }
+            radius += 1;
+        }
+        let mut scored: Vec<(f64, usize)> = cand
+            .iter()
+            .filter(|&&j| j != i)
+            .map(|&j| (dist2(p, &pts[j]), j))
+            .collect();
+        scored.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        scored.truncate(k);
+        for (d2, j) in scored {
+            let (lo, hi) = if i < j { (i, j) } else { (j, i) };
+            if pattern.insert((lo, hi)) {
+                // Weight decays with distance; clamp to avoid zero weights.
+                let w = (-8.0 * d2.sqrt()).exp().max(0.05);
+                coo.push_sym(lo, hi, -w).unwrap();
+            }
+        }
+    }
+
+    finish_spd(n, coo)
+}
+
+/// Random sparse SPD matrix with ~`avg_row_nnz` nonzeros per row and no
+/// spatial structure (the worst case for position-based mappings).
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `avg_row_nnz < 1`.
+pub fn random_spd(n: usize, avg_row_nnz: usize, seed: u64) -> Csr {
+    assert!(n > 0 && avg_row_nnz >= 1, "need n > 0 and avg_row_nnz >= 1");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let offdiag_per_row = (avg_row_nnz.saturating_sub(1)) / 2;
+    let mut coo = Coo::with_capacity(n, n, n * avg_row_nnz);
+    let mut pattern: std::collections::HashSet<(usize, usize)> = std::collections::HashSet::new();
+    for i in 0..n {
+        for _ in 0..offdiag_per_row {
+            let j = rng.gen_range(0..n);
+            if j == i {
+                continue;
+            }
+            let (lo, hi) = if i < j { (i, j) } else { (j, i) };
+            if pattern.insert((lo, hi)) {
+                let w = 0.1 + 0.9 * rng.gen::<f64>();
+                coo.push_sym(lo, hi, -w).unwrap();
+            }
+        }
+    }
+    finish_spd(n, coo)
+}
+
+/// Banded SPD matrix with bandwidth `band` (diagonals at offsets
+/// `1..=band`) — structured but denser than tridiagonal.
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `band == 0`.
+pub fn banded_spd(n: usize, band: usize) -> Csr {
+    assert!(n > 0 && band > 0, "need positive dimension and band");
+    let mut coo = Coo::with_capacity(n, n, n * (2 * band + 1));
+    for i in 0..n {
+        for off in 1..=band {
+            if i + off < n {
+                let w = -1.0 / off as f64;
+                coo.push_sym(i, i + off, w).unwrap();
+            }
+        }
+    }
+    finish_spd(n, coo)
+}
+
+/// Adds a strictly dominant diagonal to an assembled off-diagonal pattern,
+/// guaranteeing symmetric positive-definiteness.
+fn finish_spd(n: usize, mut coo: Coo) -> Csr {
+    let mut row_sum = vec![0.0f64; n];
+    for (r, _, v) in coo.iter() {
+        row_sum[r] += v.abs();
+    }
+    for (i, s) in row_sum.iter().enumerate() {
+        // Isolated vertices still get a positive diagonal.
+        coo.push(i, i, s * 1.05 + 0.01).unwrap();
+    }
+    coo.to_csr()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_spd_structure(a: &Csr) {
+        assert!(a.is_symmetric(1e-12), "matrix must be symmetric");
+        // Diagonally dominant with positive diagonal => SPD.
+        for i in 0..a.rows() {
+            let d = a.get(i, i);
+            assert!(d > 0.0, "diagonal {i} must be positive");
+            let off: f64 = a.row(i).filter(|&(c, _)| c != i).map(|(_, v)| v.abs()).sum();
+            assert!(d >= off, "row {i} must be diagonally dominant");
+        }
+    }
+
+    #[test]
+    fn laplacian_2d_structure() {
+        let a = grid_laplacian_2d(4, 3);
+        assert_eq!(a.rows(), 12);
+        check_spd_structure(&a);
+        // Interior point has 5 nnz.
+        assert_eq!(a.row_nnz(5), 5);
+        // Corner point has 3 nnz.
+        assert_eq!(a.row_nnz(0), 3);
+    }
+
+    #[test]
+    fn laplacian_3d_structure() {
+        let a = grid_laplacian_3d(3, 3, 3);
+        assert_eq!(a.rows(), 27);
+        check_spd_structure(&a);
+        // Center of the cube has 7 nnz.
+        assert_eq!(a.row_nnz(13), 7);
+    }
+
+    #[test]
+    fn anisotropic_is_spd() {
+        let a = anisotropic_laplacian_2d(5, 5, 0.01);
+        check_spd_structure(&a);
+    }
+
+    #[test]
+    fn tridiagonal_structure() {
+        let a = tridiagonal(5);
+        assert_eq!(a.nnz(), 13);
+        check_spd_structure(&a);
+    }
+
+    #[test]
+    fn fem_mesh_is_spd_and_clustered() {
+        let a = fem_mesh_3d(300, 8, 42);
+        assert_eq!(a.rows(), 300);
+        check_spd_structure(&a);
+        let avg = a.nnz() as f64 / a.rows() as f64;
+        assert!(avg > 8.0, "expected >8 nnz/row, got {avg}");
+        assert!(avg < 25.0, "expected <25 nnz/row, got {avg}");
+    }
+
+    #[test]
+    fn fem_mesh_deterministic() {
+        let a = fem_mesh_3d(100, 5, 7);
+        let b = fem_mesh_3d(100, 5, 7);
+        assert_eq!(a, b);
+        let c = fem_mesh_3d(100, 5, 8);
+        assert_ne!(a, c, "different seeds should differ");
+    }
+
+    #[test]
+    fn random_spd_is_spd() {
+        let a = random_spd(200, 9, 3);
+        check_spd_structure(&a);
+    }
+
+    #[test]
+    fn banded_structure() {
+        let a = banded_spd(10, 3);
+        check_spd_structure(&a);
+        assert_eq!(a.row_nnz(5), 7);
+    }
+}

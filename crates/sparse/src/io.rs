@@ -1,0 +1,221 @@
+//! Matrix Market I/O.
+//!
+//! Supports the `matrix coordinate real {general|symmetric}` and
+//! `matrix coordinate pattern {general|symmetric}` headers, which covers the
+//! SuiteSparse SPD collection the paper evaluates on. Users with local
+//! copies of the paper's matrices (Table IV) can load them with
+//! [`read_matrix_market`] and run the full pipeline on the real inputs.
+
+use crate::{Coo, Csr, Result, SparseError};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::path::Path;
+
+/// Parses a Matrix Market stream into CSR form.
+///
+/// Symmetric files are expanded to full storage. Pattern files get unit
+/// values.
+///
+/// # Errors
+///
+/// Returns [`SparseError::Parse`] for malformed input and
+/// [`SparseError::Io`] for read failures.
+pub fn read_matrix_market<R: Read>(reader: R) -> Result<Csr> {
+    let mut lines = BufReader::new(reader).lines();
+    let header = lines
+        .next()
+        .ok_or_else(|| SparseError::Parse("empty stream".into()))??;
+    let header = header.to_ascii_lowercase();
+    let fields: Vec<&str> = header.split_whitespace().collect();
+    if fields.len() < 4 || !fields[0].starts_with("%%matrixmarket") {
+        return Err(SparseError::Parse(format!("bad header: {header}")));
+    }
+    if fields[1] != "matrix" || fields[2] != "coordinate" {
+        return Err(SparseError::Parse(
+            "only 'matrix coordinate' supported".into(),
+        ));
+    }
+    let pattern = match fields[3] {
+        "real" | "integer" => false,
+        "pattern" => true,
+        other => {
+            return Err(SparseError::Parse(format!(
+                "unsupported value type: {other}"
+            )))
+        }
+    };
+    let symmetric = match fields.get(4).copied().unwrap_or("general") {
+        "general" => false,
+        "symmetric" => true,
+        other => {
+            return Err(SparseError::Parse(format!(
+                "unsupported symmetry: {other}"
+            )))
+        }
+    };
+
+    // Skip comments, read size line.
+    let mut size_line = None;
+    for line in lines.by_ref() {
+        let line = line?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('%') {
+            continue;
+        }
+        size_line = Some(line);
+        break;
+    }
+    let size_line = size_line.ok_or_else(|| SparseError::Parse("missing size line".into()))?;
+    let dims: Vec<usize> = size_line
+        .split_whitespace()
+        .map(|t| t.parse::<usize>())
+        .collect::<std::result::Result<_, _>>()
+        .map_err(|e| SparseError::Parse(format!("bad size line: {e}")))?;
+    if dims.len() != 3 {
+        return Err(SparseError::Parse("size line needs rows cols nnz".into()));
+    }
+    let (rows, cols, nnz) = (dims[0], dims[1], dims[2]);
+
+    let mut coo = Coo::with_capacity(rows, cols, if symmetric { 2 * nnz } else { nnz });
+    let mut seen = 0usize;
+    for line in lines {
+        let line = line?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('%') {
+            continue;
+        }
+        let mut it = t.split_whitespace();
+        let r: usize = it
+            .next()
+            .ok_or_else(|| SparseError::Parse("short entry line".into()))?
+            .parse()
+            .map_err(|e| SparseError::Parse(format!("bad row index: {e}")))?;
+        let c: usize = it
+            .next()
+            .ok_or_else(|| SparseError::Parse("short entry line".into()))?
+            .parse()
+            .map_err(|e| SparseError::Parse(format!("bad col index: {e}")))?;
+        let v: f64 = if pattern {
+            1.0
+        } else {
+            it.next()
+                .ok_or_else(|| SparseError::Parse("missing value".into()))?
+                .parse()
+                .map_err(|e| SparseError::Parse(format!("bad value: {e}")))?
+        };
+        if r == 0 || c == 0 {
+            return Err(SparseError::Parse("matrix market indices are 1-based".into()));
+        }
+        if symmetric {
+            coo.push_sym(r - 1, c - 1, v)?;
+        } else {
+            coo.push(r - 1, c - 1, v)?;
+        }
+        seen += 1;
+    }
+    if seen != nnz {
+        return Err(SparseError::Parse(format!(
+            "expected {nnz} entries, found {seen}"
+        )));
+    }
+    Ok(coo.to_csr())
+}
+
+/// Loads a Matrix Market file from disk.
+///
+/// # Errors
+///
+/// Propagates I/O and parse failures; see [`read_matrix_market`].
+pub fn load_matrix_market(path: impl AsRef<Path>) -> Result<Csr> {
+    let f = std::fs::File::open(path)?;
+    read_matrix_market(f)
+}
+
+/// Writes a matrix in `matrix coordinate real general` form.
+///
+/// # Errors
+///
+/// Returns [`SparseError::Io`] on write failure.
+pub fn write_matrix_market<W: Write>(mut writer: W, a: &Csr) -> Result<()> {
+    writeln!(writer, "%%MatrixMarket matrix coordinate real general")?;
+    writeln!(writer, "{} {} {}", a.rows(), a.cols(), a.nnz())?;
+    for (r, c, v) in a.iter() {
+        writeln!(writer, "{} {} {:e}", r + 1, c + 1, v)?;
+    }
+    Ok(())
+}
+
+/// Saves a matrix to a Matrix Market file.
+///
+/// # Errors
+///
+/// Returns [`SparseError::Io`] on write failure.
+pub fn save_matrix_market(path: impl AsRef<Path>, a: &Csr) -> Result<()> {
+    let f = std::fs::File::create(path)?;
+    write_matrix_market(std::io::BufWriter::new(f), a)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate;
+
+    #[test]
+    fn parse_general_real() {
+        let text = "%%MatrixMarket matrix coordinate real general\n\
+                    % a comment\n\
+                    2 3 3\n\
+                    1 1 1.5\n\
+                    2 3 -2.0\n\
+                    1 2 4e-1\n";
+        let a = read_matrix_market(text.as_bytes()).unwrap();
+        assert_eq!(a.rows(), 2);
+        assert_eq!(a.cols(), 3);
+        assert_eq!(a.get(0, 0), 1.5);
+        assert_eq!(a.get(1, 2), -2.0);
+        assert_eq!(a.get(0, 1), 0.4);
+    }
+
+    #[test]
+    fn parse_symmetric_expands() {
+        let text = "%%MatrixMarket matrix coordinate real symmetric\n\
+                    3 3 3\n\
+                    1 1 2.0\n\
+                    2 1 -1.0\n\
+                    3 3 5.0\n";
+        let a = read_matrix_market(text.as_bytes()).unwrap();
+        assert_eq!(a.nnz(), 4);
+        assert_eq!(a.get(0, 1), -1.0);
+        assert_eq!(a.get(1, 0), -1.0);
+        assert!(a.is_symmetric(0.0));
+    }
+
+    #[test]
+    fn parse_pattern() {
+        let text = "%%MatrixMarket matrix coordinate pattern general\n\
+                    2 2 2\n\
+                    1 2\n\
+                    2 1\n";
+        let a = read_matrix_market(text.as_bytes()).unwrap();
+        assert_eq!(a.get(0, 1), 1.0);
+        assert_eq!(a.get(1, 0), 1.0);
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert!(read_matrix_market("".as_bytes()).is_err());
+        assert!(read_matrix_market("%%MatrixMarket array real\n".as_bytes()).is_err());
+        let bad_count = "%%MatrixMarket matrix coordinate real general\n2 2 5\n1 1 1.0\n";
+        assert!(read_matrix_market(bad_count.as_bytes()).is_err());
+        let zero_based = "%%MatrixMarket matrix coordinate real general\n2 2 1\n0 1 1.0\n";
+        assert!(read_matrix_market(zero_based.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn write_read_roundtrip() {
+        let a = generate::grid_laplacian_2d(5, 4);
+        let mut buf = Vec::new();
+        write_matrix_market(&mut buf, &a).unwrap();
+        let b = read_matrix_market(buf.as_slice()).unwrap();
+        assert_eq!(a, b);
+    }
+}

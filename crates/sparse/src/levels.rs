@@ -1,0 +1,284 @@
+//! Dependence-level and parallelism analysis (Table I, Fig. 5).
+//!
+//! SpTRSV's data-dependence graph is derived directly from the sparsity
+//! pattern of the triangular matrix: solving `x_i` needs every `x_j` with
+//! `L_ij != 0, j < i`. This module computes:
+//!
+//! * [`LevelSets`]: the classic level-set schedule (rows grouped by
+//!   dependence depth), used both to estimate GPU SpTRSV performance
+//!   (one synchronization per level) and to time-balance Azul's mapping;
+//! * available-parallelism estimates for SpMV and SpTRSV, defined as the
+//!   paper defines them: *total work divided by critical-path length*,
+//!   with unit-latency operations.
+
+use crate::Csr;
+
+/// Rows of a lower-triangular matrix grouped by dependence depth.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LevelSets {
+    level_of: Vec<usize>,
+    levels: Vec<Vec<usize>>,
+}
+
+impl LevelSets {
+    /// Dependence level of each row (level 0 rows have no dependences).
+    pub fn level_of(&self) -> &[usize] {
+        &self.level_of
+    }
+
+    /// Rows in each level, in ascending row order.
+    pub fn levels(&self) -> &[Vec<usize>] {
+        &self.levels
+    }
+
+    /// Number of levels (the sequential depth of the solve).
+    pub fn num_levels(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Size of the largest level (the peak row-parallelism).
+    pub fn max_level_size(&self) -> usize {
+        self.levels.iter().map(Vec::len).max().unwrap_or(0)
+    }
+}
+
+/// Computes level sets of a lower-triangular matrix.
+///
+/// Row `i` is at level `1 + max(level(j))` over stored entries `L_ij` with
+/// `j < i` (entries with `j > i` are ignored so callers may pass a full
+/// matrix and have its lower triangle analyzed).
+pub fn level_sets(l: &Csr) -> LevelSets {
+    let n = l.rows();
+    let mut level_of = vec![0usize; n];
+    let mut max_level = 0usize;
+    for i in 0..n {
+        let mut lvl = 0usize;
+        for (j, _) in l.row(i) {
+            if j < i {
+                lvl = lvl.max(level_of[j] + 1);
+            }
+        }
+        level_of[i] = lvl;
+        max_level = max_level.max(lvl);
+    }
+    let mut levels = vec![Vec::new(); if n == 0 { 0 } else { max_level + 1 }];
+    for (i, &lvl) in level_of.iter().enumerate() {
+        levels[lvl].push(i);
+    }
+    LevelSets { level_of, levels }
+}
+
+/// Work / critical-path parallelism estimate (Table I's metric).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ParallelismReport {
+    /// Total number of unit-latency operations.
+    pub work: usize,
+    /// Length of the longest dependence chain (unit-latency ops).
+    pub critical_path: usize,
+}
+
+impl ParallelismReport {
+    /// Available parallelism: `work / critical_path`.
+    pub fn parallelism(&self) -> f64 {
+        self.work as f64 / self.critical_path.max(1) as f64
+    }
+}
+
+/// Parallelism of SpMV `y = A x`.
+///
+/// Every product `A_ij * x_j` is independent; the critical path is the
+/// depth of a binary reduction tree over the densest row.
+pub fn spmv_parallelism(a: &Csr) -> ParallelismReport {
+    let max_row = (0..a.rows()).map(|r| a.row_nnz(r)).max().unwrap_or(0);
+    ParallelismReport {
+        work: a.nnz(),
+        critical_path: ceil_log2(max_row).max(1),
+    }
+}
+
+/// Parallelism of SpTRSV with the lower triangle of `l` (entries above the
+/// diagonal are ignored).
+///
+/// Each row costs `ceil(log2(k)) + 1` unit ops on its critical path (a
+/// reduction over its `k` off-diagonal products plus the solve/multiply of
+/// the variable); row chains follow the dependence DAG of Fig. 5.
+pub fn sptrsv_parallelism(l: &Csr) -> ParallelismReport {
+    let n = l.rows();
+    let mut depth = vec![0usize; n];
+    let mut critical = 0usize;
+    let mut work = 0usize;
+    for i in 0..n {
+        let mut pred = 0usize;
+        let mut offdiag = 0usize;
+        for (j, _) in l.row(i) {
+            if j < i {
+                pred = pred.max(depth[j]);
+                offdiag += 1;
+            }
+        }
+        work += offdiag + 1; // off-diagonal FMACs + the diagonal solve
+        depth[i] = pred + ceil_log2(offdiag).max(1) + 1;
+        critical = critical.max(depth[i]);
+    }
+    ParallelismReport {
+        work,
+        critical_path: critical.max(1),
+    }
+}
+
+/// Topological depth of every *nonzero* of the lower triangle, in the order
+/// `l.iter()` visits stored entries with `col <= row`.
+///
+/// Entry `L_ij` (an FMAC feeding row `i`) executes after `x_j` is solved, so
+/// its depth is `depth(x_j)`; diagonal entries execute at `depth(x_i)`.
+/// These depths drive the q-quantile time-balancing constraints of
+/// Sec. IV-C.
+pub fn nonzero_depths(l: &Csr) -> Vec<usize> {
+    let n = l.rows();
+    let mut var_depth = vec![0usize; n];
+    for i in 0..n {
+        let mut pred = 0usize;
+        for (j, _) in l.row(i) {
+            if j < i {
+                pred = pred.max(var_depth[j] + 1);
+            }
+        }
+        var_depth[i] = pred;
+    }
+    let mut out = Vec::with_capacity(l.nnz());
+    for i in 0..n {
+        for (j, _) in l.row(i) {
+            if j < i {
+                out.push(var_depth[j]);
+            } else if j == i {
+                out.push(var_depth[i]);
+            }
+        }
+    }
+    out
+}
+
+/// `ceil(log2(x))`, with `ceil_log2(0) == 0` and `ceil_log2(1) == 0`.
+pub fn ceil_log2(x: usize) -> usize {
+    if x <= 1 {
+        0
+    } else {
+        (usize::BITS - (x - 1).leading_zeros()) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coloring::{color_and_permute, ColoringStrategy};
+    use crate::generate;
+
+    #[test]
+    fn ceil_log2_values() {
+        assert_eq!(ceil_log2(0), 0);
+        assert_eq!(ceil_log2(1), 0);
+        assert_eq!(ceil_log2(2), 1);
+        assert_eq!(ceil_log2(3), 2);
+        assert_eq!(ceil_log2(8), 3);
+        assert_eq!(ceil_log2(9), 4);
+    }
+
+    #[test]
+    fn tridiagonal_levels_are_sequential() {
+        let l = generate::tridiagonal(8).lower_triangle();
+        let ls = level_sets(&l);
+        assert_eq!(ls.num_levels(), 8);
+        assert_eq!(ls.max_level_size(), 1);
+        for i in 0..8 {
+            assert_eq!(ls.level_of()[i], i);
+        }
+    }
+
+    #[test]
+    fn diagonal_matrix_is_one_level() {
+        let l = Csr::identity(5);
+        let ls = level_sets(&l);
+        assert_eq!(ls.num_levels(), 1);
+        assert_eq!(ls.max_level_size(), 5);
+    }
+
+    #[test]
+    fn levels_partition_rows() {
+        let a = generate::fem_mesh_3d(150, 5, 3);
+        let ls = level_sets(&a.lower_triangle());
+        let total: usize = ls.levels().iter().map(Vec::len).sum();
+        assert_eq!(total, 150);
+        // Every row's recorded level matches its group.
+        for (lvl, rows) in ls.levels().iter().enumerate() {
+            for &r in rows {
+                assert_eq!(ls.level_of()[r], lvl);
+            }
+        }
+    }
+
+    #[test]
+    fn level_respects_dependences() {
+        let a = generate::fem_mesh_3d(120, 5, 11);
+        let l = a.lower_triangle();
+        let ls = level_sets(&l);
+        for (i, j, _) in l.iter() {
+            if j < i {
+                assert!(ls.level_of()[i] > ls.level_of()[j]);
+            }
+        }
+    }
+
+    #[test]
+    fn spmv_parallelism_is_high() {
+        let a = generate::grid_laplacian_2d(20, 20);
+        let p = spmv_parallelism(&a);
+        assert_eq!(p.work, a.nnz());
+        // max row nnz = 5 -> critical path = 3
+        assert_eq!(p.critical_path, 3);
+        assert!(p.parallelism() > 500.0);
+    }
+
+    #[test]
+    fn sptrsv_parallelism_lower_than_spmv() {
+        let a = generate::fem_mesh_3d(300, 8, 5);
+        let spmv = spmv_parallelism(&a);
+        let sptrsv = sptrsv_parallelism(&a.lower_triangle());
+        assert!(sptrsv.parallelism() < spmv.parallelism());
+    }
+
+    #[test]
+    fn coloring_improves_sptrsv_parallelism() {
+        // Table I's effect: permuted matrices have much higher parallelism.
+        let a = generate::tridiagonal(200);
+        let before = sptrsv_parallelism(&a.lower_triangle());
+        let (pa, _, _) = color_and_permute(&a, ColoringStrategy::LargestDegreeFirst);
+        let after = sptrsv_parallelism(&pa.lower_triangle());
+        assert!(
+            after.parallelism() > 10.0 * before.parallelism(),
+            "before={} after={}",
+            before.parallelism(),
+            after.parallelism()
+        );
+    }
+
+    #[test]
+    fn nonzero_depths_align_with_lower_triangle() {
+        let a = generate::fem_mesh_3d(80, 4, 2);
+        let l = a.lower_triangle();
+        let depths = nonzero_depths(&l);
+        assert_eq!(depths.len(), l.nnz());
+        // Depths of diagonal entries equal the row's variable depth, which
+        // must exceed the depth of any off-diagonal entry in the row.
+        let mut pos = 0;
+        for i in 0..l.rows() {
+            let row: Vec<_> = l.row(i).collect();
+            let row_depths = &depths[pos..pos + row.len()];
+            pos += row.len();
+            if let Some(&d_diag) = row_depths.last() {
+                for &d in &row_depths[..row_depths.len() - 1] {
+                    assert!(d < d_diag);
+                }
+            }
+        }
+    }
+}

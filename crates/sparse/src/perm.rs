@@ -1,0 +1,216 @@
+//! Permutations of matrix rows/columns.
+
+use crate::{Result, SparseError};
+
+/// A permutation of `0..n`.
+///
+/// Stored as the *new-order* map: `new_of(i)` is the position that old index
+/// `i` moves to. The inverse map ("which old index lands at new position
+/// `j`") is available via [`Permutation::old_of`].
+///
+/// # Example
+///
+/// ```
+/// use azul_sparse::Permutation;
+///
+/// let p = Permutation::from_new_order(vec![2, 0, 1])?;
+/// assert_eq!(p.new_of(0), 2);
+/// assert_eq!(p.old_of(2), 0);
+/// assert_eq!(p.apply(&[10.0, 20.0, 30.0]), vec![20.0, 30.0, 10.0]);
+/// # Ok::<(), azul_sparse::SparseError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Permutation {
+    new_of: Vec<usize>,
+    old_of: Vec<usize>,
+}
+
+impl Permutation {
+    /// The identity permutation of length `n`.
+    pub fn identity(n: usize) -> Self {
+        let v: Vec<usize> = (0..n).collect();
+        Permutation {
+            new_of: v.clone(),
+            old_of: v,
+        }
+    }
+
+    /// Builds a permutation from a new-order map (`new_of[i]` = new position
+    /// of old index `i`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseError::Parse`] if `new_of` is not a permutation of
+    /// `0..n`.
+    pub fn from_new_order(new_of: Vec<usize>) -> Result<Self> {
+        let n = new_of.len();
+        let mut old_of = vec![usize::MAX; n];
+        for (old, &new) in new_of.iter().enumerate() {
+            if new >= n {
+                return Err(SparseError::Parse(format!(
+                    "permutation value {new} out of range for length {n}"
+                )));
+            }
+            if old_of[new] != usize::MAX {
+                return Err(SparseError::Parse(format!(
+                    "duplicate permutation target {new}"
+                )));
+            }
+            old_of[new] = old;
+        }
+        Ok(Permutation { new_of, old_of })
+    }
+
+    /// Builds a permutation from an old-order map (`order[j]` = old index
+    /// placed at new position `j`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseError::Parse`] if `order` is not a permutation of
+    /// `0..n`.
+    pub fn from_old_order(order: Vec<usize>) -> Result<Self> {
+        let n = order.len();
+        let mut new_of = vec![usize::MAX; n];
+        for (new, &old) in order.iter().enumerate() {
+            if old >= n {
+                return Err(SparseError::Parse(format!(
+                    "permutation value {old} out of range for length {n}"
+                )));
+            }
+            if new_of[old] != usize::MAX {
+                return Err(SparseError::Parse(format!(
+                    "duplicate permutation source {old}"
+                )));
+            }
+            new_of[old] = new;
+        }
+        Ok(Permutation {
+            new_of,
+            old_of: order,
+        })
+    }
+
+    /// Length of the permutation.
+    pub fn len(&self) -> usize {
+        self.new_of.len()
+    }
+
+    /// Whether the permutation is empty.
+    pub fn is_empty(&self) -> bool {
+        self.new_of.is_empty()
+    }
+
+    /// New position of old index `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()`.
+    pub fn new_of(&self, i: usize) -> usize {
+        self.new_of[i]
+    }
+
+    /// Old index located at new position `j`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j >= self.len()`.
+    pub fn old_of(&self, j: usize) -> usize {
+        self.old_of[j]
+    }
+
+    /// The inverse permutation.
+    pub fn inverse(&self) -> Permutation {
+        Permutation {
+            new_of: self.old_of.clone(),
+            old_of: self.new_of.clone(),
+        }
+    }
+
+    /// Applies the permutation to a dense vector: output position
+    /// `new_of(i)` receives `x[i]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.len()`.
+    pub fn apply(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.len(), "permutation length mismatch");
+        let mut y = vec![0.0; x.len()];
+        for (i, &xi) in x.iter().enumerate() {
+            y[self.new_of[i]] = xi;
+        }
+        y
+    }
+
+    /// Applies the inverse permutation to a dense vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.len()`.
+    pub fn apply_inverse(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.len(), "permutation length mismatch");
+        let mut y = vec![0.0; x.len()];
+        for (i, &xi) in x.iter().enumerate() {
+            y[self.old_of[i]] = xi;
+        }
+        y
+    }
+
+    /// Composition `other ∘ self`: applies `self` first, then `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ.
+    pub fn then(&self, other: &Permutation) -> Permutation {
+        assert_eq!(self.len(), other.len(), "permutation length mismatch");
+        let new_of: Vec<usize> = (0..self.len())
+            .map(|i| other.new_of[self.new_of[i]])
+            .collect();
+        Permutation::from_new_order(new_of).expect("composition of permutations is a permutation")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_roundtrip() {
+        let p = Permutation::identity(4);
+        let x = vec![1.0, 2.0, 3.0, 4.0];
+        assert_eq!(p.apply(&x), x);
+        assert_eq!(p.inverse(), p);
+    }
+
+    #[test]
+    fn invalid_permutations_rejected() {
+        assert!(Permutation::from_new_order(vec![0, 0]).is_err());
+        assert!(Permutation::from_new_order(vec![0, 5]).is_err());
+        assert!(Permutation::from_old_order(vec![1, 1]).is_err());
+    }
+
+    #[test]
+    fn apply_and_inverse_are_inverses() {
+        let p = Permutation::from_new_order(vec![2, 0, 3, 1]).unwrap();
+        let x = vec![1.0, 2.0, 3.0, 4.0];
+        let y = p.apply(&x);
+        assert_eq!(p.apply_inverse(&y), x);
+        assert_eq!(p.inverse().apply(&y), x);
+    }
+
+    #[test]
+    fn old_new_consistency() {
+        let p = Permutation::from_old_order(vec![3, 1, 0, 2]).unwrap();
+        for j in 0..4 {
+            assert_eq!(p.new_of(p.old_of(j)), j);
+        }
+    }
+
+    #[test]
+    fn composition_order() {
+        let p = Permutation::from_new_order(vec![1, 2, 0]).unwrap();
+        let q = Permutation::from_new_order(vec![2, 0, 1]).unwrap();
+        let pq = p.then(&q);
+        let x = vec![10.0, 20.0, 30.0];
+        assert_eq!(pq.apply(&x), q.apply(&p.apply(&x)));
+    }
+}

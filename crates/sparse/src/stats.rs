@@ -1,0 +1,84 @@
+//! Matrix statistics (the quantities Table IV reports).
+
+use crate::Csr;
+
+/// Summary statistics of a sparse matrix.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MatrixStats {
+    /// Dimension (rows).
+    pub n: usize,
+    /// Stored nonzeros.
+    pub nnz: usize,
+    /// Mean nonzeros per row.
+    pub avg_row_nnz: f64,
+    /// Maximum nonzeros in any row.
+    pub max_row_nnz: usize,
+    /// Matrix SRAM footprint in bytes (96 bits per nonzero + row metadata),
+    /// the `A` column of Table IV.
+    pub matrix_bytes: usize,
+    /// Dense-vector footprint in bytes (one f64 vector), the `b` column of
+    /// Table IV.
+    pub vector_bytes: usize,
+    /// Bandwidth: max |i - j| over stored entries.
+    pub bandwidth: usize,
+}
+
+impl MatrixStats {
+    /// Computes statistics for `a`.
+    pub fn of(a: &Csr) -> Self {
+        let n = a.rows();
+        let nnz = a.nnz();
+        let max_row_nnz = (0..n).map(|r| a.row_nnz(r)).max().unwrap_or(0);
+        let bandwidth = a
+            .iter()
+            .map(|(r, c, _)| r.abs_diff(c))
+            .max()
+            .unwrap_or(0);
+        MatrixStats {
+            n,
+            nnz,
+            avg_row_nnz: if n == 0 { 0.0 } else { nnz as f64 / n as f64 },
+            max_row_nnz,
+            matrix_bytes: a.footprint_bytes(),
+            vector_bytes: n * 8,
+            bandwidth,
+        }
+    }
+
+    /// Matrix footprint in MB (Table IV's `A` column units).
+    pub fn matrix_mb(&self) -> f64 {
+        self.matrix_bytes as f64 / 1e6
+    }
+
+    /// Vector footprint in MB (Table IV's `b` column units).
+    pub fn vector_mb(&self) -> f64 {
+        self.vector_bytes as f64 / 1e6
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate;
+
+    #[test]
+    fn stats_of_grid() {
+        let a = generate::grid_laplacian_2d(10, 10);
+        let s = MatrixStats::of(&a);
+        assert_eq!(s.n, 100);
+        assert_eq!(s.nnz, a.nnz());
+        assert_eq!(s.max_row_nnz, 5);
+        assert_eq!(s.bandwidth, 10);
+        assert!((s.avg_row_nnz - a.nnz() as f64 / 100.0).abs() < 1e-12);
+        assert_eq!(s.vector_bytes, 800);
+    }
+
+    #[test]
+    fn footprints_scale_with_nnz() {
+        let a = generate::tridiagonal(1000);
+        let s = MatrixStats::of(&a);
+        assert_eq!(s.matrix_bytes, a.nnz() * 12 + 1001 * 4);
+        assert!(s.matrix_mb() > 0.0);
+        assert!(s.vector_mb() > 0.0);
+    }
+}

@@ -1,0 +1,299 @@
+//! The benchmark-matrix suite: synthetic analogs of Table IV.
+//!
+//! Each SuiteSparse matrix the paper evaluates maps to a deterministic
+//! generator whose structure class and nonzeros-per-row match the original,
+//! at a configurable scale (see DESIGN.md §3 for the substitution
+//! rationale). Matrices are listed in the paper's order of increasing
+//! available SpTRSV parallelism, which is the x-axis ordering of Figs.
+//! 20–24.
+
+use crate::generate;
+use crate::Csr;
+
+/// Structural family of a suite matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Family {
+    /// Unstructured 3-D FEM mesh; `k` = nearest-neighbor count, controls
+    /// nonzeros per row.
+    Fem {
+        /// Nearest-neighbor connectivity of the mesh generator.
+        k: usize,
+    },
+    /// 2-D 5-point stencil.
+    Grid2d,
+    /// 3-D 7-point stencil.
+    Grid3d,
+    /// Circuit-like: grid with random long-range connections.
+    Circuit,
+}
+
+/// Size scale at which to instantiate suite matrices.
+///
+/// The paper simulates 4096 tiles with multi-million-nnz matrices; a
+/// software cycle-level simulation on one core scales both down together
+/// (nnz-per-tile is roughly preserved; see DESIGN.md §3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Scale {
+    /// Very small instances for unit/integration tests.
+    Tiny,
+    /// Default bench scale, sized for a 16x16-tile simulation.
+    #[default]
+    Small,
+    /// 4x larger, sized for 32x32-tile scaling studies (Fig. 28 analog).
+    Medium,
+}
+
+impl Scale {
+    /// Multiplier applied to the base (Small) dimension.
+    pub fn factor(self) -> f64 {
+        match self {
+            Scale::Tiny => 0.2,
+            Scale::Small => 1.0,
+            Scale::Medium => 4.0,
+        }
+    }
+}
+
+/// One matrix of the benchmark suite: a paper matrix and its synthetic
+/// analog generator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MatrixSpec {
+    /// SuiteSparse name used in the paper.
+    pub name: &'static str,
+    /// Structural family of the analog.
+    pub family: Family,
+    /// Base dimension at `Scale::Small` (FEM: point count; grids: cells per
+    /// side before squaring/cubing).
+    base_n: usize,
+    /// Dimension `n` reported in Table IV for the original matrix.
+    pub paper_n: f64,
+    /// Nonzeros reported in Table IV for the original matrix.
+    pub paper_nnz: f64,
+}
+
+impl MatrixSpec {
+    /// Average nonzeros per row of the original paper matrix.
+    pub fn paper_nnz_per_row(&self) -> f64 {
+        self.paper_nnz / self.paper_n
+    }
+
+    /// Deterministic seed derived from the matrix name (FNV-1a).
+    pub fn seed(&self) -> u64 {
+        let mut h: u64 = 0xcbf29ce484222325;
+        for b in self.name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        h
+    }
+
+    /// Instantiates the synthetic analog at the given scale.
+    pub fn build(&self, scale: Scale) -> Csr {
+        let f = scale.factor();
+        match self.family {
+            Family::Fem { k } => {
+                let n = ((self.base_n as f64 * f) as usize).max(4 * k + 4);
+                generate::fem_mesh_3d(n, k, self.seed())
+            }
+            Family::Grid2d => {
+                let side = (((self.base_n as f64 * f).sqrt()) as usize).max(8);
+                generate::grid_laplacian_2d(side, side)
+            }
+            Family::Grid3d => {
+                let side = (((self.base_n as f64 * f).cbrt()) as usize).max(5);
+                generate::grid_laplacian_3d(side, side, side)
+            }
+            Family::Circuit => {
+                let side = (((self.base_n as f64 * f).sqrt()) as usize).max(8);
+                let grid = generate::grid_laplacian_2d(side, side);
+                // Sprinkle long-range connections (global nets) on top.
+                let n = grid.rows();
+                let extra = generate::random_spd(n, 3, self.seed());
+                add_patterns(&grid, &extra)
+            }
+        }
+    }
+}
+
+/// Sums two same-shape matrices (pattern union).
+fn add_patterns(a: &Csr, b: &Csr) -> Csr {
+    assert_eq!(a.rows(), b.rows());
+    let mut coo = crate::Coo::with_capacity(a.rows(), a.cols(), a.nnz() + b.nnz());
+    for (r, c, v) in a.iter().chain(b.iter()) {
+        coo.push(r, c, v).expect("same-shape sum stays in bounds");
+    }
+    coo.to_csr()
+}
+
+/// The 20-matrix suite analogous to Table IV's first section (fits the
+/// 64x64-tile Azul), in the paper's increasing-parallelism order.
+pub fn suite_4k() -> Vec<MatrixSpec> {
+    vec![
+        spec("thread", Family::Fem { k: 44 }, 640, 2.97e4, 4.47e6),
+        spec("pdb1HYS", Family::Fem { k: 38 }, 700, 3.64e4, 4.34e6),
+        spec("nd12k", Family::Fem { k: 60 }, 520, 3.60e4, 1.42e7),
+        spec("crankseg_1", Family::Fem { k: 52 }, 600, 5.28e4, 1.06e7),
+        spec("m_t1", Family::Fem { k: 34 }, 900, 9.76e4, 9.75e6),
+        spec("shipsec1", Family::Fem { k: 22 }, 1300, 1.41e5, 7.81e6),
+        spec("cant", Family::Fem { k: 24 }, 1100, 6.25e4, 4.01e6),
+        spec("s3dkt3m2", Family::Fem { k: 16 }, 1500, 9.04e4, 3.75e6),
+        spec("boneS01", Family::Fem { k: 20 }, 1400, 1.27e5, 6.72e6),
+        spec("consph", Family::Fem { k: 26 }, 1200, 8.33e4, 6.01e6),
+        spec("bmwcra_1", Family::Fem { k: 28 }, 1200, 1.49e5, 1.06e7),
+        spec("hood", Family::Fem { k: 18 }, 1600, 2.21e5, 1.08e7),
+        spec("pwtk", Family::Fem { k: 20 }, 1600, 2.18e5, 1.16e7),
+        spec("BenElechi1", Family::Fem { k: 21 }, 1700, 2.46e5, 1.32e7),
+        spec("offshore", Family::Fem { k: 7 }, 2400, 2.60e5, 4.24e6),
+        spec("tmt_sym", Family::Grid2d, 4900, 7.27e5, 5.08e6),
+        spec("thermal2", Family::Grid2d, 6400, 1.23e6, 8.58e6),
+        spec("apache2", Family::Grid3d, 5832, 7.15e5, 4.82e6),
+        spec("G3_circuit", Family::Circuit, 5625, 1.59e6, 7.66e6),
+        spec("ecology2", Family::Grid2d, 6400, 1.00e6, 5.00e6),
+    ]
+}
+
+/// Matrices of Table IV's middle section (fit the 128x128-tile system in
+/// Fig. 28), built at larger scale relative to the 4k suite.
+pub fn suite_16k() -> Vec<MatrixSpec> {
+    vec![
+        spec("af_1_k101", Family::Fem { k: 17 }, 3200, 5.04e5, 1.76e7),
+        spec("af_shell8", Family::Fem { k: 17 }, 3200, 5.05e5, 1.76e7),
+        spec("bundle_adj", Family::Fem { k: 20 }, 3000, 5.13e5, 2.02e7),
+        spec("msdoor", Family::Fem { k: 24 }, 2600, 4.16e5, 2.02e7),
+        spec("StocF-1465", Family::Fem { k: 7 }, 6000, 1.47e6, 2.10e7),
+        spec("Fault_639", Family::Fem { k: 22 }, 3000, 6.39e5, 2.86e7),
+        spec("inline_1", Family::Fem { k: 36 }, 2200, 5.04e5, 3.68e7),
+        spec("PFlow_742", Family::Fem { k: 25 }, 3000, 7.43e5, 3.71e7),
+        spec("Emilia_923", Family::Fem { k: 22 }, 3400, 9.23e5, 4.10e7),
+        spec("ldoor", Family::Fem { k: 24 }, 3400, 9.52e5, 4.65e7),
+        spec("Hook_1498", Family::Fem { k: 20 }, 4000, 1.50e6, 6.09e7),
+        spec("Geo_1438", Family::Fem { k: 22 }, 4000, 1.44e6, 6.32e7),
+        spec("Serena", Family::Fem { k: 23 }, 4000, 1.39e6, 6.45e7),
+        spec("bone010", Family::Fem { k: 36 }, 3000, 9.87e5, 7.17e7),
+        spec("audikw_1", Family::Fem { k: 41 }, 2800, 9.44e5, 7.77e7),
+    ]
+}
+
+/// Matrices of Table IV's bottom section (fit the 256x256-tile system).
+pub fn suite_64k() -> Vec<MatrixSpec> {
+    vec![
+        spec("Flan_1565", Family::Fem { k: 37 }, 5000, 1.56e6, 1.17e8),
+        spec("Bump_2911", Family::Fem { k: 22 }, 8000, 2.91e6, 1.28e8),
+        spec("Queen_4147", Family::Fem { k: 40 }, 7000, 4.15e6, 3.29e8),
+    ]
+}
+
+/// The six representative matrices of Figs. 1, 3, 9, 10, 11 and Table I,
+/// in the paper's order.
+pub fn representative() -> Vec<MatrixSpec> {
+    let wanted = ["crankseg_1", "m_t1", "shipsec1", "consph", "thermal2", "apache2"];
+    let all = suite_4k();
+    wanted
+        .iter()
+        .map(|w| {
+            *all.iter()
+                .find(|s| &s.name == w)
+                .expect("representative matrix is in the 4k suite")
+        })
+        .collect()
+}
+
+/// Finds a suite matrix by name across all three suites.
+pub fn by_name(name: &str) -> Option<MatrixSpec> {
+    suite_4k()
+        .into_iter()
+        .chain(suite_16k())
+        .chain(suite_64k())
+        .find(|s| s.name == name)
+}
+
+fn spec(
+    name: &'static str,
+    family: Family,
+    base_n: usize,
+    paper_n: f64,
+    paper_nnz: f64,
+) -> MatrixSpec {
+    MatrixSpec {
+        name,
+        family,
+        base_n,
+        paper_n,
+        paper_nnz,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::levels;
+    use crate::stats::MatrixStats;
+
+    #[test]
+    fn suite_has_twenty_matrices() {
+        assert_eq!(suite_4k().len(), 20);
+        assert_eq!(suite_16k().len(), 15);
+        assert_eq!(suite_64k().len(), 3);
+    }
+
+    #[test]
+    fn representative_order_matches_paper() {
+        let names: Vec<&str> = representative().iter().map(|s| s.name).collect();
+        assert_eq!(
+            names,
+            vec!["crankseg_1", "m_t1", "shipsec1", "consph", "thermal2", "apache2"]
+        );
+    }
+
+    #[test]
+    fn by_name_finds_across_suites() {
+        assert!(by_name("thermal2").is_some());
+        assert!(by_name("Queen_4147").is_some());
+        assert!(by_name("nonexistent").is_none());
+    }
+
+    #[test]
+    fn builds_are_spd_and_deterministic() {
+        for spec in [by_name("consph").unwrap(), by_name("thermal2").unwrap()] {
+            let a = spec.build(Scale::Tiny);
+            assert!(a.is_symmetric(1e-12), "{} not symmetric", spec.name);
+            let b = spec.build(Scale::Tiny);
+            assert_eq!(a, b, "{} not deterministic", spec.name);
+        }
+    }
+
+    #[test]
+    fn fem_analogs_are_denser_per_row_than_grid_analogs() {
+        let fem = by_name("crankseg_1").unwrap().build(Scale::Tiny);
+        let grid = by_name("thermal2").unwrap().build(Scale::Tiny);
+        let fem_s = MatrixStats::of(&fem);
+        let grid_s = MatrixStats::of(&grid);
+        assert!(fem_s.avg_row_nnz > 4.0 * grid_s.avg_row_nnz);
+    }
+
+    #[test]
+    fn parallelism_ordering_fem_below_grid() {
+        // The suite is ordered by increasing parallelism; check the analogs
+        // respect the coarse ordering (first FEM entry vs last grid entry).
+        use crate::coloring::{color_and_permute, ColoringStrategy};
+        let low = by_name("nd12k").unwrap().build(Scale::Tiny);
+        let high = by_name("ecology2").unwrap().build(Scale::Tiny);
+        let (low_p, _, _) = color_and_permute(&low, ColoringStrategy::LargestDegreeFirst);
+        let (high_p, _, _) = color_and_permute(&high, ColoringStrategy::LargestDegreeFirst);
+        let pl = levels::sptrsv_parallelism(&low_p.lower_triangle()).parallelism();
+        let ph = levels::sptrsv_parallelism(&high_p.lower_triangle()).parallelism();
+        assert!(
+            ph > pl,
+            "grid analog should out-parallelize dense FEM analog: {ph} vs {pl}"
+        );
+    }
+
+    #[test]
+    fn scales_are_monotonic() {
+        let s = by_name("consph").unwrap();
+        let tiny = s.build(Scale::Tiny).rows();
+        let small = s.build(Scale::Small).rows();
+        let medium = s.build(Scale::Medium).rows();
+        assert!(tiny < small && small < medium);
+    }
+}

@@ -1,0 +1,34 @@
+//! Azul reproduction — workspace facade.
+//!
+//! Re-exports the whole stack under one roof for the examples and
+//! integration tests:
+//!
+//! * [`sparse`] — matrix formats, generators, coloring, analysis;
+//! * [`solver`] — reference iterative solvers and preconditioners;
+//! * [`hypergraph`] — the multilevel multi-constraint partitioner;
+//! * [`mapping`] — tile grids, mapping strategies, communication trees;
+//! * [`sim`] — the cycle-level accelerator simulator;
+//! * [`models`] — GPU/ALRESCHA baselines and area/power models;
+//! * the top-level [`Azul`] API.
+//!
+//! See `README.md` for a tour and `DESIGN.md` for the paper mapping.
+
+pub use azul_core::{Azul, AzulConfig, AzulError, MappingStrategy, PreparedSolver, SolveReport};
+
+/// Sparse-matrix substrate.
+pub use azul_sparse as sparse;
+
+/// Reference solvers.
+pub use azul_solver as solver;
+
+/// Hypergraph partitioner.
+pub use azul_hypergraph as hypergraph;
+
+/// Data-mapping algorithms.
+pub use azul_mapping as mapping;
+
+/// Cycle-level simulator.
+pub use azul_sim as sim;
+
+/// Analytic baselines and physical-design models.
+pub use azul_models as models;

@@ -1,0 +1,109 @@
+//! Property tests with *arbitrary* operand placements — not just the ones
+//! the mapping strategies produce. Any assignment of nonzeros and vector
+//! elements to tiles must compile to a correct dataflow program: skewed
+//! placements (everything on one tile), scattered ones, and placements
+//! that leave most tiles empty.
+
+use azul::mapping::{Placement, TileGrid};
+use azul::sim::config::SimConfig;
+use azul::sim::machine::run_kernel;
+use azul::sim::program::Program;
+use azul::solver::ic0::ic0;
+use azul::sparse::{dense, Coo, Csr};
+use proptest::prelude::*;
+
+/// A random diagonally dominant SPD matrix and a random placement of it
+/// onto a 3x3 torus.
+fn arb_system() -> impl Strategy<Value = (Csr, Placement)> {
+    (4usize..=24).prop_flat_map(|n| {
+        let edges = proptest::collection::vec((0..n, 0..n, 0.1f64..2.0), 0..(n * 2));
+        edges.prop_flat_map(move |es| {
+            let mut coo = Coo::new(n, n);
+            let mut row_sum = vec![0.0; n];
+            for (r, c, v) in es {
+                if r != c {
+                    let (lo, hi) = (r.min(c), r.max(c));
+                    coo.push_sym(lo, hi, -v).unwrap();
+                    row_sum[lo] += v;
+                    row_sum[hi] += v;
+                }
+            }
+            for (i, s) in row_sum.iter().enumerate() {
+                coo.push(i, i, s * 1.2 + 1.0).unwrap();
+            }
+            let a = coo.to_csr();
+            let nnz = a.nnz();
+            // Deduplicated COO keeps nnz stable for the vec strategies.
+            (
+                Just(a),
+                proptest::collection::vec(0u32..9, nnz..=nnz),
+                proptest::collection::vec(0u32..9, n..=n),
+            )
+                .prop_map(|(a, nnz_tiles, vec_tiles)| {
+                    let grid = TileGrid::new(3, 3);
+                    let p = Placement::new(grid, nnz_tiles, vec_tiles);
+                    (a, p)
+                })
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// SpMV is exact under any placement.
+    #[test]
+    fn spmv_correct_under_any_placement((a, placement) in arb_system()) {
+        let grid = placement.grid();
+        let prog = Program::compile_spmv(&a, &placement);
+        let x: Vec<f64> = (0..a.rows()).map(|i| 0.3 + (i % 5) as f64).collect();
+        let (y, stats) = run_kernel(&SimConfig::azul(grid), &prog, &x);
+        prop_assert!(dense::max_abs_diff(&y, &a.spmv(&x)) < 1e-9);
+        // Conservation: exactly one FMAC per nonzero, regardless of layout.
+        prop_assert_eq!(stats.ops[0], a.nnz() as u64);
+    }
+
+    /// Both triangular solves are exact under any placement.
+    #[test]
+    fn sptrsv_correct_under_any_placement((a, placement) in arb_system()) {
+        let grid = placement.grid();
+        let l = ic0(&a).unwrap();
+        let b: Vec<f64> = (0..a.rows()).map(|i| 1.0 - (i % 3) as f64).collect();
+
+        let lo = Program::compile_sptrsv_lower(&l, &a, &placement);
+        let (x_lo, _) = run_kernel(&SimConfig::azul(grid), &lo, &b);
+        let expect_lo = azul::solver::kernels::sptrsv_lower(&l, &b);
+        prop_assert!(dense::rel_l2_diff(&x_lo, &expect_lo) < 1e-8);
+
+        let up = Program::compile_sptrsv_upper(&l, &a, &placement);
+        let (x_up, _) = run_kernel(&SimConfig::azul(grid), &up, &b);
+        let expect_up = azul::solver::kernels::sptrsv_lower_transpose(&l, &b);
+        prop_assert!(dense::rel_l2_diff(&x_up, &expect_up) < 1e-8);
+    }
+
+    /// Timing monotonicity: the Dalorex PE never beats the Azul PE on the
+    /// same program, and the ideal PE never loses to it.
+    #[test]
+    fn pe_model_ordering_holds_under_any_placement((a, placement) in arb_system()) {
+        let grid = placement.grid();
+        let prog = Program::compile_spmv(&a, &placement);
+        let x: Vec<f64> = (0..a.rows()).map(|i| (i % 7) as f64).collect();
+        let azul = run_kernel(&SimConfig::azul(grid), &prog, &x).1.cycles;
+        let dalorex = run_kernel(&SimConfig::dalorex(grid), &prog, &x).1.cycles;
+        let ideal = run_kernel(&SimConfig::ideal(grid), &prog, &x).1.cycles;
+        prop_assert!(dalorex >= azul, "dalorex {dalorex} vs azul {azul}");
+        prop_assert!(ideal <= azul, "ideal {ideal} vs azul {azul}");
+    }
+
+    /// Dynamic link activations equal the static traffic model under any
+    /// placement (each tree traversed exactly once per SpMV).
+    #[test]
+    fn traffic_invariant_under_any_placement((a, placement) in arb_system()) {
+        let grid = placement.grid();
+        let prog = Program::compile_spmv(&a, &placement);
+        let x: Vec<f64> = (0..a.rows()).map(|i| 1.0 + (i % 2) as f64).collect();
+        let (_, stats) = run_kernel(&SimConfig::ideal(grid), &prog, &x);
+        let expected = azul::mapping::traffic::spmv_traffic(&a, &placement);
+        prop_assert_eq!(stats.link_activations, expected.link_hops);
+    }
+}

@@ -1,0 +1,165 @@
+//! Property-based tests on the sparse substrate: format round trips,
+//! algebraic identities, permutation and solver invariants hold for
+//! arbitrary random matrices.
+
+use azul::sparse::{dense, Coo, Csr, Permutation};
+use proptest::prelude::*;
+
+/// Strategy: a random sparse square matrix of dimension 2..=20 with a
+/// guaranteed full diagonal (so triangular solves are well-defined).
+fn arb_square_matrix() -> impl Strategy<Value = Csr> {
+    (2usize..=20).prop_flat_map(|n| {
+        let entries = proptest::collection::vec(
+            (0..n, 0..n, -5.0f64..5.0),
+            0..(n * 4),
+        );
+        entries.prop_map(move |es| {
+            let mut coo = Coo::new(n, n);
+            for (r, c, v) in es {
+                coo.push(r, c, v).unwrap();
+            }
+            for i in 0..n {
+                coo.push(i, i, 8.0 + i as f64).unwrap(); // dominant diagonal
+            }
+            coo.to_csr()
+        })
+    })
+}
+
+/// Strategy: a random permutation of 1..=24 elements.
+fn arb_permutation() -> impl Strategy<Value = Permutation> {
+    (1usize..=24).prop_flat_map(|n| {
+        Just(n).prop_perturb(move |n, mut rng| {
+            let mut order: Vec<usize> = (0..n).collect();
+            for i in (1..n).rev() {
+                let j = (rng.next_u64() % (i as u64 + 1)) as usize;
+                order.swap(i, j);
+            }
+            Permutation::from_old_order(order).unwrap()
+        })
+    })
+}
+
+proptest! {
+    /// CSR -> CSC -> CSR is the identity.
+    #[test]
+    fn csr_csc_roundtrip(a in arb_square_matrix()) {
+        prop_assert_eq!(a.to_csc().to_csr(), a);
+    }
+
+    /// Transposition is an involution.
+    #[test]
+    fn transpose_involution(a in arb_square_matrix()) {
+        prop_assert_eq!(a.transpose().transpose(), a);
+    }
+
+    /// SpMV is linear: A(alpha x + y) == alpha Ax + Ay.
+    #[test]
+    fn spmv_linearity(a in arb_square_matrix(), alpha in -3.0f64..3.0) {
+        let n = a.rows();
+        let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.7).sin()).collect();
+        let y: Vec<f64> = (0..n).map(|i| (i as f64 * 1.3).cos()).collect();
+        let mut xy = x.clone();
+        dense::scale(alpha, &mut xy);
+        dense::axpy(1.0, &y, &mut xy);
+        let lhs = a.spmv(&xy);
+        let mut rhs = a.spmv(&x);
+        dense::scale(alpha, &mut rhs);
+        dense::axpy(1.0, &a.spmv(&y), &mut rhs);
+        prop_assert!(dense::max_abs_diff(&lhs, &rhs) < 1e-9);
+    }
+
+    /// CSC SpMV agrees with CSR SpMV.
+    #[test]
+    fn csc_spmv_agrees(a in arb_square_matrix()) {
+        let x: Vec<f64> = (0..a.rows()).map(|i| 1.0 + (i % 5) as f64).collect();
+        let y1 = a.spmv(&x);
+        let y2 = a.to_csc().spmv(&x);
+        prop_assert!(dense::max_abs_diff(&y1, &y2) < 1e-12);
+    }
+
+    /// Lower + strict-upper partitions the nonzeros.
+    #[test]
+    fn triangle_partition(a in arb_square_matrix()) {
+        let lower = a.lower_triangle();
+        let upper = a.filter(|r, c| c > r);
+        prop_assert_eq!(lower.nnz() + upper.nnz(), a.nnz());
+        // Values survive the split.
+        for (r, c, v) in a.iter() {
+            let got = if c <= r { lower.get(r, c) } else { upper.get(r, c) };
+            prop_assert_eq!(got, v);
+        }
+    }
+
+    /// Symmetric permutation preserves the operator:
+    /// P A P^T (P x) == P (A x).
+    #[test]
+    fn permutation_conjugation(a in arb_square_matrix()) {
+        let n = a.rows();
+        let order: Vec<usize> = (0..n).rev().collect();
+        let p = Permutation::from_old_order(order).unwrap();
+        let pa = a.permute_symmetric(&p);
+        let x: Vec<f64> = (0..n).map(|i| (i as f64) - 3.0).collect();
+        let lhs = pa.spmv(&p.apply(&x));
+        let rhs = p.apply(&a.spmv(&x));
+        prop_assert!(dense::max_abs_diff(&lhs, &rhs) < 1e-10);
+    }
+
+    /// apply . apply_inverse is the identity for any permutation.
+    #[test]
+    fn permutation_roundtrip(p in arb_permutation()) {
+        let n = p.len();
+        let x: Vec<f64> = (0..n).map(|i| i as f64 * 1.5 - 2.0).collect();
+        prop_assert_eq!(p.apply_inverse(&p.apply(&x)), x.clone());
+        prop_assert_eq!(p.inverse().inverse().apply(&x), p.apply(&x));
+    }
+
+    /// Forward substitution really solves lower-triangular systems.
+    #[test]
+    fn sptrsv_solves(a in arb_square_matrix()) {
+        let l = a.lower_triangle();
+        let x_true: Vec<f64> = (0..a.rows()).map(|i| ((i % 7) as f64) - 3.0).collect();
+        let b = l.spmv(&x_true);
+        let x = azul::solver::kernels::sptrsv_lower(&l, &b);
+        prop_assert!(dense::rel_l2_diff(&x, &x_true) < 1e-8);
+    }
+
+    /// Matrix Market serialization round-trips any matrix.
+    #[test]
+    fn matrix_market_roundtrip(a in arb_square_matrix()) {
+        let mut buf = Vec::new();
+        azul::sparse::io::write_matrix_market(&mut buf, &a).unwrap();
+        let b = azul::sparse::io::read_matrix_market(buf.as_slice()).unwrap();
+        prop_assert_eq!(a, b);
+    }
+
+    /// Greedy coloring is always proper, for every strategy.
+    #[test]
+    fn coloring_is_proper(a in arb_square_matrix()) {
+        use azul::sparse::coloring::{greedy_coloring, ColoringStrategy};
+        for strat in [
+            ColoringStrategy::Natural,
+            ColoringStrategy::LargestDegreeFirst,
+            ColoringStrategy::SmallestDegreeLast,
+        ] {
+            let col = greedy_coloring(&a, strat);
+            for (r, c, _) in a.iter() {
+                if r != c {
+                    prop_assert_ne!(col.color_of(r), col.color_of(c));
+                }
+            }
+        }
+    }
+
+    /// Level sets respect every dependence edge.
+    #[test]
+    fn level_sets_are_topological(a in arb_square_matrix()) {
+        let l = a.lower_triangle();
+        let ls = azul::sparse::levels::level_sets(&l);
+        for (r, c, _) in l.iter() {
+            if c < r {
+                prop_assert!(ls.level_of()[r] > ls.level_of()[c]);
+            }
+        }
+    }
+}

@@ -1,0 +1,193 @@
+//! Focused microarchitecture tests of the cycle-level simulator:
+//! accounting identities, wraparound routing at larger grid sizes,
+//! backpressure/spill behavior, and config-sweep monotonicity.
+
+use azul::mapping::strategies::{AzulMapper, BlockMapper, Mapper, RoundRobinMapper};
+use azul::mapping::{Placement, TileGrid};
+use azul::sim::config::{PeModel, SimConfig};
+use azul::sim::machine::run_kernel;
+use azul::sim::program::Program;
+use azul::sim::stats::OpKind;
+use azul::solver::ic0::ic0;
+use azul::sparse::{dense, generate};
+
+fn x_of(n: usize) -> Vec<f64> {
+    (0..n).map(|i| 0.7 + ((i * 13) % 9) as f64 / 9.0).collect()
+}
+
+/// Accounting identity: issued-op cycles + stall cycles + idle cycles can
+/// never exceed total PE-cycles (tiles are only ticked while active, so
+/// the remainder is untracked-idle).
+#[test]
+fn cycle_accounting_identity_holds() {
+    let a = generate::fem_mesh_3d(200, 6, 7);
+    let grid = TileGrid::square(4);
+    let p = RoundRobinMapper.map(&a, grid);
+    let prog = Program::compile_spmv(&a, &p);
+    let (_, stats) = run_kernel(&SimConfig::azul(grid), &prog, &x_of(a.rows()));
+    let pe_cycles = grid.num_tiles() as u64 * stats.cycles;
+    let accounted = stats.total_ops() + stats.stall_cycles + stats.idle_cycles;
+    assert!(
+        accounted <= pe_cycles,
+        "accounted {accounted} exceeds total PE-cycles {pe_cycles}"
+    );
+    // The busy fraction must be meaningful (not ~0, not >1).
+    let busy = stats.total_ops() as f64 / pe_cycles as f64;
+    assert!(busy > 0.01 && busy <= 1.0, "busy fraction {busy}");
+}
+
+/// Wraparound routing: a multicast whose destinations straddle the torus
+/// seam still reaches everyone, and takes no more links than the
+/// mesh-route equivalent.
+#[test]
+fn wraparound_multicast_on_larger_grid() {
+    let a = generate::fem_mesh_3d(300, 6, 99);
+    let n = a.rows();
+    // Place everything along the seam: columns 0 and 7 of an 8x8 torus.
+    let seam_tiles: Vec<u32> = (0..8u32)
+        .flat_map(|y| [y * 8, y * 8 + 7])
+        .collect();
+    let grid = TileGrid::square(8);
+    let nnz_tiles: Vec<u32> = (0..a.nnz())
+        .map(|k| seam_tiles[k % seam_tiles.len()])
+        .collect();
+    let vec_tiles: Vec<u32> = (0..n).map(|i| seam_tiles[i % seam_tiles.len()]).collect();
+    let placement = Placement::new(grid, nnz_tiles, vec_tiles);
+    let prog = Program::compile_spmv(&a, &placement);
+    let x = x_of(n);
+    let (y, stats) = run_kernel(&SimConfig::azul(grid), &prog, &x);
+    assert!(dense::max_abs_diff(&y, &a.spmv(&x)) < 1e-9);
+    // Seam-straddling traffic must use wrap links: average hops per
+    // message should be ~1, far below the 7-hop mesh distance.
+    let hops_per_msg = stats.link_activations as f64 / stats.messages.max(1) as f64;
+    assert!(
+        hops_per_msg < 4.0,
+        "wraparound links should shortcut the seam: {hops_per_msg:.1} hops/msg"
+    );
+}
+
+/// Message-buffer spills are counted once the register buffer overflows,
+/// and shrinking the buffer never changes results.
+#[test]
+fn tiny_message_buffers_spill_but_stay_correct() {
+    let a = generate::fem_mesh_3d(150, 6, 3);
+    let grid = TileGrid::square(2);
+    let p = BlockMapper.map(&a, grid);
+    let prog = Program::compile_spmv(&a, &p);
+    let x = x_of(a.rows());
+    let mut tiny = SimConfig::azul(grid);
+    tiny.msg_buffer_capacity = 1;
+    let (y_tiny, s_tiny) = run_kernel(&tiny, &prog, &x);
+    let (y_big, s_big) = run_kernel(&SimConfig::azul(grid), &prog, &x);
+    assert_eq!(y_tiny, y_big, "buffer size must not change results");
+    assert!(
+        s_tiny.spills > s_big.spills,
+        "tiny buffers must spill more: {} vs {}",
+        s_tiny.spills,
+        s_big.spills
+    );
+}
+
+/// Router inject backpressure: a single-flit inject queue slows the run
+/// down but never corrupts it.
+#[test]
+fn inject_backpressure_slows_but_stays_correct() {
+    let a = generate::fem_mesh_3d(150, 6, 13);
+    let grid = TileGrid::square(4);
+    let p = RoundRobinMapper.map(&a, grid);
+    let prog = Program::compile_spmv(&a, &p);
+    let x = x_of(a.rows());
+    let mut cramped = SimConfig::azul(grid);
+    cramped.router_queue_capacity = 1;
+    let (y_c, s_c) = run_kernel(&cramped, &prog, &x);
+    let (y_n, s_n) = run_kernel(&SimConfig::azul(grid), &prog, &x);
+    assert_eq!(y_c, y_n);
+    assert!(
+        s_c.cycles >= s_n.cycles,
+        "backpressure cannot speed things up: {} vs {}",
+        s_c.cycles,
+        s_n.cycles
+    );
+}
+
+/// Dalorex overhead sweep: more bookkeeping instructions per op means
+/// monotonically more cycles, and the overhead is visible in the stats.
+#[test]
+fn dalorex_overhead_sweep_is_monotone() {
+    let a = generate::fem_mesh_3d(120, 5, 21);
+    let grid = TileGrid::square(2);
+    let p = AzulMapper::fast_default().map(&a, grid);
+    let prog = Program::compile_spmv(&a, &p);
+    let x = x_of(a.rows());
+    let mut last = 0u64;
+    for overhead in [0u32, 3, 7, 15] {
+        let mut cfg = SimConfig::dalorex(grid);
+        cfg.dalorex_overhead = overhead;
+        let (_, stats) = run_kernel(&cfg, &prog, &x);
+        assert!(
+            stats.cycles >= last,
+            "overhead {overhead}: cycles {} below previous {last}",
+            stats.cycles
+        );
+        if overhead > 0 {
+            assert!(stats.overhead_cycles > 0);
+        }
+        last = stats.cycles;
+    }
+}
+
+/// SpTRSV conservation identities: one Mul (solve) per row, one FMAC per
+/// strictly-lower nonzero, regardless of mapping or PE model.
+#[test]
+fn sptrsv_operation_conservation() {
+    let a = generate::fem_mesh_3d(180, 5, 31);
+    let l = ic0(&a).unwrap();
+    let strict_lower = l.strict_lower_triangle().nnz();
+    let grid = TileGrid::square(4);
+    let b = x_of(a.rows());
+    for mapper in [
+        Box::new(RoundRobinMapper) as Box<dyn Mapper>,
+        Box::new(AzulMapper::fast_default()),
+    ] {
+        let placement = mapper.map(&a, grid);
+        let prog = Program::compile_sptrsv_lower(&l, &a, &placement);
+        for pe in [PeModel::Azul, PeModel::Ideal] {
+            let mut cfg = SimConfig::azul(grid);
+            cfg.pe_model = pe;
+            if pe == PeModel::Ideal {
+                cfg = SimConfig::ideal(grid);
+            }
+            let (_, stats) = run_kernel(&cfg, &prog, &b);
+            assert_eq!(
+                stats.ops_of(OpKind::Mul),
+                a.rows() as u64,
+                "{}: one solve per row",
+                mapper.name()
+            );
+            assert_eq!(
+                stats.ops_of(OpKind::Fmac),
+                strict_lower as u64,
+                "{}: one FMAC per strictly-lower nonzero",
+                mapper.name()
+            );
+        }
+    }
+}
+
+/// Hop-latency sweep monotonicity on a communication-bound workload.
+#[test]
+fn hop_latency_sweep_is_monotone() {
+    let a = generate::fem_mesh_3d(150, 6, 41);
+    let grid = TileGrid::square(4);
+    let p = RoundRobinMapper.map(&a, grid);
+    let prog = Program::compile_spmv(&a, &p);
+    let x = x_of(a.rows());
+    let mut last = 0u64;
+    for hop in [1u32, 2, 4] {
+        let mut cfg = SimConfig::azul(grid);
+        cfg.hop_latency = hop;
+        let (_, stats) = run_kernel(&cfg, &prog, &x);
+        assert!(stats.cycles >= last, "hop {hop} not monotone");
+        last = stats.cycles;
+    }
+}
