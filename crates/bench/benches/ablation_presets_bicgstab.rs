@@ -53,7 +53,11 @@ fn main() {
                 format!("{g_fast:.0}"),
             ],
         );
-        assert!(t_fast < t_quality, "{}: fast preset must be faster to map", m.name);
+        assert!(
+            t_fast < t_quality,
+            "{}: fast preset must be faster to map",
+            m.name
+        );
         if g_quality > g_fast {
             any_quality_win = true;
         }

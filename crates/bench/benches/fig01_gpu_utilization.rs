@@ -12,19 +12,13 @@ fn main() {
         "Fig. 1 — GPU (V100, Ginkgo PCG) utilization on representative matrices",
         "0.2-0.6% of peak; even the best matrix only reaches 0.6%",
     );
-    row(
-        "matrix",
-        &["GFLOP/s".into(), "% of peak".into()],
-    );
+    row("matrix", &["GFLOP/s".into(), "% of peak".into()]);
     for m in representative(&ctx) {
         let model = GpuModel::with_overhead_scale(gpu_overhead_scale(&m));
         let w = GpuWorkload::from_matrix(&m.a);
         let g = model.pcg_gflops(&w);
         let pct = 100.0 * model.fraction_of_peak(&w);
-        row(
-            m.name,
-            &[format!("{g:.1}"), format!("{pct:.3}%")],
-        );
+        row(m.name, &[format!("{g:.1}"), format!("{pct:.3}%")]);
         assert!(pct < 1.5, "GPU should stay far below peak");
     }
 }

@@ -8,9 +8,7 @@
 //! mapping gap compresses (it scales with the bisection width, ~sqrt(P)
 //! — see EXPERIMENTS.md).
 
-use azul_bench::{
-    gmean, gpu_overhead_scale, header, representative, row, run_pcg, BenchCtx,
-};
+use azul_bench::{gmean, gpu_overhead_scale, header, representative, row, run_pcg, BenchCtx};
 use azul_mapping::strategies::{Mapper, RoundRobinMapper};
 use azul_models::gpu::{GpuModel, GpuWorkload};
 use azul_sim::config::SimConfig;

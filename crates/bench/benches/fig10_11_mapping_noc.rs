@@ -46,7 +46,11 @@ fn main() {
     for (name, g, _) in &rows {
         row(
             name,
-            &[format!("{:.0}", g[0]), format!("{:.0}", g[1]), format!("{:.0}", g[2])],
+            &[
+                format!("{:.0}", g[0]),
+                format!("{:.0}", g[1]),
+                format!("{:.0}", g[2]),
+            ],
         );
     }
 

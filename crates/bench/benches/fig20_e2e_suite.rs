@@ -9,7 +9,10 @@
 //! the ordering and the breakdown shapes hold while the absolute ratios
 //! compress (see EXPERIMENTS.md).
 
-use azul_bench::{full_suite, gmean, gpu_overhead_scale, header, row, run_pcg, BenchCtx};
+use azul_bench::{
+    full_suite, gmean, gpu_overhead_scale, header, row, run_pcg, telemetry_report,
+    write_bench_artifact, BenchCtx,
+};
 use azul_mapping::strategies::{Mapper, RoundRobinMapper};
 use azul_models::energy::EnergyModel;
 use azul_models::gpu::{GpuModel, GpuWorkload};
@@ -28,7 +31,9 @@ struct Result {
 
 fn main() {
     let ctx = BenchCtx::from_env();
-    let azul_cfg = SimConfig::azul(ctx.grid);
+    let mut azul_cfg = SimConfig::azul(ctx.grid);
+    // Collect per-PE/per-link detail for the telemetry artifact.
+    azul_cfg.detailed_stats = true;
     let dalorex_cfg = SimConfig::dalorex(ctx.grid);
 
     header("Table III — simulated configuration", "");
@@ -46,6 +51,7 @@ fn main() {
 
     let alrescha = AlreschaModel::default();
     let mut results: Vec<Result> = Vec::new();
+    let mut telemetry = Vec::new();
     for m in full_suite(&ctx) {
         let gpu_model = GpuModel::with_overhead_scale(gpu_overhead_scale(&m));
         let gpu = gpu_model.pcg_gflops(&GpuWorkload::from_matrix(&m.a));
@@ -61,6 +67,7 @@ fn main() {
             "[{}] gpu {gpu:.1} alrescha {alr:.1} dalorex {:.1} azul {:.1} GF/s",
             m.name, dal.gflops, az.gflops
         );
+        telemetry.push(telemetry_report(&m, &azul_cfg, &az));
         results.push(Result {
             name: m.name,
             gpu,
@@ -69,6 +76,14 @@ fn main() {
             azul: az.gflops,
             azul_report: az,
         });
+    }
+
+    // Persist the telemetry artifact before the paper-ordering sanity
+    // checks: at reduced scales those can fail while the measurements
+    // themselves are still worth keeping.
+    match write_bench_artifact("fig20_e2e_suite", &telemetry) {
+        Ok(path) => eprintln!("telemetry artifact: {}", path.display()),
+        Err(e) => eprintln!("failed to write telemetry artifact: {e}"),
     }
 
     // ---- Fig. 20 ----

@@ -61,7 +61,10 @@ fn main() {
         g[3] / g[1],
         g[3] / g[2]
     );
-    assert!(g[3] > g[0] && g[3] > g[1] && g[3] > g[2], "Azul mapping must win");
+    assert!(
+        g[3] > g[0] && g[3] > g[1] && g[3] > g[2],
+        "Azul mapping must win"
+    );
 
     header(
         "Sec. VI-C — NoC traffic reduction (static model, PCG iteration)",

@@ -57,8 +57,6 @@ fn main() {
         );
     }
     println!();
-    println!(
-        "note: matrices are held fixed while tiles grow, so per-tile work shrinks;"
-    );
+    println!("note: matrices are held fixed while tiles grow, so per-tile work shrinks;");
     println!("parallel (grid-like) matrices keep gaining, dependence-limited ones flatten.");
 }

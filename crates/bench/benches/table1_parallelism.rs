@@ -19,11 +19,7 @@ fn main() {
     );
     row(
         "matrix",
-        &[
-            "SpMV".into(),
-            "SpTRSV orig".into(),
-            "SpTRSV perm".into(),
-        ],
+        &["SpMV".into(), "SpTRSV orig".into(), "SpTRSV perm".into()],
     );
     for spec in suite::representative() {
         let a = spec.build(ctx.scale);

@@ -38,5 +38,8 @@ fn main() {
         );
     }
     let paper = model.breakdown(4096);
-    assert!((paper.total() - 155.0).abs() < 3.0, "Table V total must match");
+    assert!(
+        (paper.total() - 155.0).abs() < 3.0,
+        "Table V total must match"
+    );
 }

@@ -23,6 +23,8 @@ use azul_sim::pcg::{PcgSim, PcgSimConfig, PcgSimReport};
 use azul_sparse::coloring::{color_and_permute, ColoringStrategy};
 use azul_sparse::suite::{MatrixSpec, Scale};
 use azul_sparse::Csr;
+use azul_telemetry::json::ToJson;
+use azul_telemetry::TelemetryReport;
 
 /// Benchmark context: grid, scale and run lengths.
 #[derive(Debug, Clone)]
@@ -94,7 +96,9 @@ pub fn prepare(spec: MatrixSpec, scale: Scale) -> BenchMatrix {
     let raw = spec.build(scale);
     let (a, _, _) = color_and_permute(&raw, ColoringStrategy::LargestDegreeFirst);
     let n = a.rows();
-    let b: Vec<f64> = (0..n).map(|i| ((i * 31 % 17) as f64) / 17.0 + 0.25).collect();
+    let b: Vec<f64> = (0..n)
+        .map(|i| ((i * 31 % 17) as f64) / 17.0 + 0.25)
+        .collect();
     BenchMatrix {
         name: spec.name,
         spec,
@@ -130,9 +134,46 @@ pub fn all_mappers(ctx: &BenchCtx) -> Vec<(&'static str, Box<dyn Mapper>)> {
 }
 
 /// Runs PCG on the simulated accelerator for a prepared matrix.
-pub fn run_pcg(m: &BenchMatrix, placement: &Placement, sim: &SimConfig, ctx: &BenchCtx) -> PcgSimReport {
+pub fn run_pcg(
+    m: &BenchMatrix,
+    placement: &Placement,
+    sim: &SimConfig,
+    ctx: &BenchCtx,
+) -> PcgSimReport {
     let pcg = PcgSim::build(&m.a, placement, sim).expect("IC(0) succeeds on suite matrices");
     pcg.run(&m.b, &ctx.pcg_cfg())
+}
+
+/// Converts one bench scenario's PCG results into a telemetry report
+/// (scenario identification, aggregate counters, per-PE/per-link detail
+/// when `cfg.detailed_stats` was on, and the convergence history).
+pub fn telemetry_report(m: &BenchMatrix, cfg: &SimConfig, rep: &PcgSimReport) -> TelemetryReport {
+    let mut report = TelemetryReport::default();
+    report.scenario_field("matrix", m.name);
+    report.scenario_field("n", m.a.rows() as u64);
+    report.scenario_field("nnz", m.a.nnz() as u64);
+    azul_sim::telemetry::describe_config(&mut report, cfg);
+    azul_sim::telemetry::fill_report(&mut report, cfg, &rep.stats);
+    report.convergence = rep.convergence.clone();
+    report
+}
+
+/// Writes per-scenario telemetry reports as one `BENCH_<figure>.json`
+/// artifact (a JSON array of report documents). The destination
+/// directory comes from `AZUL_BENCH_REPORT_DIR` (default: current
+/// directory). Returns the written path.
+///
+/// # Errors
+///
+/// Propagates filesystem errors from the write.
+pub fn write_bench_artifact(
+    figure: &str,
+    reports: &[TelemetryReport],
+) -> std::io::Result<std::path::PathBuf> {
+    let dir = std::env::var("AZUL_BENCH_REPORT_DIR").unwrap_or_else(|_| ".".into());
+    let path = std::path::Path::new(&dir).join(format!("BENCH_{figure}.json"));
+    std::fs::write(&path, reports.to_json().to_string_pretty())?;
+    Ok(path)
 }
 
 /// Geometric mean of positive values.

@@ -1,0 +1,221 @@
+//! Offline drop-in subset of the `criterion 0.5` API.
+//!
+//! The build environment for this repository cannot reach crates.io, so
+//! the workspace vendors the slice of criterion its one statistical
+//! micro-benchmark target uses: [`Criterion::bench_function`],
+//! [`Criterion::benchmark_group`] (with `sample_size`),
+//! [`Bencher::iter`] / [`Bencher::iter_batched`], [`BatchSize`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Measurement is intentionally simple: a short calibration pass sizes
+//! the batch so one sample takes roughly a millisecond, then `samples`
+//! timed batches report min / median / mean ns-per-iteration to stdout.
+//! No statistical outlier analysis, plots, or baselines — for those,
+//! point the workspace `criterion` dependency back at the registry
+//! version.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortizes setup cost (accepted, not acted on).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// Collects timing samples for one benchmark.
+pub struct Bencher {
+    samples: usize,
+    /// ns/iter of each timed sample.
+    results: Vec<f64>,
+}
+
+impl Bencher {
+    fn new(samples: usize) -> Self {
+        Bencher {
+            samples,
+            results: Vec::new(),
+        }
+    }
+
+    /// Times `f` repeatedly.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Calibrate the per-sample iteration count to ~1 ms.
+        let t0 = Instant::now();
+        black_box(f());
+        let once = t0.elapsed().max(Duration::from_nanos(20));
+        let per_sample =
+            (Duration::from_millis(1).as_nanos() / once.as_nanos()).clamp(1, 10_000) as usize;
+
+        for _ in 0..self.samples {
+            let t = Instant::now();
+            for _ in 0..per_sample {
+                black_box(f());
+            }
+            self.results
+                .push(t.elapsed().as_nanos() as f64 / per_sample as f64);
+        }
+    }
+
+    /// Times `routine` over fresh inputs from `setup` (setup untimed).
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        for _ in 0..self.samples {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            self.results.push(t.elapsed().as_nanos() as f64);
+        }
+    }
+}
+
+fn report(name: &str, mut results: Vec<f64>) {
+    if results.is_empty() {
+        println!("{name:<40} (no samples)");
+        return;
+    }
+    results.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let min = results[0];
+    let median = results[results.len() / 2];
+    let mean = results.iter().sum::<f64>() / results.len() as f64;
+    println!(
+        "{name:<40} min {:>12} median {:>12} mean {:>12} ({} samples)",
+        fmt_ns(min),
+        fmt_ns(median),
+        fmt_ns(mean),
+        results.len()
+    );
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} us", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Runs one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher::new(self.sample_size);
+        f(&mut b);
+        report(name, b.results);
+        self
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("--- group: {name} ---");
+        BenchmarkGroup {
+            parent: self,
+            name: name.to_string(),
+            sample_size: None,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing settings.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the per-benchmark sample count.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Runs one named benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let samples = self.sample_size.unwrap_or(self.parent.sample_size);
+        let mut b = Bencher::new(samples);
+        f(&mut b);
+        report(&format!("{}/{}", self.name, name), b.results);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Bundles benchmark functions into one runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` from one or more [`criterion_group!`] bundles.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut calls = 0u64;
+        c.bench_function("noop", |b| b.iter(|| calls = black_box(calls + 1)));
+        assert!(calls > 0);
+    }
+
+    #[test]
+    fn group_with_batched_runs() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3);
+        let mut total = 0usize;
+        group.bench_function("sum", |b| {
+            b.iter_batched(
+                || vec![1usize; 100],
+                |v| {
+                    total += v.iter().sum::<usize>();
+                    total
+                },
+                BatchSize::SmallInput,
+            )
+        });
+        group.finish();
+        assert!(total >= 300);
+    }
+}

@@ -35,15 +35,14 @@
 //! # Ok::<(), azul_core::AzulError>(())
 //! ```
 
-use azul_mapping::strategies::{
-    AzulMapper, BlockMapper, Mapper, RoundRobinMapper, SparsePMapper,
-};
+use azul_mapping::strategies::{AzulMapper, BlockMapper, Mapper, RoundRobinMapper, SparsePMapper};
 use azul_mapping::{Placement, TileGrid};
 use azul_sim::config::SimConfig;
 use azul_sim::pcg::{PcgSim, PcgSimConfig, PcgSimReport};
 use azul_solver::SolverError;
 use azul_sparse::coloring::{color_and_permute, ColoringStrategy};
 use azul_sparse::{Csr, Permutation, SparseError};
+use azul_telemetry::span;
 use std::time::Instant;
 
 /// Errors from the end-to-end pipeline.
@@ -246,25 +245,34 @@ impl Azul {
             )));
         }
         if !a.is_symmetric(1e-9 * a.inf_norm().max(1.0)) {
-            return Err(AzulError::Input(
-                "PCG requires a symmetric matrix".into(),
-            ));
+            return Err(AzulError::Input("PCG requires a symmetric matrix".into()));
         }
+
+        let prepare_span = span::span("prepare");
 
         // 1. Parallelism-improving preprocessing.
         let t0 = Instant::now();
-        let (pa, perm, num_colors) = if self.config.coloring {
-            let (pa, perm, coloring) =
-                color_and_permute(a, ColoringStrategy::LargestDegreeFirst);
-            (pa, Some(perm), coloring.num_colors())
-        } else {
-            (a.clone(), None, 0)
+        let (pa, perm, num_colors) = {
+            let mut s = span::span("prepare/coloring");
+            let out = if self.config.coloring {
+                let (pa, perm, coloring) =
+                    color_and_permute(a, ColoringStrategy::LargestDegreeFirst);
+                (pa, Some(perm), coloring.num_colors())
+            } else {
+                (a.clone(), None, 0)
+            };
+            s.annotate("num_colors", out.2);
+            out
         };
         let coloring_seconds = t0.elapsed().as_secs_f64();
 
         // 2. Mapping.
         let t1 = Instant::now();
-        let placement = self.config.mapping.mapper().map(&pa, self.config.sim.grid);
+        let placement = {
+            let mut s = span::span("prepare/mapping");
+            s.annotate("strategy", self.config.mapping.name());
+            self.config.mapping.mapper().map(&pa, self.config.sim.grid)
+        };
         let mapping_seconds = t1.elapsed().as_secs_f64();
 
         // All-SRAM capacity check: every operand must fit on-chip. PCG
@@ -273,6 +281,7 @@ impl Azul {
         // roughly doubles the lower-triangle storage; the nonzero bytes
         // below already count A in full, so L adds ~50%.
         if self.config.enforce_capacity {
+            let _s = span::span("prepare/capacity_check");
             let usage = placement.sram_usage(&pa, 8);
             for (tile, &(data, accum)) in usage.iter().enumerate() {
                 let data_with_factor = data + data / 2;
@@ -292,6 +301,7 @@ impl Azul {
 
         // 3+4. Factor + compile.
         let t2 = Instant::now();
+        let compile_span = span::span("prepare/factor_compile");
         let sim = match self.config.preconditioner {
             PreconditionerChoice::IncompleteCholesky => {
                 PcgSim::build(&pa, &placement, &self.config.sim)?
@@ -310,7 +320,9 @@ impl Azul {
                 PcgSim::build_with_factor(&pa, &f, &placement, &self.config.sim)
             }
         };
+        drop(compile_span);
         let compile_seconds = t2.elapsed().as_secs_f64();
+        drop(prepare_span);
 
         Ok(PreparedSolver {
             perm,
@@ -586,7 +598,10 @@ mod tests {
         let after = prepared.solve(&b);
         assert!(after.converged);
         let residual = dense::norm2(&dense::sub(&b, &a2.spmv(&after.x)));
-        assert!(residual < 1e-7, "residual against the NEW matrix: {residual}");
+        assert!(
+            residual < 1e-7,
+            "residual against the NEW matrix: {residual}"
+        );
 
         // Wrong-pattern and wrong-size updates are rejected.
         let wrong = generate::fem_mesh_3d(80, 4, 14);
@@ -613,6 +628,40 @@ mod tests {
         cfg2.mapping = MappingStrategy::Block;
         cfg2.enforce_capacity = false;
         assert!(Azul::new(cfg2).prepare(&a).is_ok());
+    }
+
+    #[test]
+    fn prepare_emits_phase_spans() {
+        let collector = azul_telemetry::span::Collector::install();
+        let a = generate::grid_laplacian_2d(8, 8);
+        let azul = Azul::new(AzulConfig::small_test());
+        let prepared = azul.prepare(&a).unwrap();
+        let _ = prepared.solve(&rhs(a.rows()));
+        azul_telemetry::span::uninstall();
+        let records = collector.drain();
+        // Other tests may run concurrently and add their own spans; only
+        // require that this prepare+solve produced the expected phases.
+        for name in [
+            "prepare",
+            "prepare/coloring",
+            "prepare/mapping",
+            "mapping/hypergraph",
+            "mapping/partition",
+            "prepare/capacity_check",
+            "prepare/factor_compile",
+            "compile/spmv",
+            "compile/sptrsv_lower",
+            "compile/sptrsv_upper",
+            "solve/pcg",
+        ] {
+            assert!(
+                records.iter().any(|r| r.name == name),
+                "missing span {name}; got {:?}",
+                records.iter().map(|r| r.name.as_str()).collect::<Vec<_>>()
+            );
+        }
+        let solve = records.iter().find(|r| r.name == "solve/pcg").unwrap();
+        assert!(solve.cycles.unwrap_or(0) > 0, "solve span carries cycles");
     }
 
     #[test]

@@ -97,7 +97,11 @@ fn multilevel_bisect(hg: &Hypergraph, frac: f64, config: &PartitionConfig, seed:
         owned.push(levels.last().unwrap().hg.clone());
         current = owned.last().unwrap();
     }
-    let coarsest: &Hypergraph = if owned.is_empty() { hg } else { owned.last().unwrap() };
+    let coarsest: &Hypergraph = if owned.is_empty() {
+        hg
+    } else {
+        owned.last().unwrap()
+    };
 
     // Initial partitioning at the coarsest level: several tries, keep best
     // after a quick refinement.
@@ -195,7 +199,11 @@ mod tests {
         let hg = ring(64);
         let p = partition(&hg, &PartitionConfig::bisection());
         // Optimal ring bisection cuts exactly 2 nets; allow small slack.
-        assert!(p.connectivity_cut(&hg) <= 4, "cut {}", p.connectivity_cut(&hg));
+        assert!(
+            p.connectivity_cut(&hg) <= 4,
+            "cut {}",
+            p.connectivity_cut(&hg)
+        );
         assert!(p.imbalance(&hg, 0) <= 0.15);
     }
 
@@ -203,8 +211,16 @@ mod tests {
     fn four_way_ring_partition() {
         let hg = ring(128);
         let p = partition(&hg, &PartitionConfig::k_way(4));
-        assert!(p.connectivity_cut(&hg) <= 8, "cut {}", p.connectivity_cut(&hg));
-        assert!(p.imbalance(&hg, 0) <= 0.25, "imbalance {}", p.imbalance(&hg, 0));
+        assert!(
+            p.connectivity_cut(&hg) <= 8,
+            "cut {}",
+            p.connectivity_cut(&hg)
+        );
+        assert!(
+            p.imbalance(&hg, 0) <= 0.25,
+            "imbalance {}",
+            p.imbalance(&hg, 0)
+        );
         // All parts used.
         let w = p.part_weights(&hg, 0);
         assert!(w.iter().all(|&x| x > 0));
@@ -216,7 +232,11 @@ mod tests {
         let p = partition(&hg, &PartitionConfig::k_way(3));
         let w = p.part_weights(&hg, 0);
         assert_eq!(w.iter().sum::<u64>(), 90);
-        assert!(p.imbalance(&hg, 0) <= 0.3, "imbalance {}", p.imbalance(&hg, 0));
+        assert!(
+            p.imbalance(&hg, 0) <= 0.3,
+            "imbalance {}",
+            p.imbalance(&hg, 0)
+        );
     }
 
     #[test]

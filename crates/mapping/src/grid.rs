@@ -21,7 +21,11 @@ impl TileGrid {
     /// Panics if either dimension is zero.
     pub fn new(width: usize, height: usize) -> Self {
         assert!(width > 0 && height > 0, "grid dimensions must be positive");
-        TileGrid { width, height, wrap: true }
+        TileGrid {
+            width,
+            height,
+            wrap: true,
+        }
     }
 
     /// A square `side x side` torus (the paper's configurations are all
@@ -40,7 +44,11 @@ impl TileGrid {
     /// Panics if either dimension is zero.
     pub fn mesh(width: usize, height: usize) -> Self {
         assert!(width > 0 && height > 0, "grid dimensions must be positive");
-        TileGrid { width, height, wrap: false }
+        TileGrid {
+            width,
+            height,
+            wrap: false,
+        }
     }
 
     /// Whether wraparound (torus) links exist.
@@ -133,13 +141,21 @@ impl TileGrid {
         let mut path = Vec::new();
         let mut cur = a;
         let dx = self.dx(a, b);
-        let step_x = if dx >= 0 { Direction::East } else { Direction::West };
+        let step_x = if dx >= 0 {
+            Direction::East
+        } else {
+            Direction::West
+        };
         for _ in 0..dx.unsigned_abs() {
             cur = self.step(cur, step_x);
             path.push(cur);
         }
         let dy = self.dy(a, b);
-        let step_y = if dy >= 0 { Direction::South } else { Direction::North };
+        let step_y = if dy >= 0 {
+            Direction::South
+        } else {
+            Direction::North
+        };
         for _ in 0..dy.unsigned_abs() {
             cur = self.step(cur, step_y);
             path.push(cur);

@@ -210,7 +210,13 @@ mod tests {
         let a = Coo::from_triplets(
             3,
             3,
-            [(0, 0, 1.0), (0, 2, 2.0), (1, 1, 3.0), (2, 0, 4.0), (2, 2, 5.0)],
+            [
+                (0, 0, 1.0),
+                (0, 2, 2.0),
+                (1, 1, 3.0),
+                (2, 0, 4.0),
+                (2, 2, 5.0),
+            ],
         )
         .unwrap()
         .to_csr();

@@ -5,6 +5,7 @@ use crate::placement::Placement;
 use crate::workload::{build_pcg_hypergraph, DEFAULT_QUANTILES, DEFAULT_ROW_EDGE_WEIGHT};
 use azul_hypergraph::PartitionConfig;
 use azul_sparse::Csr;
+use azul_telemetry::span;
 
 /// A data-mapping strategy: assigns every nonzero and vector element of a
 /// workload to a tile.
@@ -172,7 +173,13 @@ impl Mapper for AzulMapper {
     }
 
     fn map(&self, a: &Csr, grid: TileGrid) -> Placement {
-        let w = build_pcg_hypergraph(a, self.row_edge_weight, self.quantiles);
+        let w = {
+            let mut s = span::span("mapping/hypergraph");
+            let w = build_pcg_hypergraph(a, self.row_edge_weight, self.quantiles);
+            s.annotate("num_vertices", w.hg.num_vertices() as u64);
+            s.annotate("num_nets", w.hg.num_nets() as u64);
+            w
+        };
         let mut cfg = if self.fast {
             PartitionConfig::fast(grid.num_tiles())
         } else {
@@ -180,7 +187,10 @@ impl Mapper for AzulMapper {
         };
         cfg.epsilon = self.epsilon;
         cfg.seed = self.seed;
-        let part = w.hg.partition(&cfg);
+        let part = {
+            let _s = span::span("mapping/partition");
+            w.hg.partition(&cfg)
+        };
         let nnz_tile: Vec<TileId> = (0..w.num_nnz)
             .map(|p| part.part_of(w.nnz_vertex(p)) as TileId)
             .collect();
@@ -287,9 +297,7 @@ mod tests {
         let grid = TileGrid::new(4, 4);
         let rr = RoundRobinMapper.map(&a, grid);
         let az = AzulMapper::default().map(&a, grid);
-        let span = |p: &Placement| -> usize {
-            p.column_tile_sets(&a).iter().map(Vec::len).sum()
-        };
+        let span = |p: &Placement| -> usize { p.column_tile_sets(&a).iter().map(Vec::len).sum() };
         assert!(
             span(&az) < span(&rr) / 2,
             "azul span {} vs rr span {}",

@@ -139,8 +139,8 @@ pub fn pcg_iteration_traffic(a: &Csr, placement: &Placement) -> TrafficReport {
     let tri = sptrsv_traffic(a, placement);
     report.merge(&tri);
     report.merge(&tri); // L and L^T solves have symmetric traffic
-    // Three dot-product all-reduces: every tile holding vector data
-    // contributes one partial to tile 0, then the scalar is broadcast back.
+                        // Three dot-product all-reduces: every tile holding vector data
+                        // contributes one partial to tile 0, then the scalar is broadcast back.
     let mut holders: Vec<TileId> = placement.vec_tiles().to_vec();
     holders.sort_unstable();
     holders.dedup();
@@ -184,7 +184,11 @@ pub fn bisection_load(report: &TrafficReport, placement: &Placement) -> Bisectio
     for t in 0..grid.num_tiles() as u32 {
         let (x, _) = grid.coord(t);
         for dir in 0..4usize {
-            let count = report.per_link.get(t as usize * 4 + dir).copied().unwrap_or(0);
+            let count = report
+                .per_link
+                .get(t as usize * 4 + dir)
+                .copied()
+                .unwrap_or(0);
             if count == 0 {
                 continue;
             }

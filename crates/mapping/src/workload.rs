@@ -105,7 +105,8 @@ pub fn build_pcg_hypergraph(a: &Csr, row_edge_weight: u64, quantiles: usize) -> 
     // Row nets: {y_i} ∪ nonzeros of row i, weighted.
     for (i, pins) in row_pins.iter_mut().enumerate() {
         pins.push(nnz + i);
-        b.add_net(row_edge_weight, pins).expect("row pins are valid");
+        b.add_net(row_edge_weight, pins)
+            .expect("row pins are valid");
     }
 
     WorkloadHypergraph {

@@ -68,8 +68,8 @@ impl EnergyModel {
     /// Dynamic energy of a kernel run, in joules, by component
     /// `(sram, compute, noc)`.
     pub fn dynamic_energy_j(&self, stats: &KernelStats) -> (f64, f64, f64) {
-        let sram =
-            stats.sram_reads as f64 * self.data_read_pj + stats.accum_rmws as f64 * self.accum_rmw_pj;
+        let sram = stats.sram_reads as f64 * self.data_read_pj
+            + stats.accum_rmws as f64 * self.accum_rmw_pj;
         let compute = stats.ops_of(OpKind::Fmac) as f64 * self.fmac_pj
             + stats.ops_of(OpKind::Add) as f64 * self.add_pj
             + stats.ops_of(OpKind::Mul) as f64 * self.mul_pj;

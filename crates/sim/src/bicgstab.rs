@@ -18,6 +18,8 @@ use azul_solver::flops::{self, FlopBreakdown};
 use azul_solver::ic0::ic0;
 use azul_solver::SolverError;
 use azul_sparse::{dense, Csr};
+use azul_telemetry::report::IterationSample;
+use azul_telemetry::span;
 
 /// Run-time configuration for a BiCGStab simulation.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -73,6 +75,10 @@ pub struct BiCgStabSimReport {
     pub flops_per_iteration: FlopBreakdown,
     /// Sustained throughput in GFLOP/s.
     pub gflops: f64,
+    /// Convergence telemetry: one sample per iteration (sample 0 is the
+    /// initial state). Cycle-simulated iterations carry measured deltas;
+    /// the rest reuse the steady-state averages.
+    pub convergence: Vec<IterationSample>,
 }
 
 impl BiCgStabSim {
@@ -104,6 +110,7 @@ impl BiCgStabSim {
     pub fn run(&self, b: &[f64], run_cfg: &BiCgStabSimConfig) -> BiCgStabSimReport {
         let n = self.a.rows();
         assert_eq!(b.len(), n, "rhs length mismatch");
+        let mut solve_span = span::span("solve/bicgstab");
         let timed_budget = if run_cfg.timed_iterations == 0 {
             usize::MAX
         } else {
@@ -117,10 +124,10 @@ impl BiCgStabSim {
 
         // Timed kernel helpers (mirror PcgSim's accounting).
         let spmv_timed = |v: &[f64],
-                              timing: bool,
-                              stats: &mut KernelStats,
-                              kc: &mut [u64; 3],
-                              acc: &mut u64|
+                          timing: bool,
+                          stats: &mut KernelStats,
+                          kc: &mut [u64; 3],
+                          acc: &mut u64|
          -> Vec<f64> {
             if timing {
                 let (out, s) = run_kernel(&self.cfg, &self.spmv, v);
@@ -183,14 +190,73 @@ impl BiCgStabSim {
         let mut v = vec![0.0f64; n];
         let mut p = vec![0.0f64; n];
         let mut iterations = 0usize;
-        let mut converged = dense::norm2(&r) <= run_cfg.tol;
+        let rnorm0 = dense::norm2(&r);
+        let mut converged = rnorm0 <= run_cfg.tol;
+
+        // Convergence telemetry: sample 0 is the initial state (BiCGStab
+        // has no timed setup kernels; r starts as b).
+        let mut convergence = vec![IterationSample {
+            iteration: 0,
+            residual: rnorm0,
+            cycles: 0,
+            flops: 0,
+            messages: 0,
+            link_activations: 0,
+        }];
+        let mut untimed: Vec<usize> = Vec::new();
+        let (mut timed_flops, mut timed_msgs, mut timed_links) = (0u64, 0u64, 0u64);
 
         while !converged && iterations < run_cfg.max_iters {
             let timing = timed_done < timed_budget;
             let mut this_iter = 0u64;
+            let pre_ops = stats.ops;
+            let pre_msgs = stats.messages;
+            let pre_links = stats.link_activations;
+            let mut push_sample =
+                |residual: f64,
+                 iteration: usize,
+                 this_iter: u64,
+                 stats: &KernelStats,
+                 untimed: &mut Vec<usize>,
+                 convergence: &mut Vec<IterationSample>| {
+                    let mut sample = IterationSample {
+                        iteration,
+                        residual,
+                        cycles: 0,
+                        flops: 0,
+                        messages: 0,
+                        link_activations: 0,
+                    };
+                    if timing {
+                        let d_ops = [
+                            stats.ops[0] - pre_ops[0],
+                            stats.ops[1] - pre_ops[1],
+                            stats.ops[2] - pre_ops[2],
+                            stats.ops[3] - pre_ops[3],
+                        ];
+                        sample.cycles = this_iter;
+                        sample.flops = crate::pcg::flops_of_ops(d_ops);
+                        sample.messages = stats.messages - pre_msgs;
+                        sample.link_activations = stats.link_activations - pre_links;
+                        timed_flops += sample.flops;
+                        timed_msgs += sample.messages;
+                        timed_links += sample.link_activations;
+                    } else {
+                        untimed.push(convergence.len());
+                    }
+                    convergence.push(sample);
+                };
 
             let rho = dense::dot(&r_hat, &r);
-            vec_cost(self, VecOp::Dot, 1, timing, &mut stats, &mut kernel_cycles, &mut this_iter);
+            vec_cost(
+                self,
+                VecOp::Dot,
+                1,
+                timing,
+                &mut stats,
+                &mut kernel_cycles,
+                &mut this_iter,
+            );
             if rho == 0.0 {
                 break;
             }
@@ -198,12 +264,35 @@ impl BiCgStabSim {
             for i in 0..n {
                 p[i] = r[i] + beta * (p[i] - omega * v[i]);
             }
-            vec_cost(self, VecOp::Xpby, 2, timing, &mut stats, &mut kernel_cycles, &mut this_iter);
+            vec_cost(
+                self,
+                VecOp::Xpby,
+                2,
+                timing,
+                &mut stats,
+                &mut kernel_cycles,
+                &mut this_iter,
+            );
 
-            let y = precond(self, &p, timing, &mut stats, &mut kernel_cycles, &mut this_iter);
+            let y = precond(
+                self,
+                &p,
+                timing,
+                &mut stats,
+                &mut kernel_cycles,
+                &mut this_iter,
+            );
             v = spmv_timed(&y, timing, &mut stats, &mut kernel_cycles, &mut this_iter);
             let rhat_v = dense::dot(&r_hat, &v);
-            vec_cost(self, VecOp::Dot, 1, timing, &mut stats, &mut kernel_cycles, &mut this_iter);
+            vec_cost(
+                self,
+                VecOp::Dot,
+                1,
+                timing,
+                &mut stats,
+                &mut kernel_cycles,
+                &mut this_iter,
+            );
             if rhat_v == 0.0 {
                 break;
             }
@@ -211,10 +300,26 @@ impl BiCgStabSim {
             let mut s_vec = r.clone();
             dense::axpy(-alpha, &v, &mut s_vec);
             dense::axpy(alpha, &y, &mut x);
-            vec_cost(self, VecOp::Axpy, 2, timing, &mut stats, &mut kernel_cycles, &mut this_iter);
+            vec_cost(
+                self,
+                VecOp::Axpy,
+                2,
+                timing,
+                &mut stats,
+                &mut kernel_cycles,
+                &mut this_iter,
+            );
 
             let snorm = dense::norm2(&s_vec);
-            vec_cost(self, VecOp::Dot, 1, timing, &mut stats, &mut kernel_cycles, &mut this_iter);
+            vec_cost(
+                self,
+                VecOp::Dot,
+                1,
+                timing,
+                &mut stats,
+                &mut kernel_cycles,
+                &mut this_iter,
+            );
             if snorm <= run_cfg.tol {
                 if timing {
                     timed_done += 1;
@@ -222,13 +327,36 @@ impl BiCgStabSim {
                 }
                 iterations += 1;
                 converged = true;
+                push_sample(
+                    snorm,
+                    iterations,
+                    this_iter,
+                    &stats,
+                    &mut untimed,
+                    &mut convergence,
+                );
                 break;
             }
 
-            let z = precond(self, &s_vec, timing, &mut stats, &mut kernel_cycles, &mut this_iter);
+            let z = precond(
+                self,
+                &s_vec,
+                timing,
+                &mut stats,
+                &mut kernel_cycles,
+                &mut this_iter,
+            );
             let t = spmv_timed(&z, timing, &mut stats, &mut kernel_cycles, &mut this_iter);
             let tt = dense::dot(&t, &t);
-            vec_cost(self, VecOp::Dot, 2, timing, &mut stats, &mut kernel_cycles, &mut this_iter);
+            vec_cost(
+                self,
+                VecOp::Dot,
+                2,
+                timing,
+                &mut stats,
+                &mut kernel_cycles,
+                &mut this_iter,
+            );
             if tt == 0.0 {
                 break;
             }
@@ -236,16 +364,41 @@ impl BiCgStabSim {
             dense::axpy(omega, &z, &mut x);
             r = s_vec;
             dense::axpy(-omega, &t, &mut r);
-            vec_cost(self, VecOp::Axpy, 2, timing, &mut stats, &mut kernel_cycles, &mut this_iter);
+            vec_cost(
+                self,
+                VecOp::Axpy,
+                2,
+                timing,
+                &mut stats,
+                &mut kernel_cycles,
+                &mut this_iter,
+            );
 
             rho_old = rho;
             iterations += 1;
-            converged = dense::norm2(&r) <= run_cfg.tol;
-            vec_cost(self, VecOp::Dot, 1, timing, &mut stats, &mut kernel_cycles, &mut this_iter);
+            let rnorm = dense::norm2(&r);
+            converged = rnorm <= run_cfg.tol;
+            vec_cost(
+                self,
+                VecOp::Dot,
+                1,
+                timing,
+                &mut stats,
+                &mut kernel_cycles,
+                &mut this_iter,
+            );
             if timing {
                 timed_done += 1;
                 iter_cycles_acc += this_iter;
             }
+            push_sample(
+                rnorm,
+                iterations,
+                this_iter,
+                &stats,
+                &mut untimed,
+                &mut convergence,
+            );
             if omega == 0.0 {
                 break;
             }
@@ -274,6 +427,22 @@ impl BiCgStabSim {
                 0.0
             }
         };
+        // Untimed iterations get the steady-state averages, mirroring the
+        // cycles_per_iteration extrapolation.
+        if timed_done > 0 {
+            let avg = |sum: u64| (sum as f64 / timed_done as f64).round() as u64;
+            let (af, am, al) = (avg(timed_flops), avg(timed_msgs), avg(timed_links));
+            for &i in &untimed {
+                convergence[i].cycles = cycles_per_iteration.round() as u64;
+                convergence[i].flops = af;
+                convergence[i].messages = am;
+                convergence[i].link_activations = al;
+            }
+        }
+        solve_span.record_cycles((cycles_per_iteration * iterations as f64).round() as u64);
+        solve_span.annotate("iterations", iterations);
+        solve_span.annotate("converged", converged);
+
         let final_residual = dense::norm2(&dense::sub(b, &self.a.spmv(&x)));
         BiCgStabSimReport {
             x,
@@ -285,6 +454,7 @@ impl BiCgStabSim {
             stats,
             flops_per_iteration,
             gflops,
+            convergence,
         }
     }
 
@@ -337,6 +507,28 @@ mod tests {
         // The solution truly solves the system.
         let residual = dense::norm2(&dense::sub(&b, &a.spmv(&report.x)));
         assert!(residual < 1e-7);
+    }
+
+    #[test]
+    fn convergence_telemetry_tracks_iterations() {
+        let a = generate::grid_laplacian_2d(8, 8);
+        let grid = TileGrid::new(2, 2);
+        let p = RoundRobinMapper.map(&a, grid);
+        let sim = BiCgStabSim::build(&a, &p, &SimConfig::azul(grid)).unwrap();
+        let b = rhs(a.rows());
+        let report = sim.run(&b, &BiCgStabSimConfig::default());
+        assert!(report.converged);
+        assert_eq!(report.convergence.len(), report.iterations + 1);
+        assert_eq!(report.convergence[0].residual, dense::norm2(&b));
+        for (i, s) in report.convergence.iter().enumerate() {
+            assert_eq!(s.iteration, i, "samples densely numbered");
+            if i > 0 {
+                assert!(s.cycles > 0, "iteration {i} has a cycle cost");
+                assert!(s.flops > 0, "iteration {i} has a FLOP cost");
+            }
+        }
+        let last = report.convergence.last().unwrap();
+        assert!(last.residual <= 1e-10, "history ends converged");
     }
 
     #[test]

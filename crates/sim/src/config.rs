@@ -53,6 +53,11 @@ pub struct SimConfig {
     /// every this many cycles into `KernelStats::trace` (Fig. 17's
     /// time-balancing curves).
     pub trace_interval: u64,
+    /// When set, collect per-PE and per-link counters into
+    /// `KernelStats::pe` / `KernelStats::links` (utilization and traffic
+    /// heatmaps). Off by default: the detail arrays stay empty and the
+    /// per-event cost is a length check.
+    pub detailed_stats: bool,
     /// Per-tile Data SRAM capacity in bytes (Table III: 72 KB).
     pub data_sram_bytes: usize,
     /// Per-tile Accumulator SRAM capacity in bytes (Table III: 36 KB).
@@ -102,6 +107,7 @@ impl SimConfig {
             clock_ghz: 2.0,
             max_kernel_cycles: 500_000_000,
             trace_interval: 0,
+            detailed_stats: false,
             data_sram_bytes: 72 * 1024,
             accum_sram_bytes: 36 * 1024,
         }

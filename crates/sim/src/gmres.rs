@@ -16,6 +16,8 @@ use azul_mapping::Placement;
 use azul_solver::ic0::ic0;
 use azul_solver::SolverError;
 use azul_sparse::{dense, Csr};
+use azul_telemetry::report::IterationSample;
+use azul_telemetry::span;
 
 /// Run-time configuration for a GMRES simulation.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -73,6 +75,11 @@ pub struct GmresSimReport {
     pub stats: KernelStats,
     /// Sustained throughput over the timed portion in GFLOP/s.
     pub gflops: f64,
+    /// Convergence telemetry: one sample per inner iteration (sample 0 is
+    /// the initial state; residuals are the Givens recurrence estimates).
+    /// Cycle-simulated iterations carry measured deltas; the rest reuse
+    /// the steady-state averages.
+    pub convergence: Vec<IterationSample>,
 }
 
 impl GmresSim {
@@ -104,6 +111,7 @@ impl GmresSim {
         let n = self.a.rows();
         assert_eq!(b.len(), n, "rhs length mismatch");
         assert!(run_cfg.restart > 0, "restart length must be positive");
+        let mut solve_span = span::span("solve/gmres");
         let timed_budget = if run_cfg.timed_iterations == 0 {
             usize::MAX
         } else {
@@ -119,6 +127,19 @@ impl GmresSim {
         let mut x = vec![0.0f64; n];
         let mut iterations = 0usize;
         let mut converged = false;
+
+        // Convergence telemetry: sample 0 is the initial state (x = 0, so
+        // the residual is ||b||).
+        let mut convergence = vec![IterationSample {
+            iteration: 0,
+            residual: dense::norm2(b),
+            cycles: 0,
+            flops: 0,
+            messages: 0,
+            link_activations: 0,
+        }];
+        let mut untimed: Vec<usize> = Vec::new();
+        let (mut conv_flops, mut conv_msgs, mut conv_links) = (0u64, 0u64, 0u64);
 
         'outer: while iterations < run_cfg.max_iters {
             let r = dense::sub(b, &self.a.spmv(&x));
@@ -141,6 +162,9 @@ impl GmresSim {
             for k in 0..k_max {
                 let timing = timed_done < timed_budget;
                 let mut this_iter = 0u64;
+                let pre_ops = stats.ops;
+                let pre_msgs = stats.messages;
+                let pre_links = stats.link_activations;
 
                 // z = M^-1 v_k (two triangular solves), w = A z.
                 let (z, w) = if timing {
@@ -216,6 +240,32 @@ impl GmresSim {
                 }
 
                 let res = g[k + 1].abs();
+                let mut sample = IterationSample {
+                    iteration: iterations,
+                    residual: res,
+                    cycles: 0,
+                    flops: 0,
+                    messages: 0,
+                    link_activations: 0,
+                };
+                if timing {
+                    let d_ops = [
+                        stats.ops[0] - pre_ops[0],
+                        stats.ops[1] - pre_ops[1],
+                        stats.ops[2] - pre_ops[2],
+                        stats.ops[3] - pre_ops[3],
+                    ];
+                    sample.cycles = this_iter;
+                    sample.flops = crate::pcg::flops_of_ops(d_ops);
+                    sample.messages = stats.messages - pre_msgs;
+                    sample.link_activations = stats.link_activations - pre_links;
+                    conv_flops += sample.flops;
+                    conv_msgs += sample.messages;
+                    conv_links += sample.link_activations;
+                } else {
+                    untimed.push(convergence.len());
+                }
+                convergence.push(sample);
                 if res <= run_cfg.tol || wnorm == 0.0 {
                     self.update_solution(&mut x, &v, &h, &g, k_done);
                     converged = res <= run_cfg.tol;
@@ -249,15 +299,32 @@ impl GmresSim {
                 0.0
             }
         };
+        // Untimed iterations get the steady-state averages, mirroring the
+        // cycles_per_iteration extrapolation.
+        if timed_done > 0 {
+            let avg = |sum: u64| (sum as f64 / timed_done as f64).round() as u64;
+            let (af, am, al) = (avg(conv_flops), avg(conv_msgs), avg(conv_links));
+            for &i in &untimed {
+                convergence[i].cycles = cycles_per_iteration.round() as u64;
+                convergence[i].flops = af;
+                convergence[i].messages = am;
+                convergence[i].link_activations = al;
+            }
+        }
+        let converged = converged || final_residual <= run_cfg.tol;
+        solve_span.record_cycles((cycles_per_iteration * iterations as f64).round() as u64);
+        solve_span.annotate("iterations", iterations);
+        solve_span.annotate("converged", converged);
         GmresSimReport {
             x,
-            converged: converged || final_residual <= run_cfg.tol,
+            converged,
             iterations,
             final_residual,
             cycles_per_iteration,
             kernel_cycles: [per(0), per(1), per(2)],
             stats,
             gflops,
+            convergence,
         }
     }
 
@@ -327,6 +394,27 @@ mod tests {
         assert!(report.converged);
         let residual = dense::norm2(&dense::sub(&b, &a.spmv(&report.x)));
         assert!(residual < 1e-7);
+    }
+
+    #[test]
+    fn convergence_telemetry_tracks_inner_iterations() {
+        let a = generate::grid_laplacian_2d(8, 8);
+        let grid = TileGrid::new(2, 2);
+        let p = RoundRobinMapper.map(&a, grid);
+        let sim = GmresSim::build(&a, &p, &SimConfig::azul(grid)).unwrap();
+        let b = rhs(a.rows());
+        let report = sim.run(&b, &GmresSimConfig::default());
+        assert!(report.converged);
+        assert_eq!(report.convergence.len(), report.iterations + 1);
+        assert_eq!(report.convergence[0].residual, dense::norm2(&b));
+        for (i, s) in report.convergence.iter().enumerate() {
+            assert_eq!(s.iteration, i, "samples densely numbered");
+            if i > 0 {
+                assert!(s.cycles > 0, "iteration {i} has a cycle cost");
+                assert!(s.flops > 0, "iteration {i} has a FLOP cost");
+            }
+        }
+        assert!(report.convergence.last().unwrap().residual <= 1e-10);
     }
 
     #[test]

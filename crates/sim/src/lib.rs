@@ -25,7 +25,10 @@
 //!   scalar all-reduce trees of the dot products;
 //! * [`pcg`] — the end-to-end PCG driver (Listing 1 on the accelerator)
 //!   producing per-kernel cycle, operation, traffic and energy-activity
-//!   breakdowns.
+//!   breakdowns;
+//! * [`telemetry`] — conversion of [`stats::KernelStats`] (including the
+//!   per-PE/per-link detail collected under
+//!   `SimConfig::detailed_stats`) into `azul-telemetry` reports.
 //!
 //! # Example
 //!
@@ -54,6 +57,7 @@ pub mod pe;
 pub mod program;
 pub mod router;
 pub mod stats;
+pub mod telemetry;
 pub mod vecops;
 
 pub use bicgstab::{BiCgStabSim, BiCgStabSimConfig, BiCgStabSimReport};

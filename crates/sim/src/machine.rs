@@ -35,6 +35,9 @@ pub fn run_kernel(cfg: &SimConfig, program: &Program, input: &[f64]) -> (Vec<f64
     );
 
     let mut stats = KernelStats::default();
+    if cfg.detailed_stats {
+        stats.enable_detail(num_tiles);
+    }
     let mut out = vec![0.0f64; program.n];
     let mut routers: Vec<Router> = (0..num_tiles)
         .map(|t| Router::new(t as u32, cfg.router_queue_capacity))
@@ -170,6 +173,11 @@ pub fn run_kernel(cfg: &SimConfig, program: &Program, input: &[f64]) -> (Vec<f64
     }
 
     stats.cycles = now;
+    // Close the progress trace with an exact final sample so the last
+    // entry always matches the kernel totals.
+    if cfg.trace_interval > 0 && stats.trace.last() != Some(&(now, stats.total_ops())) {
+        stats.trace.push((now, stats.total_ops()));
+    }
     (out, stats)
 }
 
@@ -185,7 +193,9 @@ mod tests {
     use azul_sparse::{dense, generate};
 
     fn test_input(n: usize) -> Vec<f64> {
-        (0..n).map(|i| ((i * 29 % 13) as f64) / 13.0 + 0.2).collect()
+        (0..n)
+            .map(|i| ((i * 29 % 13) as f64) / 13.0 + 0.2)
+            .collect()
     }
 
     #[test]
@@ -369,6 +379,11 @@ mod tests {
         slow.sram_latency = 4;
         let f = run_kernel(&fast, &prog, &b).1;
         let s = run_kernel(&slow, &prog, &b).1;
-        assert!(s.cycles >= f.cycles, "slow {} vs fast {}", s.cycles, f.cycles);
+        assert!(
+            s.cycles >= f.cycles,
+            "slow {} vs fast {}",
+            s.cycles,
+            f.cycles
+        );
     }
 }

@@ -20,6 +20,13 @@ use azul_solver::ic0::ic0;
 use azul_solver::kernels::{sptrsv_lower, sptrsv_lower_transpose};
 use azul_solver::SolverError;
 use azul_sparse::{dense, Csr};
+use azul_telemetry::report::IterationSample;
+use azul_telemetry::span;
+
+/// FLOPs represented by an op tally (FMAC = 2, Add/Mul = 1, Send = 0).
+pub(crate) fn flops_of_ops(ops: [u64; 4]) -> u64 {
+    2 * ops[0] + ops[1] + ops[2]
+}
 
 /// Run-time configuration of a PCG simulation.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -84,6 +91,12 @@ pub struct PcgSimReport {
     pub gflops: f64,
     /// Extrapolated solve time in seconds at the configured clock.
     pub elapsed_seconds: f64,
+    /// Convergence telemetry: one sample per iteration (sample 0 covers
+    /// setup), with residual norms and per-iteration cycle/FLOP/traffic
+    /// deltas. Cycle-simulated iterations carry measured deltas; later
+    /// iterations reuse the steady-state averages, mirroring the
+    /// extrapolation of `total_cycles`.
+    pub convergence: Vec<IterationSample>,
 }
 
 impl PcgSimReport {
@@ -210,6 +223,7 @@ impl PcgSim {
     pub fn run(&self, b: &[f64], run_cfg: &PcgSimConfig) -> PcgSimReport {
         let n = self.a.rows();
         assert_eq!(b.len(), n, "rhs length mismatch");
+        let mut solve_span = span::span("solve/pcg");
         let timed_budget = if run_cfg.timed_iterations == 0 {
             usize::MAX
         } else {
@@ -222,10 +236,10 @@ impl PcgSim {
 
         // Helper closures for timed kernels.
         let run_timed = |prog: &Program,
-                             input: &[f64],
-                             class: KernelClass,
-                             stats: &mut KernelStats,
-                             kernel_cycles: &mut [u64; 3]|
+                         input: &[f64],
+                         class: KernelClass,
+                         stats: &mut KernelStats,
+                         kernel_cycles: &mut [u64; 3]|
          -> (Vec<f64>, u64) {
             let (out, s) = run_kernel(&self.cfg, prog, input);
             let c = s.cycles;
@@ -250,8 +264,10 @@ impl PcgSim {
         let mut r = b.to_vec();
         let z0 = match (&self.lower, &self.upper) {
             (Some(lo), Some(up)) => {
-                let (y0, c1) = run_timed(lo, &r, KernelClass::Sptrsv, &mut stats, &mut kernel_cycles);
-                let (z0, c2) = run_timed(up, &y0, KernelClass::Sptrsv, &mut stats, &mut kernel_cycles);
+                let (y0, c1) =
+                    run_timed(lo, &r, KernelClass::Sptrsv, &mut stats, &mut kernel_cycles);
+                let (z0, c2) =
+                    run_timed(up, &y0, KernelClass::Sptrsv, &mut stats, &mut kernel_cycles);
                 setup_cycles += c1 + c2;
                 z0
             }
@@ -270,14 +286,38 @@ impl PcgSim {
         let mut iter_cycles_acc = 0u64;
         let mut converged = dense::norm2(&r) <= run_cfg.tol;
 
+        // Convergence telemetry: sample 0 covers the setup phase (r = b
+        // at this point); untimed iterations are back-filled with the
+        // steady-state averages after the loop.
+        let mut convergence: Vec<IterationSample> = vec![IterationSample {
+            iteration: 0,
+            residual: dense::norm2(&r),
+            cycles: setup_cycles,
+            flops: flops_of_ops(stats.ops),
+            messages: stats.messages,
+            link_activations: stats.link_activations,
+        }];
+        let mut untimed: Vec<usize> = Vec::new();
+        let mut timed_msgs = 0u64;
+        let mut timed_links = 0u64;
+        let mut timed_flops = 0u64;
+
         while !converged && iterations < run_cfg.max_iters {
             let timing = timed_done < timed_budget;
             let mut this_iter = 0u64;
+            let pre_ops = stats.ops;
+            let pre_msgs = stats.messages;
+            let pre_links = stats.link_activations;
 
             // Ap = A p
             let ap = if timing {
-                let (out, c) =
-                    run_timed(&self.spmv, &p, KernelClass::Spmv, &mut stats, &mut kernel_cycles);
+                let (out, c) = run_timed(
+                    &self.spmv,
+                    &p,
+                    KernelClass::Spmv,
+                    &mut stats,
+                    &mut kernel_cycles,
+                );
                 this_iter += c;
                 out
             } else {
@@ -340,7 +380,38 @@ impl PcgSim {
                 iter_cycles_acc += this_iter;
             }
             iterations += 1;
-            converged = dense::norm2(&r) <= run_cfg.tol;
+            let rnorm = dense::norm2(&r);
+            converged = rnorm <= run_cfg.tol;
+
+            if timing {
+                let dflops = flops_of_ops([
+                    stats.ops[0] - pre_ops[0],
+                    stats.ops[1] - pre_ops[1],
+                    stats.ops[2] - pre_ops[2],
+                    stats.ops[3] - pre_ops[3],
+                ]);
+                timed_flops += dflops;
+                timed_msgs += stats.messages - pre_msgs;
+                timed_links += stats.link_activations - pre_links;
+                convergence.push(IterationSample {
+                    iteration: iterations,
+                    residual: rnorm,
+                    cycles: this_iter,
+                    flops: dflops,
+                    messages: stats.messages - pre_msgs,
+                    link_activations: stats.link_activations - pre_links,
+                });
+            } else {
+                untimed.push(convergence.len());
+                convergence.push(IterationSample {
+                    iteration: iterations,
+                    residual: rnorm,
+                    cycles: 0,
+                    flops: 0,
+                    messages: 0,
+                    link_activations: 0,
+                });
+            }
         }
 
         let cycles_per_iteration = if timed_done > 0 {
@@ -349,7 +420,11 @@ impl PcgSim {
             0.0
         };
         let total_cycles = setup_cycles + (cycles_per_iteration * iterations as f64) as u64;
-        let nnz_l = if self.lower.is_some() { self.l.nnz() } else { 0 };
+        let nnz_l = if self.lower.is_some() {
+            self.l.nnz()
+        } else {
+            0
+        };
         let flops_per_iteration = flops::pcg_iteration_breakdown(&self.a, nnz_l);
         let gflops = if cycles_per_iteration > 0.0 {
             flops_per_iteration.total() as f64 / cycles_per_iteration * self.cfg.clock_ghz
@@ -366,6 +441,23 @@ impl PcgSim {
         let final_residual = dense::norm2(&dense::sub(b, &self.a.spmv(&x)));
         let _ = setup_kernel_cycles;
 
+        // Back-fill untimed iterations with steady-state averages, the
+        // same extrapolation `total_cycles` uses.
+        if timed_done > 0 {
+            let avg = |sum: u64| (sum as f64 / timed_done as f64).round() as u64;
+            let (af, am, al) = (avg(timed_flops), avg(timed_msgs), avg(timed_links));
+            for &i in &untimed {
+                convergence[i].cycles = cycles_per_iteration.round() as u64;
+                convergence[i].flops = af;
+                convergence[i].messages = am;
+                convergence[i].link_activations = al;
+            }
+        }
+
+        solve_span.record_cycles(total_cycles);
+        solve_span.annotate("iterations", iterations);
+        solve_span.annotate("converged", converged);
+
         PcgSimReport {
             x,
             converged,
@@ -379,6 +471,7 @@ impl PcgSim {
             flops_per_iteration,
             gflops,
             elapsed_seconds: self.cfg.cycles_to_seconds(total_cycles),
+            convergence,
         }
     }
 }
@@ -391,7 +484,9 @@ mod tests {
     use azul_sparse::generate;
 
     fn rhs(n: usize) -> Vec<f64> {
-        (0..n).map(|i| ((i * 17 % 11) as f64) / 11.0 + 0.3).collect()
+        (0..n)
+            .map(|i| ((i * 17 % 11) as f64) / 11.0 + 0.3)
+            .collect()
     }
 
     #[test]
@@ -410,6 +505,36 @@ mod tests {
         let reference = azul_solver::pcg(&a, &b, &m, &azul_solver::PcgConfig::default());
         assert_eq!(report.iterations, reference.iterations);
         assert!(dense::rel_l2_diff(&report.x, &reference.x) < 1e-6);
+    }
+
+    #[test]
+    fn convergence_telemetry_tracks_iterations() {
+        let a = generate::grid_laplacian_2d(8, 8);
+        let grid = TileGrid::new(2, 2);
+        let p = RoundRobinMapper.map(&a, grid);
+        let sim = PcgSim::build(&a, &p, &SimConfig::azul(grid)).unwrap();
+        let b = rhs(a.rows());
+        let report = sim.run(&b, &PcgSimConfig::default());
+        // One sample per iteration plus the setup sample.
+        assert_eq!(report.convergence.len(), report.iterations + 1);
+        assert_eq!(report.convergence[0].iteration, 0);
+        assert!((report.convergence[0].residual - dense::norm2(&b)).abs() < 1e-12);
+        for (k, s) in report.convergence.iter().enumerate() {
+            assert_eq!(s.iteration, k, "iteration numbering is dense");
+            assert!(s.cycles > 0, "every sample carries a cycle cost");
+            assert!(s.flops > 0);
+        }
+        // The final sample's residual meets the convergence tolerance.
+        assert!(report.convergence.last().unwrap().residual <= 1e-10);
+        // Per-iteration cycle deltas are consistent with the steady-state
+        // extrapolation (timed iterations are exact; the back-filled rest
+        // use the average, so totals agree within rounding).
+        let iter_cycles: u64 = report.convergence[1..].iter().map(|s| s.cycles).sum();
+        let expect = report.cycles_per_iteration * report.iterations as f64;
+        assert!(
+            (iter_cycles as f64 - expect).abs() <= report.iterations as f64,
+            "iteration cycles {iter_cycles} vs extrapolated {expect}"
+        );
     }
 
     #[test]

@@ -136,10 +136,11 @@ impl Pe {
     /// full (Sec. V-A: overflow goes to the Data SRAM).
     pub fn push_trigger(&mut self, cfg: &SimConfig, trig: Trigger, stats: &mut KernelStats) {
         if self.msg_buffer.len() >= cfg.msg_buffer_capacity {
-            stats.spills += 1;
-            stats.sram_reads += 1; // spill write+read modeled as one RMW
+            stats.spill_at(self.tile);
+            stats.sram_read_at(self.tile); // spill write+read modeled as one RMW
         }
         self.msg_buffer.push_back(trig);
+        stats.note_msg_queue_depth(self.tile, self.msg_buffer.len());
     }
 
     /// Whether the PE holds any pending or in-flight work.
@@ -200,13 +201,7 @@ impl Pe {
     }
 
     /// Runs slot-completion logic, pushing follow-up ops onto `task`.
-    fn complete_slot(
-        &mut self,
-        slot: u32,
-        tp: &TileProgram,
-        task: &mut Task,
-        out: &mut [f64],
-    ) {
+    fn complete_slot(&mut self, slot: u32, tp: &TileProgram, task: &mut Task, out: &mut [f64]) {
         match tp.slots[slot as usize].action {
             SlotAction::SendPartial { target } => {
                 task.pending.push_back(PendingOp::SendPartial {
@@ -254,7 +249,7 @@ impl Pe {
         }
 
         if !self.has_work() {
-            stats.idle_cycles += 1;
+            stats.idle_at(self.tile);
             return false;
         }
 
@@ -287,7 +282,7 @@ impl Pe {
             self.contexts[c] = Some(task);
         }
         if !issued {
-            stats.stall_cycles += 1;
+            stats.stall_at(self.tile);
         }
         self.has_work()
     }
@@ -325,8 +320,8 @@ impl Pe {
                     self.slot_vals[slot as usize] += task.value;
                     self.slot_remaining[slot as usize] -= 1;
                     self.slot_ready[slot as usize] = now + hazard;
-                    stats.count_op(OpKind::Add);
-                    stats.accum_rmws += 1;
+                    stats.count_op_at(self.tile, OpKind::Add);
+                    stats.accum_rmw_at(self.tile);
                     if self.slot_remaining[slot as usize] == 0 {
                         self.complete_slot(slot, tp, task, out);
                     }
@@ -341,14 +336,21 @@ impl Pe {
                     let x = self.slot_vals[slot as usize] * prog.inv_diag[target as usize];
                     out[target as usize] = x;
                     self.slot_ready[slot as usize] = now + hazard;
-                    stats.count_op(OpKind::Mul);
-                    stats.sram_reads += 1; // reciprocal diagonal fetch
+                    stats.count_op_at(self.tile, OpKind::Mul);
+                    stats.sram_read_at(self.tile); // reciprocal diagonal fetch
                     if prog.x_tree[target as usize].is_some() {
-                        task.pending.push_back(PendingOp::SendX { idx: target, val: x });
+                        task.pending.push_back(PendingOp::SendX {
+                            idx: target,
+                            val: x,
+                        });
                     }
                     if tp.saac.contains_key(&target) {
                         // Local dependents: trigger our own SAAC directly.
-                        self.msg_buffer.push_back(Trigger::X { idx: target, val: x });
+                        self.msg_buffer.push_back(Trigger::X {
+                            idx: target,
+                            val: x,
+                        });
+                        stats.note_msg_queue_depth(self.tile, self.msg_buffer.len());
                     }
                     arith_cost(self, stats);
                     true
@@ -358,7 +360,11 @@ impl Pe {
                         return false;
                     }
                     task.pending.pop_front();
-                    let v = if val.is_nan() { input[idx as usize] } else { val };
+                    let v = if val.is_nan() {
+                        input[idx as usize]
+                    } else {
+                        val
+                    };
                     router.inject(
                         now,
                         Flit {
@@ -368,9 +374,9 @@ impl Pe {
                             outbound: true,
                         },
                     );
-                    stats.count_op(OpKind::Send);
+                    stats.count_op_at(self.tile, OpKind::Send);
                     stats.messages += 1;
-                    stats.sram_reads += 1;
+                    stats.sram_read_at(self.tile);
                     true
                 }
                 PendingOp::SendPartial { target, val } => {
@@ -387,9 +393,9 @@ impl Pe {
                             outbound: true,
                         },
                     );
-                    stats.count_op(OpKind::Send);
+                    stats.count_op_at(self.tile, OpKind::Send);
                     stats.messages += 1;
-                    stats.sram_reads += 1;
+                    stats.sram_read_at(self.tile);
                     true
                 }
             }
@@ -404,9 +410,9 @@ impl Pe {
             self.slot_vals[entry.slot as usize] += entry.coeff * task.value;
             self.slot_remaining[entry.slot as usize] -= 1;
             self.slot_ready[entry.slot as usize] = now + hazard;
-            stats.count_op(OpKind::Fmac);
-            stats.sram_reads += 1;
-            stats.accum_rmws += 1;
+            stats.count_op_at(self.tile, OpKind::Fmac);
+            stats.sram_read_at(self.tile);
+            stats.accum_rmw_at(self.tile);
             if self.slot_remaining[entry.slot as usize] == 0 {
                 self.complete_slot(entry.slot, tp, task, out);
             }
@@ -438,30 +444,39 @@ impl Pe {
                             task.pending.pop_front();
                             self.slot_vals[slot as usize] += task.value;
                             self.slot_remaining[slot as usize] -= 1;
-                            stats.count_op(OpKind::Add);
-                            stats.accum_rmws += 1;
+                            stats.count_op_at(self.tile, OpKind::Add);
+                            stats.accum_rmw_at(self.tile);
                             if self.slot_remaining[slot as usize] == 0 {
                                 self.complete_slot(slot, tp, &mut task, out);
                             }
                         }
                         PendingOp::SolveMul { target, slot } => {
                             task.pending.pop_front();
-                            let x =
-                                self.slot_vals[slot as usize] * prog.inv_diag[target as usize];
+                            let x = self.slot_vals[slot as usize] * prog.inv_diag[target as usize];
                             out[target as usize] = x;
-                            stats.count_op(OpKind::Mul);
-                            stats.sram_reads += 1;
+                            stats.count_op_at(self.tile, OpKind::Mul);
+                            stats.sram_read_at(self.tile);
                             if prog.x_tree[target as usize].is_some() {
-                                task.pending
-                                    .push_back(PendingOp::SendX { idx: target, val: x });
+                                task.pending.push_back(PendingOp::SendX {
+                                    idx: target,
+                                    val: x,
+                                });
                             }
                             if tp.saac.contains_key(&target) {
-                                self.msg_buffer.push_back(Trigger::X { idx: target, val: x });
+                                self.msg_buffer.push_back(Trigger::X {
+                                    idx: target,
+                                    val: x,
+                                });
+                                stats.note_msg_queue_depth(self.tile, self.msg_buffer.len());
                             }
                         }
                         PendingOp::SendX { idx, val } => {
                             task.pending.pop_front();
-                            let v = if val.is_nan() { input[idx as usize] } else { val };
+                            let v = if val.is_nan() {
+                                input[idx as usize]
+                            } else {
+                                val
+                            };
                             router.inject(
                                 now,
                                 Flit {
@@ -471,9 +486,9 @@ impl Pe {
                                     outbound: true,
                                 },
                             );
-                            stats.count_op(OpKind::Send);
+                            stats.count_op_at(self.tile, OpKind::Send);
                             stats.messages += 1;
-                            stats.sram_reads += 1;
+                            stats.sram_read_at(self.tile);
                         }
                         PendingOp::SendPartial { target, val } => {
                             task.pending.pop_front();
@@ -486,9 +501,9 @@ impl Pe {
                                     outbound: true,
                                 },
                             );
-                            stats.count_op(OpKind::Send);
+                            stats.count_op_at(self.tile, OpKind::Send);
                             stats.messages += 1;
-                            stats.sram_reads += 1;
+                            stats.sram_read_at(self.tile);
                         }
                     }
                 } else if task.cur < task.end {
@@ -496,9 +511,9 @@ impl Pe {
                     task.cur += 1;
                     self.slot_vals[entry.slot as usize] += entry.coeff * task.value;
                     self.slot_remaining[entry.slot as usize] -= 1;
-                    stats.count_op(OpKind::Fmac);
-                    stats.sram_reads += 1;
-                    stats.accum_rmws += 1;
+                    stats.count_op_at(self.tile, OpKind::Fmac);
+                    stats.sram_read_at(self.tile);
+                    stats.accum_rmw_at(self.tile);
                     if self.slot_remaining[entry.slot as usize] == 0 {
                         self.complete_slot(entry.slot, tp, &mut task, out);
                     }
@@ -543,7 +558,14 @@ mod tests {
         // SpMV start: X triggers for all columns (all local).
         for &j in &tp.send_v {
             if tp.saac.contains_key(&j) {
-                pe.push_trigger(&cfg, Trigger::X { idx: j, val: x[j as usize] }, &mut stats);
+                pe.push_trigger(
+                    &cfg,
+                    Trigger::X {
+                        idx: j,
+                        val: x[j as usize],
+                    },
+                    &mut stats,
+                );
             }
         }
         let mut now = 0u64;
@@ -614,8 +636,14 @@ mod tests {
         };
         let (t1, s1) = run(1);
         let (t4, s4) = run(4);
-        assert!(t4 <= t1, "multithreading should not slow down: {t4} vs {t1}");
-        assert!(s4 <= s1, "multithreading should reduce stalls: {s4} vs {s1}");
+        assert!(
+            t4 <= t1,
+            "multithreading should not slow down: {t4} vs {t1}"
+        );
+        assert!(
+            s4 <= s1,
+            "multithreading should reduce stalls: {s4} vs {s1}"
+        );
     }
 
     #[test]

@@ -21,6 +21,7 @@
 use azul_mapping::tree::CommTree;
 use azul_mapping::{Placement, TileGrid, TileId};
 use azul_sparse::Csr;
+use azul_telemetry::span;
 use std::collections::HashMap;
 
 /// What happens when an accumulator slot's `updates_remaining` hits zero.
@@ -140,6 +141,7 @@ impl Program {
     ///
     /// Panics if the placement does not match `a`.
     pub fn compile_spmv(a: &Csr, placement: &Placement) -> Program {
+        let mut s = span::span("compile/spmv");
         assert_eq!(a.nnz(), placement.num_nnz(), "placement/matrix mismatch");
         assert_eq!(a.rows(), placement.num_rows(), "placement/matrix mismatch");
         let items: Vec<WorkItem> = a
@@ -152,13 +154,16 @@ impl Program {
                 tile: placement.nnz_tile(p),
             })
             .collect();
-        compile(
+        let prog = compile(
             ProgramKind::Spmv,
             a.rows(),
             placement,
             items,
             vec![1.0; a.rows()],
-        )
+        );
+        s.annotate("work_items", prog.num_items as u64);
+        s.annotate("trees", prog.trees.len() as u64);
+        prog
     }
 
     /// Compiles the lower-triangular solve `L x = b` where `l` is lower
@@ -170,6 +175,7 @@ impl Program {
     /// Panics if patterns or placement are inconsistent, or a diagonal is
     /// missing.
     pub fn compile_sptrsv_lower(l: &Csr, a_pattern: &Csr, placement: &Placement) -> Program {
+        let mut s = span::span("compile/sptrsv_lower");
         let (tile_of, inv_diag) = lower_tiles_and_diag(l, a_pattern, placement);
         let mut items = Vec::new();
         for (k, (r, c, v)) in l.iter().filter(|&(r, c, _)| c <= r).enumerate() {
@@ -182,7 +188,10 @@ impl Program {
                 });
             }
         }
-        compile(ProgramKind::Sptrsv, l.rows(), placement, items, inv_diag)
+        let prog = compile(ProgramKind::Sptrsv, l.rows(), placement, items, inv_diag);
+        s.annotate("work_items", prog.num_items as u64);
+        s.annotate("trees", prog.trees.len() as u64);
+        prog
     }
 
     /// Compiles the transpose solve `L^T x = b`: the entry `L_ij` (i > j)
@@ -193,6 +202,7 @@ impl Program {
     ///
     /// Panics as [`Program::compile_sptrsv_lower`] does.
     pub fn compile_sptrsv_upper(l: &Csr, a_pattern: &Csr, placement: &Placement) -> Program {
+        let mut s = span::span("compile/sptrsv_upper");
         let (tile_of, inv_diag) = lower_tiles_and_diag(l, a_pattern, placement);
         let mut items = Vec::new();
         for (k, (r, c, v)) in l.iter().filter(|&(r, c, _)| c <= r).enumerate() {
@@ -205,7 +215,10 @@ impl Program {
                 });
             }
         }
-        compile(ProgramKind::Sptrsv, l.rows(), placement, items, inv_diag)
+        let prog = compile(ProgramKind::Sptrsv, l.rows(), placement, items, inv_diag);
+        s.annotate("work_items", prog.num_items as u64);
+        s.annotate("trees", prog.trees.len() as u64);
+        prog
     }
 
     /// The tile program of tile `t`.
@@ -268,7 +281,10 @@ fn compile(
     let mut trigger_tiles: Vec<Vec<TileId>> = vec![Vec::new(); n];
     let mut target_tiles: Vec<Vec<TileId>> = vec![Vec::new(); n];
     for (k, it) in items.iter().enumerate() {
-        by_tile_trigger.entry((it.tile, it.trigger)).or_default().push(k);
+        by_tile_trigger
+            .entry((it.tile, it.trigger))
+            .or_default()
+            .push(k);
         trigger_tiles[it.trigger as usize].push(it.tile);
         target_tiles[it.target as usize].push(it.tile);
     }
@@ -288,7 +304,11 @@ fn compile(
     let mut x_tree: Vec<Option<u32>> = vec![None; n];
     for j in 0..n {
         let root = home[j];
-        let remote: Vec<TileId> = trigger_tiles[j].iter().copied().filter(|&t| t != root).collect();
+        let remote: Vec<TileId> = trigger_tiles[j]
+            .iter()
+            .copied()
+            .filter(|&t| t != root)
+            .collect();
         if !remote.is_empty() {
             trees.push(CommTree::build(grid, root, &remote));
             x_tree[j] = Some((trees.len() - 1) as u32);
@@ -299,11 +319,11 @@ fn compile(
     let mut partial_tree: Vec<Option<u32>> = vec![None; n];
     // Slot id allocation per tile, keyed by target.
     let alloc_slot = |tiles: &mut Vec<TileProgram>,
-                          tile: TileId,
-                          target: u32,
-                          remaining: u32,
-                          action: SlotAction,
-                          init_from_b: bool|
+                      tile: TileId,
+                      target: u32,
+                      remaining: u32,
+                      action: SlotAction,
+                      init_from_b: bool|
      -> u32 {
         let tp = &mut tiles[tile as usize];
         let id = tp.slots.len() as u32;
@@ -333,7 +353,14 @@ fn compile(
 
         if participants.is_empty() {
             // All work local to the home tile.
-            let slot = alloc_slot(&mut tiles, root, i as u32, home_local, home_action, init_from_b);
+            let slot = alloc_slot(
+                &mut tiles,
+                root,
+                i as u32,
+                home_local,
+                home_action,
+                init_from_b,
+            );
             if home_local == 0 && kind == ProgramKind::Sptrsv {
                 tiles[root as usize].initial_solves.push(i as u32);
             }
@@ -428,8 +455,8 @@ fn compile(
 mod tests {
     use super::*;
     use azul_mapping::strategies::{Mapper, RoundRobinMapper};
-    use azul_sparse::generate;
     use azul_solver::ic0::ic0;
+    use azul_sparse::generate;
 
     fn setup() -> (Csr, Placement) {
         let a = generate::grid_laplacian_2d(6, 6);

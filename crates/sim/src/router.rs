@@ -142,8 +142,16 @@ impl Router {
             .iter()
             .enumerate()
             .filter_map(|(p, q)| {
-                q.front()
-                    .map(|h| (p, h.flit.kind, h.flit.idx, h.flit.outbound, h.ready <= now, q.len()))
+                q.front().map(|h| {
+                    (
+                        p,
+                        h.flit.kind,
+                        h.flit.idx,
+                        h.flit.outbound,
+                        h.ready <= now,
+                        q.len(),
+                    )
+                })
             })
             .collect()
     }
@@ -188,8 +196,7 @@ pub fn tick_router_at(
         let mut deliver = false;
         match flit.kind {
             FlitKind::X => {
-                let tree_id =
-                    program.x_tree[flit.idx as usize].expect("multicast flit has a tree");
+                let tree_id = program.x_tree[flit.idx as usize].expect("multicast flit has a tree");
                 let tree = &program.trees[tree_id as usize];
                 for &child in tree.children_of(tile) {
                     let dir = direction_of(grid, tile, child);
@@ -202,8 +209,8 @@ pub fn tick_router_at(
                 if !flit.outbound && is_combiner {
                     deliver = true;
                 } else {
-                    let tree_id = program.partial_tree[flit.idx as usize]
-                        .expect("partial flit has a tree");
+                    let tree_id =
+                        program.partial_tree[flit.idx as usize].expect("partial flit has a tree");
                     let tree = &program.trees[tree_id as usize];
                     let parent = tree
                         .parent_of(tile)
@@ -229,7 +236,7 @@ pub fn tick_router_at(
             dir_used[dir] = true;
             forwarded |= 1 << dir;
             progressed = true;
-            stats.link_activations += 1;
+            stats.link_out_at(tile, dir);
             let mut copy = flit;
             copy.outbound = false;
             routers[next as usize].accept(reverse_port(dir), now + hop_latency, copy);
@@ -244,9 +251,11 @@ pub fn tick_router_at(
         let all_dirs_done = out_dirs.iter().all(|&(dir, _)| forwarded & (1 << dir) != 0);
         if all_dirs_done && (delivered || !deliver) {
             routers[t].inputs[port].pop_front();
-            stats.router_traversals += 1;
+            stats.router_traversal_at(tile);
         } else if progressed {
-            let h = routers[t].inputs[port].front_mut().expect("head still queued");
+            let h = routers[t].inputs[port]
+                .front_mut()
+                .expect("head still queued");
             h.forwarded = forwarded;
             h.delivered = delivered;
         }
@@ -317,8 +326,24 @@ mod tests {
     fn inject_and_capacity() {
         let mut r = Router::new(0, 2);
         assert!(r.can_inject());
-        r.inject(0, Flit { kind: FlitKind::X, idx: 0, val: 1.0, outbound: true });
-        r.inject(0, Flit { kind: FlitKind::X, idx: 1, val: 1.0, outbound: true });
+        r.inject(
+            0,
+            Flit {
+                kind: FlitKind::X,
+                idx: 0,
+                val: 1.0,
+                outbound: true,
+            },
+        );
+        r.inject(
+            0,
+            Flit {
+                kind: FlitKind::X,
+                idx: 1,
+                val: 1.0,
+                outbound: true,
+            },
+        );
         assert!(!r.can_inject());
         assert_eq!(r.occupancy(), 2);
     }
@@ -338,7 +363,12 @@ mod tests {
         let mut routers: Vec<Router> = (0..num as u32).map(|t| Router::new(t, 16)).collect();
         routers[root as usize].inject(
             0,
-            Flit { kind: FlitKind::X, idx: j as u32, val: 2.5, outbound: true },
+            Flit {
+                kind: FlitKind::X,
+                idx: j as u32,
+                val: 2.5,
+                outbound: true,
+            },
         );
         let mut deliveries: Vec<Vec<Delivery>> = vec![Vec::new(); num];
         let mut stats = crate::stats::KernelStats::default();
@@ -353,7 +383,10 @@ mod tests {
             );
             assert_eq!(deliveries[d as usize][0].flit.val, 2.5);
         }
-        assert_eq!(stats.link_activations as usize, prog.trees[tree_id].num_links());
+        assert_eq!(
+            stats.link_activations as usize,
+            prog.trees[tree_id].num_links()
+        );
         // Root does not deliver to itself.
         if !dests.contains(&root) {
             assert!(deliveries[root as usize].is_empty());
@@ -375,7 +408,12 @@ mod tests {
         let mut routers: Vec<Router> = (0..num as u32).map(|t| Router::new(t, 16)).collect();
         routers[leaf as usize].inject(
             0,
-            Flit { kind: FlitKind::Partial, idx: i as u32, val: 7.0, outbound: true },
+            Flit {
+                kind: FlitKind::Partial,
+                idx: i as u32,
+                val: 7.0,
+                outbound: true,
+            },
         );
         let mut deliveries: Vec<Vec<Delivery>> = vec![Vec::new(); num];
         let mut stats = crate::stats::KernelStats::default();
@@ -396,9 +434,7 @@ mod tests {
     #[test]
     fn hop_latency_delays_arrival() {
         let prog = spmv_program_2x2();
-        let j = (0..prog.n)
-            .find(|&j| prog.x_tree[j].is_some())
-            .unwrap();
+        let j = (0..prog.n).find(|&j| prog.x_tree[j].is_some()).unwrap();
         let tree_id = prog.x_tree[j].unwrap() as usize;
         let root = prog.trees[tree_id].root();
         let num = prog.grid.num_tiles();
@@ -407,7 +443,12 @@ mod tests {
             let mut routers: Vec<Router> = (0..num as u32).map(|t| Router::new(t, 16)).collect();
             routers[root as usize].inject(
                 0,
-                Flit { kind: FlitKind::X, idx: j as u32, val: 1.0, outbound: true },
+                Flit {
+                    kind: FlitKind::X,
+                    idx: j as u32,
+                    val: 1.0,
+                    outbound: true,
+                },
             );
             let mut deliveries: Vec<Vec<Delivery>> = vec![Vec::new(); num];
             let mut stats = crate::stats::KernelStats::default();

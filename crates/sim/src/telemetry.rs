@@ -1,0 +1,145 @@
+//! Bridges simulator statistics into `azul-telemetry` report types.
+//!
+//! [`KernelStats`](crate::stats::KernelStats) is the simulator's native
+//! accounting; `azul_telemetry::TelemetryReport` is the exportable
+//! document. This module converts between them so the CLI and benches
+//! share one code path: aggregate counters, the per-PE/per-link detail
+//! collected under `SimConfig::detailed_stats`, and scenario metadata
+//! from the [`SimConfig`](crate::config::SimConfig).
+
+use crate::config::SimConfig;
+use crate::stats::KernelStats;
+use azul_mapping::TileGrid;
+use azul_telemetry::report::{LinkEntry, PeEntry, TelemetryReport};
+
+/// Converts per-PE detail into report entries with grid coordinates.
+/// Empty when detail collection was disabled.
+pub fn pe_entries(grid: TileGrid, stats: &KernelStats) -> Vec<PeEntry> {
+    stats
+        .pe
+        .iter()
+        .enumerate()
+        .map(|(t, pe)| {
+            let (x, y) = grid.coord(t as u32);
+            PeEntry {
+                tile: t as u32,
+                x: x as u32,
+                y: y as u32,
+                ops: pe.ops,
+                stall_cycles: pe.stall_cycles,
+                idle_cycles: pe.idle_cycles,
+                sram_reads: pe.sram_reads,
+                accum_rmws: pe.accum_rmws,
+                spills: pe.spills,
+                msg_queue_hwm: pe.msg_queue_hwm,
+            }
+        })
+        .collect()
+}
+
+/// Converts per-router link detail into report entries with grid
+/// coordinates. Empty when detail collection was disabled.
+pub fn link_entries(grid: TileGrid, stats: &KernelStats) -> Vec<LinkEntry> {
+    stats
+        .links
+        .iter()
+        .enumerate()
+        .map(|(t, link)| {
+            let (x, y) = grid.coord(t as u32);
+            LinkEntry {
+                tile: t as u32,
+                x: x as u32,
+                y: y as u32,
+                out: link.out,
+                router_traversals: link.router_traversals,
+            }
+        })
+        .collect()
+}
+
+/// Fills `report` with everything `stats` knows: aggregate counters,
+/// grid dimensions, and (when collected) per-PE/per-link detail.
+///
+/// For a single cycle-simulated kernel the per-PE/per-link sums equal
+/// the aggregates exactly. For a full solver run the aggregates also
+/// include the analytic vector-op model's contributions (dot products,
+/// axpys), which carry no per-tile attribution, so the aggregates can
+/// exceed the detail sums.
+pub fn fill_report(report: &mut TelemetryReport, cfg: &SimConfig, stats: &KernelStats) {
+    report.grid_width = cfg.grid.width();
+    report.grid_height = cfg.grid.height();
+    report.counter("cycles", stats.cycles);
+    for (name, count) in azul_telemetry::report::OP_NAMES.iter().zip(stats.ops) {
+        report.counter(&format!("ops_{name}"), count);
+    }
+    report.counter("overhead_cycles", stats.overhead_cycles);
+    report.counter("stall_cycles", stats.stall_cycles);
+    report.counter("idle_cycles", stats.idle_cycles);
+    report.counter("messages", stats.messages);
+    report.counter("link_activations", stats.link_activations);
+    report.counter("router_traversals", stats.router_traversals);
+    report.counter("sram_reads", stats.sram_reads);
+    report.counter("accum_rmws", stats.accum_rmws);
+    report.counter("spills", stats.spills);
+    report.pe = pe_entries(cfg.grid, stats);
+    report.links = link_entries(cfg.grid, stats);
+}
+
+/// Adds the standard scenario fields derived from a [`SimConfig`].
+pub fn describe_config(report: &mut TelemetryReport, cfg: &SimConfig) {
+    report.scenario_field("pe_model", format!("{:?}", cfg.pe_model).as_str());
+    report.scenario_field("grid_width", cfg.grid.width() as u64);
+    report.scenario_field("grid_height", cfg.grid.height() as u64);
+    report.scenario_field("contexts", cfg.contexts as u64);
+    report.scenario_field("sram_latency", cfg.sram_latency as u64);
+    report.scenario_field("hop_latency", cfg.hop_latency as u64);
+    report.scenario_field("clock_ghz", cfg.clock_ghz);
+    report.scenario_field("detailed_stats", cfg.detailed_stats);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::run_kernel;
+    use crate::program::Program;
+    use azul_mapping::strategies::{Mapper, RoundRobinMapper};
+    use azul_sparse::generate;
+
+    #[test]
+    fn report_conversion_preserves_totals() {
+        let a = generate::fem_mesh_3d(150, 6, 5);
+        let grid = TileGrid::square(4);
+        let p = RoundRobinMapper.map(&a, grid);
+        let prog = Program::compile_spmv(&a, &p);
+        let mut cfg = SimConfig::azul(grid);
+        cfg.detailed_stats = true;
+        let x: Vec<f64> = (0..a.rows()).map(|i| 1.0 + (i % 7) as f64).collect();
+        let (_, stats) = run_kernel(&cfg, &prog, &x);
+
+        let mut report = TelemetryReport::default();
+        describe_config(&mut report, &cfg);
+        fill_report(&mut report, &cfg, &stats);
+
+        assert_eq!(report.counter_value("cycles"), Some(stats.cycles));
+        assert_eq!(report.pe.len(), grid.num_tiles());
+        assert_eq!(report.links.len(), grid.num_tiles());
+        // Totals across entries equal the aggregates.
+        let pe_ops: u64 = report.pe.iter().map(PeEntry::total_ops).sum();
+        assert_eq!(pe_ops, stats.total_ops());
+        let link_out: u64 = report.links.iter().map(LinkEntry::total_out).sum();
+        assert_eq!(link_out, stats.link_activations);
+        // Coordinates match the grid layout.
+        for pe in &report.pe {
+            assert_eq!(
+                grid.coord(pe.tile),
+                (pe.x as usize, pe.y as usize),
+                "tile {} coordinates",
+                pe.tile
+            );
+        }
+        // The utilization heatmap has one cell per tile.
+        let util = report.pe_utilization_grid();
+        assert_eq!(util.values.len(), grid.num_tiles());
+        assert!(util.values.iter().any(|&v| v > 0.0));
+    }
+}

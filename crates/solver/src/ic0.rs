@@ -226,7 +226,9 @@ mod tests {
             crate::kernels::sptrsv_lower_transpose(&l, &y)
         };
         let u: Vec<f64> = (0..100).map(|i| ((i % 13) as f64) / 13.0 - 0.4).collect();
-        let v: Vec<f64> = (0..100).map(|i| ((i * 7 % 11) as f64) / 11.0 - 0.5).collect();
+        let v: Vec<f64> = (0..100)
+            .map(|i| ((i * 7 % 11) as f64) / 11.0 - 0.5)
+            .collect();
         // Symmetry: u . M^-1 v == v . M^-1 u
         let lhs = dense::dot(&u, &apply(&v));
         let rhs = dense::dot(&v, &apply(&u));

@@ -107,7 +107,13 @@ mod tests {
         Coo::from_triplets(
             3,
             3,
-            [(0, 0, 2.0), (1, 0, 1.0), (1, 1, 3.0), (2, 1, -1.0), (2, 2, 4.0)],
+            [
+                (0, 0, 2.0),
+                (1, 0, 1.0),
+                (1, 1, 3.0),
+                (2, 1, -1.0),
+                (2, 2, 4.0),
+            ],
         )
         .unwrap()
         .to_csr()
@@ -154,7 +160,9 @@ mod tests {
     fn random_lower_roundtrip() {
         let a = generate::fem_mesh_3d(200, 6, 23);
         let l = a.lower_triangle();
-        let x_true: Vec<f64> = (0..200).map(|i| ((i * 37 % 100) as f64) / 50.0 - 1.0).collect();
+        let x_true: Vec<f64> = (0..200)
+            .map(|i| ((i * 37 % 100) as f64) / 50.0 - 1.0)
+            .collect();
         let b = l.spmv(&x_true);
         let x = sptrsv_lower(&l, &b);
         assert!(dense::rel_l2_diff(&x, &x_true) < 1e-10);

@@ -138,7 +138,9 @@ mod tests {
     use azul_sparse::generate;
 
     fn rhs(n: usize) -> Vec<f64> {
-        (0..n).map(|i| ((i * 31 % 17) as f64) / 17.0 + 0.1).collect()
+        (0..n)
+            .map(|i| ((i * 31 % 17) as f64) / 17.0 + 0.1)
+            .collect()
     }
 
     #[test]

@@ -228,8 +228,8 @@ mod tests {
 
     #[test]
     fn unsorted_input_sorts_correctly() {
-        let m = Coo::from_triplets(3, 3, [(2, 1, 1.0), (0, 2, 2.0), (1, 0, 3.0), (0, 0, 4.0)])
-            .unwrap();
+        let m =
+            Coo::from_triplets(3, 3, [(2, 1, 1.0), (0, 2, 2.0), (1, 0, 3.0), (0, 0, 4.0)]).unwrap();
         let csr = m.to_csr();
         assert_eq!(csr.get(2, 1), 1.0);
         assert_eq!(csr.get(0, 2), 2.0);

@@ -149,7 +149,13 @@ mod tests {
         let a = Coo::from_triplets(
             3,
             4,
-            [(0, 0, 1.0), (0, 3, 2.0), (1, 1, 3.0), (2, 0, 4.0), (2, 2, 5.0)],
+            [
+                (0, 0, 1.0),
+                (0, 3, 2.0),
+                (1, 1, 3.0),
+                (2, 0, 4.0),
+                (2, 2, 5.0),
+            ],
         )
         .unwrap()
         .to_csr();
@@ -175,7 +181,13 @@ mod tests {
         let coo = Coo::from_triplets(
             3,
             3,
-            [(0, 0, 1.0), (0, 2, 2.0), (1, 1, 3.0), (2, 0, 4.0), (2, 2, 5.0)],
+            [
+                (0, 0, 1.0),
+                (0, 2, 2.0),
+                (1, 1, 3.0),
+                (2, 0, 4.0),
+                (2, 2, 5.0),
+            ],
         )
         .unwrap();
         let x = [1.0, 2.0, 3.0];

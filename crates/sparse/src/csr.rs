@@ -330,7 +330,10 @@ impl Csr {
     /// Panics if the matrix is not square or the permutation length differs
     /// from the dimension.
     pub fn permute_symmetric(&self, perm: &Permutation) -> Csr {
-        assert_eq!(self.rows, self.cols, "symmetric permutation needs square matrix");
+        assert_eq!(
+            self.rows, self.cols,
+            "symmetric permutation needs square matrix"
+        );
         assert_eq!(perm.len(), self.rows, "permutation length mismatch");
         let mut coo = crate::Coo::with_capacity(self.rows, self.cols, self.nnz());
         for (r, c, v) in self.iter() {
@@ -372,7 +375,13 @@ mod tests {
         Coo::from_triplets(
             3,
             3,
-            [(0, 0, 1.0), (0, 2, 2.0), (1, 1, 3.0), (2, 0, 4.0), (2, 2, 5.0)],
+            [
+                (0, 0, 1.0),
+                (0, 2, 2.0),
+                (1, 1, 3.0),
+                (2, 0, 4.0),
+                (2, 2, 5.0),
+            ],
         )
         .unwrap()
         .to_csr()

@@ -73,9 +73,7 @@ pub fn sub(x: &[f64], y: &[f64]) -> Vec<f64> {
 /// Panics if `x.len() != y.len()`.
 pub fn max_abs_diff(x: &[f64], y: &[f64]) -> f64 {
     assert_eq!(x.len(), y.len(), "operand length mismatch");
-    x.iter()
-        .zip(y)
-        .fold(0.0, |m, (a, b)| m.max((a - b).abs()))
+    x.iter().zip(y).fold(0.0, |m, (a, b)| m.max((a - b).abs()))
 }
 
 /// Relative L2 difference `||x - y|| / max(||y||, eps)`.

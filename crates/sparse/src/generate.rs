@@ -54,7 +54,10 @@ pub fn grid_laplacian_2d(nx: usize, ny: usize) -> Csr {
 ///
 /// Panics if any dimension is zero.
 pub fn grid_laplacian_3d(nx: usize, ny: usize, nz: usize) -> Csr {
-    assert!(nx > 0 && ny > 0 && nz > 0, "grid dimensions must be positive");
+    assert!(
+        nx > 0 && ny > 0 && nz > 0,
+        "grid dimensions must be positive"
+    );
     let n = nx * ny * nz;
     let mut coo = Coo::with_capacity(n, n, 7 * n);
     let idx = |x: usize, y: usize, z: usize| (z * ny + y) * nx + x;
@@ -286,7 +289,11 @@ mod tests {
         for i in 0..a.rows() {
             let d = a.get(i, i);
             assert!(d > 0.0, "diagonal {i} must be positive");
-            let off: f64 = a.row(i).filter(|&(c, _)| c != i).map(|(_, v)| v.abs()).sum();
+            let off: f64 = a
+                .row(i)
+                .filter(|&(c, _)| c != i)
+                .map(|(_, v)| v.abs())
+                .sum();
             assert!(d >= off, "row {i} must be diagonally dominant");
         }
     }

@@ -46,11 +46,7 @@ pub fn read_matrix_market<R: Read>(reader: R) -> Result<Csr> {
     let symmetric = match fields.get(4).copied().unwrap_or("general") {
         "general" => false,
         "symmetric" => true,
-        other => {
-            return Err(SparseError::Parse(format!(
-                "unsupported symmetry: {other}"
-            )))
-        }
+        other => return Err(SparseError::Parse(format!("unsupported symmetry: {other}"))),
     };
 
     // Skip comments, read size line.
@@ -103,7 +99,9 @@ pub fn read_matrix_market<R: Read>(reader: R) -> Result<Csr> {
                 .map_err(|e| SparseError::Parse(format!("bad value: {e}")))?
         };
         if r == 0 || c == 0 {
-            return Err(SparseError::Parse("matrix market indices are 1-based".into()));
+            return Err(SparseError::Parse(
+                "matrix market indices are 1-based".into(),
+            ));
         }
         if symmetric {
             coo.push_sym(r - 1, c - 1, v)?;

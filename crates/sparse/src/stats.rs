@@ -29,11 +29,7 @@ impl MatrixStats {
         let n = a.rows();
         let nnz = a.nnz();
         let max_row_nnz = (0..n).map(|r| a.row_nnz(r)).max().unwrap_or(0);
-        let bandwidth = a
-            .iter()
-            .map(|(r, c, _)| r.abs_diff(c))
-            .max()
-            .unwrap_or(0);
+        let bandwidth = a.iter().map(|(r, c, _)| r.abs_diff(c)).max().unwrap_or(0);
         MatrixStats {
             n,
             nnz,

@@ -186,7 +186,14 @@ pub fn suite_64k() -> Vec<MatrixSpec> {
 /// The six representative matrices of Figs. 1, 3, 9, 10, 11 and Table I,
 /// in the paper's order.
 pub fn representative() -> Vec<MatrixSpec> {
-    let wanted = ["crankseg_1", "m_t1", "shipsec1", "consph", "thermal2", "apache2"];
+    let wanted = [
+        "crankseg_1",
+        "m_t1",
+        "shipsec1",
+        "consph",
+        "thermal2",
+        "apache2",
+    ];
     let all = suite_4k();
     wanted
         .iter()
@@ -241,7 +248,14 @@ mod tests {
         let names: Vec<&str> = representative().iter().map(|s| s.name).collect();
         assert_eq!(
             names,
-            vec!["crankseg_1", "m_t1", "shipsec1", "consph", "thermal2", "apache2"]
+            vec![
+                "crankseg_1",
+                "m_t1",
+                "shipsec1",
+                "consph",
+                "thermal2",
+                "apache2"
+            ]
         );
     }
 

@@ -1,0 +1,151 @@
+//! Terminal heatmap rendering for per-tile quantities.
+//!
+//! Renders a [`GridF64`](crate::report::GridF64) — one value per tile of
+//! the PE grid — as an ASCII intensity map with a scale legend, suitable
+//! for dumping to a terminal from `azul-report`. Cells map linearly from
+//! `[min, max]` onto a ten-step density ramp; each cell prints two
+//! characters wide so the output is roughly square on common fonts.
+
+use crate::report::GridF64;
+
+/// Density ramp, light to dark.
+const RAMP: &[u8] = b" .:-=+*#%@";
+
+/// Renders `grid` with a `title` line and a min/mean/max legend.
+///
+/// `unit` labels the legend values (e.g. `"ops/cycle"`, `"flits"`).
+pub fn render(grid: &GridF64, title: &str, unit: &str) -> String {
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    if grid.values.is_empty() || grid.width == 0 || grid.height == 0 {
+        out.push_str("  (empty grid)\n");
+        return out;
+    }
+
+    let min = grid.values.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = grid
+        .values
+        .iter()
+        .copied()
+        .fold(f64::NEG_INFINITY, f64::max);
+    let mean = grid.values.iter().sum::<f64>() / grid.values.len() as f64;
+    let span = (max - min).max(f64::MIN_POSITIVE);
+
+    // Column header: tens digit only when the grid is wide.
+    out.push_str("    +");
+    out.push_str(&"--".repeat(grid.width));
+    out.push_str("+\n");
+    for y in 0..grid.height {
+        out.push_str(&format!("{y:>3} |"));
+        for x in 0..grid.width {
+            let v = grid.values[y * grid.width + x];
+            let norm = ((v - min) / span).clamp(0.0, 1.0);
+            let idx = (norm * (RAMP.len() - 1) as f64).round() as usize;
+            let c = RAMP[idx] as char;
+            out.push(c);
+            out.push(c);
+        }
+        out.push_str("|\n");
+    }
+    out.push_str("    +");
+    out.push_str(&"--".repeat(grid.width));
+    out.push_str("+\n");
+    out.push_str(&format!(
+        "    min {min:.4} | mean {mean:.4} | max {max:.4} {unit}   scale: '{}' -> '{}'\n",
+        RAMP[0] as char,
+        RAMP[RAMP.len() - 1] as char
+    ));
+    out
+}
+
+/// Renders a sparkline-style residual-convergence strip: one character
+/// per iteration, height mapped from `log10(residual)`.
+pub fn render_convergence(residuals: &[f64], title: &str) -> String {
+    const BARS: &[char] = &['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    if residuals.is_empty() {
+        out.push_str("  (no iterations)\n");
+        return out;
+    }
+    let logs: Vec<f64> = residuals
+        .iter()
+        .map(|&r| r.max(f64::MIN_POSITIVE).log10())
+        .collect();
+    let min = logs.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = logs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let span = (max - min).max(f64::MIN_POSITIVE);
+    out.push_str("  ");
+    for &l in &logs {
+        let norm = (l - min) / span;
+        let idx = (norm * (BARS.len() - 1) as f64).round() as usize;
+        out.push(BARS[idx]);
+    }
+    out.push('\n');
+    out.push_str(&format!(
+        "  {} iterations, residual {:.3e} -> {:.3e}\n",
+        residuals.len(),
+        residuals.first().unwrap(),
+        residuals.last().unwrap()
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_all_cells_with_legend() {
+        let grid = GridF64 {
+            width: 4,
+            height: 2,
+            values: (0..8).map(|i| i as f64).collect(),
+        };
+        let s = render(&grid, "utilization", "ops/cycle");
+        assert!(s.starts_with("utilization\n"));
+        // 2 data rows, each 4 cells * 2 chars wide.
+        let rows: Vec<&str> = s
+            .lines()
+            .filter(|l| l.contains('|') && !l.contains("mean"))
+            .collect();
+        assert_eq!(rows.len(), 2);
+        assert!(rows[0].contains("  "), "min cell renders as spaces");
+        assert!(rows[1].ends_with("@@|"), "max cell renders as '@'");
+        assert!(s.contains("min 0.0000"));
+        assert!(s.contains("max 7.0000 ops/cycle"));
+    }
+
+    #[test]
+    fn uniform_grid_does_not_divide_by_zero() {
+        let grid = GridF64 {
+            width: 2,
+            height: 2,
+            values: vec![3.0; 4],
+        };
+        let s = render(&grid, "flat", "x");
+        assert!(s.contains("min 3.0000 | mean 3.0000 | max 3.0000"));
+    }
+
+    #[test]
+    fn convergence_strip_has_one_char_per_iteration() {
+        let residuals = vec![1.0, 0.1, 0.01, 1e-6];
+        let s = render_convergence(&residuals, "pcg residual");
+        let strip = s.lines().nth(1).unwrap().trim();
+        assert_eq!(strip.chars().count(), residuals.len());
+        assert!(s.contains("4 iterations"));
+    }
+
+    #[test]
+    fn empty_inputs_render_placeholders() {
+        let grid = GridF64 {
+            width: 0,
+            height: 0,
+            values: vec![],
+        };
+        assert!(render(&grid, "t", "u").contains("(empty grid)"));
+        assert!(render_convergence(&[], "t").contains("(no iterations)"));
+    }
+}

@@ -1,0 +1,49 @@
+//! Telemetry subsystem for the Azul reproduction.
+//!
+//! This crate is the observability layer shared by the simulator, the
+//! mapping pipeline, and the CLI/bench drivers. It is dependency-free
+//! (the build environment has no registry access) and deliberately
+//! simulator-agnostic: `azul-sim` and friends convert their internal
+//! statistics into the types here.
+//!
+//! The pieces:
+//!
+//! * [`span`] — a minimal tracing-style layer: RAII phase spans with
+//!   wall-clock timing, optional simulated-cycle attribution, nesting,
+//!   and pluggable subscribers ([`span::Collector`] accumulates records
+//!   for report export, [`span::StderrSubscriber`] prints them live).
+//!   When no subscriber is installed a span costs one atomic load.
+//! * [`report`] — the [`report::TelemetryReport`] document: scenario
+//!   metadata, phase spans, aggregate counters, per-PE and per-link
+//!   detail, and per-iteration convergence samples, with JSON export.
+//! * [`json`] — a small JSON document model, writer, and strict parser
+//!   (the offline stand-in for `serde_json`).
+//! * [`heatmap`] — terminal rendering of per-tile grids and residual
+//!   convergence strips for `azul-report`.
+//!
+//! A typical producer:
+//!
+//! ```
+//! use azul_telemetry::report::TelemetryReport;
+//! use azul_telemetry::span::{self, Collector};
+//!
+//! let collector = Collector::install();
+//! {
+//!     let mut s = span::span("kernel/spmv");
+//!     s.record_cycles(1_000);
+//! }
+//! let mut report = TelemetryReport::default();
+//! report.scenario_field("matrix", "demo");
+//! report.counter("cycles", 1_000);
+//! report.absorb_spans(collector.drain());
+//! span::uninstall();
+//! let json = report.to_json().to_string_pretty();
+//! assert!(json.contains("kernel/spmv"));
+//! ```
+
+pub mod heatmap;
+pub mod json;
+pub mod report;
+pub mod span;
+
+pub use report::TelemetryReport;

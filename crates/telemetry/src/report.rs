@@ -1,0 +1,422 @@
+//! The exportable telemetry report.
+//!
+//! [`TelemetryReport`] is the single document a simulation scenario
+//! produces: scenario identification, phase spans (from
+//! [`crate::span`]), aggregate kernel counters, per-PE and per-link
+//! detail, and the solver convergence history. It serializes to JSON via
+//! [`TelemetryReport::to_json`] (see [`crate::json`]) and feeds the
+//! terminal heatmaps in [`crate::heatmap`].
+//!
+//! The report is deliberately simulator-agnostic: `azul-sim` converts
+//! its `KernelStats`/`PeStats`/`LinkStats` into these types, and
+//! anything that can name its phases and counters can produce one.
+
+use crate::json::{ToJson, Value};
+use crate::span::SpanRecord;
+
+/// Operation-class labels, index-aligned with the simulator's op table.
+pub const OP_NAMES: [&str; 4] = ["fmac", "add", "mul", "send"];
+
+/// Outgoing-link direction labels, index-aligned with the simulator's
+/// router direction indices (`PORT_E`/`PORT_W`/`PORT_N`/`PORT_S`).
+pub const LINK_DIRS: [&str; 4] = ["east", "west", "north", "south"];
+
+/// A row-major `height x width` grid of per-tile values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GridF64 {
+    /// Tiles per row.
+    pub width: usize,
+    /// Rows.
+    pub height: usize,
+    /// `values[y * width + x]` is the tile at `(x, y)`.
+    pub values: Vec<f64>,
+}
+
+impl GridF64 {
+    /// An all-zero grid.
+    pub fn zeros(width: usize, height: usize) -> GridF64 {
+        GridF64 {
+            width,
+            height,
+            values: vec![0.0; width * height],
+        }
+    }
+}
+
+impl ToJson for GridF64 {
+    fn to_json(&self) -> Value {
+        Value::object()
+            .field("width", self.width)
+            .field("height", self.height)
+            .field("values", &self.values)
+    }
+}
+
+/// One closed phase span, flattened for the report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseSpan {
+    /// Phase name, e.g. `"mapping"` or `"kernel/spmv"`.
+    pub name: String,
+    /// Nesting depth (0 = top level).
+    pub depth: usize,
+    /// Wall-clock milliseconds.
+    pub wall_ms: f64,
+    /// Simulated cycles attributed to the phase, if any.
+    pub cycles: Option<u64>,
+}
+
+impl From<SpanRecord> for PhaseSpan {
+    fn from(r: SpanRecord) -> Self {
+        PhaseSpan {
+            wall_ms: r.wall_ms(),
+            name: r.name,
+            depth: r.depth,
+            cycles: r.cycles,
+        }
+    }
+}
+
+impl ToJson for PhaseSpan {
+    fn to_json(&self) -> Value {
+        Value::object()
+            .field("name", &self.name)
+            .field("depth", self.depth)
+            .field("wall_ms", self.wall_ms)
+            .field("cycles", self.cycles)
+    }
+}
+
+/// Per-PE counters for one tile.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PeEntry {
+    /// Linear tile id.
+    pub tile: u32,
+    /// Tile x coordinate.
+    pub x: u32,
+    /// Tile y coordinate.
+    pub y: u32,
+    /// Issued ops by class, indexed as [`OP_NAMES`].
+    pub ops: [u64; 4],
+    /// Cycles stalled on backpressure.
+    pub stall_cycles: u64,
+    /// Cycles active but with nothing to issue.
+    pub idle_cycles: u64,
+    /// Operand SRAM reads.
+    pub sram_reads: u64,
+    /// Read-modify-write accumulator updates.
+    pub accum_rmws: u64,
+    /// Message-buffer overflows to SRAM.
+    pub spills: u64,
+    /// Message-queue occupancy high-water mark.
+    pub msg_queue_hwm: u64,
+}
+
+impl PeEntry {
+    /// Total issued ops across all classes.
+    pub fn total_ops(&self) -> u64 {
+        self.ops.iter().sum()
+    }
+}
+
+impl ToJson for PeEntry {
+    fn to_json(&self) -> Value {
+        let mut ops = Value::object();
+        for (name, count) in OP_NAMES.iter().zip(self.ops) {
+            ops = ops.field(name, count);
+        }
+        Value::object()
+            .field("tile", self.tile)
+            .field("x", self.x)
+            .field("y", self.y)
+            .field("ops", ops)
+            .field("stall_cycles", self.stall_cycles)
+            .field("idle_cycles", self.idle_cycles)
+            .field("sram_reads", self.sram_reads)
+            .field("accum_rmws", self.accum_rmws)
+            .field("spills", self.spills)
+            .field("msg_queue_hwm", self.msg_queue_hwm)
+    }
+}
+
+/// Per-router link counters for one tile.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LinkEntry {
+    /// Linear tile id of the router.
+    pub tile: u32,
+    /// Tile x coordinate.
+    pub x: u32,
+    /// Tile y coordinate.
+    pub y: u32,
+    /// Flits sent on each outgoing link, indexed as [`LINK_DIRS`].
+    pub out: [u64; 4],
+    /// Flits that traversed this router (any port).
+    pub router_traversals: u64,
+}
+
+impl LinkEntry {
+    /// Total outgoing flits across the four links.
+    pub fn total_out(&self) -> u64 {
+        self.out.iter().sum()
+    }
+}
+
+impl ToJson for LinkEntry {
+    fn to_json(&self) -> Value {
+        let mut out = Value::object();
+        for (dir, count) in LINK_DIRS.iter().zip(self.out) {
+            out = out.field(dir, count);
+        }
+        Value::object()
+            .field("tile", self.tile)
+            .field("x", self.x)
+            .field("y", self.y)
+            .field("out", out)
+            .field("router_traversals", self.router_traversals)
+    }
+}
+
+/// One solver iteration's telemetry: the residual plus what the
+/// iteration cost, as deltas against the previous iteration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IterationSample {
+    /// Iteration number (1-based, matching solver reporting).
+    pub iteration: usize,
+    /// Preconditioned/true residual norm after the iteration.
+    pub residual: f64,
+    /// Simulated cycles this iteration.
+    pub cycles: u64,
+    /// Floating-point operations this iteration.
+    pub flops: u64,
+    /// Messages injected this iteration.
+    pub messages: u64,
+    /// Link activations (flit-hops) this iteration.
+    pub link_activations: u64,
+}
+
+impl ToJson for IterationSample {
+    fn to_json(&self) -> Value {
+        Value::object()
+            .field("iteration", self.iteration)
+            .field("residual", self.residual)
+            .field("cycles", self.cycles)
+            .field("flops", self.flops)
+            .field("messages", self.messages)
+            .field("link_activations", self.link_activations)
+    }
+}
+
+/// The complete telemetry document for one scenario run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TelemetryReport {
+    /// Scenario identification: matrix, mapper, config, ... Values keep
+    /// insertion order in the JSON output.
+    pub scenario: Vec<(String, Value)>,
+    /// Closed phase spans, in close order (children before parents).
+    pub phases: Vec<PhaseSpan>,
+    /// Aggregate kernel counters by name.
+    pub counters: Vec<(String, u64)>,
+    /// PE-grid width (tiles per row); 0 when no detail was collected.
+    pub grid_width: usize,
+    /// PE-grid height.
+    pub grid_height: usize,
+    /// Per-PE detail (empty unless detailed stats were enabled).
+    pub pe: Vec<PeEntry>,
+    /// Per-router link detail (empty unless detailed stats were enabled).
+    pub links: Vec<LinkEntry>,
+    /// Convergence history, one sample per solver iteration.
+    pub convergence: Vec<IterationSample>,
+}
+
+impl TelemetryReport {
+    /// Schema version stamped into the JSON output.
+    pub const SCHEMA_VERSION: u32 = 1;
+
+    /// Adds a scenario field.
+    pub fn scenario_field(&mut self, key: &str, value: impl ToJson) {
+        self.scenario.push((key.to_string(), value.to_json()));
+    }
+
+    /// Adds a named aggregate counter.
+    pub fn counter(&mut self, name: &str, value: u64) {
+        self.counters.push((name.to_string(), value));
+    }
+
+    /// Looks up an aggregate counter by name.
+    pub fn counter_value(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, v)| v)
+    }
+
+    /// Absorbs span records (e.g. from a drained
+    /// [`Collector`](crate::span::Collector)) as phase spans.
+    pub fn absorb_spans(&mut self, records: Vec<SpanRecord>) {
+        self.phases.extend(records.into_iter().map(PhaseSpan::from));
+    }
+
+    /// Per-PE utilization grid: total ops issued by the tile divided by
+    /// total kernel cycles (0 when cycles are unknown).
+    pub fn pe_utilization_grid(&self) -> GridF64 {
+        let cycles = self.counter_value("cycles").unwrap_or(0).max(1) as f64;
+        let mut grid = GridF64::zeros(self.grid_width, self.grid_height);
+        for pe in &self.pe {
+            let (x, y) = (pe.x as usize, pe.y as usize);
+            if x < grid.width && y < grid.height {
+                grid.values[y * grid.width + x] = pe.total_ops() as f64 / cycles;
+            }
+        }
+        grid
+    }
+
+    /// Per-tile outgoing link traffic grid (total flits over the four
+    /// outgoing links of each router).
+    pub fn link_traffic_grid(&self) -> GridF64 {
+        let mut grid = GridF64::zeros(self.grid_width, self.grid_height);
+        for link in &self.links {
+            let (x, y) = (link.x as usize, link.y as usize);
+            if x < grid.width && y < grid.height {
+                grid.values[y * grid.width + x] = link.total_out() as f64;
+            }
+        }
+        grid
+    }
+
+    /// Residual norms in iteration order.
+    pub fn residual_history(&self) -> Vec<f64> {
+        self.convergence.iter().map(|s| s.residual).collect()
+    }
+
+    /// Serializes the full report.
+    pub fn to_json(&self) -> Value {
+        let mut scenario = Value::object();
+        for (k, v) in &self.scenario {
+            scenario = scenario.field(k, v.clone());
+        }
+        let mut counters = Value::object();
+        for (k, v) in &self.counters {
+            counters = counters.field(k, *v);
+        }
+        Value::object()
+            .field("schema_version", Self::SCHEMA_VERSION as u64)
+            .field("scenario", scenario)
+            .field("phases", &self.phases)
+            .field("counters", counters)
+            .field(
+                "grid",
+                Value::object()
+                    .field("width", self.grid_width)
+                    .field("height", self.grid_height),
+            )
+            .field("pe", &self.pe)
+            .field("links", &self.links)
+            .field("pe_utilization", self.pe_utilization_grid())
+            .field("link_traffic", self.link_traffic_grid())
+            .field("convergence", &self.convergence)
+    }
+
+    /// Writes pretty-printed JSON to `path`.
+    pub fn write_json(&self, path: &std::path::Path) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json().to_string_pretty())
+    }
+}
+
+impl ToJson for TelemetryReport {
+    fn to_json(&self) -> Value {
+        TelemetryReport::to_json(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+
+    fn sample_report() -> TelemetryReport {
+        let mut report = TelemetryReport {
+            grid_width: 2,
+            grid_height: 2,
+            ..Default::default()
+        };
+        report.scenario_field("matrix", "fem_mesh_3d");
+        report.scenario_field("n", 100u64);
+        report.counter("cycles", 1000);
+        report.counter("messages", 42);
+        for tile in 0..4u32 {
+            report.pe.push(PeEntry {
+                tile,
+                x: tile % 2,
+                y: tile / 2,
+                ops: [tile as u64 * 10, 1, 2, 3],
+                ..Default::default()
+            });
+            report.links.push(LinkEntry {
+                tile,
+                x: tile % 2,
+                y: tile / 2,
+                out: [tile as u64, 0, 1, 0],
+                router_traversals: 5,
+            });
+        }
+        report.convergence.push(IterationSample {
+            iteration: 1,
+            residual: 0.5,
+            cycles: 500,
+            flops: 100,
+            messages: 20,
+            link_activations: 60,
+        });
+        report.phases.push(PhaseSpan {
+            name: "mapping".into(),
+            depth: 0,
+            wall_ms: 1.5,
+            cycles: None,
+        });
+        report
+    }
+
+    #[test]
+    fn utilization_grid_reflects_ops_over_cycles() {
+        let report = sample_report();
+        let grid = report.pe_utilization_grid();
+        assert_eq!(grid.width, 2);
+        // Tile 3 at (1,1): ops 30+1+2+3 = 36 over 1000 cycles.
+        assert!((grid.values[3] - 0.036).abs() < 1e-12);
+    }
+
+    #[test]
+    fn json_roundtrips_through_parser() {
+        let report = sample_report();
+        let text = report.to_json().to_string_pretty();
+        let v = json::parse(&text).expect("valid JSON");
+        assert_eq!(v.get("schema_version").and_then(Value::as_u64), Some(1));
+        assert_eq!(
+            v.get("scenario")
+                .and_then(|s| s.get("matrix"))
+                .and_then(Value::as_str),
+            Some("fem_mesh_3d")
+        );
+        assert_eq!(
+            v.get("counters")
+                .and_then(|c| c.get("cycles"))
+                .and_then(Value::as_u64),
+            Some(1000)
+        );
+        assert_eq!(
+            v.get("pe").and_then(Value::as_arr).map(<[Value]>::len),
+            Some(4)
+        );
+        let conv = v.get("convergence").and_then(Value::as_arr).unwrap();
+        assert_eq!(conv[0].get("residual").and_then(Value::as_f64), Some(0.5));
+        let util = v.get("pe_utilization").unwrap();
+        assert_eq!(util.get("width").and_then(Value::as_u64), Some(2));
+    }
+
+    #[test]
+    fn counter_lookup_and_residuals() {
+        let report = sample_report();
+        assert_eq!(report.counter_value("messages"), Some(42));
+        assert_eq!(report.counter_value("nope"), None);
+        assert_eq!(report.residual_history(), vec![0.5]);
+    }
+}

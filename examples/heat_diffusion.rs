@@ -67,9 +67,7 @@ fn main() -> Result<(), azul::AzulError> {
     // Physics sanity: heat diffuses (peak falls) and is conserved up to
     // boundary losses (Dirichlet boundaries absorb heat, so total falls).
     let final_heat: f64 = u.iter().sum();
-    println!(
-        "heat: initial {initial_heat:.0}, final {final_heat:.0} (boundaries absorb)"
-    );
+    println!("heat: initial {initial_heat:.0}, final {final_heat:.0} (boundaries absorb)");
     assert!(final_heat < initial_heat);
     assert!(dense::norm_inf(&u) < 100.0);
     println!(

@@ -4,9 +4,7 @@
 //!
 //! Run with: `cargo run --release --example mapping_explorer`
 
-use azul::mapping::strategies::{
-    AzulMapper, BlockMapper, Mapper, RoundRobinMapper, SparsePMapper,
-};
+use azul::mapping::strategies::{AzulMapper, BlockMapper, Mapper, RoundRobinMapper, SparsePMapper};
 use azul::mapping::traffic::pcg_iteration_traffic;
 use azul::mapping::TileGrid;
 use azul::sim::config::SimConfig;

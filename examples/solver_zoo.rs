@@ -16,7 +16,9 @@ use azul::sparse::generate;
 
 fn main() {
     let a = generate::fem_mesh_3d(1200, 8, 7);
-    let b: Vec<f64> = (0..a.rows()).map(|i| 1.0 + ((i * 13) % 10) as f64 / 10.0).collect();
+    let b: Vec<f64> = (0..a.rows())
+        .map(|i| 1.0 + ((i * 13) % 10) as f64 / 10.0)
+        .collect();
     println!(
         "system: n={} nnz={} ({} nnz/row avg)\n",
         a.rows(),
@@ -32,7 +34,10 @@ fn main() {
     let precs: Vec<(&str, Box<dyn Preconditioner>)> = vec![
         ("CG (none)", Box::new(Identity)),
         ("PCG + Jacobi", Box::new(Jacobi::new(&a))),
-        ("PCG + symmetric Gauss-Seidel", Box::new(SymmetricGaussSeidel::new(&a))),
+        (
+            "PCG + symmetric Gauss-Seidel",
+            Box::new(SymmetricGaussSeidel::new(&a)),
+        ),
         ("PCG + SSOR(1.2)", Box::new(Ssor::new(&a, 1.2))),
         (
             "PCG + incomplete Cholesky",

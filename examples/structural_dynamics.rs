@@ -60,7 +60,9 @@ fn main() -> Result<(), azul::AzulError> {
 
     // State starts at rest; a constant force drives it.
     let mut state = vec![0.0f64; n];
-    let force: Vec<f64> = (0..n).map(|i| ((i * 31 % 11) as f64) / 11.0 - 0.3).collect();
+    let force: Vec<f64> = (0..n)
+        .map(|i| ((i * 31 % 11) as f64) / 11.0 - 0.3)
+        .collect();
 
     let t0 = std::time::Instant::now();
     let mut a = restiffen(&base, &state);

@@ -26,7 +26,10 @@ fn main() {
         "topology+mapping", "bisect lks", "cross traff", "cyc/iter", "GFLOP/s"
     );
 
-    for (tname, grid) in [("torus", TileGrid::square(8)), ("mesh", TileGrid::mesh(8, 8))] {
+    for (tname, grid) in [
+        ("torus", TileGrid::square(8)),
+        ("mesh", TileGrid::mesh(8, 8)),
+    ] {
         for (mname, placement) in [
             ("round-robin", RoundRobinMapper.map(&a, grid)),
             ("azul", AzulMapper::fast_default().map(&a, grid)),

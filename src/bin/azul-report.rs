@@ -1,0 +1,181 @@
+//! `azul-report` — run a scenario and export full telemetry.
+//!
+//! Runs one (matrix, mapper, config) PCG scenario with detailed
+//! statistics enabled, prints terminal heatmaps of per-PE utilization
+//! and per-link traffic plus the convergence history, and writes the
+//! complete [`TelemetryReport`] as JSON.
+//!
+//! ```text
+//! azul-report --matrix A.mtx [--grid 16] [--mapping azul|rr|block|sparsep]
+//!             [--tol 1e-10] [--fast] [--out report.json] [--quiet]
+//! azul-report --suite consph [--scale tiny|small|medium] ...
+//! ```
+
+use azul::mapping::strategies::AzulMapper;
+use azul::mapping::TileGrid;
+use azul::sim::telemetry::{describe_config, fill_report};
+use azul::sparse::suite::{by_name, Scale};
+use azul::sparse::Csr;
+use azul::telemetry::{heatmap, span, TelemetryReport};
+use azul::{Azul, AzulConfig, MappingStrategy};
+use std::collections::HashMap;
+use std::path::Path;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "help") {
+        println!("azul-report --matrix A.mtx | --suite NAME [--scale tiny|small|medium]");
+        println!("            [--grid 16] [--mapping azul|rr|block|sparsep] [--tol 1e-10]");
+        println!("            [--fast] [--out report.json] [--quiet]");
+        return ExitCode::SUCCESS;
+    }
+    let opts = parse_opts(&args);
+    let (name, a) = match load(&opts) {
+        Ok(x) => x,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let grid: usize = opts.get("grid").and_then(|g| g.parse().ok()).unwrap_or(16);
+    let tol: f64 = opts
+        .get("tol")
+        .and_then(|t| t.parse().ok())
+        .unwrap_or(1e-10);
+    let out = opts
+        .get("out")
+        .cloned()
+        .unwrap_or_else(|| "azul-report.json".to_string());
+    let quiet = opts.contains_key("quiet");
+
+    let mut cfg = AzulConfig::new(TileGrid::square(grid));
+    cfg.pcg.tol = tol;
+    cfg.sim.detailed_stats = true;
+    cfg.mapping = match opts.get("mapping").map(String::as_str) {
+        Some("rr") => MappingStrategy::RoundRobin,
+        Some("block") => MappingStrategy::Block,
+        Some("sparsep") => MappingStrategy::SparseP,
+        _ => MappingStrategy::Azul(if opts.contains_key("fast") {
+            AzulMapper::fast_default()
+        } else {
+            AzulMapper::default()
+        }),
+    };
+
+    // Collect phase spans for the whole prepare + solve pipeline.
+    let collector = span::Collector::install();
+    let azul = Azul::new(cfg);
+    let prepared = match azul.prepare(&a) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("prepare failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let b = vec![1.0; a.rows()];
+    let solve = prepared.solve(&b);
+    span::uninstall();
+
+    let mut report = TelemetryReport::default();
+    report.scenario_field("matrix", name.as_str());
+    report.scenario_field("n", a.rows() as u64);
+    report.scenario_field("nnz", a.nnz() as u64);
+    report.scenario_field("mapping", azul.config().mapping.name());
+    report.scenario_field("tol", tol);
+    describe_config(&mut report, &azul.config().sim);
+    fill_report(&mut report, &azul.config().sim, &solve.sim.stats);
+    report.absorb_spans(collector.drain());
+    report.convergence = solve.sim.convergence.clone();
+
+    if !quiet {
+        println!(
+            "{name}: n={} nnz={} on {grid}x{grid} tiles, {} mapping",
+            a.rows(),
+            a.nnz(),
+            azul.config().mapping.name()
+        );
+        println!(
+            "{} in {} iterations; residual {:.2e}; {:.1} GFLOP/s",
+            if solve.converged {
+                "converged"
+            } else {
+                "NOT converged"
+            },
+            solve.iterations,
+            solve.final_residual,
+            solve.gflops
+        );
+        for phase in &report.phases {
+            let cycles = phase
+                .cycles
+                .map(|c| format!(", {c} cycles"))
+                .unwrap_or_default();
+            println!(
+                "  {:indent$}{}: {:.2} ms{cycles}",
+                "",
+                phase.name,
+                phase.wall_ms,
+                indent = 2 * phase.depth
+            );
+        }
+        println!();
+        print!(
+            "{}",
+            heatmap::render(&report.pe_utilization_grid(), "PE utilization", "ops/cycle")
+        );
+        println!();
+        print!(
+            "{}",
+            heatmap::render(&report.link_traffic_grid(), "Link traffic", "flits out")
+        );
+        println!();
+        print!(
+            "{}",
+            heatmap::render_convergence(&report.residual_history(), "Residual history")
+        );
+    }
+
+    if let Err(e) = report.write_json(Path::new(&out)) {
+        eprintln!("failed to write {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("telemetry report written to {out}");
+    if solve.converged {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn parse_opts(args: &[String]) -> HashMap<String, String> {
+    let mut map = HashMap::new();
+    let mut it = args.iter().peekable();
+    while let Some(a) = it.next() {
+        if let Some(key) = a.strip_prefix("--") {
+            let val = match it.peek() {
+                Some(v) if !v.starts_with("--") => it.next().unwrap().clone(),
+                _ => "true".to_string(),
+            };
+            map.insert(key.to_string(), val);
+        }
+    }
+    map
+}
+
+fn load(opts: &HashMap<String, String>) -> Result<(String, Csr), String> {
+    if let Some(path) = opts.get("matrix") {
+        let a = azul::sparse::io::load_matrix_market(path).map_err(|e| e.to_string())?;
+        Ok((path.clone(), a))
+    } else if let Some(name) = opts.get("suite") {
+        let spec = by_name(name).ok_or_else(|| format!("unknown suite matrix {name}"))?;
+        let scale = match opts.get("scale").map(String::as_str) {
+            Some("tiny") => Scale::Tiny,
+            Some("medium") => Scale::Medium,
+            _ => Scale::Small,
+        };
+        Ok((name.clone(), spec.build(scale)))
+    } else {
+        Err("need --matrix <path.mtx> or --suite <name>".into())
+    }
+}

@@ -33,7 +33,9 @@ fn main() -> ExitCode {
         "--help" | "help" => {
             println!("azul info  --matrix A.mtx");
             println!("azul solve --matrix A.mtx | --suite NAME [--scale tiny|small|medium]");
-            println!("           [--grid 16] [--mapping azul|rr|block|sparsep] [--tol 1e-10] [--fast]");
+            println!(
+                "           [--grid 16] [--mapping azul|rr|block|sparsep] [--tol 1e-10] [--fast]"
+            );
             println!("azul suite");
             ExitCode::SUCCESS
         }
@@ -85,12 +87,26 @@ fn cmd_info(opts: &HashMap<String, String>) -> ExitCode {
         }
     };
     let s = MatrixStats::of(&a);
-    println!("{name}: n={} nnz={} ({:.1} nnz/row, max {})", s.n, s.nnz, s.avg_row_nnz, s.max_row_nnz);
-    println!("footprint: matrix {:.2} MB, vector {:.3} MB", s.matrix_mb(), s.vector_mb());
-    println!("symmetric: {}", a.is_symmetric(1e-9 * a.inf_norm().max(1.0)));
+    println!(
+        "{name}: n={} nnz={} ({:.1} nnz/row, max {})",
+        s.n, s.nnz, s.avg_row_nnz, s.max_row_nnz
+    );
+    println!(
+        "footprint: matrix {:.2} MB, vector {:.3} MB",
+        s.matrix_mb(),
+        s.vector_mb()
+    );
+    println!(
+        "symmetric: {}",
+        a.is_symmetric(1e-9 * a.inf_norm().max(1.0))
+    );
     let spmv = spmv_parallelism(&a);
     let orig = sptrsv_parallelism(&a.lower_triangle());
-    println!("parallelism: SpMV {:.0}, SpTRSV {:.0}", spmv.parallelism(), orig.parallelism());
+    println!(
+        "parallelism: SpMV {:.0}, SpTRSV {:.0}",
+        spmv.parallelism(),
+        orig.parallelism()
+    );
     let (pa, _, coloring) = color_and_permute(&a, ColoringStrategy::LargestDegreeFirst);
     let perm = sptrsv_parallelism(&pa.lower_triangle());
     println!(
@@ -111,7 +127,10 @@ fn cmd_solve(opts: &HashMap<String, String>) -> ExitCode {
         }
     };
     let grid: usize = opts.get("grid").and_then(|g| g.parse().ok()).unwrap_or(16);
-    let tol: f64 = opts.get("tol").and_then(|t| t.parse().ok()).unwrap_or(1e-10);
+    let tol: f64 = opts
+        .get("tol")
+        .and_then(|t| t.parse().ok())
+        .unwrap_or(1e-10);
     let mut cfg = AzulConfig::new(TileGrid::square(grid));
     cfg.pcg.tol = tol;
     cfg.mapping = match opts.get("mapping").map(String::as_str) {
@@ -151,7 +170,11 @@ fn cmd_solve(opts: &HashMap<String, String>) -> ExitCode {
     let report = prepared.solve(&b);
     println!(
         "{} in {} iterations; residual {:.2e}",
-        if report.converged { "converged" } else { "NOT converged" },
+        if report.converged {
+            "converged"
+        } else {
+            "NOT converged"
+        },
         report.iterations,
         report.final_residual
     );
@@ -169,7 +192,10 @@ fn cmd_solve(opts: &HashMap<String, String>) -> ExitCode {
 }
 
 fn cmd_suite() -> ExitCode {
-    println!("{:<14} {:>10} {:>12} {:>8}", "name", "paper n", "paper nnz", "family");
+    println!(
+        "{:<14} {:>10} {:>12} {:>8}",
+        "name", "paper n", "paper nnz", "family"
+    );
     for s in suite_4k() {
         println!(
             "{:<14} {:>10.2e} {:>12.2e} {:>8}",

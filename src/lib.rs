@@ -9,6 +9,7 @@
 //! * [`mapping`] — tile grids, mapping strategies, communication trees;
 //! * [`sim`] — the cycle-level accelerator simulator;
 //! * [`models`] — GPU/ALRESCHA baselines and area/power models;
+//! * [`telemetry`] — structured tracing spans, reports, and heatmaps;
 //! * the top-level [`Azul`] API.
 //!
 //! See `README.md` for a tour and `DESIGN.md` for the paper mapping.
@@ -32,3 +33,6 @@ pub use azul_sim as sim;
 
 /// Analytic baselines and physical-design models.
 pub use azul_models as models;
+
+/// Observability: spans, telemetry reports, JSON export, heatmaps.
+pub use azul_telemetry as telemetry;

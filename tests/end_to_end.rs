@@ -17,7 +17,9 @@ use azul::sparse::{dense, generate, Csr};
 use azul::{Azul, AzulConfig, MappingStrategy};
 
 fn rhs(n: usize) -> Vec<f64> {
-    (0..n).map(|i| ((i * 37 % 19) as f64) / 19.0 + 0.5).collect()
+    (0..n)
+        .map(|i| ((i * 37 % 19) as f64) / 19.0 + 0.5)
+        .collect()
 }
 
 /// The simulated accelerator's PCG must take exactly the same iteration
@@ -102,7 +104,8 @@ fn simulated_traffic_matches_static_model() {
         let (_, stats) = run_kernel(&SimConfig::ideal(grid), &prog, &x);
         let static_traffic = azul::mapping::traffic::spmv_traffic(&a, &placement);
         assert_eq!(
-            stats.link_activations, static_traffic.link_hops,
+            stats.link_activations,
+            static_traffic.link_hops,
             "{}: dynamic and static traffic disagree",
             mapper.name()
         );
@@ -173,6 +176,8 @@ fn matrix_market_roundtrip_through_pipeline() {
     let loaded: Csr = azul::sparse::io::read_matrix_market(buf.as_slice()).unwrap();
     assert_eq!(loaded, a);
     let b = rhs(a.rows());
-    let report = Azul::new(AzulConfig::small_test()).solve(&loaded, &b).unwrap();
+    let report = Azul::new(AzulConfig::small_test())
+        .solve(&loaded, &b)
+        .unwrap();
     assert!(report.converged);
 }

@@ -9,10 +9,7 @@ use proptest::prelude::*;
 /// guaranteed full diagonal (so triangular solves are well-defined).
 fn arb_square_matrix() -> impl Strategy<Value = Csr> {
     (2usize..=20).prop_flat_map(|n| {
-        let entries = proptest::collection::vec(
-            (0..n, 0..n, -5.0f64..5.0),
-            0..(n * 4),
-        );
+        let entries = proptest::collection::vec((0..n, 0..n, -5.0f64..5.0), 0..(n * 4));
         entries.prop_map(move |es| {
             let mut coo = Coo::new(n, n);
             for (r, c, v) in es {

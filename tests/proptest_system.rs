@@ -37,20 +37,18 @@ fn arb_spd() -> impl Strategy<Value = Csr> {
 /// Random small hypergraph.
 fn arb_hypergraph() -> impl Strategy<Value = azul::hypergraph::Hypergraph> {
     (4usize..=30, 1usize..=10).prop_flat_map(|(n, m)| {
-        proptest::collection::vec(
-            (proptest::collection::vec(0..n, 2..5), 1u64..4),
-            1..=m,
+        proptest::collection::vec((proptest::collection::vec(0..n, 2..5), 1u64..4), 1..=m).prop_map(
+            move |nets| {
+                let mut b = HypergraphBuilder::new(1);
+                for _ in 0..n {
+                    b.add_vertex(&[1]);
+                }
+                for (pins, w) in nets {
+                    b.add_net(w, &pins).unwrap();
+                }
+                b.finalize().unwrap()
+            },
         )
-        .prop_map(move |nets| {
-            let mut b = HypergraphBuilder::new(1);
-            for _ in 0..n {
-                b.add_vertex(&[1]);
-            }
-            for (pins, w) in nets {
-                b.add_net(w, &pins).unwrap();
-            }
-            b.finalize().unwrap()
-        })
     })
 }
 

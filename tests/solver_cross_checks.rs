@@ -17,7 +17,9 @@ use azul::sparse::suite::{by_name, Scale};
 use azul::sparse::{dense, generate};
 
 fn rhs(n: usize) -> Vec<f64> {
-    (0..n).map(|i| ((i * 41 % 23) as f64) / 23.0 - 0.4).collect()
+    (0..n)
+        .map(|i| ((i * 41 % 23) as f64) / 23.0 - 0.4)
+        .collect()
 }
 
 /// All reference solvers converge to the exact dense solution.
@@ -29,11 +31,17 @@ fn every_reference_solver_matches_dense_cholesky() {
     let tol = 1e-5;
 
     let out = cg(&a, &b, &PcgConfig::default());
-    assert!(out.converged && dense::rel_l2_diff(&out.x, &exact) < tol, "cg");
+    assert!(
+        out.converged && dense::rel_l2_diff(&out.x, &exact) < tol,
+        "cg"
+    );
 
     let m = IncompleteCholesky::new(&a).unwrap();
     let out = pcg(&a, &b, &m, &PcgConfig::default());
-    assert!(out.converged && dense::rel_l2_diff(&out.x, &exact) < tol, "pcg");
+    assert!(
+        out.converged && dense::rel_l2_diff(&out.x, &exact) < tol,
+        "pcg"
+    );
 
     let out = bicgstab(&a, &b, &Identity, &BiCgStabConfig::default());
     assert!(
@@ -62,11 +70,17 @@ fn every_simulated_solver_matches_dense_cholesky() {
     let out = PcgSim::build(&a, &placement, &cfg)
         .unwrap()
         .run(&b, &PcgSimConfig::default());
-    assert!(out.converged && dense::rel_l2_diff(&out.x, &exact) < tol, "PcgSim");
+    assert!(
+        out.converged && dense::rel_l2_diff(&out.x, &exact) < tol,
+        "PcgSim"
+    );
 
-    let out = PcgSim::build_unpreconditioned(&a, &placement, &cfg)
-        .run(&b, &PcgSimConfig::default());
-    assert!(out.converged && dense::rel_l2_diff(&out.x, &exact) < tol, "CG sim");
+    let out =
+        PcgSim::build_unpreconditioned(&a, &placement, &cfg).run(&b, &PcgSimConfig::default());
+    assert!(
+        out.converged && dense::rel_l2_diff(&out.x, &exact) < tol,
+        "CG sim"
+    );
 
     let out = BiCgStabSim::build(&a, &placement, &cfg)
         .unwrap()
