@@ -90,6 +90,7 @@ fn main() {
                 tol: 1e-8,
                 max_iters: 500,
                 timed_iterations: 1,
+                ..Default::default()
             },
         );
         let total: f64 = bi_report.kernel_cycles.iter().sum::<f64>().max(1e-9);

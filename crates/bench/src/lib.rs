@@ -74,6 +74,7 @@ impl BenchCtx {
             tol: 1e-12,
             max_iters: self.timed_iters + 1,
             timed_iterations: self.timed_iters,
+            ..Default::default()
         }
     }
 }

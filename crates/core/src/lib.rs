@@ -39,6 +39,7 @@ use azul_mapping::strategies::{AzulMapper, BlockMapper, Mapper, RoundRobinMapper
 use azul_mapping::{Placement, TileGrid};
 use azul_sim::config::SimConfig;
 use azul_sim::pcg::{PcgSim, PcgSimConfig, PcgSimReport};
+use azul_sim::SimError;
 use azul_solver::SolverError;
 use azul_sparse::coloring::{color_and_permute, ColoringStrategy};
 use azul_sparse::{Csr, Permutation, SparseError};
@@ -50,15 +51,45 @@ use std::time::Instant;
 pub enum AzulError {
     /// The matrix does not fit the accelerator or is malformed.
     Input(String),
+    /// The placement overflows a tile's SRAM: Azul is an all-SRAM design
+    /// and operands must fit on-chip (Table III capacities).
+    Capacity {
+        /// The first tile that overflowed.
+        tile: usize,
+        /// Estimated data-SRAM bytes the placement needs on that tile
+        /// (nonzeros + vectors + factor).
+        data_bytes: usize,
+        /// Estimated accumulator-SRAM bytes needed on that tile.
+        accum_bytes: usize,
+        /// Per-tile data-SRAM capacity in bytes.
+        data_limit: usize,
+        /// Per-tile accumulator-SRAM capacity in bytes.
+        accum_limit: usize,
+    },
     /// A numeric failure (e.g. IC(0) breakdown).
     Numeric(SolverError),
+    /// The simulated machine failed (e.g. a fault-induced deadlock).
+    Sim(SimError),
 }
 
 impl std::fmt::Display for AzulError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             AzulError::Input(msg) => write!(f, "invalid input: {msg}"),
+            AzulError::Capacity {
+                tile,
+                data_bytes,
+                accum_bytes,
+                data_limit,
+                accum_limit,
+            } => write!(
+                f,
+                "tile {tile} needs ~{data_bytes} B data / {accum_bytes} B accumulator, \
+                 exceeding the {data_limit} B / {accum_limit} B tile SRAMs; use a larger \
+                 grid (matrix must fit on-chip)"
+            ),
             AzulError::Numeric(e) => write!(f, "numeric failure: {e}"),
+            AzulError::Sim(e) => write!(f, "simulation failure: {e}"),
         }
     }
 }
@@ -74,6 +105,12 @@ impl From<SolverError> for AzulError {
 impl From<SparseError> for AzulError {
     fn from(e: SparseError) -> Self {
         AzulError::Input(e.to_string())
+    }
+}
+
+impl From<SimError> for AzulError {
+    fn from(e: SimError) -> Self {
+        AzulError::Sim(e)
     }
 }
 
@@ -235,7 +272,9 @@ impl Azul {
     /// # Errors
     ///
     /// Returns [`AzulError::Input`] for non-square or non-symmetric
-    /// matrices and [`AzulError::Numeric`] for factorization breakdowns.
+    /// matrices, [`AzulError::Capacity`] when the placement overflows a
+    /// tile's SRAM, and [`AzulError::Numeric`] for factorization
+    /// breakdowns.
     pub fn prepare(&self, a: &Csr) -> Result<PreparedSolver, AzulError> {
         if a.rows() != a.cols() {
             return Err(AzulError::Input(format!(
@@ -288,13 +327,13 @@ impl Azul {
                 if data_with_factor > self.config.sim.data_sram_bytes
                     || accum > self.config.sim.accum_sram_bytes
                 {
-                    return Err(AzulError::Input(format!(
-                        "tile {tile} needs ~{} B data / {} B accumulator, exceeding the                          {} B / {} B tile SRAMs; use a larger grid (matrix must fit on-chip)",
-                        data_with_factor,
-                        accum,
-                        self.config.sim.data_sram_bytes,
-                        self.config.sim.accum_sram_bytes
-                    )));
+                    return Err(AzulError::Capacity {
+                        tile,
+                        data_bytes: data_with_factor,
+                        accum_bytes: accum,
+                        data_limit: self.config.sim.data_sram_bytes,
+                        accum_limit: self.config.sim.accum_sram_bytes,
+                    });
                 }
             }
         }
@@ -409,19 +448,39 @@ impl PreparedSolver {
     ///
     /// # Panics
     ///
-    /// Panics if `b.len()` differs from the prepared matrix dimension.
+    /// Panics if `b.len()` differs from the prepared matrix dimension, or
+    /// if the simulated machine deadlocks (use
+    /// [`PreparedSolver::try_solve`] to handle that as a value).
     pub fn solve(&self, b: &[f64]) -> SolveReport {
+        match self.try_solve(b) {
+            Ok(report) => report,
+            Err(e) => panic!("accelerated solve failed: {e}"),
+        }
+    }
+
+    /// Solves `A x = b`, surfacing machine-level failures (e.g. a
+    /// fault-induced [`SimError::Deadlock`]) as [`AzulError::Sim`]
+    /// instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AzulError::Sim`] when the simulated machine fails.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len()` differs from the prepared matrix dimension.
+    pub fn try_solve(&self, b: &[f64]) -> Result<SolveReport, AzulError> {
         assert_eq!(b.len(), self.n, "rhs length mismatch");
         let pb = match &self.perm {
             Some(p) => p.apply(b),
             None => b.to_vec(),
         };
-        let report = self.sim.run(&pb, &self.pcg_cfg);
+        let report = self.sim.try_run(&pb, &self.pcg_cfg)?;
         let x = match &self.perm {
             Some(p) => p.apply_inverse(&report.x),
             None => report.x.clone(),
         };
-        SolveReport {
+        Ok(SolveReport {
             x,
             converged: report.converged,
             iterations: report.iterations,
@@ -429,7 +488,7 @@ impl PreparedSolver {
             gflops: report.gflops,
             accelerator_seconds: report.elapsed_seconds,
             sim: report,
-        }
+        })
     }
 }
 
@@ -622,7 +681,19 @@ mod tests {
         let mut cfg = AzulConfig::new(TileGrid::new(1, 1));
         cfg.mapping = MappingStrategy::Block;
         let err = Azul::new(cfg).prepare(&a);
-        assert!(matches!(err, Err(AzulError::Input(_))), "{err:?}");
+        match err {
+            Err(AzulError::Capacity {
+                tile,
+                data_bytes,
+                data_limit,
+                ..
+            }) => {
+                assert_eq!(tile, 0, "only one tile exists");
+                assert!(data_bytes > data_limit);
+                assert_eq!(data_limit, 72 * 1024);
+            }
+            other => panic!("expected a capacity error, got {other:?}"),
+        }
         // Disabling the check lets it through.
         let mut cfg2 = AzulConfig::new(TileGrid::new(1, 1));
         cfg2.mapping = MappingStrategy::Block;
@@ -668,5 +739,33 @@ mod tests {
     fn error_conversions() {
         let e: AzulError = SolverError::Breakdown("pivot".into()).into();
         assert!(e.to_string().contains("pivot"));
+        let e: AzulError = SimError::Deadlock {
+            cycle: 42,
+            stalled_pes: vec![1, 3],
+            inflight_flits: 7,
+        }
+        .into();
+        assert!(matches!(e, AzulError::Sim(SimError::Deadlock { .. })));
+        assert!(e.to_string().contains("cycle 42"), "{e}");
+        let cap = AzulError::Capacity {
+            tile: 2,
+            data_bytes: 100_000,
+            accum_bytes: 10,
+            data_limit: 73_728,
+            accum_limit: 36_864,
+        };
+        assert!(cap.to_string().contains("tile 2"), "{cap}");
+    }
+
+    #[test]
+    fn try_solve_matches_solve_on_clean_runs() {
+        let a = generate::grid_laplacian_2d(8, 8);
+        let b = rhs(a.rows());
+        let prepared = Azul::new(AzulConfig::small_test()).prepare(&a).unwrap();
+        let report = prepared.try_solve(&b).unwrap();
+        assert!(report.converged);
+        assert!(report.sim.fault_events.is_empty());
+        assert!(report.sim.recoveries.is_empty());
+        assert_eq!(report.sim.status, azul_solver::SolveStatus::Converged);
     }
 }

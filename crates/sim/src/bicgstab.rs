@@ -9,14 +9,15 @@
 //! paper claims for the hardware.
 
 use crate::config::SimConfig;
-use crate::machine::run_kernel;
+use crate::faults::{FaultRecord, FaultSession, RecoveryPolicy, RecoveryRecord};
+use crate::machine::{run_kernel, run_kernel_checked, SimError};
 use crate::program::Program;
 use crate::stats::{KernelClass, KernelStats};
 use crate::vecops::{VecOp, VecOpModel};
 use azul_mapping::Placement;
 use azul_solver::flops::{self, FlopBreakdown};
 use azul_solver::ic0::ic0;
-use azul_solver::SolverError;
+use azul_solver::{BreakdownKind, SolveStatus, SolverError};
 use azul_sparse::{dense, Csr};
 use azul_telemetry::report::IterationSample;
 use azul_telemetry::span;
@@ -30,6 +31,10 @@ pub struct BiCgStabSimConfig {
     pub max_iters: usize,
     /// Iterations to cycle-simulate (later ones reuse the measured cost).
     pub timed_iterations: usize,
+    /// Fault detection + checkpoint/rollback policy. BiCGStab recovers by
+    /// restarting the recurrence from the checkpointed `x` (r̂, ρ, α, ω
+    /// are reset, exactly like a fresh solve with a warm initial guess).
+    pub recovery: RecoveryPolicy,
 }
 
 impl Default for BiCgStabSimConfig {
@@ -38,6 +43,7 @@ impl Default for BiCgStabSimConfig {
             tol: 1e-10,
             max_iters: 2000,
             timed_iterations: 2,
+            recovery: RecoveryPolicy::default(),
         }
     }
 }
@@ -75,6 +81,12 @@ pub struct BiCgStabSimReport {
     pub flops_per_iteration: FlopBreakdown,
     /// Sustained throughput in GFLOP/s.
     pub gflops: f64,
+    /// How the solve terminated.
+    pub status: SolveStatus,
+    /// Journal of fired fault events (empty without a fault plan).
+    pub fault_events: Vec<FaultRecord>,
+    /// Executed restart recoveries (empty in a clean run).
+    pub recoveries: Vec<RecoveryRecord>,
     /// Convergence telemetry: one sample per iteration (sample 0 is the
     /// initial state). Cycle-simulated iterations carry measured deltas;
     /// the rest reuse the steady-state averages.
@@ -106,8 +118,33 @@ impl BiCgStabSim {
     ///
     /// # Panics
     ///
-    /// Panics if `b.len()` differs from the matrix dimension.
+    /// Panics if `b.len()` differs from the matrix dimension, or if the
+    /// simulated machine deadlocks (use [`BiCgStabSim::try_run`]).
     pub fn run(&self, b: &[f64], run_cfg: &BiCgStabSimConfig) -> BiCgStabSimReport {
+        match self.try_run(b, run_cfg) {
+            Ok(report) => report,
+            Err(e) => panic!("simulated BiCGStab failed: {e}"),
+        }
+    }
+
+    /// Runs BiCGStab, surfacing machine-level failures as errors.
+    /// Numerical anomalies roll back (restart from the checkpointed `x`)
+    /// when recovery is enabled, else end the solve with
+    /// [`SolveStatus::Breakdown`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Deadlock`] when a simulated kernel stops making
+    /// progress or exceeds the cycle cap.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len()` differs from the matrix dimension.
+    pub fn try_run(
+        &self,
+        b: &[f64],
+        run_cfg: &BiCgStabSimConfig,
+    ) -> Result<BiCgStabSimReport, SimError> {
         let n = self.a.rows();
         assert_eq!(b.len(), n, "rhs length mismatch");
         let mut solve_span = span::span("solve/bicgstab");
@@ -122,21 +159,30 @@ impl BiCgStabSim {
         let mut iter_cycles_acc = 0u64;
         let mut timed_done = 0usize;
 
+        // One fault session spans all timed kernels of the solve.
+        let mut session: Option<FaultSession> = self
+            .cfg
+            .faults
+            .as_ref()
+            .filter(|pl| !pl.is_empty())
+            .map(|pl| FaultSession::new(pl.clone()));
+
         // Timed kernel helpers (mirror PcgSim's accounting).
         let spmv_timed = |v: &[f64],
                           timing: bool,
                           stats: &mut KernelStats,
                           kc: &mut [u64; 3],
-                          acc: &mut u64|
-         -> Vec<f64> {
+                          acc: &mut u64,
+                          session: &mut Option<FaultSession>|
+         -> Result<Vec<f64>, SimError> {
             if timing {
-                let (out, s) = run_kernel(&self.cfg, &self.spmv, v);
+                let (out, s) = run_kernel_checked(&self.cfg, &self.spmv, v, session.as_mut())?;
                 kc[KernelClass::Spmv as usize] += s.cycles;
                 *acc += s.cycles;
                 stats.merge(&s);
-                out
+                Ok(out)
             } else {
-                self.a.spmv(v)
+                Ok(self.a.spmv(v))
             }
         };
         // M^-1 v = F^-T (F^-1 v): two triangular solves.
@@ -145,16 +191,17 @@ impl BiCgStabSim {
                        timing: bool,
                        stats: &mut KernelStats,
                        kc: &mut [u64; 3],
-                       acc: &mut u64|
-         -> Vec<f64> {
+                       acc: &mut u64,
+                       session: &mut Option<FaultSession>|
+         -> Result<Vec<f64>, SimError> {
             if timing {
-                let (y, s1) = run_kernel(&sim.cfg, &sim.lower, v);
-                let (z, s2) = run_kernel(&sim.cfg, &sim.upper, &y);
+                let (y, s1) = run_kernel_checked(&sim.cfg, &sim.lower, v, session.as_mut())?;
+                let (z, s2) = run_kernel_checked(&sim.cfg, &sim.upper, &y, session.as_mut())?;
                 kc[KernelClass::Sptrsv as usize] += s1.cycles + s2.cycles;
                 *acc += s1.cycles + s2.cycles;
                 stats.merge(&s1);
                 stats.merge(&s2);
-                z
+                Ok(z)
             } else {
                 // Functional: the programs encode L and L^T solves; use
                 // the stored coefficients via a quick run of the reference
@@ -162,7 +209,7 @@ impl BiCgStabSim {
                 // by running the (cheap at small n) kernels functionally.
                 let (y, _) = run_kernel(&sim.cfg_ideal(), &sim.lower, v);
                 let (z, _) = run_kernel(&sim.cfg_ideal(), &sim.upper, &y);
-                z
+                Ok(z)
             }
         };
         let vec_cost = |sim: &Self,
@@ -185,13 +232,24 @@ impl BiCgStabSim {
         // ---- BiCGStab (right preconditioned), initial guess 0 ----
         let mut x = vec![0.0f64; n];
         let mut r = b.to_vec();
-        let r_hat = r.clone();
+        let mut r_hat = r.clone();
         let (mut rho_old, mut alpha, mut omega) = (1.0f64, 1.0f64, 1.0f64);
         let mut v = vec![0.0f64; n];
         let mut p = vec![0.0f64; n];
         let mut iterations = 0usize;
         let rnorm0 = dense::norm2(&r);
         let mut converged = rnorm0 <= run_cfg.tol;
+
+        // Checkpoint / restart state: only x is checkpointed; a rollback
+        // restarts the recurrence (r = b - A x, r̂ = r, ρ = α = ω = 1,
+        // v = p = 0) so corrupted recurrence vectors cannot survive.
+        let policy = run_cfg.recovery;
+        let mut ck_x = x.clone();
+        let mut ck_iter = 0usize;
+        let mut rollbacks = 0usize;
+        let mut recoveries: Vec<RecoveryRecord> = Vec::new();
+        let mut best_rnorm = rnorm0;
+        let mut breakdown: Option<BreakdownKind> = None;
 
         // Convergence telemetry: sample 0 is the initial state (BiCGStab
         // has no timed setup kernels; r starts as b).
@@ -206,7 +264,42 @@ impl BiCgStabSim {
         let mut untimed: Vec<usize> = Vec::new();
         let (mut timed_flops, mut timed_msgs, mut timed_links) = (0u64, 0u64, 0u64);
 
+        // Anomaly handler: with recovery budget left, restart from the
+        // checkpointed x; otherwise stop with a structured breakdown.
+        macro_rules! fault_guard {
+            ($timing:expr, $this_iter:expr, $kind:expr, $reason:expr) => {{
+                if policy.enabled && rollbacks < policy.max_rollbacks {
+                    if $timing {
+                        timed_done += 1;
+                        iter_cycles_acc += $this_iter;
+                    }
+                    x.copy_from_slice(&ck_x);
+                    r = dense::sub(b, &self.a.spmv(&x));
+                    r_hat = r.clone();
+                    rho_old = 1.0;
+                    alpha = 1.0;
+                    omega = 1.0;
+                    v = vec![0.0; n];
+                    p = vec![0.0; n];
+                    best_rnorm = dense::norm2(&r);
+                    rollbacks += 1;
+                    recoveries.push(RecoveryRecord {
+                        iteration: iterations,
+                        restored_iteration: ck_iter,
+                        reason: $reason,
+                    });
+                    continue;
+                }
+                breakdown = Some($kind);
+                break;
+            }};
+        }
+
         while !converged && iterations < run_cfg.max_iters {
+            if policy.enabled && iterations - ck_iter >= policy.checkpoint_interval.max(1) {
+                ck_x.copy_from_slice(&x);
+                ck_iter = iterations;
+            }
             let timing = timed_done < timed_budget;
             let mut this_iter = 0u64;
             let pre_ops = stats.ops;
@@ -258,7 +351,20 @@ impl BiCgStabSim {
                 &mut this_iter,
             );
             if rho == 0.0 {
-                break;
+                fault_guard!(
+                    timing,
+                    this_iter,
+                    BreakdownKind::RhoZero,
+                    "rho = r_hat.r vanished".to_string()
+                );
+            }
+            if !rho.is_finite() {
+                fault_guard!(
+                    timing,
+                    this_iter,
+                    BreakdownKind::NonFinite,
+                    format!("non-finite rho = {rho}")
+                );
             }
             let beta = (rho / rho_old) * (alpha / omega);
             for i in 0..n {
@@ -281,8 +387,16 @@ impl BiCgStabSim {
                 &mut stats,
                 &mut kernel_cycles,
                 &mut this_iter,
-            );
-            v = spmv_timed(&y, timing, &mut stats, &mut kernel_cycles, &mut this_iter);
+                &mut session,
+            )?;
+            v = spmv_timed(
+                &y,
+                timing,
+                &mut stats,
+                &mut kernel_cycles,
+                &mut this_iter,
+                &mut session,
+            )?;
             let rhat_v = dense::dot(&r_hat, &v);
             vec_cost(
                 self,
@@ -294,9 +408,22 @@ impl BiCgStabSim {
                 &mut this_iter,
             );
             if rhat_v == 0.0 {
-                break;
+                fault_guard!(
+                    timing,
+                    this_iter,
+                    BreakdownKind::RhatVZero,
+                    "r_hat.v vanished".to_string()
+                );
             }
             alpha = rho / rhat_v;
+            if !alpha.is_finite() {
+                fault_guard!(
+                    timing,
+                    this_iter,
+                    BreakdownKind::NonFinite,
+                    format!("non-finite alpha = {alpha}")
+                );
+            }
             let mut s_vec = r.clone();
             dense::axpy(-alpha, &v, &mut s_vec);
             dense::axpy(alpha, &y, &mut x);
@@ -345,8 +472,16 @@ impl BiCgStabSim {
                 &mut stats,
                 &mut kernel_cycles,
                 &mut this_iter,
-            );
-            let t = spmv_timed(&z, timing, &mut stats, &mut kernel_cycles, &mut this_iter);
+                &mut session,
+            )?;
+            let t = spmv_timed(
+                &z,
+                timing,
+                &mut stats,
+                &mut kernel_cycles,
+                &mut this_iter,
+                &mut session,
+            )?;
             let tt = dense::dot(&t, &t);
             vec_cost(
                 self,
@@ -358,9 +493,22 @@ impl BiCgStabSim {
                 &mut this_iter,
             );
             if tt == 0.0 {
-                break;
+                fault_guard!(
+                    timing,
+                    this_iter,
+                    BreakdownKind::TtZero,
+                    "t.t vanished".to_string()
+                );
             }
             omega = dense::dot(&t, &s_vec) / tt;
+            if !omega.is_finite() {
+                fault_guard!(
+                    timing,
+                    this_iter,
+                    BreakdownKind::NonFinite,
+                    format!("non-finite omega = {omega}")
+                );
+            }
             dense::axpy(omega, &z, &mut x);
             r = s_vec;
             dense::axpy(-omega, &t, &mut r);
@@ -375,9 +523,7 @@ impl BiCgStabSim {
             );
 
             rho_old = rho;
-            iterations += 1;
             let rnorm = dense::norm2(&r);
-            converged = rnorm <= run_cfg.tol;
             vec_cost(
                 self,
                 VecOp::Dot,
@@ -387,6 +533,25 @@ impl BiCgStabSim {
                 &mut kernel_cycles,
                 &mut this_iter,
             );
+            if !rnorm.is_finite() {
+                fault_guard!(
+                    timing,
+                    this_iter,
+                    BreakdownKind::NonFinite,
+                    "non-finite residual norm".to_string()
+                );
+            }
+            if rnorm > policy.divergence_factor * best_rnorm.max(run_cfg.tol) {
+                fault_guard!(
+                    timing,
+                    this_iter,
+                    BreakdownKind::Diverged,
+                    format!("residual {rnorm:.3e} diverged from best {best_rnorm:.3e}")
+                );
+            }
+            best_rnorm = best_rnorm.min(rnorm);
+            iterations += 1;
+            converged = rnorm <= run_cfg.tol;
             if timing {
                 timed_done += 1;
                 iter_cycles_acc += this_iter;
@@ -399,7 +564,8 @@ impl BiCgStabSim {
                 &mut untimed,
                 &mut convergence,
             );
-            if omega == 0.0 {
+            if omega == 0.0 && !converged {
+                breakdown = Some(BreakdownKind::OmegaZero);
                 break;
             }
         }
@@ -442,9 +608,19 @@ impl BiCgStabSim {
         solve_span.record_cycles((cycles_per_iteration * iterations as f64).round() as u64);
         solve_span.annotate("iterations", iterations);
         solve_span.annotate("converged", converged);
+        if !recoveries.is_empty() {
+            solve_span.annotate("rollbacks", recoveries.len());
+        }
+
+        let status = match (converged, breakdown) {
+            (true, _) => SolveStatus::Converged,
+            (false, Some(kind)) => SolveStatus::Breakdown(kind),
+            (false, None) => SolveStatus::MaxIters,
+        };
+        let fault_events = session.map(|s| s.records().to_vec()).unwrap_or_default();
 
         let final_residual = dense::norm2(&dense::sub(b, &self.a.spmv(&x)));
-        BiCgStabSimReport {
+        Ok(BiCgStabSimReport {
             x,
             converged,
             iterations,
@@ -454,15 +630,20 @@ impl BiCgStabSim {
             stats,
             flops_per_iteration,
             gflops,
+            status,
+            fault_events,
+            recoveries,
             convergence,
-        }
+        })
     }
 
     /// An ideal-PE twin config used for fast functional-only kernel runs
-    /// of untimed iterations.
+    /// of untimed iterations. Faults are stripped: the plan's timeline is
+    /// owned by the timed session and must not replay here.
     fn cfg_ideal(&self) -> SimConfig {
         SimConfig {
             pe_model: crate::config::PeModel::Ideal,
+            faults: None,
             ..self.cfg.clone()
         }
     }

@@ -1,5 +1,6 @@
 //! Simulated hardware configuration (Table III).
 
+use crate::faults::FaultPlan;
 use azul_mapping::TileGrid;
 
 /// Which processing-element model each tile uses.
@@ -62,6 +63,17 @@ pub struct SimConfig {
     pub data_sram_bytes: usize,
     /// Per-tile Accumulator SRAM capacity in bytes (Table III: 36 KB).
     pub accum_sram_bytes: usize,
+    /// Watchdog: abort a kernel with [`SimError::Deadlock`](crate::SimError)
+    /// when no counter (ops, messages, link activations, traversals)
+    /// moves for this many consecutive cycles while tiles remain active.
+    /// 0 disables the no-progress check; `max_kernel_cycles` still caps
+    /// total runtime. Finite fault windows suspend the check while
+    /// pending so transient outages are not misreported as hangs.
+    pub watchdog_no_progress_cycles: u64,
+    /// Scheduled fault injection ([`FaultPlan`]). `None` (the default)
+    /// keeps the zero-fault fast path: the tick engine never consults
+    /// fault state.
+    pub faults: Option<FaultPlan>,
 }
 
 impl SimConfig {
@@ -110,6 +122,8 @@ impl SimConfig {
             detailed_stats: false,
             data_sram_bytes: 72 * 1024,
             accum_sram_bytes: 36 * 1024,
+            watchdog_no_progress_cycles: 50_000,
+            faults: None,
         }
     }
 

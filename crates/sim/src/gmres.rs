@@ -8,13 +8,14 @@
 //! length, which this simulation exposes in its kernel breakdown.
 
 use crate::config::SimConfig;
-use crate::machine::run_kernel;
+use crate::faults::{FaultRecord, FaultSession, RecoveryPolicy, RecoveryRecord};
+use crate::machine::{run_kernel_checked, SimError};
 use crate::program::Program;
 use crate::stats::{KernelClass, KernelStats};
 use crate::vecops::{VecOp, VecOpModel};
 use azul_mapping::Placement;
 use azul_solver::ic0::ic0;
-use azul_solver::SolverError;
+use azul_solver::{BreakdownKind, SolveStatus, SolverError};
 use azul_sparse::{dense, Csr};
 use azul_telemetry::report::IterationSample;
 use azul_telemetry::span;
@@ -30,6 +31,10 @@ pub struct GmresSimConfig {
     pub max_iters: usize,
     /// Inner iterations to cycle-simulate.
     pub timed_iterations: usize,
+    /// Fault detection + checkpoint/rollback policy. GMRES checkpoints x
+    /// at each healthy restart boundary; a rollback discards the Krylov
+    /// basis and restarts from the checkpointed x.
+    pub recovery: RecoveryPolicy,
 }
 
 impl Default for GmresSimConfig {
@@ -39,6 +44,7 @@ impl Default for GmresSimConfig {
             restart: 30,
             max_iters: 2000,
             timed_iterations: 2,
+            recovery: RecoveryPolicy::default(),
         }
     }
 }
@@ -75,6 +81,12 @@ pub struct GmresSimReport {
     pub stats: KernelStats,
     /// Sustained throughput over the timed portion in GFLOP/s.
     pub gflops: f64,
+    /// How the solve terminated.
+    pub status: SolveStatus,
+    /// Journal of fired fault events (empty without a fault plan).
+    pub fault_events: Vec<FaultRecord>,
+    /// Executed basis-discard recoveries (empty in a clean run).
+    pub recoveries: Vec<RecoveryRecord>,
     /// Convergence telemetry: one sample per inner iteration (sample 0 is
     /// the initial state; residuals are the Givens recurrence estimates).
     /// Cycle-simulated iterations carry measured deltas; the rest reuse
@@ -105,9 +117,31 @@ impl GmresSim {
     ///
     /// # Panics
     ///
+    /// Panics if `b.len()` differs from the matrix dimension,
+    /// `restart == 0`, or the simulated machine deadlocks (use
+    /// [`GmresSim::try_run`]).
+    pub fn run(&self, b: &[f64], run_cfg: &GmresSimConfig) -> GmresSimReport {
+        match self.try_run(b, run_cfg) {
+            Ok(report) => report,
+            Err(e) => panic!("simulated GMRES failed: {e}"),
+        }
+    }
+
+    /// Runs restarted GMRES, surfacing machine-level failures as errors.
+    /// Numerical anomalies discard the Krylov basis and restart from the
+    /// checkpointed x when recovery is enabled, else end the solve with
+    /// [`SolveStatus::Breakdown`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Deadlock`] when a simulated kernel stops making
+    /// progress or exceeds the cycle cap.
+    ///
+    /// # Panics
+    ///
     /// Panics if `b.len()` differs from the matrix dimension or
     /// `restart == 0`.
-    pub fn run(&self, b: &[f64], run_cfg: &GmresSimConfig) -> GmresSimReport {
+    pub fn try_run(&self, b: &[f64], run_cfg: &GmresSimConfig) -> Result<GmresSimReport, SimError> {
         let n = self.a.rows();
         assert_eq!(b.len(), n, "rhs length mismatch");
         assert!(run_cfg.restart > 0, "restart length must be positive");
@@ -124,9 +158,28 @@ impl GmresSim {
         let mut timed_done = 0usize;
         let mut timed_cycles = 0u64;
 
+        // One fault session spans all timed kernels of the solve.
+        let mut session: Option<FaultSession> = self
+            .cfg
+            .faults
+            .as_ref()
+            .filter(|pl| !pl.is_empty())
+            .map(|pl| FaultSession::new(pl.clone()));
+
         let mut x = vec![0.0f64; n];
         let mut iterations = 0usize;
         let mut converged = false;
+
+        // Checkpoint / rollback state: x is checkpointed at each healthy
+        // restart boundary; recovery discards the (possibly corrupted)
+        // Krylov basis and restarts from the checkpoint.
+        let policy = run_cfg.recovery;
+        let mut ck_x = x.clone();
+        let mut ck_iter = 0usize;
+        let mut rollbacks = 0usize;
+        let mut recoveries: Vec<RecoveryRecord> = Vec::new();
+        let mut best_beta = f64::INFINITY;
+        let mut breakdown: Option<BreakdownKind> = None;
 
         // Convergence telemetry: sample 0 is the initial state (x = 0, so
         // the residual is ||b||).
@@ -144,9 +197,32 @@ impl GmresSim {
         'outer: while iterations < run_cfg.max_iters {
             let r = dense::sub(b, &self.a.spmv(&x));
             let beta = dense::norm2(&r);
+            if !beta.is_finite() || beta > policy.divergence_factor * best_beta.max(run_cfg.tol) {
+                if policy.enabled && rollbacks < policy.max_rollbacks {
+                    x.copy_from_slice(&ck_x);
+                    rollbacks += 1;
+                    recoveries.push(RecoveryRecord {
+                        iteration: iterations,
+                        restored_iteration: ck_iter,
+                        reason: format!("restart residual {beta:e} (best {best_beta:e})"),
+                    });
+                    continue 'outer;
+                }
+                breakdown = Some(if beta.is_finite() {
+                    BreakdownKind::Diverged
+                } else {
+                    BreakdownKind::NonFinite
+                });
+                break;
+            }
             if beta <= run_cfg.tol {
                 converged = true;
                 break;
+            }
+            best_beta = best_beta.min(beta);
+            if policy.enabled {
+                ck_x.copy_from_slice(&x);
+                ck_iter = iterations;
             }
             let k_max = run_cfg.restart.min(run_cfg.max_iters - iterations);
             let mut v: Vec<Vec<f64>> = Vec::with_capacity(k_max + 1);
@@ -168,13 +244,14 @@ impl GmresSim {
 
                 // z = M^-1 v_k (two triangular solves), w = A z.
                 let (z, w) = if timing {
-                    let (y, s1) = run_kernel(&self.cfg, &self.lower, &v[k]);
-                    let (z, s2) = run_kernel(&self.cfg, &self.upper, &y);
+                    let (y, s1) =
+                        run_kernel_checked(&self.cfg, &self.lower, &v[k], session.as_mut())?;
+                    let (z, s2) = run_kernel_checked(&self.cfg, &self.upper, &y, session.as_mut())?;
                     kernel_cycles[KernelClass::Sptrsv as usize] += s1.cycles + s2.cycles;
                     this_iter += s1.cycles + s2.cycles;
                     stats.merge(&s1);
                     stats.merge(&s2);
-                    let (w, s3) = run_kernel(&self.cfg, &self.spmv, &z);
+                    let (w, s3) = run_kernel_checked(&self.cfg, &self.spmv, &z, session.as_mut())?;
                     kernel_cycles[KernelClass::Spmv as usize] += s3.cycles;
                     this_iter += s3.cycles;
                     stats.merge(&s3);
@@ -231,6 +308,30 @@ impl GmresSim {
                 h[k + 1][k] = 0.0;
                 g[k + 1] = -sn[k] * g[k];
                 g[k] *= cs[k];
+
+                // A non-finite residual estimate means the basis is
+                // poisoned (e.g. an injected bit flip): discard it and
+                // restart from the checkpoint without touching x, rather
+                // than spending the rest of the restart cycle on junk.
+                if !g[k + 1].is_finite() {
+                    if policy.enabled && rollbacks < policy.max_rollbacks {
+                        if timing {
+                            timed_done += 1;
+                            timed_cycles += this_iter;
+                        }
+                        x.copy_from_slice(&ck_x);
+                        rollbacks += 1;
+                        recoveries.push(RecoveryRecord {
+                            iteration: iterations,
+                            restored_iteration: ck_iter,
+                            reason: "non-finite Arnoldi residual estimate; basis discarded"
+                                .to_string(),
+                        });
+                        continue 'outer;
+                    }
+                    breakdown = Some(BreakdownKind::NonFinite);
+                    break 'outer;
+                }
 
                 iterations += 1;
                 k_done = k + 1;
@@ -315,7 +416,16 @@ impl GmresSim {
         solve_span.record_cycles((cycles_per_iteration * iterations as f64).round() as u64);
         solve_span.annotate("iterations", iterations);
         solve_span.annotate("converged", converged);
-        GmresSimReport {
+        if !recoveries.is_empty() {
+            solve_span.annotate("rollbacks", recoveries.len());
+        }
+        let status = match (converged, breakdown) {
+            (true, _) => SolveStatus::Converged,
+            (false, Some(kind)) => SolveStatus::Breakdown(kind),
+            (false, None) => SolveStatus::MaxIters,
+        };
+        let fault_events = session.map(|s| s.records().to_vec()).unwrap_or_default();
+        Ok(GmresSimReport {
             x,
             converged,
             iterations,
@@ -324,8 +434,11 @@ impl GmresSim {
             kernel_cycles: [per(0), per(1), per(2)],
             stats,
             gflops,
+            status,
+            fault_events,
+            recoveries,
             convergence,
-        }
+        })
     }
 
     /// Back-solves the small least-squares system and applies the

@@ -50,6 +50,7 @@
 
 pub mod bicgstab;
 pub mod config;
+pub mod faults;
 pub mod gmres;
 pub mod machine;
 pub mod pcg;
@@ -62,6 +63,10 @@ pub mod vecops;
 
 pub use bicgstab::{BiCgStabSim, BiCgStabSimConfig, BiCgStabSimReport};
 pub use config::{PeModel, SimConfig};
+pub use faults::{
+    FaultEvent, FaultKind, FaultPlan, FaultRecord, FaultSession, RecoveryPolicy, RecoveryRecord,
+};
 pub use gmres::{GmresSim, GmresSimConfig, GmresSimReport};
+pub use machine::SimError;
 pub use pcg::{PcgSim, PcgSimConfig, PcgSimReport};
 pub use stats::{KernelClass, KernelStats, OpKind};

@@ -11,21 +11,94 @@
 //! tails of SpTRSV.
 
 use crate::config::SimConfig;
+use crate::faults::{FaultEvent, FaultKind, FaultSession};
 use crate::pe::{Pe, Trigger};
 use crate::program::Program;
 use crate::router::{tick_router_at, Delivery, FlitKind, Router};
 use crate::stats::KernelStats;
+
+/// A structured failure of the simulated machine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The kernel hung: either no counter moved for
+    /// `watchdog_no_progress_cycles` consecutive cycles, or the run hit
+    /// the `max_kernel_cycles` deadline with tiles still active.
+    Deadlock {
+        /// Cycle at which the watchdog fired.
+        cycle: u64,
+        /// Tiles whose PE still held undrained work.
+        stalled_pes: Vec<u32>,
+        /// Flits buffered across all routers at abort time.
+        inflight_flits: usize,
+    },
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::Deadlock {
+                cycle,
+                stalled_pes,
+                inflight_flits,
+            } => write!(
+                f,
+                "kernel deadlocked at cycle {cycle}: {} stalled PE(s) {:?}, {inflight_flits} in-flight flit(s)",
+                stalled_pes.len(),
+                stalled_pes
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
 
 /// Runs `program` on the simulated machine.
 ///
 /// `input` is the trigger vector: `x` for SpMV, `b` for SpTRSV. Returns
 /// the output vector (`y` or the solved `x`) and kernel statistics.
 ///
+/// This is the infallible zero-fault wrapper around
+/// [`run_kernel_checked`]; a plan in `cfg.faults` is still honored (a
+/// fresh single-kernel [`FaultSession`] is created internally).
+///
 /// # Panics
 ///
-/// Panics if `input.len() != program.n`, or if the kernel exceeds
-/// `cfg.max_kernel_cycles` (deadlock tripwire).
+/// Panics if `input.len() != program.n`, or on any [`SimError`] (the
+/// `max_kernel_cycles` / watchdog deadlock tripwires).
 pub fn run_kernel(cfg: &SimConfig, program: &Program, input: &[f64]) -> (Vec<f64>, KernelStats) {
+    match run_kernel_checked(cfg, program, input, None) {
+        Ok(r) => r,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Runs `program` on the simulated machine, returning structured errors
+/// instead of panicking on hangs, and optionally injecting faults.
+///
+/// `faults` threads a [`FaultSession`] across successive kernels so a
+/// [`FaultPlan`](crate::faults::FaultPlan)'s global cycle schedule spans
+/// a whole solve. When `faults` is `None` but `cfg.faults` holds a plan,
+/// a session scoped to this single kernel is created internally. With
+/// neither, the fault machinery is never consulted (zero-fault fast
+/// path).
+///
+/// # Errors
+///
+/// Returns [`SimError::Deadlock`] when the kernel exceeds
+/// `cfg.max_kernel_cycles`, or when no forward progress is observed for
+/// `cfg.watchdog_no_progress_cycles` consecutive cycles (e.g. after a
+/// `PeKill` fault strands undrained work).
+///
+/// # Panics
+///
+/// Panics if `input.len() != program.n` or the config grid does not
+/// match the program grid (caller bugs, not machine failures).
+pub fn run_kernel_checked(
+    cfg: &SimConfig,
+    program: &Program,
+    input: &[f64],
+    faults: Option<&mut FaultSession>,
+) -> Result<(Vec<f64>, KernelStats), SimError> {
     assert_eq!(input.len(), program.n, "input length mismatch");
     let num_tiles = cfg.grid.num_tiles();
     assert_eq!(
@@ -45,6 +118,31 @@ pub fn run_kernel(cfg: &SimConfig, program: &Program, input: &[f64]) -> (Vec<f64
     let mut pes: Vec<Pe> = (0..num_tiles)
         .map(|t| Pe::new(t as u32, cfg, program.tile(t as u32), input))
         .collect();
+
+    // Fault session: the caller's cross-kernel session wins; otherwise a
+    // config-level plan gets a session scoped to this kernel. `None`
+    // keeps the zero-fault fast path (no per-cycle fault checks at all).
+    let mut local_session = match &faults {
+        None => cfg
+            .faults
+            .as_ref()
+            .filter(|p| !p.is_empty())
+            .map(|p| FaultSession::new(p.clone())),
+        Some(_) => None,
+    };
+    let mut session: Option<&mut FaultSession> = faults.or(local_session.as_mut());
+    let faulting = session.as_ref().is_some_and(|s| !s.fault_free());
+    // Tiles whose PE is inside a stall/kill window (router keeps going).
+    let mut pe_stalled: Vec<bool> = vec![false; if faulting { num_tiles } else { 0 }];
+    let mut fired: Vec<FaultEvent> = Vec::new();
+    // Windows opened in an earlier kernel of the same session (e.g. a
+    // PeKill) must constrain this kernel from cycle 0.
+    if faulting {
+        let s = session.as_deref_mut().expect("faulting implies session");
+        if !s.active_windows().is_empty() {
+            sync_fault_state(s, 0, &mut routers, &mut pe_stalled);
+        }
+    }
 
     // Active-tile tracking: a tile ticks while it has router or PE work.
     let mut active: Vec<usize> = Vec::with_capacity(num_tiles);
@@ -87,21 +185,66 @@ pub fn run_kernel(cfg: &SimConfig, program: &Program, input: &[f64]) -> (Vec<f64
     let mut deliveries: Vec<Delivery> = Vec::new();
     let mut newly_active: Vec<usize> = Vec::new();
 
+    // Watchdog state: a monotone progress signature and the last cycle it
+    // moved. Any issued op, message, link hop or router traversal counts.
+    let mut last_signature = u64::MAX;
+    let mut last_progress = 0u64;
+
     while !active.is_empty() {
-        if now >= cfg.max_kernel_cycles {
-            for &t in active.iter().take(8) {
-                eprintln!(
-                    "tile {t}: router occ {} {:?}, pe work {}",
-                    routers[t].occupancy(),
-                    routers[t].debug_heads(now),
-                    pes[t].has_work()
-                );
+        // Fault schedule: fire due events, expire windows, re-sync
+        // injected router/PE state when the window set changes.
+        if faulting {
+            let s = session.as_deref_mut().expect("faulting implies session");
+            fired.clear();
+            if s.advance(now, num_tiles, &mut fired) {
+                sync_fault_state(s, now, &mut routers, &mut pe_stalled);
             }
-            panic!(
-                "kernel exceeded {} cycles ({} active tiles) — likely deadlock",
-                cfg.max_kernel_cycles,
-                active.len()
-            );
+            for ev in fired.drain(..) {
+                let FaultKind::SramBitFlip { tile, slot, bit } = ev.kind else {
+                    unreachable!("only bit flips are handed to the machine");
+                };
+                let gnow = s.global_cycle(now);
+                match pes[tile as usize].flip_slot_bit(slot, bit) {
+                    Some((old, new)) => {
+                        s.record(gnow, ev.kind, true, format!("{old:e} -> {new:e}"));
+                    }
+                    None => s.record(
+                        gnow,
+                        ev.kind,
+                        false,
+                        format!("tile {tile} has no slot {slot}"),
+                    ),
+                }
+            }
+            if s.suspends_watchdog(now) {
+                last_progress = now;
+            }
+        }
+
+        // Watchdog: structured deadlock report instead of spinning to the
+        // 500M-cycle deadline (or panicking there).
+        let signature =
+            stats.total_ops() + stats.messages + stats.link_activations + stats.router_traversals;
+        if signature != last_signature {
+            last_signature = signature;
+            last_progress = now;
+        }
+        let wedged = cfg.watchdog_no_progress_cycles > 0
+            && now.saturating_sub(last_progress) >= cfg.watchdog_no_progress_cycles;
+        if wedged || now >= cfg.max_kernel_cycles {
+            let stalled_pes: Vec<u32> = (0..num_tiles)
+                .filter(|&t| pes[t].has_work())
+                .map(|t| t as u32)
+                .collect();
+            let inflight_flits = routers.iter().map(Router::occupancy).sum();
+            if let Some(s) = session.as_deref_mut() {
+                s.end_kernel(now);
+            }
+            return Err(SimError::Deadlock {
+                cycle: now,
+                stalled_pes,
+                inflight_flits,
+            });
         }
         newly_active.clear();
         let current = std::mem::take(&mut active);
@@ -139,6 +282,13 @@ pub fn run_kernel(cfg: &SimConfig, program: &Program, input: &[f64]) -> (Vec<f64
 
         // PEs.
         for &t in &current {
+            // Injected stall/kill window: the PE issues nothing, but its
+            // router keeps forwarding and triggers keep queueing, so the
+            // tile stays on the active list (has_work) and the watchdog
+            // can observe a permanent kill as a hang.
+            if faulting && pe_stalled[t] {
+                continue;
+            }
             let tp = program.tile(t as u32);
             pes[t].tick(
                 now,
@@ -178,7 +328,45 @@ pub fn run_kernel(cfg: &SimConfig, program: &Program, input: &[f64]) -> (Vec<f64
     if cfg.trace_interval > 0 && stats.trace.last() != Some(&(now, stats.total_ops())) {
         stats.trace.push((now, stats.total_ops()));
     }
-    (out, stats)
+    if let Some(s) = session {
+        s.end_kernel(now);
+    }
+    Ok((out, stats))
+}
+
+/// Re-applies the session's active fault windows onto freshly cleared
+/// router/PE fault state. Called whenever the window set changes; rare
+/// enough that the O(tiles) reset does not matter.
+fn sync_fault_state(
+    session: &FaultSession,
+    local_now: u64,
+    routers: &mut [Router],
+    pe_stalled: &mut [bool],
+) {
+    for r in routers.iter_mut() {
+        r.clear_faults();
+    }
+    pe_stalled.fill(false);
+    let gnow = session.global_cycle(local_now);
+    for &(kind, until) in session.active_windows() {
+        if until <= gnow {
+            continue;
+        }
+        match kind {
+            FaultKind::LinkDown { tile, dir, .. } => {
+                routers[tile as usize].inject_link_down(dir as usize);
+            }
+            FaultKind::LinkDegrade {
+                tile,
+                extra_latency,
+                ..
+            } => routers[tile as usize].inject_link_degrade(extra_latency),
+            FaultKind::PeStall { tile, .. } | FaultKind::PeKill { tile } => {
+                pe_stalled[tile as usize] = true;
+            }
+            FaultKind::SramBitFlip { .. } => {}
+        }
+    }
 }
 
 #[cfg(test)]

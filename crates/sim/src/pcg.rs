@@ -10,7 +10,8 @@
 //! accounting (an FMAC = 2 FLOPs).
 
 use crate::config::SimConfig;
-use crate::machine::run_kernel;
+use crate::faults::{FaultRecord, FaultSession, RecoveryPolicy, RecoveryRecord};
+use crate::machine::{run_kernel_checked, SimError};
 use crate::program::Program;
 use crate::stats::{KernelClass, KernelStats};
 use crate::vecops::{VecOp, VecOpModel};
@@ -18,7 +19,7 @@ use azul_mapping::Placement;
 use azul_solver::flops::{self, FlopBreakdown};
 use azul_solver::ic0::ic0;
 use azul_solver::kernels::{sptrsv_lower, sptrsv_lower_transpose};
-use azul_solver::SolverError;
+use azul_solver::{BreakdownKind, SolveStatus, SolverError};
 use azul_sparse::{dense, Csr};
 use azul_telemetry::report::IterationSample;
 use azul_telemetry::span;
@@ -38,6 +39,10 @@ pub struct PcgSimConfig {
     /// Iterations to simulate cycle-by-cycle; later iterations reuse the
     /// measured steady-state cost. 0 means "time every iteration".
     pub timed_iterations: usize,
+    /// Fault detection + checkpoint/rollback policy (see
+    /// [`RecoveryPolicy`]). Guards always run; rollback requires
+    /// `recovery.enabled`.
+    pub recovery: RecoveryPolicy,
 }
 
 impl Default for PcgSimConfig {
@@ -46,6 +51,7 @@ impl Default for PcgSimConfig {
             tol: 1e-10,
             max_iters: 2000,
             timed_iterations: 2,
+            recovery: RecoveryPolicy::default(),
         }
     }
 }
@@ -91,6 +97,14 @@ pub struct PcgSimReport {
     pub gflops: f64,
     /// Extrapolated solve time in seconds at the configured clock.
     pub elapsed_seconds: f64,
+    /// How the solve terminated (converged / iteration cap / breakdown —
+    /// including fault-induced breakdowns recovery could not mask).
+    pub status: SolveStatus,
+    /// Journal of fired fault events, when a [`FaultPlan`](crate::FaultPlan)
+    /// was configured.
+    pub fault_events: Vec<FaultRecord>,
+    /// Executed checkpoint rollbacks (empty in a clean run).
+    pub recoveries: Vec<RecoveryRecord>,
     /// Convergence telemetry: one sample per iteration (sample 0 covers
     /// setup), with residual norms and per-iteration cycle/FLOP/traffic
     /// deltas. Cycle-simulated iterations carry measured deltas; later
@@ -215,12 +229,47 @@ impl PcgSim {
         Ok(())
     }
 
+    /// Applies the preconditioner functionally (reference kernels) — used
+    /// to re-derive the recurrence vectors after a rollback so corrupted
+    /// state cannot leak through a recovery.
+    fn functional_precond(&self, r: &[f64]) -> Vec<f64> {
+        if self.lower.is_some() {
+            sptrsv_lower_transpose(&self.l, &sptrsv_lower(&self.l, r))
+        } else {
+            r.to_vec()
+        }
+    }
+
     /// Runs PCG with right-hand side `b`.
     ///
     /// # Panics
     ///
-    /// Panics if `b.len()` differs from the matrix dimension.
+    /// Panics if `b.len()` differs from the matrix dimension, or if the
+    /// simulated machine deadlocks (use [`PcgSim::try_run`] to handle
+    /// that as a value).
     pub fn run(&self, b: &[f64], run_cfg: &PcgSimConfig) -> PcgSimReport {
+        match self.try_run(b, run_cfg) {
+            Ok(report) => report,
+            Err(e) => panic!("simulated PCG failed: {e}"),
+        }
+    }
+
+    /// Runs PCG with right-hand side `b`, surfacing machine-level failures
+    /// (e.g. a fault-induced [`SimError::Deadlock`]) as errors instead of
+    /// panicking. Numerical anomalies (NaN/Inf, stagnating `p·Ap`,
+    /// residual divergence) never error: with recovery enabled they roll
+    /// back to the last checkpoint, otherwise they terminate the solve
+    /// with [`SolveStatus::Breakdown`] in the report.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Deadlock`] when a simulated kernel stops making
+    /// progress (watchdog) or exceeds the cycle cap.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len()` differs from the matrix dimension.
+    pub fn try_run(&self, b: &[f64], run_cfg: &PcgSimConfig) -> Result<PcgSimReport, SimError> {
         let n = self.a.rows();
         assert_eq!(b.len(), n, "rhs length mismatch");
         let mut solve_span = span::span("solve/pcg");
@@ -234,18 +283,28 @@ impl PcgSim {
         let mut kernel_cycles = [0u64; 3]; // timed portion only
         let mut setup_cycles = 0u64;
 
+        // One fault session spans all timed kernels of the solve, so the
+        // plan's global-cycle timeline advances across kernel boundaries.
+        let mut session: Option<FaultSession> = self
+            .cfg
+            .faults
+            .as_ref()
+            .filter(|p| !p.is_empty())
+            .map(|p| FaultSession::new(p.clone()));
+
         // Helper closures for timed kernels.
         let run_timed = |prog: &Program,
                          input: &[f64],
                          class: KernelClass,
                          stats: &mut KernelStats,
-                         kernel_cycles: &mut [u64; 3]|
-         -> (Vec<f64>, u64) {
-            let (out, s) = run_kernel(&self.cfg, prog, input);
+                         kernel_cycles: &mut [u64; 3],
+                         session: &mut Option<FaultSession>|
+         -> Result<(Vec<f64>, u64), SimError> {
+            let (out, s) = run_kernel_checked(&self.cfg, prog, input, session.as_mut())?;
             let c = s.cycles;
             kernel_cycles[class as usize] += c;
             stats.merge(&s);
-            (out, c)
+            Ok((out, c))
         };
         let vec_cost = |model: &VecOpModel,
                         op: VecOp,
@@ -264,10 +323,22 @@ impl PcgSim {
         let mut r = b.to_vec();
         let z0 = match (&self.lower, &self.upper) {
             (Some(lo), Some(up)) => {
-                let (y0, c1) =
-                    run_timed(lo, &r, KernelClass::Sptrsv, &mut stats, &mut kernel_cycles);
-                let (z0, c2) =
-                    run_timed(up, &y0, KernelClass::Sptrsv, &mut stats, &mut kernel_cycles);
+                let (y0, c1) = run_timed(
+                    lo,
+                    &r,
+                    KernelClass::Sptrsv,
+                    &mut stats,
+                    &mut kernel_cycles,
+                    &mut session,
+                )?;
+                let (z0, c2) = run_timed(
+                    up,
+                    &y0,
+                    KernelClass::Sptrsv,
+                    &mut stats,
+                    &mut kernel_cycles,
+                    &mut session,
+                )?;
                 setup_cycles += c1 + c2;
                 z0
             }
@@ -286,6 +357,18 @@ impl PcgSim {
         let mut iter_cycles_acc = 0u64;
         let mut converged = dense::norm2(&r) <= run_cfg.tol;
 
+        // Checkpoint / rollback state. Checkpoints store x only; the
+        // recurrence vectors (r, z, p, rz) are re-derived functionally on
+        // restore, so a fault corrupting them before the first checkpoint
+        // cannot poison the recovery itself.
+        let policy = run_cfg.recovery;
+        let mut ck_x = x.clone();
+        let mut ck_iter = 0usize;
+        let mut rollbacks = 0usize;
+        let mut recoveries: Vec<RecoveryRecord> = Vec::new();
+        let mut best_rnorm = dense::norm2(&r);
+        let mut breakdown: Option<BreakdownKind> = None;
+
         // Convergence telemetry: sample 0 covers the setup phase (r = b
         // at this point); untimed iterations are back-filled with the
         // steady-state averages after the loop.
@@ -302,7 +385,48 @@ impl PcgSim {
         let mut timed_links = 0u64;
         let mut timed_flops = 0u64;
 
+        // Numerical-anomaly handler: with recovery budget left, restore
+        // the checkpointed x, re-derive r = b - A x / z / p / r·z with the
+        // reference kernels, and retry the iteration (no iteration count
+        // or convergence sample is consumed — the recompute itself is not
+        // cycle-charged). Out of budget (or recovery disabled), the solve
+        // stops with a structured breakdown status.
+        macro_rules! fault_guard {
+            ($timing:expr, $this_iter:expr, $kind:expr, $reason:expr) => {{
+                if policy.enabled && rollbacks < policy.max_rollbacks {
+                    if $timing {
+                        // Keep the cycle books balanced: the aborted
+                        // attempt's kernels were simulated and merged into
+                        // the per-kernel tallies.
+                        timed_done += 1;
+                        iter_cycles_acc += $this_iter;
+                    }
+                    x.copy_from_slice(&ck_x);
+                    r = dense::sub(b, &self.a.spmv(&x));
+                    z = self.functional_precond(&r);
+                    p = z.clone();
+                    rz_old = dense::dot(&r, &z);
+                    best_rnorm = dense::norm2(&r);
+                    rollbacks += 1;
+                    recoveries.push(RecoveryRecord {
+                        iteration: iterations,
+                        restored_iteration: ck_iter,
+                        reason: $reason,
+                    });
+                    continue;
+                }
+                breakdown = Some($kind);
+                break;
+            }};
+        }
+
         while !converged && iterations < run_cfg.max_iters {
+            // Take a checkpoint once the previous interval's iterations
+            // all passed the divergence guards.
+            if policy.enabled && iterations - ck_iter >= policy.checkpoint_interval.max(1) {
+                ck_x.copy_from_slice(&x);
+                ck_iter = iterations;
+            }
             let timing = timed_done < timed_budget;
             let mut this_iter = 0u64;
             let pre_ops = stats.ops;
@@ -317,7 +441,8 @@ impl PcgSim {
                     KernelClass::Spmv,
                     &mut stats,
                     &mut kernel_cycles,
-                );
+                    &mut session,
+                )?;
                 this_iter += c;
                 out
             } else {
@@ -328,8 +453,21 @@ impl PcgSim {
                 this_iter += vec_cost(&self.vec_model, VecOp::Dot, &mut stats, &mut kernel_cycles);
             }
             let p_ap = dense::dot(&p, &ap);
-            if p_ap == 0.0 || !p_ap.is_finite() {
-                break;
+            if !p_ap.is_finite() {
+                fault_guard!(
+                    timing,
+                    this_iter,
+                    BreakdownKind::NonFinite,
+                    format!("non-finite p.Ap = {p_ap}")
+                );
+            }
+            if p_ap == 0.0 {
+                fault_guard!(
+                    timing,
+                    this_iter,
+                    BreakdownKind::PApZero,
+                    "p.Ap = 0 (stalled search direction)".to_string()
+                );
             }
             let alpha = rz_old / p_ap;
             // x += alpha p ; r -= alpha Ap
@@ -345,16 +483,28 @@ impl PcgSim {
             z = match (&self.lower, &self.upper) {
                 (Some(lo), Some(up)) => {
                     let y = if timing {
-                        let (out, c) =
-                            run_timed(lo, &r, KernelClass::Sptrsv, &mut stats, &mut kernel_cycles);
+                        let (out, c) = run_timed(
+                            lo,
+                            &r,
+                            KernelClass::Sptrsv,
+                            &mut stats,
+                            &mut kernel_cycles,
+                            &mut session,
+                        )?;
                         this_iter += c;
                         out
                     } else {
                         sptrsv_lower(&self.l, &r)
                     };
                     if timing {
-                        let (out, c) =
-                            run_timed(up, &y, KernelClass::Sptrsv, &mut stats, &mut kernel_cycles);
+                        let (out, c) = run_timed(
+                            up,
+                            &y,
+                            KernelClass::Sptrsv,
+                            &mut stats,
+                            &mut kernel_cycles,
+                            &mut session,
+                        )?;
                         this_iter += c;
                         out
                     } else {
@@ -368,6 +518,14 @@ impl PcgSim {
                 this_iter += vec_cost(&self.vec_model, VecOp::Dot, &mut stats, &mut kernel_cycles);
             }
             let rz_new = dense::dot(&r, &z);
+            if !rz_new.is_finite() {
+                fault_guard!(
+                    timing,
+                    this_iter,
+                    BreakdownKind::NonFinite,
+                    format!("non-finite r.z = {rz_new}")
+                );
+            }
             let beta = rz_new / rz_old;
             dense::xpby(&z, beta, &mut p);
             if timing {
@@ -375,12 +533,30 @@ impl PcgSim {
             }
             rz_old = rz_new;
 
+            let rnorm = dense::norm2(&r);
+            if !rnorm.is_finite() {
+                fault_guard!(
+                    timing,
+                    this_iter,
+                    BreakdownKind::NonFinite,
+                    "non-finite residual norm".to_string()
+                );
+            }
+            if rnorm > policy.divergence_factor * best_rnorm.max(run_cfg.tol) {
+                fault_guard!(
+                    timing,
+                    this_iter,
+                    BreakdownKind::Diverged,
+                    format!("residual {rnorm:.3e} diverged from best {best_rnorm:.3e}")
+                );
+            }
+            best_rnorm = best_rnorm.min(rnorm);
+
             if timing {
                 timed_done += 1;
                 iter_cycles_acc += this_iter;
             }
             iterations += 1;
-            let rnorm = dense::norm2(&r);
             converged = rnorm <= run_cfg.tol;
 
             if timing {
@@ -454,11 +630,21 @@ impl PcgSim {
             }
         }
 
+        let status = match (converged, breakdown) {
+            (true, _) => SolveStatus::Converged,
+            (false, Some(kind)) => SolveStatus::Breakdown(kind),
+            (false, None) => SolveStatus::MaxIters,
+        };
+        let fault_events = session.map(|s| s.records().to_vec()).unwrap_or_default();
+
         solve_span.record_cycles(total_cycles);
         solve_span.annotate("iterations", iterations);
         solve_span.annotate("converged", converged);
+        if !recoveries.is_empty() {
+            solve_span.annotate("rollbacks", recoveries.len());
+        }
 
-        PcgSimReport {
+        Ok(PcgSimReport {
             x,
             converged,
             iterations,
@@ -471,8 +657,11 @@ impl PcgSim {
             flops_per_iteration,
             gflops,
             elapsed_seconds: self.cfg.cycles_to_seconds(total_cycles),
+            status,
+            fault_events,
+            recoveries,
             convergence,
-        }
+        })
     }
 }
 

@@ -528,6 +528,21 @@ impl Pe {
     pub fn tile(&self) -> TileId {
         self.tile
     }
+
+    /// Injected SRAM upset: flips `bit` (mod 64) of accumulator slot
+    /// `slot`. Returns the `(old, new)` values, or `None` when this
+    /// tile's program has no such slot (the upset lands in unused SRAM).
+    pub fn flip_slot_bit(&mut self, slot: u32, bit: u32) -> Option<(f64, f64)> {
+        let v = self.slot_vals.get_mut(slot as usize)?;
+        let old = *v;
+        *v = f64::from_bits(old.to_bits() ^ (1u64 << (bit % 64)));
+        Some((old, *v))
+    }
+
+    /// Number of accumulator slots this PE holds.
+    pub fn num_slots(&self) -> usize {
+        self.slot_vals.len()
+    }
 }
 
 #[cfg(test)]

@@ -69,6 +69,10 @@ pub struct Router {
     /// Round-robin arbitration cursor.
     rr: usize,
     capacity: usize,
+    /// Injected fault: extra per-hop latency on every outgoing forward.
+    fault_extra_delay: u64,
+    /// Injected fault: bitmask of output directions currently down.
+    fault_blocked: u8,
 }
 
 /// What the router asks its tile to do with a delivered flit.
@@ -86,7 +90,28 @@ impl Router {
             inputs: Default::default(),
             rr: 0,
             capacity,
+            fault_extra_delay: 0,
+            fault_blocked: 0,
         }
+    }
+
+    /// Clears injected link-fault state (outage windows closed).
+    pub fn clear_faults(&mut self) {
+        self.fault_extra_delay = 0;
+        self.fault_blocked = 0;
+    }
+
+    /// Takes output direction `dir` down: flits queued toward it wait at
+    /// this router until [`Router::clear_faults`].
+    pub fn inject_link_down(&mut self, dir: usize) {
+        if dir < 4 {
+            self.fault_blocked |= 1 << dir;
+        }
+    }
+
+    /// Degrades all outgoing links by `extra` cycles per hop.
+    pub fn inject_link_degrade(&mut self, extra: u64) {
+        self.fault_extra_delay = self.fault_extra_delay.max(extra);
     }
 
     /// Whether the local inject port can accept another flit.
@@ -230,6 +255,11 @@ pub fn tick_router_at(
             if forwarded & (1 << dir) != 0 {
                 continue;
             }
+            // Injected link-down fault: the flit waits at this router
+            // until the outage window closes.
+            if routers[t].fault_blocked & (1 << dir) != 0 {
+                continue;
+            }
             if dir_used[dir] || !routers[next as usize].has_room(reverse_port(dir)) {
                 continue;
             }
@@ -239,7 +269,8 @@ pub fn tick_router_at(
             stats.link_out_at(tile, dir);
             let mut copy = flit;
             copy.outbound = false;
-            routers[next as usize].accept(reverse_port(dir), now + hop_latency, copy);
+            let delay = hop_latency + routers[t].fault_extra_delay;
+            routers[next as usize].accept(reverse_port(dir), now + delay, copy);
             activated.push(next as usize);
         }
         if deliver && !delivered {

@@ -8,9 +8,10 @@
 //! from the [`SimConfig`](crate::config::SimConfig).
 
 use crate::config::SimConfig;
+use crate::faults::{FaultRecord, RecoveryRecord};
 use crate::stats::KernelStats;
 use azul_mapping::TileGrid;
-use azul_telemetry::report::{LinkEntry, PeEntry, TelemetryReport};
+use azul_telemetry::report::{FaultSample, LinkEntry, PeEntry, RecoverySample, TelemetryReport};
 
 /// Converts per-PE detail into report entries with grid coordinates.
 /// Empty when detail collection was disabled.
@@ -83,6 +84,34 @@ pub fn fill_report(report: &mut TelemetryReport, cfg: &SimConfig, stats: &Kernel
     report.counter("spills", stats.spills);
     report.pe = pe_entries(cfg.grid, stats);
     report.links = link_entries(cfg.grid, stats);
+}
+
+/// Converts the fault journal and recovery log of a solve into the
+/// report's `faults`/`recoveries` sections and adds the
+/// `fault_events`/`rollbacks` aggregate counters. A no-op pair of empty
+/// slices still records the (zero) counters, so fault-aware consumers
+/// can distinguish "fault-free run" from "pre-fault schema".
+pub fn fill_fault_report(
+    report: &mut TelemetryReport,
+    faults: &[FaultRecord],
+    recoveries: &[RecoveryRecord],
+) {
+    report.counter("fault_events", faults.len() as u64);
+    report.counter("rollbacks", recoveries.len() as u64);
+    report.faults.extend(faults.iter().map(|f| FaultSample {
+        at_cycle: f.at_cycle,
+        kind: f.kind.name().to_string(),
+        tile: f.kind.tile(),
+        applied: f.applied,
+        note: f.note.clone(),
+    }));
+    report
+        .recoveries
+        .extend(recoveries.iter().map(|r| RecoverySample {
+            iteration: r.iteration,
+            restored_iteration: r.restored_iteration,
+            reason: r.reason.clone(),
+        }));
 }
 
 /// Adds the standard scenario fields derived from a [`SimConfig`].

@@ -2,7 +2,7 @@
 //! non-symmetric systems.
 
 use crate::flops::{self, FlopBreakdown};
-use crate::pcg::SolveOutcome;
+use crate::pcg::{BreakdownKind, SolveOutcome, SolveStatus};
 use crate::precond::Preconditioner;
 use azul_sparse::{dense, Csr};
 
@@ -50,6 +50,7 @@ pub fn bicgstab<M: Preconditioner + ?Sized>(
     let mut p = vec![0.0; n];
 
     let mut iterations = 0;
+    let mut breakdown: Option<BreakdownKind> = None;
     let mut converged = dense::norm2(&r) <= config.tol;
     fl.vector += flops::dot_flops(n);
 
@@ -57,6 +58,11 @@ pub fn bicgstab<M: Preconditioner + ?Sized>(
         let rho = dense::dot(&r_hat, &r);
         fl.vector += flops::dot_flops(n);
         if rho == 0.0 {
+            breakdown = Some(BreakdownKind::RhoZero);
+            break;
+        }
+        if !rho.is_finite() {
+            breakdown = Some(BreakdownKind::NonFinite);
             break;
         }
         let beta = (rho / rho_old) * (alpha / omega);
@@ -73,9 +79,14 @@ pub fn bicgstab<M: Preconditioner + ?Sized>(
         let rhat_v = dense::dot(&r_hat, &v);
         fl.vector += flops::dot_flops(n);
         if rhat_v == 0.0 {
+            breakdown = Some(BreakdownKind::RhatVZero);
             break;
         }
         alpha = rho / rhat_v;
+        if !alpha.is_finite() {
+            breakdown = Some(BreakdownKind::NonFinite);
+            break;
+        }
         // s = r - alpha v
         let mut s = r.clone();
         dense::axpy(-alpha, &v, &mut s);
@@ -98,10 +109,15 @@ pub fn bicgstab<M: Preconditioner + ?Sized>(
         let tt = dense::dot(&t, &t);
         fl.vector += flops::dot_flops(n);
         if tt == 0.0 {
+            breakdown = Some(BreakdownKind::TtZero);
             break;
         }
         omega = dense::dot(&t, &s) / tt;
         fl.vector += flops::dot_flops(n);
+        if !omega.is_finite() {
+            breakdown = Some(BreakdownKind::NonFinite);
+            break;
+        }
         // x += omega z ; r = s - omega t
         dense::axpy(omega, &z, &mut x);
         r = s;
@@ -113,16 +129,23 @@ pub fn bicgstab<M: Preconditioner + ?Sized>(
         let rnorm = dense::norm2(&r);
         fl.vector += flops::dot_flops(n);
         converged = rnorm <= config.tol;
-        if omega == 0.0 {
+        if omega == 0.0 && !converged {
+            breakdown = Some(BreakdownKind::OmegaZero);
             break;
         }
     }
 
     let final_residual = dense::norm2(&dense::sub(b, &a.spmv(&x)));
+    let status = match (converged, breakdown) {
+        (true, _) => SolveStatus::Converged,
+        (false, Some(kind)) => SolveStatus::Breakdown(kind),
+        (false, None) => SolveStatus::MaxIters,
+    };
     SolveOutcome {
         x,
         iterations,
         converged,
+        status,
         final_residual,
         flops: fl,
         residual_history: Vec::new(),
@@ -208,5 +231,33 @@ mod tests {
         let out = bicgstab(&a, &[0.0; 5], &Identity, &BiCgStabConfig::default());
         assert!(out.converged);
         assert_eq!(out.iterations, 0);
+        assert_eq!(out.status, crate::SolveStatus::Converged);
+    }
+
+    #[test]
+    fn singular_matrix_reports_structured_breakdown() {
+        // diag(1, 0) with b = [0, 1]: the rhs lives in A's null space
+        // direction, so v = A p = 0 and r̂·v vanishes on iteration 1.
+        let mut coo = Coo::new(2, 2);
+        coo.push(0, 0, 1.0).unwrap();
+        coo.push(1, 1, 0.0).unwrap();
+        let a = coo.to_csr();
+        let out = bicgstab(&a, &[0.0, 1.0], &Identity, &BiCgStabConfig::default());
+        assert!(!out.converged);
+        assert_eq!(
+            out.status,
+            crate::SolveStatus::Breakdown(crate::BreakdownKind::RhatVZero)
+        );
+    }
+
+    #[test]
+    fn exact_solution_rhs_reports_rho_breakdown_or_converges() {
+        // b orthogonal to r̂ = r can only happen with r = 0 (r̂ = r at
+        // start), so engineer rho = 0 via one exact step: A = I, any b
+        // converges in one iteration — never a breakdown.
+        let a = azul_sparse::Csr::identity(3);
+        let out = bicgstab(&a, &[2.0, -3.0, 0.5], &Identity, &BiCgStabConfig::default());
+        assert!(out.converged);
+        assert!(!out.status.is_breakdown());
     }
 }

@@ -133,10 +133,16 @@ pub fn gmres<M: Preconditioner + ?Sized>(
     }
 
     let final_residual = dense::norm2(&dense::sub(b, &a.spmv(&x)));
+    let converged = converged || final_residual <= config.tol;
     SolveOutcome {
         x,
         iterations: total_iters,
-        converged: converged || final_residual <= config.tol,
+        converged,
+        status: if converged {
+            crate::SolveStatus::Converged
+        } else {
+            crate::SolveStatus::MaxIters
+        },
         final_residual,
         flops: fl,
         residual_history: Vec::new(),

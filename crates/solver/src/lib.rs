@@ -46,7 +46,7 @@ pub mod precond;
 pub use bicgstab::{bicgstab, BiCgStabConfig};
 pub use direct::{dense_solve, DenseCholesky};
 pub use gmres::{gmres, GmresConfig};
-pub use pcg::{cg, pcg, PcgConfig, SolveOutcome};
+pub use pcg::{cg, pcg, BreakdownKind, PcgConfig, SolveOutcome, SolveStatus};
 pub use power::{power_iteration, PowerConfig};
 
 /// Errors from solver construction or execution.

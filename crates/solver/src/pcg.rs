@@ -25,6 +25,72 @@ impl Default for PcgConfig {
     }
 }
 
+/// What specifically broke when an iterative solver stopped short.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakdownKind {
+    /// CG/PCG: the curvature `p·Ap` hit exactly zero — the matrix is
+    /// indefinite/singular along the search direction (or state was
+    /// corrupted by a fault).
+    PApZero,
+    /// BiCGStab: `rho = r̂·r` vanished.
+    RhoZero,
+    /// BiCGStab: `r̂·v` vanished.
+    RhatVZero,
+    /// BiCGStab: `t·t` vanished (stationary update direction).
+    TtZero,
+    /// BiCGStab: the stabilization parameter `omega` vanished.
+    OmegaZero,
+    /// A recurrence scalar went NaN/Inf.
+    NonFinite,
+    /// The residual norm grew past the divergence guard (used by the
+    /// simulator frontends' fault detection).
+    Diverged,
+}
+
+impl std::fmt::Display for BreakdownKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            BreakdownKind::PApZero => "p·Ap = 0",
+            BreakdownKind::RhoZero => "rho = 0",
+            BreakdownKind::RhatVZero => "r̂·v = 0",
+            BreakdownKind::TtZero => "t·t = 0",
+            BreakdownKind::OmegaZero => "omega = 0",
+            BreakdownKind::NonFinite => "non-finite scalar",
+            BreakdownKind::Diverged => "residual divergence",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Structured termination status of an iterative solve — how the loop
+/// ended, not just whether the tolerance was met.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SolveStatus {
+    /// `||r|| <= tol` within the iteration cap.
+    Converged,
+    /// The iteration cap expired without convergence or breakdown.
+    MaxIters,
+    /// A numerical breakdown ended the recurrence early.
+    Breakdown(BreakdownKind),
+}
+
+impl SolveStatus {
+    /// Whether the solve ended in a breakdown.
+    pub fn is_breakdown(&self) -> bool {
+        matches!(self, SolveStatus::Breakdown(_))
+    }
+}
+
+impl std::fmt::Display for SolveStatus {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SolveStatus::Converged => f.write_str("converged"),
+            SolveStatus::MaxIters => f.write_str("max iterations reached"),
+            SolveStatus::Breakdown(k) => write!(f, "breakdown: {k}"),
+        }
+    }
+}
+
 /// Result of an iterative solve.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SolveOutcome {
@@ -34,6 +100,8 @@ pub struct SolveOutcome {
     pub iterations: usize,
     /// Whether `||r|| <= tol` was reached within the iteration cap.
     pub converged: bool,
+    /// How the solve terminated (converged / cap / which breakdown).
+    pub status: SolveStatus,
     /// Final residual norm `||b - A x||_2` (recomputed, not recursive).
     pub final_residual: f64,
     /// Total FLOPs executed, by kernel.
@@ -72,6 +140,7 @@ pub fn pcg<M: Preconditioner + ?Sized>(
     flops_total.vector += flops::dot_flops(n);
 
     let mut iterations = 0;
+    let mut breakdown: Option<BreakdownKind> = None;
     let mut converged = dense::norm2(&r) <= config.tol;
     flops_total.vector += flops::dot_flops(n);
 
@@ -83,7 +152,14 @@ pub fn pcg<M: Preconditioner + ?Sized>(
         let p_ap = dense::dot(&p, &ap);
         flops_total.vector += flops::dot_flops(n);
         if p_ap == 0.0 || !p_ap.is_finite() {
-            break; // numerical breakdown; return best effort
+            // Numerical breakdown; stop and return best effort, with the
+            // cause in `status`.
+            breakdown = Some(if p_ap == 0.0 {
+                BreakdownKind::PApZero
+            } else {
+                BreakdownKind::NonFinite
+            });
+            break;
         }
         let alpha = rz_old / p_ap;
         // x += alpha p ; r -= alpha Ap
@@ -112,10 +188,16 @@ pub fn pcg<M: Preconditioner + ?Sized>(
 
     // True residual, recomputed.
     let final_residual = dense::norm2(&dense::sub(b, &a.spmv(&x)));
+    let status = match (converged, breakdown) {
+        (true, _) => SolveStatus::Converged,
+        (false, Some(kind)) => SolveStatus::Breakdown(kind),
+        (false, None) => SolveStatus::MaxIters,
+    };
     SolveOutcome {
         x,
         iterations,
         converged,
+        status,
         final_residual,
         flops: flops_total,
         residual_history: history,
@@ -246,5 +328,35 @@ mod tests {
         assert!(out.converged);
         assert_eq!(out.iterations, 0);
         assert_eq!(out.x, vec![0.0; 10]);
+        assert_eq!(out.status, SolveStatus::Converged);
+    }
+
+    #[test]
+    fn indefinite_matrix_reports_p_ap_breakdown() {
+        // diag(1, -1) with b = [1, 1]: p = r = b gives p·Ap = 1 - 1 = 0,
+        // the canonical CG breakdown on an indefinite matrix.
+        let mut coo = azul_sparse::Coo::new(2, 2);
+        coo.push(0, 0, 1.0).unwrap();
+        coo.push(1, 1, -1.0).unwrap();
+        let a = coo.to_csr();
+        let out = cg(&a, &[1.0, 1.0], &PcgConfig::default());
+        assert!(!out.converged);
+        assert_eq!(out.status, SolveStatus::Breakdown(BreakdownKind::PApZero));
+        assert!(out.status.is_breakdown());
+    }
+
+    #[test]
+    fn max_iters_status_is_distinct_from_breakdown() {
+        let a = generate::grid_laplacian_2d(30, 30);
+        let b = rhs(a.rows());
+        let out = cg(
+            &a,
+            &b,
+            &PcgConfig {
+                max_iters: 3,
+                ..Default::default()
+            },
+        );
+        assert_eq!(out.status, SolveStatus::MaxIters);
     }
 }

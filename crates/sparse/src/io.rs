@@ -71,13 +71,26 @@ pub fn read_matrix_market<R: Read>(reader: R) -> Result<Csr> {
     }
     let (rows, cols, nnz) = (dims[0], dims[1], dims[2]);
 
-    let mut coo = Coo::with_capacity(rows, cols, if symmetric { 2 * nnz } else { nnz });
+    // Bound the preallocation: the declared nnz is untrusted input and an
+    // adversarial header ("1 1 99999999999999") must not reserve memory
+    // up front. The Vec still grows as real entries arrive.
+    let declared = if symmetric {
+        nnz.saturating_mul(2)
+    } else {
+        nnz
+    };
+    let mut coo = Coo::with_capacity(rows, cols, declared.min(1 << 22));
     let mut seen = 0usize;
     for line in lines {
         let line = line?;
         let t = line.trim();
         if t.is_empty() || t.starts_with('%') {
             continue;
+        }
+        if seen == nnz {
+            return Err(SparseError::Parse(format!(
+                "more entries than the declared {nnz}"
+            )));
         }
         let mut it = t.split_whitespace();
         let r: usize = it
@@ -103,6 +116,11 @@ pub fn read_matrix_market<R: Read>(reader: R) -> Result<Csr> {
                 "matrix market indices are 1-based".into(),
             ));
         }
+        if r > rows || c > cols {
+            return Err(SparseError::Parse(format!(
+                "entry ({r}, {c}) outside the declared {rows}x{cols} shape"
+            )));
+        }
         if symmetric {
             coo.push_sym(r - 1, c - 1, v)?;
         } else {
@@ -115,7 +133,23 @@ pub fn read_matrix_market<R: Read>(reader: R) -> Result<Csr> {
             "expected {nnz} entries, found {seen}"
         )));
     }
-    Ok(coo.to_csr())
+    let csr = coo.to_csr();
+    // `to_csr` sums duplicate coordinates, so a count mismatch means the
+    // file repeated an entry (or a "symmetric" file listed both
+    // triangles) — the format forbids both, and silently summing them
+    // corrupts the matrix.
+    if csr.nnz() != coo.nnz() {
+        return Err(SparseError::Parse(format!(
+            "{} duplicate entr{} (matrix market forbids repeated coordinates)",
+            coo.nnz() - csr.nnz(),
+            if coo.nnz() - csr.nnz() == 1 {
+                "y"
+            } else {
+                "ies"
+            }
+        )));
+    }
+    Ok(csr)
 }
 
 /// Loads a Matrix Market file from disk.
@@ -206,6 +240,100 @@ mod tests {
         assert!(read_matrix_market(bad_count.as_bytes()).is_err());
         let zero_based = "%%MatrixMarket matrix coordinate real general\n2 2 1\n0 1 1.0\n";
         assert!(read_matrix_market(zero_based.as_bytes()).is_err());
+    }
+
+    fn expect_parse_error(text: &str, needle: &str) {
+        match read_matrix_market(text.as_bytes()) {
+            Err(SparseError::Parse(msg)) => assert!(
+                msg.contains(needle),
+                "expected {needle:?} in parse error, got {msg:?}"
+            ),
+            other => panic!("expected parse error containing {needle:?}, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_missing_or_short_size_line() {
+        expect_parse_error(
+            "%%MatrixMarket matrix coordinate real general\n% only comments\n",
+            "missing size line",
+        );
+        expect_parse_error(
+            "%%MatrixMarket matrix coordinate real general\n2 2\n",
+            "rows cols nnz",
+        );
+    }
+
+    #[test]
+    fn rejects_truncated_entry_lines() {
+        expect_parse_error(
+            "%%MatrixMarket matrix coordinate real general\n2 2 1\n1\n",
+            "short entry line",
+        );
+        expect_parse_error(
+            "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 2\n",
+            "missing value",
+        );
+    }
+
+    #[test]
+    fn rejects_nnz_mismatch_both_directions() {
+        expect_parse_error(
+            "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1.0\n",
+            "expected 2 entries, found 1",
+        );
+        expect_parse_error(
+            "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1 1.0\n2 2 1.0\n",
+            "more entries than the declared 1",
+        );
+    }
+
+    #[test]
+    fn rejects_negative_indices() {
+        // usize parsing refuses the sign, so these surface as parse
+        // errors on the index token rather than a panic or wraparound.
+        expect_parse_error(
+            "%%MatrixMarket matrix coordinate real general\n2 2 1\n-1 1 1.0\n",
+            "bad row index",
+        );
+        expect_parse_error(
+            "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 -2 1.0\n",
+            "bad col index",
+        );
+    }
+
+    #[test]
+    fn rejects_out_of_range_indices() {
+        expect_parse_error(
+            "%%MatrixMarket matrix coordinate real general\n2 3 1\n3 1 1.0\n",
+            "entry (3, 1) outside the declared 2x3 shape",
+        );
+        expect_parse_error(
+            "%%MatrixMarket matrix coordinate real general\n2 3 1\n1 4 1.0\n",
+            "outside the declared",
+        );
+    }
+
+    #[test]
+    fn rejects_duplicate_entries() {
+        expect_parse_error(
+            "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 2 1.0\n1 2 3.0\n",
+            "duplicate entr",
+        );
+        // A "symmetric" file listing both triangles collides with its own
+        // mirror expansion.
+        expect_parse_error(
+            "%%MatrixMarket matrix coordinate real symmetric\n2 2 2\n2 1 1.0\n1 2 1.0\n",
+            "duplicate entr",
+        );
+    }
+
+    #[test]
+    fn huge_declared_nnz_errors_without_preallocating() {
+        // The header claims ~10^15 entries; the parser must fail on the
+        // count mismatch without trying to reserve that much memory.
+        let text = "%%MatrixMarket matrix coordinate real general\n2 2 999999999999999\n1 1 1.0\n";
+        expect_parse_error(text, "expected 999999999999999 entries, found 1");
     }
 
     #[test]

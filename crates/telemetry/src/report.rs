@@ -205,6 +205,55 @@ impl ToJson for IterationSample {
     }
 }
 
+/// One injected-fault journal entry: what fired, when (global simulated
+/// cycle across all kernels of the solve), and whether it actually
+/// landed on live state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultSample {
+    /// Global cycle (across kernels) the event fired at.
+    pub at_cycle: u64,
+    /// Fault class, e.g. `"sram_bit_flip"` or `"link_down"`.
+    pub kind: String,
+    /// Target tile.
+    pub tile: u32,
+    /// Whether the fault was applied (false: target out of range or
+    /// already idle).
+    pub applied: bool,
+    /// Human-readable detail (e.g. the flipped value before/after).
+    pub note: String,
+}
+
+impl ToJson for FaultSample {
+    fn to_json(&self) -> Value {
+        Value::object()
+            .field("at_cycle", self.at_cycle)
+            .field("kind", &self.kind)
+            .field("tile", self.tile)
+            .field("applied", self.applied)
+            .field("note", &self.note)
+    }
+}
+
+/// One executed checkpoint rollback.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoverySample {
+    /// Solver iteration the anomaly was detected at.
+    pub iteration: usize,
+    /// Iteration whose checkpoint was restored.
+    pub restored_iteration: usize,
+    /// What triggered the rollback.
+    pub reason: String,
+}
+
+impl ToJson for RecoverySample {
+    fn to_json(&self) -> Value {
+        Value::object()
+            .field("iteration", self.iteration)
+            .field("restored_iteration", self.restored_iteration)
+            .field("reason", &self.reason)
+    }
+}
+
 /// The complete telemetry document for one scenario run.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct TelemetryReport {
@@ -225,11 +274,16 @@ pub struct TelemetryReport {
     pub links: Vec<LinkEntry>,
     /// Convergence history, one sample per solver iteration.
     pub convergence: Vec<IterationSample>,
+    /// Injected-fault journal (empty for fault-free runs).
+    pub faults: Vec<FaultSample>,
+    /// Executed recoveries (empty when nothing rolled back).
+    pub recoveries: Vec<RecoverySample>,
 }
 
 impl TelemetryReport {
-    /// Schema version stamped into the JSON output.
-    pub const SCHEMA_VERSION: u32 = 1;
+    /// Schema version stamped into the JSON output. Version 2 added the
+    /// `faults` and `recoveries` sections.
+    pub const SCHEMA_VERSION: u32 = 2;
 
     /// Adds a scenario field.
     pub fn scenario_field(&mut self, key: &str, value: impl ToJson) {
@@ -313,6 +367,8 @@ impl TelemetryReport {
             .field("pe_utilization", self.pe_utilization_grid())
             .field("link_traffic", self.link_traffic_grid())
             .field("convergence", &self.convergence)
+            .field("faults", &self.faults)
+            .field("recoveries", &self.recoveries)
     }
 
     /// Writes pretty-printed JSON to `path`.
@@ -389,7 +445,10 @@ mod tests {
         let report = sample_report();
         let text = report.to_json().to_string_pretty();
         let v = json::parse(&text).expect("valid JSON");
-        assert_eq!(v.get("schema_version").and_then(Value::as_u64), Some(1));
+        assert_eq!(
+            v.get("schema_version").and_then(Value::as_u64),
+            Some(u64::from(TelemetryReport::SCHEMA_VERSION))
+        );
         assert_eq!(
             v.get("scenario")
                 .and_then(|s| s.get("matrix"))

@@ -43,6 +43,7 @@ fn main() {
                     timed_iterations: 2,
                     max_iters: 3,
                     tol: 1e-12,
+                    ..Default::default()
                 },
             );
             println!(

@@ -9,11 +9,21 @@
 //! azul-report --matrix A.mtx [--grid 16] [--mapping azul|rr|block|sparsep]
 //!             [--tol 1e-10] [--fast] [--out report.json] [--quiet]
 //! azul-report --suite consph [--scale tiny|small|medium] ...
+//! azul-report --suite consph --fault-seed 42 [--fault-events 4]
+//!             [--fault-window 100000] [--no-recovery] ...
 //! ```
+//!
+//! The `--fault-*` flags replay a seeded, deterministic [`FaultPlan`]
+//! (SRAM bit flips, link outages/degradation, PE stalls) against the
+//! solve; fault and recovery events land in the JSON report's `faults`
+//! and `recoveries` sections. `--no-recovery` keeps the detection
+//! guards but disables checkpoint/rollback, so an induced breakdown
+//! terminates the solve with a structured status instead.
 
 use azul::mapping::strategies::AzulMapper;
 use azul::mapping::TileGrid;
-use azul::sim::telemetry::{describe_config, fill_report};
+use azul::sim::faults::{FaultPlan, RecoveryPolicy};
+use azul::sim::telemetry::{describe_config, fill_fault_report, fill_report};
 use azul::sparse::suite::{by_name, Scale};
 use azul::sparse::Csr;
 use azul::telemetry::{heatmap, span, TelemetryReport};
@@ -28,6 +38,8 @@ fn main() -> ExitCode {
         println!("azul-report --matrix A.mtx | --suite NAME [--scale tiny|small|medium]");
         println!("            [--grid 16] [--mapping azul|rr|block|sparsep] [--tol 1e-10]");
         println!("            [--fast] [--out report.json] [--quiet]");
+        println!("            [--fault-seed N [--fault-events 4] [--fault-window 100000]]");
+        println!("            [--no-recovery]");
         return ExitCode::SUCCESS;
     }
     let opts = parse_opts(&args);
@@ -62,6 +74,23 @@ fn main() -> ExitCode {
             AzulMapper::default()
         }),
     };
+    if let Some(seed) = opts.get("fault-seed").and_then(|s| s.parse::<u64>().ok()) {
+        let events: usize = opts
+            .get("fault-events")
+            .and_then(|e| e.parse().ok())
+            .unwrap_or(4);
+        let window: u64 = opts
+            .get("fault-window")
+            .and_then(|w| w.parse().ok())
+            .unwrap_or(100_000);
+        cfg.sim.faults = Some(FaultPlan::seeded(seed, grid * grid, events, window));
+        // Faults land on the cycle timeline, so time every iteration
+        // instead of extrapolating from the first few.
+        cfg.pcg.timed_iterations = 0;
+    }
+    if opts.contains_key("no-recovery") {
+        cfg.pcg.recovery = RecoveryPolicy::disabled();
+    }
 
     // Collect phase spans for the whole prepare + solve pipeline.
     let collector = span::Collector::install();
@@ -74,7 +103,16 @@ fn main() -> ExitCode {
         }
     };
     let b = vec![1.0; a.rows()];
-    let solve = prepared.solve(&b);
+    let solve = match prepared.try_solve(&b) {
+        Ok(s) => s,
+        Err(e) => {
+            span::uninstall();
+            // A structured machine failure (e.g. a fault-induced
+            // deadlock), not a crash: report it and exit nonzero.
+            eprintln!("solve failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
     span::uninstall();
 
     let mut report = TelemetryReport::default();
@@ -85,6 +123,7 @@ fn main() -> ExitCode {
     report.scenario_field("tol", tol);
     describe_config(&mut report, &azul.config().sim);
     fill_report(&mut report, &azul.config().sim, &solve.sim.stats);
+    fill_fault_report(&mut report, &solve.sim.fault_events, &solve.sim.recoveries);
     report.absorb_spans(collector.drain());
     report.convergence = solve.sim.convergence.clone();
 
@@ -106,6 +145,30 @@ fn main() -> ExitCode {
             solve.final_residual,
             solve.gflops
         );
+        if !solve.sim.fault_events.is_empty() {
+            println!(
+                "faults: {} event(s), {} rollback(s), status {:?}",
+                solve.sim.fault_events.len(),
+                solve.sim.recoveries.len(),
+                solve.sim.status
+            );
+            for f in &solve.sim.fault_events {
+                println!(
+                    "  cycle {:>10}  {:<13} tile {:<3} {}{}",
+                    f.at_cycle,
+                    f.kind.name(),
+                    f.kind.tile(),
+                    if f.applied { "" } else { "(not applied) " },
+                    f.note
+                );
+            }
+            for r in &solve.sim.recoveries {
+                println!(
+                    "  rollback at iteration {} -> checkpoint {}: {}",
+                    r.iteration, r.restored_iteration, r.reason
+                );
+            }
+        }
         for phase in &report.phases {
             let cycles = phase
                 .cycles

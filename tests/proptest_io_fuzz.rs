@@ -1,0 +1,143 @@
+//! Adversarial property tests for the I/O boundary and format
+//! conversions: feeding arbitrary bytes, corrupt headers, and hostile
+//! size/entry lines to the Matrix Market parser must yield a typed
+//! error — never a panic or runaway allocation — and the CSR/CSC/COO
+//! conversion lattice must stay lossless for any matrix shape.
+
+use azul::sparse::{dense, io, Coo, SparseError};
+use proptest::prelude::*;
+
+/// Characters that exercise the tokenizer: digits, signs, exponents,
+/// comment markers, whitespace, and letters from the header keywords.
+const FUZZ_CHARS: &[u8] = b"0123456789 .-+eE%\n\tmatrixcodngenrlsympt";
+
+/// Strategy: an arbitrary byte string drawn from the fuzz alphabet.
+fn arb_garbage() -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(0usize..FUZZ_CHARS.len(), 0..400)
+        .prop_map(|idx| idx.into_iter().map(|i| FUZZ_CHARS[i]).collect())
+}
+
+/// Strategy: a well-formed header followed by an arbitrary body, so the
+/// fuzz cases reach the size-line and entry-line parsing stages instead
+/// of dying on the header check.
+fn arb_headered_garbage() -> impl Strategy<Value = Vec<u8>> {
+    arb_garbage().prop_map(|mut body| {
+        let mut buf = b"%%MatrixMarket matrix coordinate real general\n".to_vec();
+        buf.append(&mut body);
+        buf
+    })
+}
+
+/// Strategy: a random rectangular matrix, possibly with repeated
+/// coordinates (which `to_csr` sums), including fully empty ones.
+fn arb_rect_matrix() -> impl Strategy<Value = Coo> {
+    (1usize..=12, 1usize..=12).prop_flat_map(|(rows, cols)| {
+        let entries = proptest::collection::vec((0..rows, 0..cols, -4.0f64..4.0), 0..(rows * cols));
+        entries.prop_map(move |es| {
+            let mut coo = Coo::new(rows, cols);
+            for (r, c, v) in es {
+                coo.push(r, c, v).unwrap();
+            }
+            coo
+        })
+    })
+}
+
+proptest! {
+    /// Arbitrary bytes never panic the parser; they produce a typed
+    /// error or (for the rare lucky case) a well-formed matrix.
+    #[test]
+    fn parser_never_panics_on_garbage(bytes in arb_garbage()) {
+        let _ = io::read_matrix_market(bytes.as_slice());
+    }
+
+    /// Garbage behind a valid header reaches the size/entry parsing
+    /// paths and still never panics.
+    #[test]
+    fn parser_never_panics_past_header(bytes in arb_headered_garbage()) {
+        if let Ok(a) = io::read_matrix_market(bytes.as_slice()) {
+            // Anything accepted must be internally consistent.
+            prop_assert!(a.nnz() <= a.rows().saturating_mul(a.cols()));
+        }
+    }
+
+    /// Raw binary (full 0..=255 alphabet, likely invalid UTF-8) is
+    /// rejected as an I/O or parse error, not a panic.
+    #[test]
+    fn parser_never_panics_on_binary(bytes in proptest::collection::vec(0u16..=255, 0..200)) {
+        let bytes: Vec<u8> = bytes.into_iter().map(|b| b as u8).collect();
+        let _ = io::read_matrix_market(bytes.as_slice());
+    }
+
+    /// Hostile size lines — huge declared nnz against a tiny body —
+    /// must fail fast without reserving the declared capacity.
+    #[test]
+    fn huge_nnz_headers_fail_cleanly(
+        rows in 1usize..=8,
+        cols in 1usize..=8,
+        nnz in 1_000_000_000usize..usize::MAX / 4,
+    ) {
+        let text = format!(
+            "%%MatrixMarket matrix coordinate real general\n{rows} {cols} {nnz}\n1 1 1.0\n"
+        );
+        match io::read_matrix_market(text.as_bytes()) {
+            Err(SparseError::Parse(msg)) => prop_assert!(msg.contains("entries")),
+            other => prop_assert!(false, "expected parse error, got {:?}", other),
+        }
+    }
+
+    /// Out-of-range and duplicate coordinates are always rejected with
+    /// a parse error, for any declared shape.
+    #[test]
+    fn bad_coordinates_rejected(rows in 1usize..=6, cols in 1usize..=6) {
+        let oob = format!(
+            "%%MatrixMarket matrix coordinate real general\n{rows} {cols} 1\n{} {} 1.0\n",
+            rows + 1,
+            cols,
+        );
+        prop_assert!(matches!(
+            io::read_matrix_market(oob.as_bytes()),
+            Err(SparseError::Parse(_))
+        ));
+        let dup = format!(
+            "%%MatrixMarket matrix coordinate real general\n{rows} {cols} 2\n1 1 1.0\n1 1 2.0\n"
+        );
+        prop_assert!(matches!(
+            io::read_matrix_market(dup.as_bytes()),
+            Err(SparseError::Parse(_))
+        ));
+    }
+
+    /// Write -> read is the identity for rectangular matrices too (the
+    /// seed suite only covered square ones).
+    #[test]
+    fn rectangular_roundtrip(coo in arb_rect_matrix()) {
+        let a = coo.to_csr();
+        let mut buf = Vec::new();
+        io::write_matrix_market(&mut buf, &a).unwrap();
+        let b = io::read_matrix_market(buf.as_slice()).unwrap();
+        prop_assert_eq!(a, b);
+    }
+
+    /// The conversion lattice is lossless from either entry point:
+    /// COO -> CSR -> CSC -> CSR and COO -> CSC -> CSR agree.
+    #[test]
+    fn conversion_lattice_lossless(coo in arb_rect_matrix()) {
+        let csr = coo.to_csr();
+        let csc = coo.to_csc();
+        prop_assert_eq!(csc.to_csr(), csr.clone());
+        prop_assert_eq!(csr.to_csc().to_csr(), csr.clone());
+        // Rectangular transpose round-trips as well.
+        prop_assert_eq!(csr.transpose().transpose(), csr);
+    }
+
+    /// CSR and CSC SpMV agree on rectangular operands.
+    #[test]
+    fn rect_spmv_agrees(coo in arb_rect_matrix()) {
+        let csr = coo.to_csr();
+        let x: Vec<f64> = (0..csr.cols()).map(|i| 1.0 + (i % 3) as f64).collect();
+        let y1 = csr.spmv(&x);
+        let y2 = coo.to_csc().spmv(&x);
+        prop_assert!(dense::max_abs_diff(&y1, &y2) < 1e-12);
+    }
+}
