@@ -16,6 +16,8 @@
 //! * `AZUL_BENCH_SCALE` — `tiny` | `small` | `medium` (default `small`);
 //! * `AZUL_BENCH_FAST` — set to use the fast partitioner preset.
 
+#![forbid(unsafe_code)]
+
 use azul_mapping::strategies::{AzulMapper, BlockMapper, Mapper, RoundRobinMapper, SparsePMapper};
 use azul_mapping::{Placement, TileGrid};
 use azul_sim::config::SimConfig;

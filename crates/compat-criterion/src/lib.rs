@@ -14,6 +14,8 @@
 //! point the workspace `criterion` dependency back at the registry
 //! version.
 
+#![forbid(unsafe_code)]
+
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;

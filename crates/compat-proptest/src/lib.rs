@@ -14,6 +14,8 @@
 //! reproducibility beats coverage variety. Re-enable the real crate by
 //! dropping the `[patch.crates-io]` entry in the workspace root.
 
+#![forbid(unsafe_code)]
+
 use std::ops::{Range, RangeInclusive};
 
 pub mod test_runner {

@@ -13,6 +13,8 @@
 //! stub is replaced by the real crate wherever the registry is reachable
 //! (point the workspace `rand` dependency back at the registry version).
 
+#![forbid(unsafe_code)]
+
 /// Low-level generator interface: a source of `u64`s.
 pub trait RngCore {
     /// Returns the next 64 random bits.

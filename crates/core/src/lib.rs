@@ -35,6 +35,8 @@
 //! # Ok::<(), azul_core::AzulError>(())
 //! ```
 
+#![forbid(unsafe_code)]
+
 use azul_mapping::strategies::{AzulMapper, BlockMapper, Mapper, RoundRobinMapper, SparsePMapper};
 use azul_mapping::{Placement, TileGrid};
 use azul_sim::config::SimConfig;
@@ -469,6 +471,7 @@ impl PreparedSolver {
     /// # Panics
     ///
     /// Panics if `b.len()` differs from the prepared matrix dimension.
+    #[must_use = "a dropped result discards both the solve report and the structured failure"]
     pub fn try_solve(&self, b: &[f64]) -> Result<SolveReport, AzulError> {
         assert_eq!(b.len(), self.n, "rhs length mismatch");
         let pb = match &self.perm {

@@ -36,6 +36,8 @@
 //! # Ok::<(), azul_hypergraph::HypergraphError>(())
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod coarsen;
 pub mod fm;
 pub mod partition;

@@ -1,0 +1,867 @@
+//! Project-specific static analysis for the Azul workspace.
+//!
+//! The cycle-level model's numbers are only meaningful if the same
+//! matrix + mapping + seed always yields the same cycle count, so this
+//! crate enforces determinism hygiene the compiler cannot: a hand-rolled
+//! lexer (dependency-free, consistent with the workspace's vendored-compat
+//! ethos) scans every source file and reports rule violations with
+//! file:line diagnostics.
+//!
+//! # Rules
+//!
+//! * [`NONDETERMINISTIC_ITERATION`] — iterating a `HashMap`/`HashSet`
+//!   (`for`, `.iter()`, `.keys()`, `.values()`, `.drain()`, ...) in
+//!   `crates/sim` (error), `crates/mapping` or `crates/hypergraph`
+//!   (warning). Hash iteration order varies across runs and toolchains;
+//!   use `BTreeMap`/`BTreeSet` or sort explicitly.
+//! * [`WALL_CLOCK_IN_SIM`] — `Instant`/`SystemTime`/`thread_rng` in
+//!   `crates/sim` (error). Cycle-level code must be a pure function of
+//!   its inputs and seeds.
+//! * [`UNCHECKED_FLOAT_REDUCTION`] — `.sum::<f64>()` / float `fold`
+//!   reductions in `crates/sim`/`crates/solver` without a nearby
+//!   `// reduction-order:` justification (warning). Float addition is
+//!   not associative; the summation order must be pinned deliberately.
+//! * [`PANIC_IN_SIM_HOT_PATH`] — `unwrap`/`expect`/`panic!` family
+//!   macros inside functions whose name contains `tick`, `route` or
+//!   `execute` in `crates/sim` (warning). Hot paths should return typed
+//!   `SimError`s.
+//!
+//! Any finding can be waived in place with
+//! `// azul-lint: allow(<rule>)` on the offending line or up to three
+//! lines above (so a directive can precede a multi-line statement);
+//! allows should carry a justification in the same comment.
+//!
+//! The analysis is per-file and purely lexical: it skips strings,
+//! chars and comments, but does not resolve types across files. That
+//! trades a few theoretically-missable cases for zero dependencies and
+//! trivially auditable behavior.
+
+#![forbid(unsafe_code)]
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// Rule: `HashMap`/`HashSet` iteration in order-sensitive crates.
+pub const NONDETERMINISTIC_ITERATION: &str = "nondeterministic-iteration";
+/// Rule: wall-clock or ambient randomness in cycle-level code.
+pub const WALL_CLOCK_IN_SIM: &str = "wall-clock-in-sim";
+/// Rule: unjustified float reductions in sim/solver code.
+pub const UNCHECKED_FLOAT_REDUCTION: &str = "unchecked-float-reduction";
+/// Rule: panicking calls inside tick/route/execute hot paths.
+pub const PANIC_IN_SIM_HOT_PATH: &str = "panic-in-sim-hot-path";
+
+/// Every rule this linter knows, in reporting order.
+pub const ALL_RULES: [&str; 4] = [
+    NONDETERMINISTIC_ITERATION,
+    WALL_CLOCK_IN_SIM,
+    UNCHECKED_FLOAT_REDUCTION,
+    PANIC_IN_SIM_HOT_PATH,
+];
+
+/// Diagnostic severity. `--deny warnings` promotes warnings to failures
+/// at the CLI layer; the levels themselves are fixed per rule and scope.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Questionable; fails only under `--deny warnings`.
+    Warning,
+    /// Always fails the check.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Warning => write!(f, "warning"),
+            Severity::Error => write!(f, "error"),
+        }
+    }
+}
+
+/// One finding, anchored to a line of one file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// 1-based source line.
+    pub line: u32,
+    /// The violated rule (one of [`ALL_RULES`]).
+    pub rule: &'static str,
+    /// How hard the finding fails.
+    pub severity: Severity,
+    /// What was found and what to do about it.
+    pub message: String,
+}
+
+/// The crate-ish scope a path belongs to: `"sim"` for
+/// `crates/sim/...`, `"azul"` for the root package's `src/`, the first
+/// path segment otherwise (`"tests"`, `"benches"`).
+pub fn scope_of(path: &str) -> &str {
+    let norm = path.trim_start_matches("./");
+    if let Some(rest) = norm.split("crates/").nth(1) {
+        return rest.split('/').next().unwrap_or("");
+    }
+    if norm.starts_with("src/") || norm.contains("/src/") {
+        return "azul";
+    }
+    norm.split('/').next().unwrap_or("")
+}
+
+// ---------------------------------------------------------------------
+// Lexer
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Tok {
+    Ident(String),
+    Punct(char),
+    Num { float: bool },
+}
+
+#[derive(Debug, Clone)]
+struct Token {
+    line: u32,
+    tok: Tok,
+}
+
+/// A scanned file: token stream plus the directives mined from comments.
+struct Scan {
+    tokens: Vec<Token>,
+    /// Lines carrying `azul-lint: allow(...)`, with the allowed rules.
+    /// A directive covers its own line and the next three (multi-line
+    /// statements put the flagged token a few lines below the comment).
+    allows: BTreeMap<u32, Vec<String>>,
+    /// Lines carrying a `reduction-order:` justification.
+    justified: BTreeSet<u32>,
+}
+
+impl Scan {
+    fn allowed(&self, rule: &str, line: u32) -> bool {
+        (line.saturating_sub(3)..=line).any(|l| {
+            self.allows
+                .get(&l)
+                .is_some_and(|rules| rules.iter().any(|r| r == rule))
+        })
+    }
+
+    /// A `reduction-order:` comment on `line` or up to three lines above.
+    fn reduction_justified(&self, line: u32) -> bool {
+        (line.saturating_sub(3)..=line).any(|l| self.justified.contains(&l))
+    }
+}
+
+fn scan(src: &str) -> Scan {
+    let b: Vec<char> = src.chars().collect();
+    let n = b.len();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let mut tokens = Vec::new();
+    let mut allows: BTreeMap<u32, Vec<String>> = BTreeMap::new();
+    let mut justified = BTreeSet::new();
+
+    let is_ident_start = |c: char| c.is_alphabetic() || c == '_';
+    let is_ident = |c: char| c.is_alphanumeric() || c == '_';
+
+    while i < n {
+        let c = b[i];
+        if c == '\n' {
+            line += 1;
+            i += 1;
+        } else if c.is_whitespace() {
+            i += 1;
+        } else if c == '/' && i + 1 < n && b[i + 1] == '/' {
+            // Line comment (includes doc comments): mine directives.
+            let start = i;
+            while i < n && b[i] != '\n' {
+                i += 1;
+            }
+            let text: String = b[start..i].iter().collect();
+            parse_directives(&text, line, &mut allows, &mut justified);
+        } else if c == '/' && i + 1 < n && b[i + 1] == '*' {
+            // Block comment; Rust block comments nest.
+            let mut depth = 1;
+            i += 2;
+            while i < n && depth > 0 {
+                if b[i] == '\n' {
+                    line += 1;
+                    i += 1;
+                } else if b[i] == '/' && i + 1 < n && b[i + 1] == '*' {
+                    depth += 1;
+                    i += 2;
+                } else if b[i] == '*' && i + 1 < n && b[i + 1] == '/' {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+        } else if (c == 'r' || c == 'b') && is_raw_or_quoted(&b, i) {
+            // r"...", r#"..."#, b"...", br#"..."# — skip the literal.
+            i = skip_raw_string(&b, i, &mut line);
+        } else if c == '"' {
+            i = skip_string(&b, i, &mut line);
+        } else if c == '\'' {
+            // Lifetime ('a) or char literal ('x', '\n').
+            if i + 2 < n && is_ident_start(b[i + 1]) && b[i + 2] != '\'' {
+                i += 2;
+                while i < n && is_ident(b[i]) {
+                    i += 1;
+                }
+            } else {
+                i += 1;
+                if i < n && b[i] == '\\' {
+                    i += 2;
+                }
+                while i < n && b[i] != '\'' {
+                    if b[i] == '\n' {
+                        line += 1;
+                    }
+                    i += 1;
+                }
+                i += 1;
+            }
+        } else if is_ident_start(c) {
+            let start = i;
+            while i < n && is_ident(b[i]) {
+                i += 1;
+            }
+            tokens.push(Token {
+                line,
+                tok: Tok::Ident(b[start..i].iter().collect()),
+            });
+        } else if c.is_ascii_digit() {
+            let mut float = false;
+            while i < n {
+                if b[i].is_alphanumeric() || b[i] == '_' {
+                    i += 1;
+                } else if b[i] == '.' && !float && i + 1 < n && b[i + 1].is_ascii_digit() {
+                    // `1.5` continues the literal; `0..n` is a range.
+                    float = true;
+                    i += 1;
+                } else {
+                    break;
+                }
+            }
+            tokens.push(Token {
+                line,
+                tok: Tok::Num { float },
+            });
+        } else {
+            tokens.push(Token {
+                line,
+                tok: Tok::Punct(c),
+            });
+            i += 1;
+        }
+    }
+    Scan {
+        tokens,
+        allows,
+        justified,
+    }
+}
+
+/// Whether the `r`/`b` at `i` starts a (raw) string rather than an ident.
+fn is_raw_or_quoted(b: &[char], i: usize) -> bool {
+    let mut j = i + 1;
+    if j < b.len() && (b[j] == 'r' || b[j] == 'b') && b[i] != b[j] {
+        j += 1; // br / rb prefixes
+    }
+    while j < b.len() && b[j] == '#' {
+        j += 1;
+    }
+    j < b.len() && b[j] == '"' && (j > i + 1 || b[i + 1] == '"')
+}
+
+fn skip_raw_string(b: &[char], mut i: usize, line: &mut u32) -> usize {
+    // Consume prefix letters then hashes.
+    while i < b.len() && (b[i] == 'r' || b[i] == 'b') {
+        i += 1;
+    }
+    let mut hashes = 0usize;
+    while i < b.len() && b[i] == '#' {
+        hashes += 1;
+        i += 1;
+    }
+    debug_assert!(i < b.len() && b[i] == '"');
+    i += 1;
+    while i < b.len() {
+        if b[i] == '\n' {
+            *line += 1;
+            i += 1;
+        } else if b[i] == '"' {
+            // need `hashes` following '#'s to close
+            let mut k = 0;
+            while k < hashes && i + 1 + k < b.len() && b[i + 1 + k] == '#' {
+                k += 1;
+            }
+            if k == hashes {
+                return i + 1 + hashes;
+            }
+            i += 1;
+        } else if hashes == 0 && b[i] == '\\' {
+            i += 2; // non-raw byte strings honor escapes
+        } else {
+            i += 1;
+        }
+    }
+    i
+}
+
+fn skip_string(b: &[char], mut i: usize, line: &mut u32) -> usize {
+    i += 1;
+    while i < b.len() {
+        match b[i] {
+            '\\' => i += 2,
+            '\n' => {
+                *line += 1;
+                i += 1;
+            }
+            '"' => return i + 1,
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+fn parse_directives(
+    comment: &str,
+    line: u32,
+    allows: &mut BTreeMap<u32, Vec<String>>,
+    justified: &mut BTreeSet<u32>,
+) {
+    if comment.contains("reduction-order:") {
+        justified.insert(line);
+    }
+    let Some(pos) = comment.find("azul-lint:") else {
+        return;
+    };
+    let rest = &comment[pos + "azul-lint:".len()..];
+    let Some(open) = rest.find("allow(") else {
+        return;
+    };
+    let args = &rest[open + "allow(".len()..];
+    let Some(close) = args.find(')') else {
+        return;
+    };
+    let rules = args[..close]
+        .split(',')
+        .map(|r| r.trim().to_string())
+        .filter(|r| !r.is_empty());
+    allows.entry(line).or_default().extend(rules);
+}
+
+// ---------------------------------------------------------------------
+// Rules
+// ---------------------------------------------------------------------
+
+const KEYWORDS: [&str; 12] = [
+    "let", "mut", "pub", "fn", "if", "else", "match", "return", "for", "in", "impl", "use",
+];
+
+/// Iteration methods whose order follows the container's.
+const ITER_METHODS: [&str; 8] = [
+    "iter",
+    "iter_mut",
+    "into_iter",
+    "keys",
+    "values",
+    "values_mut",
+    "drain",
+    "retain",
+];
+
+/// Lints one file. `path` determines the scope (which rules apply and
+/// at which severity); `src` is the file contents.
+pub fn lint_source(path: &str, src: &str) -> Vec<Diagnostic> {
+    let scope = scope_of(path);
+    let scan = scan(src);
+    let mut diags = Vec::new();
+
+    match scope {
+        "sim" => rule_nondet_iteration(&scan, Severity::Error, &mut diags),
+        "mapping" | "hypergraph" => rule_nondet_iteration(&scan, Severity::Warning, &mut diags),
+        _ => {}
+    }
+    if scope == "sim" {
+        rule_wall_clock(&scan, &mut diags);
+        rule_panic_hot_path(&scan, &mut diags);
+    }
+    if scope == "sim" || scope == "solver" {
+        rule_float_reduction(&scan, &mut diags);
+    }
+
+    diags.retain(|d| !scan.allowed(d.rule, d.line));
+    diags.sort_by_key(|d| (d.line, d.rule));
+    diags
+}
+
+fn ident(t: &Token) -> Option<&str> {
+    match &t.tok {
+        Tok::Ident(s) => Some(s),
+        _ => None,
+    }
+}
+
+fn punct(t: &Token, c: char) -> bool {
+    t.tok == Tok::Punct(c)
+}
+
+/// Pass 1: names bound to `HashMap`/`HashSet` values in this file
+/// (declarations `name: HashMap<..>` and initializers
+/// `let name = HashMap::new()`); pass 2: flag iteration over them.
+fn rule_nondet_iteration(scan: &Scan, severity: Severity, diags: &mut Vec<Diagnostic>) {
+    let toks = &scan.tokens;
+    let mut hash_names: BTreeSet<String> = BTreeSet::new();
+    let mut current_let: Option<String> = None;
+    for i in 0..toks.len() {
+        match ident(&toks[i]) {
+            Some("let") => {
+                let mut j = i + 1;
+                if ident(&toks[j.min(toks.len() - 1)]) == Some("mut") {
+                    j += 1;
+                }
+                if let Some(Some(name)) = toks.get(j).map(ident) {
+                    if !KEYWORDS.contains(&name) {
+                        current_let = Some(name.to_string());
+                    }
+                }
+            }
+            Some("HashMap") | Some("HashSet") => {
+                // Walk back over the type path / annotation syntax to the
+                // bound name: `name : [&] [std :: collections ::] HashMap`.
+                let mut j = i;
+                while j > 0 {
+                    j -= 1;
+                    match &toks[j].tok {
+                        Tok::Punct(':') | Tok::Punct('&') => continue,
+                        Tok::Ident(w) if w == "std" || w == "collections" || w == "mut" => continue,
+                        Tok::Ident(w) if !KEYWORDS.contains(&w.as_str()) => {
+                            hash_names.insert(w.clone());
+                            break;
+                        }
+                        _ => {
+                            // `= HashMap::new()` or a generic position:
+                            // attribute to the current let binding.
+                            if let Some(name) = &current_let {
+                                hash_names.insert(name.clone());
+                            }
+                            break;
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+        if punct(&toks[i], ';') {
+            current_let = None;
+        }
+    }
+    if hash_names.is_empty() {
+        return;
+    }
+
+    // Method calls: `name.iter()`, `self.name.keys()`, ...
+    for i in 2..toks.len() {
+        let Some(m) = ident(&toks[i]) else { continue };
+        if !ITER_METHODS.contains(&m) || !punct(&toks[i - 1], '.') {
+            continue;
+        }
+        if toks.get(i + 1).is_none_or(|t| !punct(t, '(')) {
+            continue;
+        }
+        if let Some(recv) = ident(&toks[i - 2]) {
+            if hash_names.contains(recv) {
+                diags.push(Diagnostic {
+                    line: toks[i].line,
+                    rule: NONDETERMINISTIC_ITERATION,
+                    severity,
+                    message: format!(
+                        "`{recv}.{m}()` iterates a HashMap/HashSet in unspecified order; \
+                         use BTreeMap/BTreeSet or collect-and-sort"
+                    ),
+                });
+            }
+        }
+    }
+
+    // `for pat in [&[mut]] path.to.name {` — only simple paths; method
+    // calls in the iterable are covered by the pass above.
+    for i in 0..toks.len() {
+        if ident(&toks[i]) != Some("for") {
+            continue;
+        }
+        // Find `in` before the body brace.
+        let mut j = i + 1;
+        let mut in_at = None;
+        while j < toks.len() && !punct(&toks[j], '{') && !punct(&toks[j], ';') {
+            if ident(&toks[j]) == Some("in") {
+                in_at = Some(j);
+                break;
+            }
+            j += 1;
+        }
+        let Some(start) = in_at else { continue };
+        let mut k = start + 1;
+        let mut last_name: Option<&str> = None;
+        let mut simple = true;
+        while k < toks.len() && !punct(&toks[k], '{') {
+            match &toks[k].tok {
+                Tok::Ident(w) => last_name = Some(w),
+                Tok::Punct('&') | Tok::Punct('.') => {}
+                Tok::Punct(_) | Tok::Num { .. } => {
+                    simple = false;
+                    break;
+                }
+            }
+            k += 1;
+        }
+        if !simple {
+            continue;
+        }
+        if let Some(name) = last_name {
+            if hash_names.contains(name) {
+                diags.push(Diagnostic {
+                    line: toks[i].line,
+                    rule: NONDETERMINISTIC_ITERATION,
+                    severity,
+                    message: format!(
+                        "`for .. in {name}` iterates a HashMap/HashSet in unspecified \
+                         order; use BTreeMap/BTreeSet or collect-and-sort"
+                    ),
+                });
+            }
+        }
+    }
+}
+
+fn rule_wall_clock(scan: &Scan, diags: &mut Vec<Diagnostic>) {
+    for t in &scan.tokens {
+        let Some(w) = ident(t) else { continue };
+        if w == "Instant" || w == "SystemTime" || w == "thread_rng" {
+            diags.push(Diagnostic {
+                line: t.line,
+                rule: WALL_CLOCK_IN_SIM,
+                severity: Severity::Error,
+                message: format!(
+                    "`{w}` in cycle-level code: simulation must be a pure function of \
+                     its inputs and seeds (use cycle counters / seeded SmallRng)"
+                ),
+            });
+        }
+    }
+}
+
+fn rule_float_reduction(scan: &Scan, diags: &mut Vec<Diagnostic>) {
+    let toks = &scan.tokens;
+    for i in 1..toks.len() {
+        if !punct(&toks[i - 1], '.') {
+            continue;
+        }
+        let line = toks[i].line;
+        let flag = |diags: &mut Vec<Diagnostic>, what: &str| {
+            diags.push(Diagnostic {
+                line,
+                rule: UNCHECKED_FLOAT_REDUCTION,
+                severity: Severity::Warning,
+                message: format!(
+                    "{what} reduces floats whose result depends on summation order; \
+                     pin the order and justify with a `// reduction-order:` comment"
+                ),
+            });
+        };
+        match ident(&toks[i]) {
+            Some("sum") => {
+                // `.sum::<f64>()` turbofish.
+                let is_f64 = punct(&toks[i + 1], ':')
+                    && punct(&toks[i + 2], ':')
+                    && punct(&toks[i + 3], '<')
+                    && ident(&toks[i + 4]) == Some("f64");
+                if is_f64 && !scan.reduction_justified(line) {
+                    flag(diags, "`.sum::<f64>()`");
+                }
+            }
+            Some("fold") => {
+                if !punct(&toks[i + 1], '(') {
+                    continue;
+                }
+                // Float accumulator: a float literal or f64 in the first
+                // few argument tokens.
+                let floaty = toks[i + 2..]
+                    .iter()
+                    .take(6)
+                    .any(|t| matches!(t.tok, Tok::Num { float: true }) || ident(t) == Some("f64"));
+                if floaty && !scan.reduction_justified(line) {
+                    flag(diags, "float `fold`");
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+fn rule_panic_hot_path(scan: &Scan, diags: &mut Vec<Diagnostic>) {
+    let toks = &scan.tokens;
+    let mut depth = 0i32;
+    let mut fn_stack: Vec<(String, i32)> = Vec::new();
+    let mut pending_fn: Option<String> = None;
+    let hot = |stack: &[(String, i32)]| {
+        stack.last().is_some_and(|(name, _)| {
+            name.contains("tick") || name.contains("route") || name.contains("execute")
+        })
+    };
+    for i in 0..toks.len() {
+        match &toks[i].tok {
+            Tok::Ident(w) if w == "fn" => {
+                if let Some(Some(name)) = toks.get(i + 1).map(ident) {
+                    pending_fn = Some(name.to_string());
+                }
+            }
+            Tok::Punct(';') => pending_fn = None, // bodyless trait method
+            Tok::Punct('{') => {
+                depth += 1;
+                if let Some(name) = pending_fn.take() {
+                    fn_stack.push((name, depth));
+                }
+            }
+            Tok::Punct('}') => {
+                if fn_stack.last().is_some_and(|&(_, d)| d == depth) {
+                    fn_stack.pop();
+                }
+                depth -= 1;
+            }
+            Tok::Ident(w)
+                if (w == "panic" || w == "unreachable" || w == "todo" || w == "unimplemented")
+                    && toks.get(i + 1).is_some_and(|t| punct(t, '!'))
+                    && hot(&fn_stack) =>
+            {
+                diags.push(Diagnostic {
+                    line: toks[i].line,
+                    rule: PANIC_IN_SIM_HOT_PATH,
+                    severity: Severity::Warning,
+                    message: format!(
+                        "`{w}!` inside `{}`: hot paths should return a typed SimError",
+                        fn_stack.last().map(|(n, _)| n.as_str()).unwrap_or("?")
+                    ),
+                });
+            }
+            Tok::Ident(w)
+                if (w == "unwrap" || w == "expect")
+                    && punct(&toks[i - 1], '.')
+                    && toks.get(i + 1).is_some_and(|t| punct(t, '('))
+                    && hot(&fn_stack) =>
+            {
+                diags.push(Diagnostic {
+                    line: toks[i].line,
+                    rule: PANIC_IN_SIM_HOT_PATH,
+                    severity: Severity::Warning,
+                    message: format!(
+                        "`.{w}()` inside `{}`: hot paths should return a typed SimError",
+                        fn_stack.last().map(|(n, _)| n.as_str()).unwrap_or("?")
+                    ),
+                });
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SIM_PATH: &str = "crates/sim/src/fake.rs";
+
+    fn rules_at(diags: &[Diagnostic]) -> Vec<&'static str> {
+        diags.iter().map(|d| d.rule).collect()
+    }
+
+    #[test]
+    fn scope_resolution() {
+        assert_eq!(scope_of("crates/sim/src/machine.rs"), "sim");
+        assert_eq!(scope_of("./crates/mapping/src/grid.rs"), "mapping");
+        assert_eq!(scope_of("src/bin/azul.rs"), "azul");
+        assert_eq!(scope_of("tests/determinism.rs"), "tests");
+    }
+
+    #[test]
+    fn hashmap_for_loop_is_flagged_in_sim() {
+        let src = r#"
+use std::collections::HashMap;
+fn f() {
+    let mut m: HashMap<u32, u32> = HashMap::new();
+    m.insert(1, 2);
+    for (k, v) in &m {
+        let _ = (k, v);
+    }
+}
+"#;
+        let diags = lint_source(SIM_PATH, src);
+        assert_eq!(rules_at(&diags), vec![NONDETERMINISTIC_ITERATION]);
+        assert_eq!(diags[0].severity, Severity::Error);
+        assert_eq!(diags[0].line, 6);
+    }
+
+    #[test]
+    fn hashmap_iter_methods_are_flagged() {
+        let src = r#"
+fn f(saac: &std::collections::HashMap<u32, u32>) {
+    let _ = saac.keys().count();
+    let _ = saac.values().count();
+    let _ = saac.iter().count();
+}
+"#;
+        let diags = lint_source(SIM_PATH, src);
+        assert_eq!(diags.len(), 3);
+        assert!(diags.iter().all(|d| d.rule == NONDETERMINISTIC_ITERATION));
+    }
+
+    #[test]
+    fn btreemap_iteration_is_clean() {
+        let src = r#"
+use std::collections::BTreeMap;
+fn f() {
+    let mut m: BTreeMap<u32, u32> = BTreeMap::new();
+    m.insert(1, 2);
+    for (k, v) in &m {
+        let _ = (k, v);
+    }
+    let _ = m.keys().count();
+}
+"#;
+        assert!(lint_source(SIM_PATH, src).is_empty());
+    }
+
+    #[test]
+    fn non_iterating_hash_use_is_clean() {
+        // Membership tests and length checks don't depend on order.
+        let src = r#"
+use std::collections::HashSet;
+fn f() {
+    let mut s: HashSet<u32> = HashSet::new();
+    s.insert(3);
+    assert!(s.contains(&3));
+    assert_eq!(s.len(), 1);
+}
+"#;
+        assert!(lint_source(SIM_PATH, src).is_empty());
+    }
+
+    #[test]
+    fn allow_comment_waives_on_own_and_next_line() {
+        let src = r#"
+use std::collections::HashMap;
+fn f(m: &HashMap<u32, u32>) {
+    // azul-lint: allow(nondeterministic-iteration) summed, order-free
+    for (_k, v) in m.iter() {
+        let _ = v;
+    }
+}
+"#;
+        assert!(lint_source(SIM_PATH, src).is_empty());
+    }
+
+    #[test]
+    fn mapping_scope_downgrades_to_warning() {
+        let src = "fn f(m: &std::collections::HashMap<u32,u32>) { let _ = m.keys(); }";
+        let diags = lint_source("crates/mapping/src/fake.rs", src);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].severity, Severity::Warning);
+        // Out-of-scope crates are exempt entirely.
+        assert!(lint_source("crates/solver/src/fake.rs", src).is_empty());
+    }
+
+    #[test]
+    fn wall_clock_flagged_only_in_sim() {
+        let src = "fn f() { let t = std::time::Instant::now(); let _ = t; }";
+        let diags = lint_source(SIM_PATH, src);
+        assert_eq!(rules_at(&diags), vec![WALL_CLOCK_IN_SIM]);
+        assert_eq!(diags[0].severity, Severity::Error);
+        assert!(lint_source("crates/telemetry/src/span.rs", src).is_empty());
+    }
+
+    #[test]
+    fn float_sum_needs_justification() {
+        let bad = "fn f(v: &[f64]) -> f64 { v.iter().sum::<f64>() }";
+        let diags = lint_source("crates/solver/src/fake.rs", bad);
+        assert_eq!(rules_at(&diags), vec![UNCHECKED_FLOAT_REDUCTION]);
+
+        let good = r#"
+// reduction-order: slice order, fixed by construction
+fn f(v: &[f64]) -> f64 { v.iter().sum::<f64>() }
+"#;
+        assert!(lint_source("crates/solver/src/fake.rs", good).is_empty());
+        // Integer sums are order-free.
+        let int = "fn f(v: &[u64]) -> u64 { v.iter().sum::<u64>() }";
+        assert!(lint_source("crates/solver/src/fake.rs", int).is_empty());
+    }
+
+    #[test]
+    fn float_fold_needs_justification() {
+        let bad = "fn f(v: &[f64]) -> f64 { v.iter().fold(0.0, |a, b| a + b) }";
+        let diags = lint_source(SIM_PATH, bad);
+        assert_eq!(rules_at(&diags), vec![UNCHECKED_FLOAT_REDUCTION]);
+        let int = "fn f(v: &[u64]) -> u64 { v.iter().fold(0, |a, b| a + b) }";
+        assert!(lint_source(SIM_PATH, int).is_empty());
+    }
+
+    #[test]
+    fn panics_in_hot_paths_flagged() {
+        let src = r#"
+fn tick_router_at(x: Option<u32>) -> u32 {
+    x.expect("has a value")
+}
+fn compile(x: Option<u32>) -> u32 {
+    x.unwrap() // fine: not a hot path
+}
+"#;
+        let diags = lint_source(SIM_PATH, src);
+        assert_eq!(rules_at(&diags), vec![PANIC_IN_SIM_HOT_PATH]);
+        assert_eq!(diags[0].line, 3);
+    }
+
+    #[test]
+    fn panic_macro_in_hot_path_flagged_and_allowable() {
+        let bad = "fn execute(c: u32) { if c > 3 { panic!(\"boom\"); } }";
+        assert_eq!(
+            rules_at(&lint_source(SIM_PATH, bad)),
+            vec![PANIC_IN_SIM_HOT_PATH]
+        );
+        let allowed = r#"
+fn execute(c: u32) {
+    // azul-lint: allow(panic-in-sim-hot-path) unreachable by construction
+    if c > 3 { panic!("boom"); }
+}
+"#;
+        assert!(lint_source(SIM_PATH, allowed).is_empty());
+    }
+
+    #[test]
+    fn strings_and_comments_are_not_code() {
+        let src = r##"
+fn f() -> &'static str {
+    // for (k, v) in map.iter() { Instant::now() }
+    /* HashMap::new().keys() */
+    let s = "for x in hash_map.iter() { Instant }";
+    let r = r#"thread_rng() HashMap"#;
+    let _ = (s, r);
+    "Instant::now"
+}
+"##;
+        assert!(lint_source(SIM_PATH, src).is_empty());
+    }
+
+    #[test]
+    fn field_declarations_track_hash_types() {
+        let src = r#"
+use std::collections::HashMap;
+pub struct P {
+    pub saac: HashMap<u32, (u32, u32)>,
+}
+impl P {
+    fn g(&self) -> usize {
+        self.saac.iter().count()
+    }
+}
+"#;
+        let diags = lint_source(SIM_PATH, src);
+        assert_eq!(rules_at(&diags), vec![NONDETERMINISTIC_ITERATION]);
+    }
+}

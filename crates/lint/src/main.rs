@@ -1,0 +1,127 @@
+//! `azul-lint` — determinism lints for the Azul workspace.
+//!
+//! ```text
+//! azul-lint check [--deny warnings] [--root DIR]
+//! azul-lint rules
+//! ```
+//!
+//! `check` walks every `.rs` file under the workspace root (skipping
+//! `target/` and hidden directories), applies the rules described in
+//! the library docs, and prints `path:line: severity: [rule] message`
+//! diagnostics. Exit code 0 when clean, 1 on errors (or, with
+//! `--deny warnings`, on any diagnostic), 2 on usage/IO problems.
+
+#![forbid(unsafe_code)]
+
+use azul_lint::{lint_source, Severity, ALL_RULES};
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("rules") => {
+            for rule in ALL_RULES {
+                println!("{rule}");
+            }
+            ExitCode::SUCCESS
+        }
+        Some("check") => check(&args[1..]),
+        _ => {
+            eprintln!("usage: azul-lint check [--deny warnings] [--root DIR] | azul-lint rules");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn check(args: &[String]) -> ExitCode {
+    let mut deny_warnings = false;
+    let mut root = PathBuf::from(".");
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--deny" => match it.next().map(String::as_str) {
+                Some("warnings") => deny_warnings = true,
+                other => {
+                    eprintln!("--deny expects `warnings`, got {other:?}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--root" => match it.next() {
+                Some(dir) => root = PathBuf::from(dir),
+                None => {
+                    eprintln!("--root expects a directory");
+                    return ExitCode::from(2);
+                }
+            },
+            other => {
+                eprintln!("unknown argument {other:?}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let mut files = Vec::new();
+    if let Err(e) = collect_rs(&root, &mut files) {
+        eprintln!("failed to walk {}: {e}", root.display());
+        return ExitCode::from(2);
+    }
+    files.sort();
+
+    let mut errors = 0usize;
+    let mut warnings = 0usize;
+    for path in &files {
+        let src = match fs::read_to_string(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("failed to read {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+        };
+        // Lint rules are keyed on workspace-relative paths.
+        let rel = path
+            .strip_prefix(&root)
+            .unwrap_or(path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        for d in lint_source(&rel, &src) {
+            match d.severity {
+                Severity::Error => errors += 1,
+                Severity::Warning => warnings += 1,
+            }
+            println!(
+                "{rel}:{}: {}: [{}] {}",
+                d.line, d.severity, d.rule, d.message
+            );
+        }
+    }
+
+    println!(
+        "azul-lint: {} file(s) checked, {errors} error(s), {warnings} warning(s)",
+        files.len()
+    );
+    if errors > 0 || (deny_warnings && warnings > 0) {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "target" || name.starts_with('.') {
+                continue;
+            }
+            collect_rs(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}

@@ -30,6 +30,8 @@
 //! assert!(t_azul.messages < t_rr.messages, "hypergraph mapping cuts traffic");
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod grid;
 pub mod placement;
 pub mod strategies;

@@ -12,6 +12,8 @@
 //! * [`energy`] — the activity-factor power model behind Fig. 24
 //!   (SRAM/compute/NoC/leakage).
 
+#![forbid(unsafe_code)]
+
 pub mod alrescha;
 pub mod area;
 pub mod energy;

@@ -140,6 +140,7 @@ impl BiCgStabSim {
     /// # Panics
     ///
     /// Panics if `b.len()` differs from the matrix dimension.
+    #[must_use = "a dropped result discards both the solve report and the structured failure"]
     pub fn try_run(
         &self,
         b: &[f64],
@@ -620,6 +621,12 @@ impl BiCgStabSim {
         let fault_events = session.map(|s| s.records().to_vec()).unwrap_or_default();
 
         let final_residual = dense::norm2(&dense::sub(b, &self.a.spmv(&x)));
+
+        // Solve-level invariant audit over the merged stats.
+        if self.cfg.check_invariants {
+            crate::invariants::check_solve_stats(&mut stats)?;
+        }
+
         Ok(BiCgStabSimReport {
             x,
             converged,

@@ -74,6 +74,14 @@ pub struct SimConfig {
     /// keeps the zero-fault fast path: the tick engine never consults
     /// fault state.
     pub faults: Option<FaultPlan>,
+    /// Runtime invariant checking ([`crate::invariants`]): NoC flit
+    /// conservation, router occupancy bounds, trace monotonicity and
+    /// aggregate-vs-detail cross-checks. Violations abort with
+    /// [`SimError::Invariant`](crate::SimError). Defaults to on in
+    /// debug builds (including `RUSTFLAGS="-C debug-assertions"`
+    /// release runs) and off otherwise, so production sweeps pay one
+    /// branch per cycle.
+    pub check_invariants: bool,
 }
 
 impl SimConfig {
@@ -124,6 +132,7 @@ impl SimConfig {
             accum_sram_bytes: 36 * 1024,
             watchdog_no_progress_cycles: 50_000,
             faults: None,
+            check_invariants: cfg!(debug_assertions),
         }
     }
 

@@ -141,6 +141,7 @@ impl GmresSim {
     ///
     /// Panics if `b.len()` differs from the matrix dimension or
     /// `restart == 0`.
+    #[must_use = "a dropped result discards both the solve report and the structured failure"]
     pub fn try_run(&self, b: &[f64], run_cfg: &GmresSimConfig) -> Result<GmresSimReport, SimError> {
         let n = self.a.rows();
         assert_eq!(b.len(), n, "rhs length mismatch");
@@ -425,6 +426,12 @@ impl GmresSim {
             (false, None) => SolveStatus::MaxIters,
         };
         let fault_events = session.map(|s| s.records().to_vec()).unwrap_or_default();
+
+        // Solve-level invariant audit over the merged stats.
+        if self.cfg.check_invariants {
+            crate::invariants::check_solve_stats(&mut stats)?;
+        }
+
         Ok(GmresSimReport {
             x,
             converged,

@@ -23,6 +23,10 @@
 //!   `azul-solver`) and timing;
 //! * [`vecops`] — timing of the purely local dense-vector kernels and the
 //!   scalar all-reduce trees of the dot products;
+//! * [`invariants`] — debug-gated runtime audit of the machine's
+//!   conservation laws (flit conservation, buffer bounds, trace
+//!   monotonicity, aggregate-vs-detail cross-checks), enabled via
+//!   `SimConfig::check_invariants`;
 //! * [`pcg`] — the end-to-end PCG driver (Listing 1 on the accelerator)
 //!   producing per-kernel cycle, operation, traffic and energy-activity
 //!   breakdowns;
@@ -48,10 +52,13 @@
 //! assert!(report.total_cycles > 0);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod bicgstab;
 pub mod config;
 pub mod faults;
 pub mod gmres;
+pub mod invariants;
 pub mod machine;
 pub mod pcg;
 pub mod pe;

@@ -12,6 +12,7 @@
 
 use crate::config::SimConfig;
 use crate::faults::{FaultEvent, FaultKind, FaultSession};
+use crate::invariants::Checker;
 use crate::pe::{Pe, Trigger};
 use crate::program::Program;
 use crate::router::{tick_router_at, Delivery, FlitKind, Router};
@@ -31,6 +32,20 @@ pub enum SimError {
         /// Flits buffered across all routers at abort time.
         inflight_flits: usize,
     },
+    /// A runtime invariant of the simulated machine was violated
+    /// ([`crate::invariants`]): a conservation law, buffer bound or
+    /// accounting cross-check failed, meaning the model itself (not the
+    /// workload) is wrong. Only raised when
+    /// `SimConfig::check_invariants` is set.
+    Invariant {
+        /// The violated rule, one of
+        /// [`crate::invariants::RULE_NAMES`].
+        rule: &'static str,
+        /// Cycle (kernel-local) at which the violation was detected.
+        cycle: u64,
+        /// Human-readable account of the mismatch.
+        detail: String,
+    },
 }
 
 impl std::fmt::Display for SimError {
@@ -46,6 +61,11 @@ impl std::fmt::Display for SimError {
                 stalled_pes.len(),
                 stalled_pes
             ),
+            SimError::Invariant {
+                rule,
+                cycle,
+                detail,
+            } => write!(f, "invariant `{rule}` violated at cycle {cycle}: {detail}"),
         }
     }
 }
@@ -93,6 +113,7 @@ pub fn run_kernel(cfg: &SimConfig, program: &Program, input: &[f64]) -> (Vec<f64
 ///
 /// Panics if `input.len() != program.n` or the config grid does not
 /// match the program grid (caller bugs, not machine failures).
+#[must_use = "a dropped result discards both the kernel output and the structured failure"]
 pub fn run_kernel_checked(
     cfg: &SimConfig,
     program: &Program,
@@ -111,6 +132,7 @@ pub fn run_kernel_checked(
     if cfg.detailed_stats {
         stats.enable_detail(num_tiles);
     }
+    let mut inv = Checker::new(cfg);
     let mut out = vec![0.0f64; program.n];
     let mut routers: Vec<Router> = (0..num_tiles)
         .map(|t| Router::new(t as u32, cfg.router_queue_capacity))
@@ -302,6 +324,20 @@ pub fn run_kernel_checked(
             );
         }
 
+        // Runtime invariant: the inject queue is the only bounded
+        // buffer; exceeding its capacity means a PE bypassed
+        // `can_inject` backpressure.
+        if inv.enabled() {
+            for &t in &current {
+                if let Err(e) = inv.check_router(now, &routers[t]) {
+                    if let Some(s) = session.as_deref_mut() {
+                        s.end_kernel(now);
+                    }
+                    return Err(e);
+                }
+            }
+        }
+
         // Progress trace sample (Fig. 17).
         if cfg.trace_interval > 0 && now.is_multiple_of(cfg.trace_interval) {
             stats.trace.push((now, stats.total_ops()));
@@ -328,9 +364,22 @@ pub fn run_kernel_checked(
     if cfg.trace_interval > 0 && stats.trace.last() != Some(&(now, stats.total_ops())) {
         stats.trace.push((now, stats.total_ops()));
     }
+    // Kernel-end invariants: flit conservation (the machine never drops
+    // flits — faults delay or corrupt payloads, but every queued flit
+    // retires — so the dropped-by-fault term is zero; quiescence means
+    // in-flight is zero too), trace monotonicity, and the
+    // aggregate-vs-detail cross-check.
+    let end_check = if inv.enabled() {
+        let inflight: usize = routers.iter().map(Router::occupancy).sum();
+        inv.check_kernel_end(&stats, inflight, 0)
+    } else {
+        Ok(())
+    };
+    inv.finish(&mut stats);
     if let Some(s) = session {
         s.end_kernel(now);
     }
+    end_check?;
     Ok((out, stats))
 }
 

@@ -269,6 +269,7 @@ impl PcgSim {
     /// # Panics
     ///
     /// Panics if `b.len()` differs from the matrix dimension.
+    #[must_use = "a dropped result discards both the solve report and the structured failure"]
     pub fn try_run(&self, b: &[f64], run_cfg: &PcgSimConfig) -> Result<PcgSimReport, SimError> {
         let n = self.a.rows();
         assert_eq!(b.len(), n, "rhs length mismatch");
@@ -642,6 +643,11 @@ impl PcgSim {
         solve_span.annotate("converged", converged);
         if !recoveries.is_empty() {
             solve_span.annotate("rollbacks", recoveries.len());
+        }
+
+        // Solve-level invariant audit over the merged stats.
+        if self.cfg.check_invariants {
+            crate::invariants::check_solve_stats(&mut stats)?;
         }
 
         Ok(PcgSimReport {

@@ -22,7 +22,7 @@ use azul_mapping::tree::CommTree;
 use azul_mapping::{Placement, TileGrid, TileId};
 use azul_sparse::Csr;
 use azul_telemetry::span;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// What happens when an accumulator slot's `updates_remaining` hits zero.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -72,13 +72,14 @@ pub struct Entry {
 pub struct TileProgram {
     /// ScaleAndAccumCol entry table, grouped by trigger index.
     pub entries: Vec<Entry>,
-    /// Trigger index -> `(start, end)` range in `entries`.
-    pub saac: HashMap<u32, (u32, u32)>,
+    /// Trigger index -> `(start, end)` range in `entries`. Ordered so
+    /// program compilation (and thus the schedule) is deterministic.
+    pub saac: BTreeMap<u32, (u32, u32)>,
     /// Accumulator slots.
     pub slots: Vec<SlotDesc>,
     /// Target index -> slot receiving that target's partials (homes,
     /// participants and branch combiners of the reduction tree).
-    pub combine_slot: HashMap<u32, u32>,
+    pub combine_slot: BTreeMap<u32, u32>,
     /// Trigger indices whose value this tile multicasts at kernel start
     /// (SpMV SendV tasks).
     pub send_v: Vec<u32>,
@@ -277,7 +278,7 @@ fn compile(
 
     // Group items by (tile, trigger) for entry tables, and collect the
     // per-trigger and per-target tile sets.
-    let mut by_tile_trigger: HashMap<(TileId, u32), Vec<usize>> = HashMap::new();
+    let mut by_tile_trigger: BTreeMap<(TileId, u32), Vec<usize>> = BTreeMap::new();
     let mut trigger_tiles: Vec<Vec<TileId>> = vec![Vec::new(); n];
     let mut target_tiles: Vec<Vec<TileId>> = vec![Vec::new(); n];
     for (k, it) in items.iter().enumerate() {
@@ -294,7 +295,7 @@ fn compile(
     }
 
     // Local FMAC count per (tile, target): contributes to slot remaining.
-    let mut local_count: HashMap<(TileId, u32), u32> = HashMap::new();
+    let mut local_count: BTreeMap<(TileId, u32), u32> = BTreeMap::new();
     for it in &items {
         *local_count.entry((it.tile, it.target)).or_insert(0) += 1;
     }
@@ -408,10 +409,10 @@ fn compile(
         partial_tree[i] = Some(tree_id);
     }
 
-    // Entry tables, grouped per (tile, trigger), slots already allocated.
-    let mut groups: Vec<(&(TileId, u32), &Vec<usize>)> = by_tile_trigger.iter().collect();
-    groups.sort_by_key(|(&(tile, trig), _)| (tile, trig));
-    for (&(tile, trig), idxs) in groups {
+    // Entry tables, grouped per (tile, trigger), slots already
+    // allocated. `BTreeMap` iteration is already (tile, trigger)-sorted,
+    // so the emitted tables are order-stable without an explicit sort.
+    for (&(tile, trig), idxs) in &by_tile_trigger {
         let tp = &mut tiles[tile as usize];
         let start = tp.entries.len() as u32;
         for &k in idxs {

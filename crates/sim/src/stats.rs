@@ -97,6 +97,11 @@ pub struct KernelStats {
     pub accum_rmws: u64,
     /// Message-buffer overflows spilled to the Data SRAM.
     pub spills: u64,
+    /// Runtime-invariant evaluations by rule, indexed like
+    /// [`crate::invariants::RULE_NAMES`]. All zero unless
+    /// `SimConfig::check_invariants` was set; a violation aborts the run,
+    /// so stats that reach the caller always audited clean.
+    pub invariant_checks: [u64; 4],
     /// Optional progress trace: `(cycle, cumulative issued operations)`
     /// samples, recorded when `SimConfig::trace_interval > 0`. This is the
     /// data behind Fig. 17's issued-instructions-over-time curves.
@@ -144,6 +149,9 @@ impl KernelStats {
         self.sram_reads += other.sram_reads;
         self.accum_rmws += other.accum_rmws;
         self.spills += other.spills;
+        for k in 0..4 {
+            self.invariant_checks[k] += other.invariant_checks[k];
+        }
         self.trace.extend(
             other
                 .trace

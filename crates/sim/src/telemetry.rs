@@ -9,9 +9,12 @@
 
 use crate::config::SimConfig;
 use crate::faults::{FaultRecord, RecoveryRecord};
+use crate::machine::SimError;
 use crate::stats::KernelStats;
 use azul_mapping::TileGrid;
-use azul_telemetry::report::{FaultSample, LinkEntry, PeEntry, RecoverySample, TelemetryReport};
+use azul_telemetry::report::{
+    FaultSample, InvariantSample, LinkEntry, PeEntry, RecoverySample, TelemetryReport,
+};
 
 /// Converts per-PE detail into report entries with grid coordinates.
 /// Empty when detail collection was disabled.
@@ -114,6 +117,51 @@ pub fn fill_fault_report(
         }));
 }
 
+/// Records the runtime-invariant audit of a completed run into the
+/// report's schema-v3 `invariants` section, one entry per rule in
+/// [`crate::invariants::RULE_NAMES`] order, plus the
+/// `invariant_checks`/`invariant_violations` aggregate counters. Stats
+/// that reach a caller always audited clean (a violation aborts the
+/// solve), so every entry reports zero violations; all-zero check
+/// counts mean checking was disabled.
+pub fn fill_invariant_report(report: &mut TelemetryReport, stats: &KernelStats) {
+    report.counter("invariant_checks", stats.invariant_checks.iter().sum());
+    report.counter("invariant_violations", 0);
+    report.invariants.extend(
+        crate::invariants::RULE_NAMES
+            .iter()
+            .zip(stats.invariant_checks)
+            .map(|(rule, checks)| InvariantSample {
+                rule: (*rule).to_string(),
+                checks,
+                violations: 0,
+                detail: String::new(),
+            }),
+    );
+}
+
+/// Journals an invariant violation that aborted a run. Non-`Invariant`
+/// errors (e.g. deadlocks) leave the report untouched; returns whether
+/// an entry was recorded.
+pub fn fill_invariant_violation(report: &mut TelemetryReport, err: &SimError) -> bool {
+    let SimError::Invariant {
+        rule,
+        cycle,
+        detail,
+    } = err
+    else {
+        return false;
+    };
+    report.counter("invariant_violations", 1);
+    report.invariants.push(InvariantSample {
+        rule: (*rule).to_string(),
+        checks: 1,
+        violations: 1,
+        detail: format!("cycle {cycle}: {detail}"),
+    });
+    true
+}
+
 /// Adds the standard scenario fields derived from a [`SimConfig`].
 pub fn describe_config(report: &mut TelemetryReport, cfg: &SimConfig) {
     report.scenario_field("pe_model", format!("{:?}", cfg.pe_model).as_str());
@@ -124,6 +172,7 @@ pub fn describe_config(report: &mut TelemetryReport, cfg: &SimConfig) {
     report.scenario_field("hop_latency", cfg.hop_latency as u64);
     report.scenario_field("clock_ghz", cfg.clock_ghz);
     report.scenario_field("detailed_stats", cfg.detailed_stats);
+    report.scenario_field("check_invariants", cfg.check_invariants);
 }
 
 #[cfg(test)]

@@ -123,7 +123,10 @@ impl VecOpModel {
             s.ops[OpKind::Send as usize] += 2 * self.participants as u64;
             s.messages += 2 * self.participants as u64;
             s.link_activations += 2 * self.tree_links as u64;
-            s.router_traversals += 2 * self.tree_links as u64;
+            // Flit conservation (invariants::RULE_FLIT_CONSERVATION):
+            // every injection and every forward retires through exactly
+            // one router, so traversals = messages + link activations.
+            s.router_traversals += 2 * (self.participants as u64 + self.tree_links as u64);
         }
         s.cycles = cycles.max(1);
         s

@@ -32,6 +32,8 @@
 //! # Ok::<(), azul_solver::SolverError>(())
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod bicgstab;
 pub mod direct;
 pub mod flops;

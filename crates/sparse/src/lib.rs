@@ -31,6 +31,8 @@
 //! assert!(p.parallelism() > 1.0);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod coloring;
 pub mod coo;
 pub mod csc;

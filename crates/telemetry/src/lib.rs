@@ -41,6 +41,8 @@
 //! assert!(json.contains("kernel/spmv"));
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod heatmap;
 pub mod json;
 pub mod report;

@@ -254,6 +254,33 @@ impl ToJson for RecoverySample {
     }
 }
 
+/// Audit record of one runtime-invariant rule (schema v3): how many
+/// times the cycle-level machine evaluated it and how many violations it
+/// observed. A completed run always reports zero violations (a violation
+/// aborts the solve with a structured error); a non-empty `detail`
+/// carries the violation message of an aborted run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InvariantSample {
+    /// Rule name, e.g. `"flit-conservation"`.
+    pub rule: String,
+    /// Number of times the rule was evaluated.
+    pub checks: u64,
+    /// Number of violations observed (0 for completed runs).
+    pub violations: u64,
+    /// Violation detail; empty when nothing fired.
+    pub detail: String,
+}
+
+impl ToJson for InvariantSample {
+    fn to_json(&self) -> Value {
+        Value::object()
+            .field("rule", &self.rule)
+            .field("checks", self.checks)
+            .field("violations", self.violations)
+            .field("detail", &self.detail)
+    }
+}
+
 /// The complete telemetry document for one scenario run.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct TelemetryReport {
@@ -278,12 +305,15 @@ pub struct TelemetryReport {
     pub faults: Vec<FaultSample>,
     /// Executed recoveries (empty when nothing rolled back).
     pub recoveries: Vec<RecoverySample>,
+    /// Runtime-invariant audit, one entry per rule (empty when invariant
+    /// checking was disabled).
+    pub invariants: Vec<InvariantSample>,
 }
 
 impl TelemetryReport {
     /// Schema version stamped into the JSON output. Version 2 added the
-    /// `faults` and `recoveries` sections.
-    pub const SCHEMA_VERSION: u32 = 2;
+    /// `faults` and `recoveries` sections; version 3 added `invariants`.
+    pub const SCHEMA_VERSION: u32 = 3;
 
     /// Adds a scenario field.
     pub fn scenario_field(&mut self, key: &str, value: impl ToJson) {
@@ -369,6 +399,7 @@ impl TelemetryReport {
             .field("convergence", &self.convergence)
             .field("faults", &self.faults)
             .field("recoveries", &self.recoveries)
+            .field("invariants", &self.invariants)
     }
 
     /// Writes pretty-printed JSON to `path`.

@@ -11,6 +11,7 @@
 //! azul-report --suite consph [--scale tiny|small|medium] ...
 //! azul-report --suite consph --fault-seed 42 [--fault-events 4]
 //!             [--fault-window 100000] [--no-recovery] ...
+//! azul-report --suite consph --check-invariants ...
 //! ```
 //!
 //! The `--fault-*` flags replay a seeded, deterministic [`FaultPlan`]
@@ -19,11 +20,18 @@
 //! and `recoveries` sections. `--no-recovery` keeps the detection
 //! guards but disables checkpoint/rollback, so an induced breakdown
 //! terminates the solve with a structured status instead.
+//!
+//! `--check-invariants` turns on the runtime invariant audit
+//! ([`azul::sim::invariants`]) regardless of build profile (it defaults
+//! to on only under debug assertions); check counts land in the
+//! report's `invariants` section.
 
 use azul::mapping::strategies::AzulMapper;
 use azul::mapping::TileGrid;
 use azul::sim::faults::{FaultPlan, RecoveryPolicy};
-use azul::sim::telemetry::{describe_config, fill_fault_report, fill_report};
+use azul::sim::telemetry::{
+    describe_config, fill_fault_report, fill_invariant_report, fill_report,
+};
 use azul::sparse::suite::{by_name, Scale};
 use azul::sparse::Csr;
 use azul::telemetry::{heatmap, span, TelemetryReport};
@@ -39,7 +47,7 @@ fn main() -> ExitCode {
         println!("            [--grid 16] [--mapping azul|rr|block|sparsep] [--tol 1e-10]");
         println!("            [--fast] [--out report.json] [--quiet]");
         println!("            [--fault-seed N [--fault-events 4] [--fault-window 100000]]");
-        println!("            [--no-recovery]");
+        println!("            [--no-recovery] [--check-invariants]");
         return ExitCode::SUCCESS;
     }
     let opts = parse_opts(&args);
@@ -91,6 +99,9 @@ fn main() -> ExitCode {
     if opts.contains_key("no-recovery") {
         cfg.pcg.recovery = RecoveryPolicy::disabled();
     }
+    if opts.contains_key("check-invariants") {
+        cfg.sim.check_invariants = true;
+    }
 
     // Collect phase spans for the whole prepare + solve pipeline.
     let collector = span::Collector::install();
@@ -124,6 +135,7 @@ fn main() -> ExitCode {
     describe_config(&mut report, &azul.config().sim);
     fill_report(&mut report, &azul.config().sim, &solve.sim.stats);
     fill_fault_report(&mut report, &solve.sim.fault_events, &solve.sim.recoveries);
+    fill_invariant_report(&mut report, &solve.sim.stats);
     report.absorb_spans(collector.drain());
     report.convergence = solve.sim.convergence.clone();
 

@@ -14,6 +14,8 @@
 //!
 //! See `README.md` for a tour and `DESIGN.md` for the paper mapping.
 
+#![forbid(unsafe_code)]
+
 pub use azul_core::{Azul, AzulConfig, AzulError, MappingStrategy, PreparedSolver, SolveReport};
 
 /// Sparse-matrix substrate.

@@ -1,0 +1,150 @@
+//! Determinism regression tests: the same scenario must produce
+//! byte-identical telemetry JSON every run.
+//!
+//! This is the runtime counterpart of the `azul-lint` static pass.
+//! The whole methodology rests on the cycle model being a pure
+//! function of (matrix, mapping, config, seeds): figures are cycle
+//! counts, and a nondeterministic iteration order anywhere in the
+//! pipeline would make them irreproducible. These tests solve the same
+//! system twice — fault-free and with a seeded fault plan — and compare
+//! the full serialized reports byte for byte. Wall-clock phase spans
+//! are deliberately excluded: they measure host time and are the one
+//! legitimately nondeterministic part of telemetry.
+//!
+//! Runtime invariants ([`azul::sim::invariants`]) are switched on
+//! explicitly, so these runs double as an end-to-end audit: flit
+//! conservation, router occupancy bounds, trace monotonicity and the
+//! aggregate-vs-detail cross-check all hold on every checked run.
+
+use azul::mapping::strategies::{AzulMapper, Mapper};
+use azul::mapping::TileGrid;
+use azul::sim::config::SimConfig;
+use azul::sim::faults::FaultPlan;
+use azul::sim::invariants::{Checker, RULE_FLIT_CONSERVATION};
+use azul::sim::machine::SimError;
+use azul::sim::pcg::{PcgSim, PcgSimConfig, PcgSimReport};
+use azul::sim::stats::KernelStats;
+use azul::sim::telemetry::{
+    describe_config, fill_fault_report, fill_invariant_report, fill_report,
+};
+use azul::sparse::generate;
+use azul::telemetry::TelemetryReport;
+
+fn setup() -> (azul::sparse::Csr, azul::mapping::Placement, TileGrid) {
+    let a = generate::grid_laplacian_2d(20, 20);
+    let grid = TileGrid::new(4, 4);
+    let p = AzulMapper::fast_default().map(&a, grid);
+    (a, p, grid)
+}
+
+fn rhs(n: usize) -> Vec<f64> {
+    (0..n)
+        .map(|i| 1.0 + ((i * 31 % 17) as f64) / 17.0)
+        .collect()
+}
+
+/// One checked, detailed solve of the scenario.
+fn solve(faults: Option<FaultPlan>) -> (PcgSimReport, SimConfig) {
+    let (a, p, grid) = setup();
+    let mut cfg = SimConfig::azul(grid);
+    cfg.detailed_stats = true;
+    cfg.check_invariants = true;
+    cfg.faults = faults;
+    let run_cfg = PcgSimConfig {
+        // Time every iteration so the fault timeline is exercised.
+        timed_iterations: 0,
+        ..PcgSimConfig::default()
+    };
+    let sim = PcgSim::build(&a, &p, &cfg).expect("pcg build");
+    let report = sim
+        .try_run(&rhs(a.rows()), &run_cfg)
+        .expect("checked solve succeeds");
+    (report, cfg)
+}
+
+/// Serializes everything deterministic about a solve: scenario, all
+/// counters, per-PE/per-link detail, convergence history, fault and
+/// recovery journals, and the invariant audit. No `absorb_spans` —
+/// span wall-times are host measurements.
+fn serialize(report: &PcgSimReport, cfg: &SimConfig) -> String {
+    let mut doc = TelemetryReport::default();
+    describe_config(&mut doc, cfg);
+    fill_report(&mut doc, cfg, &report.stats);
+    fill_fault_report(&mut doc, &report.fault_events, &report.recoveries);
+    fill_invariant_report(&mut doc, &report.stats);
+    doc.convergence = report.convergence.clone();
+    doc.to_json().to_string_pretty()
+}
+
+#[test]
+fn fault_free_solve_telemetry_is_byte_identical() {
+    let (r1, cfg1) = solve(None);
+    let (r2, cfg2) = solve(None);
+    assert!(r1.converged, "scenario must converge");
+    assert_eq!(r1.total_cycles, r2.total_cycles, "cycle counts diverged");
+    assert_eq!(r1.iterations, r2.iterations);
+    assert_eq!(r1.x, r2.x, "solutions diverged bit-for-bit");
+    assert_eq!(
+        serialize(&r1, &cfg1),
+        serialize(&r2, &cfg2),
+        "telemetry JSON diverged between identical runs"
+    );
+}
+
+#[test]
+fn fault_injected_solve_telemetry_is_byte_identical() {
+    let grid_tiles = 16;
+    let plan = || Some(FaultPlan::seeded(42, grid_tiles, 3, 60_000));
+    let (r1, cfg1) = solve(plan());
+    let (r2, cfg2) = solve(plan());
+    assert_eq!(
+        r1.fault_events.len(),
+        r2.fault_events.len(),
+        "fault journals diverged"
+    );
+    assert_eq!(r1.total_cycles, r2.total_cycles, "cycle counts diverged");
+    assert_eq!(
+        serialize(&r1, &cfg1),
+        serialize(&r2, &cfg2),
+        "fault-injected telemetry JSON diverged between identical runs"
+    );
+}
+
+#[test]
+fn checked_solve_reports_nonzero_audit_counts() {
+    let (report, _) = solve(None);
+    // Every rule must actually have been evaluated, not just enabled.
+    for (rule, checks) in azul::sim::invariants::RULE_NAMES
+        .iter()
+        .zip(report.stats.invariant_checks)
+    {
+        assert!(checks > 0, "rule `{rule}` was never evaluated");
+    }
+    // And the audit lands in the telemetry document.
+    let mut doc = TelemetryReport::default();
+    fill_invariant_report(&mut doc, &report.stats);
+    assert!(doc.counter_value("invariant_checks").unwrap() > 0);
+    assert_eq!(doc.counter_value("invariant_violations"), Some(0));
+}
+
+/// A synthetic broken ledger must be rejected with the structured
+/// error, end to end through the public API.
+#[test]
+fn synthetic_conservation_violation_surfaces_as_sim_error() {
+    let mut stats = KernelStats {
+        messages: 10,
+        link_activations: 4,
+        router_traversals: 9, // should be 14: one flit unaccounted for
+        ..KernelStats::default()
+    };
+    let mut checker = Checker::with_enabled(true);
+    let err = checker
+        .check_kernel_end(&stats, 0, 0)
+        .expect_err("broken ledger must be caught");
+    match err {
+        SimError::Invariant { rule, .. } => assert_eq!(rule, RULE_FLIT_CONSERVATION),
+        other => panic!("expected invariant violation, got {other}"),
+    }
+    checker.finish(&mut stats);
+    assert!(stats.invariant_checks.iter().sum::<u64>() > 0);
+}

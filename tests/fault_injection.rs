@@ -86,7 +86,10 @@ fn watchdog_reports_deadlock_on_pe_kill() {
         cycle,
         stalled_pes,
         inflight_flits: _,
-    } = err;
+    } = err
+    else {
+        panic!("expected a deadlock, got {err}");
+    };
     assert!(
         cycle <= cfg.max_kernel_cycles,
         "watchdog fired at cycle {cycle}, beyond the {} budget",
@@ -125,6 +128,7 @@ fn pcg_try_run_surfaces_deadlock() {
             assert!(stalled_pes.contains(&1), "stalled set {stalled_pes:?}");
         }
         Ok(_) => panic!("solve must not succeed with a dead PE"),
+        Err(other) => panic!("expected a deadlock, got {other}"),
     }
 }
 
