@@ -25,6 +25,12 @@
 //!   macros inside functions whose name contains `tick`, `route` or
 //!   `execute` in `crates/sim` (warning). Hot paths should return typed
 //!   `SimError`s.
+//! * [`SHARED_MUTABLE_IN_SHARD`] — indexing the machine-wide `routers`
+//!   / `pes` arrays inside a function whose name contains `tick` in
+//!   `crates/sim` (warning). Shard tick functions run concurrently;
+//!   cross-tile effects must go through shard-local views and the
+//!   double-buffered outbox applied at the cycle barrier, never by
+//!   reaching into the global per-tile arrays.
 //!
 //! Any finding can be waived in place with
 //! `// azul-lint: allow(<rule>)` on the offending line or up to three
@@ -49,13 +55,16 @@ pub const WALL_CLOCK_IN_SIM: &str = "wall-clock-in-sim";
 pub const UNCHECKED_FLOAT_REDUCTION: &str = "unchecked-float-reduction";
 /// Rule: panicking calls inside tick/route/execute hot paths.
 pub const PANIC_IN_SIM_HOT_PATH: &str = "panic-in-sim-hot-path";
+/// Rule: global per-tile arrays indexed inside shard tick functions.
+pub const SHARED_MUTABLE_IN_SHARD: &str = "shared-mutable-in-shard";
 
 /// Every rule this linter knows, in reporting order.
-pub const ALL_RULES: [&str; 4] = [
+pub const ALL_RULES: [&str; 5] = [
     NONDETERMINISTIC_ITERATION,
     WALL_CLOCK_IN_SIM,
     UNCHECKED_FLOAT_REDUCTION,
     PANIC_IN_SIM_HOT_PATH,
+    SHARED_MUTABLE_IN_SHARD,
 ];
 
 /// Diagnostic severity. `--deny warnings` promotes warnings to failures
@@ -383,6 +392,7 @@ pub fn lint_source(path: &str, src: &str) -> Vec<Diagnostic> {
     if scope == "sim" {
         rule_wall_clock(&scan, &mut diags);
         rule_panic_hot_path(&scan, &mut diags);
+        rule_shared_mutable_in_shard(&scan, &mut diags);
     }
     if scope == "sim" || scope == "solver" {
         rule_float_reduction(&scan, &mut diags);
@@ -663,6 +673,61 @@ fn rule_panic_hot_path(scan: &Scan, diags: &mut Vec<Diagnostic>) {
     }
 }
 
+/// The machine-wide per-tile arrays a shard tick must never index
+/// directly: every access inside a concurrently-running tick function
+/// has to go through the shard-local slices (conventionally renamed
+/// `local_*`) or the deferred outbox.
+const SHARD_GLOBAL_ARRAYS: [&str; 2] = ["routers", "pes"];
+
+fn rule_shared_mutable_in_shard(scan: &Scan, diags: &mut Vec<Diagnostic>) {
+    let toks = &scan.tokens;
+    let mut depth = 0i32;
+    let mut fn_stack: Vec<(String, i32)> = Vec::new();
+    let mut pending_fn: Option<String> = None;
+    let in_tick =
+        |stack: &[(String, i32)]| stack.last().is_some_and(|(name, _)| name.contains("tick"));
+    for i in 0..toks.len() {
+        match &toks[i].tok {
+            Tok::Ident(w) if w == "fn" => {
+                if let Some(Some(name)) = toks.get(i + 1).map(ident) {
+                    pending_fn = Some(name.to_string());
+                }
+            }
+            Tok::Punct(';') => pending_fn = None, // bodyless trait method
+            Tok::Punct('{') => {
+                depth += 1;
+                if let Some(name) = pending_fn.take() {
+                    fn_stack.push((name, depth));
+                }
+            }
+            Tok::Punct('}') => {
+                if fn_stack.last().is_some_and(|&(_, d)| d == depth) {
+                    fn_stack.pop();
+                }
+                depth -= 1;
+            }
+            Tok::Ident(w)
+                if SHARD_GLOBAL_ARRAYS.contains(&w.as_str())
+                    && toks.get(i + 1).is_some_and(|t| punct(t, '['))
+                    && in_tick(&fn_stack) =>
+            {
+                diags.push(Diagnostic {
+                    line: toks[i].line,
+                    rule: SHARED_MUTABLE_IN_SHARD,
+                    severity: Severity::Warning,
+                    message: format!(
+                        "`{w}[..]` indexed inside `{}`: shard tick functions run \
+                         concurrently; use the shard-local views and the \
+                         barrier-applied outbox, not the machine-wide arrays",
+                        fn_stack.last().map(|(n, _)| n.as_str()).unwrap_or("?")
+                    ),
+                });
+            }
+            _ => {}
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -831,6 +896,52 @@ fn execute(c: u32) {
 }
 "#;
         assert!(lint_source(SIM_PATH, allowed).is_empty());
+    }
+
+    #[test]
+    fn global_array_index_in_tick_fn_flagged() {
+        let src = r#"
+fn tick_shard(routers: &mut [u32], pes: &mut [u32], t: usize) {
+    routers[t] += 1;
+    let _ = pes[t];
+}
+fn commit(routers: &mut [u32], t: usize) {
+    routers[t] += 1; // fine: not a tick function
+}
+"#;
+        let diags = lint_source(SIM_PATH, src);
+        assert_eq!(
+            rules_at(&diags),
+            vec![SHARED_MUTABLE_IN_SHARD, SHARED_MUTABLE_IN_SHARD]
+        );
+        assert_eq!(diags[0].line, 3);
+        assert_eq!(diags[1].line, 4);
+        assert!(diags.iter().all(|d| d.severity == Severity::Warning));
+    }
+
+    #[test]
+    fn shard_local_views_in_tick_fn_clean() {
+        let src = r#"
+fn tick_shard(local_routers: &mut [u32], local_pes: &mut [u32], t: usize) {
+    local_routers[t] += 1;
+    let _ = local_pes[t];
+}
+"#;
+        assert!(lint_source(SIM_PATH, src).is_empty());
+        // And outside the sim scope the rule does not apply at all.
+        let global = "fn tick(routers: &mut [u32]) { routers[0] += 1; }";
+        assert!(lint_source("crates/models/src/fake.rs", global).is_empty());
+    }
+
+    #[test]
+    fn shared_mutable_waivable_with_allow() {
+        let src = r#"
+fn tick_routers(routers: &mut [u32], t: usize) {
+    // azul-lint: allow(shared-mutable-in-shard) serial helper owns the array
+    routers[t] += 1;
+}
+"#;
+        assert!(lint_source(SIM_PATH, src).is_empty());
     }
 
     #[test]

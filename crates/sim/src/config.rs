@@ -82,6 +82,22 @@ pub struct SimConfig {
     /// release runs) and off otherwise, so production sweeps pay one
     /// branch per cycle.
     pub check_invariants: bool,
+    /// Host worker threads for the sharded tick engine
+    /// (`docs/PERFORMANCE.md`). Tiles are partitioned into this many
+    /// contiguous shards ticked in parallel each cycle; results are
+    /// bit-for-bit identical for every value. `1` (the default) ticks
+    /// everything on the calling thread with no pool or barriers. This
+    /// is a host-side performance knob, not simulated hardware, so it
+    /// is deliberately absent from telemetry scenario descriptions.
+    pub threads: usize,
+    /// Idle-cycle fast-forward: when no active component can make
+    /// progress, jump the machine clock straight to the next event
+    /// (PE timer expiry, flit arrival, fault-timeline point) instead of
+    /// ticking empty cycles. Collapses the long dependence-limited
+    /// SpTRSV tails. Bit-for-bit identical to ticking every cycle —
+    /// skipped cycles replicate their stall/idle/trace/audit accounting
+    /// — and, like [`SimConfig::threads`], absent from telemetry.
+    pub fast_forward: bool,
 }
 
 impl SimConfig {
@@ -133,6 +149,8 @@ impl SimConfig {
             watchdog_no_progress_cycles: 50_000,
             faults: None,
             check_invariants: cfg!(debug_assertions),
+            threads: 1,
+            fast_forward: false,
         }
     }
 
@@ -192,6 +210,16 @@ mod tests {
         assert_eq!(cfg.hazard_latency(), 4);
         cfg.sram_latency = 4;
         assert_eq!(cfg.hazard_latency(), 6);
+    }
+
+    #[test]
+    fn engine_knobs_default_to_reference_path() {
+        // threads=1 / fast_forward=off is the reference engine; sweeps
+        // opt in explicitly so the default path stays byte-identical to
+        // the seed behavior.
+        let cfg = SimConfig::azul(TileGrid::square(4));
+        assert_eq!(cfg.threads, 1);
+        assert!(!cfg.fast_forward);
     }
 
     #[test]

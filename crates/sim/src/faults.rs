@@ -300,6 +300,21 @@ impl FaultSession {
         &self.active
     }
 
+    /// The next *global* cycle at which this session's state changes:
+    /// the earlier of the next unfired event's scheduled cycle and the
+    /// earliest active-window expiry. `u64::MAX` when nothing is
+    /// pending. The fast-forward engine must not skip past this point —
+    /// events journal their firing cycle and expiries re-sync router/PE
+    /// fault state, so both must land on a really-ticked cycle.
+    pub(crate) fn next_timeline_cycle(&self) -> u64 {
+        let next_event = self
+            .plan
+            .events
+            .get(self.next)
+            .map_or(u64::MAX, |e| e.at_cycle);
+        next_event.min(self.earliest_expiry)
+    }
+
     /// Whether the watchdog should hold off: a *finite* outage window is
     /// in force, so apparent no-progress may resolve on its own when the
     /// window closes. Permanent faults (PeKill) do not suspend the

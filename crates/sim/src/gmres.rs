@@ -538,6 +538,44 @@ mod tests {
     }
 
     #[test]
+    fn convergence_deltas_tile_aggregate_stats() {
+        // Restart-accounting cross-check: with every inner iteration timed
+        // and no faults, the per-iteration convergence deltas must tile
+        // the aggregate `KernelStats` exactly — work done around a restart
+        // boundary (the setup solves of the next Arnoldi cycle) must be
+        // attributed to exactly one iteration, never dropped or counted
+        // twice.
+        let a = generate::grid_laplacian_2d(8, 8);
+        let grid = TileGrid::new(2, 2);
+        let p = RoundRobinMapper.map(&a, grid);
+        let sim = GmresSim::build(&a, &p, &SimConfig::azul(grid)).unwrap();
+        let b = rhs(a.rows());
+        let report = sim.run(
+            &b,
+            &GmresSimConfig {
+                restart: 4,          // force several restart boundaries
+                timed_iterations: 0, // cycle-simulate everything
+                ..Default::default()
+            },
+        );
+        assert!(report.converged);
+        assert!(report.iterations > 8, "need multiple restart cycles");
+        let sum = |f: fn(&IterationSample) -> u64| report.convergence.iter().map(f).sum::<u64>();
+        assert_eq!(sum(|s| s.cycles), report.stats.cycles, "cycles leak");
+        assert_eq!(sum(|s| s.messages), report.stats.messages, "messages leak");
+        assert_eq!(
+            sum(|s| s.link_activations),
+            report.stats.link_activations,
+            "link activations leak"
+        );
+        assert_eq!(
+            sum(|s| s.flops),
+            crate::pcg::flops_of_ops(report.stats.ops),
+            "FLOPs leak"
+        );
+    }
+
+    #[test]
     fn gmres_kernel_mix_includes_all_three_classes() {
         let a = generate::grid_laplacian_2d(6, 6);
         let grid = TileGrid::new(2, 2);

@@ -116,23 +116,30 @@ impl Checker {
     /// [`RULE_OCCUPANCY_BOUNDS`] when the inject queue holds more flits
     /// than its configured capacity.
     pub fn check_router(&mut self, cycle: u64, router: &Router) -> Result<(), SimError> {
-        if !self.enabled || !self.bounded_inject {
+        if !self.occupancy_active() {
             return Ok(());
         }
         self.checks[OCCUPANCY] += 1;
-        let occ = router.inject_occupancy();
-        if occ > router.capacity() {
-            return Err(violation(
-                RULE_OCCUPANCY_BOUNDS,
-                cycle,
-                format!(
-                    "router {} inject queue holds {occ} flits, capacity {}",
-                    router.tile(),
-                    router.capacity()
-                ),
-            ));
+        check_router_occupancy(cycle, router)
+    }
+
+    /// Whether per-cycle occupancy auditing applies (checking enabled and
+    /// the PE model honors inject backpressure). Shard workers consult
+    /// this to decide locally, then report their evaluation counts back
+    /// through [`Checker::credit_occupancy_checks`].
+    pub(crate) fn occupancy_active(&self) -> bool {
+        self.enabled && self.bounded_inject
+    }
+
+    /// Credits `n` occupancy-rule evaluations performed outside this
+    /// checker: by shard workers (which run [`check_router_occupancy`]
+    /// against their own routers) or by the fast-forward engine (skipped
+    /// cycles would each have audited every active router). No-op when
+    /// occupancy auditing is off.
+    pub(crate) fn credit_occupancy_checks(&mut self, n: u64) {
+        if self.occupancy_active() {
+            self.checks[OCCUPANCY] += n;
         }
-        Ok(())
     }
 
     /// Kernel-end audit: flit conservation at quiescence, trace
@@ -218,6 +225,31 @@ impl Checker {
             stats.invariant_checks[k] += self.checks[k];
         }
     }
+}
+
+/// The occupancy-bound check itself, callable without a [`Checker`] so
+/// shard workers can audit their own routers concurrently (each worker
+/// counts its evaluations; the coordinator folds them back in via
+/// [`Checker::credit_occupancy_checks`]).
+///
+/// # Errors
+///
+/// [`RULE_OCCUPANCY_BOUNDS`] when the inject queue holds more flits
+/// than its configured capacity.
+pub(crate) fn check_router_occupancy(cycle: u64, router: &Router) -> Result<(), SimError> {
+    let occ = router.inject_occupancy();
+    if occ > router.capacity() {
+        return Err(violation(
+            RULE_OCCUPANCY_BOUNDS,
+            cycle,
+            format!(
+                "router {} inject queue holds {occ} flits, capacity {}",
+                router.tile(),
+                router.capacity()
+            ),
+        ));
+    }
+    Ok(())
 }
 
 /// Solve-level audit over stats merged across every kernel and vector

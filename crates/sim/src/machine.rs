@@ -12,11 +12,13 @@
 
 use crate::config::SimConfig;
 use crate::faults::{FaultEvent, FaultKind, FaultSession};
-use crate::invariants::Checker;
-use crate::pe::{Pe, Trigger};
+use crate::invariants::{check_router_occupancy, Checker};
+use crate::pe::{OutSink, Pe, PeSkipClass, Trigger};
 use crate::program::Program;
-use crate::router::{tick_router_at, Delivery, FlitKind, Router};
+use crate::router::{tick_router, Accept, Delivery, FlitKind, Router};
 use crate::stats::KernelStats;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// A structured failure of the simulated machine.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -71,6 +73,209 @@ impl std::fmt::Display for SimError {
 }
 
 impl std::error::Error for SimError {}
+
+/// One contiguous slice of the tile array, owned by exactly one worker
+/// during the parallel phase of a cycle (`SimConfig::threads` shards).
+///
+/// All cross-shard traffic is double-buffered: forwards land in
+/// `outbox` ([`Accept`]s applied at the cycle barrier), output-vector
+/// writes land in `out_buf`, and per-cycle stats land in the shard's
+/// own `stats` delta (merged into the main ledger in shard order at
+/// kernel end). A shard tick therefore only ever mutates shard-local
+/// state, which is what makes the engine's results independent of how
+/// many workers run and in what order shards are ticked.
+struct Shard {
+    /// First global tile id in this shard (tiles `lo..lo + routers.len()`).
+    lo: usize,
+    routers: Vec<Router>,
+    pes: Vec<Pe>,
+    /// Injected PE stall/kill windows, per local tile.
+    stalled: Vec<bool>,
+    /// Global tile ids to tick this cycle (filled by the coordinator).
+    bucket: Vec<usize>,
+    /// Scratch: local deliveries of the tile currently being ticked.
+    deliveries: Vec<Delivery>,
+    /// Cross-tile flit arrivals produced this cycle; the coordinator
+    /// applies them in shard order at the cycle barrier.
+    outbox: Vec<Accept>,
+    /// Output-vector writes produced this cycle; applied at the barrier.
+    out_buf: Vec<(u32, f64)>,
+    /// Tiles of `bucket` still holding work after their tick.
+    still: Vec<usize>,
+    /// This shard's stats delta (`cycles` stays 0; merge adds counters).
+    stats: KernelStats,
+    /// Occupancy-rule evaluations performed by this shard's ticks.
+    occ_checks: u64,
+    /// First invariant violation this shard observed, if any.
+    err: Option<SimError>,
+}
+
+impl Shard {
+    fn router_mut(&mut self, t: usize) -> &mut Router {
+        let i = t - self.lo;
+        &mut self.routers[i]
+    }
+
+    fn pe_mut(&mut self, t: usize) -> &mut Pe {
+        let i = t - self.lo;
+        &mut self.pes[i]
+    }
+
+    fn router_ref(&self, t: usize) -> &Router {
+        &self.routers[t - self.lo]
+    }
+
+    fn pe_ref(&self, t: usize) -> &Pe {
+        &self.pes[t - self.lo]
+    }
+
+    fn stalled_at(&self, t: usize) -> bool {
+        self.stalled[t - self.lo]
+    }
+}
+
+/// Ticks every tile in `sh.bucket` for cycle `now`, touching only
+/// shard-local state (see [`Shard`]). Safe to run concurrently with the
+/// ticks of every other shard.
+fn tick_shard(
+    sh: &mut Shard,
+    now: u64,
+    cfg: &SimConfig,
+    program: &Program,
+    input: &[f64],
+    faulting: bool,
+    check_occupancy: bool,
+) {
+    // Destructure so disjoint fields can be borrowed simultaneously.
+    // The renamed bindings also make the sharding contract explicit:
+    // only *this shard's* routers/PEs are ever indexed here.
+    let Shard {
+        lo,
+        routers: local_routers,
+        pes: local_pes,
+        stalled,
+        bucket,
+        deliveries,
+        outbox,
+        out_buf,
+        still,
+        stats,
+        occ_checks,
+        err,
+    } = sh;
+    let lo = *lo;
+    still.clear();
+    for &t in bucket.iter() {
+        let local = t - lo;
+        // Router first: deliveries trigger PE tasks this same cycle.
+        deliveries.clear();
+        tick_router(
+            &mut local_routers[local],
+            now,
+            cfg.hop_latency as u64,
+            program,
+            deliveries,
+            outbox,
+            stats,
+        );
+        for d in deliveries.iter() {
+            let trig = match d.flit.kind {
+                FlitKind::X => Trigger::X {
+                    idx: d.flit.idx,
+                    val: d.flit.val,
+                },
+                FlitKind::Partial => Trigger::Partial {
+                    idx: d.flit.idx,
+                    val: d.flit.val,
+                },
+            };
+            local_pes[local].push_trigger(cfg, trig, stats);
+        }
+        // PE next — unless inside an injected stall/kill window, in
+        // which case the router keeps forwarding and triggers keep
+        // queueing so the tile stays active (and a permanent kill is
+        // observable as a watchdog hang).
+        if !(faulting && stalled[local]) {
+            let tp = program.tile(t as u32);
+            local_pes[local].tick(
+                now,
+                cfg,
+                tp,
+                program,
+                &mut local_routers[local],
+                input,
+                &mut OutSink::Buffered(out_buf),
+                stats,
+            );
+        }
+        // Runtime invariant: the inject queue is the only bounded
+        // buffer; exceeding its capacity means a PE bypassed
+        // `can_inject` backpressure.
+        if check_occupancy {
+            *occ_checks += 1;
+            if err.is_none() {
+                if let Err(e) = check_router_occupancy(now, &local_routers[local]) {
+                    *err = Some(e);
+                }
+            }
+        }
+        // Re-arm check (pre-barrier view): tiles receiving an accept
+        // this cycle are re-activated from the outbox instead.
+        if local_pes[local].has_work() || local_routers[local].occupancy() > 0 {
+            still.push(t);
+        }
+    }
+}
+
+/// A reusable generation-counting spin barrier for the fixed-size
+/// worker pool. Spins briefly, then yields: the pool is sized to the
+/// host's cores but may still be descheduled (or the host may have a
+/// single core), and a blocking barrier would cost a syscall per cycle.
+struct SpinBarrier {
+    total: usize,
+    count: AtomicUsize,
+    generation: AtomicUsize,
+}
+
+impl SpinBarrier {
+    fn new(total: usize) -> Self {
+        SpinBarrier {
+            total,
+            count: AtomicUsize::new(0),
+            generation: AtomicUsize::new(0),
+        }
+    }
+
+    fn wait(&self) {
+        let generation = self.generation.load(Ordering::Acquire);
+        if self.count.fetch_add(1, Ordering::AcqRel) + 1 == self.total {
+            self.count.store(0, Ordering::Release);
+            self.generation.fetch_add(1, Ordering::Release);
+            return;
+        }
+        let mut spins = 0u32;
+        while self.generation.load(Ordering::Acquire) == generation {
+            spins += 1;
+            if spins > 64 {
+                std::thread::yield_now();
+            } else {
+                std::hint::spin_loop();
+            }
+        }
+    }
+}
+
+/// Coordinator → worker channel for the parallel engine: the cycle
+/// being ticked, the shutdown flag, and the two barriers bracketing
+/// each cycle's parallel phase. Shard data itself travels through the
+/// per-shard `Mutex`es, which provide the happens-before edges.
+struct ParallelCtx {
+    pool: usize,
+    barrier_a: SpinBarrier,
+    barrier_b: SpinBarrier,
+    cycle_now: AtomicU64,
+    stop: AtomicBool,
+}
 
 /// Runs `program` on the simulated machine.
 ///
@@ -134,11 +339,56 @@ pub fn run_kernel_checked(
     }
     let mut inv = Checker::new(cfg);
     let mut out = vec![0.0f64; program.n];
-    let mut routers: Vec<Router> = (0..num_tiles)
-        .map(|t| Router::new(t as u32, cfg.router_queue_capacity))
-        .collect();
-    let mut pes: Vec<Pe> = (0..num_tiles)
-        .map(|t| Pe::new(t as u32, cfg, program.tile(t as u32), input))
+
+    // Tile sharding: contiguous ranges, one per configured thread. The
+    // shard count only partitions work — results are bit-identical for
+    // every value — so the worker pool is sized to the host
+    // (`available_parallelism`), never above the shard count.
+    let num_shards = cfg.threads.max(1).min(num_tiles);
+    let pool = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+        .min(num_shards);
+    let shard_of: Vec<usize> = {
+        let mut v = vec![0usize; num_tiles];
+        for s in 0..num_shards {
+            let lo = s * num_tiles / num_shards;
+            let hi = (s + 1) * num_tiles / num_shards;
+            for slot in v.iter_mut().take(hi).skip(lo) {
+                *slot = s;
+            }
+        }
+        v
+    };
+    let mut shards: Vec<Mutex<Shard>> = (0..num_shards)
+        .map(|s| {
+            let lo = s * num_tiles / num_shards;
+            let hi = (s + 1) * num_tiles / num_shards;
+            let mut shard_stats = KernelStats::default();
+            if cfg.detailed_stats {
+                // Full-width detail arrays: each shard only touches its
+                // own tiles' entries, and merge adds elementwise.
+                shard_stats.enable_detail(num_tiles);
+            }
+            Mutex::new(Shard {
+                lo,
+                routers: (lo..hi)
+                    .map(|t| Router::new(t as u32, cfg.router_queue_capacity))
+                    .collect(),
+                pes: (lo..hi)
+                    .map(|t| Pe::new(t as u32, cfg, program.tile(t as u32), input))
+                    .collect(),
+                stalled: vec![false; hi - lo],
+                bucket: Vec::new(),
+                deliveries: Vec::new(),
+                outbox: Vec::new(),
+                out_buf: Vec::new(),
+                still: Vec::new(),
+                stats: shard_stats,
+                occ_checks: 0,
+                err: None,
+            })
+        })
         .collect();
 
     // Fault session: the caller's cross-kernel session wins; otherwise a
@@ -154,15 +404,18 @@ pub fn run_kernel_checked(
     };
     let mut session: Option<&mut FaultSession> = faults.or(local_session.as_mut());
     let faulting = session.as_ref().is_some_and(|s| !s.fault_free());
-    // Tiles whose PE is inside a stall/kill window (router keeps going).
-    let mut pe_stalled: Vec<bool> = vec![false; if faulting { num_tiles } else { 0 }];
+    let check_occupancy = inv.occupancy_active();
     let mut fired: Vec<FaultEvent> = Vec::new();
     // Windows opened in an earlier kernel of the same session (e.g. a
     // PeKill) must constrain this kernel from cycle 0.
     if faulting {
         let s = session.as_deref_mut().expect("faulting implies session");
         if !s.active_windows().is_empty() {
-            sync_fault_state(s, 0, &mut routers, &mut pe_stalled);
+            let mut init: Vec<&mut Shard> = shards
+                .iter_mut()
+                .map(|m| m.get_mut().expect("no shard lock held yet"))
+                .collect();
+            sync_fault_state(s, 0, &mut init, &shard_of);
         }
     }
 
@@ -177,15 +430,18 @@ pub fn run_kernel_checked(
     };
 
     // Kernel-start triggers.
-    #[allow(clippy::needless_range_loop)] // index used across several structures
     for t in 0..num_tiles {
+        let sh = shards[shard_of[t]]
+            .get_mut()
+            .expect("no shard lock held yet");
         let tp = program.tile(t as u32);
         for &j in &tp.send_v {
             if program.x_tree[j as usize].is_some() {
-                pes[t].push_trigger(cfg, Trigger::SendV { idx: j }, &mut stats);
+                sh.pe_mut(t)
+                    .push_trigger(cfg, Trigger::SendV { idx: j }, &mut stats);
             }
             if tp.saac.contains_key(&j) {
-                pes[t].push_trigger(
+                sh.pe_mut(t).push_trigger(
                     cfg,
                     Trigger::X {
                         idx: j,
@@ -196,168 +452,341 @@ pub fn run_kernel_checked(
             }
         }
         for &i in &tp.initial_solves {
-            pes[t].push_trigger(cfg, Trigger::Solve { idx: i }, &mut stats);
+            sh.pe_mut(t)
+                .push_trigger(cfg, Trigger::Solve { idx: i }, &mut stats);
         }
-        if pes[t].has_work() {
+        if sh.pe_ref(t).has_work() {
             activate(t, &mut active, &mut on_list);
         }
     }
 
     let mut now = 0u64;
-    let mut deliveries: Vec<Delivery> = Vec::new();
-    let mut newly_active: Vec<usize> = Vec::new();
+    let ctx = ParallelCtx {
+        pool,
+        barrier_a: SpinBarrier::new(pool),
+        barrier_b: SpinBarrier::new(pool),
+        cycle_now: AtomicU64::new(0),
+        stop: AtomicBool::new(false),
+    };
 
     // Watchdog state: a monotone progress signature and the last cycle it
     // moved. Any issued op, message, link hop or router traversal counts.
     let mut last_signature = u64::MAX;
     let mut last_progress = 0u64;
 
-    while !active.is_empty() {
-        // Fault schedule: fire due events, expire windows, re-sync
-        // injected router/PE state when the window set changes.
-        if faulting {
-            let s = session.as_deref_mut().expect("faulting implies session");
-            fired.clear();
-            if s.advance(now, num_tiles, &mut fired) {
-                sync_fault_state(s, now, &mut routers, &mut pe_stalled);
-            }
-            for ev in fired.drain(..) {
-                let FaultKind::SramBitFlip { tile, slot, bit } = ev.kind else {
-                    unreachable!("only bit flips are handed to the machine");
-                };
-                let gnow = s.global_cycle(now);
-                match pes[tile as usize].flip_slot_bit(slot, bit) {
-                    Some((old, new)) => {
-                        s.record(gnow, ev.kind, true, format!("{old:e} -> {new:e}"));
+    let result: Result<(), SimError> = std::thread::scope(|scope| {
+        // Fixed-size worker pool: workers park on `barrier_a` until the
+        // coordinator publishes a cycle, tick their strided shard subset,
+        // then meet the coordinator at `barrier_b`.
+        if ctx.pool > 1 {
+            for w in 1..ctx.pool {
+                let shards = &shards;
+                let ctx = &ctx;
+                scope.spawn(move || loop {
+                    ctx.barrier_a.wait();
+                    if ctx.stop.load(Ordering::Acquire) {
+                        break;
                     }
-                    None => s.record(
-                        gnow,
-                        ev.kind,
-                        false,
-                        format!("tile {tile} has no slot {slot}"),
-                    ),
-                }
-            }
-            if s.suspends_watchdog(now) {
-                last_progress = now;
+                    let wnow = ctx.cycle_now.load(Ordering::Acquire);
+                    let mut s = w;
+                    while s < num_shards {
+                        let mut sh = shards[s].lock().expect("shard lock poisoned");
+                        tick_shard(
+                            &mut sh,
+                            wnow,
+                            cfg,
+                            program,
+                            input,
+                            faulting,
+                            check_occupancy,
+                        );
+                        s += ctx.pool;
+                    }
+                    ctx.barrier_b.wait();
+                });
             }
         }
 
-        // Watchdog: structured deadlock report instead of spinning to the
-        // 500M-cycle deadline (or panicking there).
-        let signature =
-            stats.total_ops() + stats.messages + stats.link_activations + stats.router_traversals;
-        if signature != last_signature {
-            last_signature = signature;
-            last_progress = now;
-        }
-        let wedged = cfg.watchdog_no_progress_cycles > 0
-            && now.saturating_sub(last_progress) >= cfg.watchdog_no_progress_cycles;
-        if wedged || now >= cfg.max_kernel_cycles {
-            let stalled_pes: Vec<u32> = (0..num_tiles)
-                .filter(|&t| pes[t].has_work())
-                .map(|t| t as u32)
+        let mut body = || -> Result<(), SimError> {
+            // The coordinator holds every shard lock between cycle
+            // barriers; during the parallel tick phase the guards are
+            // dropped and each shard is locked by exactly one worker.
+            let mut guards: Vec<std::sync::MutexGuard<'_, Shard>> = shards
+                .iter()
+                .map(|m| m.lock().expect("shard lock poisoned"))
                 .collect();
-            let inflight_flits = routers.iter().map(Router::occupancy).sum();
-            if let Some(s) = session.as_deref_mut() {
-                s.end_kernel(now);
-            }
-            return Err(SimError::Deadlock {
-                cycle: now,
-                stalled_pes,
-                inflight_flits,
-            });
-        }
-        newly_active.clear();
-        let current = std::mem::take(&mut active);
-        for &t in &current {
-            on_list[t] = false;
-        }
+            let mut skip_classes: Vec<(usize, PeSkipClass)> = Vec::new();
 
-        // Routers first: deliveries trigger PE tasks this same cycle.
-        for &t in &current {
-            deliveries.clear();
-            tick_router_at(
-                t,
-                now,
-                cfg.hop_latency as u64,
-                &mut routers,
-                program,
-                &mut deliveries,
-                &mut newly_active,
-                &mut stats,
-            );
-            for d in &deliveries {
-                let trig = match d.flit.kind {
-                    FlitKind::X => Trigger::X {
-                        idx: d.flit.idx,
-                        val: d.flit.val,
-                    },
-                    FlitKind::Partial => Trigger::Partial {
-                        idx: d.flit.idx,
-                        val: d.flit.val,
-                    },
-                };
-                pes[t].push_trigger(cfg, trig, &mut stats);
-            }
-        }
+            while !active.is_empty() {
+                // Fault schedule: fire due events, expire windows, re-sync
+                // injected router/PE state when the window set changes.
+                let mut suspends_now = false;
+                if faulting {
+                    let s = session.as_deref_mut().expect("faulting implies session");
+                    fired.clear();
+                    if s.advance(now, num_tiles, &mut fired) {
+                        sync_fault_state(s, now, &mut guards, &shard_of);
+                    }
+                    for ev in fired.drain(..) {
+                        let FaultKind::SramBitFlip { tile, slot, bit } = ev.kind else {
+                            unreachable!("only bit flips are handed to the machine");
+                        };
+                        let gnow = s.global_cycle(now);
+                        match guards[shard_of[tile as usize]]
+                            .pe_mut(tile as usize)
+                            .flip_slot_bit(slot, bit)
+                        {
+                            Some((old, new)) => {
+                                s.record(gnow, ev.kind, true, format!("{old:e} -> {new:e}"));
+                            }
+                            None => s.record(
+                                gnow,
+                                ev.kind,
+                                false,
+                                format!("tile {tile} has no slot {slot}"),
+                            ),
+                        }
+                    }
+                    suspends_now = s.suspends_watchdog(now);
+                    if suspends_now {
+                        last_progress = now;
+                    }
+                }
 
-        // PEs.
-        for &t in &current {
-            // Injected stall/kill window: the PE issues nothing, but its
-            // router keeps forwarding and triggers keep queueing, so the
-            // tile stays on the active list (has_work) and the watchdog
-            // can observe a permanent kill as a hang.
-            if faulting && pe_stalled[t] {
-                continue;
-            }
-            let tp = program.tile(t as u32);
-            pes[t].tick(
-                now,
-                cfg,
-                tp,
-                program,
-                &mut routers[t],
-                input,
-                &mut out,
-                &mut stats,
-            );
-        }
-
-        // Runtime invariant: the inject queue is the only bounded
-        // buffer; exceeding its capacity means a PE bypassed
-        // `can_inject` backpressure.
-        if inv.enabled() {
-            for &t in &current {
-                if let Err(e) = inv.check_router(now, &routers[t]) {
+                // Watchdog: structured deadlock report instead of spinning
+                // to the 500M-cycle deadline (or panicking there). The
+                // signature sums the main ledger and every shard delta.
+                let mut sig_ops = stats.total_ops();
+                let mut sig_src = stats.messages + stats.link_activations;
+                let mut sig_snk = stats.router_traversals;
+                for g in guards.iter() {
+                    sig_ops += g.stats.total_ops();
+                    sig_src += g.stats.messages + g.stats.link_activations;
+                    sig_snk += g.stats.router_traversals;
+                }
+                let signature = sig_ops + sig_src + sig_snk;
+                let progressed = signature != last_signature;
+                if progressed {
+                    last_signature = signature;
+                    last_progress = now;
+                }
+                // Flits in multi-hop transit are progress even while the
+                // signature holds still (a long `hop_latency` drain issues
+                // nothing for many cycles): every send/forward has been
+                // counted but not yet retired as a router traversal, so
+                // hold the watchdog off until the counters rebalance. A
+                // permanently parked flit (a LinkDown that never lifts)
+                // then falls through to the `max_kernel_cycles` deadline.
+                let inflight_ctr = sig_src.saturating_sub(sig_snk);
+                if inflight_ctr > 0 {
+                    last_progress = now;
+                }
+                let wedged = cfg.watchdog_no_progress_cycles > 0
+                    && now.saturating_sub(last_progress) >= cfg.watchdog_no_progress_cycles;
+                if wedged || now >= cfg.max_kernel_cycles {
+                    let mut stalled_pes: Vec<u32> = Vec::new();
+                    let mut inflight_flits = 0usize;
+                    for g in guards.iter() {
+                        for (i, pe) in g.pes.iter().enumerate() {
+                            if pe.has_work() {
+                                stalled_pes.push((g.lo + i) as u32);
+                            }
+                        }
+                        inflight_flits += g.routers.iter().map(Router::occupancy).sum::<usize>();
+                    }
                     if let Some(s) = session.as_deref_mut() {
                         s.end_kernel(now);
                     }
-                    return Err(e);
+                    return Err(SimError::Deadlock {
+                        cycle: now,
+                        stalled_pes,
+                        inflight_flits,
+                    });
                 }
+
+                // Idle-cycle fast-forward: on a zero-progress cycle, jump
+                // the clock to the next cycle anything can happen — the
+                // earliest router head becoming ready, PE wake-up
+                // (busy_until / RAW slot_ready), fault timeline event or
+                // window expiry, watchdog trip, or the kernel deadline —
+                // crediting the skipped cycles to the same per-tile
+                // idle/stall counters and trace samples the ticked path
+                // would have produced. A zero-progress cycle cannot change
+                // machine state — except the router arbitration cursors,
+                // which rotate on every tick and are replayed below — so
+                // skipping to the next event is exact.
+                if cfg.fast_forward && !progressed {
+                    let mut ne = cfg.max_kernel_cycles;
+                    if cfg.watchdog_no_progress_cycles > 0 {
+                        ne = ne.min(last_progress.saturating_add(cfg.watchdog_no_progress_cycles));
+                    }
+                    if faulting {
+                        let s = session.as_deref_mut().expect("faulting implies session");
+                        let g = s.next_timeline_cycle();
+                        if g != u64::MAX {
+                            ne = ne.min(g.saturating_sub(s.global_cycle(0)));
+                        }
+                    }
+                    skip_classes.clear();
+                    for &t in &active {
+                        let g = &guards[shard_of[t]];
+                        if let Some(e) = g.router_ref(t).next_event(now) {
+                            ne = ne.min(e);
+                        }
+                        let (class, wake) = if faulting && g.stalled_at(t) {
+                            (PeSkipClass::Silent, None)
+                        } else {
+                            g.pe_ref(t).skip_profile(now, cfg, program.tile(t as u32))
+                        };
+                        if let Some(w) = wake {
+                            ne = ne.min(w);
+                        }
+                        skip_classes.push((t, class));
+                    }
+                    if ne > now {
+                        let k = ne - now;
+                        for &(t, class) in &skip_classes {
+                            // The ticked path rotates every active
+                            // router's arbitration cursor each cycle,
+                            // work or not; replay it or arbitration
+                            // order diverges after the skip.
+                            guards[shard_of[t]].router_mut(t).advance_rr(k);
+                            match class {
+                                PeSkipClass::Idle => stats.idle_at_n(t as u32, k),
+                                PeSkipClass::Stall => stats.stall_at_n(t as u32, k),
+                                PeSkipClass::Silent => {}
+                            }
+                        }
+                        inv.credit_occupancy_checks(k * active.len() as u64);
+                        if cfg.trace_interval > 0 {
+                            let mut total = stats.total_ops();
+                            for g in guards.iter() {
+                                total += g.stats.total_ops();
+                            }
+                            let iv = cfg.trace_interval;
+                            let mut c = if now.is_multiple_of(iv) {
+                                now
+                            } else {
+                                now.next_multiple_of(iv)
+                            };
+                            while c < ne {
+                                stats.trace.push((c, total));
+                                c += iv;
+                            }
+                        }
+                        // The ticked path refreshes `last_progress` every
+                        // cycle while flits are in flight or a fault
+                        // window suspends the watchdog; both conditions
+                        // are constant across the skipped (tickless)
+                        // range, so replicate the refresh at its last
+                        // cycle.
+                        if inflight_ctr > 0 || suspends_now {
+                            last_progress = ne - 1;
+                        }
+                        now = ne;
+                        continue;
+                    }
+                }
+
+                // Partition this cycle's active tiles into their shards.
+                for g in guards.iter_mut() {
+                    g.bucket.clear();
+                }
+                for t in active.drain(..) {
+                    on_list[t] = false;
+                    guards[shard_of[t]].bucket.push(t);
+                }
+
+                // Parallel phase: tick every shard's bucket.
+                if ctx.pool > 1 {
+                    ctx.cycle_now.store(now, Ordering::Release);
+                    guards.clear();
+                    ctx.barrier_a.wait();
+                    let mut s = 0usize;
+                    while s < num_shards {
+                        let mut sh = shards[s].lock().expect("shard lock poisoned");
+                        tick_shard(&mut sh, now, cfg, program, input, faulting, check_occupancy);
+                        s += ctx.pool;
+                    }
+                    ctx.barrier_b.wait();
+                    guards = shards
+                        .iter()
+                        .map(|m| m.lock().expect("shard lock poisoned"))
+                        .collect();
+                } else {
+                    for g in guards.iter_mut() {
+                        tick_shard(g, now, cfg, program, input, faulting, check_occupancy);
+                    }
+                }
+
+                // Serial commit, always in shard order so results do not
+                // depend on worker scheduling: first error wins, deferred
+                // link transfers land, buffered output writes land, and
+                // still-busy tiles re-arm.
+                for g in guards.iter_mut() {
+                    if let Some(e) = g.err.take() {
+                        if let Some(s) = session.as_deref_mut() {
+                            s.end_kernel(now);
+                        }
+                        return Err(e);
+                    }
+                }
+                for s in 0..num_shards {
+                    let mut accepts = std::mem::take(&mut guards[s].outbox);
+                    for a in &accepts {
+                        let d = a.dest as usize;
+                        guards[shard_of[d]].router_mut(d).apply_accept(
+                            a.port as usize,
+                            a.ready,
+                            a.flit,
+                        );
+                        activate(d, &mut active, &mut on_list);
+                    }
+                    accepts.clear();
+                    guards[s].outbox = accepts;
+                }
+                for g in guards.iter_mut() {
+                    for &(i, v) in &g.out_buf {
+                        out[i as usize] = v;
+                    }
+                    g.out_buf.clear();
+                    for &t in &g.still {
+                        activate(t, &mut active, &mut on_list);
+                    }
+                    g.still.clear();
+                }
+
+                // Progress trace sample (Fig. 17).
+                if cfg.trace_interval > 0 && now.is_multiple_of(cfg.trace_interval) {
+                    let mut total = stats.total_ops();
+                    for g in guards.iter() {
+                        total += g.stats.total_ops();
+                    }
+                    stats.trace.push((now, total));
+                }
+
+                now += 1;
             }
+            Ok(())
+        };
+        let r = body();
+        if ctx.pool > 1 {
+            ctx.stop.store(true, Ordering::Release);
+            ctx.barrier_a.wait();
         }
+        r
+    });
+    result?;
 
-        // Progress trace sample (Fig. 17).
-        if cfg.trace_interval > 0 && now.is_multiple_of(cfg.trace_interval) {
-            stats.trace.push((now, stats.total_ops()));
-        }
-
-        // Re-arm tiles that still have work.
-        for &t in &current {
-            if pes[t].has_work() || routers[t].occupancy() > 0 {
-                activate(t, &mut active, &mut on_list);
-            }
-        }
-        #[allow(clippy::needless_range_loop)] // index used across several structures
-        for i in 0..newly_active.len() {
-            let t = newly_active[i];
-            activate(t, &mut active, &mut on_list);
-        }
-
-        now += 1;
+    // Postlude (workers joined, locks free): merge shard deltas into the
+    // main ledger in shard order, then close out the run.
+    let mut inflight = 0usize;
+    for m in shards.iter_mut() {
+        let sh = m.get_mut().expect("workers joined");
+        stats.merge(&sh.stats);
+        inv.credit_occupancy_checks(sh.occ_checks);
+        inflight += sh.routers.iter().map(Router::occupancy).sum::<usize>();
     }
-
     stats.cycles = now;
     // Close the progress trace with an exact final sample so the last
     // entry always matches the kernel totals.
@@ -370,7 +799,6 @@ pub fn run_kernel_checked(
     // in-flight is zero too), trace monotonicity, and the
     // aggregate-vs-detail cross-check.
     let end_check = if inv.enabled() {
-        let inflight: usize = routers.iter().map(Router::occupancy).sum();
         inv.check_kernel_end(&stats, inflight, 0)
     } else {
         Ok(())
@@ -385,17 +813,21 @@ pub fn run_kernel_checked(
 
 /// Re-applies the session's active fault windows onto freshly cleared
 /// router/PE fault state. Called whenever the window set changes; rare
-/// enough that the O(tiles) reset does not matter.
-fn sync_fault_state(
+/// enough that the O(tiles) reset does not matter. Generic over the
+/// shard handle so it serves both the in-loop coordinator (lock guards)
+/// and pre-loop setup (plain `&mut` from `Mutex::get_mut`).
+fn sync_fault_state<S: std::ops::DerefMut<Target = Shard>>(
     session: &FaultSession,
     local_now: u64,
-    routers: &mut [Router],
-    pe_stalled: &mut [bool],
+    shards: &mut [S],
+    shard_of: &[usize],
 ) {
-    for r in routers.iter_mut() {
-        r.clear_faults();
+    for sh in shards.iter_mut() {
+        for r in sh.routers.iter_mut() {
+            r.clear_faults();
+        }
+        sh.stalled.fill(false);
     }
-    pe_stalled.fill(false);
     let gnow = session.global_cycle(local_now);
     for &(kind, until) in session.active_windows() {
         if until <= gnow {
@@ -403,15 +835,21 @@ fn sync_fault_state(
         }
         match kind {
             FaultKind::LinkDown { tile, dir, .. } => {
-                routers[tile as usize].inject_link_down(dir as usize);
+                shards[shard_of[tile as usize]]
+                    .router_mut(tile as usize)
+                    .inject_link_down(dir as usize);
             }
             FaultKind::LinkDegrade {
                 tile,
                 extra_latency,
                 ..
-            } => routers[tile as usize].inject_link_degrade(extra_latency),
+            } => shards[shard_of[tile as usize]]
+                .router_mut(tile as usize)
+                .inject_link_degrade(extra_latency),
             FaultKind::PeStall { tile, .. } | FaultKind::PeKill { tile } => {
-                pe_stalled[tile as usize] = true;
+                let sh = &mut shards[shard_of[tile as usize]];
+                let lo = sh.lo;
+                sh.stalled[tile as usize - lo] = true;
             }
             FaultKind::SramBitFlip { .. } => {}
         }
@@ -600,6 +1038,92 @@ mod tests {
         cfg1.pe_model = PeModel::Azul;
         let single = run_kernel(&cfg1, &prog, &x).1;
         assert!(single.cycles >= multi.cycles);
+    }
+
+    #[test]
+    fn watchdog_tolerates_multi_hop_drain_longer_than_window() {
+        // Regression: with a hop latency far above the no-progress window,
+        // a flit in transit moves no counter for `hop_latency - 1` cycles
+        // per hop. On a serial dependence chain nothing else runs during
+        // that transit, so the progress signature alone misreported the
+        // drain as a deadlock; flits in flight must hold the watchdog off
+        // until they retire. The tridiagonal SpTRSV chain crosses tiles
+        // with exactly this single-flit quiet window.
+        let a = generate::tridiagonal(48);
+        let l = a.lower_triangle();
+        let grid = TileGrid::new(2, 2);
+        let p = BlockMapper.map(&a, grid);
+        let prog = Program::compile_sptrsv_lower(&l, &a, &p);
+        let mut cfg = SimConfig::azul(grid);
+        cfg.hop_latency = 40;
+        cfg.watchdog_no_progress_cycles = 35;
+        let b = test_input(48);
+        let (x, _) = run_kernel_checked(&cfg, &prog, &b, None)
+            .expect("in-flight flits must not trip the watchdog");
+        let expect = sptrsv_lower(&l, &b);
+        assert!(dense::rel_l2_diff(&x, &expect) < 1e-10);
+    }
+
+    #[test]
+    fn delivery_to_deactivated_tile_rearms_it() {
+        // Regression: a tile that drops off the active list in cycle `c`
+        // while a flit arrives for it that same cycle must be re-queued,
+        // or the kernel wedges. The serial tridiagonal chain bounces a
+        // single dependence between tiles that go idle between messages;
+        // sweeping the hop latency shifts the arrival against the
+        // deactivation edge.
+        let a = generate::tridiagonal(48);
+        let l = a.lower_triangle();
+        let grid = TileGrid::new(2, 2);
+        let p = BlockMapper.map(&a, grid);
+        let prog = Program::compile_sptrsv_lower(&l, &a, &p);
+        let b = test_input(48);
+        let expect = sptrsv_lower(&l, &b);
+        for hop in [1u32, 2, 3, 5, 8] {
+            let mut cfg = SimConfig::azul(grid);
+            cfg.hop_latency = hop;
+            let (x, _) = run_kernel(&cfg, &prog, &b);
+            assert!(
+                dense::rel_l2_diff(&x, &expect) < 1e-10,
+                "hop_latency {hop} lost a wakeup"
+            );
+        }
+    }
+
+    #[test]
+    fn engine_results_invariant_to_thread_count_and_fast_forward() {
+        // The engine contract: shard count, worker pool and idle-cycle
+        // fast-forward are pure host knobs — outputs and every statistic
+        // (including per-tile detail and the progress trace) must be
+        // bit-identical across all of them.
+        let a = generate::grid_laplacian_2d(10, 10);
+        let l = ic0(&a).unwrap();
+        let grid = TileGrid::new(4, 4);
+        let p = AzulMapper::default().map(&a, grid);
+        let spmv = Program::compile_spmv(&a, &p);
+        let trsv = Program::compile_sptrsv_lower(&l, &a, &p);
+        let input = test_input(a.rows());
+        let run = |threads: usize, ff: bool, prog: &Program| {
+            let mut cfg = SimConfig::azul(grid);
+            cfg.threads = threads;
+            cfg.fast_forward = ff;
+            cfg.detailed_stats = true;
+            cfg.check_invariants = true;
+            run_kernel(&cfg, prog, &input)
+        };
+        for prog in [&spmv, &trsv] {
+            let base = run(1, false, prog);
+            for threads in [1usize, 3, 16] {
+                for ff in [false, true] {
+                    let got = run(threads, ff, prog);
+                    assert_eq!(
+                        got.0, base.0,
+                        "output diverged at threads={threads} ff={ff}"
+                    );
+                    assert_eq!(got.1, base.1, "stats diverged at threads={threads} ff={ff}");
+                }
+            }
+        }
     }
 
     #[test]

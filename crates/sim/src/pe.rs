@@ -51,6 +51,47 @@ pub enum Trigger {
     },
 }
 
+/// Where completed output values (`y[i]` / solved `x[i]`) land.
+///
+/// The serial reference engine writes straight into the caller's output
+/// vector; the sharded engine buffers `(row, value)` pairs per shard and
+/// applies them at the cycle barrier so concurrently ticking shards
+/// never alias the output slice. Each row has exactly one home tile, so
+/// at most one write targets any row per cycle and buffered application
+/// order cannot change the result.
+#[derive(Debug)]
+pub enum OutSink<'a> {
+    /// Write directly into the output vector.
+    Direct(&'a mut [f64]),
+    /// Defer to a `(row, value)` list applied at the cycle barrier.
+    Buffered(&'a mut Vec<(u32, f64)>),
+}
+
+impl OutSink<'_> {
+    #[inline]
+    fn write(&mut self, idx: u32, val: f64) {
+        match self {
+            OutSink::Direct(out) => out[idx as usize] = val,
+            OutSink::Buffered(buf) => buf.push((idx, val)),
+        }
+    }
+}
+
+/// How a PE accounts for fast-forwarded (skipped) cycles. Classes map
+/// one-to-one onto what a real tick of a zero-progress cycle would have
+/// recorded — see [`Pe::skip_profile`] and `docs/PERFORMANCE.md`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum PeSkipClass {
+    /// No work at all: a real tick would count `idle_at` each cycle.
+    Idle,
+    /// Work held back by a hazard or backpressure: a real tick would
+    /// count `stall_at` each cycle.
+    Stall,
+    /// Active but recording no per-cycle stats (Ideal model, Dalorex
+    /// bookkeeping busy window, fault-stalled tiles).
+    Silent,
+}
+
 /// Follow-up operations a task still has to issue.
 #[derive(Debug, Clone, Copy, PartialEq)]
 enum PendingOp {
@@ -201,7 +242,7 @@ impl Pe {
     }
 
     /// Runs slot-completion logic, pushing follow-up ops onto `task`.
-    fn complete_slot(&mut self, slot: u32, tp: &TileProgram, task: &mut Task, out: &mut [f64]) {
+    fn complete_slot(&mut self, slot: u32, tp: &TileProgram, task: &mut Task, out: &mut OutSink) {
         match tp.slots[slot as usize].action {
             SlotAction::SendPartial { target } => {
                 task.pending.push_back(PendingOp::SendPartial {
@@ -210,7 +251,7 @@ impl Pe {
                 });
             }
             SlotAction::FinalY { target } => {
-                out[target as usize] = self.slot_vals[slot as usize];
+                out.write(target, self.slot_vals[slot as usize]);
             }
             SlotAction::Solve { target } => {
                 task.pending.push_back(PendingOp::SolveMul { target, slot });
@@ -229,7 +270,7 @@ impl Pe {
         prog: &Program,
         router: &mut Router,
         input: &[f64],
-        out: &mut [f64],
+        out: &mut OutSink,
         stats: &mut KernelStats,
     ) -> bool {
         if cfg.pe_model == PeModel::Ideal {
@@ -298,7 +339,7 @@ impl Pe {
         prog: &Program,
         router: &mut Router,
         input: &[f64],
-        out: &mut [f64],
+        out: &mut OutSink,
         stats: &mut KernelStats,
         task: &mut Task,
     ) -> bool {
@@ -334,7 +375,7 @@ impl Pe {
                     }
                     task.pending.pop_front();
                     let x = self.slot_vals[slot as usize] * prog.inv_diag[target as usize];
-                    out[target as usize] = x;
+                    out.write(target, x);
                     self.slot_ready[slot as usize] = now + hazard;
                     stats.count_op_at(self.tile, OpKind::Mul);
                     stats.sram_read_at(self.tile); // reciprocal diagonal fetch
@@ -430,7 +471,7 @@ impl Pe {
         prog: &Program,
         router: &mut Router,
         input: &[f64],
-        out: &mut [f64],
+        out: &mut OutSink,
         stats: &mut KernelStats,
     ) {
         while let Some(trig) = self.msg_buffer.pop_front() {
@@ -453,7 +494,7 @@ impl Pe {
                         PendingOp::SolveMul { target, slot } => {
                             task.pending.pop_front();
                             let x = self.slot_vals[slot as usize] * prog.inv_diag[target as usize];
-                            out[target as usize] = x;
+                            out.write(target, x);
                             stats.count_op_at(self.tile, OpKind::Mul);
                             stats.sram_read_at(self.tile);
                             if prog.x_tree[target as usize].is_some() {
@@ -524,6 +565,64 @@ impl Pe {
         }
     }
 
+    /// The fast-forward next-event contract (`docs/PERFORMANCE.md`):
+    /// how skipped cycles must be accounted for this PE, and the
+    /// earliest cycle it could act again (`None` = no self-driven wake;
+    /// only a router event or delivery can revive it).
+    ///
+    /// Consulted only on zero-progress cycles, where the PE state is
+    /// provably frozen: every issueable operation would have bumped a
+    /// signature counter. Contexts blocked on router injection report no
+    /// wake of their own — a full inject queue means this tile's router
+    /// holds flits, so its `Router::next_event` bounds the skip instead.
+    pub(crate) fn skip_profile(
+        &self,
+        now: u64,
+        cfg: &SimConfig,
+        tp: &TileProgram,
+    ) -> (PeSkipClass, Option<u64>) {
+        if cfg.pe_model == PeModel::Ideal {
+            // Ideal PEs drain fully every tick and record no idle/stall
+            // stats; a leftover trigger (should not happen) pins the
+            // event to `now` so the engine falls back to real ticking.
+            let wake = if self.has_work() { Some(now) } else { None };
+            return (PeSkipClass::Silent, wake);
+        }
+        if !self.has_work() {
+            return (PeSkipClass::Idle, None);
+        }
+        // A buffered trigger plus a free context means a real tick would
+        // refill and possibly issue: refuse to skip this tile's cycles.
+        if !self.msg_buffer.is_empty() && self.contexts.iter().any(Option::is_none) {
+            return (PeSkipClass::Stall, Some(now));
+        }
+        if self.busy_until > now {
+            // Dalorex bookkeeping window: the real tick returns early
+            // with no stat recorded until the timer expires.
+            return (PeSkipClass::Silent, Some(self.busy_until));
+        }
+        // Blocked on hazards/backpressure: a real tick counts one stall
+        // per cycle until the earliest slot-ready timer expires.
+        let mut wake: Option<u64> = None;
+        for task in self.contexts.iter().flatten() {
+            let slot = match task.pending.front() {
+                Some(&PendingOp::Combine { slot }) => Some(slot),
+                Some(&PendingOp::SolveMul { slot, .. }) => Some(slot),
+                // Router-bound: woken by the router, not a PE timer.
+                Some(&PendingOp::SendX { .. }) | Some(&PendingOp::SendPartial { .. }) => None,
+                None => {
+                    debug_assert!(task.cur < task.end);
+                    Some(tp.entries[task.cur as usize].slot)
+                }
+            };
+            if let Some(s) = slot {
+                let ready = self.slot_ready[s as usize];
+                wake = Some(wake.map_or(ready, |w: u64| w.min(ready)));
+            }
+        }
+        (PeSkipClass::Stall, wake)
+    }
+
     /// The tile this PE belongs to.
     pub fn tile(&self) -> TileId {
         self.tile
@@ -585,7 +684,16 @@ mod tests {
         }
         let mut now = 0u64;
         while pe.has_work() {
-            pe.tick(now, &cfg, tp, &prog, &mut router, &x, &mut out, &mut stats);
+            pe.tick(
+                now,
+                &cfg,
+                tp,
+                &prog,
+                &mut router,
+                &x,
+                &mut OutSink::Direct(&mut out),
+                &mut stats,
+            );
             now += 1;
             assert!(now < 10_000, "PE failed to drain");
         }
@@ -618,7 +726,16 @@ mod tests {
         pe.push_trigger(&cfg, Trigger::X { idx: 4, val: 1.0 }, &mut stats);
         let mut now = 0u64;
         while pe.has_work() && now < 1000 {
-            pe.tick(now, &cfg, tp, &prog, &mut router, &x, &mut out, &mut stats);
+            pe.tick(
+                now,
+                &cfg,
+                tp,
+                &prog,
+                &mut router,
+                &x,
+                &mut OutSink::Direct(&mut out),
+                &mut stats,
+            );
             now += 1;
         }
         assert!(stats.stall_cycles > 0, "same-slot FMACs must stall");
@@ -644,7 +761,16 @@ mod tests {
             }
             let mut now = 0u64;
             while pe.has_work() && now < 10_000 {
-                pe.tick(now, &cfg, tp, &prog, &mut router, &x, &mut out, &mut stats);
+                pe.tick(
+                    now,
+                    &cfg,
+                    tp,
+                    &prog,
+                    &mut router,
+                    &x,
+                    &mut OutSink::Direct(&mut out),
+                    &mut stats,
+                );
                 now += 1;
             }
             (now, stats.stall_cycles)
@@ -683,7 +809,16 @@ mod tests {
             }
             let mut now = 0u64;
             while pe.has_work() && now < 100_000 {
-                pe.tick(now, &cfg, tp, &prog, &mut router, &x, &mut out, &mut stats);
+                pe.tick(
+                    now,
+                    &cfg,
+                    tp,
+                    &prog,
+                    &mut router,
+                    &x,
+                    &mut OutSink::Direct(&mut out),
+                    &mut stats,
+                );
                 now += 1;
             }
             now
@@ -712,7 +847,16 @@ mod tests {
                 pe.push_trigger(&cfg, Trigger::X { idx: j, val: 2.0 }, &mut stats);
             }
         }
-        pe.tick(0, &cfg, tp, &prog, &mut router, &x, &mut out, &mut stats);
+        pe.tick(
+            0,
+            &cfg,
+            tp,
+            &prog,
+            &mut router,
+            &x,
+            &mut OutSink::Direct(&mut out),
+            &mut stats,
+        );
         assert!(!pe.has_work(), "ideal PE drains in one tick");
         let expect = a.spmv(&x);
         for i in 0..9 {

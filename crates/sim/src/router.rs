@@ -145,8 +145,21 @@ impl Router {
         self.capacity
     }
 
-    /// Accepts a flit arriving from a neighbor on `port`.
-    fn accept(&mut self, port: usize, ready: u64, flit: Flit) {
+    /// Advances the round-robin cursor as if the router had been ticked
+    /// `k` more times. [`tick_router`] rotates the cursor
+    /// unconditionally — even a zero-work tick moves it — so idle-cycle
+    /// fast-forward must replay the rotation across skipped cycles to
+    /// keep arbitration history (and therefore every downstream bit)
+    /// identical to the ticked path.
+    pub fn advance_rr(&mut self, k: u64) {
+        self.rr = (self.rr + (k % 5) as usize) % 5;
+    }
+
+    /// Applies a deferred [`Accept`]: enqueues a flit arriving from a
+    /// neighbor on `port`. Called at the cycle barrier, never from
+    /// inside a router tick — see [`tick_router`] for why arrivals are
+    /// double-buffered.
+    pub fn apply_accept(&mut self, port: usize, ready: u64, flit: Flit) {
         self.inputs[port].push_back(Queued {
             ready,
             flit,
@@ -155,15 +168,23 @@ impl Router {
         });
     }
 
-    /// Whether input `port` has room. Direction ports are modeled with
-    /// ample buffering: real tori need dateline virtual channels to stay
-    /// deadlock-free under full backpressure; we idealize buffer space
-    /// instead and keep the 1-flit-per-link-per-cycle bandwidth limit,
-    /// which is what determines performance (see DESIGN.md §5). The
-    /// inject port stays finite (checked via [`Router::can_inject`]) so
-    /// PEs feel send backpressure.
-    fn has_room(&self, _port: usize) -> bool {
-        true
+    /// The earliest cycle (`>= now`) at which this router could move a
+    /// flit, or `None` when it is empty. Heads already ready (parked by
+    /// an injected link-down fault, or racing for a shared output) pin
+    /// the event to `now`, so the fast-forward engine never skips past
+    /// a cycle where this router might act.
+    pub fn next_event(&self, now: u64) -> Option<u64> {
+        let head_min = self
+            .inputs
+            .iter()
+            .filter_map(|q| q.front().map(|h| h.ready))
+            .min()?;
+        if self.fault_blocked != 0 {
+            // A blocked output can park a ready head indefinitely;
+            // refuse to skip while the outage window is in force.
+            return Some(now);
+        }
+        Some(head_min.max(now))
     }
 
     /// The tile id this router serves.
@@ -193,33 +214,53 @@ impl Router {
     }
 }
 
-/// Ticks the router of tile `t`: moves at most one flit per output link,
-/// appends local deliveries to `deliveries`, records tiles that received
-/// flits into `activated` (for the machine's active-tile tracking), and
-/// updates traffic stats.
+/// A deferred flit arrival: the result of one router forwarding toward
+/// tile `dest` this cycle, to be applied to `dest`'s input queue at the
+/// cycle barrier via [`Router::apply_accept`].
 ///
-/// Implemented as a free function over the whole router array because a
-/// forward touches two routers (source output, destination input).
-#[allow(clippy::too_many_arguments)]
-pub fn tick_router_at(
-    t: usize,
+/// Arrivals are double-buffered so intra-cycle tick order cannot leak
+/// between tiles: every router of a cycle observes the queues exactly
+/// as the previous barrier left them, which is what lets shards tick in
+/// parallel — and in any order — without changing a single bit of the
+/// outcome. Determinism does not depend on outbox application order:
+/// each input port has exactly one upstream tile and each output
+/// direction carries at most one flit per cycle, so at most one accept
+/// targets any `(dest, port)` pair per cycle.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Accept {
+    /// Receiving tile.
+    pub dest: TileId,
+    /// Input port on the receiving router.
+    pub port: u8,
+    /// Earliest processing cycle at the receiver (hop latency applied).
+    pub ready: u64,
+    /// The flit.
+    pub flit: Flit,
+}
+
+/// Ticks one router: moves at most one flit per output link, appends
+/// local deliveries to `deliveries`, pushes cross-tile arrivals onto
+/// `outbox` (applied at the cycle barrier, see [`Accept`]), and updates
+/// traffic stats.
+pub fn tick_router(
+    router: &mut Router,
     now: u64,
     hop_latency: u64,
-    routers: &mut [Router],
     program: &Program,
     deliveries: &mut Vec<Delivery>,
-    activated: &mut Vec<usize>,
+    outbox: &mut Vec<Accept>,
     stats: &mut crate::stats::KernelStats,
 ) {
     let grid = program.grid;
+    let t = router.tile as usize;
     // Each output direction may carry one flit this cycle.
     let mut dir_used = [false; 4];
-    let rr_start = routers[t].rr;
-    routers[t].rr = (routers[t].rr + 1) % 5;
+    let rr_start = router.rr;
+    router.rr = (router.rr + 1) % 5;
     for q in 0..5 {
         let port = (rr_start + q) % 5;
         // Peek head flit if ready.
-        let Some(&head) = routers[t].inputs[port].front() else {
+        let Some(&head) = router.inputs[port].front() else {
             continue;
         };
         if head.ready > now {
@@ -271,21 +312,32 @@ pub fn tick_router_at(
             }
             // Injected link-down fault: the flit waits at this router
             // until the outage window closes.
-            if routers[t].fault_blocked & (1 << dir) != 0 {
+            if router.fault_blocked & (1 << dir) != 0 {
                 continue;
             }
-            if dir_used[dir] || !routers[next as usize].has_room(reverse_port(dir)) {
+            if dir_used[dir] {
                 continue;
             }
+            // Direction ports are modeled with ample buffering: real tori
+            // need dateline virtual channels to stay deadlock-free under
+            // full backpressure; we idealize buffer space instead and keep
+            // the 1-flit-per-link-per-cycle bandwidth limit, which is what
+            // determines performance (see DESIGN.md §5). The inject port
+            // stays finite (checked via [`Router::can_inject`]) so PEs
+            // feel send backpressure — so no room check on the receiver.
             dir_used[dir] = true;
             forwarded |= 1 << dir;
             progressed = true;
             stats.link_out_at(tile, dir);
             let mut copy = flit;
             copy.outbound = false;
-            let delay = hop_latency + routers[t].fault_extra_delay;
-            routers[next as usize].accept(reverse_port(dir), now + delay, copy);
-            activated.push(next as usize);
+            let delay = hop_latency + router.fault_extra_delay;
+            outbox.push(Accept {
+                dest: next,
+                port: reverse_port(dir) as u8,
+                ready: now + delay,
+                flit: copy,
+            });
         }
         if deliver && !delivered {
             deliveries.push(Delivery { flit });
@@ -295,20 +347,21 @@ pub fn tick_router_at(
 
         let all_dirs_done = out_dirs.iter().all(|&(dir, _)| forwarded & (1 << dir) != 0);
         if all_dirs_done && (delivered || !deliver) {
-            routers[t].inputs[port].pop_front();
+            router.inputs[port].pop_front();
             stats.router_traversal_at(tile);
         } else if progressed {
             // azul-lint: allow(panic-in-sim-hot-path) the head was peeked above and not popped
-            let h = routers[t].inputs[port]
-                .front_mut()
-                .expect("head still queued");
+            let h = router.inputs[port].front_mut().expect("head still queued");
             h.forwarded = forwarded;
             h.delivered = delivered;
         }
     }
 }
 
-/// Convenience: ticks every router (used by unit tests and small runs).
+/// Convenience: ticks every router for one cycle and applies the
+/// resulting [`Accept`]s (used by unit tests and small runs). The
+/// production engine in `machine.rs` defers accept application to the
+/// cycle barrier itself so shards can tick concurrently.
 pub fn tick_routers(
     now: u64,
     hop_latency: u64,
@@ -317,19 +370,23 @@ pub fn tick_routers(
     deliveries: &mut [Vec<Delivery>],
     stats: &mut crate::stats::KernelStats,
 ) {
-    let mut activated = Vec::new();
+    let mut outbox = Vec::new();
     #[allow(clippy::needless_range_loop)] // index used across several structures
     for t in 0..routers.len() {
-        tick_router_at(
-            t,
+        tick_router(
+            // azul-lint: allow(shared-mutable-in-shard) serial helper: owns the whole array, no shards
+            &mut routers[t],
             now,
             hop_latency,
-            routers,
             program,
             &mut deliveries[t],
-            &mut activated,
+            &mut outbox,
             stats,
         );
+    }
+    for a in outbox.drain(..) {
+        // azul-lint: allow(shared-mutable-in-shard) serial helper: this IS the cycle barrier
+        routers[a.dest as usize].apply_accept(a.port as usize, a.ready, a.flit);
     }
 }
 

@@ -215,6 +215,26 @@ impl KernelStats {
         }
     }
 
+    /// Records `n` stall cycles on `tile` at once (fast-forward skip
+    /// accounting; equivalent to `n` calls to [`KernelStats::stall_at`]).
+    #[inline]
+    pub fn stall_at_n(&mut self, tile: u32, n: u64) {
+        self.stall_cycles += n;
+        if let Some(pe) = self.pe.get_mut(tile as usize) {
+            pe.stall_cycles += n;
+        }
+    }
+
+    /// Records `n` idle cycles on `tile` at once (fast-forward skip
+    /// accounting; equivalent to `n` calls to [`KernelStats::idle_at`]).
+    #[inline]
+    pub fn idle_at_n(&mut self, tile: u32, n: u64) {
+        self.idle_cycles += n;
+        if let Some(pe) = self.pe.get_mut(tile as usize) {
+            pe.idle_cycles += n;
+        }
+    }
+
     /// Records a Data-SRAM read on `tile`.
     #[inline]
     pub fn sram_read_at(&mut self, tile: u32) {

@@ -18,8 +18,10 @@
 
 use azul::mapping::strategies::{AzulMapper, Mapper};
 use azul::mapping::TileGrid;
+use azul::sim::bicgstab::{BiCgStabSim, BiCgStabSimConfig};
 use azul::sim::config::SimConfig;
-use azul::sim::faults::FaultPlan;
+use azul::sim::faults::{FaultPlan, FaultRecord, RecoveryRecord};
+use azul::sim::gmres::{GmresSim, GmresSimConfig};
 use azul::sim::invariants::{Checker, RULE_FLIT_CONSERVATION};
 use azul::sim::machine::SimError;
 use azul::sim::pcg::{PcgSim, PcgSimConfig, PcgSimReport};
@@ -28,6 +30,7 @@ use azul::sim::telemetry::{
     describe_config, fill_fault_report, fill_invariant_report, fill_report,
 };
 use azul::sparse::generate;
+use azul::telemetry::report::IterationSample;
 use azul::telemetry::TelemetryReport;
 
 fn setup() -> (azul::sparse::Csr, azul::mapping::Placement, TileGrid) {
@@ -67,13 +70,120 @@ fn solve(faults: Option<FaultPlan>) -> (PcgSimReport, SimConfig) {
 /// recovery journals, and the invariant audit. No `absorb_spans` —
 /// span wall-times are host measurements.
 fn serialize(report: &PcgSimReport, cfg: &SimConfig) -> String {
+    serialize_parts(
+        cfg,
+        &report.stats,
+        &report.fault_events,
+        &report.recoveries,
+        &report.convergence,
+    )
+}
+
+fn serialize_parts(
+    cfg: &SimConfig,
+    stats: &KernelStats,
+    fault_events: &[FaultRecord],
+    recoveries: &[RecoveryRecord],
+    convergence: &[IterationSample],
+) -> String {
     let mut doc = TelemetryReport::default();
     describe_config(&mut doc, cfg);
-    fill_report(&mut doc, cfg, &report.stats);
-    fill_fault_report(&mut doc, &report.fault_events, &report.recoveries);
-    fill_invariant_report(&mut doc, &report.stats);
-    doc.convergence = report.convergence.clone();
+    fill_report(&mut doc, cfg, stats);
+    fill_fault_report(&mut doc, fault_events, recoveries);
+    fill_invariant_report(&mut doc, stats);
+    doc.convergence = convergence.to_vec();
     doc.to_json().to_string_pretty()
+}
+
+/// A detailed, checked `SimConfig` for the shared scenario with the
+/// engine knobs under test.
+fn engine_cfg(grid: TileGrid, threads: usize, ff: bool, faults: Option<FaultPlan>) -> SimConfig {
+    let mut cfg = SimConfig::azul(grid);
+    cfg.detailed_stats = true;
+    cfg.check_invariants = true;
+    cfg.threads = threads;
+    cfg.fast_forward = ff;
+    cfg.faults = faults;
+    cfg
+}
+
+/// Asserts that a solver's full telemetry JSON is byte-identical across
+/// the engine-configuration matrix: sharded parallel ticking and
+/// idle-cycle fast-forward are host-side knobs that must not perturb a
+/// single deterministic byte.
+fn assert_engine_invariant(
+    solver: &str,
+    plan: &dyn Fn() -> Option<FaultPlan>,
+    json_of: &dyn Fn(usize, bool, Option<FaultPlan>) -> String,
+) {
+    let base = json_of(1, false, plan());
+    for (threads, ff) in [(3usize, false), (1, true), (3, true)] {
+        let got = json_of(threads, ff, plan());
+        assert_eq!(
+            got, base,
+            "{solver}: telemetry diverged at threads={threads} fast_forward={ff}"
+        );
+    }
+}
+
+fn pcg_json(threads: usize, ff: bool, faults: Option<FaultPlan>) -> String {
+    let (a, p, grid) = setup();
+    let cfg = engine_cfg(grid, threads, ff, faults);
+    let run_cfg = PcgSimConfig {
+        timed_iterations: 0,
+        ..PcgSimConfig::default()
+    };
+    let sim = PcgSim::build(&a, &p, &cfg).expect("pcg build");
+    let r = sim.try_run(&rhs(a.rows()), &run_cfg).expect("pcg solve");
+    serialize_parts(
+        &cfg,
+        &r.stats,
+        &r.fault_events,
+        &r.recoveries,
+        &r.convergence,
+    )
+}
+
+fn bicgstab_json(threads: usize, ff: bool, faults: Option<FaultPlan>) -> String {
+    let (a, p, grid) = setup();
+    let cfg = engine_cfg(grid, threads, ff, faults);
+    let run_cfg = BiCgStabSimConfig {
+        timed_iterations: 0,
+        ..BiCgStabSimConfig::default()
+    };
+    let sim = BiCgStabSim::build(&a, &p, &cfg).expect("bicgstab build");
+    let r = sim
+        .try_run(&rhs(a.rows()), &run_cfg)
+        .expect("bicgstab solve");
+    serialize_parts(
+        &cfg,
+        &r.stats,
+        &r.fault_events,
+        &r.recoveries,
+        &r.convergence,
+    )
+}
+
+fn gmres_json(threads: usize, ff: bool, faults: Option<FaultPlan>) -> String {
+    let (a, p, grid) = setup();
+    let cfg = engine_cfg(grid, threads, ff, faults);
+    let run_cfg = GmresSimConfig {
+        timed_iterations: 0,
+        ..GmresSimConfig::default()
+    };
+    let sim = GmresSim::build(&a, &p, &cfg).expect("gmres build");
+    let r = sim.try_run(&rhs(a.rows()), &run_cfg).expect("gmres solve");
+    serialize_parts(
+        &cfg,
+        &r.stats,
+        &r.fault_events,
+        &r.recoveries,
+        &r.convergence,
+    )
+}
+
+fn seeded_plan() -> Option<FaultPlan> {
+    Some(FaultPlan::seeded(42, 16, 3, 60_000))
 }
 
 #[test]
@@ -108,6 +218,36 @@ fn fault_injected_solve_telemetry_is_byte_identical() {
         serialize(&r2, &cfg2),
         "fault-injected telemetry JSON diverged between identical runs"
     );
+}
+
+#[test]
+fn pcg_telemetry_invariant_to_engine_config() {
+    assert_engine_invariant("pcg", &|| None, &pcg_json);
+}
+
+#[test]
+fn pcg_telemetry_invariant_to_engine_config_with_faults() {
+    assert_engine_invariant("pcg+faults", &seeded_plan, &pcg_json);
+}
+
+#[test]
+fn bicgstab_telemetry_invariant_to_engine_config() {
+    assert_engine_invariant("bicgstab", &|| None, &bicgstab_json);
+}
+
+#[test]
+fn bicgstab_telemetry_invariant_to_engine_config_with_faults() {
+    assert_engine_invariant("bicgstab+faults", &seeded_plan, &bicgstab_json);
+}
+
+#[test]
+fn gmres_telemetry_invariant_to_engine_config() {
+    assert_engine_invariant("gmres", &|| None, &gmres_json);
+}
+
+#[test]
+fn gmres_telemetry_invariant_to_engine_config_with_faults() {
+    assert_engine_invariant("gmres+faults", &seeded_plan, &gmres_json);
 }
 
 #[test]
