@@ -31,6 +31,12 @@
 //!   cross-tile effects must go through shard-local views and the
 //!   double-buffered outbox applied at the cycle barrier, never by
 //!   reaching into the global per-tile arrays.
+//! * [`UNWRAP_IN_PIPELINE`] — `.unwrap()` / `.expect(..)` inside
+//!   functions whose name contains `prepare`, `solve` or `factor` in
+//!   `crates/core` or `crates/solver` (warning). The supervised
+//!   degradation ladders can only catch failures that surface as typed
+//!   `AzulError`/`SolverError` values; a panic in the pipeline skips
+//!   every recovery rung. `#[cfg(test)]` modules are exempt.
 //!
 //! Any finding can be waived in place with
 //! `// azul-lint: allow(<rule>)` on the offending line or up to three
@@ -57,14 +63,17 @@ pub const UNCHECKED_FLOAT_REDUCTION: &str = "unchecked-float-reduction";
 pub const PANIC_IN_SIM_HOT_PATH: &str = "panic-in-sim-hot-path";
 /// Rule: global per-tile arrays indexed inside shard tick functions.
 pub const SHARED_MUTABLE_IN_SHARD: &str = "shared-mutable-in-shard";
+/// Rule: panicking `.unwrap()`/`.expect()` in prepare/solve/factor code.
+pub const UNWRAP_IN_PIPELINE: &str = "unwrap-in-pipeline";
 
 /// Every rule this linter knows, in reporting order.
-pub const ALL_RULES: [&str; 5] = [
+pub const ALL_RULES: [&str; 6] = [
     NONDETERMINISTIC_ITERATION,
     WALL_CLOCK_IN_SIM,
     UNCHECKED_FLOAT_REDUCTION,
     PANIC_IN_SIM_HOT_PATH,
     SHARED_MUTABLE_IN_SHARD,
+    UNWRAP_IN_PIPELINE,
 ];
 
 /// Diagnostic severity. `--deny warnings` promotes warnings to failures
@@ -397,6 +406,9 @@ pub fn lint_source(path: &str, src: &str) -> Vec<Diagnostic> {
     if scope == "sim" || scope == "solver" {
         rule_float_reduction(&scan, &mut diags);
     }
+    if scope == "core" || scope == "solver" {
+        rule_unwrap_in_pipeline(&scan, &mut diags);
+    }
 
     diags.retain(|d| !scan.allowed(d.rule, d.line));
     diags.sort_by_key(|d| (d.line, d.rule));
@@ -664,6 +676,89 @@ fn rule_panic_hot_path(scan: &Scan, diags: &mut Vec<Diagnostic>) {
                     severity: Severity::Warning,
                     message: format!(
                         "`.{w}()` inside `{}`: hot paths should return a typed SimError",
+                        fn_stack.last().map(|(n, _)| n.as_str()).unwrap_or("?")
+                    ),
+                });
+            }
+            _ => {}
+        }
+    }
+}
+
+/// `.unwrap()`/`.expect()` inside prepare/solve/factor functions in the
+/// pipeline crates. A panic there aborts the whole supervised solve
+/// instead of letting the degradation ladders walk to a weaker rung, so
+/// fallible pipeline steps must surface typed errors. `#[cfg(test)]`
+/// modules are exempt: tests unwrap by design.
+fn rule_unwrap_in_pipeline(scan: &Scan, diags: &mut Vec<Diagnostic>) {
+    let toks = &scan.tokens;
+    let mut depth = 0i32;
+    let mut fn_stack: Vec<(String, i32)> = Vec::new();
+    let mut pending_fn: Option<String> = None;
+    let mut pending_test_mod = false;
+    let mut test_mod_depth: Option<i32> = None;
+    let in_pipeline = |stack: &[(String, i32)]| {
+        stack.last().is_some_and(|(name, _)| {
+            name.contains("prepare") || name.contains("solve") || name.contains("factor")
+        })
+    };
+    for i in 0..toks.len() {
+        // `#[cfg(test)]` directly before a `mod` opens a test-only
+        // module: everything inside is exempt.
+        if punct(&toks[i], '#')
+            && toks.get(i + 1).is_some_and(|t| punct(t, '['))
+            && toks.get(i + 2).and_then(ident) == Some("cfg")
+            && toks.get(i + 3).is_some_and(|t| punct(t, '('))
+            && toks.get(i + 4).and_then(ident) == Some("test")
+        {
+            pending_test_mod = true;
+        }
+        match &toks[i].tok {
+            Tok::Ident(w) if w == "fn" => {
+                if let Some(Some(name)) = toks.get(i + 1).map(ident) {
+                    pending_fn = Some(name.to_string());
+                }
+                pending_test_mod = false;
+            }
+            Tok::Punct(';') => pending_fn = None, // bodyless trait method
+            Tok::Punct('{') => {
+                depth += 1;
+                if let Some(name) = pending_fn.take() {
+                    fn_stack.push((name, depth));
+                }
+                if pending_test_mod
+                    && i >= 2
+                    && ident(&toks[i - 2]) == Some("mod")
+                    && test_mod_depth.is_none()
+                {
+                    test_mod_depth = Some(depth);
+                }
+                pending_test_mod = false;
+            }
+            Tok::Punct('}') => {
+                if fn_stack.last().is_some_and(|&(_, d)| d == depth) {
+                    fn_stack.pop();
+                }
+                if test_mod_depth == Some(depth) {
+                    test_mod_depth = None;
+                }
+                depth -= 1;
+            }
+            Tok::Ident(w)
+                if (w == "unwrap" || w == "expect")
+                    && i > 0
+                    && punct(&toks[i - 1], '.')
+                    && toks.get(i + 1).is_some_and(|t| punct(t, '('))
+                    && test_mod_depth.is_none()
+                    && in_pipeline(&fn_stack) =>
+            {
+                diags.push(Diagnostic {
+                    line: toks[i].line,
+                    rule: UNWRAP_IN_PIPELINE,
+                    severity: Severity::Warning,
+                    message: format!(
+                        "`.{w}()` inside `{}`: pipeline steps must return typed errors \
+                         so the degradation ladders can catch the failure",
                         fn_stack.last().map(|(n, _)| n.as_str()).unwrap_or("?")
                     ),
                 });
@@ -942,6 +1037,62 @@ fn tick_routers(routers: &mut [u32], t: usize) {
 }
 "#;
         assert!(lint_source(SIM_PATH, src).is_empty());
+    }
+
+    #[test]
+    fn unwrap_in_pipeline_functions_flagged() {
+        let src = r#"
+fn prepare_solver(x: Option<u32>) -> u32 {
+    x.unwrap()
+}
+fn try_solve(x: Option<u32>) -> u32 {
+    x.expect("present")
+}
+fn ic0_factor(x: Option<u32>) -> u32 {
+    x.unwrap()
+}
+fn compile(x: Option<u32>) -> u32 {
+    x.unwrap() // fine: not a pipeline function
+}
+"#;
+        let diags = lint_source("crates/core/src/lib.rs", src);
+        assert_eq!(
+            rules_at(&diags),
+            vec![UNWRAP_IN_PIPELINE, UNWRAP_IN_PIPELINE, UNWRAP_IN_PIPELINE]
+        );
+        assert_eq!(diags[0].line, 3);
+        assert!(diags.iter().all(|d| d.severity == Severity::Warning));
+        // The rule covers core and solver, nothing else.
+        assert!(!lint_source("crates/solver/src/fake.rs", src).is_empty());
+        assert!(lint_source(SIM_PATH, src).is_empty());
+    }
+
+    #[test]
+    fn unwrap_in_test_module_is_exempt() {
+        let src = r#"
+fn solve(x: Option<u32>) -> Option<u32> {
+    x
+}
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn solve_works() {
+        super::solve(Some(1)).unwrap();
+    }
+}
+"#;
+        assert!(lint_source("crates/core/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn unwrap_in_pipeline_waivable_with_allow() {
+        let src = r#"
+fn factor_all(x: Option<u32>) -> u32 {
+    // azul-lint: allow(unwrap-in-pipeline) guarded by the check above
+    x.unwrap()
+}
+"#;
+        assert!(lint_source("crates/core/src/lib.rs", src).is_empty());
     }
 
     #[test]

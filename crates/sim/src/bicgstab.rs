@@ -8,7 +8,7 @@
 //! machinery as [`crate::pcg::PcgSim`], demonstrating the generality the
 //! paper claims for the hardware.
 
-use crate::config::SimConfig;
+use crate::config::{SimConfig, StagnationPolicy};
 use crate::faults::{FaultRecord, FaultSession, RecoveryPolicy, RecoveryRecord};
 use crate::machine::{run_kernel, run_kernel_checked, SimError};
 use crate::program::Program;
@@ -35,6 +35,12 @@ pub struct BiCgStabSimConfig {
     /// restarting the recurrence from the checkpointed `x` (r̂, ρ, α, ω
     /// are reset, exactly like a fresh solve with a warm initial guess).
     pub recovery: RecoveryPolicy,
+    /// Optional stagnation detector (see [`StagnationPolicy`]); `None`
+    /// (the default) changes nothing.
+    pub stagnation: Option<StagnationPolicy>,
+    /// Per-attempt cycle budget on the extrapolated cycle count;
+    /// `u64::MAX` (the default) disables the check.
+    pub cycle_budget: u64,
 }
 
 impl Default for BiCgStabSimConfig {
@@ -44,6 +50,8 @@ impl Default for BiCgStabSimConfig {
             max_iters: 2000,
             timed_iterations: 2,
             recovery: RecoveryPolicy::default(),
+            stagnation: None,
+            cycle_budget: u64::MAX,
         }
     }
 }
@@ -103,15 +111,27 @@ impl BiCgStabSim {
     /// Propagates IC(0) breakdowns.
     pub fn build(a: &Csr, placement: &Placement, cfg: &SimConfig) -> Result<Self, SolverError> {
         let l = ic0(a)?;
-        Ok(BiCgStabSim {
+        Ok(Self::build_with_factor(a, &l, placement, cfg))
+    }
+
+    /// Builds with a caller-supplied lower-triangular factor sharing
+    /// `tril(a)`'s pattern (any rung of the preconditioner ladder: SGS,
+    /// SSOR, Jacobi or identity factors as well as IC(0)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the factor pattern does not match `tril(a)` or the
+    /// placement does not match `a`.
+    pub fn build_with_factor(a: &Csr, l: &Csr, placement: &Placement, cfg: &SimConfig) -> Self {
+        BiCgStabSim {
             cfg: cfg.clone(),
             a: a.clone(),
             spmv: Program::compile_spmv(a, placement),
-            lower: Program::compile_sptrsv_lower(&l, a, placement),
-            upper: Program::compile_sptrsv_upper(&l, a, placement),
+            lower: Program::compile_sptrsv_lower(l, a, placement),
+            upper: Program::compile_sptrsv_upper(l, a, placement),
             vec_model: VecOpModel::new(placement),
             nnz_l: l.nnz(),
-        })
+        }
     }
 
     /// Runs BiCGStab with right-hand side `b`.
@@ -264,6 +284,9 @@ impl BiCgStabSim {
         }];
         let mut untimed: Vec<usize> = Vec::new();
         let (mut timed_flops, mut timed_msgs, mut timed_links) = (0u64, 0u64, 0u64);
+        // Residual history for the stagnation detector; only maintained
+        // when a policy is configured.
+        let mut rnorm_hist: Vec<f64> = Vec::new();
 
         // Anomaly handler: with recovery budget left, restart from the
         // checkpointed x; otherwise stop with a structured breakdown.
@@ -568,6 +591,27 @@ impl BiCgStabSim {
             if omega == 0.0 && !converged {
                 breakdown = Some(BreakdownKind::OmegaZero);
                 break;
+            }
+            if !converged {
+                if let Some(stag) = run_cfg.stagnation {
+                    rnorm_hist.push(rnorm);
+                    if stag.stagnated(&rnorm_hist) {
+                        breakdown = Some(BreakdownKind::Stagnated);
+                        break;
+                    }
+                }
+                if run_cfg.cycle_budget != u64::MAX {
+                    // Same extrapolation as the reported steady-state cost.
+                    let spent = if timed_done > 0 {
+                        (iter_cycles_acc as f64 / timed_done as f64 * iterations as f64) as u64
+                    } else {
+                        0
+                    };
+                    if spent >= run_cfg.cycle_budget {
+                        breakdown = Some(BreakdownKind::BudgetExhausted);
+                        break;
+                    }
+                }
             }
         }
 

@@ -100,6 +100,54 @@ pub struct SimConfig {
     pub fast_forward: bool,
 }
 
+/// Windowed stagnation detector for the iterative-solve frontends.
+///
+/// The supervisor's solver ladder needs a bounded, deterministic way to
+/// decide that an iteration is going nowhere *before* the full
+/// `max_iters` budget burns: if the residual norm fails to improve by at
+/// least a relative factor `eps` across `window` consecutive iterations,
+/// the solve stops with `SolveStatus::Breakdown(Stagnated)`. Purely a
+/// function of the residual history, so it perturbs nothing when unset
+/// and stays byte-deterministic when set.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StagnationPolicy {
+    /// How many iterations back to compare against (must be > 0 to ever
+    /// trigger).
+    pub window: usize,
+    /// Required relative improvement over the window: the solve is
+    /// stagnant when `r_now >= (1 - eps) * r_then`.
+    pub eps: f64,
+}
+
+impl StagnationPolicy {
+    /// A detector requiring `eps` relative progress every `window`
+    /// iterations.
+    pub fn new(window: usize, eps: f64) -> Self {
+        StagnationPolicy { window, eps }
+    }
+
+    /// Whether the residual history (one entry per completed iteration,
+    /// most recent last) shows stagnation over the configured window.
+    pub fn stagnated(&self, rnorms: &[f64]) -> bool {
+        if self.window == 0 || rnorms.len() <= self.window {
+            return false;
+        }
+        let now = rnorms[rnorms.len() - 1];
+        let then = rnorms[rnorms.len() - 1 - self.window];
+        now >= (1.0 - self.eps) * then
+    }
+}
+
+impl Default for StagnationPolicy {
+    /// 25 iterations with less than 1% cumulative improvement.
+    fn default() -> Self {
+        StagnationPolicy {
+            window: 25,
+            eps: 0.01,
+        }
+    }
+}
+
 impl SimConfig {
     /// The Azul configuration of Table III on the given grid.
     pub fn azul(grid: TileGrid) -> Self {
@@ -220,6 +268,19 @@ mod tests {
         let cfg = SimConfig::azul(TileGrid::square(4));
         assert_eq!(cfg.threads, 1);
         assert!(!cfg.fast_forward);
+    }
+
+    #[test]
+    fn stagnation_policy_windows() {
+        let p = StagnationPolicy::new(3, 0.5);
+        // Not enough history yet.
+        assert!(!p.stagnated(&[1.0, 0.9, 0.8]));
+        // 1.0 -> 0.8 over 3 iterations is < 50% improvement: stagnant.
+        assert!(p.stagnated(&[1.0, 0.9, 0.85, 0.8]));
+        // 1.0 -> 0.2 over 3 iterations is 80% improvement: healthy.
+        assert!(!p.stagnated(&[1.0, 0.8, 0.4, 0.2]));
+        // A zero window can never trigger.
+        assert!(!StagnationPolicy::new(0, 0.5).stagnated(&[1.0, 1.0, 1.0]));
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! Azul kernels. Unlike PCG, the vector-op share *grows* with the restart
 //! length, which this simulation exposes in its kernel breakdown.
 
-use crate::config::SimConfig;
+use crate::config::{SimConfig, StagnationPolicy};
 use crate::faults::{FaultRecord, FaultSession, RecoveryPolicy, RecoveryRecord};
 use crate::machine::{run_kernel_checked, SimError};
 use crate::program::Program;
@@ -35,6 +35,12 @@ pub struct GmresSimConfig {
     /// at each healthy restart boundary; a rollback discards the Krylov
     /// basis and restarts from the checkpointed x.
     pub recovery: RecoveryPolicy,
+    /// Optional stagnation detector over the Givens residual estimates
+    /// (see [`StagnationPolicy`]); `None` (the default) changes nothing.
+    pub stagnation: Option<StagnationPolicy>,
+    /// Per-attempt cycle budget on the extrapolated cycle count;
+    /// `u64::MAX` (the default) disables the check.
+    pub cycle_budget: u64,
 }
 
 impl Default for GmresSimConfig {
@@ -45,6 +51,8 @@ impl Default for GmresSimConfig {
             max_iters: 2000,
             timed_iterations: 2,
             recovery: RecoveryPolicy::default(),
+            stagnation: None,
+            cycle_budget: u64::MAX,
         }
     }
 }
@@ -102,15 +110,27 @@ impl GmresSim {
     /// Propagates IC(0) breakdowns.
     pub fn build(a: &Csr, placement: &Placement, cfg: &SimConfig) -> Result<Self, SolverError> {
         let l = ic0(a)?;
-        Ok(GmresSim {
+        Ok(Self::build_with_factor(a, &l, placement, cfg))
+    }
+
+    /// Builds with a caller-supplied lower-triangular factor sharing
+    /// `tril(a)`'s pattern (any rung of the preconditioner ladder: SGS,
+    /// SSOR, Jacobi or identity factors as well as IC(0)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the factor pattern does not match `tril(a)` or the
+    /// placement does not match `a`.
+    pub fn build_with_factor(a: &Csr, l: &Csr, placement: &Placement, cfg: &SimConfig) -> Self {
+        GmresSim {
             cfg: cfg.clone(),
             a: a.clone(),
             spmv: Program::compile_spmv(a, placement),
-            lower: Program::compile_sptrsv_lower(&l, a, placement),
-            upper: Program::compile_sptrsv_upper(&l, a, placement),
+            lower: Program::compile_sptrsv_lower(l, a, placement),
+            upper: Program::compile_sptrsv_upper(l, a, placement),
             vec_model: VecOpModel::new(placement),
-            l,
-        })
+            l: l.clone(),
+        }
     }
 
     /// Runs right-preconditioned restarted GMRES with right-hand side `b`.
@@ -194,6 +214,9 @@ impl GmresSim {
         }];
         let mut untimed: Vec<usize> = Vec::new();
         let (mut conv_flops, mut conv_msgs, mut conv_links) = (0u64, 0u64, 0u64);
+        // Residual-estimate history for the stagnation detector; only
+        // maintained when a policy is configured.
+        let mut rnorm_hist: Vec<f64> = Vec::new();
 
         'outer: while iterations < run_cfg.max_iters {
             let r = dense::sub(b, &self.a.spmv(&x));
@@ -375,6 +398,27 @@ impl GmresSim {
                         break 'outer;
                     }
                     continue 'outer;
+                }
+                if let Some(stag) = run_cfg.stagnation {
+                    rnorm_hist.push(res);
+                    if stag.stagnated(&rnorm_hist) {
+                        self.update_solution(&mut x, &v, &h, &g, k_done);
+                        breakdown = Some(BreakdownKind::Stagnated);
+                        break 'outer;
+                    }
+                }
+                if run_cfg.cycle_budget != u64::MAX {
+                    // Same extrapolation as the reported steady-state cost.
+                    let spent = if timed_done > 0 {
+                        (timed_cycles as f64 / timed_done as f64 * iterations as f64) as u64
+                    } else {
+                        0
+                    };
+                    if spent >= run_cfg.cycle_budget {
+                        self.update_solution(&mut x, &v, &h, &g, k_done);
+                        breakdown = Some(BreakdownKind::BudgetExhausted);
+                        break 'outer;
+                    }
                 }
                 let mut vk1 = w;
                 dense::scale(1.0 / wnorm, &mut vk1);

@@ -9,7 +9,7 @@
 //! per-iteration cycle cost. The reported GFLOP/s follow the paper's
 //! accounting (an FMAC = 2 FLOPs).
 
-use crate::config::SimConfig;
+use crate::config::{SimConfig, StagnationPolicy};
 use crate::faults::{FaultRecord, FaultSession, RecoveryPolicy, RecoveryRecord};
 use crate::machine::{run_kernel_checked, SimError};
 use crate::program::Program;
@@ -43,6 +43,15 @@ pub struct PcgSimConfig {
     /// [`RecoveryPolicy`]). Guards always run; rollback requires
     /// `recovery.enabled`.
     pub recovery: RecoveryPolicy,
+    /// Optional stagnation detector: ends the solve with
+    /// `Breakdown(Stagnated)` when the residual stops improving (see
+    /// [`StagnationPolicy`]). `None` (the default) changes nothing.
+    pub stagnation: Option<StagnationPolicy>,
+    /// Per-attempt cycle budget: the solve ends with
+    /// `Breakdown(BudgetExhausted)` once the extrapolated cycle count
+    /// (the same accounting as the report's `total_cycles`) reaches this
+    /// many cycles. `u64::MAX` (the default) disables the check.
+    pub cycle_budget: u64,
 }
 
 impl Default for PcgSimConfig {
@@ -52,6 +61,8 @@ impl Default for PcgSimConfig {
             max_iters: 2000,
             timed_iterations: 2,
             recovery: RecoveryPolicy::default(),
+            stagnation: None,
+            cycle_budget: u64::MAX,
         }
     }
 }
@@ -385,6 +396,9 @@ impl PcgSim {
         let mut timed_msgs = 0u64;
         let mut timed_links = 0u64;
         let mut timed_flops = 0u64;
+        // Residual history for the stagnation detector; only maintained
+        // when a policy is configured.
+        let mut rnorm_hist: Vec<f64> = Vec::new();
 
         // Numerical-anomaly handler: with recovery budget left, restore
         // the checkpointed x, re-derive r = b - A x / z / p / r·z with the
@@ -588,6 +602,29 @@ impl PcgSim {
                     messages: 0,
                     link_activations: 0,
                 });
+            }
+
+            if !converged {
+                if let Some(stag) = run_cfg.stagnation {
+                    rnorm_hist.push(rnorm);
+                    if stag.stagnated(&rnorm_hist) {
+                        breakdown = Some(BreakdownKind::Stagnated);
+                        break;
+                    }
+                }
+                if run_cfg.cycle_budget != u64::MAX {
+                    // Same extrapolation as the report's `total_cycles`.
+                    let spent = setup_cycles
+                        + if timed_done > 0 {
+                            (iter_cycles_acc as f64 / timed_done as f64 * iterations as f64) as u64
+                        } else {
+                            0
+                        };
+                    if spent >= run_cfg.cycle_budget {
+                        breakdown = Some(BreakdownKind::BudgetExhausted);
+                        break;
+                    }
+                }
             }
         }
 
@@ -824,6 +861,64 @@ mod tests {
         // A different pattern is rejected.
         let other = generate::grid_laplacian_2d(4, 9);
         assert!(sim.update_values(&other, &p).is_err());
+    }
+
+    #[test]
+    fn stagnation_policy_ends_solve_with_structured_status() {
+        let a = generate::grid_laplacian_2d(8, 8);
+        let grid = TileGrid::new(2, 2);
+        let p = RoundRobinMapper.map(&a, grid);
+        let sim = PcgSim::build(&a, &p, &SimConfig::azul(grid)).unwrap();
+        let b = rhs(a.rows());
+        // Demand a 99.9% residual drop every iteration: even a healthy
+        // solve "stagnates" by this bar, exercising the detector.
+        let report = sim
+            .try_run(
+                &b,
+                &PcgSimConfig {
+                    stagnation: Some(StagnationPolicy::new(1, 0.999)),
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+        assert!(!report.converged);
+        assert_eq!(
+            report.status,
+            SolveStatus::Breakdown(BreakdownKind::Stagnated)
+        );
+        // The loop stopped as soon as the window filled.
+        assert!(
+            report.iterations < 10,
+            "ran {} iterations",
+            report.iterations
+        );
+    }
+
+    #[test]
+    fn cycle_budget_bounds_the_attempt() {
+        let a = generate::grid_laplacian_2d(8, 8);
+        let grid = TileGrid::new(2, 2);
+        let p = RoundRobinMapper.map(&a, grid);
+        let sim = PcgSim::build(&a, &p, &SimConfig::azul(grid)).unwrap();
+        let b = rhs(a.rows());
+        let full = sim.try_run(&b, &PcgSimConfig::default()).unwrap();
+        assert!(full.converged);
+        let budget = full.total_cycles / 2;
+        let capped = sim
+            .try_run(
+                &b,
+                &PcgSimConfig {
+                    cycle_budget: budget,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+        assert!(!capped.converged);
+        assert_eq!(
+            capped.status,
+            SolveStatus::Breakdown(BreakdownKind::BudgetExhausted)
+        );
+        assert!(capped.iterations < full.iterations);
     }
 
     #[test]

@@ -3,6 +3,7 @@
 use crate::flops::{self, FlopBreakdown};
 use crate::pcg::SolveOutcome;
 use crate::precond::Preconditioner;
+use crate::{Result, SolverError};
 use azul_sparse::{dense, Csr};
 
 /// Configuration for [`gmres`].
@@ -43,6 +44,48 @@ pub fn gmres<M: Preconditioner + ?Sized>(
     assert_eq!(a.cols(), n, "gmres needs a square matrix");
     assert_eq!(b.len(), n, "rhs length mismatch");
     assert!(config.restart > 0, "restart length must be positive");
+    match try_gmres(a, b, m, config) {
+        Ok(out) => out,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Fallible [`gmres`]: bad operands come back as
+/// [`SolverError::Dimension`] and a degenerate least-squares system (a
+/// vanished Givens denominator or a zero back-substitution pivot, which
+/// the panicking API would turn into NaNs) as
+/// [`SolverError::Breakdown`].
+///
+/// # Errors
+///
+/// [`SolverError::Dimension`] when `a` is not square, `b.len()` does not
+/// match, or `config.restart == 0`; [`SolverError::Breakdown`] when the
+/// Hessenberg least-squares solve degenerates.
+pub fn try_gmres<M: Preconditioner + ?Sized>(
+    a: &Csr,
+    b: &[f64],
+    m: &M,
+    config: &GmresConfig,
+) -> Result<SolveOutcome> {
+    let n = a.rows();
+    if a.cols() != n {
+        return Err(SolverError::Dimension(format!(
+            "gmres needs a square matrix, got {}x{}",
+            n,
+            a.cols()
+        )));
+    }
+    if b.len() != n {
+        return Err(SolverError::Dimension(format!(
+            "rhs length {} does not match matrix dimension {n}",
+            b.len()
+        )));
+    }
+    if config.restart == 0 {
+        return Err(SolverError::Dimension(
+            "restart length (Krylov subspace dimension) must be positive".into(),
+        ));
+    }
 
     let mut fl = FlopBreakdown::default();
     let mut x = vec![0.0; n];
@@ -99,11 +142,14 @@ pub fn gmres<M: Preconditioner + ?Sized>(
                 h[j + 1][k] = -sn[j] * h[j][k] + cs[j] * h[j + 1][k];
                 h[j][k] = t;
             }
-            // New rotation to zero h[k+1][k].
+            // New rotation to zero h[k+1][k]: a vanished denominator means
+            // the whole Hessenberg column is zero and no rotation exists.
             let denom = (h[k][k] * h[k][k] + h[k + 1][k] * h[k + 1][k]).sqrt();
             if denom == 0.0 {
-                k_done = k + 1;
-                break;
+                return Err(SolverError::Breakdown(format!(
+                    "Givens rotation denominator vanished at inner step {k} \
+                     (iteration {total_iters})"
+                )));
             }
             cs[k] = h[k][k] / denom;
             sn[k] = h[k + 1][k] / denom;
@@ -117,7 +163,7 @@ pub fn gmres<M: Preconditioner + ?Sized>(
 
             let res = g[k + 1].abs();
             if res <= config.tol || wnorm == 0.0 {
-                update_solution(&mut x, &v, &h, &g, k_done, m, &mut fl);
+                update_solution(&mut x, &v, &h, &g, k_done, m, &mut fl)?;
                 converged = res <= config.tol;
                 if converged {
                     break 'outer;
@@ -129,12 +175,12 @@ pub fn gmres<M: Preconditioner + ?Sized>(
             fl.vector += n as u64;
             v.push(vk1);
         }
-        update_solution(&mut x, &v, &h, &g, k_done, m, &mut fl);
+        update_solution(&mut x, &v, &h, &g, k_done, m, &mut fl)?;
     }
 
     let final_residual = dense::norm2(&dense::sub(b, &a.spmv(&x)));
     let converged = converged || final_residual <= config.tol;
-    SolveOutcome {
+    Ok(SolveOutcome {
         x,
         iterations: total_iters,
         converged,
@@ -146,10 +192,15 @@ pub fn gmres<M: Preconditioner + ?Sized>(
         final_residual,
         flops: fl,
         residual_history: Vec::new(),
-    }
+    })
 }
 
 /// Back-solves the small triangular system and updates `x += M^-1 V y`.
+///
+/// # Errors
+///
+/// [`SolverError::Breakdown`] on a zero back-substitution pivot (the
+/// Hessenberg triangle is singular).
 fn update_solution<M: Preconditioner + ?Sized>(
     x: &mut [f64],
     v: &[Vec<f64>],
@@ -158,15 +209,20 @@ fn update_solution<M: Preconditioner + ?Sized>(
     k: usize,
     m: &M,
     fl: &mut FlopBreakdown,
-) {
+) -> Result<()> {
     if k == 0 {
-        return;
+        return Ok(());
     }
     let mut y = vec![0.0f64; k];
     for i in (0..k).rev() {
         let mut s = g[i];
         for (j, &yj) in y.iter().enumerate().skip(i + 1) {
             s -= h[i][j] * yj;
+        }
+        if h[i][i] == 0.0 {
+            return Err(SolverError::Breakdown(format!(
+                "zero pivot in the Hessenberg back-substitution at row {i}"
+            )));
         }
         y[i] = s / h[i][i];
     }
@@ -180,6 +236,7 @@ fn update_solution<M: Preconditioner + ?Sized>(
     fl.add(m.flops_per_apply());
     dense::axpy(1.0, &z, x);
     fl.vector += flops::axpy_flops(n);
+    Ok(())
 }
 
 #[cfg(test)]
@@ -237,6 +294,66 @@ mod tests {
         let out = gmres(&a, &b, &Jacobi::new(&a), &GmresConfig::default());
         assert!(out.converged);
         assert!(out.flops.vector > 0);
+    }
+
+    #[test]
+    fn try_gmres_matches_gmres_on_clean_runs() {
+        let a = generate::grid_laplacian_2d(8, 8);
+        let b = rhs(a.rows());
+        let cfg = GmresConfig::default();
+        let out = try_gmres(&a, &b, &Identity, &cfg).unwrap();
+        let reference = gmres(&a, &b, &Identity, &cfg);
+        assert!(out.converged);
+        assert_eq!(out.x, reference.x, "paths diverged bit-for-bit");
+        assert_eq!(out.iterations, reference.iterations);
+    }
+
+    #[test]
+    fn try_gmres_rejects_bad_operands() {
+        let a = generate::grid_laplacian_2d(4, 4);
+        let short = vec![1.0; 3];
+        assert!(matches!(
+            try_gmres(&a, &short, &Identity, &GmresConfig::default()),
+            Err(crate::SolverError::Dimension(_))
+        ));
+        let b = rhs(a.rows());
+        assert!(matches!(
+            try_gmres(
+                &a,
+                &b,
+                &Identity,
+                &GmresConfig {
+                    restart: 0,
+                    ..Default::default()
+                }
+            ),
+            Err(crate::SolverError::Dimension(_))
+        ));
+        let rect = {
+            let mut coo = Coo::new(3, 4);
+            coo.push(0, 0, 1.0).unwrap();
+            coo.to_csr()
+        };
+        assert!(matches!(
+            try_gmres(&rect, &short, &Identity, &GmresConfig::default()),
+            Err(crate::SolverError::Dimension(_))
+        ));
+    }
+
+    #[test]
+    fn try_gmres_reports_breakdown_on_zero_operator() {
+        // A = 0: the first Arnoldi column is zero, so the Givens
+        // denominator vanishes — a typed breakdown, not NaNs.
+        let zero = {
+            let mut coo = Coo::new(4, 4);
+            coo.push(0, 0, 0.0).unwrap();
+            coo.to_csr()
+        };
+        let b = vec![1.0; 4];
+        assert!(matches!(
+            try_gmres(&zero, &b, &Identity, &GmresConfig::default()),
+            Err(crate::SolverError::Breakdown(_))
+        ));
     }
 
     #[test]

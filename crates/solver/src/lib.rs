@@ -47,7 +47,7 @@ pub mod precond;
 
 pub use bicgstab::{bicgstab, BiCgStabConfig};
 pub use direct::{dense_solve, DenseCholesky};
-pub use gmres::{gmres, GmresConfig};
+pub use gmres::{gmres, try_gmres, GmresConfig};
 pub use pcg::{cg, pcg, BreakdownKind, PcgConfig, SolveOutcome, SolveStatus};
 pub use power::{power_iteration, PowerConfig};
 
@@ -69,7 +69,16 @@ impl std::fmt::Display for SolverError {
     }
 }
 
-impl std::error::Error for SolverError {}
+impl std::error::Error for SolverError {
+    /// `SolverError` is a leaf in every cause chain: `Breakdown` and
+    /// `Dimension` carry the primary diagnosis in their message, with
+    /// nothing structured underneath. Wrappers ([`azul_core`]'s
+    /// `AzulError::Numeric`) chain *to* this error via their own
+    /// `source()`; walking continues to `None` here.
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        None
+    }
+}
 
 /// Convenient result alias for this crate.
 pub type Result<T> = std::result::Result<T, SolverError>;

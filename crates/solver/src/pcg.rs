@@ -45,6 +45,13 @@ pub enum BreakdownKind {
     /// The residual norm grew past the divergence guard (used by the
     /// simulator frontends' fault detection).
     Diverged,
+    /// The residual stopped improving: relative decrease below the
+    /// configured threshold across a stagnation window (used by the
+    /// simulator frontends' stagnation detector).
+    Stagnated,
+    /// The per-attempt cycle budget expired before convergence (used by
+    /// the solve supervisor's bounded retries).
+    BudgetExhausted,
 }
 
 impl std::fmt::Display for BreakdownKind {
@@ -57,6 +64,8 @@ impl std::fmt::Display for BreakdownKind {
             BreakdownKind::OmegaZero => "omega = 0",
             BreakdownKind::NonFinite => "non-finite scalar",
             BreakdownKind::Diverged => "residual divergence",
+            BreakdownKind::Stagnated => "residual stagnation",
+            BreakdownKind::BudgetExhausted => "cycle budget exhausted",
         };
         f.write_str(s)
     }

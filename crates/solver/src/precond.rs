@@ -10,7 +10,7 @@
 use crate::flops::{self, FlopBreakdown};
 use crate::ic0::ic0;
 use crate::kernels::{sptrsv_lower, sptrsv_lower_transpose};
-use crate::Result;
+use crate::{Result, SolverError};
 use azul_sparse::Csr;
 
 /// A symmetric preconditioner `M ≈ A`, applied as `z = M^{-1} r`.
@@ -29,6 +29,33 @@ pub trait Preconditioner {
     /// triangular-solve kernels).
     fn triangular_factor(&self) -> Option<&Csr> {
         None
+    }
+
+    /// The residual length this preconditioner was built for, if fixed
+    /// (dimensionless preconditioners like [`Identity`] return `None`).
+    fn dim(&self) -> Option<usize> {
+        self.triangular_factor().map(Csr::rows)
+    }
+
+    /// Dimension-checked [`apply`](Preconditioner::apply): a mismatched
+    /// residual returns [`SolverError::Dimension`] instead of silently
+    /// truncating or panicking inside a triangular solve.
+    ///
+    /// # Errors
+    ///
+    /// [`SolverError::Dimension`] when `r.len()` disagrees with
+    /// [`dim`](Preconditioner::dim).
+    fn try_apply(&self, r: &[f64]) -> Result<Vec<f64>> {
+        if let Some(n) = self.dim() {
+            if r.len() != n {
+                return Err(SolverError::Dimension(format!(
+                    "preconditioner `{}` built for n = {n} applied to a length-{} residual",
+                    self.name(),
+                    r.len()
+                )));
+            }
+        }
+        Ok(self.apply(r))
     }
 }
 
@@ -90,6 +117,10 @@ impl Preconditioner for Jacobi {
 
     fn name(&self) -> &'static str {
         "jacobi"
+    }
+
+    fn dim(&self) -> Option<usize> {
+        Some(self.inv_diag.len())
     }
 }
 
@@ -291,7 +322,22 @@ impl Preconditioner for IncompleteCholesky {
 ///
 /// Panics if the matrix is not square or a diagonal entry is not positive.
 pub fn sgs_factor(a: &Csr) -> Csr {
-    scaled_lower_factor(a, 1.0)
+    match try_sgs_factor(a) {
+        Ok(f) => f,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Fallible [`sgs_factor`]: a non-positive diagonal entry (the matrix is
+/// not SPD) comes back as [`SolverError::Breakdown`] instead of a panic,
+/// so a degradation ladder can step past SGS/SSOR deterministically.
+///
+/// # Errors
+///
+/// [`SolverError::Dimension`] for a non-square matrix,
+/// [`SolverError::Breakdown`] for a non-positive diagonal entry.
+pub fn try_sgs_factor(a: &Csr) -> Result<Csr> {
+    try_scaled_lower_factor(a, 1.0)
 }
 
 /// The SSOR preconditioner in factored form:
@@ -308,18 +354,108 @@ pub fn ssor_factor(a: &Csr, omega: f64) -> Csr {
         omega > 0.0 && omega < 2.0,
         "SSOR requires 0 < omega < 2, got {omega}"
     );
-    scaled_lower_factor(a, omega)
+    match try_scaled_lower_factor(a, omega) {
+        Ok(f) => f,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Fallible [`ssor_factor`]: see [`try_sgs_factor`].
+///
+/// # Errors
+///
+/// [`SolverError::Breakdown`] for an `omega` outside `(0, 2)` or a
+/// non-positive diagonal entry; [`SolverError::Dimension`] for a
+/// non-square matrix.
+pub fn try_ssor_factor(a: &Csr, omega: f64) -> Result<Csr> {
+    if !(omega > 0.0 && omega < 2.0) {
+        return Err(SolverError::Breakdown(format!(
+            "SSOR requires 0 < omega < 2, got {omega}"
+        )));
+    }
+    try_scaled_lower_factor(a, omega)
+}
+
+/// The Jacobi preconditioner `M = D` in factored form: `F = D^{1/2}`
+/// embedded in `tril(a)`'s sparsity pattern (off-diagonals zero), so
+/// `F F^T = D` runs on the same two-SpTRSV hardware kernels as every
+/// other rung of the preconditioner ladder.
+///
+/// # Errors
+///
+/// [`SolverError::Dimension`] for a non-square matrix,
+/// [`SolverError::Breakdown`] for a non-positive diagonal entry (a
+/// negative diagonal has no real square root).
+pub fn try_jacobi_factor(a: &Csr) -> Result<Csr> {
+    if a.rows() != a.cols() {
+        return Err(SolverError::Dimension(format!(
+            "factor needs a square matrix, got {}x{}",
+            a.rows(),
+            a.cols()
+        )));
+    }
+    let diag = a.diagonal();
+    if let Some((i, &d)) = diag.iter().enumerate().find(|(_, &d)| d <= 0.0) {
+        return Err(SolverError::Breakdown(format!(
+            "Jacobi factor needs a positive diagonal, got {d:.3e} at row {i}"
+        )));
+    }
+    let mut f = a.lower_triangle();
+    let row_ptr = f.row_ptr().to_vec();
+    let col_idx = f.col_idx().to_vec();
+    let vals = f.values_mut();
+    for i in 0..row_ptr.len() - 1 {
+        for p in row_ptr[i]..row_ptr[i + 1] {
+            vals[p] = if col_idx[p] == i { diag[i].sqrt() } else { 0.0 };
+        }
+    }
+    Ok(f)
+}
+
+/// The identity preconditioner `M = I` in factored form: `F = I`
+/// embedded in `tril(a)`'s sparsity pattern. Infallible for any square
+/// matrix, which makes it the terminal rung of the preconditioner
+/// ladder: `F F^T = I` always exists.
+///
+/// # Errors
+///
+/// [`SolverError::Dimension`] for a non-square matrix.
+pub fn identity_factor(a: &Csr) -> Result<Csr> {
+    if a.rows() != a.cols() {
+        return Err(SolverError::Dimension(format!(
+            "factor needs a square matrix, got {}x{}",
+            a.rows(),
+            a.cols()
+        )));
+    }
+    let mut f = a.lower_triangle();
+    let row_ptr = f.row_ptr().to_vec();
+    let col_idx = f.col_idx().to_vec();
+    let vals = f.values_mut();
+    for i in 0..row_ptr.len() - 1 {
+        for p in row_ptr[i]..row_ptr[i + 1] {
+            vals[p] = if col_idx[p] == i { 1.0 } else { 0.0 };
+        }
+    }
+    Ok(f)
 }
 
 /// Shared construction: `sqrt((2-w)/w) * (D/w + L) * (D/w)^{-1/2}` (with
 /// `w = 1` this reduces to `(D + L) D^{-1/2}`, the SGS factor).
-fn scaled_lower_factor(a: &Csr, omega: f64) -> Csr {
-    assert_eq!(a.rows(), a.cols(), "factor needs a square matrix");
+fn try_scaled_lower_factor(a: &Csr, omega: f64) -> Result<Csr> {
+    if a.rows() != a.cols() {
+        return Err(SolverError::Dimension(format!(
+            "factor needs a square matrix, got {}x{}",
+            a.rows(),
+            a.cols()
+        )));
+    }
     let diag = a.diagonal();
-    assert!(
-        diag.iter().all(|&d| d > 0.0),
-        "SPD matrix needs a positive diagonal"
-    );
+    if let Some((i, &d)) = diag.iter().enumerate().find(|(_, &d)| d <= 0.0) {
+        return Err(SolverError::Breakdown(format!(
+            "SPD matrix needs a positive diagonal, got {d:.3e} at row {i}"
+        )));
+    }
     let scale = ((2.0 - omega) / omega).sqrt();
     let mut f = a.lower_triangle();
     let row_ptr = f.row_ptr().to_vec();
@@ -337,7 +473,7 @@ fn scaled_lower_factor(a: &Csr, omega: f64) -> Csr {
             }
         }
     }
-    f
+    Ok(f)
 }
 
 #[cfg(test)]
@@ -429,10 +565,85 @@ mod tests {
     fn factors_share_tril_pattern() {
         let a = generate::fem_mesh_3d(80, 4, 3);
         let tril = a.lower_triangle();
-        for f in [sgs_factor(&a), ssor_factor(&a, 0.8)] {
+        for f in [
+            sgs_factor(&a),
+            ssor_factor(&a, 0.8),
+            try_jacobi_factor(&a).unwrap(),
+            identity_factor(&a).unwrap(),
+        ] {
             assert_eq!(f.row_ptr(), tril.row_ptr());
             assert_eq!(f.col_idx(), tril.col_idx());
         }
+    }
+
+    #[test]
+    fn jacobi_factor_reproduces_jacobi_application() {
+        // F F^T = D, so F^-T F^-1 r == Jacobi::apply(r).
+        let a = generate::fem_mesh_3d(90, 4, 5);
+        let f = try_jacobi_factor(&a).unwrap();
+        let j = Jacobi::new(&a);
+        let r: Vec<f64> = (0..a.rows()).map(|i| (i as f64 * 0.21).cos()).collect();
+        let y = sptrsv_lower(&f, &r);
+        let z = sptrsv_lower_transpose(&f, &y);
+        assert!(dense::max_abs_diff(&z, &j.apply(&r)) < 1e-12);
+    }
+
+    #[test]
+    fn identity_factor_reproduces_identity_application() {
+        let a = generate::grid_laplacian_2d(6, 6);
+        let f = identity_factor(&a).unwrap();
+        let r: Vec<f64> = (0..a.rows()).map(|i| (i as f64) - 17.5).collect();
+        let y = sptrsv_lower(&f, &r);
+        let z = sptrsv_lower_transpose(&f, &y);
+        assert!(dense::max_abs_diff(&z, &r) < 1e-15);
+    }
+
+    #[test]
+    fn try_factors_reject_nonpositive_diagonal_without_panicking() {
+        // tridiagonal has diag = 2; flip one entry negative.
+        let mut a = generate::tridiagonal(5);
+        let row_ptr = a.row_ptr().to_vec();
+        let col_idx = a.col_idx().to_vec();
+        for (p, &c) in col_idx.iter().enumerate().take(row_ptr[3]).skip(row_ptr[2]) {
+            if c == 2 {
+                a.values_mut()[p] = -2.0;
+            }
+        }
+        for err in [
+            try_sgs_factor(&a).unwrap_err(),
+            try_ssor_factor(&a, 1.2).unwrap_err(),
+            try_jacobi_factor(&a).unwrap_err(),
+        ] {
+            assert!(matches!(err, SolverError::Breakdown(_)), "got {err}");
+        }
+        // The identity rung never breaks down.
+        assert!(identity_factor(&a).is_ok());
+    }
+
+    #[test]
+    fn try_ssor_factor_rejects_bad_omega() {
+        let a = generate::tridiagonal(3);
+        assert!(matches!(
+            try_ssor_factor(&a, 2.5),
+            Err(SolverError::Breakdown(_))
+        ));
+    }
+
+    #[test]
+    fn try_apply_rejects_mismatched_dimensions() {
+        let a = generate::tridiagonal(4);
+        let r3 = [1.0, 2.0, 3.0];
+        let r4 = [1.0, 2.0, 3.0, 4.0];
+        let j = Jacobi::new(&a);
+        assert!(matches!(j.try_apply(&r3), Err(SolverError::Dimension(_))));
+        let s = SymmetricGaussSeidel::new(&a);
+        assert!(matches!(s.try_apply(&r3), Err(SolverError::Dimension(_))));
+        let ic = IncompleteCholesky::new(&a).unwrap();
+        assert!(matches!(ic.try_apply(&r3), Err(SolverError::Dimension(_))));
+        // Matching dims agree with the unchecked path; Identity is
+        // dimensionless and accepts anything.
+        assert_eq!(j.try_apply(&r4).unwrap(), j.apply(&r4));
+        assert_eq!(Identity.try_apply(&r3).unwrap(), r3.to_vec());
     }
 
     #[test]

@@ -281,6 +281,41 @@ impl ToJson for InvariantSample {
     }
 }
 
+/// One supervised-solve escalation record (schema v4): a single rung
+/// transition on one of the supervisor's degradation ladders. The full
+/// `supervisor` section replays the journey from the first configuration
+/// attempted to the one that finally solved (or to exhaustion).
+#[derive(Debug, Clone, PartialEq)]
+pub struct EscalationSample {
+    /// Which ladder moved: `"mapping"`, `"preconditioner"`, `"solver"`
+    /// or `"grid"`.
+    pub stage: String,
+    /// What forced the move, e.g. `"capacity"`, `"factor-breakdown"`,
+    /// `"stagnation"`, `"max-iters"`, `"budget"` or `"sim-error"`.
+    pub trigger: String,
+    /// Rung the attempt ran with.
+    pub from: String,
+    /// Rung the next attempt will run with.
+    pub to: String,
+    /// 1-based index of the failed attempt that caused this transition.
+    pub attempt: usize,
+    /// Simulated cycles the failed attempt consumed (0 when the failure
+    /// happened before any kernel ran, e.g. a capacity rejection).
+    pub cycles_spent: u64,
+}
+
+impl ToJson for EscalationSample {
+    fn to_json(&self) -> Value {
+        Value::object()
+            .field("stage", &self.stage)
+            .field("trigger", &self.trigger)
+            .field("from", &self.from)
+            .field("to", &self.to)
+            .field("attempt", self.attempt)
+            .field("cycles_spent", self.cycles_spent)
+    }
+}
+
 /// The complete telemetry document for one scenario run.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct TelemetryReport {
@@ -308,12 +343,17 @@ pub struct TelemetryReport {
     /// Runtime-invariant audit, one entry per rule (empty when invariant
     /// checking was disabled).
     pub invariants: Vec<InvariantSample>,
+    /// Supervised-solve escalation journal, one entry per degradation
+    /// ladder transition (empty for unsupervised runs and for supervised
+    /// runs whose first attempt succeeded).
+    pub supervisor: Vec<EscalationSample>,
 }
 
 impl TelemetryReport {
     /// Schema version stamped into the JSON output. Version 2 added the
-    /// `faults` and `recoveries` sections; version 3 added `invariants`.
-    pub const SCHEMA_VERSION: u32 = 3;
+    /// `faults` and `recoveries` sections; version 3 added `invariants`;
+    /// version 4 added the `supervisor` escalation journal.
+    pub const SCHEMA_VERSION: u32 = 4;
 
     /// Adds a scenario field.
     pub fn scenario_field(&mut self, key: &str, value: impl ToJson) {
@@ -400,6 +440,7 @@ impl TelemetryReport {
             .field("faults", &self.faults)
             .field("recoveries", &self.recoveries)
             .field("invariants", &self.invariants)
+            .field("supervisor", &self.supervisor)
     }
 
     /// Writes pretty-printed JSON to `path`.
@@ -500,6 +541,36 @@ mod tests {
         assert_eq!(conv[0].get("residual").and_then(Value::as_f64), Some(0.5));
         let util = v.get("pe_utilization").unwrap();
         assert_eq!(util.get("width").and_then(Value::as_u64), Some(2));
+    }
+
+    #[test]
+    fn supervisor_journal_serializes_in_order() {
+        let mut report = sample_report();
+        report.supervisor.push(EscalationSample {
+            stage: "mapping".into(),
+            trigger: "capacity".into(),
+            from: "azul".into(),
+            to: "block".into(),
+            attempt: 1,
+            cycles_spent: 0,
+        });
+        report.supervisor.push(EscalationSample {
+            stage: "solver".into(),
+            trigger: "stagnation".into(),
+            from: "pcg".into(),
+            to: "bicgstab".into(),
+            attempt: 2,
+            cycles_spent: 1234,
+        });
+        let v = json::parse(&report.to_json().to_string_pretty()).expect("valid JSON");
+        let sup = v.get("supervisor").and_then(Value::as_arr).unwrap();
+        assert_eq!(sup.len(), 2);
+        assert_eq!(sup[0].get("stage").and_then(Value::as_str), Some("mapping"));
+        assert_eq!(sup[1].get("to").and_then(Value::as_str), Some("bicgstab"));
+        assert_eq!(
+            sup[1].get("cycles_spent").and_then(Value::as_u64),
+            Some(1234)
+        );
     }
 
     #[test]

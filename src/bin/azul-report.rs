@@ -25,6 +25,13 @@
 //! ([`azul::sim::invariants`]) regardless of build profile (it defaults
 //! to on only under debug assertions); check counts land in the
 //! report's `invariants` section.
+//!
+//! `--supervise` routes the scenario through [`SolveSupervisor`] instead
+//! of the plain prepare/solve pipeline: capacity overflows, factorization
+//! breakdowns, and non-converged solves walk the default degradation
+//! ladders (mapping, preconditioner, solver) instead of failing.
+//! `--max-attempts N` bounds the retry budget. Every ladder transition
+//! lands in the JSON report's `supervisor` section.
 
 use azul::mapping::strategies::AzulMapper;
 use azul::mapping::TileGrid;
@@ -34,8 +41,9 @@ use azul::sim::telemetry::{
 };
 use azul::sparse::suite::{by_name, Scale};
 use azul::sparse::Csr;
+use azul::supervisor::fill_supervisor_report;
 use azul::telemetry::{heatmap, span, TelemetryReport};
-use azul::{Azul, AzulConfig, MappingStrategy};
+use azul::{Azul, AzulConfig, EscalationPolicy, MappingStrategy, SolveSupervisor};
 use std::collections::HashMap;
 use std::path::Path;
 use std::process::ExitCode;
@@ -48,6 +56,7 @@ fn main() -> ExitCode {
         println!("            [--fast] [--out report.json] [--quiet]");
         println!("            [--fault-seed N [--fault-events 4] [--fault-window 100000]]");
         println!("            [--no-recovery] [--check-invariants]");
+        println!("            [--supervise [--max-attempts 12]]");
         return ExitCode::SUCCESS;
     }
     let opts = parse_opts(&args);
@@ -101,6 +110,10 @@ fn main() -> ExitCode {
     }
     if opts.contains_key("check-invariants") {
         cfg.sim.check_invariants = true;
+    }
+
+    if opts.contains_key("supervise") {
+        return run_supervised(&opts, &name, &a, cfg, tol, &out, quiet);
     }
 
     // Collect phase spans for the whole prepare + solve pipeline.
@@ -221,6 +234,83 @@ fn main() -> ExitCode {
     } else {
         ExitCode::FAILURE
     }
+}
+
+fn run_supervised(
+    opts: &HashMap<String, String>,
+    name: &str,
+    a: &Csr,
+    cfg: AzulConfig,
+    tol: f64,
+    out: &str,
+    quiet: bool,
+) -> ExitCode {
+    let mut policy = EscalationPolicy::default();
+    if let Some(n) = opts.get("max-attempts").and_then(|n| n.parse().ok()) {
+        policy.max_attempts = n;
+    }
+    let collector = span::Collector::install();
+    let b = vec![1.0; a.rows()];
+    let result = SolveSupervisor::with_policy(cfg, policy).solve(a, &b);
+    span::uninstall();
+    let solve = match result {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("supervised solve failed: {e}");
+            if let azul::AzulError::Exhausted { attempts } = &e {
+                for att in attempts {
+                    eprintln!("  attempt {} ({}): {}", att.attempt, att.config, att.error);
+                }
+            }
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut report = TelemetryReport::default();
+    report.scenario_field("matrix", name);
+    report.scenario_field("n", a.rows() as u64);
+    report.scenario_field("nnz", a.nnz() as u64);
+    report.scenario_field("tol", tol);
+    describe_config(&mut report, &solve.sim_config);
+    fill_report(&mut report, &solve.sim_config, &solve.stats);
+    fill_supervisor_report(&mut report, &solve);
+    report.absorb_spans(collector.drain());
+    report.convergence = solve.convergence.clone();
+
+    if !quiet {
+        println!(
+            "{name}: n={} nnz={} supervised on {}x{} tiles",
+            a.rows(),
+            a.nnz(),
+            solve.grid.width(),
+            solve.grid.height()
+        );
+        println!(
+            "converged in {} iterations after {} attempt(s) \
+             ({} mapping, {} preconditioner, {} solver); residual {:.2e}",
+            solve.iterations,
+            solve.attempts,
+            solve.mapping,
+            solve.preconditioner,
+            solve.solver,
+            solve.final_residual
+        );
+        if solve.escalations.is_empty() {
+            println!("no escalations: the strongest rungs held");
+        } else {
+            println!("degradation path: {}", solve.degradation_path());
+            for r in &solve.escalations {
+                println!("  {r}");
+            }
+        }
+    }
+
+    if let Err(e) = report.write_json(Path::new(out)) {
+        eprintln!("failed to write {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("telemetry report written to {out}");
+    ExitCode::SUCCESS
 }
 
 fn parse_opts(args: &[String]) -> HashMap<String, String> {

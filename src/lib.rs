@@ -18,6 +18,14 @@
 
 pub use azul_core::{Azul, AzulConfig, AzulError, MappingStrategy, PreparedSolver, SolveReport};
 
+/// Graceful-degradation supervision: retry/escalation ladders across the
+/// mapping, preconditioner, and solver layers.
+pub use azul_core::supervisor;
+pub use azul_core::{
+    EscalationPolicy, EscalationRecord, EscalationStage, EscalationTrigger, SolveSupervisor,
+    SolverChoice, SupervisedSolveReport,
+};
+
 /// Sparse-matrix substrate.
 pub use azul_sparse as sparse;
 

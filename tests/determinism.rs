@@ -267,6 +267,52 @@ fn checked_solve_reports_nonzero_audit_counts() {
     assert_eq!(doc.counter_value("invariant_violations"), Some(0));
 }
 
+/// A supervised solve that walks the preconditioner and solver ladders
+/// must still be byte-deterministic: escalation decisions depend only on
+/// structured errors and simulated cycle counts, never on wall-clock, so
+/// the schema-v4 `supervisor` journal serializes identically every run.
+#[test]
+fn supervised_escalation_telemetry_is_byte_identical() {
+    use azul::supervisor::fill_supervisor_report;
+    use azul::{AzulConfig, EscalationPolicy, MappingStrategy, SolveSupervisor, SolverChoice};
+
+    // A Helmholtz-style shifted Laplacian: indefinite (negative diagonal
+    // breaks every factored preconditioner, PCG fails) but nonsingular,
+    // so full-restart GMRES converges after the ladders walk.
+    let base = generate::grid_laplacian_2d(10, 10);
+    let mut t = Vec::new();
+    for r in 0..base.rows() {
+        for (c, v) in base.row(r) {
+            t.push((r, c, if r == c { v - 4.73 } else { v }));
+        }
+    }
+    let a = azul::sparse::Coo::from_triplets(base.rows(), base.cols(), t)
+        .expect("triplets are in range")
+        .to_csr();
+    let b = rhs(a.rows());
+    let run = || {
+        let policy = EscalationPolicy {
+            mappings: vec![MappingStrategy::RoundRobin],
+            solvers: vec![SolverChoice::Pcg, SolverChoice::Gmres { restart: 120 }],
+            ..EscalationPolicy::default()
+        };
+        let sup = SolveSupervisor::with_policy(AzulConfig::small_test(), policy)
+            .solve(&a, &b)
+            .expect("supervised solve succeeds");
+        let mut doc = TelemetryReport::default();
+        describe_config(&mut doc, &sup.sim_config);
+        fill_report(&mut doc, &sup.sim_config, &sup.stats);
+        fill_supervisor_report(&mut doc, &sup);
+        doc.convergence = sup.convergence.clone();
+        (sup, doc.to_json().to_string_pretty())
+    };
+    let ((sup1, json1), (_sup2, json2)) = (run(), run());
+    assert!(!sup1.escalations.is_empty(), "the ladders must have walked");
+    assert!(json1.contains("\"supervisor\""));
+    assert!(json1.contains("factor-breakdown"));
+    assert_eq!(json1, json2, "supervised telemetry JSON diverged");
+}
+
 /// A synthetic broken ledger must be rejected with the structured
 /// error, end to end through the public API.
 #[test]
