@@ -49,6 +49,13 @@ fn main() {
         "sim_perf wants at least a 16x16 grid (got {} tiles)",
         ctx.grid.num_tiles()
     );
+    // This bench is the zero-trace baseline of the observability layer:
+    // event tracing is opt-in, so the default config must measure the
+    // untraced fast path and every artifact row says so.
+    assert!(
+        SimConfig::azul(ctx.grid).trace.is_none(),
+        "sim_perf must measure the untraced fast path"
+    );
     let mut reports: Vec<TelemetryReport> = Vec::new();
 
     // Section 1: full PCG solves across the engine matrix.
@@ -93,6 +100,7 @@ fn main() {
             }
             let mcps = rep.total_cycles as f64 / wall / 1.0e6;
             doc.scenario_field("section", "pcg");
+            doc.scenario_field("tracing", false);
             doc.scenario_field("threads", threads as u64);
             doc.scenario_field("fast_forward", ff);
             doc.scenario_field("wall_seconds", wall);
@@ -144,6 +152,7 @@ fn main() {
             cycles = stats.cycles;
             let mut doc = TelemetryReport::default();
             doc.scenario_field("section", "sptrsv");
+            doc.scenario_field("tracing", false);
             doc.scenario_field("kernel", "sptrsv_lower");
             doc.scenario_field("matrix", "tridiagonal");
             doc.scenario_field("n", n as u64);

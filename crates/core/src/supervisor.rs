@@ -16,7 +16,7 @@
 //!   failure): PCG → BiCGStab → GMRES(restart).
 //!
 //! Every transition is journaled as a typed [`EscalationRecord`] and
-//! exported into the telemetry schema-v4 `supervisor` section
+//! exported into the telemetry `supervisor` section
 //! ([`fill_supervisor_report`]). The result is either the first
 //! successful solve — annotated with the degradation path and the
 //! accuracy delta against the requested tolerance — or
@@ -301,7 +301,7 @@ impl SupervisedSolveReport {
     }
 }
 
-/// Records a supervised solve into a telemetry report: the schema-v4
+/// Records a supervised solve into a telemetry report: the
 /// `supervisor` escalation journal, the `escalations` counter, and the
 /// winning-configuration scenario fields.
 pub fn fill_supervisor_report(report: &mut TelemetryReport, sup: &SupervisedSolveReport) {
@@ -321,6 +321,30 @@ pub fn fill_supervisor_report(report: &mut TelemetryReport, sup: &SupervisedSolv
             attempt: r.attempt,
             cycles_spent: r.cycles_spent,
         }));
+}
+
+/// Converts the escalation journal into `(cycle, label)` markers for the
+/// Chrome-trace export's supervisor track, one per ladder transition.
+///
+/// The journal records per-attempt cycle *costs*, not positions on a
+/// shared clock, so markers are placed at the cumulative cycles burned
+/// by all failed attempts up to and including each transition — the
+/// simulated time at which the supervisor decided to move. Transitions
+/// whose attempt ran no kernel (capacity rejections) therefore stack at
+/// the same cycle as their predecessor, which is exactly how they
+/// happened.
+pub fn escalation_trace_marks(sup: &SupervisedSolveReport) -> Vec<(u64, String)> {
+    let mut at = 0u64;
+    sup.escalations
+        .iter()
+        .map(|r| {
+            at = at.saturating_add(r.cycles_spent);
+            (
+                at,
+                format!("{}:{}->{} ({})", r.stage, r.from, r.to, r.trigger),
+            )
+        })
+        .collect()
 }
 
 /// A solver-agnostic view of one attempt's outcome.
@@ -1083,7 +1107,7 @@ mod tests {
     }
 
     #[test]
-    fn fill_supervisor_report_exports_schema_v4_section() {
+    fn fill_supervisor_report_exports_supervisor_section() {
         let a = indefinite();
         let b = rhs(a.rows());
         let policy = EscalationPolicy {
@@ -1101,6 +1125,21 @@ mod tests {
         assert_eq!(report.supervisor[0].trigger, "factor-breakdown");
         let text = report.to_json().to_string_pretty();
         assert!(text.contains("\"supervisor\""), "section serialized");
-        assert!(text.contains("\"schema_version\": 4"), "{text}");
+        assert!(text.contains("\"schema_version\": 5"), "{text}");
+
+        // Trace markers follow the journal in order, on a cumulative
+        // simulated-cycle clock.
+        let marks = escalation_trace_marks(&sup);
+        assert_eq!(marks.len(), sup.escalations.len());
+        let cycles: Vec<u64> = marks.iter().map(|(c, _)| *c).collect();
+        let mut sorted = cycles.clone();
+        sorted.sort_unstable();
+        assert_eq!(cycles, sorted, "markers are monotone");
+        assert!(
+            marks[0].1.starts_with("preconditioner:"),
+            "label carries the ladder transition, got {:?}",
+            marks[0].1
+        );
+        assert!(marks[0].1.contains("->"), "{:?}", marks[0].1);
     }
 }

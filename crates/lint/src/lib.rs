@@ -16,7 +16,11 @@
 //!   use `BTreeMap`/`BTreeSet` or sort explicitly.
 //! * [`WALL_CLOCK_IN_SIM`] — `Instant`/`SystemTime`/`thread_rng` in
 //!   `crates/sim` (error). Cycle-level code must be a pure function of
-//!   its inputs and seeds.
+//!   its inputs and seeds. One explicit carve-out: the host-profiling
+//!   module `crates/sim/src/profile.rs` exists to measure *host* wall
+//!   time and may use `Instant`/`SystemTime` (ambient randomness stays
+//!   banned there too); every other sim file must route timing through
+//!   its probes.
 //! * [`UNCHECKED_FLOAT_REDUCTION`] — `.sum::<f64>()` / float `fold`
 //!   reductions in `crates/sim`/`crates/solver` without a nearby
 //!   `// reduction-order:` justification (warning). Float addition is
@@ -399,7 +403,13 @@ pub fn lint_source(path: &str, src: &str) -> Vec<Diagnostic> {
         _ => {}
     }
     if scope == "sim" {
-        rule_wall_clock(&scan, &mut diags);
+        // The host-profiling module is the one sanctioned wall-clock
+        // user in the sim crate: it measures the simulator, never the
+        // simulation. Ambient randomness has no such carve-out.
+        let profile_module = path
+            .trim_start_matches("./")
+            .ends_with("crates/sim/src/profile.rs");
+        rule_wall_clock(&scan, profile_module, &mut diags);
         rule_panic_hot_path(&scan, &mut diags);
         rule_shared_mutable_in_shard(&scan, &mut diags);
     }
@@ -554,10 +564,11 @@ fn rule_nondet_iteration(scan: &Scan, severity: Severity, diags: &mut Vec<Diagno
     }
 }
 
-fn rule_wall_clock(scan: &Scan, diags: &mut Vec<Diagnostic>) {
+fn rule_wall_clock(scan: &Scan, allow_wall_clock: bool, diags: &mut Vec<Diagnostic>) {
     for t in &scan.tokens {
         let Some(w) = ident(t) else { continue };
-        if w == "Instant" || w == "SystemTime" || w == "thread_rng" {
+        let is_clock = w == "Instant" || w == "SystemTime";
+        if (is_clock && !allow_wall_clock) || w == "thread_rng" {
             diags.push(Diagnostic {
                 line: t.line,
                 rule: WALL_CLOCK_IN_SIM,
@@ -935,6 +946,23 @@ fn f(m: &HashMap<u32, u32>) {
         assert_eq!(rules_at(&diags), vec![WALL_CLOCK_IN_SIM]);
         assert_eq!(diags[0].severity, Severity::Error);
         assert!(lint_source("crates/telemetry/src/span.rs", src).is_empty());
+    }
+
+    #[test]
+    fn wall_clock_allows_only_the_profile_module() {
+        // The host-profiling module measures the simulator's own wall
+        // time; `Instant`/`SystemTime` are legal there and only there.
+        let clock = "fn f() { let t = std::time::Instant::now(); let _ = t; }";
+        assert!(lint_source("crates/sim/src/profile.rs", clock).is_empty());
+        assert!(lint_source("./crates/sim/src/profile.rs", clock).is_empty());
+        // A sim file merely *named* like it elsewhere is still flagged.
+        let diags = lint_source("crates/sim/src/profile_helpers.rs", clock);
+        assert_eq!(rules_at(&diags), vec![WALL_CLOCK_IN_SIM]);
+        // Ambient randomness has no carve-out, even in the profile
+        // module.
+        let rng = "fn f() { let r = rand::thread_rng(); let _ = r; }";
+        let diags = lint_source("crates/sim/src/profile.rs", rng);
+        assert_eq!(rules_at(&diags), vec![WALL_CLOCK_IN_SIM]);
     }
 
     #[test]

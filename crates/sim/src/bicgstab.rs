@@ -650,6 +650,14 @@ impl BiCgStabSim {
                 convergence[i].link_activations = al;
             }
         }
+        // Bound the exported convergence history (after the back-fill,
+        // which indexes raw positions) and close the solve-level event
+        // trace with one final sort + compaction pass over the merged
+        // per-kernel segments.
+        crate::telemetry::limit_history(&mut convergence, self.cfg.history_limit);
+        if stats.trace_ev.mask() != 0 {
+            stats.trace_ev.seal();
+        }
         solve_span.record_cycles((cycles_per_iteration * iterations as f64).round() as u64);
         solve_span.annotate("iterations", iterations);
         solve_span.annotate("converged", converged);
@@ -690,11 +698,14 @@ impl BiCgStabSim {
 
     /// An ideal-PE twin config used for fast functional-only kernel runs
     /// of untimed iterations. Faults are stripped: the plan's timeline is
-    /// owned by the timed session and must not replay here.
+    /// owned by the timed session and must not replay here. Tracing is
+    /// stripped too — these runs are off the simulated timeline and their
+    /// stats are discarded, so recording events would only cost time.
     fn cfg_ideal(&self) -> SimConfig {
         SimConfig {
             pe_model: crate::config::PeModel::Ideal,
             faults: None,
+            trace: None,
             ..self.cfg.clone()
         }
     }

@@ -2,6 +2,7 @@
 
 use crate::faults::FaultPlan;
 use azul_mapping::TileGrid;
+use azul_telemetry::trace::TraceConfig;
 
 /// Which processing-element model each tile uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -98,6 +99,23 @@ pub struct SimConfig {
     /// skipped cycles replicate their stall/idle/trace/audit accounting
     /// — and, like [`SimConfig::threads`], absent from telemetry.
     pub fast_forward: bool,
+    /// Cycle-accurate event tracing
+    /// ([`azul_telemetry::trace`]). `None` (the default) keeps the
+    /// zero-trace fast path: every hook is guarded by one branch on an
+    /// empty category mask and no event is ever constructed. `Some`
+    /// records category-filtered [`azul_telemetry::trace::TraceEvent`]s
+    /// into `KernelStats::trace_ev` with deterministic bounded
+    /// sampling; traced output is byte-identical across
+    /// [`SimConfig::threads`], [`SimConfig::fast_forward`] and repeated
+    /// seeded-fault runs.
+    pub trace: Option<TraceConfig>,
+    /// Cap on the per-iteration convergence-history samples a solve
+    /// frontend keeps (`0` = unlimited, the default, which preserves
+    /// byte-exact seed output). When a solve runs more iterations than
+    /// the limit, the history is thinned by deterministic stride
+    /// sampling that always keeps the first and last iterations, so
+    /// week-long solves cannot grow `TelemetryReport` without bound.
+    pub history_limit: usize,
 }
 
 /// Windowed stagnation detector for the iterative-solve frontends.
@@ -199,6 +217,8 @@ impl SimConfig {
             check_invariants: cfg!(debug_assertions),
             threads: 1,
             fast_forward: false,
+            trace: None,
+            history_limit: 0,
         }
     }
 
@@ -268,6 +288,8 @@ mod tests {
         let cfg = SimConfig::azul(TileGrid::square(4));
         assert_eq!(cfg.threads, 1);
         assert!(!cfg.fast_forward);
+        assert!(cfg.trace.is_none(), "tracing is opt-in");
+        assert_eq!(cfg.history_limit, 0, "history is unbounded by default");
     }
 
     #[test]

@@ -457,6 +457,14 @@ impl GmresSim {
                 convergence[i].link_activations = al;
             }
         }
+        // Bound the exported convergence history (after the back-fill,
+        // which indexes raw positions) and close the solve-level event
+        // trace with one final sort + compaction pass over the merged
+        // per-kernel segments.
+        crate::telemetry::limit_history(&mut convergence, self.cfg.history_limit);
+        if stats.trace_ev.mask() != 0 {
+            stats.trace_ev.seal();
+        }
         let converged = converged || final_residual <= run_cfg.tol;
         solve_span.record_cycles((cycles_per_iteration * iterations as f64).round() as u64);
         solve_span.annotate("iterations", iterations);

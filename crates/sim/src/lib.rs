@@ -32,7 +32,11 @@
 //!   breakdowns;
 //! * [`telemetry`] — conversion of [`stats::KernelStats`] (including the
 //!   per-PE/per-link detail collected under
-//!   `SimConfig::detailed_stats`) into `azul-telemetry` reports.
+//!   `SimConfig::detailed_stats`) into `azul-telemetry` reports;
+//! * [`profile`] — host-side self-profiling probes attributing the
+//!   simulator's *wall time* to its components (tick loop, router
+//!   arbitration, PE execute, barrier/commit, fast-forward, stats),
+//!   inert unless a harness enables them.
 //!
 //! # Example
 //!
@@ -62,6 +66,7 @@ pub mod invariants;
 pub mod machine;
 pub mod pcg;
 pub mod pe;
+pub mod profile;
 pub mod program;
 pub mod router;
 pub mod stats;

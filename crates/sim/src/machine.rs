@@ -13,12 +13,24 @@
 use crate::config::SimConfig;
 use crate::faults::{FaultEvent, FaultKind, FaultSession};
 use crate::invariants::{check_router_occupancy, Checker};
-use crate::pe::{OutSink, Pe, PeSkipClass, Trigger};
+use crate::pe::{trace_wake, trigger_code, OutSink, Pe, PeSkipClass, Trigger};
 use crate::program::Program;
 use crate::router::{tick_router, Accept, Delivery, FlitKind, Router};
 use crate::stats::KernelStats;
+use azul_telemetry::trace::{TraceEvent, TraceKind, CAT_FAULT, CAT_KERNEL};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
+
+/// Stable code carried in the `arg` of [`TraceKind::FaultFire`] events.
+fn fault_code(kind: &FaultKind) -> u64 {
+    match kind {
+        FaultKind::SramBitFlip { .. } => 0,
+        FaultKind::LinkDown { .. } => 1,
+        FaultKind::LinkDegrade { .. } => 2,
+        FaultKind::PeStall { .. } => 3,
+        FaultKind::PeKill { .. } => 4,
+    }
+}
 
 /// A structured failure of the simulated machine.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -164,20 +176,27 @@ fn tick_shard(
         err,
     } = sh;
     let lo = *lo;
+    // One flag load per shard-tick, not per tile: host-profiling probes
+    // stay off the per-tile fast path unless a harness enabled them.
+    let profiling = crate::profile::enabled();
     still.clear();
     for &t in bucket.iter() {
         let local = t - lo;
         // Router first: deliveries trigger PE tasks this same cycle.
         deliveries.clear();
-        tick_router(
-            &mut local_routers[local],
-            now,
-            cfg.hop_latency as u64,
-            program,
-            deliveries,
-            outbox,
-            stats,
-        );
+        {
+            let _p =
+                profiling.then(|| crate::profile::scope(crate::profile::Component::RouterTick));
+            tick_router(
+                &mut local_routers[local],
+                now,
+                cfg.hop_latency as u64,
+                program,
+                deliveries,
+                outbox,
+                stats,
+            );
+        }
         for d in deliveries.iter() {
             let trig = match d.flit.kind {
                 FlitKind::X => Trigger::X {
@@ -190,12 +209,14 @@ fn tick_shard(
                 },
             };
             local_pes[local].push_trigger(cfg, trig, stats);
+            trace_wake(stats, now, t as u32, trigger_code(&trig));
         }
         // PE next — unless inside an injected stall/kill window, in
         // which case the router keeps forwarding and triggers keep
         // queueing so the tile stays active (and a permanent kill is
         // observable as a watchdog hang).
         if !(faulting && stalled[local]) {
+            let _p = profiling.then(|| crate::profile::scope(crate::profile::Component::PeTick));
             let tp = program.tile(t as u32);
             local_pes[local].tick(
                 now,
@@ -337,6 +358,17 @@ pub fn run_kernel_checked(
     if cfg.detailed_stats {
         stats.enable_detail(num_tiles);
     }
+    if let Some(tc) = cfg.trace {
+        stats.trace_ev.configure(tc);
+        if stats.trace_ev.wants(CAT_KERNEL) {
+            stats.trace_ev.push(TraceEvent {
+                cycle: 0,
+                tile: 0,
+                kind: TraceKind::KernelBegin,
+                arg: 0,
+            });
+        }
+    }
     let mut inv = Checker::new(cfg);
     let mut out = vec![0.0f64; program.n];
 
@@ -369,6 +401,12 @@ pub fn run_kernel_checked(
                 // Full-width detail arrays: each shard only touches its
                 // own tiles' entries, and merge adds elementwise.
                 shard_stats.enable_detail(num_tiles);
+            }
+            if let Some(tc) = cfg.trace {
+                // Shards collect into private buffers; the postlude
+                // merge concatenates them in shard order and the seal
+                // sorts, so thread count cannot reorder the trace.
+                shard_stats.trace_ev.configure(tc);
             }
             Mutex::new(Shard {
                 lo,
@@ -437,23 +475,23 @@ pub fn run_kernel_checked(
         let tp = program.tile(t as u32);
         for &j in &tp.send_v {
             if program.x_tree[j as usize].is_some() {
-                sh.pe_mut(t)
-                    .push_trigger(cfg, Trigger::SendV { idx: j }, &mut stats);
+                let trig = Trigger::SendV { idx: j };
+                sh.pe_mut(t).push_trigger(cfg, trig, &mut stats);
+                trace_wake(&mut stats, 0, t as u32, trigger_code(&trig));
             }
             if tp.saac.contains_key(&j) {
-                sh.pe_mut(t).push_trigger(
-                    cfg,
-                    Trigger::X {
-                        idx: j,
-                        val: input[j as usize],
-                    },
-                    &mut stats,
-                );
+                let trig = Trigger::X {
+                    idx: j,
+                    val: input[j as usize],
+                };
+                sh.pe_mut(t).push_trigger(cfg, trig, &mut stats);
+                trace_wake(&mut stats, 0, t as u32, trigger_code(&trig));
             }
         }
         for &i in &tp.initial_solves {
-            sh.pe_mut(t)
-                .push_trigger(cfg, Trigger::Solve { idx: i }, &mut stats);
+            let trig = Trigger::Solve { idx: i };
+            sh.pe_mut(t).push_trigger(cfg, trig, &mut stats);
+            trace_wake(&mut stats, 0, t as u32, trigger_code(&trig));
         }
         if sh.pe_ref(t).has_work() {
             activate(t, &mut active, &mut on_list);
@@ -517,6 +555,13 @@ pub fn run_kernel_checked(
                 .collect();
             let mut skip_classes: Vec<(usize, PeSkipClass)> = Vec::new();
 
+            // Host-profiling: one flag load per kernel; the TickLoop
+            // scope encloses every inner probe so component shares can
+            // be expressed against it.
+            let profiling = crate::profile::enabled();
+            let _prof_loop =
+                profiling.then(|| crate::profile::scope(crate::profile::Component::TickLoop));
+
             while !active.is_empty() {
                 // Fault schedule: fire due events, expire windows, re-sync
                 // injected router/PE state when the window set changes.
@@ -524,10 +569,38 @@ pub fn run_kernel_checked(
                 if faulting {
                     let s = session.as_deref_mut().expect("faulting implies session");
                     fired.clear();
+                    let trace_faults = stats.trace_ev.wants(CAT_FAULT);
+                    let prev_windows = if trace_faults {
+                        s.active_windows().to_vec()
+                    } else {
+                        Vec::new()
+                    };
                     if s.advance(now, num_tiles, &mut fired) {
                         sync_fault_state(s, now, &mut guards, &shard_of);
+                        if trace_faults {
+                            // Mark each window that opened this cycle
+                            // (expired ones just vanish from the set).
+                            for &(kind, until) in s.active_windows() {
+                                if !prev_windows.contains(&(kind, until)) {
+                                    stats.trace_ev.push(TraceEvent {
+                                        cycle: now,
+                                        tile: kind.tile(),
+                                        kind: TraceKind::FaultFire,
+                                        arg: fault_code(&kind),
+                                    });
+                                }
+                            }
+                        }
                     }
                     for ev in fired.drain(..) {
+                        if trace_faults {
+                            stats.trace_ev.push(TraceEvent {
+                                cycle: now,
+                                tile: ev.kind.tile(),
+                                kind: TraceKind::FaultFire,
+                                arg: fault_code(&ev.kind),
+                            });
+                        }
                         let FaultKind::SramBitFlip { tile, slot, bit } = ev.kind else {
                             unreachable!("only bit flips are handed to the machine");
                         };
@@ -556,6 +629,8 @@ pub fn run_kernel_checked(
                 // Watchdog: structured deadlock report instead of spinning
                 // to the 500M-cycle deadline (or panicking there). The
                 // signature sums the main ledger and every shard delta.
+                let _prof_stats =
+                    profiling.then(|| crate::profile::scope(crate::profile::Component::Stats));
                 let mut sig_ops = stats.total_ops();
                 let mut sig_src = stats.messages + stats.link_activations;
                 let mut sig_snk = stats.router_traversals;
@@ -603,6 +678,7 @@ pub fn run_kernel_checked(
                         inflight_flits,
                     });
                 }
+                drop(_prof_stats);
 
                 // Idle-cycle fast-forward: on a zero-progress cycle, jump
                 // the clock to the next cycle anything can happen — the
@@ -616,6 +692,8 @@ pub fn run_kernel_checked(
                 // which rotate on every tick and are replayed below — so
                 // skipping to the next event is exact.
                 if cfg.fast_forward && !progressed {
+                    let _prof_ff = profiling
+                        .then(|| crate::profile::scope(crate::profile::Component::FastForward));
                     let mut ne = cfg.max_kernel_cycles;
                     if cfg.watchdog_no_progress_cycles > 0 {
                         ne = ne.min(last_progress.saturating_add(cfg.watchdog_no_progress_cycles));
@@ -723,6 +801,8 @@ pub fn run_kernel_checked(
                 // depend on worker scheduling: first error wins, deferred
                 // link transfers land, buffered output writes land, and
                 // still-busy tiles re-arm.
+                let _prof_commit = profiling
+                    .then(|| crate::profile::scope(crate::profile::Component::BarrierCommit));
                 for g in guards.iter_mut() {
                     if let Some(e) = g.err.take() {
                         if let Some(s) = session.as_deref_mut() {
@@ -755,9 +835,12 @@ pub fn run_kernel_checked(
                     }
                     g.still.clear();
                 }
+                drop(_prof_commit);
 
                 // Progress trace sample (Fig. 17).
                 if cfg.trace_interval > 0 && now.is_multiple_of(cfg.trace_interval) {
+                    let _p =
+                        profiling.then(|| crate::profile::scope(crate::profile::Component::Stats));
                     let mut total = stats.total_ops();
                     for g in guards.iter() {
                         total += g.stats.total_ops();
@@ -792,6 +875,21 @@ pub fn run_kernel_checked(
     // entry always matches the kernel totals.
     if cfg.trace_interval > 0 && stats.trace.last() != Some(&(now, stats.total_ops())) {
         stats.trace.push((now, stats.total_ops()));
+    }
+    // Close and seal the event trace: the KernelEnd marker balances the
+    // cycle-0 KernelBegin, and the seal sorts all shards' events into
+    // canonical order (then applies the bounded-capacity compaction),
+    // erasing any thread-count dependence.
+    if stats.trace_ev.mask() != 0 {
+        if stats.trace_ev.wants(CAT_KERNEL) {
+            stats.trace_ev.push(TraceEvent {
+                cycle: now,
+                tile: 0,
+                kind: TraceKind::KernelEnd,
+                arg: 0,
+            });
+        }
+        stats.trace_ev.seal();
     }
     // Kernel-end invariants: flit conservation (the machine never drops
     // flits — faults delay or corrupt payloads, but every queued flit
@@ -1109,10 +1207,18 @@ mod tests {
             cfg.fast_forward = ff;
             cfg.detailed_stats = true;
             cfg.check_invariants = true;
+            // Event tracing is part of the contract too: the sealed
+            // buffer (events, order and drop accounting) must be
+            // bit-identical across every engine configuration.
+            cfg.trace = Some(azul_telemetry::trace::TraceConfig::default());
             run_kernel(&cfg, prog, &input)
         };
         for prog in [&spmv, &trsv] {
             let base = run(1, false, prog);
+            assert!(
+                !base.1.trace_ev.events.is_empty(),
+                "traced kernel must record events"
+            );
             for threads in [1usize, 3, 16] {
                 for ff in [false, true] {
                     let got = run(threads, ff, prog);

@@ -668,6 +668,16 @@ impl PcgSim {
             }
         }
 
+        // Bound the exported convergence history (`history_limit`; the
+        // back-fill above indexes raw positions, so thinning must come
+        // after it) and close the solve-level event trace: kernel merges
+        // concatenated per-kernel segments with cumulative cycle offsets,
+        // so one final seal re-sorts and compacts the whole timeline.
+        crate::telemetry::limit_history(&mut convergence, self.cfg.history_limit);
+        if stats.trace_ev.mask() != 0 {
+            stats.trace_ev.seal();
+        }
+
         let status = match (converged, breakdown) {
             (true, _) => SolveStatus::Converged,
             (false, Some(kind)) => SolveStatus::Breakdown(kind),

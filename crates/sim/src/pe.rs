@@ -15,10 +15,65 @@
 
 use crate::config::{PeModel, SimConfig};
 use crate::program::{Program, SlotAction, TileProgram};
-use crate::router::{Flit, FlitKind, Router};
+use crate::router::{Flit, FlitKind, Router, PORT_INJECT};
 use crate::stats::{KernelStats, OpKind};
 use azul_mapping::TileId;
+use azul_telemetry::trace::{TraceEvent, TraceKind, CAT_PE, CAT_ROUTER};
 use std::collections::VecDeque;
+
+/// Records a PE operation trace event. One branch on the category mask
+/// when tracing is off (`SimConfig::trace = None` leaves the mask 0).
+#[inline]
+fn trace_op(stats: &mut KernelStats, now: u64, tile: u32, kind: OpKind) {
+    if stats.trace_ev.wants(CAT_PE) {
+        stats.trace_ev.push(TraceEvent {
+            cycle: now,
+            tile,
+            kind: TraceKind::PeOp,
+            arg: kind as u64,
+        });
+    }
+}
+
+/// Records a router-enqueue trace event for a locally injected flit.
+#[inline]
+fn trace_enqueue(stats: &mut KernelStats, now: u64, tile: u32) {
+    if stats.trace_ev.wants(CAT_ROUTER) {
+        stats.trace_ev.push(TraceEvent {
+            cycle: now,
+            tile,
+            kind: TraceKind::RouterEnqueue,
+            arg: PORT_INJECT as u64,
+        });
+    }
+}
+
+/// The trigger discriminant carried by [`TraceKind::PeWake`] events.
+#[inline]
+pub(crate) fn trigger_code(trig: &Trigger) -> u64 {
+    match trig {
+        Trigger::X { .. } => 0,
+        Trigger::Partial { .. } => 1,
+        Trigger::SendV { .. } => 2,
+        Trigger::Solve { .. } => 3,
+    }
+}
+
+/// Records a PE-wake trace event (a trigger landed in the message
+/// buffer). Emitted at the call sites that know the cycle — trigger
+/// delivery in the machine's tick, kernel start, and local self-triggers
+/// — not inside [`Pe::push_trigger`], which has no clock.
+#[inline]
+pub(crate) fn trace_wake(stats: &mut KernelStats, now: u64, tile: u32, code: u64) {
+    if stats.trace_ev.wants(CAT_PE) {
+        stats.trace_ev.push(TraceEvent {
+            cycle: now,
+            tile,
+            kind: TraceKind::PeWake,
+            arg: code,
+        });
+    }
+}
 
 /// A task trigger waiting in the PE's message buffer.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -363,6 +418,7 @@ impl Pe {
                     self.slot_ready[slot as usize] = now + hazard;
                     stats.count_op_at(self.tile, OpKind::Add);
                     stats.accum_rmw_at(self.tile);
+                    trace_op(stats, now, self.tile, OpKind::Add);
                     if self.slot_remaining[slot as usize] == 0 {
                         self.complete_slot(slot, tp, task, out);
                     }
@@ -379,6 +435,7 @@ impl Pe {
                     self.slot_ready[slot as usize] = now + hazard;
                     stats.count_op_at(self.tile, OpKind::Mul);
                     stats.sram_read_at(self.tile); // reciprocal diagonal fetch
+                    trace_op(stats, now, self.tile, OpKind::Mul);
                     if prog.x_tree[target as usize].is_some() {
                         task.pending.push_back(PendingOp::SendX {
                             idx: target,
@@ -392,6 +449,7 @@ impl Pe {
                             val: x,
                         });
                         stats.note_msg_queue_depth(self.tile, self.msg_buffer.len());
+                        trace_wake(stats, now, self.tile, 0);
                     }
                     arith_cost(self, stats);
                     true
@@ -418,6 +476,8 @@ impl Pe {
                     stats.count_op_at(self.tile, OpKind::Send);
                     stats.messages += 1;
                     stats.sram_read_at(self.tile);
+                    trace_op(stats, now, self.tile, OpKind::Send);
+                    trace_enqueue(stats, now, self.tile);
                     true
                 }
                 PendingOp::SendPartial { target, val } => {
@@ -437,6 +497,8 @@ impl Pe {
                     stats.count_op_at(self.tile, OpKind::Send);
                     stats.messages += 1;
                     stats.sram_read_at(self.tile);
+                    trace_op(stats, now, self.tile, OpKind::Send);
+                    trace_enqueue(stats, now, self.tile);
                     true
                 }
             }
@@ -454,6 +516,7 @@ impl Pe {
             stats.count_op_at(self.tile, OpKind::Fmac);
             stats.sram_read_at(self.tile);
             stats.accum_rmw_at(self.tile);
+            trace_op(stats, now, self.tile, OpKind::Fmac);
             if self.slot_remaining[entry.slot as usize] == 0 {
                 self.complete_slot(entry.slot, tp, task, out);
             }
@@ -487,6 +550,7 @@ impl Pe {
                             self.slot_remaining[slot as usize] -= 1;
                             stats.count_op_at(self.tile, OpKind::Add);
                             stats.accum_rmw_at(self.tile);
+                            trace_op(stats, now, self.tile, OpKind::Add);
                             if self.slot_remaining[slot as usize] == 0 {
                                 self.complete_slot(slot, tp, &mut task, out);
                             }
@@ -497,6 +561,7 @@ impl Pe {
                             out.write(target, x);
                             stats.count_op_at(self.tile, OpKind::Mul);
                             stats.sram_read_at(self.tile);
+                            trace_op(stats, now, self.tile, OpKind::Mul);
                             if prog.x_tree[target as usize].is_some() {
                                 task.pending.push_back(PendingOp::SendX {
                                     idx: target,
@@ -509,6 +574,7 @@ impl Pe {
                                     val: x,
                                 });
                                 stats.note_msg_queue_depth(self.tile, self.msg_buffer.len());
+                                trace_wake(stats, now, self.tile, 0);
                             }
                         }
                         PendingOp::SendX { idx, val } => {
@@ -530,6 +596,8 @@ impl Pe {
                             stats.count_op_at(self.tile, OpKind::Send);
                             stats.messages += 1;
                             stats.sram_read_at(self.tile);
+                            trace_op(stats, now, self.tile, OpKind::Send);
+                            trace_enqueue(stats, now, self.tile);
                         }
                         PendingOp::SendPartial { target, val } => {
                             task.pending.pop_front();
@@ -545,6 +613,8 @@ impl Pe {
                             stats.count_op_at(self.tile, OpKind::Send);
                             stats.messages += 1;
                             stats.sram_read_at(self.tile);
+                            trace_op(stats, now, self.tile, OpKind::Send);
+                            trace_enqueue(stats, now, self.tile);
                         }
                     }
                 } else if task.cur < task.end {
@@ -555,6 +625,7 @@ impl Pe {
                     stats.count_op_at(self.tile, OpKind::Fmac);
                     stats.sram_read_at(self.tile);
                     stats.accum_rmw_at(self.tile);
+                    trace_op(stats, now, self.tile, OpKind::Fmac);
                     if self.slot_remaining[entry.slot as usize] == 0 {
                         self.complete_slot(entry.slot, tp, &mut task, out);
                     }

@@ -10,6 +10,7 @@
 
 use crate::program::Program;
 use azul_mapping::TileId;
+use azul_telemetry::trace::{TraceEvent, TraceKind, CAT_ROUTER};
 use std::collections::VecDeque;
 
 /// Message kinds carried by flits.
@@ -329,6 +330,14 @@ pub fn tick_router(
             forwarded |= 1 << dir;
             progressed = true;
             stats.link_out_at(tile, dir);
+            if stats.trace_ev.wants(CAT_ROUTER) {
+                stats.trace_ev.push(TraceEvent {
+                    cycle: now,
+                    tile,
+                    kind: TraceKind::RouterForward,
+                    arg: dir as u64,
+                });
+            }
             let mut copy = flit;
             copy.outbound = false;
             let delay = hop_latency + router.fault_extra_delay;
@@ -349,6 +358,14 @@ pub fn tick_router(
         if all_dirs_done && (delivered || !deliver) {
             router.inputs[port].pop_front();
             stats.router_traversal_at(tile);
+            if stats.trace_ev.wants(CAT_ROUTER) {
+                stats.trace_ev.push(TraceEvent {
+                    cycle: now,
+                    tile,
+                    kind: TraceKind::RouterRetire,
+                    arg: port as u64,
+                });
+            }
         } else if progressed {
             // azul-lint: allow(panic-in-sim-hot-path) the head was peeked above and not popped
             let h = router.inputs[port].front_mut().expect("head still queued");

@@ -1,5 +1,7 @@
 //! Simulation statistics: the raw material of Figs. 11, 21, 22 and 24.
 
+use azul_telemetry::trace::TraceBuf;
+
 /// PE operation kinds (the categories of Fig. 21).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum OpKind {
@@ -106,6 +108,13 @@ pub struct KernelStats {
     /// samples, recorded when `SimConfig::trace_interval > 0`. This is the
     /// data behind Fig. 17's issued-instructions-over-time curves.
     pub trace: Vec<(u64, u64)>,
+    /// Cycle-accurate event trace, recorded when `SimConfig::trace` is
+    /// set (default-disabled: the buffer's empty category mask makes
+    /// every hook a single branch). Sealed — sorted into canonical
+    /// `(cycle, tile, kind, arg)` order and capacity-compacted — at the
+    /// serial end of each kernel, so its content is byte-identical
+    /// across thread counts and fast-forward settings.
+    pub trace_ev: TraceBuf,
     /// Per-PE detail, one entry per tile; empty unless
     /// `SimConfig::detailed_stats` is set.
     pub pe: Vec<PeStats>,
@@ -158,6 +167,7 @@ impl KernelStats {
                 .iter()
                 .map(|&(c, o)| (c + cycle_offset, o + ops_offset)),
         );
+        self.trace_ev.merge(&other.trace_ev, cycle_offset);
         if self.pe.is_empty() {
             self.pe = other.pe.clone();
             self.links = other.links.clone();
@@ -374,6 +384,41 @@ mod tests {
             .windows(2)
             .all(|w| w[0].0 <= w[1].0 && w[0].1 <= w[1].1));
         assert_eq!(a.trace.last().unwrap(), &(a.cycles, a.total_ops()));
+    }
+
+    #[test]
+    fn merge_carries_event_trace_with_cycle_offset() {
+        use azul_telemetry::trace::{TraceConfig, TraceEvent, TraceKind};
+        let mk = |cycles: u64, end: u64| {
+            let mut s = KernelStats {
+                cycles,
+                ..Default::default()
+            };
+            s.trace_ev.configure(TraceConfig::default());
+            s.trace_ev.push(TraceEvent {
+                cycle: 0,
+                tile: 0,
+                kind: TraceKind::KernelBegin,
+                arg: 0,
+            });
+            s.trace_ev.push(TraceEvent {
+                cycle: end,
+                tile: 0,
+                kind: TraceKind::KernelEnd,
+                arg: 0,
+            });
+            s.trace_ev.seal();
+            s
+        };
+        let mut a = mk(100, 100);
+        let b = mk(60, 60);
+        a.merge(&b);
+        let cycles: Vec<u64> = a.trace_ev.events.iter().map(|e| e.cycle).collect();
+        assert_eq!(
+            cycles,
+            vec![0, 100, 100, 160],
+            "second kernel's events shift by the first kernel's cycles"
+        );
     }
 
     #[test]

@@ -13,7 +13,8 @@ use crate::machine::SimError;
 use crate::stats::KernelStats;
 use azul_mapping::TileGrid;
 use azul_telemetry::report::{
-    FaultSample, InvariantSample, LinkEntry, PeEntry, RecoverySample, TelemetryReport,
+    FaultSample, InvariantSample, IterationSample, LinkEntry, PeEntry, RecoverySample,
+    TelemetryReport, TraceSummary,
 };
 
 /// Converts per-PE detail into report entries with grid coordinates.
@@ -162,6 +163,63 @@ pub fn fill_invariant_violation(report: &mut TelemetryReport, err: &SimError) ->
     true
 }
 
+/// Records the event-trace summary of a traced run into the report's
+/// schema-v5 `trace` section. A no-op when the run was untraced (the
+/// buffer's category mask is 0), so untraced reports keep their exact
+/// pre-v5 shape minus only the version bump.
+pub fn fill_trace_report(report: &mut TelemetryReport, stats: &KernelStats) {
+    let buf = &stats.trace_ev;
+    if buf.mask() == 0 {
+        return;
+    }
+    let counts = buf.category_counts();
+    report.trace = Some(TraceSummary {
+        categories: buf.mask(),
+        capacity: buf.capacity() as u64,
+        events: buf.events.len() as u64,
+        dropped: buf.dropped,
+        kernel_events: counts[0],
+        pe_events: counts[1],
+        router_events: counts[2],
+        fault_events: counts[3],
+    });
+}
+
+/// Thins a convergence history to at most `limit` samples in place
+/// (`SimConfig::history_limit`; `0` = keep everything). Deterministic
+/// stride sampling that always keeps the first and last iterations, so
+/// the visible start/end of the solve survives and repeated runs thin
+/// identically.
+pub fn limit_history(samples: &mut Vec<IterationSample>, limit: usize) {
+    if limit == 0 || samples.len() <= limit {
+        return;
+    }
+    if limit == 1 {
+        let last = samples.pop().expect("len > limit >= 1");
+        samples.clear();
+        samples.push(last);
+        return;
+    }
+    // Keep first and last; stride-sample the interior down to
+    // `limit - 2` survivors.
+    let interior = samples.len() - 2;
+    let budget = limit - 2;
+    let last_idx = samples.len() - 1;
+    if budget == 0 {
+        let last = samples.pop().expect("len >= 2");
+        samples.truncate(1);
+        samples.push(last);
+        return;
+    }
+    let stride = interior.div_ceil(budget).max(1);
+    let mut i = 0usize;
+    samples.retain(|_| {
+        let idx = i;
+        i += 1;
+        idx == 0 || idx == last_idx || (idx - 1).is_multiple_of(stride)
+    });
+}
+
 /// Adds the standard scenario fields derived from a [`SimConfig`].
 pub fn describe_config(report: &mut TelemetryReport, cfg: &SimConfig) {
     report.scenario_field("pe_model", format!("{:?}", cfg.pe_model).as_str());
@@ -182,6 +240,106 @@ mod tests {
     use crate::program::Program;
     use azul_mapping::strategies::{Mapper, RoundRobinMapper};
     use azul_sparse::generate;
+
+    fn history(n: usize) -> Vec<IterationSample> {
+        (1..=n)
+            .map(|i| IterationSample {
+                iteration: i,
+                residual: 1.0 / i as f64,
+                cycles: 100 * i as u64,
+                flops: 10 * i as u64,
+                messages: i as u64,
+                link_activations: 2 * i as u64,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn history_limit_zero_and_slack_are_no_ops() {
+        let mut h = history(10);
+        limit_history(&mut h, 0);
+        assert_eq!(h.len(), 10, "limit 0 keeps everything");
+        limit_history(&mut h, 10);
+        assert_eq!(h.len(), 10, "limit == len keeps everything");
+        limit_history(&mut h, 64);
+        assert_eq!(h.len(), 10, "limit > len keeps everything");
+        assert_eq!(h.first().map(|s| s.iteration), Some(1));
+        assert_eq!(h.last().map(|s| s.iteration), Some(10));
+    }
+
+    #[test]
+    fn history_limit_keeps_endpoints_and_strides_interior() {
+        let mut h = history(100);
+        limit_history(&mut h, 12);
+        assert!(h.len() <= 12, "len {} exceeds limit", h.len());
+        assert_eq!(h.first().map(|s| s.iteration), Some(1), "first survives");
+        assert_eq!(h.last().map(|s| s.iteration), Some(100), "last survives");
+        let iters: Vec<usize> = h.iter().map(|s| s.iteration).collect();
+        let mut sorted = iters.clone();
+        sorted.sort_unstable();
+        assert_eq!(iters, sorted, "thinned history stays in order");
+
+        // Degenerate budgets: limit 1 keeps the final sample, limit 2
+        // keeps both endpoints.
+        let mut h = history(9);
+        limit_history(&mut h, 1);
+        assert_eq!(
+            h.iter().map(|s| s.iteration).collect::<Vec<_>>(),
+            vec![9],
+            "limit 1 keeps the converged tail"
+        );
+        let mut h = history(9);
+        limit_history(&mut h, 2);
+        assert_eq!(
+            h.iter().map(|s| s.iteration).collect::<Vec<_>>(),
+            vec![1, 9],
+            "limit 2 keeps the endpoints"
+        );
+    }
+
+    #[test]
+    fn history_limit_is_deterministic() {
+        let mut a = history(777);
+        let mut b = history(777);
+        limit_history(&mut a, 33);
+        limit_history(&mut b, 33);
+        assert_eq!(a, b, "same input and limit thin identically");
+    }
+
+    #[test]
+    fn trace_report_mirrors_buffer_counts() {
+        use azul_telemetry::trace::{TraceConfig, TraceEvent, TraceKind, CAT_ALL};
+
+        let mut stats = KernelStats::default();
+        let mut report = TelemetryReport::default();
+        fill_trace_report(&mut report, &stats);
+        assert!(report.trace.is_none(), "untraced run records no section");
+
+        stats.trace_ev.configure(TraceConfig::default());
+        for (cycle, kind) in [
+            (0, TraceKind::KernelBegin),
+            (1, TraceKind::PeOp),
+            (2, TraceKind::RouterForward),
+            (3, TraceKind::FaultFire),
+            (4, TraceKind::KernelEnd),
+        ] {
+            stats.trace_ev.push(TraceEvent {
+                cycle,
+                tile: 0,
+                kind,
+                arg: 0,
+            });
+        }
+        fill_trace_report(&mut report, &stats);
+        let summary = report.trace.as_ref().expect("traced run records section");
+        assert_eq!(summary.categories, CAT_ALL);
+        assert_eq!(summary.events, 5);
+        assert_eq!(summary.kernel_events, 2);
+        assert_eq!(summary.pe_events, 1);
+        assert_eq!(summary.router_events, 1);
+        assert_eq!(summary.fault_events, 1);
+        assert_eq!(summary.dropped, 0);
+    }
 
     #[test]
     fn report_conversion_preserves_totals() {

@@ -20,6 +20,10 @@
 //!   (the offline stand-in for `serde_json`).
 //! * [`heatmap`] — terminal rendering of per-tile grids and residual
 //!   convergence strips for `azul-report`.
+//! * [`trace`] — deterministic simulated-time event tracing: compact
+//!   per-cycle [`trace::TraceEvent`]s with category filtering and
+//!   bounded deterministic sampling, exported as Chrome trace-event /
+//!   Perfetto JSON ([`trace::chrome_trace_json`]) for `ui.perfetto.dev`.
 //!
 //! A typical producer:
 //!
@@ -47,5 +51,6 @@ pub mod heatmap;
 pub mod json;
 pub mod report;
 pub mod span;
+pub mod trace;
 
 pub use report::TelemetryReport;

@@ -281,7 +281,7 @@ impl ToJson for InvariantSample {
     }
 }
 
-/// One supervised-solve escalation record (schema v4): a single rung
+/// One supervised-solve escalation record: a single rung
 /// transition on one of the supervisor's degradation ladders. The full
 /// `supervisor` section replays the journey from the first configuration
 /// attempted to the one that finally solved (or to exhaustion).
@@ -316,6 +316,45 @@ impl ToJson for EscalationSample {
     }
 }
 
+/// Summary of the cycle-accurate event trace captured during a traced
+/// run (schema v5). The events themselves are exported separately as a
+/// Chrome trace-event document (see [`crate::trace`]); this section
+/// records what was collected so a report alone shows whether (and how
+/// completely) a run was traced.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TraceSummary {
+    /// Category bitmask the run recorded (see [`crate::trace`] `CAT_*`).
+    pub categories: u8,
+    /// Per-kernel event capacity the sampler enforced (0 = unbounded).
+    pub capacity: u64,
+    /// Events retained after deterministic compaction.
+    pub events: u64,
+    /// Events dropped by the bounded-capacity compaction.
+    pub dropped: u64,
+    /// Retained kernel begin/end markers.
+    pub kernel_events: u64,
+    /// Retained PE op/wake events.
+    pub pe_events: u64,
+    /// Retained router enqueue/forward/retire events.
+    pub router_events: u64,
+    /// Retained fault-firing markers.
+    pub fault_events: u64,
+}
+
+impl ToJson for TraceSummary {
+    fn to_json(&self) -> Value {
+        Value::object()
+            .field("categories", u64::from(self.categories))
+            .field("capacity", self.capacity)
+            .field("events", self.events)
+            .field("dropped", self.dropped)
+            .field("kernel_events", self.kernel_events)
+            .field("pe_events", self.pe_events)
+            .field("router_events", self.router_events)
+            .field("fault_events", self.fault_events)
+    }
+}
+
 /// The complete telemetry document for one scenario run.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct TelemetryReport {
@@ -347,13 +386,17 @@ pub struct TelemetryReport {
     /// ladder transition (empty for unsupervised runs and for supervised
     /// runs whose first attempt succeeded).
     pub supervisor: Vec<EscalationSample>,
+    /// Event-trace summary (`None` for untraced runs; the section is
+    /// omitted from the JSON output when absent).
+    pub trace: Option<TraceSummary>,
 }
 
 impl TelemetryReport {
     /// Schema version stamped into the JSON output. Version 2 added the
     /// `faults` and `recoveries` sections; version 3 added `invariants`;
-    /// version 4 added the `supervisor` escalation journal.
-    pub const SCHEMA_VERSION: u32 = 4;
+    /// version 4 added the `supervisor` escalation journal; version 5
+    /// added the optional `trace` event-trace summary.
+    pub const SCHEMA_VERSION: u32 = 5;
 
     /// Adds a scenario field.
     pub fn scenario_field(&mut self, key: &str, value: impl ToJson) {
@@ -421,7 +464,7 @@ impl TelemetryReport {
         for (k, v) in &self.counters {
             counters = counters.field(k, *v);
         }
-        Value::object()
+        let mut doc = Value::object()
             .field("schema_version", Self::SCHEMA_VERSION as u64)
             .field("scenario", scenario)
             .field("phases", &self.phases)
@@ -440,7 +483,11 @@ impl TelemetryReport {
             .field("faults", &self.faults)
             .field("recoveries", &self.recoveries)
             .field("invariants", &self.invariants)
-            .field("supervisor", &self.supervisor)
+            .field("supervisor", &self.supervisor);
+        if let Some(trace) = &self.trace {
+            doc = doc.field("trace", trace);
+        }
+        doc
     }
 
     /// Writes pretty-printed JSON to `path`.
@@ -571,6 +618,32 @@ mod tests {
             sup[1].get("cycles_spent").and_then(Value::as_u64),
             Some(1234)
         );
+    }
+
+    #[test]
+    fn trace_section_is_omitted_until_filled() {
+        let mut report = sample_report();
+        let text = report.to_json().to_string_pretty();
+        assert!(
+            !text.contains("\"trace\""),
+            "untraced reports carry no trace section"
+        );
+        report.trace = Some(TraceSummary {
+            categories: 0x1f,
+            capacity: 65_536,
+            events: 120,
+            dropped: 3,
+            kernel_events: 2,
+            pe_events: 80,
+            router_events: 37,
+            fault_events: 1,
+        });
+        let v = json::parse(&report.to_json().to_string_pretty()).expect("valid JSON");
+        let trace = v.get("trace").expect("trace section present");
+        assert_eq!(trace.get("events").and_then(Value::as_u64), Some(120));
+        assert_eq!(trace.get("dropped").and_then(Value::as_u64), Some(3));
+        assert_eq!(trace.get("pe_events").and_then(Value::as_u64), Some(80));
+        assert_eq!(trace.get("categories").and_then(Value::as_u64), Some(0x1f));
     }
 
     #[test]

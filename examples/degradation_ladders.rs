@@ -7,7 +7,7 @@
 //! pipeline in a bounded, deterministic retry engine: each failure
 //! class walks its own escalation ladder (mapping → larger grid,
 //! IC(0) → SSOR → Jacobi → none, PCG → BiCGStab → GMRES) and every
-//! transition is journaled into the telemetry schema-v4 `supervisor`
+//! transition is journaled into the telemetry `supervisor`
 //! section.
 //!
 //! Run with: `cargo run --release --example degradation_ladders`
@@ -104,7 +104,7 @@ fn main() -> Result<(), azul::AzulError> {
     let sup = SolveSupervisor::with_policy(AzulConfig::small_test(), policy).solve(&hard, &b)?;
     describe("factor breakdown -> preconditioner + solver ladders", &sup);
 
-    // The escalation journal lands in the schema-v4 telemetry report.
+    // The escalation journal lands in the telemetry report.
     let mut report = TelemetryReport::default();
     fill_supervisor_report(&mut report, &sup);
     let out = Path::new("degradation-ladders.json");

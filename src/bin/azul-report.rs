@@ -32,16 +32,25 @@
 //! ladders (mapping, preconditioner, solver) instead of failing.
 //! `--max-attempts N` bounds the retry budget. Every ladder transition
 //! lands in the JSON report's `supervisor` section.
+//!
+//! `--trace trace.json` turns on cycle-accurate event tracing
+//! ([`azul::telemetry::trace`]) and exports the solve's event timeline
+//! in Chrome trace-event format — open it at `ui.perfetto.dev` or
+//! `chrome://tracing`. One track per PE and per router, kernel
+//! begin/end markers, fault instants, and (under `--supervise`) a
+//! supervisor track with one marker per ladder transition. A summary of
+//! the trace also lands in the JSON report's `trace` section.
 
 use azul::mapping::strategies::AzulMapper;
 use azul::mapping::TileGrid;
 use azul::sim::faults::{FaultPlan, RecoveryPolicy};
 use azul::sim::telemetry::{
-    describe_config, fill_fault_report, fill_invariant_report, fill_report,
+    describe_config, fill_fault_report, fill_invariant_report, fill_report, fill_trace_report,
 };
 use azul::sparse::suite::{by_name, Scale};
 use azul::sparse::Csr;
-use azul::supervisor::fill_supervisor_report;
+use azul::supervisor::{escalation_trace_marks, fill_supervisor_report};
+use azul::telemetry::trace::{chrome_trace_json, TraceConfig};
 use azul::telemetry::{heatmap, span, TelemetryReport};
 use azul::{Azul, AzulConfig, EscalationPolicy, MappingStrategy, SolveSupervisor};
 use std::collections::HashMap;
@@ -57,6 +66,7 @@ fn main() -> ExitCode {
         println!("            [--fault-seed N [--fault-events 4] [--fault-window 100000]]");
         println!("            [--no-recovery] [--check-invariants]");
         println!("            [--supervise [--max-attempts 12]]");
+        println!("            [--trace trace.json]");
         return ExitCode::SUCCESS;
     }
     let opts = parse_opts(&args);
@@ -111,6 +121,10 @@ fn main() -> ExitCode {
     if opts.contains_key("check-invariants") {
         cfg.sim.check_invariants = true;
     }
+    let trace_out = opts.get("trace").cloned();
+    if trace_out.is_some() {
+        cfg.sim.trace = Some(TraceConfig::default());
+    }
 
     if opts.contains_key("supervise") {
         return run_supervised(&opts, &name, &a, cfg, tol, &out, quiet);
@@ -149,8 +163,17 @@ fn main() -> ExitCode {
     fill_report(&mut report, &azul.config().sim, &solve.sim.stats);
     fill_fault_report(&mut report, &solve.sim.fault_events, &solve.sim.recoveries);
     fill_invariant_report(&mut report, &solve.sim.stats);
+    fill_trace_report(&mut report, &solve.sim.stats);
     report.absorb_spans(collector.drain());
     report.convergence = solve.sim.convergence.clone();
+
+    if let Some(path) = &trace_out {
+        if let Err(e) = write_trace(path, &solve.sim.stats, (grid * grid) as u32, &[]) {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("event trace written to {path}");
+    }
 
     if !quiet {
         println!(
@@ -274,8 +297,21 @@ fn run_supervised(
     describe_config(&mut report, &solve.sim_config);
     fill_report(&mut report, &solve.sim_config, &solve.stats);
     fill_supervisor_report(&mut report, &solve);
+    fill_trace_report(&mut report, &solve.stats);
     report.absorb_spans(collector.drain());
     report.convergence = solve.convergence.clone();
+
+    if let Some(path) = opts.get("trace") {
+        // The supervisor track marks each ladder transition on the
+        // cumulative attempt timeline.
+        let marks = escalation_trace_marks(&solve);
+        let tiles = solve.grid.num_tiles() as u32;
+        if let Err(e) = write_trace(path, &solve.stats, tiles, &marks) {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("event trace written to {path}");
+    }
 
     if !quiet {
         println!(
@@ -311,6 +347,20 @@ fn run_supervised(
     }
     println!("telemetry report written to {out}");
     ExitCode::SUCCESS
+}
+
+/// Exports a solve's sealed event trace as Chrome trace-event JSON.
+/// Untraced stats still export (an empty but valid document), so a
+/// `--trace` run that recorded nothing is visible rather than silent.
+fn write_trace(
+    path: &str,
+    stats: &azul::sim::KernelStats,
+    num_tiles: u32,
+    marks: &[(u64, String)],
+) -> Result<(), String> {
+    let doc = chrome_trace_json(&stats.trace_ev, num_tiles, marks);
+    std::fs::write(path, doc.to_string_compact())
+        .map_err(|e| format!("failed to write {path}: {e}"))
 }
 
 fn parse_opts(args: &[String]) -> HashMap<String, String> {

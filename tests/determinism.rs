@@ -31,6 +31,7 @@ use azul::sim::telemetry::{
 };
 use azul::sparse::generate;
 use azul::telemetry::report::IterationSample;
+use azul::telemetry::trace::{chrome_trace_json, validate_chrome_trace, TraceConfig};
 use azul::telemetry::TelemetryReport;
 
 fn setup() -> (azul::sparse::Csr, azul::mapping::Placement, TileGrid) {
@@ -186,6 +187,105 @@ fn seeded_plan() -> Option<FaultPlan> {
     Some(FaultPlan::seeded(42, 16, 3, 60_000))
 }
 
+/// Runs one solver of the shared scenario with event tracing on and
+/// returns its exported Chrome trace JSON. The export serializes the
+/// sealed event buffer verbatim, so byte-comparing it across engine
+/// configurations checks the full trace pipeline: hooks, shard merge,
+/// fast-forward transparency, seal ordering, and the JSON writer.
+fn traced_trace_json(solver: &str, threads: usize, ff: bool, faults: Option<FaultPlan>) -> String {
+    let (a, p, grid) = setup();
+    let mut cfg = engine_cfg(grid, threads, ff, faults);
+    cfg.trace = Some(TraceConfig::default());
+    let b = rhs(a.rows());
+    let stats = match solver {
+        "pcg" => {
+            let run_cfg = PcgSimConfig {
+                timed_iterations: 0,
+                ..PcgSimConfig::default()
+            };
+            let sim = PcgSim::build(&a, &p, &cfg).expect("pcg build");
+            sim.try_run(&b, &run_cfg).expect("pcg solve").stats
+        }
+        "bicgstab" => {
+            let run_cfg = BiCgStabSimConfig {
+                timed_iterations: 0,
+                ..BiCgStabSimConfig::default()
+            };
+            let sim = BiCgStabSim::build(&a, &p, &cfg).expect("bicgstab build");
+            sim.try_run(&b, &run_cfg).expect("bicgstab solve").stats
+        }
+        "gmres" => {
+            let run_cfg = GmresSimConfig {
+                timed_iterations: 0,
+                ..GmresSimConfig::default()
+            };
+            let sim = GmresSim::build(&a, &p, &cfg).expect("gmres build");
+            sim.try_run(&b, &run_cfg).expect("gmres solve").stats
+        }
+        other => panic!("unknown solver {other}"),
+    };
+    assert!(
+        !stats.trace_ev.events.is_empty(),
+        "{solver}: traced solve recorded no events"
+    );
+    chrome_trace_json(&stats.trace_ev, grid.num_tiles() as u32, &[]).to_string_compact()
+}
+
+/// Asserts one solver's exported trace is byte-identical across the
+/// engine matrix — {threads 1,3} x {fast-forward off,on} — for both the
+/// fault-free and the seeded-fault scenario.
+fn assert_trace_invariant(solver: &str) {
+    for (label, plan) in [
+        ("fault-free", &(|| None) as &dyn Fn() -> Option<FaultPlan>),
+        ("seeded faults", &seeded_plan),
+    ] {
+        let base = traced_trace_json(solver, 1, false, plan());
+        for (threads, ff) in [(3usize, false), (1, true), (3, true)] {
+            let got = traced_trace_json(solver, threads, ff, plan());
+            assert_eq!(
+                got, base,
+                "{solver} ({label}): exported trace diverged at \
+                 threads={threads} fast_forward={ff}"
+            );
+        }
+    }
+}
+
+#[test]
+fn pcg_trace_export_invariant_to_engine_config() {
+    assert_trace_invariant("pcg");
+}
+
+#[test]
+fn bicgstab_trace_export_invariant_to_engine_config() {
+    assert_trace_invariant("bicgstab");
+}
+
+#[test]
+fn gmres_trace_export_invariant_to_engine_config() {
+    assert_trace_invariant("gmres");
+}
+
+/// Structural audit of one exported trace: timestamps must be globally
+/// monotonic, every kernel `B` must balance an `E`, and every PE and
+/// router of the grid must have a named track.
+#[test]
+fn exported_trace_is_monotonic_and_balanced() {
+    let json = traced_trace_json("pcg", 1, false, seeded_plan());
+    let doc = azul::telemetry::json::parse(&json).expect("export must be valid JSON");
+    let check = validate_chrome_trace(&doc).expect("export must validate");
+    assert!(check.events > 0, "trace has data events");
+    assert!(check.begins > 0, "trace has kernel begin markers");
+    assert_eq!(check.begins, check.ends, "unbalanced kernel B/E markers");
+    let (_, _, grid) = setup();
+    assert!(
+        check.named_tracks >= 2 * grid.num_tiles() as u64,
+        "every PE and router needs a named track: got {} for {} tiles",
+        check.named_tracks,
+        grid.num_tiles()
+    );
+}
+
 #[test]
 fn fault_free_solve_telemetry_is_byte_identical() {
     let (r1, cfg1) = solve(None);
@@ -270,7 +370,7 @@ fn checked_solve_reports_nonzero_audit_counts() {
 /// A supervised solve that walks the preconditioner and solver ladders
 /// must still be byte-deterministic: escalation decisions depend only on
 /// structured errors and simulated cycle counts, never on wall-clock, so
-/// the schema-v4 `supervisor` journal serializes identically every run.
+/// the `supervisor` journal serializes identically every run.
 #[test]
 fn supervised_escalation_telemetry_is_byte_identical() {
     use azul::supervisor::fill_supervisor_report;
