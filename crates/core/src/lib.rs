@@ -40,8 +40,8 @@
 pub mod supervisor;
 
 pub use supervisor::{
-    EscalationPolicy, EscalationRecord, EscalationStage, EscalationTrigger, SolveSupervisor,
-    SolverChoice, SupervisedSolveReport,
+    EscalationPolicy, EscalationRecord, EscalationStage, EscalationTrigger, PreparedRung,
+    SolveSupervisor, SolverChoice, SupervisedSolveReport,
 };
 
 use azul_mapping::strategies::{AzulMapper, BlockMapper, Mapper, RoundRobinMapper, SparsePMapper};
@@ -85,6 +85,17 @@ pub enum AzulError {
     Exhausted {
         /// One entry per failed attempt, in attempt order.
         attempts: Vec<AttemptFailure>,
+    },
+    /// The pipeline was abandoned cooperatively: the
+    /// [`CancelToken`](azul_sim::CancelToken) armed via
+    /// `AzulConfig::sim.cancel` tripped. Not a solver or machine
+    /// failure — the host (a service deadline monitor, a dropped
+    /// client) asked the work to stop. The supervisor treats this as
+    /// terminal: cancellation never escalates a ladder.
+    Cancelled {
+        /// Pipeline stage that observed the cancellation, e.g.
+        /// `"preprocess/coloring"` or `"solve"`.
+        stage: String,
     },
 }
 
@@ -140,6 +151,9 @@ impl std::fmt::Display for AzulError {
                 }
                 Ok(())
             }
+            AzulError::Cancelled { stage } => {
+                write!(f, "solve cancelled during {stage}")
+            }
         }
     }
 }
@@ -156,7 +170,7 @@ impl std::error::Error for AzulError {
             AzulError::Exhausted { attempts } => attempts
                 .last()
                 .map(|a| &a.error as &(dyn std::error::Error + 'static)),
-            AzulError::Input(_) | AzulError::Capacity { .. } => None,
+            AzulError::Input(_) | AzulError::Capacity { .. } | AzulError::Cancelled { .. } => None,
         }
     }
 }
@@ -174,8 +188,19 @@ impl From<SparseError> for AzulError {
 }
 
 impl From<SimError> for AzulError {
+    /// Machine failures wrap as [`AzulError::Sim`]; a cooperative
+    /// [`SimError::Cancelled`] is not a failure of the machine and
+    /// surfaces as the typed [`AzulError::Cancelled`] so callers (the
+    /// supervisor, `azul-serve`) can distinguish "the host asked us to
+    /// stop" from "the simulated hardware broke" without matching
+    /// through the wrapper.
     fn from(e: SimError) -> Self {
-        AzulError::Sim(e)
+        match e {
+            SimError::Cancelled { .. } => AzulError::Cancelled {
+                stage: "solve".into(),
+            },
+            other => AzulError::Sim(other),
+        }
     }
 }
 
@@ -445,6 +470,18 @@ impl Azul {
     /// capacity check. Factor/compile are left to the caller so the
     /// supervisor can reuse one placement across ladder rungs.
     pub(crate) fn preprocess(&self, a: &Csr) -> Result<Preprocessed, AzulError> {
+        // Cooperative cancellation between the expensive host-side
+        // stages: coloring and mapping can dominate wall time on large
+        // operators, and a service must be able to abandon them too.
+        let check_cancel = |stage: &str| -> Result<(), AzulError> {
+            match &self.config.sim.cancel {
+                Some(tok) if tok.is_cancelled() => Err(AzulError::Cancelled {
+                    stage: format!("preprocess/{stage}"),
+                }),
+                _ => Ok(()),
+            }
+        };
+        check_cancel("input-checks")?;
         if a.rows() != a.cols() {
             return Err(AzulError::Input(format!(
                 "matrix must be square, got {}x{}",
@@ -471,6 +508,7 @@ impl Azul {
             out
         };
         let coloring_seconds = t0.elapsed().as_secs_f64();
+        check_cancel("coloring")?;
 
         // 2. Mapping.
         let t1 = Instant::now();
@@ -480,6 +518,7 @@ impl Azul {
             self.config.mapping.mapper().map(&pa, self.config.sim.grid)
         };
         let mapping_seconds = t1.elapsed().as_secs_f64();
+        check_cancel("mapping")?;
 
         // All-SRAM capacity check: every operand must fit on-chip. PCG
         // keeps ~8 dense vectors per element (x, r, p, z, b, Ap and
@@ -938,6 +977,45 @@ mod tests {
             "{ex}"
         );
         assert!(AzulError::Exhausted { attempts: vec![] }.source().is_none());
+        // With several attempts, the chain points at the *final* one:
+        // service-level transience detection inspects exactly this link,
+        // so it must not regress to the first failure.
+        let multi = AzulError::Exhausted {
+            attempts: vec![
+                AttemptFailure {
+                    attempt: 1,
+                    config: "azul@2x2 ic0 pcg".into(),
+                    error: AzulError::Numeric(SolverError::Breakdown("pivot".into())),
+                },
+                AttemptFailure {
+                    attempt: 2,
+                    config: "rr@2x2 jacobi bicgstab".into(),
+                    error: AzulError::Sim(SimError::Deadlock {
+                        cycle: 9,
+                        stalled_pes: vec![1],
+                        inflight_flits: 3,
+                    }),
+                },
+            ],
+        };
+        let last = multi.source().expect("chains to final attempt's error");
+        assert!(
+            last.to_string().contains("simulation"),
+            "final attempt's Sim error, not the first attempt's: {last}"
+        );
+        // ...and walks all the way down to the machine-level leaf.
+        let leaf = last.source().expect("Sim chains to SimError");
+        assert!(leaf.to_string().contains("cycle 9"), "{leaf}");
+        assert!(leaf.source().is_none(), "SimError is the leaf");
+        // Cancellation is a host-side verdict with no deeper cause.
+        let cancelled = AzulError::Cancelled {
+            stage: "solve".into(),
+        };
+        assert!(cancelled.source().is_none());
+        assert!(
+            cancelled.to_string().contains("during solve"),
+            "{cancelled}"
+        );
     }
 
     #[test]

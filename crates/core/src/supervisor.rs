@@ -361,6 +361,34 @@ struct RunOutcome {
     stats: KernelStats,
 }
 
+/// The reusable rung-0 prepare products of a supervised solve: the
+/// colored/permuted matrix, its placement and the rung-0 preconditioner
+/// factor, stamped with the configuration they were built for. Produced
+/// by [`SolveSupervisor::prepare_first_rung`], consumed by
+/// [`SolveSupervisor::solve_prepared`] — the unit a service-level
+/// prepare cache stores and shares across requests hitting the same
+/// operator. Opaque: validity is tied to the matrix it was built from,
+/// which only the caller can key on.
+#[derive(Debug, Clone)]
+pub struct PreparedRung {
+    pre: Preprocessed,
+    factor: Csr,
+    grid: TileGrid,
+    mapping: String,
+    preconditioner: &'static str,
+}
+
+impl PreparedRung {
+    /// Whether this rung still matches the supervisor's rung-0
+    /// configuration (grid, first mapping, first preconditioner). A
+    /// stale seed is ignored by `solve_prepared`, never trusted.
+    fn compatible(&self, sup: &SolveSupervisor) -> bool {
+        self.grid == sup.base.sim.grid
+            && sup.policy.mappings.first().map(MappingStrategy::name) == Some(self.mapping.as_str())
+            && sup.policy.preconditioners.first().map(|p| p.name()) == Some(self.preconditioner)
+    }
+}
+
 /// The bounded, deterministic retry/degradation engine around
 /// prepare + solve. See the [module docs](self) for the ladder
 /// semantics, and [`EscalationPolicy`] for the knobs.
@@ -437,6 +465,70 @@ impl SolveSupervisor {
     /// when no configuration within the policy's bounds converged.
     #[must_use = "a dropped result discards both the solve report and the aggregated failures"]
     pub fn solve(&self, a: &Csr, b: &[f64]) -> Result<SupervisedSolveReport, AzulError> {
+        self.solve_prepared(a, b, None)
+    }
+
+    /// Computes the rung-0 prepare products (coloring/permutation,
+    /// mapping, capacity check, preconditioner factor) without running a
+    /// solve, as a reusable [`PreparedRung`].
+    ///
+    /// This is the unit a service-level prepare cache stores: for
+    /// repeated-operator traffic (same matrix, many right-hand sides)
+    /// the expensive partitioning and factorization run once and every
+    /// subsequent [`SolveSupervisor::solve_prepared`] call starts from
+    /// the seed. A rung-0 failure here (capacity overflow, factor
+    /// breakdown) is *not* terminal for the solve itself — callers fall
+    /// back to the plain [`SolveSupervisor::solve`], which walks the
+    /// degradation ladders.
+    ///
+    /// # Errors
+    ///
+    /// Returns exactly what rung 0 of a supervised solve would hit:
+    /// [`AzulError::Input`], [`AzulError::Capacity`],
+    /// [`AzulError::Numeric`] or [`AzulError::Cancelled`].
+    pub fn prepare_first_rung(&self, a: &Csr) -> Result<PreparedRung, AzulError> {
+        let policy = &self.policy;
+        if policy.mappings.is_empty()
+            || policy.preconditioners.is_empty()
+            || policy.solvers.is_empty()
+        {
+            return Err(AzulError::Input(
+                "escalation policy needs at least one rung on every ladder".into(),
+            ));
+        }
+        let mut cfg = self.base.clone();
+        cfg.mapping = policy.mappings[0].clone();
+        cfg.preconditioner = policy.preconditioners[0];
+        let pre = Azul::new(cfg.clone()).preprocess(a)?;
+        let factor = factor_for(&pre.pa, cfg.preconditioner)?;
+        Ok(PreparedRung {
+            pre,
+            factor,
+            grid: self.base.sim.grid,
+            mapping: cfg.mapping.name().to_string(),
+            preconditioner: cfg.preconditioner.name(),
+        })
+    }
+
+    /// Like [`SolveSupervisor::solve`], but seeds the attempt loop's
+    /// preprocess/factor caches from a [`PreparedRung`] previously
+    /// computed by [`SolveSupervisor::prepare_first_rung`] **on the same
+    /// matrix** — handing it a rung from a different operator silently
+    /// solves the wrong system, so cache keys must cover the matrix
+    /// content (the serve layer hashes it). A seed whose grid, mapping
+    /// or preconditioner no longer matches this supervisor's rung 0 is
+    /// ignored rather than trusted.
+    ///
+    /// # Errors
+    ///
+    /// Identical to [`SolveSupervisor::solve`].
+    #[must_use = "a dropped result discards both the solve report and the aggregated failures"]
+    pub fn solve_prepared(
+        &self,
+        a: &Csr,
+        b: &[f64],
+        seed: Option<&PreparedRung>,
+    ) -> Result<SupervisedSolveReport, AzulError> {
         let policy = &self.policy;
         if policy.mappings.is_empty()
             || policy.preconditioners.is_empty()
@@ -473,11 +565,24 @@ impl SolveSupervisor {
         // The permuted matrix is identical for every rung, so the
         // preprocessing cache survives everything but mapping/grid moves
         // (which only happen while it is still empty), and factors
-        // survive even those.
-        let mut pre: Option<Preprocessed> = None;
-        let mut factor: Option<Csr> = None;
+        // survive even those. A valid seed pre-fills both caches so
+        // repeated-operator traffic skips straight to the solve.
+        let (mut pre, mut factor): (Option<Preprocessed>, Option<Csr>) = match seed {
+            Some(s) if s.compatible(self) => (Some(s.pre.clone()), Some(s.factor.clone())),
+            _ => (Option::None, Option::None),
+        };
 
         for attempt in 1..=policy.max_attempts {
+            // Cooperative cancellation is terminal, never an escalation:
+            // the host asked the solve to stop, so walking a ladder rung
+            // would defy the request.
+            if let Some(tok) = &self.base.sim.cancel {
+                if tok.is_cancelled() {
+                    return Err(AzulError::Cancelled {
+                        stage: "supervise".into(),
+                    });
+                }
+            }
             if attempt > 1 {
                 if let Some(timeout) = policy.wall_timeout {
                     if start.elapsed() >= timeout {
@@ -595,9 +700,16 @@ impl SolveSupervisor {
             };
             match self.run_solver(solver, pre_ref, factor_ref, &cfg.sim, &pb) {
                 Err(sim_err) => {
+                    // A cancelled kernel ends the whole supervised solve,
+                    // typed — it must not be journaled as a sim failure
+                    // or trigger a solver-ladder move.
+                    if matches!(sim_err, SimError::Cancelled { .. }) {
+                        return Err(sim_err.into());
+                    }
                     let cycles_spent = match &sim_err {
                         SimError::Deadlock { cycle, .. } => *cycle,
                         SimError::Invariant { cycle, .. } => *cycle,
+                        SimError::Cancelled { cycle } => *cycle,
                     };
                     failures.push(AttemptFailure {
                         attempt,
@@ -1125,7 +1237,7 @@ mod tests {
         assert_eq!(report.supervisor[0].trigger, "factor-breakdown");
         let text = report.to_json().to_string_pretty();
         assert!(text.contains("\"supervisor\""), "section serialized");
-        assert!(text.contains("\"schema_version\": 5"), "{text}");
+        assert!(text.contains("\"schema_version\": 6"), "{text}");
 
         // Trace markers follow the journal in order, on a cumulative
         // simulated-cycle clock.

@@ -36,11 +36,14 @@
 //!   double-buffered outbox applied at the cycle barrier, never by
 //!   reaching into the global per-tile arrays.
 //! * [`UNWRAP_IN_PIPELINE`] — `.unwrap()` / `.expect(..)` inside
-//!   functions whose name contains `prepare`, `solve` or `factor` in
-//!   `crates/core` or `crates/solver` (warning). The supervised
-//!   degradation ladders can only catch failures that surface as typed
-//!   `AzulError`/`SolverError` values; a panic in the pipeline skips
-//!   every recovery rung. `#[cfg(test)]` modules are exempt.
+//!   functions whose name contains `prepare`, `solve`, `factor`,
+//!   `request`, `schedule`, `admit` or `submit` in `crates/core`,
+//!   `crates/solver` or `crates/serve` (warning). The supervised
+//!   degradation ladders — and, one layer up, the service's typed
+//!   shedding/retry paths — can only catch failures that surface as
+//!   typed `AzulError`/`SolverError`/`ServeError` values; a panic in
+//!   the pipeline or the request path skips every recovery rung and
+//!   kills a worker thread. `#[cfg(test)]` modules are exempt.
 //!
 //! Any finding can be waived in place with
 //! `// azul-lint: allow(<rule>)` on the offending line or up to three
@@ -67,7 +70,8 @@ pub const UNCHECKED_FLOAT_REDUCTION: &str = "unchecked-float-reduction";
 pub const PANIC_IN_SIM_HOT_PATH: &str = "panic-in-sim-hot-path";
 /// Rule: global per-tile arrays indexed inside shard tick functions.
 pub const SHARED_MUTABLE_IN_SHARD: &str = "shared-mutable-in-shard";
-/// Rule: panicking `.unwrap()`/`.expect()` in prepare/solve/factor code.
+/// Rule: panicking `.unwrap()`/`.expect()` in pipeline and service
+/// request-path code.
 pub const UNWRAP_IN_PIPELINE: &str = "unwrap-in-pipeline";
 
 /// Every rule this linter knows, in reporting order.
@@ -416,7 +420,7 @@ pub fn lint_source(path: &str, src: &str) -> Vec<Diagnostic> {
     if scope == "sim" || scope == "solver" {
         rule_float_reduction(&scan, &mut diags);
     }
-    if scope == "core" || scope == "solver" {
+    if scope == "core" || scope == "solver" || scope == "serve" {
         rule_unwrap_in_pipeline(&scan, &mut diags);
     }
 
@@ -697,9 +701,11 @@ fn rule_panic_hot_path(scan: &Scan, diags: &mut Vec<Diagnostic>) {
 }
 
 /// `.unwrap()`/`.expect()` inside prepare/solve/factor functions in the
-/// pipeline crates. A panic there aborts the whole supervised solve
-/// instead of letting the degradation ladders walk to a weaker rung, so
-/// fallible pipeline steps must surface typed errors. `#[cfg(test)]`
+/// pipeline crates, and inside request/schedule/admit/submit functions
+/// in the serve crate. A panic there aborts the whole supervised solve
+/// (or kills a service worker mid-request) instead of letting the
+/// degradation ladders or the typed shedding/retry paths catch the
+/// failure, so fallible steps must surface typed errors. `#[cfg(test)]`
 /// modules are exempt: tests unwrap by design.
 fn rule_unwrap_in_pipeline(scan: &Scan, diags: &mut Vec<Diagnostic>) {
     let toks = &scan.tokens;
@@ -710,7 +716,13 @@ fn rule_unwrap_in_pipeline(scan: &Scan, diags: &mut Vec<Diagnostic>) {
     let mut test_mod_depth: Option<i32> = None;
     let in_pipeline = |stack: &[(String, i32)]| {
         stack.last().is_some_and(|(name, _)| {
-            name.contains("prepare") || name.contains("solve") || name.contains("factor")
+            name.contains("prepare")
+                || name.contains("solve")
+                || name.contains("factor")
+                || name.contains("request")
+                || name.contains("schedule")
+                || name.contains("admit")
+                || name.contains("submit")
         })
     };
     for i in 0..toks.len() {
@@ -1090,9 +1102,47 @@ fn compile(x: Option<u32>) -> u32 {
         );
         assert_eq!(diags[0].line, 3);
         assert!(diags.iter().all(|d| d.severity == Severity::Warning));
-        // The rule covers core and solver, nothing else.
+        // The rule covers core, solver and serve, nothing else.
         assert!(!lint_source("crates/solver/src/fake.rs", src).is_empty());
+        assert!(!lint_source("crates/serve/src/fake.rs", src).is_empty());
         assert!(lint_source(SIM_PATH, src).is_empty());
+    }
+
+    #[test]
+    fn unwrap_in_serve_request_paths_flagged() {
+        // The service's request/scheduler vocabulary is covered: a
+        // panic in any of these kills a worker thread and strands the
+        // request's outcome slot.
+        let src = r#"
+fn run_request(x: Option<u32>) -> u32 {
+    x.unwrap()
+}
+fn schedule_next(x: Option<u32>) -> u32 {
+    x.expect("job queued")
+}
+fn admit(x: Option<u32>) -> u32 {
+    x.unwrap()
+}
+fn submit_batch(x: Option<u32>) -> u32 {
+    x.unwrap()
+}
+fn worker_loop(x: Option<u32>) -> u32 {
+    x.unwrap() // fine: not a request-path name
+}
+"#;
+        let diags = lint_source("crates/serve/src/service.rs", src);
+        assert_eq!(
+            rules_at(&diags),
+            vec![
+                UNWRAP_IN_PIPELINE,
+                UNWRAP_IN_PIPELINE,
+                UNWRAP_IN_PIPELINE,
+                UNWRAP_IN_PIPELINE
+            ]
+        );
+        // The request-path vocabulary applies inside core too (the
+        // scope predicate and the name predicate are orthogonal).
+        assert!(!lint_source("crates/core/src/lib.rs", src).is_empty());
     }
 
     #[test]

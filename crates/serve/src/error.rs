@@ -1,0 +1,130 @@
+//! Typed service-level errors.
+
+use azul_core::AzulError;
+
+/// How the service refused or failed a [`SolveRequest`](crate::SolveRequest).
+///
+/// The first four variants are *load-shedding and lifecycle* rejections —
+/// the request never produced (or never finished) a solve, by the
+/// service's own decision. [`ServeError::Solve`] wraps a terminal solve
+/// failure after the retry policy was exhausted; its `source()` chain
+/// reaches the underlying [`AzulError`] and, through
+/// `AzulError::Exhausted`, the final supervised attempt's root cause, so
+/// service logs show *why* a request failed without string matching.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeError {
+    /// Admission refused: the bounded queue was full. Typed so callers
+    /// can back off instead of parsing a message.
+    QueueFull {
+        /// The queue capacity that was saturated.
+        capacity: usize,
+    },
+    /// The request's wall deadline expired before a result was produced.
+    /// The deadline monitor trips the request's cancel token; the sim
+    /// observes it cooperatively at the next serial commit point.
+    DeadlineExceeded,
+    /// The caller cancelled the request via its
+    /// [`RequestHandle`](crate::RequestHandle).
+    Cancelled,
+    /// The service is draining for shutdown and no longer admits work.
+    Shutdown,
+    /// The solve itself failed after every service-level retry: the
+    /// wrapped error is the last attempt's.
+    Solve(AzulError),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::QueueFull { capacity } => {
+                write!(f, "request shed: admission queue full ({capacity} pending)")
+            }
+            ServeError::DeadlineExceeded => write!(f, "request deadline exceeded"),
+            ServeError::Cancelled => write!(f, "request cancelled"),
+            ServeError::Shutdown => write!(f, "service is shutting down"),
+            ServeError::Solve(e) => write!(f, "solve failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    /// Chains to the wrapped [`AzulError`] for [`ServeError::Solve`];
+    /// the shedding/lifecycle variants are leaves (the service itself
+    /// is the cause).
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Solve(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl ServeError {
+    /// Stable outcome label used in the telemetry `serve` section.
+    pub fn outcome_label(&self) -> &'static str {
+        match self {
+            ServeError::QueueFull { .. } => "queue-full",
+            ServeError::DeadlineExceeded => "deadline",
+            ServeError::Cancelled => "cancelled",
+            ServeError::Shutdown => "shutdown",
+            ServeError::Solve(_) => "failed",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use azul_core::AttemptFailure;
+    use azul_sim::SimError;
+
+    #[test]
+    fn display_names_the_shed_reason() {
+        let e = ServeError::QueueFull { capacity: 4 };
+        assert!(e.to_string().contains("queue full (4 pending)"));
+        assert_eq!(e.outcome_label(), "queue-full");
+    }
+
+    #[test]
+    fn source_chain_reaches_the_final_attempts_root_cause() {
+        // Service log scenario: a request exhausted the supervisor's
+        // ladders; walking source() from the ServeError must reach the
+        // *final* attempt's machine error, not the first attempt's.
+        let first = AzulError::Input("attempt one".into());
+        let last_sim = SimError::Deadlock {
+            cycle: 77,
+            stalled_pes: vec![3],
+            inflight_flits: 1,
+        };
+        let exhausted = AzulError::Exhausted {
+            attempts: vec![
+                AttemptFailure {
+                    attempt: 1,
+                    config: "azul@2x2 ic0 pcg".into(),
+                    error: first,
+                },
+                AttemptFailure {
+                    attempt: 2,
+                    config: "azul@2x2 ic0 bicgstab".into(),
+                    error: AzulError::Sim(last_sim.clone()),
+                },
+            ],
+        };
+        let e = ServeError::Solve(exhausted);
+
+        use std::error::Error;
+        let azul = e.source().expect("Solve chains to AzulError");
+        let attempt = azul.source().expect("Exhausted chains to final attempt");
+        let sim = attempt.source().expect("final attempt chains to SimError");
+        assert_eq!(sim.to_string(), last_sim.to_string());
+        assert!(sim.to_string().contains("cycle 77"));
+    }
+
+    #[test]
+    fn shedding_variants_are_leaves() {
+        use std::error::Error;
+        assert!(ServeError::DeadlineExceeded.source().is_none());
+        assert!(ServeError::Cancelled.source().is_none());
+        assert!(ServeError::Shutdown.source().is_none());
+    }
+}

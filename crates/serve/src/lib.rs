@@ -1,0 +1,39 @@
+//! # azul-serve — solve-as-a-service for the Azul accelerator model
+//!
+//! A robust service front-end over the supervised solver
+//! ([`azul_core::SolveSupervisor`]): many concurrent
+//! [`SolveRequest`]s flow through bounded admission, a deterministic
+//! scheduler and a worker pool, with per-request deadlines,
+//! cooperative cancellation, deterministic retry/backoff for transient
+//! simulator failures, typed load-shedding, a keyed single-flight
+//! prepare cache, and graceful drain on shutdown.
+//!
+//! The module split mirrors the request path:
+//!
+//! * [`error`] — the typed rejection/failure vocabulary
+//!   ([`ServeError`]), `source()`-chained down to the simulator's root
+//!   cause.
+//! * [`cache`] — operator keying ([`cache::operator_key`]) and the
+//!   bounded single-flight prepare cache ([`cache::FlightCache`]).
+//! * [`service`] — admission, scheduling, execution, telemetry
+//!   ([`ServeService`], [`serve_batch`]).
+//!
+//! The headline property is journal determinism: every per-request
+//! journal (telemetry schema v6, `serve` section) is byte-identical
+//! across worker-pool sizes, because every journaled decision is made
+//! serially at admission time. See the `service` module docs for the
+//! contract.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod error;
+pub mod service;
+
+pub use cache::{operator_key, FlightCache};
+pub use error::ServeError;
+pub use service::{
+    serve_batch, BatchReport, RequestHandle, RequestOutcome, RetryPolicy, ServeConfig,
+    ServeService, ServedSolve, SolveRequest,
+};

@@ -320,6 +320,15 @@ impl BiCgStabSim {
         }
 
         while !converged && iterations < run_cfg.max_iters {
+            // Cooperative cancellation between iterations (untimed
+            // iterations never enter the cycle engine's own check).
+            if let Some(tok) = &self.cfg.cancel {
+                if tok.is_cancelled() {
+                    return Err(SimError::Cancelled {
+                        cycle: iter_cycles_acc,
+                    });
+                }
+            }
             if policy.enabled && iterations - ck_iter >= policy.checkpoint_interval.max(1) {
                 ck_x.copy_from_slice(&x);
                 ck_iter = iterations;

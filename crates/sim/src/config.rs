@@ -1,5 +1,6 @@
 //! Simulated hardware configuration (Table III).
 
+use crate::cancel::CancelToken;
 use crate::faults::FaultPlan;
 use azul_mapping::TileGrid;
 use azul_telemetry::trace::TraceConfig;
@@ -109,6 +110,16 @@ pub struct SimConfig {
     /// [`SimConfig::threads`], [`SimConfig::fast_forward`] and repeated
     /// seeded-fault runs.
     pub trace: Option<TraceConfig>,
+    /// Cooperative cancellation ([`crate::cancel`]). `None` (the
+    /// default) keeps the fast path: the tick engine pays one branch
+    /// per cycle and never touches an atomic. `Some` makes the engine
+    /// sample the token once per cycle at the serial commit boundary
+    /// and abort with [`SimError::Cancelled`](crate::SimError) when it
+    /// trips, so a service front-end can abandon a solve mid-kernel
+    /// without tearing a cycle. Like [`SimConfig::threads`], this is a
+    /// host-side control channel, not simulated hardware: it is absent
+    /// from telemetry and ignored by config equality.
+    pub cancel: Option<CancelToken>,
     /// Cap on the per-iteration convergence-history samples a solve
     /// frontend keeps (`0` = unlimited, the default, which preserves
     /// byte-exact seed output). When a solve runs more iterations than
@@ -218,6 +229,7 @@ impl SimConfig {
             threads: 1,
             fast_forward: false,
             trace: None,
+            cancel: None,
             history_limit: 0,
         }
     }
@@ -290,6 +302,23 @@ mod tests {
         assert!(!cfg.fast_forward);
         assert!(cfg.trace.is_none(), "tracing is opt-in");
         assert_eq!(cfg.history_limit, 0, "history is unbounded by default");
+        assert!(cfg.cancel.is_none(), "cancellation is opt-in");
+    }
+
+    #[test]
+    fn cancel_token_is_invisible_to_config_equality() {
+        // Two configs that differ only in their cancel token describe
+        // the same simulated machine.
+        let base = SimConfig::azul(TileGrid::square(4));
+        let mut armed = base.clone();
+        armed.cancel = Some(CancelToken::new());
+        let mut tripped = base.clone();
+        let tok = CancelToken::new();
+        tok.cancel();
+        tripped.cancel = Some(tok);
+        assert_eq!(armed, tripped);
+        // ...but presence vs absence is still visible (Option derive).
+        assert_ne!(base, armed);
     }
 
     #[test]

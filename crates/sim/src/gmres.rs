@@ -219,6 +219,15 @@ impl GmresSim {
         let mut rnorm_hist: Vec<f64> = Vec::new();
 
         'outer: while iterations < run_cfg.max_iters {
+            // Cooperative cancellation between restarts (untimed
+            // iterations never enter the cycle engine's own check).
+            if let Some(tok) = &self.cfg.cancel {
+                if tok.is_cancelled() {
+                    return Err(SimError::Cancelled {
+                        cycle: timed_cycles,
+                    });
+                }
+            }
             let r = dense::sub(b, &self.a.spmv(&x));
             let beta = dense::norm2(&r);
             if !beta.is_finite() || beta > policy.divergence_factor * best_beta.max(run_cfg.tol) {

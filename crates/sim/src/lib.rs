@@ -59,6 +59,7 @@
 #![forbid(unsafe_code)]
 
 pub mod bicgstab;
+pub mod cancel;
 pub mod config;
 pub mod faults;
 pub mod gmres;
@@ -74,6 +75,7 @@ pub mod telemetry;
 pub mod vecops;
 
 pub use bicgstab::{BiCgStabSim, BiCgStabSimConfig, BiCgStabSimReport};
+pub use cancel::CancelToken;
 pub use config::{PeModel, SimConfig};
 pub use faults::{
     FaultEvent, FaultKind, FaultPlan, FaultRecord, FaultSession, RecoveryPolicy, RecoveryRecord,

@@ -60,6 +60,17 @@ pub enum SimError {
         /// Human-readable account of the mismatch.
         detail: String,
     },
+    /// The kernel was abandoned cooperatively: the
+    /// [`CancelToken`](crate::CancelToken) armed via
+    /// [`SimConfig::cancel`] tripped. The flag is sampled once per loop
+    /// iteration at a serial point, so the abort always lands on a cycle
+    /// boundary regardless of `threads` / `fast_forward`. Not a machine
+    /// failure — the host asked the run to stop (deadline, client gone,
+    /// service shutdown).
+    Cancelled {
+        /// Kernel-local cycle at which the cancellation was observed.
+        cycle: u64,
+    },
 }
 
 impl std::fmt::Display for SimError {
@@ -80,6 +91,9 @@ impl std::fmt::Display for SimError {
                 cycle,
                 detail,
             } => write!(f, "invariant `{rule}` violated at cycle {cycle}: {detail}"),
+            SimError::Cancelled { cycle } => {
+                write!(f, "kernel cancelled at cycle {cycle}")
+            }
         }
     }
 }
@@ -563,6 +577,23 @@ pub fn run_kernel_checked(
                 profiling.then(|| crate::profile::scope(crate::profile::Component::TickLoop));
 
             while !active.is_empty() {
+                // Cooperative cancellation: sampled once per iteration at
+                // this serial point — the boundary right after the previous
+                // cycle's barrier commit — so an abort always lands on a
+                // cycle boundary with every cross-shard effect applied, for
+                // any `threads` / `fast_forward` setting. The fast-forward
+                // path re-enters here after its jump, so a long tickless
+                // skip cannot outrun the check. Untripped (or absent)
+                // tokens cost one branch.
+                if let Some(tok) = &cfg.cancel {
+                    if tok.is_cancelled() {
+                        if let Some(s) = session.as_deref_mut() {
+                            s.end_kernel(now);
+                        }
+                        return Err(SimError::Cancelled { cycle: now });
+                    }
+                }
+
                 // Fault schedule: fire due events, expire windows, re-sync
                 // injected router/PE state when the window set changes.
                 let mut suspends_now = false;

@@ -436,6 +436,17 @@ impl PcgSim {
         }
 
         while !converged && iterations < run_cfg.max_iters {
+            // Cooperative cancellation between iterations: untimed
+            // iterations run on the reference kernels and never enter the
+            // cycle engine, so the machine-level check alone could leave a
+            // long functional stretch uncancellable.
+            if let Some(tok) = &self.cfg.cancel {
+                if tok.is_cancelled() {
+                    return Err(SimError::Cancelled {
+                        cycle: setup_cycles + iter_cycles_acc,
+                    });
+                }
+            }
             // Take a checkpoint once the previous interval's iterations
             // all passed the divergence guards.
             if policy.enabled && iterations - ck_iter >= policy.checkpoint_interval.max(1) {

@@ -355,6 +355,58 @@ impl ToJson for TraceSummary {
     }
 }
 
+/// Per-request service journal of a solve-as-a-service run (schema v6).
+/// One `ServeSummary` describes how the `azul-serve` front-end handled a
+/// single [`SolveRequest`]: where it sat in the admission queue, whether
+/// the prepare cache served it, how many service-level attempts ran and
+/// on what deterministic backoff schedule, and the typed outcome.
+///
+/// Determinism contract: every field is a pure function of the request
+/// and its admission position — wall-clock durations (queue wait in
+/// seconds, backoff sleeps) are deliberately absent, following the
+/// supervisor's `wall_timeout` precedent, so a request's journal is
+/// byte-identical across worker-pool sizes and repeated runs.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ServeSummary {
+    /// Caller-assigned request id.
+    pub request_id: String,
+    /// Requests admitted before this one (admission order, the
+    /// deterministic stand-in for wall queue wait).
+    pub queue_position: u64,
+    /// How the prepare cache served the request: `"leader"` (this
+    /// request computed the entry), `"shared"` (attached to another
+    /// request's entry at admission — a hit or a joined single-flight),
+    /// or `"none"` (never reached the cache, e.g. shed at admission).
+    pub prepare: String,
+    /// Service-level attempts executed (1 + retries; 0 when shed).
+    pub attempts: u64,
+    /// Backoff ticks slept before each retry, in order — the
+    /// deterministic capped-exponential schedule actually used.
+    pub backoff_ticks: Vec<u64>,
+    /// Per-attempt simulated cycle budget the request ran under
+    /// (`u64::MAX` = unbounded).
+    pub cycle_budget: u64,
+    /// Terminal outcome: `"success"`, `"queue-full"`, `"deadline"`,
+    /// `"cancelled"`, `"shutdown"` or `"failed"`.
+    pub outcome: String,
+    /// Display of the terminal error (empty on success).
+    pub error: String,
+}
+
+impl ToJson for ServeSummary {
+    fn to_json(&self) -> Value {
+        Value::object()
+            .field("request_id", &self.request_id)
+            .field("queue_position", self.queue_position)
+            .field("prepare", &self.prepare)
+            .field("attempts", self.attempts)
+            .field("backoff_ticks", &self.backoff_ticks)
+            .field("cycle_budget", self.cycle_budget)
+            .field("outcome", &self.outcome)
+            .field("error", &self.error)
+    }
+}
+
 /// The complete telemetry document for one scenario run.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct TelemetryReport {
@@ -389,14 +441,18 @@ pub struct TelemetryReport {
     /// Event-trace summary (`None` for untraced runs; the section is
     /// omitted from the JSON output when absent).
     pub trace: Option<TraceSummary>,
+    /// Solve-as-a-service request journal (`None` outside `azul-serve`;
+    /// the section is omitted from the JSON output when absent).
+    pub serve: Option<ServeSummary>,
 }
 
 impl TelemetryReport {
     /// Schema version stamped into the JSON output. Version 2 added the
     /// `faults` and `recoveries` sections; version 3 added `invariants`;
     /// version 4 added the `supervisor` escalation journal; version 5
-    /// added the optional `trace` event-trace summary.
-    pub const SCHEMA_VERSION: u32 = 5;
+    /// added the optional `trace` event-trace summary; version 6 added
+    /// the optional `serve` per-request service journal.
+    pub const SCHEMA_VERSION: u32 = 6;
 
     /// Adds a scenario field.
     pub fn scenario_field(&mut self, key: &str, value: impl ToJson) {
@@ -486,6 +542,9 @@ impl TelemetryReport {
             .field("supervisor", &self.supervisor);
         if let Some(trace) = &self.trace {
             doc = doc.field("trace", trace);
+        }
+        if let Some(serve) = &self.serve {
+            doc = doc.field("serve", serve);
         }
         doc
     }
@@ -644,6 +703,38 @@ mod tests {
         assert_eq!(trace.get("dropped").and_then(Value::as_u64), Some(3));
         assert_eq!(trace.get("pe_events").and_then(Value::as_u64), Some(80));
         assert_eq!(trace.get("categories").and_then(Value::as_u64), Some(0x1f));
+    }
+
+    #[test]
+    fn serve_section_is_omitted_until_filled() {
+        let mut report = sample_report();
+        let text = report.to_json().to_string_pretty();
+        assert!(
+            !text.contains("\"serve\""),
+            "non-service reports carry no serve section"
+        );
+        report.serve = Some(ServeSummary {
+            request_id: "req-7".into(),
+            queue_position: 3,
+            prepare: "shared".into(),
+            attempts: 2,
+            backoff_ticks: vec![1, 2],
+            cycle_budget: 250_000,
+            outcome: "failed".into(),
+            error: "simulation failure: kernel deadlocked at cycle 9".into(),
+        });
+        let v = json::parse(&report.to_json().to_string_pretty()).expect("valid JSON");
+        let serve = v.get("serve").expect("serve section present");
+        assert_eq!(
+            serve.get("request_id").and_then(Value::as_str),
+            Some("req-7")
+        );
+        assert_eq!(serve.get("queue_position").and_then(Value::as_u64), Some(3));
+        assert_eq!(serve.get("prepare").and_then(Value::as_str), Some("shared"));
+        let ticks = serve.get("backoff_ticks").and_then(Value::as_arr).unwrap();
+        assert_eq!(ticks.len(), 2);
+        assert_eq!(ticks[1].as_u64(), Some(2));
+        assert_eq!(serve.get("outcome").and_then(Value::as_str), Some("failed"));
     }
 
     #[test]

@@ -22,8 +22,8 @@ pub use azul_core::{Azul, AzulConfig, AzulError, MappingStrategy, PreparedSolver
 /// mapping, preconditioner, and solver layers.
 pub use azul_core::supervisor;
 pub use azul_core::{
-    EscalationPolicy, EscalationRecord, EscalationStage, EscalationTrigger, SolveSupervisor,
-    SolverChoice, SupervisedSolveReport,
+    EscalationPolicy, EscalationRecord, EscalationStage, EscalationTrigger, PreparedRung,
+    SolveSupervisor, SolverChoice, SupervisedSolveReport,
 };
 
 /// Sparse-matrix substrate.
@@ -46,3 +46,7 @@ pub use azul_models as models;
 
 /// Observability: spans, telemetry reports, JSON export, heatmaps.
 pub use azul_telemetry as telemetry;
+
+/// Solve-as-a-service front-end: bounded admission, deadlines,
+/// cancellation, retry/backoff, overload shedding, prepare caching.
+pub use azul_serve as serve;

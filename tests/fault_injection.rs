@@ -263,3 +263,74 @@ fn seeded_plans_reproduce_end_to_end() {
     assert_eq!(r1.iterations, r2.iterations);
     assert_eq!(r1.x, r2.x);
 }
+
+mod fault_soak {
+    //! Randomized fault soak (satellite of the serve PR): arbitrary
+    //! seeded [`FaultPlan`]s thrown at the full supervised-solve ladder
+    //! must always terminate with either a success or a *typed*
+    //! [`AzulError`] — never a panic and never a hang. The watchdog and
+    //! the attempt cap bound every case's runtime, so "terminates" is
+    //! enforced by construction, not by a timeout harness.
+
+    use azul::sim::faults::FaultPlan;
+    use azul::sparse::generate;
+    use azul::{AzulConfig, AzulError, EscalationPolicy, SolveSupervisor};
+    use proptest::prelude::*;
+
+    fn rhs(n: usize) -> Vec<f64> {
+        (0..n)
+            .map(|i| ((i * 37 % 19) as f64) / 19.0 + 0.5)
+            .collect()
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        #[test]
+        fn random_fault_plans_yield_success_or_typed_errors(
+            seed in 0u64..1 << 32,
+            events in 1usize..=5,
+            window in 5_000u64..60_000,
+        ) {
+            let a = generate::grid_laplacian_2d(8, 8);
+            let b = rhs(a.rows());
+            let mut cfg = AzulConfig::small_test();
+            let tiles = cfg.sim.grid.num_tiles();
+            cfg.sim.faults = Some(FaultPlan::seeded(seed, tiles, events, window));
+            let policy = EscalationPolicy {
+                max_attempts: 4,
+                ..EscalationPolicy::default()
+            };
+            let sup = SolveSupervisor::with_policy(cfg, policy);
+            match sup.solve(&a, &b) {
+                Ok(report) => {
+                    prop_assert!(report.final_residual.is_finite());
+                    prop_assert!(!report.x.iter().any(|v| v.is_nan()));
+                }
+                Err(err) => {
+                    // Every failure is a typed, displayable variant whose
+                    // source() chain bottoms out without panicking.
+                    let rendered = err.to_string();
+                    prop_assert!(!rendered.is_empty());
+                    let mut cause: Option<&(dyn std::error::Error + 'static)> =
+                        std::error::Error::source(&err);
+                    let mut hops = 0;
+                    while let Some(c) = cause {
+                        hops += 1;
+                        prop_assert!(hops < 16, "cyclic source chain");
+                        cause = c.source();
+                    }
+                    prop_assert!(matches!(
+                        err,
+                        AzulError::Input(_)
+                            | AzulError::Capacity { .. }
+                            | AzulError::Numeric(_)
+                            | AzulError::Sim(_)
+                            | AzulError::Exhausted { .. }
+                            | AzulError::Cancelled { .. }
+                    ));
+                }
+            }
+        }
+    }
+}
