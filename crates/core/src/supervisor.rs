@@ -709,6 +709,7 @@ impl SolveSupervisor {
                     let cycles_spent = match &sim_err {
                         SimError::Deadlock { cycle, .. } => *cycle,
                         SimError::Invariant { cycle, .. } => *cycle,
+                        SimError::MisroutedTrigger { cycle, .. } => *cycle,
                         SimError::Cancelled { cycle } => *cycle,
                     };
                     failures.push(AttemptFailure {

@@ -126,10 +126,12 @@ pub fn coarsen_once(
         pin_buf.dedup();
         if pin_buf.len() >= 2 {
             b.add_net(hg.net_weight(e), &pin_buf)
+                // azul-lint: allow(unwrap-in-pipeline) pins are remapped vertex ids, in range by construction
                 .expect("coarse pins are valid by construction");
         }
     }
     Some(CoarseLevel {
+        // azul-lint: allow(unwrap-in-pipeline) builder saw only validated nets, finalize cannot fail
         hg: b.finalize().expect("coarse hypergraph is well-formed"),
         coarse_of,
     })

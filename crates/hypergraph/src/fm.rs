@@ -238,6 +238,7 @@ pub fn refine(hg: &Hypergraph, bis: &mut Bisection, limits: &SideLimits, passes:
 
         // Roll back to the best prefix.
         while log.len() > best_len {
+            // azul-lint: allow(unwrap-in-pipeline) loop guard: log.len() > best_len >= 0
             let v = log.pop().unwrap();
             bis.apply_move(hg, v, &mut crossed);
         }

@@ -94,12 +94,14 @@ fn multilevel_bisect(hg: &Hypergraph, frac: f64, config: &PartitionConfig, seed:
     let mut owned: Vec<Hypergraph> = Vec::new();
     while let Some(lvl) = coarsen_once(current, config, &mut rng) {
         levels.push(lvl);
+        // azul-lint: allow(unwrap-in-pipeline) both vectors were pushed to just above
         owned.push(levels.last().unwrap().hg.clone());
         current = owned.last().unwrap();
     }
     let coarsest: &Hypergraph = if owned.is_empty() {
         hg
     } else {
+        // azul-lint: allow(unwrap-in-pipeline) non-empty checked by the branch
         owned.last().unwrap()
     };
 
@@ -115,6 +117,7 @@ fn multilevel_bisect(hg: &Hypergraph, frac: f64, config: &PartitionConfig, seed:
             best = Some(bis);
         }
     }
+    // azul-lint: allow(unwrap-in-pipeline) the loop above runs at least once (`max(1)`)
     let mut side = best.expect("at least one initial try").side;
 
     // Uncoarsening with FM at each level.
@@ -162,9 +165,11 @@ fn induced(hg: &Hypergraph, keep: &[usize]) -> Hypergraph {
         }
         if buf.len() >= 2 {
             b.add_net(hg.net_weight(e), &buf)
+                // azul-lint: allow(unwrap-in-pipeline) pins come from the side's own remap table
                 .expect("induced pins are valid");
         }
     }
+    // azul-lint: allow(unwrap-in-pipeline) builder saw only validated nets, finalize cannot fail
     b.finalize().expect("induced hypergraph is well-formed")
 }
 

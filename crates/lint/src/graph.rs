@@ -1,0 +1,558 @@
+//! Phase 2: the workspace call graph and reachability engine.
+//!
+//! Builds one graph over every function phase 1 extracted, resolving
+//! call sites to workspace functions by name with a small set of
+//! documented heuristics, then computes a per-function *fixpoint cache*
+//! of which sink kinds are reachable through any call chain. Rules walk
+//! the graph only from roots whose cache says a relevant sink exists,
+//! so the whole-workspace analysis stays well under a second.
+//!
+//! # Name resolution (best effort, by design)
+//!
+//! * A **method call** `recv.f(..)` resolves to every workspace
+//!   function named `f` declared inside an `impl`/`trait` block. For
+//!   names that collide with common `std` container/iterator methods
+//!   (`push`, `insert`, `map`, `iter`, ...) resolution is restricted
+//!   to the calling crate — otherwise every `.map(..)` in the tree
+//!   would edge into `mapping::Mapper::map`.
+//! * A **qualified call** `Type::f(..)` resolves to `f` in an `impl`
+//!   of `Type`; `module::f(..)` to `f` declared under a module segment
+//!   named `module`; `Self::f(..)` within the caller's impl type;
+//!   `crate::`/`self::`/`super::` to the calling crate.
+//! * An **unqualified free call** `f(..)` resolves to free functions
+//!   only (a method named `f` does not shadow in).
+//! * Candidates in the caller's file win over candidates elsewhere in
+//!   the caller's crate, which win over the rest of the workspace;
+//!   only the best tier keeps its edges.
+//! * Test functions are never resolution targets for non-test callers.
+//!
+//! Unresolved calls (std, closures, trait objects across crates) simply
+//! contribute no edge: the analysis under-approximates rather than
+//! guessing, and the limits are documented in
+//! `docs/STATIC_ANALYSIS.md`.
+
+use crate::facts::{FileFacts, FnFact, Sink, SinkKind};
+use std::collections::BTreeMap;
+
+/// Method names so common on `std` types that cross-crate resolution
+/// by bare name would be noise, not signal.
+const COMMON_STD_METHODS: [&str; 58] = [
+    "append",
+    "back",
+    "clear",
+    "clone",
+    "cmp",
+    "contains",
+    "contains_key",
+    "default",
+    "drain",
+    "end",
+    "entry",
+    "eq",
+    "err",
+    "expect",
+    "extend",
+    "filter",
+    "find",
+    "first",
+    "fmt",
+    "fold",
+    "from",
+    "front",
+    "get",
+    "get_mut",
+    "hash",
+    "insert",
+    "into",
+    "is_empty",
+    "iter",
+    "iter_mut",
+    "join",
+    "keys",
+    "last",
+    "len",
+    "lock",
+    "map",
+    "new",
+    "next",
+    "ok",
+    "partial_cmp",
+    "pop",
+    "pop_back",
+    "pop_front",
+    "push",
+    "push_back",
+    "push_front",
+    "read",
+    "remove",
+    "replace",
+    "source",
+    "start",
+    "take",
+    "then",
+    "unwrap",
+    "unwrap_or",
+    "unwrap_or_default",
+    "unwrap_or_else",
+    "write",
+];
+
+/// The fact database for a set of files, with a flat function index.
+pub struct Database {
+    pub(crate) files: Vec<FileFacts>,
+    /// Global function id → (file index, fn index within file).
+    pub(crate) fns: Vec<(usize, usize)>,
+}
+
+impl Database {
+    /// Builds the database from `(path, source)` pairs. Files are
+    /// processed in the order given; callers should sort paths first
+    /// for deterministic ids.
+    pub fn from_sources<P: AsRef<str>, S: AsRef<str>>(sources: &[(P, S)]) -> Database {
+        let files: Vec<FileFacts> = sources
+            .iter()
+            .map(|(p, s)| crate::facts::extract(p.as_ref(), s.as_ref()))
+            .collect();
+        let mut fns = Vec::new();
+        for (fi, f) in files.iter().enumerate() {
+            for gi in 0..f.fns.len() {
+                fns.push((fi, gi));
+            }
+        }
+        Database { files, fns }
+    }
+
+    pub(crate) fn fn_fact(&self, gid: usize) -> &FnFact {
+        let (fi, gi) = self.fns[gid];
+        &self.files[fi].fns[gi]
+    }
+
+    pub(crate) fn file_of(&self, gid: usize) -> &FileFacts {
+        &self.files[self.fns[gid].0]
+    }
+
+    /// Path-qualified names of every function, sorted.
+    pub fn functions(&self) -> Vec<String> {
+        let mut v: Vec<String> = (0..self.fns.len())
+            .map(|g| self.fn_fact(g).qualified.clone())
+            .collect();
+        v.sort();
+        v
+    }
+}
+
+/// One resolved call edge: callee id plus the first call-site line.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Edge {
+    pub(crate) callee: usize,
+    pub(crate) line: u32,
+}
+
+/// The workspace call graph plus its reachability fixpoint cache.
+pub struct CallGraph {
+    /// Caller gid → sorted, deduplicated callee edges.
+    pub(crate) edges: Vec<Vec<Edge>>,
+    /// Fixpoint cache: bitmask of [`SinkKind`]s reachable from each
+    /// function through any call chain (own sinks included).
+    pub(crate) reach: Vec<u16>,
+}
+
+pub(crate) const fn kind_bit(kind: SinkKind) -> u16 {
+    1 << (kind as u16)
+}
+
+impl CallGraph {
+    pub fn build(db: &Database) -> CallGraph {
+        // Indexes for resolution.
+        let mut by_name: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+        for gid in 0..db.fns.len() {
+            by_name.entry(&db.fn_fact(gid).name).or_default().push(gid);
+        }
+
+        let mut edges: Vec<Vec<Edge>> = vec![Vec::new(); db.fns.len()];
+        for (caller, out) in edges.iter_mut().enumerate() {
+            let cf = db.fn_fact(caller);
+            let cfile = db.file_of(caller);
+            for call in &cf.calls {
+                let targets = resolve(db, &by_name, caller, cf, cfile, call);
+                for t in targets {
+                    if t != caller {
+                        out.push(Edge {
+                            callee: t,
+                            line: call.line,
+                        });
+                    }
+                }
+            }
+            out.sort_by_key(|e| (e.callee, e.line));
+            out.dedup_by_key(|e| e.callee);
+        }
+
+        // Fixpoint: propagate reachable sink kinds up the (reversed)
+        // graph with a worklist until nothing changes. Test functions
+        // contribute no facts — their sinks are exempt everywhere.
+        let mut reach: Vec<u16> = (0..db.fns.len())
+            .map(|g| {
+                let f = db.fn_fact(g);
+                if f.is_test {
+                    0
+                } else {
+                    f.sinks
+                        .iter()
+                        .map(|s| kind_bit(s.kind))
+                        .fold(0, |a, b| a | b)
+                }
+            })
+            .collect();
+        let mut rev: Vec<Vec<usize>> = vec![Vec::new(); db.fns.len()];
+        for (caller, es) in edges.iter().enumerate() {
+            for e in es {
+                rev[e.callee].push(caller);
+            }
+        }
+        let mut work: Vec<usize> = (0..db.fns.len()).filter(|&g| reach[g] != 0).collect();
+        while let Some(g) = work.pop() {
+            let mask = reach[g];
+            for &caller in &rev[g] {
+                if reach[caller] | mask != reach[caller] {
+                    reach[caller] |= mask;
+                    work.push(caller);
+                }
+            }
+        }
+
+        CallGraph { edges, reach }
+    }
+
+    /// Every resolved edge as `(caller, callee)` qualified-name pairs,
+    /// sorted — the golden-file surface for resolution regressions.
+    pub fn edges_named(&self, db: &Database) -> Vec<(String, String)> {
+        let mut v = Vec::new();
+        for (caller, es) in self.edges.iter().enumerate() {
+            for e in es {
+                v.push((
+                    db.fn_fact(caller).qualified.clone(),
+                    db.fn_fact(e.callee).qualified.clone(),
+                ));
+            }
+        }
+        v.sort();
+        v.dedup();
+        v
+    }
+
+    /// Qualified names of every function reachable from the function
+    /// with qualified name `root` (the root included), sorted.
+    pub fn reachable_named(&self, db: &Database, root: &str) -> Vec<String> {
+        let Some(start) = (0..db.fns.len()).find(|&g| db.fn_fact(g).qualified == root) else {
+            return Vec::new();
+        };
+        let order = self.bfs(start);
+        let mut v: Vec<String> = order
+            .iter()
+            .map(|&(g, _)| db.fn_fact(g).qualified.clone())
+            .collect();
+        v.sort();
+        v.dedup();
+        v
+    }
+
+    /// Deterministic BFS from `root`: visit order follows sorted edge
+    /// lists. Returns `(gid, parent_index_into_result)` with the root
+    /// at index 0 (parent 0).
+    pub(crate) fn bfs(&self, root: usize) -> Vec<(usize, usize)> {
+        let mut seen = vec![false; self.edges.len()];
+        let mut out = vec![(root, 0usize)];
+        seen[root] = true;
+        let mut head = 0usize;
+        while head < out.len() {
+            let (g, _) = out[head];
+            for e in &self.edges[g] {
+                if !seen[e.callee] {
+                    seen[e.callee] = true;
+                    out.push((e.callee, head));
+                }
+            }
+            head += 1;
+        }
+        out
+    }
+
+    /// The call-site line recorded on the edge `caller → callee`.
+    pub(crate) fn edge_line(&self, caller: usize, callee: usize) -> u32 {
+        self.edges[caller]
+            .iter()
+            .find(|e| e.callee == callee)
+            .map(|e| e.line)
+            .unwrap_or(0)
+    }
+}
+
+/// Resolution heuristics; see the module docs for the contract.
+fn resolve(
+    db: &Database,
+    by_name: &BTreeMap<&str, Vec<usize>>,
+    caller: usize,
+    cf: &FnFact,
+    cfile: &FileFacts,
+    call: &crate::facts::CallSite,
+) -> Vec<usize> {
+    let Some(all) = by_name.get(call.name.as_str()) else {
+        return Vec::new();
+    };
+    let caller_file = db.fns[caller].0;
+    let mut cands: Vec<usize> = all
+        .iter()
+        .copied()
+        .filter(|&g| g != caller)
+        // Production code never resolves into test helpers.
+        .filter(|&g| cf.is_test || !db.fn_fact(g).is_test)
+        .collect();
+
+    if call.method {
+        cands.retain(|&g| db.fn_fact(g).in_impl.is_some());
+        if COMMON_STD_METHODS.contains(&call.name.as_str()) {
+            cands.retain(|&g| db.file_of(g).scope == cfile.scope);
+        }
+    } else if let Some(last) = call.qualifier.last() {
+        match last.as_str() {
+            "Self" => cands.retain(|&g| db.fn_fact(g).in_impl == cf.in_impl),
+            "crate" | "self" | "super" => {
+                cands.retain(|&g| db.file_of(g).scope == cfile.scope);
+            }
+            seg => {
+                // `Type::f` beats `module::f` when both could match.
+                let in_type: Vec<usize> = cands
+                    .iter()
+                    .copied()
+                    .filter(|&g| db.fn_fact(g).in_impl.as_deref() == Some(seg))
+                    .collect();
+                if !in_type.is_empty() {
+                    cands = in_type;
+                } else {
+                    // A module segment of the qualified path, or the
+                    // crate itself under its extern name
+                    // (`azul_telemetry::stamp` → scope `telemetry`).
+                    let crate_name = seg.strip_prefix("azul_").unwrap_or(seg);
+                    cands.retain(|&g| {
+                        let q = &db.fn_fact(g).qualified;
+                        q.split("::").any(|s| s == seg) || db.file_of(g).scope == crate_name
+                    });
+                }
+            }
+        }
+    } else {
+        // Unqualified free call: free functions only.
+        cands.retain(|&g| db.fn_fact(g).in_impl.is_none());
+    }
+
+    // Tier: same file > same crate > rest; keep the best tier only.
+    let tier = |g: usize| {
+        if db.fns[g].0 == caller_file {
+            0
+        } else if db.file_of(g).scope == cfile.scope {
+            1
+        } else {
+            2
+        }
+    };
+    if let Some(best) = cands.iter().copied().map(tier).min() {
+        cands.retain(|&g| tier(g) == best);
+    }
+    cands
+}
+
+/// A sink found by walking the graph: the chain of functions from a
+/// root to the function holding the sink.
+pub(crate) struct ReachedSink<'a> {
+    /// Function gids from root to sink holder, inclusive.
+    pub(crate) chain: Vec<usize>,
+    pub(crate) sink: &'a Sink,
+}
+
+/// Walks the graph from `root` and returns every sink (on a non-test
+/// function) matching `kinds` + `accept`, with its shortest call chain.
+pub(crate) fn reached_sinks<'a>(
+    db: &'a Database,
+    graph: &CallGraph,
+    root: usize,
+    kinds: u16,
+    accept: impl Fn(&FileFacts, &FnFact, &Sink) -> bool,
+) -> Vec<ReachedSink<'a>> {
+    if graph.reach[root] & kinds == 0 {
+        return Vec::new();
+    }
+    let order = graph.bfs(root);
+    let mut out = Vec::new();
+    for (idx, &(g, _)) in order.iter().enumerate() {
+        let f = db.fn_fact(g);
+        if f.is_test {
+            continue;
+        }
+        let file = db.file_of(g);
+        for sink in &f.sinks {
+            if kind_bit(sink.kind) & kinds == 0 || !accept(file, f, sink) {
+                continue;
+            }
+            // Rebuild the BFS-shortest chain root → ... → g.
+            let mut chain = Vec::new();
+            let mut at = idx;
+            loop {
+                chain.push(order[at].0);
+                if at == 0 {
+                    break;
+                }
+                at = order[at].1;
+            }
+            chain.reverse();
+            out.push(ReachedSink { chain, sink });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn db(files: &[(&str, &str)]) -> Database {
+        Database::from_sources(files)
+    }
+
+    #[test]
+    fn free_calls_resolve_same_file_first() {
+        let d = db(&[
+            (
+                "crates/sim/src/a.rs",
+                "fn helper() {}\nfn caller() { helper(); }\n",
+            ),
+            ("crates/sim/src/b.rs", "fn helper() {}\n"),
+        ]);
+        let g = CallGraph::build(&d);
+        assert_eq!(
+            g.edges_named(&d),
+            vec![("sim::a::caller".to_string(), "sim::a::helper".to_string())]
+        );
+    }
+
+    #[test]
+    fn cross_file_and_cross_crate_calls_resolve() {
+        let d = db(&[
+            ("crates/sim/src/a.rs", "fn caller() { far_helper(); }\n"),
+            ("crates/solver/src/k.rs", "pub fn far_helper() {}\n"),
+        ]);
+        let g = CallGraph::build(&d);
+        assert_eq!(
+            g.edges_named(&d),
+            vec![(
+                "sim::a::caller".to_string(),
+                "solver::k::far_helper".to_string()
+            )]
+        );
+    }
+
+    #[test]
+    fn method_calls_do_not_resolve_to_free_functions() {
+        let d = db(&[(
+            "crates/sim/src/a.rs",
+            r#"
+fn probe() {}
+struct S;
+impl S {
+    fn probe(&self) {}
+}
+fn caller(s: &S) { s.probe(); }
+fn caller2() { probe(); }
+"#,
+        )]);
+        let g = CallGraph::build(&d);
+        assert_eq!(
+            g.edges_named(&d),
+            vec![
+                ("sim::a::caller".to_string(), "sim::a::S::probe".to_string()),
+                ("sim::a::caller2".to_string(), "sim::a::probe".to_string()),
+            ]
+        );
+    }
+
+    #[test]
+    fn common_std_method_names_stay_in_crate() {
+        let d = db(&[
+            (
+                "crates/telemetry/src/t.rs",
+                "pub struct Buf;\nimpl Buf {\n    pub fn push(&mut self, x: u32) {}\n}\n",
+            ),
+            (
+                "crates/sim/src/a.rs",
+                "fn caller(v: &mut Vec<u32>) { v.push(1); }\n",
+            ),
+            (
+                "crates/telemetry/src/u.rs",
+                "use super::Buf;\nfn local(b: &mut Buf) { b.push(2); }\n",
+            ),
+        ]);
+        let g = CallGraph::build(&d);
+        // sim's `.push` does NOT edge into telemetry's Buf::push, but
+        // telemetry's own caller does.
+        assert_eq!(
+            g.edges_named(&d),
+            vec![(
+                "telemetry::u::local".to_string(),
+                "telemetry::t::Buf::push".to_string()
+            )]
+        );
+    }
+
+    #[test]
+    fn recursion_terminates_and_reaches_sinks() {
+        let d = db(&[(
+            "crates/sim/src/a.rs",
+            r#"
+fn ping(n: u32) { if n > 0 { pong(n - 1); } }
+fn pong(n: u32) { deep.unwrap(); ping(n); }
+"#,
+        )]);
+        let g = CallGraph::build(&d);
+        let ping = d
+            .functions()
+            .iter()
+            .position(|q| q.ends_with("ping"))
+            .unwrap();
+        assert_ne!(g.reach[ping] & kind_bit(SinkKind::Unwrap), 0);
+        let reach = g.reachable_named(&d, "sim::a::ping");
+        assert_eq!(
+            reach,
+            vec!["sim::a::ping".to_string(), "sim::a::pong".to_string()]
+        );
+    }
+
+    #[test]
+    fn fixpoint_cache_matches_direct_walk() {
+        let d = db(&[(
+            "crates/sim/src/a.rs",
+            r#"
+fn tick_all() { layer_one(); }
+fn layer_one() { layer_two(); }
+fn layer_two() { boom.expect("deep"); }
+fn unrelated() {}
+"#,
+        )]);
+        let g = CallGraph::build(&d);
+        let gid = |name: &str| {
+            (0..d.fns.len())
+                .find(|&g| d.fn_fact(g).name == name)
+                .unwrap()
+        };
+        assert_ne!(g.reach[gid("tick_all")] & kind_bit(SinkKind::Unwrap), 0);
+        assert_eq!(g.reach[gid("unrelated")], 0);
+        let sinks = reached_sinks(
+            &d,
+            &g,
+            gid("tick_all"),
+            kind_bit(SinkKind::Unwrap),
+            |_, _, _| true,
+        );
+        assert_eq!(sinks.len(), 1);
+        assert_eq!(sinks[0].chain.len(), 3);
+    }
+}

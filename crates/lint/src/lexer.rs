@@ -1,0 +1,448 @@
+//! The token scanner underneath both analysis phases.
+//!
+//! A hand-rolled lexer (dependency-free, consistent with the
+//! workspace's vendored-compat ethos) that turns one `.rs` file into a
+//! token stream while skipping string/char literals and comments, and
+//! mines lint directives (`azul-lint: allow(...)`, `reduction-order:`)
+//! out of the comments it skips.
+//!
+//! Correctness here is load-bearing: a literal that "leaks" tokens
+//! produces phantom diagnostics, and one that swallows too much hides
+//! real code from every rule. The regression tests at the bottom pin
+//! the two historically fragile cases — raw strings with arbitrary
+//! hash counts (including `r"..."` with a trailing backslash, which is
+//! *not* an escape) and nested block comments.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum Tok {
+    Ident(String),
+    Punct(char),
+    Num { float: bool },
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct Token {
+    pub(crate) line: u32,
+    pub(crate) tok: Tok,
+}
+
+/// A scanned file: token stream plus the directives mined from comments.
+pub(crate) struct Scan {
+    pub(crate) tokens: Vec<Token>,
+    /// Lines carrying `azul-lint: allow(...)`, with the allowed rules.
+    /// A directive covers its own line and the next three (multi-line
+    /// statements put the flagged token a few lines below the comment).
+    pub(crate) allows: BTreeMap<u32, Vec<String>>,
+    /// Lines carrying a `reduction-order:` justification.
+    pub(crate) justified: BTreeSet<u32>,
+}
+
+/// How far below its comment a directive still applies, in lines.
+pub(crate) const DIRECTIVE_REACH: u32 = 3;
+
+impl Scan {
+    /// Whether `rule` (or any of its `aliases`, e.g. the lexical
+    /// counterpart of a transitive rule) is waived at `line`.
+    pub(crate) fn allowed_any(&self, rules: &[&str], line: u32) -> bool {
+        (line.saturating_sub(DIRECTIVE_REACH)..=line).any(|l| {
+            self.allows
+                .get(&l)
+                .is_some_and(|allowed| allowed.iter().any(|r| rules.iter().any(|q| q == r)))
+        })
+    }
+
+    pub(crate) fn allowed(&self, rule: &str, line: u32) -> bool {
+        self.allowed_any(&[rule], line)
+    }
+
+    /// A `reduction-order:` comment on `line` or up to three lines above.
+    pub(crate) fn reduction_justified(&self, line: u32) -> bool {
+        (line.saturating_sub(DIRECTIVE_REACH)..=line).any(|l| self.justified.contains(&l))
+    }
+}
+
+pub(crate) fn scan(src: &str) -> Scan {
+    let b: Vec<char> = src.chars().collect();
+    let n = b.len();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let mut tokens = Vec::new();
+    let mut allows: BTreeMap<u32, Vec<String>> = BTreeMap::new();
+    let mut justified = BTreeSet::new();
+
+    let is_ident_start = |c: char| c.is_alphabetic() || c == '_';
+    let is_ident = |c: char| c.is_alphanumeric() || c == '_';
+
+    while i < n {
+        let c = b[i];
+        if c == '\n' {
+            line += 1;
+            i += 1;
+        } else if c.is_whitespace() {
+            i += 1;
+        } else if c == '/' && i + 1 < n && b[i + 1] == '/' {
+            // Line comment: mine directives. Doc comments (`///`, `//!`)
+            // describe directive syntax without applying it, so only
+            // plain `//` comments count.
+            let start = i;
+            while i < n && b[i] != '\n' {
+                i += 1;
+            }
+            let is_doc = start + 2 < i && (b[start + 2] == '/' || b[start + 2] == '!');
+            if !is_doc {
+                let text: String = b[start..i].iter().collect();
+                parse_directives(&text, line, &mut allows, &mut justified);
+            }
+        } else if c == '/' && i + 1 < n && b[i + 1] == '*' {
+            // Block comment; Rust block comments nest, so `/* /* */ */`
+            // only closes at the *second* `*/`.
+            let mut depth = 1;
+            i += 2;
+            while i < n && depth > 0 {
+                if b[i] == '\n' {
+                    line += 1;
+                    i += 1;
+                } else if b[i] == '/' && i + 1 < n && b[i + 1] == '*' {
+                    depth += 1;
+                    i += 2;
+                } else if b[i] == '*' && i + 1 < n && b[i + 1] == '/' {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+        } else if (c == 'r' || c == 'b') && raw_or_byte_string_at(&b, i) {
+            // r"...", r#"..."#, b"...", br#"..."# — skip the literal.
+            i = skip_prefixed_string(&b, i, &mut line);
+        } else if c == '"' {
+            i = skip_string(&b, i, &mut line);
+        } else if c == '\'' {
+            // Lifetime ('a) or char literal ('x', '\n').
+            if i + 2 < n && is_ident_start(b[i + 1]) && b[i + 2] != '\'' {
+                i += 2;
+                while i < n && is_ident(b[i]) {
+                    i += 1;
+                }
+            } else {
+                i += 1;
+                if i < n && b[i] == '\\' {
+                    i += 2;
+                }
+                while i < n && b[i] != '\'' {
+                    if b[i] == '\n' {
+                        line += 1;
+                    }
+                    i += 1;
+                }
+                i += 1;
+            }
+        } else if is_ident_start(c) {
+            let start = i;
+            while i < n && is_ident(b[i]) {
+                i += 1;
+            }
+            tokens.push(Token {
+                line,
+                tok: Tok::Ident(b[start..i].iter().collect()),
+            });
+        } else if c.is_ascii_digit() {
+            let mut float = false;
+            while i < n {
+                if b[i].is_alphanumeric() || b[i] == '_' {
+                    i += 1;
+                } else if b[i] == '.' && !float && i + 1 < n && b[i + 1].is_ascii_digit() {
+                    // `1.5` continues the literal; `0..n` is a range.
+                    float = true;
+                    i += 1;
+                } else {
+                    break;
+                }
+            }
+            tokens.push(Token {
+                line,
+                tok: Tok::Num { float },
+            });
+        } else {
+            tokens.push(Token {
+                line,
+                tok: Tok::Punct(c),
+            });
+            i += 1;
+        }
+    }
+    Scan {
+        tokens,
+        allows,
+        justified,
+    }
+}
+
+/// Whether the `r`/`b` at `i` starts a (raw/byte) string rather than an
+/// identifier: an optional second prefix letter, any number of hashes,
+/// then a quote.
+fn raw_or_byte_string_at(b: &[char], i: usize) -> bool {
+    let mut j = i + 1;
+    if j < b.len() && (b[j] == 'r' || b[j] == 'b') && b[i] != b[j] {
+        j += 1; // br / rb prefixes
+    }
+    let mut hashes = 0usize;
+    while j < b.len() && b[j] == '#' {
+        hashes += 1;
+        j += 1;
+    }
+    // `r#ident` is a raw identifier, not a string: require a quote, and
+    // plain `r#` (one hash, no quote) must fall through to ident.
+    if j >= b.len() || b[j] != '"' {
+        return false;
+    }
+    // Hashes are only legal on raw strings (`r`/`br`/`rb` prefix).
+    let has_r = b[i] == 'r' || (i + 1 < b.len() && b[i + 1] == 'r');
+    hashes == 0 || has_r
+}
+
+/// Skips an `r"..."` / `r#"..."#` / `b"..."` / `br#"..."#` literal.
+///
+/// The critical distinction: **raw** strings (any prefix containing
+/// `r`) have *no* escape processing at all — `r"\"` is a complete
+/// string holding one backslash — while plain byte strings (`b"..."`)
+/// honor `\"` escapes like ordinary strings. Conflating the two makes
+/// the lexer swallow everything after a raw string whose last character
+/// is a backslash.
+fn skip_prefixed_string(b: &[char], mut i: usize, line: &mut u32) -> usize {
+    let mut raw = false;
+    while i < b.len() && (b[i] == 'r' || b[i] == 'b') {
+        raw |= b[i] == 'r';
+        i += 1;
+    }
+    let mut hashes = 0usize;
+    while i < b.len() && b[i] == '#' {
+        hashes += 1;
+        i += 1;
+    }
+    debug_assert!(i < b.len() && b[i] == '"');
+    i += 1;
+    while i < b.len() {
+        if b[i] == '\n' {
+            *line += 1;
+            i += 1;
+        } else if b[i] == '"' {
+            // need `hashes` following '#'s to close
+            let mut k = 0;
+            while k < hashes && i + 1 + k < b.len() && b[i + 1 + k] == '#' {
+                k += 1;
+            }
+            if k == hashes {
+                return i + 1 + hashes;
+            }
+            i += 1;
+        } else if !raw && b[i] == '\\' {
+            // Non-raw byte strings honor escapes, including the
+            // line-continuation `\<newline>`.
+            if i + 1 < b.len() && b[i + 1] == '\n' {
+                *line += 1;
+            }
+            i += 2;
+        } else {
+            i += 1;
+        }
+    }
+    i
+}
+
+fn skip_string(b: &[char], mut i: usize, line: &mut u32) -> usize {
+    i += 1;
+    while i < b.len() {
+        match b[i] {
+            '\\' => {
+                // An escaped newline (string continuation) still ends a
+                // source line; keep the line counter honest.
+                if i + 1 < b.len() && b[i + 1] == '\n' {
+                    *line += 1;
+                }
+                i += 2;
+            }
+            '\n' => {
+                *line += 1;
+                i += 1;
+            }
+            '"' => return i + 1,
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+fn parse_directives(
+    comment: &str,
+    line: u32,
+    allows: &mut BTreeMap<u32, Vec<String>>,
+    justified: &mut BTreeSet<u32>,
+) {
+    if comment.contains("reduction-order:") {
+        justified.insert(line);
+    }
+    let Some(pos) = comment.find("azul-lint:") else {
+        return;
+    };
+    let rest = &comment[pos + "azul-lint:".len()..];
+    let Some(open) = rest.find("allow(") else {
+        return;
+    };
+    let args = &rest[open + "allow(".len()..];
+    let Some(close) = args.find(')') else {
+        return;
+    };
+    let rules = args[..close]
+        .split(',')
+        .map(|r| r.trim().to_string())
+        .filter(|r| !r.is_empty());
+    allows.entry(line).or_default().extend(rules);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        scan(src)
+            .tokens
+            .iter()
+            .filter_map(|t| match &t.tok {
+                Tok::Ident(s) => Some(s.clone()),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn raw_strings_with_arbitrary_hash_counts_do_not_leak() {
+        // The quote-hash closers inside must not end the literal early.
+        let src = r####"
+fn f() {
+    let a = r"plain raw";
+    let b = r#"one "quoted" hash"#;
+    let c = r##"has "# inside"##;
+    let d = r###"has "## inside"###;
+    after_raw();
+}
+"####;
+        let ids = idents(src);
+        assert!(ids.contains(&"after_raw".to_string()), "{ids:?}");
+        assert!(
+            !ids.iter().any(|s| s == "quoted" || s == "inside"),
+            "raw string contents leaked: {ids:?}"
+        );
+    }
+
+    #[test]
+    fn raw_string_trailing_backslash_is_not_an_escape() {
+        // `r"\"` is a COMPLETE raw string containing one backslash; a
+        // lexer that treats `\"` as an escape swallows the closing
+        // quote and everything after it. The code following the
+        // literal must still tokenize.
+        let src = "fn f() { let p = r\"\\\"; visible_after(); }";
+        let ids = idents(src);
+        assert!(ids.contains(&"visible_after".to_string()), "{ids:?}");
+        // Same with a hash count: `r#"...\"#`.
+        let src2 = "fn f() { let p = r#\"also ends in \\\"#; tail_token(); }";
+        let ids2 = idents(src2);
+        assert!(ids2.contains(&"tail_token".to_string()), "{ids2:?}");
+    }
+
+    #[test]
+    fn byte_strings_still_honor_escapes() {
+        // In `b"\""` the escaped quote does NOT close the literal.
+        let src = "fn f() { let p = b\"\\\" still inside\"; after_byte(); }";
+        let ids = idents(src);
+        assert!(ids.contains(&"after_byte".to_string()), "{ids:?}");
+        assert!(!ids.contains(&"inside".to_string()), "{ids:?}");
+    }
+
+    #[test]
+    fn raw_identifiers_are_not_strings() {
+        let ids = idents("fn f() { let r#type = 1; let _ = r#type; }");
+        assert!(ids.contains(&"type".to_string()), "{ids:?}");
+    }
+
+    #[test]
+    fn nested_block_comments_close_at_matching_depth() {
+        let src = "/* outer /* inner */ still a comment */ fn after_comment() {}";
+        let ids = idents(src);
+        assert!(ids.contains(&"after_comment".to_string()), "{ids:?}");
+        assert!(!ids.contains(&"inner".to_string()), "{ids:?}");
+        assert!(!ids.contains(&"still".to_string()), "{ids:?}");
+    }
+
+    #[test]
+    fn nested_block_comment_line_numbers_stay_aligned() {
+        let src = "/* line1\n /* line2\n */ line3\n*/\nfn g() {}\n";
+        let s = scan(src);
+        let g = s
+            .tokens
+            .iter()
+            .find(|t| t.tok == Tok::Ident("g".into()))
+            .unwrap();
+        assert_eq!(g.line, 5);
+    }
+
+    #[test]
+    fn multiline_raw_string_line_numbers_stay_aligned() {
+        let src = "fn f() {\n    let s = r#\"a\nb\nc\"#;\n    let marker = 1;\n}\n";
+        let s = scan(src);
+        let m = s
+            .tokens
+            .iter()
+            .find(|t| t.tok == Tok::Ident("marker".into()))
+            .unwrap();
+        assert_eq!(m.line, 5);
+    }
+
+    #[test]
+    fn escaped_newline_in_string_counts_the_line() {
+        let src = "fn f() {\n    let s = \"a\\\nb\";\n    let marker = 1;\n}\n";
+        let s = scan(src);
+        let m = s
+            .tokens
+            .iter()
+            .find(|t| t.tok == Tok::Ident("marker".into()))
+            .unwrap();
+        assert_eq!(m.line, 4);
+    }
+
+    #[test]
+    fn directives_are_mined_from_comments() {
+        let src = "// azul-lint: allow(some-rule, other-rule) justified\n\
+                   // reduction-order: slice order\n\
+                   fn f() {}\n";
+        let s = scan(src);
+        assert_eq!(
+            s.allows.get(&1),
+            Some(&vec!["some-rule".to_string(), "other-rule".to_string()])
+        );
+        assert!(s.justified.contains(&2));
+        assert!(s.allowed("some-rule", 4)); // reach: 3 lines below
+        assert!(!s.allowed("some-rule", 5));
+    }
+
+    #[test]
+    fn directives_inside_strings_are_not_directives() {
+        let src = "fn f() { let s = \"azul-lint: allow(fake-rule)\"; }";
+        assert!(scan(src).allows.is_empty());
+    }
+
+    #[test]
+    fn doc_comments_describe_directives_without_applying_them() {
+        let src = "//! Uses `azul-lint: allow(doc-rule)` and `// reduction-order:`.\n\
+                   /// Same here: azul-lint: allow(doc-rule) // reduction-order: x\n\
+                   // azul-lint: allow(real-rule)\n\
+                   fn f() {}\n";
+        let s = scan(src);
+        assert!(!s.allows.contains_key(&1));
+        assert!(!s.allows.contains_key(&2));
+        assert!(s.justified.is_empty());
+        assert_eq!(s.allows.get(&3), Some(&vec!["real-rule".to_string()]));
+    }
+}

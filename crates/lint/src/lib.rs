@@ -2,12 +2,22 @@
 //!
 //! The cycle-level model's numbers are only meaningful if the same
 //! matrix + mapping + seed always yields the same cycle count, so this
-//! crate enforces determinism hygiene the compiler cannot: a hand-rolled
-//! lexer (dependency-free, consistent with the workspace's vendored-compat
-//! ethos) scans every source file and reports rule violations with
-//! file:line diagnostics.
+//! crate enforces determinism hygiene the compiler cannot. Version 2
+//! is a **two-phase interprocedural analysis**, still dependency-free:
 //!
-//! # Rules
+//! 1. **Facts** ([`facts`]): a hand-rolled lexer ([`lexer`]) feeds an
+//!    item/expression scanner that records, per function, its
+//!    path-qualified name, the calls it makes, and its *sink facts*
+//!    (panicking calls, wall-clock reads, `HashMap`/`HashSet`
+//!    iteration, heap allocation, `Mutex::lock`, machine-wide array
+//!    indexing).
+//! 2. **Graph** ([`graph`] + [`rules`]): a workspace call graph with
+//!    best-effort name resolution and a fixpoint cache of reachable
+//!    sink kinds, over which the interprocedural rules run; the six
+//!    original lexical rules are evaluated from the same fact
+//!    database with unchanged scopes, severities and messages.
+//!
+//! # Lexical rules (per file)
 //!
 //! * [`NONDETERMINISTIC_ITERATION`] — iterating a `HashMap`/`HashSet`
 //!   (`for`, `.iter()`, `.keys()`, `.values()`, `.drain()`, ...) in
@@ -27,37 +37,72 @@
 //!   not associative; the summation order must be pinned deliberately.
 //! * [`PANIC_IN_SIM_HOT_PATH`] — `unwrap`/`expect`/`panic!` family
 //!   macros inside functions whose name contains `tick`, `route` or
-//!   `execute` in `crates/sim` (warning). Hot paths should return typed
-//!   `SimError`s.
+//!   `execute` in `crates/sim` (warning).
 //! * [`SHARED_MUTABLE_IN_SHARD`] — indexing the machine-wide `routers`
 //!   / `pes` arrays inside a function whose name contains `tick` in
-//!   `crates/sim` (warning). Shard tick functions run concurrently;
-//!   cross-tile effects must go through shard-local views and the
-//!   double-buffered outbox applied at the cycle barrier, never by
-//!   reaching into the global per-tile arrays.
+//!   `crates/sim` (warning). Cross-tile effects must go through
+//!   shard-local views and the barrier-applied outbox.
 //! * [`UNWRAP_IN_PIPELINE`] — `.unwrap()` / `.expect(..)` inside
 //!   functions whose name contains `prepare`, `solve`, `factor`,
 //!   `request`, `schedule`, `admit` or `submit` in `crates/core`,
-//!   `crates/solver` or `crates/serve` (warning). The supervised
-//!   degradation ladders — and, one layer up, the service's typed
-//!   shedding/retry paths — can only catch failures that surface as
-//!   typed `AzulError`/`SolverError`/`ServeError` values; a panic in
-//!   the pipeline or the request path skips every recovery rung and
-//!   kills a worker thread. `#[cfg(test)]` modules are exempt.
+//!   `crates/solver` or `crates/serve` (warning). The degradation
+//!   ladders and the service's typed shedding/retry paths can only
+//!   catch failures that surface as typed errors. Test code is exempt.
+//!
+//! # Interprocedural rules (workspace call graph)
+//!
+//! * [`TRANSITIVE_PANIC_IN_HOT_PATH`] — a panic/unwrap *reachable
+//!   through calls* from a tick/route/execute function in `crates/sim`
+//!   (warning). The lexical rule only sees the enclosing function's
+//!   name; this one follows the calls and reports the chain.
+//! * [`TRANSITIVE_WALL_CLOCK`] — a wall-clock read outside the sim
+//!   crate reachable from a sim entry point (tick/route/execute or
+//!   `run*`) (error). Within the sim crate the lexical rule already
+//!   covers every file.
+//! * [`TRANSITIVE_UNWRAP_IN_PIPELINE`] — an unwrap/expect reachable
+//!   from a pipeline/request-path function in `core`/`solver`/`serve`
+//!   (warning).
+//! * [`ALLOC_IN_TICK_PATH`] — a fresh heap allocation (`Vec::new`,
+//!   `vec![..]`, `with_capacity`, `Box::new`, `.collect()`, ...)
+//!   reachable from a per-cycle `tick` function in `crates/sim`
+//!   (warning, waivable). Amortized growth (`.push(..)`) is recorded
+//!   as a fact but not flagged. This prepares the flit-arena refactor:
+//!   per-cycle allocation is the enemy of the event-driven engine.
+//!
+//! Interprocedural diagnostics carry a call-chain trace
+//! (`root -> a -> b: sink at file:line`) both in the message and as
+//! structured [`TraceStep`]s for the JSON report ([`report`]).
+//!
+//! # Waivers and the stale-waiver audit
 //!
 //! Any finding can be waived in place with
 //! `// azul-lint: allow(<rule>)` on the offending line or up to three
-//! lines above (so a directive can precede a multi-line statement);
-//! allows should carry a justification in the same comment.
+//! lines above; allows should carry a justification in the same
+//! comment. A transitive finding is waived at its *sink* line by
+//! either the transitive rule name or its lexical counterpart. The
+//! [`STALE_WAIVER`] audit (on by default under `--deny warnings`)
+//! reports directives that no longer suppress anything and
+//! `// reduction-order:` justifications with no float reduction
+//! nearby; audit findings are not themselves waivable.
 //!
-//! The analysis is per-file and purely lexical: it skips strings,
-//! chars and comments, but does not resolve types across files. That
-//! trades a few theoretically-missable cases for zero dependencies and
-//! trivially auditable behavior.
+//! The analysis stays lexical at heart: no type inference, best-effort
+//! name resolution (see `docs/STATIC_ANALYSIS.md` for the honest
+//! limits). That trades a few theoretically-missable cases for zero
+//! dependencies and trivially auditable behavior.
 
 #![forbid(unsafe_code)]
 
-use std::collections::{BTreeMap, BTreeSet};
+pub mod facts;
+pub mod graph;
+pub mod lexer;
+pub mod report;
+pub mod rules;
+pub mod workspace;
+
+pub use graph::{CallGraph, Database};
+pub use report::{render_json, REPORT_SCHEMA};
+pub use workspace::{analyze_root, analyze_sources, collect_rs, render_text, Analysis, Options};
+
 use std::fmt;
 
 /// Rule: `HashMap`/`HashSet` iteration in order-sensitive crates.
@@ -73,15 +118,30 @@ pub const SHARED_MUTABLE_IN_SHARD: &str = "shared-mutable-in-shard";
 /// Rule: panicking `.unwrap()`/`.expect()` in pipeline and service
 /// request-path code.
 pub const UNWRAP_IN_PIPELINE: &str = "unwrap-in-pipeline";
+/// Rule: panic/unwrap reachable through calls from a sim hot path.
+pub const TRANSITIVE_PANIC_IN_HOT_PATH: &str = "transitive-panic-in-hot-path";
+/// Rule: wall-clock reachable from a sim entry point across crates.
+pub const TRANSITIVE_WALL_CLOCK: &str = "transitive-wall-clock";
+/// Rule: unwrap/expect reachable from a pipeline/request-path step.
+pub const TRANSITIVE_UNWRAP_IN_PIPELINE: &str = "transitive-unwrap-in-pipeline";
+/// Rule: fresh heap allocation reachable from a per-cycle tick fn.
+pub const ALLOC_IN_TICK_PATH: &str = "alloc-in-tick-path";
+/// Rule: a waiver or justification directive that suppresses nothing.
+pub const STALE_WAIVER: &str = "stale-waiver";
 
 /// Every rule this linter knows, in reporting order.
-pub const ALL_RULES: [&str; 6] = [
+pub const ALL_RULES: [&str; 11] = [
     NONDETERMINISTIC_ITERATION,
     WALL_CLOCK_IN_SIM,
     UNCHECKED_FLOAT_REDUCTION,
     PANIC_IN_SIM_HOT_PATH,
     SHARED_MUTABLE_IN_SHARD,
     UNWRAP_IN_PIPELINE,
+    TRANSITIVE_PANIC_IN_HOT_PATH,
+    TRANSITIVE_WALL_CLOCK,
+    TRANSITIVE_UNWRAP_IN_PIPELINE,
+    ALLOC_IN_TICK_PATH,
+    STALE_WAIVER,
 ];
 
 /// Diagnostic severity. `--deny warnings` promotes warnings to failures
@@ -103,6 +163,19 @@ impl fmt::Display for Severity {
     }
 }
 
+/// One step of an interprocedural call chain, root first. The final
+/// step's `line` is the sink line; intermediate steps carry the line
+/// of the call to the next function.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceStep {
+    /// Path-qualified function name (`sim::router::tick_router`).
+    pub function: String,
+    /// Workspace-relative file declaring the function.
+    pub file: String,
+    /// 1-based source line.
+    pub line: u32,
+}
+
 /// One finding, anchored to a line of one file.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Diagnostic {
@@ -114,6 +187,17 @@ pub struct Diagnostic {
     pub severity: Severity,
     /// What was found and what to do about it.
     pub message: String,
+    /// For interprocedural rules: the call chain from root to sink.
+    /// Empty for lexical findings.
+    pub trace: Vec<TraceStep>,
+}
+
+/// A diagnostic paired with the file it was found in (workspace runs).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FileDiagnostic {
+    /// Workspace-relative path.
+    pub file: String,
+    pub diag: Diagnostic,
 }
 
 /// The crate-ish scope a path belongs to: `"sim"` for
@@ -130,719 +214,23 @@ pub fn scope_of(path: &str) -> &str {
     norm.split('/').next().unwrap_or("")
 }
 
-// ---------------------------------------------------------------------
-// Lexer
-// ---------------------------------------------------------------------
-
-#[derive(Debug, Clone, PartialEq, Eq)]
-enum Tok {
-    Ident(String),
-    Punct(char),
-    Num { float: bool },
-}
-
-#[derive(Debug, Clone)]
-struct Token {
-    line: u32,
-    tok: Tok,
-}
-
-/// A scanned file: token stream plus the directives mined from comments.
-struct Scan {
-    tokens: Vec<Token>,
-    /// Lines carrying `azul-lint: allow(...)`, with the allowed rules.
-    /// A directive covers its own line and the next three (multi-line
-    /// statements put the flagged token a few lines below the comment).
-    allows: BTreeMap<u32, Vec<String>>,
-    /// Lines carrying a `reduction-order:` justification.
-    justified: BTreeSet<u32>,
-}
-
-impl Scan {
-    fn allowed(&self, rule: &str, line: u32) -> bool {
-        (line.saturating_sub(3)..=line).any(|l| {
-            self.allows
-                .get(&l)
-                .is_some_and(|rules| rules.iter().any(|r| r == rule))
-        })
-    }
-
-    /// A `reduction-order:` comment on `line` or up to three lines above.
-    fn reduction_justified(&self, line: u32) -> bool {
-        (line.saturating_sub(3)..=line).any(|l| self.justified.contains(&l))
-    }
-}
-
-fn scan(src: &str) -> Scan {
-    let b: Vec<char> = src.chars().collect();
-    let n = b.len();
-    let mut i = 0usize;
-    let mut line = 1u32;
-    let mut tokens = Vec::new();
-    let mut allows: BTreeMap<u32, Vec<String>> = BTreeMap::new();
-    let mut justified = BTreeSet::new();
-
-    let is_ident_start = |c: char| c.is_alphabetic() || c == '_';
-    let is_ident = |c: char| c.is_alphanumeric() || c == '_';
-
-    while i < n {
-        let c = b[i];
-        if c == '\n' {
-            line += 1;
-            i += 1;
-        } else if c.is_whitespace() {
-            i += 1;
-        } else if c == '/' && i + 1 < n && b[i + 1] == '/' {
-            // Line comment (includes doc comments): mine directives.
-            let start = i;
-            while i < n && b[i] != '\n' {
-                i += 1;
-            }
-            let text: String = b[start..i].iter().collect();
-            parse_directives(&text, line, &mut allows, &mut justified);
-        } else if c == '/' && i + 1 < n && b[i + 1] == '*' {
-            // Block comment; Rust block comments nest.
-            let mut depth = 1;
-            i += 2;
-            while i < n && depth > 0 {
-                if b[i] == '\n' {
-                    line += 1;
-                    i += 1;
-                } else if b[i] == '/' && i + 1 < n && b[i + 1] == '*' {
-                    depth += 1;
-                    i += 2;
-                } else if b[i] == '*' && i + 1 < n && b[i + 1] == '/' {
-                    depth -= 1;
-                    i += 2;
-                } else {
-                    i += 1;
-                }
-            }
-        } else if (c == 'r' || c == 'b') && is_raw_or_quoted(&b, i) {
-            // r"...", r#"..."#, b"...", br#"..."# — skip the literal.
-            i = skip_raw_string(&b, i, &mut line);
-        } else if c == '"' {
-            i = skip_string(&b, i, &mut line);
-        } else if c == '\'' {
-            // Lifetime ('a) or char literal ('x', '\n').
-            if i + 2 < n && is_ident_start(b[i + 1]) && b[i + 2] != '\'' {
-                i += 2;
-                while i < n && is_ident(b[i]) {
-                    i += 1;
-                }
-            } else {
-                i += 1;
-                if i < n && b[i] == '\\' {
-                    i += 2;
-                }
-                while i < n && b[i] != '\'' {
-                    if b[i] == '\n' {
-                        line += 1;
-                    }
-                    i += 1;
-                }
-                i += 1;
-            }
-        } else if is_ident_start(c) {
-            let start = i;
-            while i < n && is_ident(b[i]) {
-                i += 1;
-            }
-            tokens.push(Token {
-                line,
-                tok: Tok::Ident(b[start..i].iter().collect()),
-            });
-        } else if c.is_ascii_digit() {
-            let mut float = false;
-            while i < n {
-                if b[i].is_alphanumeric() || b[i] == '_' {
-                    i += 1;
-                } else if b[i] == '.' && !float && i + 1 < n && b[i + 1].is_ascii_digit() {
-                    // `1.5` continues the literal; `0..n` is a range.
-                    float = true;
-                    i += 1;
-                } else {
-                    break;
-                }
-            }
-            tokens.push(Token {
-                line,
-                tok: Tok::Num { float },
-            });
-        } else {
-            tokens.push(Token {
-                line,
-                tok: Tok::Punct(c),
-            });
-            i += 1;
-        }
-    }
-    Scan {
-        tokens,
-        allows,
-        justified,
-    }
-}
-
-/// Whether the `r`/`b` at `i` starts a (raw) string rather than an ident.
-fn is_raw_or_quoted(b: &[char], i: usize) -> bool {
-    let mut j = i + 1;
-    if j < b.len() && (b[j] == 'r' || b[j] == 'b') && b[i] != b[j] {
-        j += 1; // br / rb prefixes
-    }
-    while j < b.len() && b[j] == '#' {
-        j += 1;
-    }
-    j < b.len() && b[j] == '"' && (j > i + 1 || b[i + 1] == '"')
-}
-
-fn skip_raw_string(b: &[char], mut i: usize, line: &mut u32) -> usize {
-    // Consume prefix letters then hashes.
-    while i < b.len() && (b[i] == 'r' || b[i] == 'b') {
-        i += 1;
-    }
-    let mut hashes = 0usize;
-    while i < b.len() && b[i] == '#' {
-        hashes += 1;
-        i += 1;
-    }
-    debug_assert!(i < b.len() && b[i] == '"');
-    i += 1;
-    while i < b.len() {
-        if b[i] == '\n' {
-            *line += 1;
-            i += 1;
-        } else if b[i] == '"' {
-            // need `hashes` following '#'s to close
-            let mut k = 0;
-            while k < hashes && i + 1 + k < b.len() && b[i + 1 + k] == '#' {
-                k += 1;
-            }
-            if k == hashes {
-                return i + 1 + hashes;
-            }
-            i += 1;
-        } else if hashes == 0 && b[i] == '\\' {
-            i += 2; // non-raw byte strings honor escapes
-        } else {
-            i += 1;
-        }
-    }
-    i
-}
-
-fn skip_string(b: &[char], mut i: usize, line: &mut u32) -> usize {
-    i += 1;
-    while i < b.len() {
-        match b[i] {
-            '\\' => i += 2,
-            '\n' => {
-                *line += 1;
-                i += 1;
-            }
-            '"' => return i + 1,
-            _ => i += 1,
-        }
-    }
-    i
-}
-
-fn parse_directives(
-    comment: &str,
-    line: u32,
-    allows: &mut BTreeMap<u32, Vec<String>>,
-    justified: &mut BTreeSet<u32>,
-) {
-    if comment.contains("reduction-order:") {
-        justified.insert(line);
-    }
-    let Some(pos) = comment.find("azul-lint:") else {
-        return;
-    };
-    let rest = &comment[pos + "azul-lint:".len()..];
-    let Some(open) = rest.find("allow(") else {
-        return;
-    };
-    let args = &rest[open + "allow(".len()..];
-    let Some(close) = args.find(')') else {
-        return;
-    };
-    let rules = args[..close]
-        .split(',')
-        .map(|r| r.trim().to_string())
-        .filter(|r| !r.is_empty());
-    allows.entry(line).or_default().extend(rules);
-}
-
-// ---------------------------------------------------------------------
-// Rules
-// ---------------------------------------------------------------------
-
-const KEYWORDS: [&str; 12] = [
-    "let", "mut", "pub", "fn", "if", "else", "match", "return", "for", "in", "impl", "use",
-];
-
-/// Iteration methods whose order follows the container's.
-const ITER_METHODS: [&str; 8] = [
-    "iter",
-    "iter_mut",
-    "into_iter",
-    "keys",
-    "values",
-    "values_mut",
-    "drain",
-    "retain",
-];
-
-/// Lints one file. `path` determines the scope (which rules apply and
-/// at which severity); `src` is the file contents.
+/// Lints one file with the **lexical** rules only (the historical v1
+/// surface, kept for embedding and tests). `path` determines the scope
+/// (which rules apply and at which severity); `src` is the contents.
+/// Workspace-wide interprocedural analysis lives in
+/// [`workspace::analyze_root`] / [`workspace::analyze_sources`].
 pub fn lint_source(path: &str, src: &str) -> Vec<Diagnostic> {
-    let scope = scope_of(path);
-    let scan = scan(src);
-    let mut diags = Vec::new();
-
-    match scope {
-        "sim" => rule_nondet_iteration(&scan, Severity::Error, &mut diags),
-        "mapping" | "hypergraph" => rule_nondet_iteration(&scan, Severity::Warning, &mut diags),
-        _ => {}
-    }
-    if scope == "sim" {
-        // The host-profiling module is the one sanctioned wall-clock
-        // user in the sim crate: it measures the simulator, never the
-        // simulation. Ambient randomness has no such carve-out.
-        let profile_module = path
-            .trim_start_matches("./")
-            .ends_with("crates/sim/src/profile.rs");
-        rule_wall_clock(&scan, profile_module, &mut diags);
-        rule_panic_hot_path(&scan, &mut diags);
-        rule_shared_mutable_in_shard(&scan, &mut diags);
-    }
-    if scope == "sim" || scope == "solver" {
-        rule_float_reduction(&scan, &mut diags);
-    }
-    if scope == "core" || scope == "solver" || scope == "serve" {
-        rule_unwrap_in_pipeline(&scan, &mut diags);
-    }
-
-    diags.retain(|d| !scan.allowed(d.rule, d.line));
-    diags.sort_by_key(|d| (d.line, d.rule));
+    let file = facts::extract(path, src);
+    let mut diags = rules::lexical_diags(&file);
+    diags.retain(|d| !file.allowed(d.rule, d.line));
+    diags.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
     diags
 }
 
-fn ident(t: &Token) -> Option<&str> {
-    match &t.tok {
-        Tok::Ident(s) => Some(s),
-        _ => None,
-    }
-}
-
-fn punct(t: &Token, c: char) -> bool {
-    t.tok == Tok::Punct(c)
-}
-
-/// Pass 1: names bound to `HashMap`/`HashSet` values in this file
-/// (declarations `name: HashMap<..>` and initializers
-/// `let name = HashMap::new()`); pass 2: flag iteration over them.
-fn rule_nondet_iteration(scan: &Scan, severity: Severity, diags: &mut Vec<Diagnostic>) {
-    let toks = &scan.tokens;
-    let mut hash_names: BTreeSet<String> = BTreeSet::new();
-    let mut current_let: Option<String> = None;
-    for i in 0..toks.len() {
-        match ident(&toks[i]) {
-            Some("let") => {
-                let mut j = i + 1;
-                if ident(&toks[j.min(toks.len() - 1)]) == Some("mut") {
-                    j += 1;
-                }
-                if let Some(Some(name)) = toks.get(j).map(ident) {
-                    if !KEYWORDS.contains(&name) {
-                        current_let = Some(name.to_string());
-                    }
-                }
-            }
-            Some("HashMap") | Some("HashSet") => {
-                // Walk back over the type path / annotation syntax to the
-                // bound name: `name : [&] [std :: collections ::] HashMap`.
-                let mut j = i;
-                while j > 0 {
-                    j -= 1;
-                    match &toks[j].tok {
-                        Tok::Punct(':') | Tok::Punct('&') => continue,
-                        Tok::Ident(w) if w == "std" || w == "collections" || w == "mut" => continue,
-                        Tok::Ident(w) if !KEYWORDS.contains(&w.as_str()) => {
-                            hash_names.insert(w.clone());
-                            break;
-                        }
-                        _ => {
-                            // `= HashMap::new()` or a generic position:
-                            // attribute to the current let binding.
-                            if let Some(name) = &current_let {
-                                hash_names.insert(name.clone());
-                            }
-                            break;
-                        }
-                    }
-                }
-            }
-            _ => {}
-        }
-        if punct(&toks[i], ';') {
-            current_let = None;
-        }
-    }
-    if hash_names.is_empty() {
-        return;
-    }
-
-    // Method calls: `name.iter()`, `self.name.keys()`, ...
-    for i in 2..toks.len() {
-        let Some(m) = ident(&toks[i]) else { continue };
-        if !ITER_METHODS.contains(&m) || !punct(&toks[i - 1], '.') {
-            continue;
-        }
-        if toks.get(i + 1).is_none_or(|t| !punct(t, '(')) {
-            continue;
-        }
-        if let Some(recv) = ident(&toks[i - 2]) {
-            if hash_names.contains(recv) {
-                diags.push(Diagnostic {
-                    line: toks[i].line,
-                    rule: NONDETERMINISTIC_ITERATION,
-                    severity,
-                    message: format!(
-                        "`{recv}.{m}()` iterates a HashMap/HashSet in unspecified order; \
-                         use BTreeMap/BTreeSet or collect-and-sort"
-                    ),
-                });
-            }
-        }
-    }
-
-    // `for pat in [&[mut]] path.to.name {` — only simple paths; method
-    // calls in the iterable are covered by the pass above.
-    for i in 0..toks.len() {
-        if ident(&toks[i]) != Some("for") {
-            continue;
-        }
-        // Find `in` before the body brace.
-        let mut j = i + 1;
-        let mut in_at = None;
-        while j < toks.len() && !punct(&toks[j], '{') && !punct(&toks[j], ';') {
-            if ident(&toks[j]) == Some("in") {
-                in_at = Some(j);
-                break;
-            }
-            j += 1;
-        }
-        let Some(start) = in_at else { continue };
-        let mut k = start + 1;
-        let mut last_name: Option<&str> = None;
-        let mut simple = true;
-        while k < toks.len() && !punct(&toks[k], '{') {
-            match &toks[k].tok {
-                Tok::Ident(w) => last_name = Some(w),
-                Tok::Punct('&') | Tok::Punct('.') => {}
-                Tok::Punct(_) | Tok::Num { .. } => {
-                    simple = false;
-                    break;
-                }
-            }
-            k += 1;
-        }
-        if !simple {
-            continue;
-        }
-        if let Some(name) = last_name {
-            if hash_names.contains(name) {
-                diags.push(Diagnostic {
-                    line: toks[i].line,
-                    rule: NONDETERMINISTIC_ITERATION,
-                    severity,
-                    message: format!(
-                        "`for .. in {name}` iterates a HashMap/HashSet in unspecified \
-                         order; use BTreeMap/BTreeSet or collect-and-sort"
-                    ),
-                });
-            }
-        }
-    }
-}
-
-fn rule_wall_clock(scan: &Scan, allow_wall_clock: bool, diags: &mut Vec<Diagnostic>) {
-    for t in &scan.tokens {
-        let Some(w) = ident(t) else { continue };
-        let is_clock = w == "Instant" || w == "SystemTime";
-        if (is_clock && !allow_wall_clock) || w == "thread_rng" {
-            diags.push(Diagnostic {
-                line: t.line,
-                rule: WALL_CLOCK_IN_SIM,
-                severity: Severity::Error,
-                message: format!(
-                    "`{w}` in cycle-level code: simulation must be a pure function of \
-                     its inputs and seeds (use cycle counters / seeded SmallRng)"
-                ),
-            });
-        }
-    }
-}
-
-fn rule_float_reduction(scan: &Scan, diags: &mut Vec<Diagnostic>) {
-    let toks = &scan.tokens;
-    for i in 1..toks.len() {
-        if !punct(&toks[i - 1], '.') {
-            continue;
-        }
-        let line = toks[i].line;
-        let flag = |diags: &mut Vec<Diagnostic>, what: &str| {
-            diags.push(Diagnostic {
-                line,
-                rule: UNCHECKED_FLOAT_REDUCTION,
-                severity: Severity::Warning,
-                message: format!(
-                    "{what} reduces floats whose result depends on summation order; \
-                     pin the order and justify with a `// reduction-order:` comment"
-                ),
-            });
-        };
-        match ident(&toks[i]) {
-            Some("sum") => {
-                // `.sum::<f64>()` turbofish.
-                let is_f64 = punct(&toks[i + 1], ':')
-                    && punct(&toks[i + 2], ':')
-                    && punct(&toks[i + 3], '<')
-                    && ident(&toks[i + 4]) == Some("f64");
-                if is_f64 && !scan.reduction_justified(line) {
-                    flag(diags, "`.sum::<f64>()`");
-                }
-            }
-            Some("fold") => {
-                if !punct(&toks[i + 1], '(') {
-                    continue;
-                }
-                // Float accumulator: a float literal or f64 in the first
-                // few argument tokens.
-                let floaty = toks[i + 2..]
-                    .iter()
-                    .take(6)
-                    .any(|t| matches!(t.tok, Tok::Num { float: true }) || ident(t) == Some("f64"));
-                if floaty && !scan.reduction_justified(line) {
-                    flag(diags, "float `fold`");
-                }
-            }
-            _ => {}
-        }
-    }
-}
-
-fn rule_panic_hot_path(scan: &Scan, diags: &mut Vec<Diagnostic>) {
-    let toks = &scan.tokens;
-    let mut depth = 0i32;
-    let mut fn_stack: Vec<(String, i32)> = Vec::new();
-    let mut pending_fn: Option<String> = None;
-    let hot = |stack: &[(String, i32)]| {
-        stack.last().is_some_and(|(name, _)| {
-            name.contains("tick") || name.contains("route") || name.contains("execute")
-        })
-    };
-    for i in 0..toks.len() {
-        match &toks[i].tok {
-            Tok::Ident(w) if w == "fn" => {
-                if let Some(Some(name)) = toks.get(i + 1).map(ident) {
-                    pending_fn = Some(name.to_string());
-                }
-            }
-            Tok::Punct(';') => pending_fn = None, // bodyless trait method
-            Tok::Punct('{') => {
-                depth += 1;
-                if let Some(name) = pending_fn.take() {
-                    fn_stack.push((name, depth));
-                }
-            }
-            Tok::Punct('}') => {
-                if fn_stack.last().is_some_and(|&(_, d)| d == depth) {
-                    fn_stack.pop();
-                }
-                depth -= 1;
-            }
-            Tok::Ident(w)
-                if (w == "panic" || w == "unreachable" || w == "todo" || w == "unimplemented")
-                    && toks.get(i + 1).is_some_and(|t| punct(t, '!'))
-                    && hot(&fn_stack) =>
-            {
-                diags.push(Diagnostic {
-                    line: toks[i].line,
-                    rule: PANIC_IN_SIM_HOT_PATH,
-                    severity: Severity::Warning,
-                    message: format!(
-                        "`{w}!` inside `{}`: hot paths should return a typed SimError",
-                        fn_stack.last().map(|(n, _)| n.as_str()).unwrap_or("?")
-                    ),
-                });
-            }
-            Tok::Ident(w)
-                if (w == "unwrap" || w == "expect")
-                    && punct(&toks[i - 1], '.')
-                    && toks.get(i + 1).is_some_and(|t| punct(t, '('))
-                    && hot(&fn_stack) =>
-            {
-                diags.push(Diagnostic {
-                    line: toks[i].line,
-                    rule: PANIC_IN_SIM_HOT_PATH,
-                    severity: Severity::Warning,
-                    message: format!(
-                        "`.{w}()` inside `{}`: hot paths should return a typed SimError",
-                        fn_stack.last().map(|(n, _)| n.as_str()).unwrap_or("?")
-                    ),
-                });
-            }
-            _ => {}
-        }
-    }
-}
-
-/// `.unwrap()`/`.expect()` inside prepare/solve/factor functions in the
-/// pipeline crates, and inside request/schedule/admit/submit functions
-/// in the serve crate. A panic there aborts the whole supervised solve
-/// (or kills a service worker mid-request) instead of letting the
-/// degradation ladders or the typed shedding/retry paths catch the
-/// failure, so fallible steps must surface typed errors. `#[cfg(test)]`
-/// modules are exempt: tests unwrap by design.
-fn rule_unwrap_in_pipeline(scan: &Scan, diags: &mut Vec<Diagnostic>) {
-    let toks = &scan.tokens;
-    let mut depth = 0i32;
-    let mut fn_stack: Vec<(String, i32)> = Vec::new();
-    let mut pending_fn: Option<String> = None;
-    let mut pending_test_mod = false;
-    let mut test_mod_depth: Option<i32> = None;
-    let in_pipeline = |stack: &[(String, i32)]| {
-        stack.last().is_some_and(|(name, _)| {
-            name.contains("prepare")
-                || name.contains("solve")
-                || name.contains("factor")
-                || name.contains("request")
-                || name.contains("schedule")
-                || name.contains("admit")
-                || name.contains("submit")
-        })
-    };
-    for i in 0..toks.len() {
-        // `#[cfg(test)]` directly before a `mod` opens a test-only
-        // module: everything inside is exempt.
-        if punct(&toks[i], '#')
-            && toks.get(i + 1).is_some_and(|t| punct(t, '['))
-            && toks.get(i + 2).and_then(ident) == Some("cfg")
-            && toks.get(i + 3).is_some_and(|t| punct(t, '('))
-            && toks.get(i + 4).and_then(ident) == Some("test")
-        {
-            pending_test_mod = true;
-        }
-        match &toks[i].tok {
-            Tok::Ident(w) if w == "fn" => {
-                if let Some(Some(name)) = toks.get(i + 1).map(ident) {
-                    pending_fn = Some(name.to_string());
-                }
-                pending_test_mod = false;
-            }
-            Tok::Punct(';') => pending_fn = None, // bodyless trait method
-            Tok::Punct('{') => {
-                depth += 1;
-                if let Some(name) = pending_fn.take() {
-                    fn_stack.push((name, depth));
-                }
-                if pending_test_mod
-                    && i >= 2
-                    && ident(&toks[i - 2]) == Some("mod")
-                    && test_mod_depth.is_none()
-                {
-                    test_mod_depth = Some(depth);
-                }
-                pending_test_mod = false;
-            }
-            Tok::Punct('}') => {
-                if fn_stack.last().is_some_and(|&(_, d)| d == depth) {
-                    fn_stack.pop();
-                }
-                if test_mod_depth == Some(depth) {
-                    test_mod_depth = None;
-                }
-                depth -= 1;
-            }
-            Tok::Ident(w)
-                if (w == "unwrap" || w == "expect")
-                    && i > 0
-                    && punct(&toks[i - 1], '.')
-                    && toks.get(i + 1).is_some_and(|t| punct(t, '('))
-                    && test_mod_depth.is_none()
-                    && in_pipeline(&fn_stack) =>
-            {
-                diags.push(Diagnostic {
-                    line: toks[i].line,
-                    rule: UNWRAP_IN_PIPELINE,
-                    severity: Severity::Warning,
-                    message: format!(
-                        "`.{w}()` inside `{}`: pipeline steps must return typed errors \
-                         so the degradation ladders can catch the failure",
-                        fn_stack.last().map(|(n, _)| n.as_str()).unwrap_or("?")
-                    ),
-                });
-            }
-            _ => {}
-        }
-    }
-}
-
-/// The machine-wide per-tile arrays a shard tick must never index
-/// directly: every access inside a concurrently-running tick function
-/// has to go through the shard-local slices (conventionally renamed
-/// `local_*`) or the deferred outbox.
-const SHARD_GLOBAL_ARRAYS: [&str; 2] = ["routers", "pes"];
-
-fn rule_shared_mutable_in_shard(scan: &Scan, diags: &mut Vec<Diagnostic>) {
-    let toks = &scan.tokens;
-    let mut depth = 0i32;
-    let mut fn_stack: Vec<(String, i32)> = Vec::new();
-    let mut pending_fn: Option<String> = None;
-    let in_tick =
-        |stack: &[(String, i32)]| stack.last().is_some_and(|(name, _)| name.contains("tick"));
-    for i in 0..toks.len() {
-        match &toks[i].tok {
-            Tok::Ident(w) if w == "fn" => {
-                if let Some(Some(name)) = toks.get(i + 1).map(ident) {
-                    pending_fn = Some(name.to_string());
-                }
-            }
-            Tok::Punct(';') => pending_fn = None, // bodyless trait method
-            Tok::Punct('{') => {
-                depth += 1;
-                if let Some(name) = pending_fn.take() {
-                    fn_stack.push((name, depth));
-                }
-            }
-            Tok::Punct('}') => {
-                if fn_stack.last().is_some_and(|&(_, d)| d == depth) {
-                    fn_stack.pop();
-                }
-                depth -= 1;
-            }
-            Tok::Ident(w)
-                if SHARD_GLOBAL_ARRAYS.contains(&w.as_str())
-                    && toks.get(i + 1).is_some_and(|t| punct(t, '['))
-                    && in_tick(&fn_stack) =>
-            {
-                diags.push(Diagnostic {
-                    line: toks[i].line,
-                    rule: SHARED_MUTABLE_IN_SHARD,
-                    severity: Severity::Warning,
-                    message: format!(
-                        "`{w}[..]` indexed inside `{}`: shard tick functions run \
-                         concurrently; use the shard-local views and the \
-                         barrier-applied outbox, not the machine-wide arrays",
-                        fn_stack.last().map(|(n, _)| n.as_str()).unwrap_or("?")
-                    ),
-                });
-            }
-            _ => {}
-        }
+impl facts::FileFacts {
+    /// Whether `rule` is waived at `line` by an `allow(..)` directive.
+    pub fn allowed(&self, rule: &str, line: u32) -> bool {
+        self.scan.allowed(rule, line)
     }
 }
 

@@ -1,22 +1,36 @@
-//! `azul-lint` — determinism lints for the Azul workspace.
+//! `azul-lint` — determinism and hot-path lints for the Azul workspace.
 //!
 //! ```text
-//! azul-lint check [--deny warnings] [--root DIR]
+//! azul-lint check [--deny warnings] [--root DIR] [--format text|json]
+//!                 [--stale-waivers | --no-stale-waivers]
 //! azul-lint rules
 //! ```
 //!
 //! `check` walks every `.rs` file under the workspace root (skipping
-//! `target/` and hidden directories), applies the rules described in
-//! the library docs, and prints `path:line: severity: [rule] message`
-//! diagnostics. Exit code 0 when clean, 1 on errors (or, with
-//! `--deny warnings`, on any diagnostic), 2 on usage/IO problems.
+//! `target/` and hidden directories; `tests/`, `examples/` and
+//! `crates/bench` are covered), runs the two-phase analysis — lexical
+//! rules per file plus the interprocedural call-graph rules — and
+//! prints `path:line: severity: [rule] message` diagnostics, or, with
+//! `--format json`, the byte-deterministic machine-readable report
+//! (SARIF-compatible fields) on stdout with the summary on stderr.
+//!
+//! The stale-waiver audit defaults **on** under `--deny warnings` and
+//! off otherwise; `--stale-waivers` / `--no-stale-waivers` override.
+//!
+//! Exit code 0 when clean, 1 on errors (or, with `--deny warnings`,
+//! on any diagnostic), 2 on usage/IO problems.
 
 #![forbid(unsafe_code)]
 
-use azul_lint::{lint_source, Severity, ALL_RULES};
-use std::fs;
-use std::path::{Path, PathBuf};
+use azul_lint::{analyze_root, render_json, render_text, Options, Severity, ALL_RULES};
+use std::path::PathBuf;
 use std::process::ExitCode;
+
+#[derive(PartialEq)]
+enum Format {
+    Text,
+    Json,
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -29,7 +43,11 @@ fn main() -> ExitCode {
         }
         Some("check") => check(&args[1..]),
         _ => {
-            eprintln!("usage: azul-lint check [--deny warnings] [--root DIR] | azul-lint rules");
+            eprintln!(
+                "usage: azul-lint check [--deny warnings] [--root DIR] \
+                 [--format text|json] [--stale-waivers|--no-stale-waivers] \
+                 | azul-lint rules"
+            );
             ExitCode::from(2)
         }
     }
@@ -38,6 +56,8 @@ fn main() -> ExitCode {
 fn check(args: &[String]) -> ExitCode {
     let mut deny_warnings = false;
     let mut root = PathBuf::from(".");
+    let mut format = Format::Text;
+    let mut stale_override: Option<bool> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -55,6 +75,16 @@ fn check(args: &[String]) -> ExitCode {
                     return ExitCode::from(2);
                 }
             },
+            "--format" => match it.next().map(String::as_str) {
+                Some("text") => format = Format::Text,
+                Some("json") => format = Format::Json,
+                other => {
+                    eprintln!("--format expects `text` or `json`, got {other:?}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--stale-waivers" => stale_override = Some(true),
+            "--no-stale-waivers" => stale_override = Some(false),
             other => {
                 eprintln!("unknown argument {other:?}");
                 return ExitCode::from(2);
@@ -62,66 +92,47 @@ fn check(args: &[String]) -> ExitCode {
         }
     }
 
-    let mut files = Vec::new();
-    if let Err(e) = collect_rs(&root, &mut files) {
-        eprintln!("failed to walk {}: {e}", root.display());
-        return ExitCode::from(2);
-    }
-    files.sort();
+    let opts = Options {
+        stale_waivers: stale_override.unwrap_or(deny_warnings),
+    };
+    let analysis = match analyze_root(&root, &opts) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("failed to analyze {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
 
-    let mut errors = 0usize;
-    let mut warnings = 0usize;
-    for path in &files {
-        let src = match fs::read_to_string(path) {
-            Ok(s) => s,
-            Err(e) => {
-                eprintln!("failed to read {}: {e}", path.display());
-                return ExitCode::from(2);
+    let errors = analysis.errors();
+    let warnings = analysis.warnings();
+    let summary = format!(
+        "azul-lint: {} file(s) checked, {errors} error(s), {warnings} warning(s)",
+        analysis.files.len()
+    );
+    match format {
+        Format::Text => {
+            for fd in &analysis.diagnostics {
+                println!("{}", render_text(fd));
             }
-        };
-        // Lint rules are keyed on workspace-relative paths.
-        let rel = path
-            .strip_prefix(&root)
-            .unwrap_or(path)
-            .to_string_lossy()
-            .replace('\\', "/");
-        for d in lint_source(&rel, &src) {
-            match d.severity {
-                Severity::Error => errors += 1,
-                Severity::Warning => warnings += 1,
-            }
-            println!(
-                "{rel}:{}: {}: [{}] {}",
-                d.line, d.severity, d.rule, d.message
-            );
+            println!("{summary}");
+        }
+        Format::Json => {
+            // The report owns stdout so `azul-lint ... > report.json`
+            // stays parseable; humans read the summary from stderr.
+            print!("{}", render_json(&analysis));
+            eprintln!("{summary}");
         }
     }
 
-    println!(
-        "azul-lint: {} file(s) checked, {errors} error(s), {warnings} warning(s)",
-        files.len()
-    );
-    if errors > 0 || (deny_warnings && warnings > 0) {
+    let failing = errors > 0
+        || (deny_warnings
+            && analysis
+                .diagnostics
+                .iter()
+                .any(|d| d.diag.severity == Severity::Warning));
+    if failing {
         ExitCode::FAILURE
     } else {
         ExitCode::SUCCESS
     }
-}
-
-fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
-    for entry in fs::read_dir(dir)? {
-        let entry = entry?;
-        let path = entry.path();
-        let name = entry.file_name();
-        let name = name.to_string_lossy();
-        if path.is_dir() {
-            if name == "target" || name.starts_with('.') {
-                continue;
-            }
-            collect_rs(&path, out)?;
-        } else if name.ends_with(".rs") {
-            out.push(path);
-        }
-    }
-    Ok(())
 }

@@ -1,0 +1,141 @@
+//! Deterministic machine-readable output.
+//!
+//! A hand-rolled JSON writer (no serde in this workspace) that renders
+//! an [`crate::Analysis`] with **byte-deterministic** output: object
+//! keys are emitted in fixed alphabetical order, diagnostics are
+//! pre-sorted by `(file, line, rule, message)`, and nothing
+//! environment-dependent (absolute paths, timestamps) is included.
+//! The field vocabulary — `rule`, `level`, `location` (`file` +
+//! `line`), `trace` — is chosen to map 1:1 onto SARIF
+//! (`ruleId`/`level`/`physicalLocation`/`codeFlows`) so CI can convert
+//! or consume it directly for GitHub annotations.
+
+use crate::{Analysis, Severity};
+
+/// Schema identifier embedded in every report.
+pub const REPORT_SCHEMA: &str = "azul-lint-report/2";
+
+fn escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Renders the JSON report. Keys in alphabetical order at every level;
+/// repeated runs over the same tree produce identical bytes.
+pub fn render_json(analysis: &Analysis) -> String {
+    let mut out = String::with_capacity(4096);
+    out.push_str("{\n  \"diagnostics\": [");
+    for (i, fd) in analysis.diagnostics.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n    {\n      \"level\": \"");
+        out.push_str(match fd.diag.severity {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+        });
+        out.push_str("\",\n      \"location\": { \"file\": \"");
+        escape_into(&mut out, &fd.file);
+        out.push_str("\", \"line\": ");
+        out.push_str(&fd.diag.line.to_string());
+        out.push_str(" },\n      \"message\": \"");
+        escape_into(&mut out, &fd.diag.message);
+        out.push_str("\",\n      \"rule\": \"");
+        escape_into(&mut out, fd.diag.rule);
+        out.push_str("\",\n      \"trace\": [");
+        for (j, step) in fd.diag.trace.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            out.push_str("\n        { \"file\": \"");
+            escape_into(&mut out, &step.file);
+            out.push_str("\", \"function\": \"");
+            escape_into(&mut out, &step.function);
+            out.push_str("\", \"line\": ");
+            out.push_str(&step.line.to_string());
+            out.push_str(" }");
+        }
+        if !fd.diag.trace.is_empty() {
+            out.push_str("\n      ");
+        }
+        out.push_str("]\n    }");
+    }
+    if !analysis.diagnostics.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("],\n  \"schema\": \"");
+    out.push_str(REPORT_SCHEMA);
+    out.push_str("\",\n  \"summary\": { \"errors\": ");
+    out.push_str(&analysis.errors().to_string());
+    out.push_str(", \"files\": ");
+    out.push_str(&analysis.files.len().to_string());
+    out.push_str(", \"warnings\": ");
+    out.push_str(&analysis.warnings().to_string());
+    out.push_str(" }\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workspace::{analyze_sources, Options};
+
+    #[test]
+    fn json_is_byte_deterministic_and_well_formed() {
+        let files = vec![
+            (
+                "crates/sim/src/machine.rs".to_string(),
+                "fn tick(x: Option<u32>) { helper(x); }\n\
+                 fn helper(x: Option<u32>) { x.expect(\"boom \\\"quoted\\\"\"); }\n"
+                    .to_string(),
+            ),
+            (
+                "crates/sim/src/other.rs".to_string(),
+                "use std::time::Instant;\n".to_string(),
+            ),
+        ];
+        let a1 = analyze_sources(files.clone(), &Options::default());
+        let a2 = analyze_sources(files, &Options::default());
+        let j1 = render_json(&a1);
+        let j2 = render_json(&a2);
+        assert_eq!(j1, j2, "repeated runs must render identical bytes");
+        assert!(j1.contains("\"schema\": \"azul-lint-report/2\""));
+        assert!(j1.contains("\"rule\": \"transitive-panic-in-hot-path\""));
+        // Crude balance check on the emitted structure.
+        let opens = j1.matches('{').count();
+        let closes = j1.matches('}').count();
+        assert_eq!(opens, closes);
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let mut s = String::new();
+        escape_into(&mut s, "a\"b\\c\nd\u{1}");
+        assert_eq!(s, "a\\\"b\\\\c\\nd\\u0001");
+    }
+
+    #[test]
+    fn empty_analysis_renders_stable_skeleton() {
+        let a = analyze_sources(
+            vec![(
+                "crates/models/src/ok.rs".to_string(),
+                "fn f() {}\n".to_string(),
+            )],
+            &Options::default(),
+        );
+        let j = render_json(&a);
+        assert!(j.contains("\"diagnostics\": []"));
+        assert!(j.contains("\"errors\": 0, \"files\": 1, \"warnings\": 0"));
+    }
+}

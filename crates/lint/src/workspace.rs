@@ -1,0 +1,444 @@
+//! Workspace discovery and whole-tree analysis.
+//!
+//! `analyze_root` walks every `.rs` file under a root (skipping
+//! `target/` and hidden directories — `tests/`, `examples/`, `benches/`
+//! and `crates/bench` are all included), keys rules on the
+//! workspace-relative path, and runs both analysis phases plus the
+//! stale-waiver audit over the full file set. `analyze_sources` is the
+//! same pipeline over in-memory `(path, source)` pairs, for tests and
+//! embedding.
+
+use crate::graph::{CallGraph, Database};
+use crate::rules::{lexical_diags, stale_waiver_diags, transitive_diags, WaiverTracker};
+use crate::{FileDiagnostic, Severity};
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Analysis knobs. `stale_waivers` gates the audit diagnostics (the
+/// CLI defaults it on under `--deny warnings`).
+#[derive(Debug, Clone, Default)]
+pub struct Options {
+    pub stale_waivers: bool,
+}
+
+/// The result of analyzing a file set.
+pub struct Analysis {
+    /// Workspace-relative paths of every file checked, sorted.
+    pub files: Vec<String>,
+    /// All findings, sorted by `(file, line, rule, message)`.
+    pub diagnostics: Vec<FileDiagnostic>,
+}
+
+impl Analysis {
+    pub fn errors(&self) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.diag.severity == Severity::Error)
+            .count()
+    }
+
+    pub fn warnings(&self) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.diag.severity == Severity::Warning)
+            .count()
+    }
+}
+
+/// Recursively collects `.rs` files under `dir`, skipping `target/`
+/// and hidden directories. Deterministic: the result is sorted.
+pub fn collect_rs(dir: &Path) -> std::io::Result<Vec<PathBuf>> {
+    fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+        for entry in fs::read_dir(dir)? {
+            let entry = entry?;
+            let path = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if path.is_dir() {
+                if name == "target" || name.starts_with('.') {
+                    continue;
+                }
+                walk(&path, out)?;
+            } else if name.ends_with(".rs") {
+                out.push(path);
+            }
+        }
+        Ok(())
+    }
+    let mut files = Vec::new();
+    walk(dir, &mut files)?;
+    files.sort();
+    Ok(files)
+}
+
+/// Walks `root` and analyzes every discovered file.
+pub fn analyze_root(root: &Path, opts: &Options) -> std::io::Result<Analysis> {
+    let mut sources = Vec::new();
+    for path in collect_rs(root)? {
+        let src = fs::read_to_string(&path)?;
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        sources.push((rel.trim_start_matches("./").to_string(), src));
+    }
+    Ok(analyze_sources(sources, opts))
+}
+
+/// Runs the full two-phase analysis over in-memory sources.
+pub fn analyze_sources(mut sources: Vec<(String, String)>, opts: &Options) -> Analysis {
+    sources.sort_by(|a, b| a.0.cmp(&b.0));
+    let db = Database::from_sources(&sources);
+    let graph = CallGraph::build(&db);
+    let mut tracker = WaiverTracker::default();
+    let mut diagnostics: Vec<FileDiagnostic> = Vec::new();
+
+    // Phase 2a: lexical rules per file, with waiver-usage tracking.
+    for file in &db.files {
+        for diag in lexical_diags(file) {
+            if tracker.consume(file, &[diag.rule], diag.line) {
+                continue;
+            }
+            diagnostics.push(FileDiagnostic {
+                file: file.path.clone(),
+                diag,
+            });
+        }
+    }
+
+    // Phase 2b: interprocedural reachability rules over the call graph.
+    for (fi, diag) in transitive_diags(&db, &graph, &mut tracker) {
+        diagnostics.push(FileDiagnostic {
+            file: db.files[fi].path.clone(),
+            diag,
+        });
+    }
+
+    // Phase 2c: the stale-waiver audit sees the union of directive
+    // usage from both rule families.
+    if opts.stale_waivers {
+        for (fi, diag) in stale_waiver_diags(&db, &tracker) {
+            diagnostics.push(FileDiagnostic {
+                file: db.files[fi].path.clone(),
+                diag,
+            });
+        }
+    }
+
+    diagnostics.sort_by(|a, b| {
+        (
+            a.file.as_str(),
+            a.diag.line,
+            a.diag.rule,
+            a.diag.message.as_str(),
+        )
+            .cmp(&(
+                b.file.as_str(),
+                b.diag.line,
+                b.diag.rule,
+                b.diag.message.as_str(),
+            ))
+    });
+
+    Analysis {
+        files: db.files.iter().map(|f| f.path.clone()).collect(),
+        diagnostics,
+    }
+}
+
+/// Renders one diagnostic in the classic text format:
+/// `path:line: severity: [rule] message`.
+pub fn render_text(fd: &FileDiagnostic) -> String {
+    format!(
+        "{}:{}: {}: [{}] {}",
+        fd.file, fd.diag.line, fd.diag.severity, fd.diag.rule, fd.diag.message
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn analyze(files: &[(&str, &str)]) -> Analysis {
+        analyze_sources(
+            files
+                .iter()
+                .map(|(p, s)| (p.to_string(), s.to_string()))
+                .collect(),
+            &Options {
+                stale_waivers: true,
+            },
+        )
+    }
+
+    fn rules_of(a: &Analysis) -> Vec<&'static str> {
+        a.diagnostics.iter().map(|d| d.diag.rule).collect()
+    }
+
+    #[test]
+    fn depth_two_panic_invisible_to_lexical_rule_is_caught_with_trace() {
+        // `fetch_task` is not named tick/route/execute, so the v1
+        // name-based rule provably missed this `.expect()`; the
+        // call-graph rule follows tick_shard -> step_one -> fetch_task.
+        let a = analyze(&[(
+            "crates/sim/src/machine.rs",
+            r#"
+pub fn tick_shard(q: &mut Vec<u32>) {
+    step_one(q);
+}
+fn step_one(q: &mut Vec<u32>) {
+    fetch_task(q);
+}
+fn fetch_task(q: &mut Vec<u32>) {
+    q.pop().expect("queue must not be empty");
+}
+"#,
+        )]);
+        let hits: Vec<_> = a
+            .diagnostics
+            .iter()
+            .filter(|d| d.diag.rule == crate::TRANSITIVE_PANIC_IN_HOT_PATH)
+            .collect();
+        assert_eq!(hits.len(), 1, "{:?}", rules_of(&a));
+        let d = &hits[0].diag;
+        assert_eq!(d.line, 9);
+        // The rendered chain names every hop, root first.
+        assert!(
+            d.message.contains(
+                "tick_shard -> step_one -> fetch_task: .expect() at crates/sim/src/machine.rs:9"
+            ),
+            "{}",
+            d.message
+        );
+        // And the structured trace mirrors it with qualified names.
+        let fns: Vec<&str> = d.trace.iter().map(|s| s.function.as_str()).collect();
+        assert_eq!(
+            fns,
+            vec![
+                "sim::machine::tick_shard",
+                "sim::machine::step_one",
+                "sim::machine::fetch_task"
+            ]
+        );
+        assert_eq!(d.trace.last().unwrap().line, 9);
+        // The lexical rule did NOT fire (the whole point).
+        assert!(!rules_of(&a).contains(&crate::PANIC_IN_SIM_HOT_PATH));
+    }
+
+    #[test]
+    fn depth_one_panic_is_left_to_the_lexical_rule() {
+        let a = analyze(&[(
+            "crates/sim/src/machine.rs",
+            "pub fn tick_shard(x: Option<u32>) -> u32 { x.unwrap() }\n",
+        )]);
+        assert_eq!(rules_of(&a), vec![crate::PANIC_IN_SIM_HOT_PATH]);
+    }
+
+    #[test]
+    fn transitive_wall_clock_crosses_crates() {
+        let a = analyze(&[
+            (
+                "crates/sim/src/machine.rs",
+                "pub fn run_kernel() { azul_telemetry::stamp(); }\n",
+            ),
+            (
+                "crates/telemetry/src/span.rs",
+                "pub fn stamp() { let _ = std::time::Instant::now(); }\n",
+            ),
+        ]);
+        let rules = rules_of(&a);
+        assert!(rules.contains(&crate::TRANSITIVE_WALL_CLOCK), "{rules:?}");
+        let d = &a
+            .diagnostics
+            .iter()
+            .find(|d| d.diag.rule == crate::TRANSITIVE_WALL_CLOCK)
+            .unwrap()
+            .diag;
+        assert_eq!(d.severity, Severity::Error);
+        assert!(d.message.contains("run_kernel -> stamp"), "{}", d.message);
+    }
+
+    #[test]
+    fn transitive_unwrap_rooted_at_pipeline_fns() {
+        let a = analyze(&[(
+            "crates/core/src/supervisor.rs",
+            r#"
+pub fn prepare_rung(x: Option<u32>) -> u32 {
+    lower(x)
+}
+fn lower(x: Option<u32>) -> u32 {
+    x.unwrap()
+}
+"#,
+        )]);
+        assert_eq!(rules_of(&a), vec![crate::TRANSITIVE_UNWRAP_IN_PIPELINE]);
+    }
+
+    #[test]
+    fn lock_poison_guards_are_exempt_from_transitive_unwrap() {
+        let a = analyze(&[(
+            "crates/core/src/supervisor.rs",
+            r#"
+pub fn solve_attempt(m: &std::sync::Mutex<u32>, x: Option<u32>) -> u32 {
+    read_shared(m) + lower(x)
+}
+fn read_shared(m: &std::sync::Mutex<u32>) -> u32 {
+    *m.lock().expect("shard lock poisoned")
+}
+fn lower(x: Option<u32>) -> u32 {
+    x.expect("caller checked")
+}
+"#,
+        )]);
+        // Only the plain `.expect()` fires; `.lock().expect(..)` is a
+        // poison guard and stays exempt.
+        assert_eq!(rules_of(&a), vec![crate::TRANSITIVE_UNWRAP_IN_PIPELINE]);
+        assert_eq!(a.diagnostics[0].diag.line, 9);
+    }
+
+    #[test]
+    fn alloc_in_tick_path_flags_fresh_allocations_only() {
+        let a = analyze(&[(
+            "crates/sim/src/router.rs",
+            r#"
+pub fn tick_router(out: &mut Vec<u32>) {
+    let scratch: Vec<u32> = Vec::new();
+    out.push(1);
+    let _ = scratch;
+}
+"#,
+        )]);
+        // `Vec::new` per tick is flagged; the amortized `push` is not.
+        let hits = rules_of(&a);
+        assert_eq!(hits, vec![crate::ALLOC_IN_TICK_PATH], "{hits:?}");
+        let d = &a.diagnostics[0].diag;
+        assert_eq!(d.line, 3);
+        assert!(d.message.contains("Vec::new"), "{}", d.message);
+    }
+
+    #[test]
+    fn alloc_reached_through_helper_is_flagged_and_waivable() {
+        let src = r#"
+pub fn tick_router(n: usize) {
+    route_step(n);
+}
+fn route_step(n: usize) {
+    let _buf: Vec<u32> = Vec::with_capacity(n);
+}
+"#;
+        let a = analyze(&[("crates/sim/src/router.rs", src)]);
+        assert_eq!(rules_of(&a), vec![crate::ALLOC_IN_TICK_PATH]);
+
+        let waived = r#"
+pub fn tick_router(n: usize) {
+    route_step(n);
+}
+fn route_step(n: usize) {
+    // azul-lint: allow(alloc-in-tick-path) sized once per escalation, not per cycle
+    let _buf: Vec<u32> = Vec::with_capacity(n);
+}
+"#;
+        let a = analyze(&[("crates/sim/src/router.rs", waived)]);
+        assert!(rules_of(&a).is_empty(), "{:?}", rules_of(&a));
+    }
+
+    #[test]
+    fn transitive_finding_waivable_by_lexical_alias_at_sink() {
+        let src = r#"
+pub fn tick_shard(x: Option<u32>) {
+    helper(x);
+}
+fn helper(x: Option<u32>) {
+    // azul-lint: allow(panic-in-sim-hot-path) invariant: caller checked
+    let _ = x.unwrap();
+}
+"#;
+        let a = analyze(&[("crates/sim/src/machine.rs", src)]);
+        assert!(rules_of(&a).is_empty(), "{:?}", rules_of(&a));
+    }
+
+    #[test]
+    fn stale_allow_directive_is_reported_and_live_one_is_not() {
+        let a = analyze(&[(
+            "crates/sim/src/machine.rs",
+            r#"
+// azul-lint: allow(wall-clock-in-sim) nothing here anymore
+pub fn tick(x: Option<u32>) -> u32 {
+    // azul-lint: allow(panic-in-sim-hot-path) checked by caller
+    x.unwrap()
+}
+"#,
+        )]);
+        let stale: Vec<_> = a
+            .diagnostics
+            .iter()
+            .filter(|d| d.diag.rule == crate::STALE_WAIVER)
+            .collect();
+        assert_eq!(stale.len(), 1, "{:?}", rules_of(&a));
+        assert_eq!(stale[0].diag.line, 2);
+        assert!(stale[0].diag.message.contains("wall-clock-in-sim"));
+    }
+
+    #[test]
+    fn stale_reduction_order_justification_is_reported() {
+        let a = analyze(&[(
+            "crates/solver/src/kernels.rs",
+            "// reduction-order: slice order (the loop below was removed)\nfn f() {}\n",
+        )]);
+        assert_eq!(rules_of(&a), vec![crate::STALE_WAIVER]);
+        // A live justification is silent.
+        let a = analyze(&[(
+            "crates/solver/src/kernels.rs",
+            "// reduction-order: slice order\nfn f(v: &[f64]) -> f64 { v.iter().sum::<f64>() }\n",
+        )]);
+        assert!(rules_of(&a).is_empty(), "{:?}", rules_of(&a));
+    }
+
+    #[test]
+    fn unknown_rule_names_in_allow_are_not_audited() {
+        // Doc examples write `allow(<rule>)`; only known rules audit.
+        let a = analyze(&[(
+            "crates/models/src/doc.rs",
+            "// azul-lint: allow(<rule>) example syntax from the docs\nfn f() {}\n",
+        )]);
+        assert!(rules_of(&a).is_empty(), "{:?}", rules_of(&a));
+    }
+
+    #[test]
+    fn stale_audit_off_by_default_options() {
+        let a = analyze_sources(
+            vec![(
+                "crates/sim/src/machine.rs".to_string(),
+                "// azul-lint: allow(wall-clock-in-sim) stale\nfn f() {}\n".to_string(),
+            )],
+            &Options::default(),
+        );
+        assert!(a.diagnostics.is_empty());
+    }
+
+    #[test]
+    fn panic_rules_do_not_fire_in_test_code() {
+        let a = analyze(&[(
+            "crates/sim/src/machine.rs",
+            r#"
+pub fn tick(q: &mut Vec<u32>) {
+    helper(q);
+}
+fn helper(q: &mut Vec<u32>) {
+    q.clear();
+}
+#[cfg(test)]
+mod tests {
+    fn tick_harness(x: Option<u32>) {
+        deep(x);
+    }
+    fn deep(x: Option<u32>) {
+        x.unwrap();
+    }
+}
+"#,
+        )]);
+        assert!(rules_of(&a).is_empty(), "{:?}", rules_of(&a));
+    }
+}

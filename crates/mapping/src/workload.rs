@@ -100,16 +100,19 @@ pub fn build_pcg_hypergraph(a: &Csr, row_edge_weight: u64, quantiles: usize) -> 
     }
     for (j, pins) in col_pins.iter_mut().enumerate() {
         pins.push(nnz + j);
+        // azul-lint: allow(unwrap-in-pipeline) pin ids are bounded by nnz + n, sized into the builder
         b.add_net(1, pins).expect("column pins are valid");
     }
     // Row nets: {y_i} ∪ nonzeros of row i, weighted.
     for (i, pins) in row_pins.iter_mut().enumerate() {
         pins.push(nnz + i);
         b.add_net(row_edge_weight, pins)
+            // azul-lint: allow(unwrap-in-pipeline) pin ids are bounded by nnz + n, sized into the builder
             .expect("row pins are valid");
     }
 
     WorkloadHypergraph {
+        // azul-lint: allow(unwrap-in-pipeline) builder saw only validated nets, finalize cannot fail
         hg: b.finalize().expect("workload hypergraph is well-formed"),
         num_nnz: nnz,
         num_rows: n,

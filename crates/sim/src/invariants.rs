@@ -242,6 +242,7 @@ pub(crate) fn check_router_occupancy(cycle: u64, router: &Router) -> Result<(), 
         return Err(violation(
             RULE_OCCUPANCY_BOUNDS,
             cycle,
+            // azul-lint: allow(alloc-in-tick-path) failure path: allocates once while aborting the kernel
             format!(
                 "router {} inject queue holds {occ} flits, capacity {}",
                 router.tile(),

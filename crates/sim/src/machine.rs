@@ -60,6 +60,20 @@ pub enum SimError {
         /// Human-readable account of the mismatch.
         detail: String,
     },
+    /// A trigger was delivered to a tile whose program has no matching
+    /// slot or column range: the compiled routing tables and the tile
+    /// programs disagree, so the compiler (not the workload) is wrong.
+    /// Formerly a panic inside the PE tick; surfacing it as a typed
+    /// error lets the supervisor ladders record the failure instead of
+    /// tearing the process down.
+    MisroutedTrigger {
+        /// Kernel-local cycle at which the trigger was dequeued.
+        cycle: u64,
+        /// Tile whose PE received the trigger.
+        tile: u32,
+        /// Which trigger kind and index had no program entry.
+        detail: String,
+    },
     /// The kernel was abandoned cooperatively: the
     /// [`CancelToken`](crate::CancelToken) armed via
     /// [`SimConfig::cancel`] tripped. The flag is sampled once per loop
@@ -91,6 +105,11 @@ impl std::fmt::Display for SimError {
                 cycle,
                 detail,
             } => write!(f, "invariant `{rule}` violated at cycle {cycle}: {detail}"),
+            SimError::MisroutedTrigger {
+                cycle,
+                tile,
+                detail,
+            } => write!(f, "misrouted trigger at cycle {cycle} on tile {tile}: {detail}"),
             SimError::Cancelled { cycle } => {
                 write!(f, "kernel cancelled at cycle {cycle}")
             }
@@ -232,7 +251,7 @@ fn tick_shard(
         if !(faulting && stalled[local]) {
             let _p = profiling.then(|| crate::profile::scope(crate::profile::Component::PeTick));
             let tp = program.tile(t as u32);
-            local_pes[local].tick(
+            let ticked = local_pes[local].tick(
                 now,
                 cfg,
                 tp,
@@ -242,6 +261,14 @@ fn tick_shard(
                 &mut OutSink::Buffered(out_buf),
                 stats,
             );
+            // Misrouted triggers surface through the same first-error-
+            // wins channel as invariant violations; the barrier commit
+            // aborts the kernel with the typed error.
+            if let Err(e) = ticked {
+                if err.is_none() {
+                    *err = Some(e);
+                }
+            }
         }
         // Runtime invariant: the inject queue is the only bounded
         // buffer; exceeding its capacity means a PE bypassed
@@ -461,10 +488,12 @@ pub fn run_kernel_checked(
     // Windows opened in an earlier kernel of the same session (e.g. a
     // PeKill) must constrain this kernel from cycle 0.
     if faulting {
+        // azul-lint: allow(unwrap-in-pipeline) `faulting` is derived from `session.is_some_and` above
         let s = session.as_deref_mut().expect("faulting implies session");
         if !s.active_windows().is_empty() {
             let mut init: Vec<&mut Shard> = shards
                 .iter_mut()
+                // azul-lint: allow(unwrap-in-pipeline) poison guard: workers have not spawned yet
                 .map(|m| m.get_mut().expect("no shard lock held yet"))
                 .collect();
             sync_fault_state(s, 0, &mut init, &shard_of);
@@ -485,6 +514,7 @@ pub fn run_kernel_checked(
     for t in 0..num_tiles {
         let sh = shards[shard_of[t]]
             .get_mut()
+            // azul-lint: allow(unwrap-in-pipeline) poison guard: workers have not spawned yet
             .expect("no shard lock held yet");
         let tp = program.tile(t as u32);
         for &j in &tp.send_v {
@@ -598,6 +628,7 @@ pub fn run_kernel_checked(
                 // injected router/PE state when the window set changes.
                 let mut suspends_now = false;
                 if faulting {
+                    // azul-lint: allow(unwrap-in-pipeline) `faulting` is derived from `session.is_some_and` above
                     let s = session.as_deref_mut().expect("faulting implies session");
                     fired.clear();
                     let trace_faults = stats.trace_ev.wants(CAT_FAULT);
@@ -730,6 +761,7 @@ pub fn run_kernel_checked(
                         ne = ne.min(last_progress.saturating_add(cfg.watchdog_no_progress_cycles));
                     }
                     if faulting {
+                        // azul-lint: allow(unwrap-in-pipeline) `faulting` is derived from `session.is_some_and` above
                         let s = session.as_deref_mut().expect("faulting implies session");
                         let g = s.next_timeline_cycle();
                         if g != u64::MAX {
@@ -896,6 +928,7 @@ pub fn run_kernel_checked(
     // main ledger in shard order, then close out the run.
     let mut inflight = 0usize;
     for m in shards.iter_mut() {
+        // azul-lint: allow(unwrap-in-pipeline) poison guard: workers were joined by thread::scope
         let sh = m.get_mut().expect("workers joined");
         stats.merge(&sh.stats);
         inv.credit_occupancy_checks(sh.occ_checks);

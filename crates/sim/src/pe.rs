@@ -14,6 +14,7 @@
 //! (Figs. 10/11's methodology).
 
 use crate::config::{PeModel, SimConfig};
+use crate::machine::SimError;
 use crate::program::{Program, SlotAction, TileProgram};
 use crate::router::{Flit, FlitKind, Router, PORT_INJECT};
 use crate::stats::{KernelStats, OpKind};
@@ -244,18 +245,36 @@ impl Pe {
         !self.msg_buffer.is_empty() || self.contexts.iter().any(Option::is_some)
     }
 
-    /// Builds a task from a trigger.
-    fn make_task(&mut self, tp: &TileProgram, prog: &Program, trig: Trigger) -> Task {
-        match trig {
+    /// Typed error for a trigger this tile's program cannot serve.
+    fn misrouted(&self, now: u64, what: &str, idx: u32) -> SimError {
+        SimError::MisroutedTrigger {
+            cycle: now,
+            tile: self.tile,
+            // azul-lint: allow(alloc-in-tick-path) failure path: allocates once while aborting the kernel
+            detail: format!("{what} {idx} has no entry in this tile's program"),
+        }
+    }
+
+    /// Builds a task from a trigger, or a [`SimError::MisroutedTrigger`]
+    /// when the tile program has no slot/range for it (a compiler bug).
+    fn make_task(
+        &mut self,
+        now: u64,
+        tp: &TileProgram,
+        prog: &Program,
+        trig: Trigger,
+    ) -> Result<Task, SimError> {
+        Ok(match trig {
             Trigger::X { idx, val } => {
                 let &(start, end) = tp
                     .saac
                     .get(&idx)
-                    .expect("X trigger delivered only to participant tiles");
+                    .ok_or_else(|| self.misrouted(now, "x trigger for column", idx))?;
                 Task {
                     value: val,
                     cur: start,
                     end,
+                    // azul-lint: allow(alloc-in-tick-path) lazy: `VecDeque::new` allocates nothing until a push
                     pending: VecDeque::new(),
                 }
             }
@@ -263,11 +282,12 @@ impl Pe {
                 let slot = *tp
                     .combine_slot
                     .get(&idx)
-                    .expect("partial delivered only to combiner tiles");
+                    .ok_or_else(|| self.misrouted(now, "partial for row", idx))?;
                 Task {
                     value: val,
                     cur: 0,
                     end: 0,
+                    // azul-lint: allow(alloc-in-tick-path) one allocation per multi-cycle task, not per cycle
                     pending: VecDeque::from([PendingOp::Combine { slot }]),
                 }
             }
@@ -275,6 +295,7 @@ impl Pe {
                 value: 0.0,
                 cur: 0,
                 end: 0,
+                // azul-lint: allow(alloc-in-tick-path) one allocation per multi-cycle task, not per cycle
                 pending: VecDeque::from([PendingOp::SendX {
                     idx,
                     val: f64::NAN, // filled at issue from the input vector
@@ -284,16 +305,17 @@ impl Pe {
                 let slot = *tp
                     .combine_slot
                     .get(&idx)
-                    .expect("solve trigger targets a home slot");
+                    .ok_or_else(|| self.misrouted(now, "solve trigger for row", idx))?;
                 let _ = prog;
                 Task {
                     value: 0.0,
                     cur: 0,
                     end: 0,
+                    // azul-lint: allow(alloc-in-tick-path) one allocation per multi-cycle task, not per cycle
                     pending: VecDeque::from([PendingOp::SolveMul { target: idx, slot }]),
                 }
             }
-        }
+        })
     }
 
     /// Runs slot-completion logic, pushing follow-up ops onto `task`.
@@ -315,7 +337,9 @@ impl Pe {
     }
 
     /// One PE cycle. Returns `true` if the PE still has work after the
-    /// tick (for the machine's active-tile tracking).
+    /// tick (for the machine's active-tile tracking), or a
+    /// [`SimError::MisroutedTrigger`] when a dequeued trigger has no
+    /// entry in the tile program.
     #[allow(clippy::too_many_arguments)]
     pub fn tick(
         &mut self,
@@ -327,17 +351,17 @@ impl Pe {
         input: &[f64],
         out: &mut OutSink,
         stats: &mut KernelStats,
-    ) -> bool {
+    ) -> Result<bool, SimError> {
         if cfg.pe_model == PeModel::Ideal {
-            self.tick_ideal(now, tp, prog, router, input, out, stats);
-            return self.has_work();
+            self.tick_ideal(now, tp, prog, router, input, out, stats)?;
+            return Ok(self.has_work());
         }
 
         // Refill free contexts from the message buffer.
         for c in 0..self.contexts.len() {
             if self.contexts[c].is_none() {
                 if let Some(trig) = self.msg_buffer.pop_front() {
-                    self.contexts[c] = Some(self.make_task(tp, prog, trig));
+                    self.contexts[c] = Some(self.make_task(now, tp, prog, trig)?);
                 } else {
                     break;
                 }
@@ -346,12 +370,12 @@ impl Pe {
 
         if !self.has_work() {
             stats.idle_at(self.tile);
-            return false;
+            return Ok(false);
         }
 
         // Dalorex bookkeeping stall.
         if now < self.busy_until {
-            return true;
+            return Ok(true);
         }
 
         // Pick the first context (round-robin from `rr`) with an
@@ -380,7 +404,7 @@ impl Pe {
         if !issued {
             stats.stall_at(self.tile);
         }
-        self.has_work()
+        Ok(self.has_work())
     }
 
     /// Attempts to issue `task`'s next operation. Returns whether an
@@ -536,9 +560,9 @@ impl Pe {
         input: &[f64],
         out: &mut OutSink,
         stats: &mut KernelStats,
-    ) {
+    ) -> Result<(), SimError> {
         while let Some(trig) = self.msg_buffer.pop_front() {
-            let mut task = self.make_task(tp, prog, trig);
+            let mut task = self.make_task(now, tp, prog, trig)?;
             loop {
                 // Execute the full op stream with no timing constraints
                 // (slot_ready is ignored by executing effects directly).
@@ -634,6 +658,7 @@ impl Pe {
                 }
             }
         }
+        Ok(())
     }
 
     /// The fast-forward next-event contract (`docs/PERFORMANCE.md`):
@@ -764,7 +789,8 @@ mod tests {
                 &x,
                 &mut OutSink::Direct(&mut out),
                 &mut stats,
-            );
+            )
+            .unwrap();
             now += 1;
             assert!(now < 10_000, "PE failed to drain");
         }
@@ -806,7 +832,8 @@ mod tests {
                 &x,
                 &mut OutSink::Direct(&mut out),
                 &mut stats,
-            );
+            )
+            .unwrap();
             now += 1;
         }
         assert!(stats.stall_cycles > 0, "same-slot FMACs must stall");
@@ -841,7 +868,8 @@ mod tests {
                     &x,
                     &mut OutSink::Direct(&mut out),
                     &mut stats,
-                );
+                )
+                .unwrap();
                 now += 1;
             }
             (now, stats.stall_cycles)
@@ -889,7 +917,8 @@ mod tests {
                     &x,
                     &mut OutSink::Direct(&mut out),
                     &mut stats,
-                );
+                )
+                .unwrap();
                 now += 1;
             }
             now
@@ -927,7 +956,8 @@ mod tests {
             &x,
             &mut OutSink::Direct(&mut out),
             &mut stats,
-        );
+        )
+        .unwrap();
         assert!(!pe.has_work(), "ideal PE drains in one tick");
         let expect = a.spmv(&x);
         for i in 0..9 {

@@ -420,6 +420,7 @@ fn compile(
             let slot = *tp
                 .combine_slot
                 .get(&it.target)
+                // azul-lint: allow(unwrap-in-pipeline) compile allocated a slot for every local target just above
                 .expect("slot allocated for every local target");
             tp.entries.push(Entry {
                 slot,

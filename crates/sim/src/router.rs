@@ -269,17 +269,22 @@ pub fn tick_router(
         }
         let flit = head.flit;
         let tile = t as TileId;
-        // Determine required outputs and local delivery.
-        let mut out_dirs: Vec<(usize, TileId)> = Vec::new();
+        // Determine required outputs and local delivery. Tree links
+        // connect mesh neighbors, so a flit forwards to at most one
+        // tile per direction — a fixed array keeps the per-cycle tick
+        // allocation-free.
+        let mut out_dirs = [(0usize, 0 as TileId); 4];
+        let mut out_n = 0usize;
         let mut deliver = false;
         match flit.kind {
             FlitKind::X => {
-                // azul-lint: allow(panic-in-sim-hot-path) compiler invariant: every routed x flit got a tree
+                // azul-lint: allow(panic-in-sim-hot-path, unwrap-in-pipeline) compiler invariant: every routed x flit got a tree
                 let tree_id = program.x_tree[flit.idx as usize].expect("multicast flit has a tree");
                 let tree = &program.trees[tree_id as usize];
                 for &child in tree.children_of(tile) {
                     let dir = direction_of(grid, tile, child);
-                    out_dirs.push((dir, child));
+                    out_dirs[out_n] = (dir, child);
+                    out_n += 1;
                 }
                 deliver = !flit.outbound && tree.is_dest(tile);
             }
@@ -288,18 +293,20 @@ pub fn tick_router(
                 if !flit.outbound && is_combiner {
                     deliver = true;
                 } else {
-                    // azul-lint: allow(panic-in-sim-hot-path) compiler invariant: split rows always get a tree
+                    // azul-lint: allow(panic-in-sim-hot-path, unwrap-in-pipeline) compiler invariant: split rows always get a tree
                     let tree_id =
                         program.partial_tree[flit.idx as usize].expect("partial flit has a tree");
                     let tree = &program.trees[tree_id as usize];
-                    // azul-lint: allow(panic-in-sim-hot-path) tree roots combine locally, never route partials
+                    // azul-lint: allow(panic-in-sim-hot-path, unwrap-in-pipeline) tree roots combine locally, never route partials
                     let parent = tree
                         .parent_of(tile)
                         .expect("non-root tile climbing a reduction tree");
-                    out_dirs.push((direction_of(grid, tile, parent), parent));
+                    out_dirs[out_n] = (direction_of(grid, tile, parent), parent);
+                    out_n += 1;
                 }
             }
         }
+        let out_dirs = &out_dirs[..out_n];
 
         // Partial fork: serve whatever outputs are free this cycle; the
         // flit stays queued until every child and the local delivery are
@@ -307,7 +314,7 @@ pub fn tick_router(
         let mut forwarded = head.forwarded;
         let mut delivered = head.delivered;
         let mut progressed = false;
-        for &(dir, next) in &out_dirs {
+        for &(dir, next) in out_dirs {
             if forwarded & (1 << dir) != 0 {
                 continue;
             }
@@ -367,7 +374,7 @@ pub fn tick_router(
                 });
             }
         } else if progressed {
-            // azul-lint: allow(panic-in-sim-hot-path) the head was peeked above and not popped
+            // azul-lint: allow(panic-in-sim-hot-path, unwrap-in-pipeline) the head was peeked above and not popped
             let h = router.inputs[port].front_mut().expect("head still queued");
             h.forwarded = forwarded;
             h.delivered = delivered;
@@ -387,6 +394,7 @@ pub fn tick_routers(
     deliveries: &mut [Vec<Delivery>],
     stats: &mut crate::stats::KernelStats,
 ) {
+    // azul-lint: allow(alloc-in-tick-path) serial convenience helper; the sharded engine owns its outbox in Shard
     let mut outbox = Vec::new();
     #[allow(clippy::needless_range_loop)] // index used across several structures
     for t in 0..routers.len() {
@@ -413,6 +421,7 @@ fn direction_of(grid: azul_mapping::TileGrid, from: TileId, to: TileId) -> usize
     grid.neighbors(from)
         .iter()
         .position(|&n| n == to)
+        // azul-lint: allow(panic-in-sim-hot-path, unwrap-in-pipeline) mapping invariant: trees are embedded in the mesh
         .expect("tree links connect adjacent tiles")
 }
 
@@ -423,6 +432,7 @@ fn reverse_port(dir: usize) -> usize {
         PORT_W => PORT_E,
         PORT_N => PORT_S,
         PORT_S => PORT_N,
+        // azul-lint: allow(panic-in-sim-hot-path) dir is one of the four PORT_* constants by construction
         _ => unreachable!("not a direction"),
     }
 }

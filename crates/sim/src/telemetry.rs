@@ -195,6 +195,7 @@ pub fn limit_history(samples: &mut Vec<IterationSample>, limit: usize) {
         return;
     }
     if limit == 1 {
+        // azul-lint: allow(unwrap-in-pipeline) early return above guarantees len > limit
         let last = samples.pop().expect("len > limit >= 1");
         samples.clear();
         samples.push(last);
@@ -206,6 +207,7 @@ pub fn limit_history(samples: &mut Vec<IterationSample>, limit: usize) {
     let budget = limit - 2;
     let last_idx = samples.len() - 1;
     if budget == 0 {
+        // azul-lint: allow(unwrap-in-pipeline) len > limit >= 2 here, pop cannot fail
         let last = samples.pop().expect("len >= 2");
         samples.truncate(1);
         samples.push(last);

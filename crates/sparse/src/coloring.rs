@@ -64,6 +64,7 @@ impl Coloring {
     pub fn block_permutation(&self) -> Permutation {
         let mut order: Vec<usize> = (0..self.colors.len()).collect();
         order.sort_by_key(|&i| (self.colors[i], i));
+        // azul-lint: allow(unwrap-in-pipeline) sorting 0..n is a bijection, never rejected
         Permutation::from_old_order(order).expect("sorted indices form a permutation")
     }
 }

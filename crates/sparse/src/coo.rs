@@ -154,6 +154,7 @@ impl Coo {
         let col_idx: Vec<usize> = merged.iter().map(|e| e.1).collect();
         let values: Vec<f64> = merged.iter().map(|e| e.2).collect();
         crate::Csr::from_raw_parts(self.rows, self.cols, row_ptr, col_idx, values)
+            // azul-lint: allow(unwrap-in-pipeline) arrays built sorted/deduped in this function
             .expect("COO conversion produces valid CSR by construction")
     }
 

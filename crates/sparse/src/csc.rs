@@ -135,6 +135,7 @@ impl Csc {
             self.row_idx.clone(),
             self.values.clone(),
         )
+        // azul-lint: allow(unwrap-in-pipeline) CSC invariants mirror the CSR ones, validated at build
         .expect("CSC arrays are a valid CSR of the transpose")
         .transpose()
     }

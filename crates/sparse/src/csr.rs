@@ -58,6 +58,7 @@ impl Csr {
                 values.len()
             )));
         }
+        // azul-lint: allow(unwrap-in-pipeline) row_ptr length was checked as rows + 1 above
         if row_ptr[0] != 0 || *row_ptr.last().unwrap() != col_idx.len() {
             return Err(SparseError::Parse(
                 "row_ptr must start at 0 and end at nnz".into(),
@@ -338,6 +339,7 @@ impl Csr {
         let mut coo = crate::Coo::with_capacity(self.rows, self.cols, self.nnz());
         for (r, c, v) in self.iter() {
             coo.push(perm.new_of(r), perm.new_of(c), v)
+                // azul-lint: allow(unwrap-in-pipeline) a permutation maps 0..n onto 0..n, bounds hold
                 .expect("permutation preserves bounds");
         }
         coo.to_csr()

@@ -110,6 +110,7 @@ pub fn span(name: impl Into<String>) -> SpanGuard {
         live: Some(LiveSpan {
             name: name.into(),
             depth,
+            // azul-lint: allow(wall-clock-in-sim) spans measure host-side wall time by design; simulated-cycle accounting never reads it
             started: Instant::now(),
             cycles: None,
             fields: Vec::new(),
