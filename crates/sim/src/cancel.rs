@@ -7,17 +7,21 @@
 //! this crate precisely so simulated results never depend on host speed),
 //! so cancellation is *cooperative*: the host arms a [`CancelToken`],
 //! hands it to the machine via [`SimConfig::cancel`](crate::SimConfig),
-//! and the tick loop samples the flag once per cycle at a serial point.
-//! Whoever holds a clone — a deadline monitor thread, a request handle —
-//! trips it with [`CancelToken::cancel`].
+//! and the tick loop samples the flag once per iteration at a serial
+//! point. Whoever holds a clone — a deadline monitor thread, a request
+//! handle — trips it with [`CancelToken::cancel`].
 //!
 //! Determinism: the *machine state* at which a cancelled kernel stops is
 //! wall-timing dependent by nature (that is the point of cancellation),
 //! but because the flag is only sampled in the serial prologue of the
 //! cycle loop, a cancellation never tears a cycle in half — the abort
-//! lands on a cycle boundary for any `threads` / `fast_forward` setting,
-//! and a token that is never tripped perturbs nothing: the fast path is
-//! one branch per cycle.
+//! lands on a cycle boundary for any `threads` / `fast_forward` /
+//! `event_engine` setting, and a token that is never tripped perturbs
+//! nothing: the fast path is one branch per iteration. Cancellation is
+//! deliberately *not* an event-engine wake source: a cancel landing
+//! inside a jumped span is observed at the next event, which is the
+//! same "once per loop iteration" granularity the reference engine
+//! documents (see `docs/PERFORMANCE.md`).
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;

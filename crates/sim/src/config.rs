@@ -100,6 +100,16 @@ pub struct SimConfig {
     /// skipped cycles replicate their stall/idle/trace/audit accounting
     /// — and, like [`SimConfig::threads`], absent from telemetry.
     pub fast_forward: bool,
+    /// Event-driven tick engine (`docs/PERFORMANCE.md`): every component
+    /// reports a next-event time into a per-shard calendar queue and
+    /// only *due* tiles are ticked, so a mostly-idle machine costs
+    /// O(active) per step instead of O(tiles). Subsumes
+    /// [`SimConfig::fast_forward`] — the machine-wide skip is the
+    /// degenerate case where no tile is due — and carries the same
+    /// contract: outputs, statistics, traces and fault schedules are
+    /// bit-for-bit identical to the reference engine (threads=1, no
+    /// fast-forward). Host-side knob, absent from telemetry.
+    pub event_engine: bool,
     /// Cycle-accurate event tracing
     /// ([`azul_telemetry::trace`]). `None` (the default) keeps the
     /// zero-trace fast path: every hook is guarded by one branch on an
@@ -228,6 +238,7 @@ impl SimConfig {
             check_invariants: cfg!(debug_assertions),
             threads: 1,
             fast_forward: false,
+            event_engine: false,
             trace: None,
             cancel: None,
             history_limit: 0,
@@ -300,6 +311,7 @@ mod tests {
         let cfg = SimConfig::azul(TileGrid::square(4));
         assert_eq!(cfg.threads, 1);
         assert!(!cfg.fast_forward);
+        assert!(!cfg.event_engine, "event engine is opt-in");
         assert!(cfg.trace.is_none(), "tracing is opt-in");
         assert_eq!(cfg.history_limit, 0, "history is unbounded by default");
         assert!(cfg.cancel.is_none(), "cancellation is opt-in");

@@ -315,6 +315,22 @@ impl FaultSession {
         next_event.min(self.earliest_expiry)
     }
 
+    /// [`FaultSession::next_timeline_cycle`] converted to the current
+    /// kernel's *local* clock, or `None` when nothing is pending. Both
+    /// skip engines clamp their jump targets with this: a fault window
+    /// opening (or expiring) *inside* a skipped span must shorten the
+    /// skip so the window state change lands on a really-iterated
+    /// cycle — firing it late would journal the wrong cycle and apply
+    /// the outage to the wrong span of traffic.
+    pub(crate) fn next_timeline_local(&self) -> Option<u64> {
+        let g = self.next_timeline_cycle();
+        if g == u64::MAX {
+            None
+        } else {
+            Some(g.saturating_sub(self.global_cycle(0)))
+        }
+    }
+
     /// Whether the watchdog should hold off: a *finite* outage window is
     /// in force, so apparent no-progress may resolve on its own when the
     /// window closes. Permanent faults (PeKill) do not suspend the

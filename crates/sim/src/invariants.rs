@@ -133,9 +133,13 @@ impl Checker {
 
     /// Credits `n` occupancy-rule evaluations performed outside this
     /// checker: by shard workers (which run [`check_router_occupancy`]
-    /// against their own routers) or by the fast-forward engine (skipped
-    /// cycles would each have audited every active router). No-op when
-    /// occupancy auditing is off.
+    /// against their own routers), by the fast-forward engine (skipped
+    /// cycles would each have audited every active router), or by the
+    /// event engine's lazy span crediting (a parked tile's `k` skipped
+    /// cycles are credited in one call when the span ends). Because
+    /// `KernelStats::invariant_checks` participates in stats equality,
+    /// the determinism suite audits this crediting byte-for-byte. No-op
+    /// when occupancy auditing is off.
     pub(crate) fn credit_occupancy_checks(&mut self, n: u64) {
         if self.occupancy_active() {
             self.checks[OCCUPANCY] += n;

@@ -589,6 +589,35 @@ pub fn run_kernel_checked(
             }
         }
 
+        // Event-driven engine: same worker pool, same shard protocol,
+        // but only *due* tiles tick each iteration (see
+        // `run_event_loop`). The reference loop below stays the
+        // bit-exactness oracle.
+        if cfg.event_engine {
+            let r = run_event_loop(
+                cfg,
+                program,
+                input,
+                &shards,
+                &shard_of,
+                &ctx,
+                &mut stats,
+                &mut inv,
+                &mut out,
+                &mut session,
+                faulting,
+                check_occupancy,
+                &mut fired,
+                &active,
+                &mut now,
+            );
+            if ctx.pool > 1 {
+                ctx.stop.store(true, Ordering::Release);
+                ctx.barrier_a.wait();
+            }
+            return r;
+        }
+
         let mut body = || -> Result<(), SimError> {
             // The coordinator holds every shard lock between cycle
             // barriers; during the parallel tick phase the guards are
@@ -763,21 +792,25 @@ pub fn run_kernel_checked(
                     if faulting {
                         // azul-lint: allow(unwrap-in-pipeline) `faulting` is derived from `session.is_some_and` above
                         let s = session.as_deref_mut().expect("faulting implies session");
-                        let g = s.next_timeline_cycle();
-                        if g != u64::MAX {
-                            ne = ne.min(g.saturating_sub(s.global_cycle(0)));
+                        if let Some(l) = s.next_timeline_local() {
+                            ne = ne.min(l);
                         }
                     }
                     skip_classes.clear();
                     for &t in &active {
                         let g = &guards[shard_of[t]];
-                        if let Some(e) = g.router_ref(t).next_event(now) {
+                        if let Some(e) = g.router_ref(t).next_event(now, program) {
                             ne = ne.min(e);
                         }
                         let (class, wake) = if faulting && g.stalled_at(t) {
                             (PeSkipClass::Silent, None)
                         } else {
-                            g.pe_ref(t).skip_profile(now, cfg, program.tile(t as u32))
+                            g.pe_ref(t).wake_profile(
+                                now,
+                                cfg,
+                                program.tile(t as u32),
+                                g.router_ref(t).can_inject(),
+                            )
                         };
                         if let Some(w) = wake {
                             ne = ne.min(w);
@@ -1016,6 +1049,485 @@ fn sync_fault_state<S: std::ops::DerefMut<Target = Shard>>(
             FaultKind::SramBitFlip { .. } => {}
         }
     }
+}
+
+/// The event-driven tick engine (`cfg.event_engine`): instead of
+/// ticking every reference-active tile every cycle, each tile reports a
+/// next-event (wake) time into a per-shard calendar queue and only
+/// *due* tiles tick, so a mostly-idle machine costs O(active) per step.
+/// The machine-wide fast-forward is the degenerate case where no tile
+/// is due at all and the clock jumps straight to the earliest calendar
+/// entry.
+///
+/// A tile is in one of three states:
+/// * **inactive** — no PE work and an empty router; exactly the tiles
+///   the reference engine drops from its active list. Never ticked,
+///   never credited; revived only by a flit arrival.
+/// * **parked** — reference-active, but provably unobservable until
+///   `wake[t]`: its PE profile ([`Pe::wake_profile`]) and router head
+///   analysis ([`Router::next_event`]) bound the next cycle it could
+///   act, and a failed issue never mutates PE state, so the tile is
+///   frozen. The reference engine still ticks it every cycle, though:
+///   those ticks rotate the router's arbitration cursor and record
+///   idle/stall/audit bookkeeping. That per-cycle bookkeeping is
+///   credited **lazily** — exactly once, when the tile wakes — over
+///   `[since[t], now)`. Arrivals and fault-window changes only move
+///   `wake` *earlier* (ending the span sooner); they never re-credit,
+///   which is what makes a mid-span re-arm single-credit by
+///   construction.
+/// * **due/ticking** — popped from the calendar this cycle; ticked by
+///   the shared [`tick_shard`] exactly as the reference engine would.
+///
+/// Wake sources feeding the calendars: PE timers (`busy_until`, RAW
+/// `slot_ready`), router queue heads, flit arrivals (commit phase),
+/// fault-timeline points (timeline clamp + wake-all-parked on window
+/// changes), the watchdog horizon and the kernel deadline. The cancel
+/// token and the progress-trace stride are *not* wake sources: cancel
+/// is sampled once per iteration at the serial point (as documented on
+/// [`SimError::Cancelled`]), and trace samples over tickless spans are
+/// replayed arithmetically since the sampled totals cannot change.
+#[allow(clippy::too_many_arguments)] // coordinator-side scheduling state, sized once
+fn run_event_loop(
+    cfg: &SimConfig,
+    program: &Program,
+    input: &[f64],
+    shards: &[Mutex<Shard>],
+    shard_of: &[usize],
+    ctx: &ParallelCtx,
+    stats: &mut KernelStats,
+    inv: &mut Checker,
+    out: &mut [f64],
+    session: &mut Option<&mut FaultSession>,
+    faulting: bool,
+    check_occupancy: bool,
+    fired: &mut Vec<FaultEvent>,
+    start_active: &[usize],
+    now: &mut u64,
+) -> Result<(), SimError> {
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+
+    let num_tiles = cfg.grid.num_tiles();
+    let num_shards = shards.len();
+
+    // Coordinator-side scheduling state. `wake[t]` is only meaningful
+    // while `parked[t]`; `u64::MAX` means no self-driven wake (the tile
+    // waits on an arrival or a fault-window change). `since[t]` is the
+    // first cycle of the current parked span not yet credited.
+    let mut wake: Vec<u64> = vec![u64::MAX; num_tiles];
+    let mut since: Vec<u64> = vec![0u64; num_tiles];
+    let mut class: Vec<PeSkipClass> = vec![PeSkipClass::Silent; num_tiles];
+    let mut parked: Vec<bool> = vec![false; num_tiles];
+    let mut ticking: Vec<bool> = vec![false; num_tiles];
+    // Per-shard calendar queues (min-heaps with lazy deletion: an entry
+    // is live only while it still matches `wake[t]` of a parked tile;
+    // `wake` only ever moves earlier within a span, so stale entries
+    // are always larger and harmlessly discarded).
+    let mut calendars: Vec<BinaryHeap<Reverse<(u64, usize)>>> = (0..num_shards)
+        .map(|_| BinaryHeap::with_capacity(8))
+        .collect();
+    // Reference-active tiles (parked + ticking); quiescence = 0.
+    let mut live = 0usize;
+
+    for &t in start_active {
+        parked[t] = true;
+        wake[t] = 0;
+        since[t] = 0;
+        live += 1;
+        calendars[shard_of[t]].push(Reverse((0, t)));
+    }
+
+    let mut guards: Vec<std::sync::MutexGuard<'_, Shard>> = shards
+        .iter()
+        .map(|m| m.lock().expect("shard lock poisoned"))
+        .collect();
+
+    // Watchdog state, updated exactly as the reference loop does on the
+    // iterations this engine takes; across jumped (tickless) spans the
+    // refresh conditions are constant and replicated at the span's last
+    // cycle, mirroring the machine-wide fast-forward.
+    let mut last_signature = u64::MAX;
+    let mut last_progress = 0u64;
+
+    let profiling = crate::profile::enabled();
+    let _prof_loop = profiling.then(|| crate::profile::scope(crate::profile::Component::TickLoop));
+
+    while live > 0 {
+        let now_c = *now;
+        // Cooperative cancellation: once per iteration at this serial
+        // point, same contract as the reference loop.
+        if let Some(tok) = &cfg.cancel {
+            if tok.is_cancelled() {
+                if let Some(s) = session.as_deref_mut() {
+                    s.end_kernel(now_c);
+                }
+                return Err(SimError::Cancelled { cycle: now_c });
+            }
+        }
+
+        // Fault schedule: identical to the reference loop, except that a
+        // window-set change additionally re-arms every parked tile *this
+        // cycle*: a closed outage can free a head-of-line-blocked router
+        // (which reported no self-wake), and a fresh window changes how
+        // cycles are accounted from here on. The tiles' already-accrued
+        // span credits stay valid — the span simply ends now.
+        let mut suspends_now = false;
+        if faulting {
+            // azul-lint: allow(unwrap-in-pipeline) `faulting` is derived from `session.is_some_and` above
+            let s = session.as_deref_mut().expect("faulting implies session");
+            fired.clear();
+            let trace_faults = stats.trace_ev.wants(CAT_FAULT);
+            let prev_windows = if trace_faults {
+                s.active_windows().to_vec()
+            } else {
+                Vec::new()
+            };
+            if s.advance(now_c, num_tiles, fired) {
+                sync_fault_state(s, now_c, &mut guards, shard_of);
+                if trace_faults {
+                    for &(kind, until) in s.active_windows() {
+                        if !prev_windows.contains(&(kind, until)) {
+                            stats.trace_ev.push(TraceEvent {
+                                cycle: now_c,
+                                tile: kind.tile(),
+                                kind: TraceKind::FaultFire,
+                                arg: fault_code(&kind),
+                            });
+                        }
+                    }
+                }
+                for t in 0..num_tiles {
+                    if parked[t] && wake[t] > now_c {
+                        wake[t] = now_c;
+                        calendars[shard_of[t]].push(Reverse((now_c, t)));
+                    }
+                }
+            }
+            for ev in fired.drain(..) {
+                if trace_faults {
+                    stats.trace_ev.push(TraceEvent {
+                        cycle: now_c,
+                        tile: ev.kind.tile(),
+                        kind: TraceKind::FaultFire,
+                        arg: fault_code(&ev.kind),
+                    });
+                }
+                let FaultKind::SramBitFlip { tile, slot, bit } = ev.kind else {
+                    unreachable!("only bit flips are handed to the machine");
+                };
+                // A bit flip changes a value, never timing: the reference
+                // engine does not activate the tile for it either, so no
+                // wake is scheduled.
+                let gnow = s.global_cycle(now_c);
+                match guards[shard_of[tile as usize]]
+                    .pe_mut(tile as usize)
+                    .flip_slot_bit(slot, bit)
+                {
+                    Some((old, new)) => {
+                        s.record(gnow, ev.kind, true, format!("{old:e} -> {new:e}"));
+                    }
+                    None => s.record(
+                        gnow,
+                        ev.kind,
+                        false,
+                        format!("tile {tile} has no slot {slot}"),
+                    ),
+                }
+            }
+            suspends_now = s.suspends_watchdog(now_c);
+            if suspends_now {
+                last_progress = now_c;
+            }
+        }
+
+        // Watchdog sweep — same signature, same refresh rules as the
+        // reference loop. Parked tiles cannot move the signature (their
+        // reference ticks record only idle/stall bookkeeping), so
+        // sweeping just the iterations this engine takes is exact.
+        let _prof_stats =
+            profiling.then(|| crate::profile::scope(crate::profile::Component::Stats));
+        let mut sig_ops = stats.total_ops();
+        let mut sig_src = stats.messages + stats.link_activations;
+        let mut sig_snk = stats.router_traversals;
+        for g in guards.iter() {
+            sig_ops += g.stats.total_ops();
+            sig_src += g.stats.messages + g.stats.link_activations;
+            sig_snk += g.stats.router_traversals;
+        }
+        let signature = sig_ops + sig_src + sig_snk;
+        if signature != last_signature {
+            last_signature = signature;
+            last_progress = now_c;
+        }
+        let inflight_ctr = sig_src.saturating_sub(sig_snk);
+        if inflight_ctr > 0 {
+            last_progress = now_c;
+        }
+        let wedged = cfg.watchdog_no_progress_cycles > 0
+            && now_c.saturating_sub(last_progress) >= cfg.watchdog_no_progress_cycles;
+        if wedged || now_c >= cfg.max_kernel_cycles {
+            let mut stalled_pes: Vec<u32> = Vec::new();
+            let mut inflight_flits = 0usize;
+            for g in guards.iter() {
+                for (i, pe) in g.pes.iter().enumerate() {
+                    if pe.has_work() {
+                        stalled_pes.push((g.lo + i) as u32);
+                    }
+                }
+                inflight_flits += g.routers.iter().map(Router::occupancy).sum::<usize>();
+            }
+            if let Some(s) = session.as_deref_mut() {
+                s.end_kernel(now_c);
+            }
+            return Err(SimError::Deadlock {
+                cycle: now_c,
+                stalled_pes,
+                inflight_flits,
+            });
+        }
+        drop(_prof_stats);
+
+        // Pop due tiles into their shard buckets, crediting each parked
+        // span exactly once as it ends: the arbitration-cursor replay,
+        // the per-class idle/stall counters and the occupancy-audit
+        // budget the reference ticks would have produced. Buckets are
+        // sorted so the intra-shard tick order is deterministic.
+        let mut any_due = false;
+        let mut occ_credit = 0u64;
+        for (s, cal) in calendars.iter_mut().enumerate() {
+            let g = &mut guards[s];
+            g.bucket.clear();
+            while let Some(&Reverse((w, t))) = cal.peek() {
+                if w > now_c {
+                    break;
+                }
+                cal.pop();
+                if !parked[t] || wake[t] != w {
+                    continue; // lazily deleted (stale) entry
+                }
+                parked[t] = false;
+                ticking[t] = true;
+                g.bucket.push(t);
+            }
+            g.bucket.sort_unstable();
+            for i in 0..g.bucket.len() {
+                let t = g.bucket[i];
+                let k = now_c - since[t];
+                if k == 0 {
+                    continue;
+                }
+                g.router_mut(t).advance_rr(k);
+                match class[t] {
+                    PeSkipClass::Idle => stats.idle_at_n(t as u32, k),
+                    PeSkipClass::Stall => stats.stall_at_n(t as u32, k),
+                    PeSkipClass::Silent => {}
+                }
+                occ_credit += k;
+            }
+            any_due |= !g.bucket.is_empty();
+        }
+        inv.credit_occupancy_checks(occ_credit);
+
+        // No tile due: the degenerate machine-wide skip. Jump to the
+        // earliest calendar entry, clamped by the fault timeline, the
+        // watchdog horizon and the deadline, replaying the tickless
+        // trace samples.
+        if !any_due {
+            let _prof_ff =
+                profiling.then(|| crate::profile::scope(crate::profile::Component::FastForward));
+            let mut ne = cfg.max_kernel_cycles;
+            if cfg.watchdog_no_progress_cycles > 0 {
+                ne = ne.min(last_progress.saturating_add(cfg.watchdog_no_progress_cycles));
+            }
+            if faulting {
+                // azul-lint: allow(unwrap-in-pipeline) `faulting` is derived from `session.is_some_and` above
+                let s = session.as_deref_mut().expect("faulting implies session");
+                if let Some(l) = s.next_timeline_local() {
+                    ne = ne.min(l);
+                }
+            }
+            for cal in calendars.iter_mut() {
+                while let Some(&Reverse((w, t))) = cal.peek() {
+                    if parked[t] && wake[t] == w {
+                        ne = ne.min(w);
+                        break;
+                    }
+                    cal.pop();
+                }
+            }
+            if ne > now_c {
+                if cfg.trace_interval > 0 {
+                    let mut total = stats.total_ops();
+                    for g in guards.iter() {
+                        total += g.stats.total_ops();
+                    }
+                    let iv = cfg.trace_interval;
+                    let mut c = if now_c.is_multiple_of(iv) {
+                        now_c
+                    } else {
+                        now_c.next_multiple_of(iv)
+                    };
+                    while c < ne {
+                        stats.trace.push((c, total));
+                        c += iv;
+                    }
+                }
+                if inflight_ctr > 0 || suspends_now {
+                    last_progress = ne - 1;
+                }
+                *now = ne;
+                continue;
+            }
+        }
+
+        // Parallel phase: tick the due buckets, exactly as the
+        // reference loop does.
+        if ctx.pool > 1 {
+            ctx.cycle_now.store(now_c, Ordering::Release);
+            guards.clear();
+            ctx.barrier_a.wait();
+            let mut s = 0usize;
+            while s < num_shards {
+                let mut sh = shards[s].lock().expect("shard lock poisoned");
+                tick_shard(
+                    &mut sh,
+                    now_c,
+                    cfg,
+                    program,
+                    input,
+                    faulting,
+                    check_occupancy,
+                );
+                s += ctx.pool;
+            }
+            ctx.barrier_b.wait();
+            guards = shards
+                .iter()
+                .map(|m| m.lock().expect("shard lock poisoned"))
+                .collect();
+        } else {
+            for g in guards.iter_mut() {
+                tick_shard(g, now_c, cfg, program, input, faulting, check_occupancy);
+            }
+        }
+
+        // Serial commit in shard order: first error wins, deferred
+        // arrivals land (scheduling their destinations), buffered
+        // output writes land, and ticked tiles re-park or retire.
+        let _prof_commit =
+            profiling.then(|| crate::profile::scope(crate::profile::Component::BarrierCommit));
+        for g in guards.iter_mut() {
+            if let Some(e) = g.err.take() {
+                if let Some(s) = session.as_deref_mut() {
+                    s.end_kernel(now_c);
+                }
+                return Err(e);
+            }
+        }
+        for s in 0..num_shards {
+            let mut accepts = std::mem::take(&mut guards[s].outbox);
+            for a in &accepts {
+                let d = a.dest as usize;
+                guards[shard_of[d]]
+                    .router_mut(d)
+                    .apply_accept(a.port as usize, a.ready, a.flit);
+                // Arrivals only ever move a wake *earlier*; they never
+                // restart a span's crediting (`since` is untouched), so
+                // a mid-span re-arm cannot double-credit.
+                let arrival = a.ready.max(now_c + 1);
+                if ticking[d] {
+                    // Re-parked below with the new flit in view.
+                } else if parked[d] {
+                    if arrival < wake[d] {
+                        wake[d] = arrival;
+                        calendars[shard_of[d]].push(Reverse((arrival, d)));
+                    }
+                } else {
+                    // Revived from inactive: the PE is empty, so the new
+                    // span is pure idle time (Silent under Ideal) until
+                    // the head becomes ready.
+                    parked[d] = true;
+                    live += 1;
+                    since[d] = now_c + 1;
+                    let gd = &guards[shard_of[d]];
+                    class[d] = gd
+                        .pe_ref(d)
+                        .wake_profile(
+                            now_c + 1,
+                            cfg,
+                            program.tile(d as u32),
+                            gd.router_ref(d).can_inject(),
+                        )
+                        .0;
+                    wake[d] = arrival;
+                    calendars[shard_of[d]].push(Reverse((arrival, d)));
+                }
+            }
+            accepts.clear();
+            guards[s].outbox = accepts;
+        }
+        for g in guards.iter_mut() {
+            for &(i, v) in &g.out_buf {
+                out[i as usize] = v;
+            }
+            g.out_buf.clear();
+        }
+        // Re-park every ticked tile from its fresh post-tick state (the
+        // arrivals above are already applied, so the router analysis
+        // sees them): retire it if it went fully quiet, otherwise
+        // compute its next wake and open a new credit span at `now + 1`.
+        for s in 0..num_shards {
+            let g = &guards[s];
+            for &t in &g.bucket {
+                ticking[t] = false;
+                if !g.pe_ref(t).has_work() && g.router_ref(t).occupancy() == 0 {
+                    live -= 1;
+                    wake[t] = u64::MAX;
+                    continue;
+                }
+                let (cl, pe_wake) = if faulting && g.stalled_at(t) {
+                    // Injected PE stall/kill: the PE tick is skipped
+                    // entirely (no idle/stall stats), but the router
+                    // still ticks — its head analysis bounds the wake.
+                    (PeSkipClass::Silent, None)
+                } else {
+                    g.pe_ref(t).wake_profile(
+                        now_c + 1,
+                        cfg,
+                        program.tile(t as u32),
+                        g.router_ref(t).can_inject(),
+                    )
+                };
+                let router_wake = g.router_ref(t).next_event(now_c + 1, program);
+                let w = match (pe_wake, router_wake) {
+                    (Some(a), Some(b)) => Some(a.min(b)),
+                    (a, b) => a.or(b),
+                };
+                parked[t] = true;
+                class[t] = cl;
+                since[t] = now_c + 1;
+                wake[t] = w.map_or(u64::MAX, |w| w.max(now_c + 1));
+                if wake[t] != u64::MAX {
+                    calendars[s].push(Reverse((wake[t], t)));
+                }
+            }
+        }
+        drop(_prof_commit);
+
+        // Progress trace sample (Fig. 17), same serial point as the
+        // reference loop.
+        if cfg.trace_interval > 0 && now_c.is_multiple_of(cfg.trace_interval) {
+            let _p = profiling.then(|| crate::profile::scope(crate::profile::Component::Stats));
+            let mut total = stats.total_ops();
+            for g in guards.iter() {
+                total += g.stats.total_ops();
+            }
+            stats.trace.push((now_c, total));
+        }
+
+        *now = now_c + 1;
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -1265,10 +1777,11 @@ mod tests {
         let spmv = Program::compile_spmv(&a, &p);
         let trsv = Program::compile_sptrsv_lower(&l, &a, &p);
         let input = test_input(a.rows());
-        let run = |threads: usize, ff: bool, prog: &Program| {
+        let run = |threads: usize, ff: bool, event: bool, prog: &Program| {
             let mut cfg = SimConfig::azul(grid);
             cfg.threads = threads;
             cfg.fast_forward = ff;
+            cfg.event_engine = event;
             cfg.detailed_stats = true;
             cfg.check_invariants = true;
             // Event tracing is part of the contract too: the sealed
@@ -1278,21 +1791,189 @@ mod tests {
             run_kernel(&cfg, prog, &input)
         };
         for prog in [&spmv, &trsv] {
-            let base = run(1, false, prog);
+            let base = run(1, false, false, prog);
             assert!(
                 !base.1.trace_ev.events.is_empty(),
                 "traced kernel must record events"
             );
             for threads in [1usize, 3, 16] {
-                for ff in [false, true] {
-                    let got = run(threads, ff, prog);
+                for (ff, event) in [(false, false), (true, false), (false, true), (true, true)] {
+                    let got = run(threads, ff, event, prog);
                     assert_eq!(
                         got.0, base.0,
-                        "output diverged at threads={threads} ff={ff}"
+                        "output diverged at threads={threads} ff={ff} event={event}"
                     );
-                    assert_eq!(got.1, base.1, "stats diverged at threads={threads} ff={ff}");
+                    assert_eq!(
+                        got.1, base.1,
+                        "stats diverged at threads={threads} ff={ff} event={event}"
+                    );
                 }
             }
+        }
+    }
+
+    #[test]
+    fn event_engine_wakes_context_blocked_behind_issued_send() {
+        // Regression: the event engine parks each tile until its
+        // earliest predicted wake. A PE issues at most one operation
+        // per cycle, so after a tick that issued from context A,
+        // context B can hold a Send whose injection would succeed
+        // (`can_inject` true, router possibly empty). The original
+        // `wake_profile` treated every Send front as "router-bound, no
+        // self-driven wake" — sound for the machine-wide fast-forward
+        // (which only consults profiles on zero-progress cycles, where
+        // an issueable Send cannot exist) but a lost wakeup here: the
+        // tile parked with no wake and an event-less router, and the
+        // kernel wedged with zero in-flight flits. This is the exact
+        // program/mapping that exposed it.
+        let a = generate::grid_laplacian_2d(10, 10);
+        let grid = TileGrid::new(4, 4);
+        let p = AzulMapper::default().map(&a, grid);
+        let prog = Program::compile_spmv(&a, &p);
+        let input = test_input(a.rows());
+        let reference = run_kernel(&SimConfig::azul(grid), &prog, &input);
+        let mut cfg = SimConfig::azul(grid);
+        cfg.event_engine = true;
+        // Tight watchdog: a reintroduced lost wakeup fails fast instead
+        // of burning the full default horizon.
+        cfg.watchdog_no_progress_cycles = 2_000;
+        let got = run_kernel_checked(&cfg, &prog, &input, None)
+            .expect("pending Send behind an issued op must re-arm the tile");
+        assert_eq!(got, reference);
+    }
+
+    #[test]
+    fn fast_forward_never_skips_past_blocked_head() {
+        // Regression (over-skip audit): a LinkDown outage parks a
+        // head-of-line flit with *no* self-driven wake. A skip engine
+        // that jumps past the window anyway would silently deflate the
+        // cycle count — the solve would appear to finish before the
+        // outage even closed. Blocking every output of the first three
+        // tiles for `outage` cycles forces the serial chain to wait the
+        // window out: the faulted run must outlast it, and both skip
+        // engines must agree with the reference bit-for-bit.
+        let a = generate::tridiagonal(48);
+        let l = a.lower_triangle();
+        let grid = TileGrid::new(2, 2);
+        let p = BlockMapper.map(&a, grid);
+        let prog = Program::compile_sptrsv_lower(&l, &a, &p);
+        let b = test_input(48);
+        let outage = 2_000u64;
+        let mut events = Vec::new();
+        for tile in 0..3u32 {
+            for dir in 0..4u8 {
+                events.push(FaultEvent {
+                    at_cycle: 0,
+                    kind: FaultKind::LinkDown {
+                        tile,
+                        dir,
+                        for_cycles: outage,
+                    },
+                });
+            }
+        }
+        let plan = crate::faults::FaultPlan::new(events);
+        let run = |ff: bool, event: bool, faults: bool| {
+            let mut cfg = SimConfig::azul(grid);
+            cfg.fast_forward = ff;
+            cfg.event_engine = event;
+            cfg.detailed_stats = true;
+            cfg.check_invariants = true;
+            if faults {
+                cfg.faults = Some(plan.clone());
+            }
+            run_kernel(&cfg, &prog, &b)
+        };
+        let clean = run(false, false, false);
+        let reference = run(false, false, true);
+        assert!(
+            clean.1.cycles < outage,
+            "sanity: the clean solve must finish inside the window"
+        );
+        assert!(
+            reference.1.cycles > outage,
+            "the blocked chain must wait the outage out"
+        );
+        for (ff, event) in [(true, false), (false, true), (true, true)] {
+            let got = run(ff, event, true);
+            assert_eq!(
+                got, reference,
+                "skip engine deflated the blocked run at ff={ff} event={event}"
+            );
+        }
+        let expect = sptrsv_lower(&l, &b);
+        assert!(dense::rel_l2_diff(&reference.0, &expect) < 1e-10);
+    }
+
+    #[test]
+    fn fault_timeline_is_byte_identical_across_engines() {
+        // Regression: a fault window opening (or expiring) *inside* a
+        // span the event engine wanted to jump over must clamp the jump
+        // target, or the event fires late: the journal records the
+        // wrong cycle and the outage covers the wrong traffic. Seeded
+        // plans across SpMV + SpTRSV (threaded through one session so
+        // events land mid-solve) must journal identical records — cycle,
+        // kind, applied flag and note — with the event engine on or off.
+        let a = generate::grid_laplacian_2d(10, 10);
+        let l = ic0(&a).unwrap();
+        let grid = TileGrid::new(4, 4);
+        let p = AzulMapper::default().map(&a, grid);
+        let spmv = Program::compile_spmv(&a, &p);
+        let trsv = Program::compile_sptrsv_lower(&l, &a, &p);
+        let input = test_input(a.rows());
+        for seed in [3u64, 11, 42] {
+            let plan = crate::faults::FaultPlan::seeded(seed, grid.num_tiles(), 6, 4_000);
+            let run = |event: bool| {
+                let mut cfg = SimConfig::azul(grid);
+                cfg.event_engine = event;
+                cfg.detailed_stats = true;
+                cfg.check_invariants = true;
+                let mut session = FaultSession::new(plan.clone());
+                let r1 = run_kernel_checked(&cfg, &spmv, &input, Some(&mut session))
+                    .expect("windowed faults resolve");
+                let r2 = run_kernel_checked(&cfg, &trsv, &input, Some(&mut session))
+                    .expect("windowed faults resolve");
+                (r1, r2, session.records().to_vec())
+            };
+            let base = run(false);
+            let got = run(true);
+            assert_eq!(
+                got.2, base.2,
+                "fault journal diverged under the event engine at seed {seed}"
+            );
+            assert_eq!(got.0, base.0, "spmv diverged at seed {seed}");
+            assert_eq!(got.1, base.1, "sptrsv diverged at seed {seed}");
+        }
+    }
+
+    #[test]
+    fn mid_span_rearm_credits_skipped_cycles_once() {
+        // Regression (double-credit audit): when a delivery re-arms a
+        // parked tile mid-span, the span's idle/stall cycles must be
+        // credited exactly once — at the wake — never again when the
+        // arrival moves the wake earlier. The serial tridiagonal chain
+        // parks every tile between messages; sweeping the hop latency
+        // shifts arrivals across park/wake edges. Per-tile detail stats
+        // and the invariant-audit counters (both part of `KernelStats`
+        // equality) would expose any double or missed credit.
+        let a = generate::tridiagonal(48);
+        let l = a.lower_triangle();
+        let grid = TileGrid::new(2, 2);
+        let p = BlockMapper.map(&a, grid);
+        let prog = Program::compile_sptrsv_lower(&l, &a, &p);
+        let b = test_input(48);
+        for hop in [1u32, 2, 3, 5, 8, 13] {
+            let run = |event: bool| {
+                let mut cfg = SimConfig::azul(grid);
+                cfg.hop_latency = hop;
+                cfg.event_engine = event;
+                cfg.detailed_stats = true;
+                cfg.check_invariants = true;
+                run_kernel(&cfg, &prog, &b)
+            };
+            let reference = run(false);
+            let got = run(true);
+            assert_eq!(got, reference, "credit divergence at hop_latency {hop}");
         }
     }
 

@@ -135,7 +135,7 @@ impl OutSink<'_> {
 
 /// How a PE accounts for fast-forwarded (skipped) cycles. Classes map
 /// one-to-one onto what a real tick of a zero-progress cycle would have
-/// recorded — see [`Pe::skip_profile`] and `docs/PERFORMANCE.md`.
+/// recorded — see [`Pe::wake_profile`] and `docs/PERFORMANCE.md`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub(crate) enum PeSkipClass {
     /// No work at all: a real tick would count `idle_at` each cycle.
@@ -661,21 +661,38 @@ impl Pe {
         Ok(())
     }
 
-    /// The fast-forward next-event contract (`docs/PERFORMANCE.md`):
-    /// how skipped cycles must be accounted for this PE, and the
-    /// earliest cycle it could act again (`None` = no self-driven wake;
-    /// only a router event or delivery can revive it).
+    /// The per-PE wake prediction (`docs/PERFORMANCE.md`): how each
+    /// untaken cycle from `now` on must be accounted for this PE, and
+    /// the earliest cycle it could act again (`None` = no self-driven
+    /// wake; only a router event, a delivery or a fault-window change
+    /// can revive it).
     ///
-    /// Consulted only on zero-progress cycles, where the PE state is
-    /// provably frozen: every issueable operation would have bumped a
-    /// signature counter. Contexts blocked on router injection report no
-    /// wake of their own — a full inject queue means this tile's router
-    /// holds flits, so its `Router::next_event` bounds the skip instead.
-    pub(crate) fn skip_profile(
+    /// Valid whenever the PE has not ticked since cycle `now - 1`, so
+    /// its state is frozen as of `now`: the machine-wide fast-forward
+    /// consults it on zero-progress cycles (where every issueable
+    /// operation would have bumped a signature counter), and the
+    /// event-driven engine consults it right after a tick at `now - 1`
+    /// to park the tile until the reported wake. A `Some(w)` with
+    /// `w <= now` means "cannot skip — tick at `now`". The class is
+    /// stable across the whole parked span: flit arrivals only touch
+    /// the router, and a delivery (which would change the class) can
+    /// only happen during a tick, which re-evaluates the profile.
+    /// `can_inject` is the tile router's current inject capacity
+    /// ([`crate::router::Router::can_inject`]): a context whose front
+    /// operation is a send can issue at `now` when the queue has room,
+    /// so it pins the wake to `now`. When the queue is full the send
+    /// reports no wake of its own — the router then necessarily holds
+    /// flits, so its `Router::next_event` bounds the skip instead.
+    /// (Passing `false` here with an injectable send pending would
+    /// strand the tile: the PE may have issued a *different* context's
+    /// operation on its last tick, leaving the send unattempted with an
+    /// empty, event-less router.)
+    pub(crate) fn wake_profile(
         &self,
         now: u64,
         cfg: &SimConfig,
         tp: &TileProgram,
+        can_inject: bool,
     ) -> (PeSkipClass, Option<u64>) {
         if cfg.pe_model == PeModel::Ideal {
             // Ideal PEs drain fully every tick and record no idle/stall
@@ -704,8 +721,15 @@ impl Pe {
             let slot = match task.pending.front() {
                 Some(&PendingOp::Combine { slot }) => Some(slot),
                 Some(&PendingOp::SolveMul { slot, .. }) => Some(slot),
-                // Router-bound: woken by the router, not a PE timer.
-                Some(&PendingOp::SendX { .. }) | Some(&PendingOp::SendPartial { .. }) => None,
+                Some(&PendingOp::SendX { .. }) | Some(&PendingOp::SendPartial { .. }) => {
+                    if can_inject {
+                        // Issueable right now: only single-issue
+                        // arbitration held it back on the last tick.
+                        return (PeSkipClass::Stall, Some(now));
+                    }
+                    // Router-bound: woken by the router, not a PE timer.
+                    None
+                }
                 None => {
                     debug_assert!(task.cur < task.end);
                     Some(tp.entries[task.cur as usize].slot)

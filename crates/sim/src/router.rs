@@ -170,22 +170,54 @@ impl Router {
     }
 
     /// The earliest cycle (`>= now`) at which this router could move a
-    /// flit, or `None` when it is empty. Heads already ready (parked by
-    /// an injected link-down fault, or racing for a shared output) pin
-    /// the event to `now`, so the fast-forward engine never skips past
-    /// a cycle where this router might act.
-    pub fn next_event(&self, now: u64) -> Option<u64> {
-        let head_min = self
-            .inputs
-            .iter()
-            .filter_map(|q| q.front().map(|h| h.ready))
-            .min()?;
-        if self.fault_blocked != 0 {
-            // A blocked output can park a ready head indefinitely;
-            // refuse to skip while the outage window is in force.
-            return Some(now);
+    /// flit, or `None` when no head can ever act on its own.
+    ///
+    /// Per head (only heads can act — each port is a FIFO):
+    /// * ready at or before `now` with at least one serviceable action
+    ///   left (an unblocked output direction, or an undone local
+    ///   delivery — deliveries cannot be fault-blocked) pins the event
+    ///   to `now`: the head may be racing other ports for a shared
+    ///   output, so the engine must not skip a single cycle;
+    /// * ready in the future reports its `ready` cycle (even if its
+    ///   outputs are currently fault-blocked — the window may close
+    ///   first, and one early tick is sound);
+    /// * ready but with *every* remaining output down reports nothing:
+    ///   the head is parked and only a fault-window change can free it.
+    ///   The engine re-arms every parked router when the window set
+    ///   changes, so a `None` here never strands a flit.
+    ///
+    /// The old conservative rule — any injected link fault pins the
+    /// event to `now` — both defeated skipping for the whole outage
+    /// window and hid the head-of-line analysis this engine needs; this
+    /// per-head form is exact. An empty router returns `None` (arrivals
+    /// re-arm it through the accept path).
+    pub fn next_event(&self, now: u64, program: &Program) -> Option<u64> {
+        let mut wake: Option<u64> = None;
+        let mut fold = |w: u64| wake = Some(wake.map_or(w, |v: u64| v.min(w)));
+        for q in &self.inputs {
+            let Some(&head) = q.front() else {
+                continue;
+            };
+            if head.ready > now {
+                fold(head.ready);
+                continue;
+            }
+            let (dirs, out_n, deliver) = route_of(program, self.tile, head.flit);
+            if deliver && !head.delivered {
+                fold(now);
+                continue;
+            }
+            let blocked = self.fault_blocked | head.forwarded;
+            if dirs[..out_n]
+                .iter()
+                .any(|&(dir, _)| blocked & (1 << dir) == 0)
+            {
+                fold(now);
+            }
+            // Else: head-of-line blocked by an outage on every remaining
+            // direction — parked, no self-driven wake.
         }
-        Some(head_min.max(now))
+        wake
     }
 
     /// The tile id this router serves.
@@ -239,6 +271,53 @@ pub struct Accept {
     pub flit: Flit,
 }
 
+/// The routing decision for `flit` at `tile`: the output directions it
+/// must be forwarded to (with the neighbor behind each), how many of
+/// the four slots are used, and whether it is also delivered locally.
+/// Pure function of the compiled program — shared by [`tick_router`]
+/// and [`Router::next_event`] so the wake analysis can never disagree
+/// with what a real tick would do. Tree links connect mesh neighbors,
+/// so a flit forwards to at most one tile per direction — the fixed
+/// array keeps both callers allocation-free.
+fn route_of(program: &Program, tile: TileId, flit: Flit) -> ([(usize, TileId); 4], usize, bool) {
+    let grid = program.grid;
+    let t = tile as usize;
+    let mut out_dirs = [(0usize, 0 as TileId); 4];
+    let mut out_n = 0usize;
+    let mut deliver = false;
+    match flit.kind {
+        FlitKind::X => {
+            // Compiler invariant: every routed x flit got a tree.
+            let tree_id = program.x_tree[flit.idx as usize].expect("multicast flit has a tree");
+            let tree = &program.trees[tree_id as usize];
+            for &child in tree.children_of(tile) {
+                let dir = direction_of(grid, tile, child);
+                out_dirs[out_n] = (dir, child);
+                out_n += 1;
+            }
+            deliver = !flit.outbound && tree.is_dest(tile);
+        }
+        FlitKind::Partial => {
+            let is_combiner = program.tiles[t].combine_slot.contains_key(&flit.idx);
+            if !flit.outbound && is_combiner {
+                deliver = true;
+            } else {
+                // Compiler invariant: split rows always get a tree.
+                let tree_id =
+                    program.partial_tree[flit.idx as usize].expect("partial flit has a tree");
+                let tree = &program.trees[tree_id as usize];
+                // Tree roots combine locally, never route partials.
+                let parent = tree
+                    .parent_of(tile)
+                    .expect("non-root tile climbing a reduction tree");
+                out_dirs[out_n] = (direction_of(grid, tile, parent), parent);
+                out_n += 1;
+            }
+        }
+    }
+    (out_dirs, out_n, deliver)
+}
+
 /// Ticks one router: moves at most one flit per output link, appends
 /// local deliveries to `deliveries`, pushes cross-tile arrivals onto
 /// `outbox` (applied at the cycle barrier, see [`Accept`]), and updates
@@ -252,7 +331,6 @@ pub fn tick_router(
     outbox: &mut Vec<Accept>,
     stats: &mut crate::stats::KernelStats,
 ) {
-    let grid = program.grid;
     let t = router.tile as usize;
     // Each output direction may carry one flit this cycle.
     let mut dir_used = [false; 4];
@@ -269,43 +347,7 @@ pub fn tick_router(
         }
         let flit = head.flit;
         let tile = t as TileId;
-        // Determine required outputs and local delivery. Tree links
-        // connect mesh neighbors, so a flit forwards to at most one
-        // tile per direction — a fixed array keeps the per-cycle tick
-        // allocation-free.
-        let mut out_dirs = [(0usize, 0 as TileId); 4];
-        let mut out_n = 0usize;
-        let mut deliver = false;
-        match flit.kind {
-            FlitKind::X => {
-                // azul-lint: allow(panic-in-sim-hot-path, unwrap-in-pipeline) compiler invariant: every routed x flit got a tree
-                let tree_id = program.x_tree[flit.idx as usize].expect("multicast flit has a tree");
-                let tree = &program.trees[tree_id as usize];
-                for &child in tree.children_of(tile) {
-                    let dir = direction_of(grid, tile, child);
-                    out_dirs[out_n] = (dir, child);
-                    out_n += 1;
-                }
-                deliver = !flit.outbound && tree.is_dest(tile);
-            }
-            FlitKind::Partial => {
-                let is_combiner = program.tiles[t].combine_slot.contains_key(&flit.idx);
-                if !flit.outbound && is_combiner {
-                    deliver = true;
-                } else {
-                    // azul-lint: allow(panic-in-sim-hot-path, unwrap-in-pipeline) compiler invariant: split rows always get a tree
-                    let tree_id =
-                        program.partial_tree[flit.idx as usize].expect("partial flit has a tree");
-                    let tree = &program.trees[tree_id as usize];
-                    // azul-lint: allow(panic-in-sim-hot-path, unwrap-in-pipeline) tree roots combine locally, never route partials
-                    let parent = tree
-                        .parent_of(tile)
-                        .expect("non-root tile climbing a reduction tree");
-                    out_dirs[out_n] = (direction_of(grid, tile, parent), parent);
-                    out_n += 1;
-                }
-            }
-        }
+        let (out_dirs, out_n, deliver) = route_of(program, tile, flit);
         let out_dirs = &out_dirs[..out_n];
 
         // Partial fork: serve whatever outputs are free this cycle; the
@@ -421,7 +463,7 @@ fn direction_of(grid: azul_mapping::TileGrid, from: TileId, to: TileId) -> usize
     grid.neighbors(from)
         .iter()
         .position(|&n| n == to)
-        // azul-lint: allow(panic-in-sim-hot-path, unwrap-in-pipeline) mapping invariant: trees are embedded in the mesh
+        // Mapping invariant: trees are embedded in the mesh.
         .expect("tree links connect adjacent tiles")
 }
 
@@ -593,5 +635,117 @@ mod tests {
             panic!("multicast never completed");
         };
         assert!(run(4) > run(1), "higher hop latency takes longer");
+    }
+
+    /// A multicast flit at its tree root with at least one outgoing
+    /// link and no local delivery, for head-analysis tests.
+    fn forwarding_head() -> (Program, TileId, Flit, Vec<usize>) {
+        let prog = spmv_program_2x2();
+        for j in 0..prog.n {
+            let Some(tree_id) = prog.x_tree[j] else {
+                continue;
+            };
+            let root = prog.trees[tree_id as usize].root();
+            let flit = Flit {
+                kind: FlitKind::X,
+                idx: j as u32,
+                val: 1.0,
+                outbound: true,
+            };
+            let (dirs, n, deliver) = route_of(&prog, root, flit);
+            if n > 0 && !deliver {
+                let out: Vec<usize> = dirs[..n].iter().map(|&(d, _)| d).collect();
+                return (prog, root, flit, out);
+            }
+        }
+        panic!("no pure-forwarding multicast root in the 2x2 program");
+    }
+
+    #[test]
+    fn next_event_reports_head_ready_cycles() {
+        let (prog, root, flit, _) = forwarding_head();
+        let mut r = Router::new(root, 16);
+        assert_eq!(r.next_event(0, &prog), None, "empty router: no events");
+        r.inject(5, flit); // head becomes ready at cycle 6
+        assert_eq!(
+            r.next_event(0, &prog),
+            Some(6),
+            "future-ready head reports its ready cycle"
+        );
+        assert_eq!(
+            r.next_event(6, &prog),
+            Some(6),
+            "ready head with a free output acts this cycle"
+        );
+        assert_eq!(r.next_event(9, &prog), Some(9), "never reports the past");
+    }
+
+    #[test]
+    fn next_event_parks_fully_blocked_head() {
+        // Satellite regression (over-skip audit): a head-of-line flit
+        // whose every remaining output is down must NOT pin the event
+        // to `now` (that defeats skipping for the whole outage), and
+        // must NOT report a future wake either (nothing self-driven
+        // will change) — it parks, and the engine's window-change
+        // re-arm is what revives it.
+        let (prog, root, flit, out_dirs) = forwarding_head();
+        let mut r = Router::new(root, 16);
+        r.inject(5, flit);
+        for d in (0..4).filter(|d| !out_dirs.contains(d)) {
+            r.inject_link_down(d);
+        }
+        assert_eq!(
+            r.next_event(6, &prog),
+            Some(6),
+            "outage off the flit's route never parks it"
+        );
+        for &d in &out_dirs {
+            r.inject_link_down(d);
+        }
+        assert_eq!(
+            r.next_event(6, &prog),
+            None,
+            "fully blocked head is parked (no self-driven wake)"
+        );
+        assert_eq!(
+            r.next_event(0, &prog),
+            Some(6),
+            "but a not-yet-ready head still reports its ready cycle: \
+             the outage may have closed by then"
+        );
+        r.clear_faults();
+        assert_eq!(r.next_event(6, &prog), Some(6), "window closed: live again");
+    }
+
+    #[test]
+    fn next_event_pins_undone_local_delivery() {
+        // Local deliveries cannot be fault-blocked: a dest tile with an
+        // undelivered head must report `now` even with every link down.
+        let prog = spmv_program_2x2();
+        let (j, tree_id) = (0..prog.n)
+            .find_map(|j| prog.x_tree[j].map(|t| (j, t as usize)))
+            .expect("some column is multi-tile");
+        let root = prog.trees[tree_id].root();
+        let dest = *prog.trees[tree_id]
+            .dests()
+            .iter()
+            .find(|&&d| d != root)
+            .expect("a non-root dest exists");
+        let flit = Flit {
+            kind: FlitKind::X,
+            idx: j as u32,
+            val: 1.0,
+            outbound: false,
+        };
+        let mut r = Router::new(dest, 16);
+        r.apply_accept(0, 3, flit);
+        for d in 0..4 {
+            r.inject_link_down(d);
+        }
+        assert_eq!(
+            r.next_event(3, &prog),
+            Some(3),
+            "pending local delivery is always serviceable"
+        );
     }
 }

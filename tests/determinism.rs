@@ -98,38 +98,58 @@ fn serialize_parts(
 
 /// A detailed, checked `SimConfig` for the shared scenario with the
 /// engine knobs under test.
-fn engine_cfg(grid: TileGrid, threads: usize, ff: bool, faults: Option<FaultPlan>) -> SimConfig {
+fn engine_cfg(
+    grid: TileGrid,
+    threads: usize,
+    ff: bool,
+    event: bool,
+    faults: Option<FaultPlan>,
+) -> SimConfig {
     let mut cfg = SimConfig::azul(grid);
     cfg.detailed_stats = true;
     cfg.check_invariants = true;
     cfg.threads = threads;
     cfg.fast_forward = ff;
+    cfg.event_engine = event;
     cfg.faults = faults;
     cfg
 }
 
+/// The engine-configuration matrix checked against the reference
+/// (threads=1, fast-forward off, event engine off): sharding, the
+/// machine-wide skip and the event-driven calendar engine, alone and
+/// combined.
+const ENGINE_MATRIX: [(usize, bool, bool); 5] = [
+    (3, false, false),
+    (1, true, false),
+    (1, false, true),
+    (3, false, true),
+    (3, true, true),
+];
+
 /// Asserts that a solver's full telemetry JSON is byte-identical across
-/// the engine-configuration matrix: sharded parallel ticking and
-/// idle-cycle fast-forward are host-side knobs that must not perturb a
-/// single deterministic byte.
+/// the engine-configuration matrix: sharded parallel ticking,
+/// idle-cycle fast-forward and the event-driven tick engine are
+/// host-side knobs that must not perturb a single deterministic byte.
 fn assert_engine_invariant(
     solver: &str,
     plan: &dyn Fn() -> Option<FaultPlan>,
-    json_of: &dyn Fn(usize, bool, Option<FaultPlan>) -> String,
+    json_of: &dyn Fn(usize, bool, bool, Option<FaultPlan>) -> String,
 ) {
-    let base = json_of(1, false, plan());
-    for (threads, ff) in [(3usize, false), (1, true), (3, true)] {
-        let got = json_of(threads, ff, plan());
+    let base = json_of(1, false, false, plan());
+    for (threads, ff, event) in ENGINE_MATRIX {
+        let got = json_of(threads, ff, event, plan());
         assert_eq!(
             got, base,
-            "{solver}: telemetry diverged at threads={threads} fast_forward={ff}"
+            "{solver}: telemetry diverged at threads={threads} \
+             fast_forward={ff} event_engine={event}"
         );
     }
 }
 
-fn pcg_json(threads: usize, ff: bool, faults: Option<FaultPlan>) -> String {
+fn pcg_json(threads: usize, ff: bool, event: bool, faults: Option<FaultPlan>) -> String {
     let (a, p, grid) = setup();
-    let cfg = engine_cfg(grid, threads, ff, faults);
+    let cfg = engine_cfg(grid, threads, ff, event, faults);
     let run_cfg = PcgSimConfig {
         timed_iterations: 0,
         ..PcgSimConfig::default()
@@ -145,9 +165,9 @@ fn pcg_json(threads: usize, ff: bool, faults: Option<FaultPlan>) -> String {
     )
 }
 
-fn bicgstab_json(threads: usize, ff: bool, faults: Option<FaultPlan>) -> String {
+fn bicgstab_json(threads: usize, ff: bool, event: bool, faults: Option<FaultPlan>) -> String {
     let (a, p, grid) = setup();
-    let cfg = engine_cfg(grid, threads, ff, faults);
+    let cfg = engine_cfg(grid, threads, ff, event, faults);
     let run_cfg = BiCgStabSimConfig {
         timed_iterations: 0,
         ..BiCgStabSimConfig::default()
@@ -165,9 +185,9 @@ fn bicgstab_json(threads: usize, ff: bool, faults: Option<FaultPlan>) -> String 
     )
 }
 
-fn gmres_json(threads: usize, ff: bool, faults: Option<FaultPlan>) -> String {
+fn gmres_json(threads: usize, ff: bool, event: bool, faults: Option<FaultPlan>) -> String {
     let (a, p, grid) = setup();
-    let cfg = engine_cfg(grid, threads, ff, faults);
+    let cfg = engine_cfg(grid, threads, ff, event, faults);
     let run_cfg = GmresSimConfig {
         timed_iterations: 0,
         ..GmresSimConfig::default()
@@ -192,9 +212,15 @@ fn seeded_plan() -> Option<FaultPlan> {
 /// sealed event buffer verbatim, so byte-comparing it across engine
 /// configurations checks the full trace pipeline: hooks, shard merge,
 /// fast-forward transparency, seal ordering, and the JSON writer.
-fn traced_trace_json(solver: &str, threads: usize, ff: bool, faults: Option<FaultPlan>) -> String {
+fn traced_trace_json(
+    solver: &str,
+    threads: usize,
+    ff: bool,
+    event: bool,
+    faults: Option<FaultPlan>,
+) -> String {
     let (a, p, grid) = setup();
-    let mut cfg = engine_cfg(grid, threads, ff, faults);
+    let mut cfg = engine_cfg(grid, threads, ff, event, faults);
     cfg.trace = Some(TraceConfig::default());
     let b = rhs(a.rows());
     let stats = match solver {
@@ -239,13 +265,13 @@ fn assert_trace_invariant(solver: &str) {
         ("fault-free", &(|| None) as &dyn Fn() -> Option<FaultPlan>),
         ("seeded faults", &seeded_plan),
     ] {
-        let base = traced_trace_json(solver, 1, false, plan());
-        for (threads, ff) in [(3usize, false), (1, true), (3, true)] {
-            let got = traced_trace_json(solver, threads, ff, plan());
+        let base = traced_trace_json(solver, 1, false, false, plan());
+        for (threads, ff, event) in ENGINE_MATRIX {
+            let got = traced_trace_json(solver, threads, ff, event, plan());
             assert_eq!(
                 got, base,
                 "{solver} ({label}): exported trace diverged at \
-                 threads={threads} fast_forward={ff}"
+                 threads={threads} fast_forward={ff} event_engine={event}"
             );
         }
     }
@@ -271,7 +297,7 @@ fn gmres_trace_export_invariant_to_engine_config() {
 /// router of the grid must have a named track.
 #[test]
 fn exported_trace_is_monotonic_and_balanced() {
-    let json = traced_trace_json("pcg", 1, false, seeded_plan());
+    let json = traced_trace_json("pcg", 1, false, true, seeded_plan());
     let doc = azul::telemetry::json::parse(&json).expect("export must be valid JSON");
     let check = validate_chrome_trace(&doc).expect("export must validate");
     assert!(check.events > 0, "trace has data events");

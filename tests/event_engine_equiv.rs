@@ -1,0 +1,135 @@
+//! Property-based equivalence harness for the event-driven tick engine
+//! (`SimConfig::event_engine`, `docs/PERFORMANCE.md`).
+//!
+//! The engine's contract is total: for *any* program, mapping, timing
+//! configuration and fault schedule, parking tiles on a calendar queue
+//! and lazily crediting their skipped cycles must reproduce the
+//! reference engine (threads=1, no skipping) byte for byte — outputs,
+//! every counter, per-tile detail, the invariant audit and the fault
+//! journal. The hand-written regression tests in `crates/sim` pin the
+//! known-tricky edges (blocked heads, mid-span re-arms, send fronts);
+//! this harness walks the space between them with random small SPD
+//! systems, mappings, latencies and seeded fault plans.
+
+use azul::mapping::strategies::{AzulMapper, BlockMapper, Mapper, RoundRobinMapper};
+use azul::mapping::TileGrid;
+use azul::sim::config::SimConfig;
+use azul::sim::faults::{FaultPlan, FaultSession};
+use azul::sim::machine::run_kernel_checked;
+use azul::sim::program::Program;
+use azul::sparse::{Coo, Csr};
+use proptest::prelude::*;
+
+/// Random SPD matrix via diagonal dominance, dimension 4..=40.
+fn arb_spd() -> impl Strategy<Value = Csr> {
+    (4usize..=40).prop_flat_map(|n| {
+        proptest::collection::vec((0..n, 0..n, 0.1f64..2.0), 0..(n * 3)).prop_map(move |es| {
+            let mut coo = Coo::new(n, n);
+            let mut row_sum = vec![0.0; n];
+            for (r, c, v) in es {
+                if r != c {
+                    let (lo, hi) = (r.min(c), r.max(c));
+                    coo.push_sym(lo, hi, -v).unwrap();
+                    row_sum[lo] += v;
+                    row_sum[hi] += v;
+                }
+            }
+            for (i, s) in row_sum.iter().enumerate() {
+                coo.push(i, i, s * 1.1 + 1.0).unwrap();
+            }
+            coo.to_csr()
+        })
+    })
+}
+
+/// One engine run: both kernels through one fault session (so events
+/// land mid-"solve"), returning everything observable.
+#[allow(clippy::type_complexity, clippy::too_many_arguments)]
+fn run_engines(
+    a: &Csr,
+    placement: &azul::mapping::Placement,
+    grid: TileGrid,
+    hop: u32,
+    sram: u32,
+    contexts: usize,
+    plan: Option<&FaultPlan>,
+    threads: usize,
+    ff: bool,
+    event: bool,
+) -> (
+    (Vec<f64>, azul::sim::stats::KernelStats),
+    (Vec<f64>, azul::sim::stats::KernelStats),
+    Vec<azul::sim::faults::FaultRecord>,
+) {
+    let l = azul::solver::ic0::ic0(a).expect("SPD factors");
+    let spmv = Program::compile_spmv(a, placement);
+    let trsv = Program::compile_sptrsv_lower(&l, a, placement);
+    let b: Vec<f64> = (0..a.rows()).map(|i| 0.5 + (i % 7) as f64 * 0.25).collect();
+    let mut cfg = SimConfig::azul(grid);
+    cfg.hop_latency = hop;
+    cfg.sram_latency = sram;
+    cfg.contexts = contexts;
+    cfg.threads = threads;
+    cfg.fast_forward = ff;
+    cfg.event_engine = event;
+    cfg.detailed_stats = true;
+    cfg.check_invariants = true;
+    let mut session = plan.map(|p| FaultSession::new(p.clone()));
+    let r1 = run_kernel_checked(&cfg, &spmv, &b, session.as_mut())
+        .expect("windowed faults always resolve");
+    let r2 = run_kernel_checked(&cfg, &trsv, &b, session.as_mut())
+        .expect("windowed faults always resolve");
+    let records = session.map(|s| s.records().to_vec()).unwrap_or_default();
+    (r1, r2, records)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random program x timing x engine matrix: the event engine (alone
+    /// and stacked on sharding + machine-wide fast-forward) reproduces
+    /// the reference run byte for byte.
+    #[test]
+    fn event_engine_matches_reference_on_random_programs(
+        a in arb_spd(),
+        mapper_ix in 0usize..3,
+        side in 1usize..=2,
+        hop in 1u32..=6,
+        sram in 1u32..=4,
+        contexts in 1usize..=4,
+    ) {
+        let grid = TileGrid::square(side * 2);
+        let mapper: Box<dyn Mapper> = match mapper_ix {
+            0 => Box::new(RoundRobinMapper),
+            1 => Box::new(BlockMapper),
+            _ => Box::new(AzulMapper { fast: true, quantiles: 0, ..Default::default() }),
+        };
+        let p = mapper.map(&a, grid);
+        let base = run_engines(&a, &p, grid, hop, sram, contexts, None, 1, false, false);
+        for (threads, ff) in [(1usize, false), (3, true)] {
+            let got = run_engines(&a, &p, grid, hop, sram, contexts, None, threads, ff, true);
+            prop_assert_eq!(&got.0, &base.0, "spmv diverged (threads={}, ff={})", threads, ff);
+            prop_assert_eq!(&got.1, &base.1, "sptrsv diverged (threads={}, ff={})", threads, ff);
+        }
+    }
+
+    /// Same, under seeded fault schedules: window openings and expiries
+    /// landing inside parked/jumped spans must neither move the fault
+    /// journal nor any statistic.
+    #[test]
+    fn event_engine_matches_reference_under_seeded_faults(
+        a in arb_spd(),
+        hop in 1u32..=4,
+        seed in 0u64..1u64 << 32,
+        events in 1usize..=6,
+    ) {
+        let grid = TileGrid::square(2);
+        let p = BlockMapper.map(&a, grid);
+        let plan = FaultPlan::seeded(seed, grid.num_tiles(), events, 8_000);
+        let base = run_engines(&a, &p, grid, hop, 2, 4, Some(&plan), 1, false, false);
+        let got = run_engines(&a, &p, grid, hop, 2, 4, Some(&plan), 1, false, true);
+        prop_assert_eq!(&got.2, &base.2, "fault journal diverged at seed {}", seed);
+        prop_assert_eq!(&got.0, &base.0, "spmv diverged at seed {}", seed);
+        prop_assert_eq!(&got.1, &base.1, "sptrsv diverged at seed {}", seed);
+    }
+}

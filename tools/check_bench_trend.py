@@ -1,0 +1,133 @@
+#!/usr/bin/env python3
+"""Diff a fresh BENCH_sim_perf.json against the committed baseline.
+
+Two classes of check, run by CI's `bench-smoke` job after the bench
+itself has passed its own floors:
+
+1. **Determinism diff** — simulated cycle counts are machine-independent,
+   so for every scenario present in both artifacts the `cycles` counter
+   must match the baseline exactly. A mismatch means the simulator's
+   behavior changed; if the change is intentional, regenerate the
+   baseline (see below) in the same PR.
+
+2. **Trend assert** — the `idle_heavy` section records `event_speedup`,
+   the wall-clock ratio of the reference engine to the event engine on
+   the idle-heavy 64x64 topology. The ratio is taken on one machine, so
+   it transfers across hosts; it must not regress by more than
+   AZUL_BENCH_TREND_TOLERANCE (default 0.10, i.e. >10% fails).
+
+Regenerate the baseline with:
+
+    AZUL_BENCH_SCALE=tiny AZUL_BENCH_REPORT_DIR=crates/bench/baselines \
+        cargo bench -p azul-bench --bench sim_perf
+
+Usage: check_bench_trend.py CURRENT.json BASELINE.json
+"""
+
+import json
+import os
+import sys
+
+# Scenario fields that identify a row across runs. Host-dependent
+# fields (wall_seconds, sim_mcycles_per_sec, event_speedup) are
+# deliberately excluded.
+KEY_FIELDS = (
+    "section",
+    "matrix",
+    "n",
+    "kernel",
+    "threads",
+    "fast_forward",
+    "event_engine",
+    "hop_latency",
+    "tracing",
+    "grid",
+    "active_tiles",
+)
+
+
+def row_key(report):
+    s = report.get("scenario", {})
+    return tuple((f, s.get(f)) for f in KEY_FIELDS)
+
+
+def index(reports):
+    out = {}
+    for r in reports:
+        k = row_key(r)
+        if k in out:
+            raise SystemExit(f"duplicate scenario key in artifact: {k}")
+        out[k] = r
+    return out
+
+
+def fmt_key(key):
+    return ", ".join(f"{f}={v}" for f, v in key if v is not None)
+
+
+def main(argv):
+    if len(argv) != 3:
+        raise SystemExit(__doc__)
+    with open(argv[1]) as f:
+        current = index(json.load(f))
+    with open(argv[2]) as f:
+        baseline = index(json.load(f))
+
+    shared = [k for k in baseline if k in current]
+    if not shared:
+        raise SystemExit(
+            "no scenarios shared between current artifact and baseline; "
+            "was the bench run at a different AZUL_BENCH_SCALE?"
+        )
+
+    failures = []
+
+    # 1. Determinism diff on simulated cycles.
+    for k in shared:
+        want = baseline[k].get("counters", {}).get("cycles")
+        got = current[k].get("counters", {}).get("cycles")
+        if want != got:
+            failures.append(
+                f"cycles drifted for [{fmt_key(k)}]: baseline {want}, "
+                f"current {got} — if intentional, regenerate the baseline"
+            )
+    print(f"determinism diff: {len(shared)} shared scenarios compared")
+
+    # 2. Trend assert on the event-engine speedup.
+    tol = float(os.environ.get("AZUL_BENCH_TREND_TOLERANCE", "0.10"))
+
+    def speedup_of(rows):
+        vals = [
+            r["scenario"]["event_speedup"]
+            for r in rows.values()
+            if "event_speedup" in r.get("scenario", {})
+        ]
+        if len(vals) != 1:
+            raise SystemExit(
+                f"expected exactly one event_speedup row, found {len(vals)}"
+            )
+        return vals[0]
+
+    base_sp = speedup_of(baseline)
+    cur_sp = speedup_of(current)
+    floor = base_sp * (1.0 - tol)
+    verdict = "ok" if cur_sp >= floor else "REGRESSION"
+    print(
+        f"event_speedup trend: baseline {base_sp:.2f}x, current {cur_sp:.2f}x, "
+        f"floor {floor:.2f}x (tolerance {tol:.0%}) — {verdict}"
+    )
+    if cur_sp < floor:
+        failures.append(
+            f"event-engine speedup regressed >{tol:.0%}: "
+            f"{cur_sp:.2f}x vs baseline {base_sp:.2f}x"
+        )
+
+    if failures:
+        for f in failures:
+            print(f"FAIL: {f}", file=sys.stderr)
+        raise SystemExit(1)
+    print("bench trend check passed")
+
+
+if __name__ == "__main__":
+    main(sys.argv)
