@@ -39,8 +39,8 @@ use azul_sim::config::{SimConfig, StagnationPolicy};
 use azul_sim::gmres::{GmresSim, GmresSimConfig};
 use azul_sim::pcg::{PcgSim, PcgSimConfig};
 use azul_sim::stats::KernelStats;
-use azul_sim::SimError;
-use azul_solver::{BreakdownKind, SolveStatus, SolverError};
+use azul_sim::{IntegrityAudit, SimError};
+use azul_solver::{BreakdownKind, OperatorChecksum, SolveStatus, SolverError};
 use azul_sparse::Csr;
 use azul_telemetry::report::{EscalationSample, IterationSample, TelemetryReport};
 use azul_telemetry::span;
@@ -94,6 +94,9 @@ pub enum EscalationTrigger {
     BudgetExhausted,
     /// The simulated machine failed (deadlock, invariant violation).
     SimFailure,
+    /// An integrity check (ABFT kernel checksum or true-residual audit)
+    /// detected silent corruption that rollback could not clear.
+    IntegrityViolation,
 }
 
 impl EscalationTrigger {
@@ -107,6 +110,7 @@ impl EscalationTrigger {
             EscalationTrigger::MaxIters => "max-iters",
             EscalationTrigger::BudgetExhausted => "budget",
             EscalationTrigger::SimFailure => "sim-error",
+            EscalationTrigger::IntegrityViolation => "integrity-violation",
         }
     }
 }
@@ -275,6 +279,9 @@ pub struct SupervisedSolveReport {
     pub escalations: Vec<EscalationRecord>,
     /// Convergence history of the winning attempt.
     pub convergence: Vec<IterationSample>,
+    /// Numerical-integrity audit of the winning attempt (empty unless
+    /// the base configuration enables an `IntegrityPolicy`).
+    pub integrity: IntegrityAudit,
     /// Kernel statistics of the winning attempt's timed portion.
     pub stats: KernelStats,
     /// The simulator configuration the winning attempt ran with.
@@ -358,6 +365,7 @@ struct RunOutcome {
     seconds: f64,
     status: SolveStatus,
     convergence: Vec<IterationSample>,
+    integrity: IntegrityAudit,
     stats: KernelStats,
 }
 
@@ -376,6 +384,8 @@ pub struct PreparedRung {
     grid: TileGrid,
     mapping: String,
     preconditioner: &'static str,
+    matrix_checksum: OperatorChecksum,
+    factor_checksum: OperatorChecksum,
 }
 
 impl PreparedRung {
@@ -386,6 +396,26 @@ impl PreparedRung {
         self.grid == sup.base.sim.grid
             && sup.policy.mappings.first().map(MappingStrategy::name) == Some(self.mapping.as_str())
             && sup.policy.preconditioners.first().map(|p| p.name()) == Some(self.preconditioner)
+    }
+
+    /// Re-verifies the ABFT checksums stored beside the artifacts at
+    /// prepare time against the permuted matrix and preconditioner
+    /// factor as they sit in memory *now*. Bit-exact: any silent
+    /// mutation of a cached rung — a radiation flip in a long-lived
+    /// cache entry, a buggy in-place pass — flips the verdict to
+    /// `false`. The serve layer's cache scrubber calls this on every
+    /// hit before trusting the entry.
+    pub fn verify_integrity(&self) -> bool {
+        self.matrix_checksum.matches(&self.pre.pa) && self.factor_checksum.matches(&self.factor)
+    }
+
+    /// Corruption hook for scrub testing: flips one bit of the stored
+    /// matrix checksum so the artifact and its checksum disagree and
+    /// the next [`PreparedRung::verify_integrity`] fails. This poisons
+    /// only the copy it is called on — exactly what a cached-entry
+    /// corruption looks like from the scrubber's seat.
+    pub fn flip_checksum_bit(&mut self, index: usize, bit: u32) {
+        self.matrix_checksum.flip_bit(index, bit);
     }
 }
 
@@ -501,12 +531,16 @@ impl SolveSupervisor {
         cfg.preconditioner = policy.preconditioners[0];
         let pre = Azul::new(cfg.clone()).preprocess(a)?;
         let factor = factor_for(&pre.pa, cfg.preconditioner)?;
+        let matrix_checksum = OperatorChecksum::new(&pre.pa);
+        let factor_checksum = OperatorChecksum::new(&factor);
         Ok(PreparedRung {
             pre,
             factor,
             grid: self.base.sim.grid,
             mapping: cfg.mapping.name().to_string(),
             preconditioner: cfg.preconditioner.name(),
+            matrix_checksum,
+            factor_checksum,
         })
     }
 
@@ -747,6 +781,7 @@ impl SolveSupervisor {
                         solver: solver.label(),
                         escalations: records,
                         convergence: outcome.convergence,
+                        integrity: outcome.integrity,
                         stats: outcome.stats,
                         sim_config: cfg.sim,
                     });
@@ -758,6 +793,9 @@ impl SolveSupervisor {
                         }
                         SolveStatus::Breakdown(BreakdownKind::BudgetExhausted) => {
                             EscalationTrigger::BudgetExhausted
+                        }
+                        SolveStatus::Breakdown(BreakdownKind::IntegrityViolation) => {
+                            EscalationTrigger::IntegrityViolation
                         }
                         SolveStatus::Breakdown(_) => EscalationTrigger::SolveBreakdown,
                         _ => EscalationTrigger::MaxIters,
@@ -877,6 +915,7 @@ impl SolveSupervisor {
                     seconds: r.elapsed_seconds,
                     status: r.status,
                     convergence: r.convergence,
+                    integrity: r.integrity,
                     stats: r.stats,
                 })
             }
@@ -889,6 +928,7 @@ impl SolveSupervisor {
                     recovery: base.recovery,
                     stagnation: self.policy.stagnation,
                     cycle_budget: self.policy.cycle_budget,
+                    integrity: base.integrity,
                 };
                 let r = sim.try_run(pb, &run_cfg)?;
                 let total_cycles = (r.cycles_per_iteration * r.iterations as f64) as u64;
@@ -902,6 +942,7 @@ impl SolveSupervisor {
                     seconds: sim_cfg.cycles_to_seconds(total_cycles),
                     status: r.status,
                     convergence: r.convergence,
+                    integrity: r.integrity,
                     stats: r.stats,
                 })
             }
@@ -915,6 +956,7 @@ impl SolveSupervisor {
                     recovery: base.recovery,
                     stagnation: self.policy.stagnation,
                     cycle_budget: self.policy.cycle_budget,
+                    integrity: base.integrity,
                 };
                 let r = sim.try_run(pb, &run_cfg)?;
                 let total_cycles = (r.cycles_per_iteration * r.iterations as f64) as u64;
@@ -928,6 +970,7 @@ impl SolveSupervisor {
                     seconds: sim_cfg.cycles_to_seconds(total_cycles),
                     status: r.status,
                     convergence: r.convergence,
+                    integrity: r.integrity,
                     stats: r.stats,
                 })
             }
@@ -1220,6 +1263,50 @@ mod tests {
     }
 
     #[test]
+    fn prepared_rung_scrub_detects_checksum_corruption() {
+        let a = generate::grid_laplacian_2d(8, 8);
+        let sup = SolveSupervisor::new(AzulConfig::small_test());
+        let rung = sup.prepare_first_rung(&a).unwrap();
+        assert!(rung.verify_integrity(), "fresh artifacts verify clean");
+
+        let mut poisoned = rung.clone();
+        poisoned.flip_checksum_bit(3, 52);
+        assert!(
+            !poisoned.verify_integrity(),
+            "a single flipped checksum bit fails the scrub"
+        );
+        // The pristine copy is untouched — corruption does not travel.
+        assert!(rung.verify_integrity());
+    }
+
+    #[test]
+    fn integrity_audited_supervised_solve_stays_clean() {
+        use azul_sim::IntegrityPolicy;
+
+        let a = generate::grid_laplacian_2d(8, 8);
+        let b = rhs(a.rows());
+        let mut cfg = AzulConfig::small_test();
+        cfg.pcg.integrity = IntegrityPolicy::audit();
+        let sup = SolveSupervisor::new(cfg).solve(&a, &b).unwrap();
+        assert!(sup.integrity.checks > 0, "audits ran");
+        assert!(
+            sup.integrity.violations.is_empty(),
+            "fault-free run is violation-free: {:?}",
+            sup.integrity.violations
+        );
+        assert_eq!(sup.integrity.escapes, 0);
+        assert!(sup.final_residual <= sup.requested_tol);
+
+        // The audited solve delivers the same answer as the unaudited
+        // one — checking is observation, not perturbation.
+        let plain = SolveSupervisor::new(AzulConfig::small_test())
+            .solve(&a, &b)
+            .unwrap();
+        assert_eq!(sup.x, plain.x);
+        assert!(plain.integrity.is_empty(), "unaudited run records nothing");
+    }
+
+    #[test]
     fn fill_supervisor_report_exports_supervisor_section() {
         let a = indefinite();
         let b = rhs(a.rows());
@@ -1238,7 +1325,7 @@ mod tests {
         assert_eq!(report.supervisor[0].trigger, "factor-breakdown");
         let text = report.to_json().to_string_pretty();
         assert!(text.contains("\"supervisor\""), "section serialized");
-        assert!(text.contains("\"schema_version\": 6"), "{text}");
+        assert!(text.contains("\"schema_version\": 7"), "{text}");
 
         // Trace markers follow the journal in order, on a cumulative
         // simulated-cycle clock.

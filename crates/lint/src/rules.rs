@@ -23,7 +23,11 @@ use crate::{Diagnostic, Severity, TraceStep, ALL_RULES};
 use std::collections::{BTreeMap, BTreeSet};
 
 fn hot_name(name: &str) -> bool {
-    name.contains("tick") || name.contains("route") || name.contains("execute")
+    name.contains("tick")
+        || name.contains("route")
+        || name.contains("execute")
+        || name.contains("verify")
+        || name.contains("audit")
 }
 
 fn pipeline_name(name: &str) -> bool {
@@ -34,6 +38,8 @@ fn pipeline_name(name: &str) -> bool {
         || name.contains("schedule")
         || name.contains("admit")
         || name.contains("submit")
+        || name.contains("scrub")
+        || name.contains("verify")
 }
 
 fn pipeline_scope(scope: &str) -> bool {
@@ -110,7 +116,7 @@ pub(crate) fn lexical_diags(file: &FileFacts) -> Vec<Diagnostic> {
             }
             SinkKind::PanicMacro | SinkKind::Unwrap => {
                 let fn_name = f.map(|f| f.name.as_str()).unwrap_or("?");
-                if scope == "sim" && f.is_some_and(|f| hot_name(&f.name)) {
+                if scope == "sim" && f.is_some_and(|f| hot_name(&f.name) && !f.is_test) {
                     let what = match sink.kind {
                         SinkKind::PanicMacro => format!("`{}!`", sink.what),
                         _ => format!("`.{}()`", sink.what),

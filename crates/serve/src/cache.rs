@@ -158,6 +158,21 @@ impl Flight {
         };
         matches!(*st, FlightState::Ready(_))
     }
+
+    /// Non-blocking peek at the published rung, if any. Used by the
+    /// cache scrubber: only a `Ready` entry has an artifact to verify
+    /// (a `Pending` leader is still computing, a `Failed` flight shares
+    /// nothing).
+    fn ready_rung(&self) -> Option<Arc<PreparedRung>> {
+        let st = match self.state.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        match &*st {
+            FlightState::Ready(r) => Some(Arc::clone(r)),
+            _ => None,
+        }
+    }
 }
 
 /// Bounded LRU of in-flight and completed prepares, keyed by
@@ -176,6 +191,8 @@ pub struct FlightCache {
     entries: Vec<(u64, Arc<Flight>)>,
     hits: u64,
     misses: u64,
+    scrub_checks: u64,
+    scrub_evictions: u64,
 }
 
 impl FlightCache {
@@ -187,6 +204,8 @@ impl FlightCache {
             entries: Vec::new(),
             hits: 0,
             misses: 0,
+            scrub_checks: 0,
+            scrub_evictions: 0,
         }
     }
 
@@ -215,6 +234,28 @@ impl FlightCache {
         (flight, true)
     }
 
+    /// Like [`FlightCache::admit`], but re-verifies a cached entry's
+    /// ABFT checksums ([`PreparedRung::verify_integrity`]) before
+    /// sharing it. A published rung that fails the scrub is evicted on
+    /// the spot and this admission becomes the leader of a fresh
+    /// flight — the poisoned artifact is re-prepared, never served.
+    /// Entries still `Pending` (leader computing) or `Failed` carry no
+    /// artifact and are admitted against unscrubbed.
+    pub fn admit_scrubbed(&mut self, key: u64) -> (Arc<Flight>, bool) {
+        if self.cap > 0 {
+            if let Some(pos) = self.entries.iter().position(|(k, _)| *k == key) {
+                if let Some(rung) = self.entries[pos].1.ready_rung() {
+                    self.scrub_checks += 1;
+                    if !rung.verify_integrity() {
+                        self.scrub_evictions += 1;
+                        self.entries.remove(pos);
+                    }
+                }
+            }
+        }
+        self.admit(key)
+    }
+
     /// Admissions that shared an existing flight.
     pub fn hits(&self) -> u64 {
         self.hits
@@ -223,6 +264,16 @@ impl FlightCache {
     /// Admissions that created a fresh flight (became leaders).
     pub fn misses(&self) -> u64 {
         self.misses
+    }
+
+    /// Cached rungs whose checksums were re-verified on a scrubbed hit.
+    pub fn scrub_checks(&self) -> u64 {
+        self.scrub_checks
+    }
+
+    /// Cached rungs evicted because the scrub found a mismatch.
+    pub fn scrub_evictions(&self) -> u64 {
+        self.scrub_evictions
     }
 }
 
@@ -328,6 +379,45 @@ mod tests {
         // The evicted flight handle still works for whoever held it.
         f_old.publish(None);
         assert!(!f_old.is_ready());
+    }
+
+    #[test]
+    fn scrubbed_admission_evicts_poisoned_rungs() {
+        use azul_core::{AzulConfig, SolveSupervisor};
+        use azul_sparse::generate;
+
+        let a = generate::grid_laplacian_2d(8, 8);
+        let sup = SolveSupervisor::new(AzulConfig::small_test());
+        let rung = sup.prepare_first_rung(&a).expect("prepare succeeds");
+
+        // A healthy published rung survives the scrub and is shared.
+        let mut cache = FlightCache::new(2);
+        let (flight, lead) = cache.admit_scrubbed(42);
+        assert!(lead);
+        flight.publish(Some(Arc::new(rung.clone())));
+        let (_, lead) = cache.admit_scrubbed(42);
+        assert!(!lead, "clean cached rung is shared");
+        assert_eq!(cache.scrub_checks(), 1);
+        assert_eq!(cache.scrub_evictions(), 0);
+
+        // A poisoned rung is evicted and the admission re-leads.
+        let mut poisoned = rung;
+        poisoned.flip_checksum_bit(0, 61);
+        let mut cache = FlightCache::new(2);
+        let (flight, _) = cache.admit_scrubbed(42);
+        flight.publish(Some(Arc::new(poisoned)));
+        let (refreshed, lead) = cache.admit_scrubbed(42);
+        assert!(lead, "poisoned rung is evicted, not served");
+        assert!(!Arc::ptr_eq(&flight, &refreshed), "fresh flight");
+        assert_eq!(cache.scrub_checks(), 1);
+        assert_eq!(cache.scrub_evictions(), 1);
+
+        // Unscrubbed admission would have trusted the cache blindly;
+        // the scrubbed path repaired it, so the next hit is clean.
+        refreshed.publish(None);
+        let (_, lead) = cache.admit_scrubbed(42);
+        assert!(!lead, "failed flight still shares (no artifact to scrub)");
+        assert_eq!(cache.scrub_checks(), 1, "failed flights are not scrubbed");
     }
 
     #[test]

@@ -9,12 +9,16 @@
 //! paper claims for the hardware.
 
 use crate::config::{SimConfig, StagnationPolicy};
-use crate::faults::{FaultRecord, FaultSession, RecoveryPolicy, RecoveryRecord};
+use crate::faults::{
+    DriftSample, FaultRecord, FaultSession, IntegrityAudit, IntegrityPolicy, IntegrityRecord,
+    RecoveryPolicy, RecoveryRecord,
+};
 use crate::machine::{run_kernel, run_kernel_checked, SimError};
 use crate::program::Program;
 use crate::stats::{KernelClass, KernelStats};
 use crate::vecops::{VecOp, VecOpModel};
 use azul_mapping::Placement;
+use azul_solver::abft::OperatorChecksum;
 use azul_solver::flops::{self, FlopBreakdown};
 use azul_solver::ic0::ic0;
 use azul_solver::{BreakdownKind, SolveStatus, SolverError};
@@ -41,6 +45,10 @@ pub struct BiCgStabSimConfig {
     /// Per-attempt cycle budget on the extrapolated cycle count;
     /// `u64::MAX` (the default) disables the check.
     pub cycle_budget: u64,
+    /// Silent-corruption detection (see [`IntegrityPolicy`]). BiCGStab
+    /// stores no factor, so checksum verification covers the SpMV
+    /// launches; the drift and final audits run exactly as in PCG.
+    pub integrity: IntegrityPolicy,
 }
 
 impl Default for BiCgStabSimConfig {
@@ -52,6 +60,7 @@ impl Default for BiCgStabSimConfig {
             recovery: RecoveryPolicy::default(),
             stagnation: None,
             cycle_budget: u64::MAX,
+            integrity: IntegrityPolicy::default(),
         }
     }
 }
@@ -95,6 +104,9 @@ pub struct BiCgStabSimReport {
     pub fault_events: Vec<FaultRecord>,
     /// Executed restart recoveries (empty in a clean run).
     pub recoveries: Vec<RecoveryRecord>,
+    /// Integrity journal (checks run, violations, drift samples, escape
+    /// count). Empty unless [`BiCgStabSimConfig::integrity`] is enabled.
+    pub integrity: IntegrityAudit,
     /// Convergence telemetry: one sample per iteration (sample 0 is the
     /// initial state). Cycle-simulated iterations carry measured deltas;
     /// the rest reuse the steady-state averages.
@@ -188,6 +200,24 @@ impl BiCgStabSim {
             .filter(|pl| !pl.is_empty())
             .map(|pl| FaultSession::new(pl.clone()));
 
+        // Silent-corruption detection state (host-side, not
+        // cycle-charged). BiCGStab stores no factor, so ABFT checksums
+        // cover the SpMV launches; the triangular solves are still
+        // guarded by the drift and final audits.
+        let integrity = run_cfg.integrity;
+        let mut audit = IntegrityAudit::default();
+        let cs_a = if integrity.enabled && integrity.checksum_kernels {
+            Some(OperatorChecksum::new(&self.a))
+        } else {
+            None
+        };
+        let a_inf = if integrity.enabled {
+            self.a.inf_norm()
+        } else {
+            0.0
+        };
+        let bnorm0 = dense::norm2(b);
+
         // Timed kernel helpers (mirror PcgSim's accounting).
         let spmv_timed = |v: &[f64],
                           timing: bool,
@@ -263,7 +293,10 @@ impl BiCgStabSim {
 
         // Checkpoint / restart state: only x is checkpointed; a rollback
         // restarts the recurrence (r = b - A x, r̂ = r, ρ = α = ω = 1,
-        // v = p = 0) so corrupted recurrence vectors cannot survive.
+        // v = p = 0) so corrupted recurrence vectors cannot survive. The
+        // initial snapshot is the starting x at iteration 0, so a fault
+        // before the first checkpoint interval rolls back to a valid
+        // state, never to an uncheckpointed one.
         let policy = run_cfg.recovery;
         let mut ck_x = x.clone();
         let mut ck_iter = 0usize;
@@ -430,6 +463,34 @@ impl BiCgStabSim {
                 &mut this_iter,
                 &mut session,
             )?;
+            // ABFT: verify the simulated v = A·y against the column
+            // checksums; a confirmed deviation (the reference kernel
+            // disagrees too) feeds the recovery ladder.
+            if timing {
+                if let Some(cs) = &cs_a {
+                    audit.checks += 1;
+                    let check = cs.verify_spmv(&y, &v);
+                    if !check.ok() {
+                        audit.violations.push(IntegrityRecord {
+                            iteration: iterations,
+                            check: "checksum_spmv",
+                            detail: format!("gap {:.3e} > bound {:.3e}", check.gap, check.bound),
+                        });
+                        let reference = self.a.spmv(&y);
+                        if dense::norm2(&dense::sub(&v, &reference)) > check.bound {
+                            fault_guard!(
+                                timing,
+                                this_iter,
+                                BreakdownKind::IntegrityViolation,
+                                format!(
+                                    "spmv checksum gap {:.3e} > bound {:.3e}",
+                                    check.gap, check.bound
+                                )
+                            );
+                        }
+                    }
+                }
+            }
             let rhat_v = dense::dot(&r_hat, &v);
             vec_cost(
                 self,
@@ -481,21 +542,49 @@ impl BiCgStabSim {
                 &mut this_iter,
             );
             if snorm <= run_cfg.tol {
-                if timing {
-                    timed_done += 1;
-                    iter_cycles_acc += this_iter;
+                // Final audit on the half-step exit: never declare
+                // convergence on the recursive s-norm alone. Outside the
+                // drift envelope → recovery ladder; inside it → honest
+                // rounding gap, so fall through and finish the iteration.
+                let mut accept = true;
+                if integrity.enabled && integrity.final_audit {
+                    audit.checks += 1;
+                    let true_r = dense::norm2(&dense::sub(b, &self.a.spmv(&x)));
+                    if true_r > run_cfg.tol {
+                        accept = false;
+                        let floor = 64.0 * f64::EPSILON * (bnorm0 + a_inf * dense::norm2(&x));
+                        if true_r > integrity.drift_factor * snorm + floor {
+                            audit.violations.push(IntegrityRecord {
+                                iteration: iterations + 1,
+                                check: "final_audit",
+                                detail: format!("true {true_r:.3e} > tol, recursive {snorm:.3e}"),
+                            });
+                            fault_guard!(
+                                timing,
+                                this_iter,
+                                BreakdownKind::IntegrityViolation,
+                                format!("final audit: true {true_r:.3e} vs recursive {snorm:.3e}")
+                            );
+                        }
+                    }
                 }
-                iterations += 1;
-                converged = true;
-                push_sample(
-                    snorm,
-                    iterations,
-                    this_iter,
-                    &stats,
-                    &mut untimed,
-                    &mut convergence,
-                );
-                break;
+                if accept {
+                    if timing {
+                        timed_done += 1;
+                        iter_cycles_acc += this_iter;
+                    }
+                    iterations += 1;
+                    converged = true;
+                    push_sample(
+                        snorm,
+                        iterations,
+                        this_iter,
+                        &stats,
+                        &mut untimed,
+                        &mut convergence,
+                    );
+                    break;
+                }
             }
 
             let z = precond(
@@ -515,6 +604,32 @@ impl BiCgStabSim {
                 &mut this_iter,
                 &mut session,
             )?;
+            // ABFT: same verification for the second SpMV, t = A·z.
+            if timing {
+                if let Some(cs) = &cs_a {
+                    audit.checks += 1;
+                    let check = cs.verify_spmv(&z, &t);
+                    if !check.ok() {
+                        audit.violations.push(IntegrityRecord {
+                            iteration: iterations,
+                            check: "checksum_spmv",
+                            detail: format!("gap {:.3e} > bound {:.3e}", check.gap, check.bound),
+                        });
+                        let reference = self.a.spmv(&z);
+                        if dense::norm2(&dense::sub(&t, &reference)) > check.bound {
+                            fault_guard!(
+                                timing,
+                                this_iter,
+                                BreakdownKind::IntegrityViolation,
+                                format!(
+                                    "spmv checksum gap {:.3e} > bound {:.3e}",
+                                    check.gap, check.bound
+                                )
+                            );
+                        }
+                    }
+                }
+            }
             let tt = dense::dot(&t, &t);
             vec_cost(
                 self,
@@ -583,8 +698,56 @@ impl BiCgStabSim {
                 );
             }
             best_rnorm = best_rnorm.min(rnorm);
+            // Periodic drift audit: recursive vs. freshly recomputed true
+            // residual (see the PCG frontend for the rationale).
+            let mut tol_met = rnorm <= run_cfg.tol;
+            if integrity.drift_due(iterations + 1) {
+                audit.checks += 1;
+                let true_r = dense::norm2(&dense::sub(b, &self.a.spmv(&x)));
+                audit.drift.push(DriftSample {
+                    iteration: iterations + 1,
+                    recursive: rnorm,
+                    true_residual: true_r,
+                });
+                let floor = 64.0 * f64::EPSILON * (bnorm0 + a_inf * dense::norm2(&x));
+                if true_r > integrity.drift_factor * rnorm + floor {
+                    audit.violations.push(IntegrityRecord {
+                        iteration: iterations + 1,
+                        check: "residual_drift",
+                        detail: format!("true {true_r:.3e} vs recursive {rnorm:.3e}"),
+                    });
+                    fault_guard!(
+                        timing,
+                        this_iter,
+                        BreakdownKind::IntegrityViolation,
+                        format!("residual drift: true {true_r:.3e} vs recursive {rnorm:.3e}")
+                    );
+                }
+            }
+            // Final audit before declaring convergence on the full step.
+            if tol_met && integrity.enabled && integrity.final_audit {
+                audit.checks += 1;
+                let true_r = dense::norm2(&dense::sub(b, &self.a.spmv(&x)));
+                if true_r > run_cfg.tol {
+                    tol_met = false;
+                    let floor = 64.0 * f64::EPSILON * (bnorm0 + a_inf * dense::norm2(&x));
+                    if true_r > integrity.drift_factor * rnorm + floor {
+                        audit.violations.push(IntegrityRecord {
+                            iteration: iterations + 1,
+                            check: "final_audit",
+                            detail: format!("true {true_r:.3e} > tol, recursive {rnorm:.3e}"),
+                        });
+                        fault_guard!(
+                            timing,
+                            this_iter,
+                            BreakdownKind::IntegrityViolation,
+                            format!("final audit: true {true_r:.3e} vs recursive {rnorm:.3e}")
+                        );
+                    }
+                }
+            }
             iterations += 1;
-            converged = rnorm <= run_cfg.tol;
+            converged = tol_met;
             if timing {
                 timed_done += 1;
                 iter_cycles_acc += this_iter;
@@ -683,6 +846,21 @@ impl BiCgStabSim {
 
         let final_residual = dense::norm2(&dense::sub(b, &self.a.spmv(&x)));
 
+        // Escape backstop: journal (never mask) a converged flag whose
+        // true residual misses the tolerance. Structurally impossible
+        // while the final audit is armed.
+        if integrity.enabled && converged && final_residual > run_cfg.tol {
+            audit.escapes += 1;
+            audit.violations.push(IntegrityRecord {
+                iteration: iterations,
+                check: "final_audit",
+                detail: format!(
+                    "escape: converged with true residual {final_residual:.3e} > tol {:.3e}",
+                    run_cfg.tol
+                ),
+            });
+        }
+
         // Solve-level invariant audit over the merged stats.
         if self.cfg.check_invariants {
             crate::invariants::check_solve_stats(&mut stats)?;
@@ -701,6 +879,7 @@ impl BiCgStabSim {
             status,
             fault_events,
             recoveries,
+            integrity: audit,
             convergence,
         })
     }

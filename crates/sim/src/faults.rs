@@ -422,6 +422,129 @@ pub struct RecoveryRecord {
     pub reason: String,
 }
 
+/// Knobs of the *silent*-corruption detection layer.
+///
+/// [`RecoveryPolicy`]'s guards fire only on loud symptoms — NaN/Inf,
+/// divergence, stagnation. A low-mantissa SRAM flip produces none of
+/// those: the recursive residual stays finite and shrinking while the
+/// solution drifts from the truth. This policy arms two quiet detectors
+/// in the solver frontends:
+///
+/// * **ABFT kernel checksums** ([`azul_solver::abft`]): Huang–Abraham
+///   column/row checksum vectors precomputed per operator, verified
+///   against a rounding-aware bound after SpMV/SpTRSV launches.
+/// * **True-residual audits**: every `audit_interval` iterations — and
+///   unconditionally before declaring convergence — the frontend
+///   recomputes `r = b − A·x` with the reference kernels and compares it
+///   to the recursive residual the recurrence has been carrying.
+///
+/// A violation feeds the *existing* recovery machinery (re-verify →
+/// checkpoint rollback → supervisor rung escalation via
+/// `BreakdownKind::IntegrityViolation`), so detection composes with
+/// [`RecoveryPolicy`] rather than replacing it. Disabled (the default),
+/// the frontends skip every check and telemetry stays byte-identical to
+/// the pre-integrity schema.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IntegrityPolicy {
+    /// Master switch. Disabled, no checks run and no audit is journaled.
+    pub enabled: bool,
+    /// Run a recursive-vs-true residual drift audit every this many
+    /// iterations (0 disables the periodic audit; the final audit still
+    /// runs).
+    pub audit_interval: usize,
+    /// Declare drift when the true residual exceeds this factor times
+    /// the recursive residual plus a rounding floor.
+    pub drift_factor: f64,
+    /// Verify ABFT checksums after simulated SpMV/SpTRSV launches.
+    pub checksum_kernels: bool,
+    /// Require the true residual — not the recursive one — to meet the
+    /// tolerance before `converged: true` is declared.
+    pub final_audit: bool,
+}
+
+impl Default for IntegrityPolicy {
+    /// Disabled: the zero-integrity-check path is the default so
+    /// existing runs and their telemetry stay byte-identical.
+    fn default() -> Self {
+        IntegrityPolicy {
+            enabled: false,
+            audit_interval: 16,
+            drift_factor: 10.0,
+            checksum_kernels: true,
+            final_audit: true,
+        }
+    }
+}
+
+impl IntegrityPolicy {
+    /// The full detection battery: checksums, periodic drift audits and
+    /// the mandatory final audit.
+    pub fn audit() -> Self {
+        IntegrityPolicy {
+            enabled: true,
+            ..Self::default()
+        }
+    }
+
+    /// Explicitly disabled (same as [`Default`]).
+    pub fn disabled() -> Self {
+        Self::default()
+    }
+
+    /// Whether the periodic drift audit is due at `iteration`.
+    pub(crate) fn drift_due(&self, iteration: usize) -> bool {
+        self.enabled && self.audit_interval > 0 && iteration.is_multiple_of(self.audit_interval)
+    }
+}
+
+/// One failed integrity check, journaled into the solver reports and the
+/// telemetry `integrity` section.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IntegrityRecord {
+    /// Iteration at which the check failed.
+    pub iteration: usize,
+    /// Which detector fired: `checksum_spmv`, `checksum_sptrsv`,
+    /// `residual_drift` or `final_audit`.
+    pub check: &'static str,
+    /// Human-readable detail (gap vs. bound, recursive vs. true norm).
+    pub detail: String,
+}
+
+/// One periodic drift-audit sample (recorded whether or not it tripped).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DriftSample {
+    /// Iteration the audit ran at.
+    pub iteration: usize,
+    /// Recursive residual norm the recurrence was carrying.
+    pub recursive: f64,
+    /// Freshly recomputed `||b − A·x||`.
+    pub true_residual: f64,
+}
+
+/// The integrity journal of one solve: every check run, every violation
+/// and every drift sample, plus the wrong-answer escape counter that the
+/// acceptance campaign asserts to be zero.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct IntegrityAudit {
+    /// Total integrity checks executed (checksums + drift + final).
+    pub checks: u64,
+    /// Checks that failed and fed the recovery ladder.
+    pub violations: Vec<IntegrityRecord>,
+    /// Periodic drift samples (bounded history).
+    pub drift: Vec<DriftSample>,
+    /// Solves that declared convergence while the true residual missed
+    /// the tolerance — the silent wrong answers this subsystem exists to
+    /// eliminate. Non-zero only when the final audit is disabled.
+    pub escapes: u64,
+}
+
+impl IntegrityAudit {
+    /// Whether any check ran (used to omit the telemetry section).
+    pub fn is_empty(&self) -> bool {
+        self.checks == 0 && self.violations.is_empty() && self.escapes == 0
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -8,12 +8,16 @@
 //! length, which this simulation exposes in its kernel breakdown.
 
 use crate::config::{SimConfig, StagnationPolicy};
-use crate::faults::{FaultRecord, FaultSession, RecoveryPolicy, RecoveryRecord};
+use crate::faults::{
+    DriftSample, FaultRecord, FaultSession, IntegrityAudit, IntegrityPolicy, IntegrityRecord,
+    RecoveryPolicy, RecoveryRecord,
+};
 use crate::machine::{run_kernel_checked, SimError};
 use crate::program::Program;
 use crate::stats::{KernelClass, KernelStats};
 use crate::vecops::{VecOp, VecOpModel};
 use azul_mapping::Placement;
+use azul_solver::abft::OperatorChecksum;
 use azul_solver::ic0::ic0;
 use azul_solver::{BreakdownKind, SolveStatus, SolverError};
 use azul_sparse::{dense, Csr};
@@ -41,6 +45,10 @@ pub struct GmresSimConfig {
     /// Per-attempt cycle budget on the extrapolated cycle count;
     /// `u64::MAX` (the default) disables the check.
     pub cycle_budget: u64,
+    /// Silent-corruption detection (see [`IntegrityPolicy`]). With the
+    /// final audit armed, an inner Givens-estimate convergence forces a
+    /// restart unless the true residual confirms it.
+    pub integrity: IntegrityPolicy,
 }
 
 impl Default for GmresSimConfig {
@@ -53,6 +61,7 @@ impl Default for GmresSimConfig {
             recovery: RecoveryPolicy::default(),
             stagnation: None,
             cycle_budget: u64::MAX,
+            integrity: IntegrityPolicy::default(),
         }
     }
 }
@@ -95,6 +104,9 @@ pub struct GmresSimReport {
     pub fault_events: Vec<FaultRecord>,
     /// Executed basis-discard recoveries (empty in a clean run).
     pub recoveries: Vec<RecoveryRecord>,
+    /// Integrity journal (checks run, violations, drift samples, escape
+    /// count). Empty unless [`GmresSimConfig::integrity`] is enabled.
+    pub integrity: IntegrityAudit,
     /// Convergence telemetry: one sample per inner iteration (sample 0 is
     /// the initial state; residuals are the Givens recurrence estimates).
     /// Cycle-simulated iterations carry measured deltas; the rest reuse
@@ -187,13 +199,35 @@ impl GmresSim {
             .filter(|pl| !pl.is_empty())
             .map(|pl| FaultSession::new(pl.clone()));
 
+        // Silent-corruption detection state (host-side, not
+        // cycle-charged): checksums for the operator and the stored
+        // factor, plus the drift/final audit parameters.
+        let integrity = run_cfg.integrity;
+        let mut audit = IntegrityAudit::default();
+        let checksums = if integrity.enabled && integrity.checksum_kernels {
+            Some((
+                OperatorChecksum::new(&self.a),
+                OperatorChecksum::new(&self.l),
+            ))
+        } else {
+            None
+        };
+        let a_inf = if integrity.enabled {
+            self.a.inf_norm()
+        } else {
+            0.0
+        };
+        let bnorm0 = dense::norm2(b);
+
         let mut x = vec![0.0f64; n];
         let mut iterations = 0usize;
         let mut converged = false;
 
         // Checkpoint / rollback state: x is checkpointed at each healthy
         // restart boundary; recovery discards the (possibly corrupted)
-        // Krylov basis and restarts from the checkpoint.
+        // Krylov basis and restarts from the checkpoint. The initial
+        // snapshot is the starting x at iteration 0, so a fault before
+        // the first healthy boundary rolls back to a valid state.
         let policy = run_cfg.recovery;
         let mut ck_x = x.clone();
         let mut ck_iter = 0usize;
@@ -289,6 +323,55 @@ impl GmresSim {
                     this_iter += s3.cycles;
                     stats.merge(&s3);
                     timed_flops += 2 * self.a.nnz() as u64 + 4 * self.l.nnz() as u64;
+                    // ABFT: verify both triangular solves and the SpMV of
+                    // this Arnoldi step. A confirmed deviation (the
+                    // reference kernels disagree too) discards the basis
+                    // and restarts from the checkpoint — the same ladder
+                    // as the non-finite estimate guard below.
+                    if let Some((csa, csl)) = &checksums {
+                        audit.checks += 3;
+                        let c1 = csl.verify_solve(&y, &v[k]);
+                        let c2 = csl.verify_solve_transpose(&z, &y);
+                        let c3 = csa.verify_spmv(&z, &w);
+                        if !c1.ok() || !c2.ok() || !c3.ok() {
+                            let (which, bad) = if !c1.ok() {
+                                ("checksum_sptrsv", c1)
+                            } else if !c2.ok() {
+                                ("checksum_sptrsv", c2)
+                            } else {
+                                ("checksum_spmv", c3)
+                            };
+                            audit.violations.push(IntegrityRecord {
+                                iteration: iterations,
+                                check: which,
+                                detail: format!("gap {:.3e} > bound {:.3e}", bad.gap, bad.bound),
+                            });
+                            let ry = azul_solver::kernels::sptrsv_lower(&self.l, &v[k]);
+                            let rz = azul_solver::kernels::sptrsv_lower_transpose(&self.l, &ry);
+                            let rw = self.a.spmv(&rz);
+                            let dev = dense::norm2(&dense::sub(&z, &rz))
+                                .max(dense::norm2(&dense::sub(&w, &rw)));
+                            if dev > bad.bound {
+                                if policy.enabled && rollbacks < policy.max_rollbacks {
+                                    timed_done += 1;
+                                    timed_cycles += this_iter;
+                                    x.copy_from_slice(&ck_x);
+                                    rollbacks += 1;
+                                    recoveries.push(RecoveryRecord {
+                                        iteration: iterations,
+                                        restored_iteration: ck_iter,
+                                        reason: format!(
+                                            "integrity: {which} gap {:.3e} > bound {:.3e}",
+                                            bad.gap, bad.bound
+                                        ),
+                                    });
+                                    continue 'outer;
+                                }
+                                breakdown = Some(BreakdownKind::IntegrityViolation);
+                                break 'outer;
+                            }
+                        }
+                    }
                     (z, w)
                 } else {
                     let y = azul_solver::kernels::sptrsv_lower(&self.l, &v[k]);
@@ -400,9 +483,82 @@ impl GmresSim {
                     untimed.push(convergence.len());
                 }
                 convergence.push(sample);
+                // Periodic drift audit: the Givens recurrence estimate
+                // vs. the true residual of the basis solution so far,
+                // materialized on a scratch copy so the Arnoldi state is
+                // untouched. Right preconditioning preserves the true
+                // residual, so the two track each other in a clean run.
+                if integrity.drift_due(iterations) {
+                    audit.checks += 1;
+                    let mut x_probe = x.clone();
+                    self.update_solution(&mut x_probe, &v, &h, &g, k_done);
+                    let true_r = dense::norm2(&dense::sub(b, &self.a.spmv(&x_probe)));
+                    audit.drift.push(DriftSample {
+                        iteration: iterations,
+                        recursive: res,
+                        true_residual: true_r,
+                    });
+                    let floor = 64.0 * f64::EPSILON * (bnorm0 + a_inf * dense::norm2(&x_probe));
+                    if true_r > integrity.drift_factor * res + floor {
+                        audit.violations.push(IntegrityRecord {
+                            iteration: iterations,
+                            check: "residual_drift",
+                            detail: format!("true {true_r:.3e} vs estimate {res:.3e}"),
+                        });
+                        if policy.enabled && rollbacks < policy.max_rollbacks {
+                            x.copy_from_slice(&ck_x);
+                            rollbacks += 1;
+                            recoveries.push(RecoveryRecord {
+                                iteration: iterations,
+                                restored_iteration: ck_iter,
+                                reason: format!(
+                                    "integrity: residual drift true {true_r:.3e} vs estimate {res:.3e}"
+                                ),
+                            });
+                            continue 'outer;
+                        }
+                        breakdown = Some(BreakdownKind::IntegrityViolation);
+                        break 'outer;
+                    }
+                }
                 if res <= run_cfg.tol || wnorm == 0.0 {
                     self.update_solution(&mut x, &v, &h, &g, k_done);
-                    converged = res <= run_cfg.tol;
+                    // Final audit: never declare convergence on the
+                    // Givens estimate alone. An honest rounding gap
+                    // forces a restart (the boundary's true-residual
+                    // check decides); a drift-envelope breach feeds the
+                    // rollback ladder.
+                    let mut accept = res <= run_cfg.tol;
+                    if accept && integrity.enabled && integrity.final_audit {
+                        audit.checks += 1;
+                        let true_r = dense::norm2(&dense::sub(b, &self.a.spmv(&x)));
+                        if true_r > run_cfg.tol {
+                            accept = false;
+                            let floor = 64.0 * f64::EPSILON * (bnorm0 + a_inf * dense::norm2(&x));
+                            if true_r > integrity.drift_factor * res + floor {
+                                audit.violations.push(IntegrityRecord {
+                                    iteration: iterations,
+                                    check: "final_audit",
+                                    detail: format!("true {true_r:.3e} > tol, estimate {res:.3e}"),
+                                });
+                                if policy.enabled && rollbacks < policy.max_rollbacks {
+                                    x.copy_from_slice(&ck_x);
+                                    rollbacks += 1;
+                                    recoveries.push(RecoveryRecord {
+                                        iteration: iterations,
+                                        restored_iteration: ck_iter,
+                                        reason: format!(
+                                            "integrity: final audit true {true_r:.3e} vs estimate {res:.3e}"
+                                        ),
+                                    });
+                                    continue 'outer;
+                                }
+                                breakdown = Some(BreakdownKind::IntegrityViolation);
+                                break 'outer;
+                            }
+                        }
+                    }
+                    converged = accept;
                     if converged {
                         break 'outer;
                     }
@@ -475,6 +631,21 @@ impl GmresSim {
             stats.trace_ev.seal();
         }
         let converged = converged || final_residual <= run_cfg.tol;
+        // Escape backstop: journal (never mask) a converged flag whose
+        // true residual misses the tolerance. `converged` above is only
+        // upgraded by the true residual itself, so this fires only if an
+        // estimate-based exit escaped with the final audit disarmed.
+        if integrity.enabled && converged && final_residual > run_cfg.tol {
+            audit.escapes += 1;
+            audit.violations.push(IntegrityRecord {
+                iteration: iterations,
+                check: "final_audit",
+                detail: format!(
+                    "escape: converged with true residual {final_residual:.3e} > tol {:.3e}",
+                    run_cfg.tol
+                ),
+            });
+        }
         solve_span.record_cycles((cycles_per_iteration * iterations as f64).round() as u64);
         solve_span.annotate("iterations", iterations);
         solve_span.annotate("converged", converged);
@@ -505,6 +676,7 @@ impl GmresSim {
             status,
             fault_events,
             recoveries,
+            integrity: audit,
             convergence,
         })
     }

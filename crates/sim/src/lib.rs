@@ -78,7 +78,8 @@ pub use bicgstab::{BiCgStabSim, BiCgStabSimConfig, BiCgStabSimReport};
 pub use cancel::CancelToken;
 pub use config::{PeModel, SimConfig};
 pub use faults::{
-    FaultEvent, FaultKind, FaultPlan, FaultRecord, FaultSession, RecoveryPolicy, RecoveryRecord,
+    DriftSample, FaultEvent, FaultKind, FaultPlan, FaultRecord, FaultSession, IntegrityAudit,
+    IntegrityPolicy, IntegrityRecord, RecoveryPolicy, RecoveryRecord,
 };
 pub use gmres::{GmresSim, GmresSimConfig, GmresSimReport};
 pub use machine::SimError;

@@ -10,12 +10,16 @@
 //! accounting (an FMAC = 2 FLOPs).
 
 use crate::config::{SimConfig, StagnationPolicy};
-use crate::faults::{FaultRecord, FaultSession, RecoveryPolicy, RecoveryRecord};
+use crate::faults::{
+    DriftSample, FaultRecord, FaultSession, IntegrityAudit, IntegrityPolicy, IntegrityRecord,
+    RecoveryPolicy, RecoveryRecord,
+};
 use crate::machine::{run_kernel_checked, SimError};
 use crate::program::Program;
 use crate::stats::{KernelClass, KernelStats};
 use crate::vecops::{VecOp, VecOpModel};
 use azul_mapping::Placement;
+use azul_solver::abft::OperatorChecksum;
 use azul_solver::flops::{self, FlopBreakdown};
 use azul_solver::ic0::ic0;
 use azul_solver::kernels::{sptrsv_lower, sptrsv_lower_transpose};
@@ -52,6 +56,11 @@ pub struct PcgSimConfig {
     /// (the same accounting as the report's `total_cycles`) reaches this
     /// many cycles. `u64::MAX` (the default) disables the check.
     pub cycle_budget: u64,
+    /// Silent-corruption detection: ABFT kernel checksums, periodic
+    /// recursive-vs-true residual drift audits and a mandatory final
+    /// audit (see [`IntegrityPolicy`]). Disabled by default — the
+    /// zero-check path is byte-identical to the pre-integrity solver.
+    pub integrity: IntegrityPolicy,
 }
 
 impl Default for PcgSimConfig {
@@ -63,6 +72,7 @@ impl Default for PcgSimConfig {
             recovery: RecoveryPolicy::default(),
             stagnation: None,
             cycle_budget: u64::MAX,
+            integrity: IntegrityPolicy::default(),
         }
     }
 }
@@ -116,6 +126,9 @@ pub struct PcgSimReport {
     pub fault_events: Vec<FaultRecord>,
     /// Executed checkpoint rollbacks (empty in a clean run).
     pub recoveries: Vec<RecoveryRecord>,
+    /// Integrity journal (checks run, violations, drift samples, escape
+    /// count). Empty unless [`PcgSimConfig::integrity`] is enabled.
+    pub integrity: IntegrityAudit,
     /// Convergence telemetry: one sample per iteration (sample 0 covers
     /// setup), with residual norms and per-iteration cycle/FLOP/traffic
     /// deltas. Cycle-simulated iterations carry measured deltas; later
@@ -304,6 +317,29 @@ impl PcgSim {
             .filter(|p| !p.is_empty())
             .map(|p| FaultSession::new(p.clone()));
 
+        // Silent-corruption detection state. Checksum vectors are
+        // host-side prepare-time artifacts: their construction and each
+        // O(n) verification are not cycle-charged, consistent with the
+        // recovery machinery's functional recomputes.
+        let integrity = run_cfg.integrity;
+        let mut audit = IntegrityAudit::default();
+        let (cs_a, cs_l) = if integrity.enabled && integrity.checksum_kernels {
+            (
+                Some(OperatorChecksum::new(&self.a)),
+                self.lower.as_ref().map(|_| OperatorChecksum::new(&self.l)),
+            )
+        } else {
+            (None, None)
+        };
+        // Rounding floor for the drift audits: 64·ε·(||b|| + ||A||∞·||x||)
+        // with ||x|| folded in at audit time.
+        let a_inf = if integrity.enabled {
+            self.a.inf_norm()
+        } else {
+            0.0
+        };
+        let bnorm0 = dense::norm2(b);
+
         // Helper closures for timed kernels.
         let run_timed = |prog: &Program,
                          input: &[f64],
@@ -372,7 +408,10 @@ impl PcgSim {
         // Checkpoint / rollback state. Checkpoints store x only; the
         // recurrence vectors (r, z, p, rz) are re-derived functionally on
         // restore, so a fault corrupting them before the first checkpoint
-        // cannot poison the recovery itself.
+        // cannot poison the recovery itself. The initial snapshot is the
+        // starting x at iteration 0: a fault striking before the first
+        // checkpoint interval elapses rolls back to the (valid) starting
+        // point, never to uninitialized state.
         let policy = run_cfg.recovery;
         let mut ck_x = x.clone();
         let mut ck_iter = 0usize;
@@ -474,6 +513,36 @@ impl PcgSim {
             } else {
                 self.a.spmv(&p)
             };
+            // ABFT: verify the simulated SpMV against the column
+            // checksums. On a mismatch, re-verify with the reference
+            // kernel first — only a confirmed deviation charges the
+            // rollback budget (the targeted ladder: re-verify →
+            // rollback → rung escalation).
+            if timing {
+                if let Some(cs) = &cs_a {
+                    audit.checks += 1;
+                    let check = cs.verify_spmv(&p, &ap);
+                    if !check.ok() {
+                        audit.violations.push(IntegrityRecord {
+                            iteration: iterations,
+                            check: "checksum_spmv",
+                            detail: format!("gap {:.3e} > bound {:.3e}", check.gap, check.bound),
+                        });
+                        let reference = self.a.spmv(&p);
+                        if dense::norm2(&dense::sub(&ap, &reference)) > check.bound {
+                            fault_guard!(
+                                timing,
+                                this_iter,
+                                BreakdownKind::IntegrityViolation,
+                                format!(
+                                    "spmv checksum gap {:.3e} > bound {:.3e}",
+                                    check.gap, check.bound
+                                )
+                            );
+                        }
+                    }
+                }
+            }
             // alpha = rz / (p . Ap)
             if timing {
                 this_iter += vec_cost(&self.vec_model, VecOp::Dot, &mut stats, &mut kernel_cycles);
@@ -506,6 +575,7 @@ impl PcgSim {
                 this_iter += vec_cost(&self.vec_model, VecOp::Dot, &mut stats, &mut kernel_cycles);
             }
             // z = L^-T L^-1 r (identity when unpreconditioned)
+            let mut trisolve_y: Option<Vec<f64>> = None;
             z = match (&self.lower, &self.upper) {
                 (Some(lo), Some(up)) => {
                     let y = if timing {
@@ -522,6 +592,9 @@ impl PcgSim {
                     } else {
                         sptrsv_lower(&self.l, &r)
                     };
+                    if timing && cs_l.is_some() {
+                        trisolve_y = Some(y.clone());
+                    }
                     if timing {
                         let (out, c) = run_timed(
                             up,
@@ -539,6 +612,35 @@ impl PcgSim {
                 }
                 _ => r.clone(),
             };
+            // ABFT: verify both triangular solves — the forward solve
+            // against the column checksums of L, the transpose solve
+            // against its row checksums — with the same re-verify-first
+            // ladder as the SpMV check.
+            if let (Some(cs), Some(y)) = (&cs_l, &trisolve_y) {
+                audit.checks += 2;
+                let c1 = cs.verify_solve(y, &r);
+                let c2 = cs.verify_solve_transpose(&z, y);
+                if !c1.ok() || !c2.ok() {
+                    let bad = if c1.ok() { c2 } else { c1 };
+                    audit.violations.push(IntegrityRecord {
+                        iteration: iterations,
+                        check: "checksum_sptrsv",
+                        detail: format!("gap {:.3e} > bound {:.3e}", bad.gap, bad.bound),
+                    });
+                    let reference = self.functional_precond(&r);
+                    if dense::norm2(&dense::sub(&z, &reference)) > c1.bound.max(c2.bound) {
+                        fault_guard!(
+                            timing,
+                            this_iter,
+                            BreakdownKind::IntegrityViolation,
+                            format!(
+                                "sptrsv checksum gap {:.3e} > bound {:.3e}",
+                                bad.gap, bad.bound
+                            )
+                        );
+                    }
+                }
+            }
             // beta = rz_new / rz_old ; p = z + beta p
             if timing {
                 this_iter += vec_cost(&self.vec_model, VecOp::Dot, &mut stats, &mut kernel_cycles);
@@ -578,12 +680,66 @@ impl PcgSim {
             }
             best_rnorm = best_rnorm.min(rnorm);
 
+            // Periodic drift audit: the recursive residual the recurrence
+            // carries vs. a freshly recomputed true residual. A fault
+            // below the divergence guard's radar shows up here as the two
+            // histories parting ways.
+            let mut tol_met = rnorm <= run_cfg.tol;
+            if integrity.drift_due(iterations + 1) {
+                audit.checks += 1;
+                let true_r = dense::norm2(&dense::sub(b, &self.a.spmv(&x)));
+                audit.drift.push(DriftSample {
+                    iteration: iterations + 1,
+                    recursive: rnorm,
+                    true_residual: true_r,
+                });
+                let floor = 64.0 * f64::EPSILON * (bnorm0 + a_inf * dense::norm2(&x));
+                if true_r > integrity.drift_factor * rnorm + floor {
+                    audit.violations.push(IntegrityRecord {
+                        iteration: iterations + 1,
+                        check: "residual_drift",
+                        detail: format!("true {true_r:.3e} vs recursive {rnorm:.3e}"),
+                    });
+                    fault_guard!(
+                        timing,
+                        this_iter,
+                        BreakdownKind::IntegrityViolation,
+                        format!("residual drift: true {true_r:.3e} vs recursive {rnorm:.3e}")
+                    );
+                }
+            }
+            // Final audit: never declare convergence on the recursive
+            // residual alone. Outside the drift envelope → corruption →
+            // recovery ladder; inside it → an honest rounding gap, so
+            // keep iterating until the true residual meets the tolerance.
+            if tol_met && integrity.enabled && integrity.final_audit {
+                audit.checks += 1;
+                let true_r = dense::norm2(&dense::sub(b, &self.a.spmv(&x)));
+                if true_r > run_cfg.tol {
+                    tol_met = false;
+                    let floor = 64.0 * f64::EPSILON * (bnorm0 + a_inf * dense::norm2(&x));
+                    if true_r > integrity.drift_factor * rnorm + floor {
+                        audit.violations.push(IntegrityRecord {
+                            iteration: iterations + 1,
+                            check: "final_audit",
+                            detail: format!("true {true_r:.3e} > tol, recursive {rnorm:.3e}"),
+                        });
+                        fault_guard!(
+                            timing,
+                            this_iter,
+                            BreakdownKind::IntegrityViolation,
+                            format!("final audit: true {true_r:.3e} vs recursive {rnorm:.3e}")
+                        );
+                    }
+                }
+            }
+
             if timing {
                 timed_done += 1;
                 iter_cycles_acc += this_iter;
             }
             iterations += 1;
-            converged = rnorm <= run_cfg.tol;
+            converged = tol_met;
 
             if timing {
                 let dflops = flops_of_ops([
@@ -666,6 +822,22 @@ impl PcgSim {
         let final_residual = dense::norm2(&dense::sub(b, &self.a.spmv(&x)));
         let _ = setup_kernel_cycles;
 
+        // Escape backstop: a converged flag with a true residual above
+        // tolerance is the silent wrong answer this subsystem exists to
+        // eliminate. Structurally impossible while the final audit is
+        // armed; journaled (never masked) when it is not.
+        if integrity.enabled && converged && final_residual > run_cfg.tol {
+            audit.escapes += 1;
+            audit.violations.push(IntegrityRecord {
+                iteration: iterations,
+                check: "final_audit",
+                detail: format!(
+                    "escape: converged with true residual {final_residual:.3e} > tol {:.3e}",
+                    run_cfg.tol
+                ),
+            });
+        }
+
         // Back-fill untimed iterations with steady-state averages, the
         // same extrapolation `total_cycles` uses.
         if timed_done > 0 {
@@ -724,6 +896,7 @@ impl PcgSim {
             status,
             fault_events,
             recoveries,
+            integrity: audit,
             convergence,
         })
     }

@@ -8,13 +8,13 @@
 //! from the [`SimConfig`](crate::config::SimConfig).
 
 use crate::config::SimConfig;
-use crate::faults::{FaultRecord, RecoveryRecord};
+use crate::faults::{FaultRecord, IntegrityAudit, RecoveryRecord};
 use crate::machine::SimError;
 use crate::stats::KernelStats;
 use azul_mapping::TileGrid;
 use azul_telemetry::report::{
-    FaultSample, InvariantSample, IterationSample, LinkEntry, PeEntry, RecoverySample,
-    TelemetryReport, TraceSummary,
+    DriftPoint, FaultSample, IntegritySummary, IntegrityViolationSample, InvariantSample,
+    IterationSample, LinkEntry, PeEntry, RecoverySample, TelemetryReport, TraceSummary,
 };
 
 /// Converts per-PE detail into report entries with grid coordinates.
@@ -185,6 +185,35 @@ pub fn fill_trace_report(report: &mut TelemetryReport, stats: &KernelStats) {
     });
 }
 
+/// Records a solve's numerical-integrity audit into the report's
+/// schema-v7 `integrity` section. A no-op when no integrity checking
+/// ran (the audit is empty), so the zero-integrity path keeps its
+/// exact pre-v7 document shape minus only the version bump. Drift
+/// samples alone don't force a section: a non-empty audit always has
+/// `checks > 0`, since every drift sample costs a check.
+pub fn fill_integrity_report(report: &mut TelemetryReport, audit: &IntegrityAudit) {
+    if audit.is_empty() {
+        return;
+    }
+    let section = report
+        .integrity
+        .get_or_insert_with(IntegritySummary::default);
+    section.checks += audit.checks;
+    section.escapes += audit.escapes;
+    section
+        .violations
+        .extend(audit.violations.iter().map(|v| IntegrityViolationSample {
+            iteration: v.iteration,
+            check: v.check.to_string(),
+            detail: v.detail.clone(),
+        }));
+    section.drift.extend(audit.drift.iter().map(|d| DriftPoint {
+        iteration: d.iteration,
+        recursive: d.recursive,
+        true_residual: d.true_residual,
+    }));
+}
+
 /// Thins a convergence history to at most `limit` samples in place
 /// (`SimConfig::history_limit`; `0` = keep everything). Deterministic
 /// stride sampling that always keeps the first and last iterations, so
@@ -341,6 +370,40 @@ mod tests {
         assert_eq!(summary.router_events, 1);
         assert_eq!(summary.fault_events, 1);
         assert_eq!(summary.dropped, 0);
+    }
+
+    #[test]
+    fn integrity_report_is_omitted_for_empty_audits() {
+        use crate::faults::{DriftSample, IntegrityRecord};
+
+        let mut report = TelemetryReport::default();
+        fill_integrity_report(&mut report, &IntegrityAudit::default());
+        assert!(
+            report.integrity.is_none(),
+            "unchecked run records no section"
+        );
+
+        let audit = IntegrityAudit {
+            checks: 12,
+            violations: vec![IntegrityRecord {
+                iteration: 5,
+                check: "residual_drift",
+                detail: "true 2.0e-3 vs recursive 1.0e-7".into(),
+            }],
+            drift: vec![DriftSample {
+                iteration: 5,
+                recursive: 1.0e-7,
+                true_residual: 2.0e-3,
+            }],
+            escapes: 0,
+        };
+        fill_integrity_report(&mut report, &audit);
+        let section = report.integrity.as_ref().expect("audited run records one");
+        assert_eq!(section.checks, 12);
+        assert_eq!(section.violations.len(), 1);
+        assert_eq!(section.violations[0].check, "residual_drift");
+        assert_eq!(section.drift.len(), 1);
+        assert_eq!(section.escapes, 0);
     }
 
     #[test]

@@ -34,6 +34,7 @@
 
 #![forbid(unsafe_code)]
 
+pub mod abft;
 pub mod bicgstab;
 pub mod direct;
 pub mod flops;
@@ -45,6 +46,7 @@ pub mod pcg;
 pub mod power;
 pub mod precond;
 
+pub use abft::{ChecksumCheck, OperatorChecksum};
 pub use bicgstab::{bicgstab, BiCgStabConfig};
 pub use direct::{dense_solve, DenseCholesky};
 pub use gmres::{gmres, try_gmres, GmresConfig};

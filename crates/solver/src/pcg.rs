@@ -52,6 +52,10 @@ pub enum BreakdownKind {
     /// The per-attempt cycle budget expired before convergence (used by
     /// the solve supervisor's bounded retries).
     BudgetExhausted,
+    /// An integrity check (ABFT kernel checksum or true-residual audit)
+    /// detected silent state corruption that rollback could not clear
+    /// (used by the simulator frontends' integrity machinery).
+    IntegrityViolation,
 }
 
 impl std::fmt::Display for BreakdownKind {
@@ -66,6 +70,7 @@ impl std::fmt::Display for BreakdownKind {
             BreakdownKind::Diverged => "residual divergence",
             BreakdownKind::Stagnated => "residual stagnation",
             BreakdownKind::BudgetExhausted => "cycle budget exhausted",
+            BreakdownKind::IntegrityViolation => "integrity violation",
         };
         f.write_str(s)
     }

@@ -407,6 +407,92 @@ impl ToJson for ServeSummary {
     }
 }
 
+/// One detected integrity violation (schema v7): an ABFT kernel
+/// checksum or true-residual audit that fired during the solve. A
+/// violation is journaled even when the recovery ladder subsequently
+/// cleared it, so the section records every detection, not just the
+/// fatal ones.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IntegrityViolationSample {
+    /// Solver iteration the check fired at.
+    pub iteration: usize,
+    /// Check name: `"checksum_spmv"`, `"checksum_sptrsv"`,
+    /// `"residual_drift"` or `"final_audit"`.
+    pub check: String,
+    /// Human-readable detail (gap vs. bound, residual magnitudes).
+    pub detail: String,
+}
+
+impl ToJson for IntegrityViolationSample {
+    fn to_json(&self) -> Value {
+        Value::object()
+            .field("iteration", self.iteration)
+            .field("check", &self.check)
+            .field("detail", &self.detail)
+    }
+}
+
+/// One recursive-vs-true residual drift measurement (schema v7),
+/// recorded by the periodic drift audit whether or not it violated the
+/// drift envelope.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DriftPoint {
+    /// Solver iteration the audit ran at.
+    pub iteration: usize,
+    /// Recursively-updated residual norm the solver was tracking.
+    pub recursive: f64,
+    /// Explicitly recomputed true residual norm `‖b − A·x‖₂`.
+    pub true_residual: f64,
+}
+
+impl ToJson for DriftPoint {
+    fn to_json(&self) -> Value {
+        Value::object()
+            .field("iteration", self.iteration)
+            .field("recursive", self.recursive)
+            .field("true_residual", self.true_residual)
+    }
+}
+
+/// Numerical-integrity audit of one run (schema v7): how many ABFT and
+/// residual checks ran, every violation they detected, the drift
+/// samples the periodic audit collected, prepare-artifact scrub
+/// results, and the wrong-answer escape count (converged claimed with a
+/// true residual above tolerance — always zero when the final audit is
+/// armed). `None` / omitted when no integrity checking ran, so the
+/// zero-integrity path emits byte-identical documents modulo the
+/// schema version.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct IntegritySummary {
+    /// Integrity checks evaluated (checksum verifications plus drift
+    /// and final audits).
+    pub checks: u64,
+    /// Detected violations, in detection order.
+    pub violations: Vec<IntegrityViolationSample>,
+    /// Recursive-vs-true residual drift samples, in iteration order.
+    pub drift: Vec<DriftPoint>,
+    /// Cached prepare-artifact checksum re-verifications performed.
+    pub scrub_checks: u64,
+    /// Cached prepare artifacts evicted after a checksum mismatch.
+    pub scrub_evictions: u64,
+    /// Wrong answers shipped: runs that declared convergence while the
+    /// true residual exceeded tolerance. Zero whenever the final audit
+    /// is armed.
+    pub escapes: u64,
+}
+
+impl ToJson for IntegritySummary {
+    fn to_json(&self) -> Value {
+        Value::object()
+            .field("checks", self.checks)
+            .field("violations", &self.violations)
+            .field("drift", &self.drift)
+            .field("scrub_checks", self.scrub_checks)
+            .field("scrub_evictions", self.scrub_evictions)
+            .field("escapes", self.escapes)
+    }
+}
+
 /// The complete telemetry document for one scenario run.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct TelemetryReport {
@@ -444,6 +530,9 @@ pub struct TelemetryReport {
     /// Solve-as-a-service request journal (`None` outside `azul-serve`;
     /// the section is omitted from the JSON output when absent).
     pub serve: Option<ServeSummary>,
+    /// Numerical-integrity audit (`None` when no integrity checking
+    /// ran; the section is omitted from the JSON output when absent).
+    pub integrity: Option<IntegritySummary>,
 }
 
 impl TelemetryReport {
@@ -451,8 +540,9 @@ impl TelemetryReport {
     /// `faults` and `recoveries` sections; version 3 added `invariants`;
     /// version 4 added the `supervisor` escalation journal; version 5
     /// added the optional `trace` event-trace summary; version 6 added
-    /// the optional `serve` per-request service journal.
-    pub const SCHEMA_VERSION: u32 = 6;
+    /// the optional `serve` per-request service journal; version 7
+    /// added the optional `integrity` numerical-integrity audit.
+    pub const SCHEMA_VERSION: u32 = 7;
 
     /// Adds a scenario field.
     pub fn scenario_field(&mut self, key: &str, value: impl ToJson) {
@@ -545,6 +635,9 @@ impl TelemetryReport {
         }
         if let Some(serve) = &self.serve {
             doc = doc.field("serve", serve);
+        }
+        if let Some(integrity) = &self.integrity {
+            doc = doc.field("integrity", integrity);
         }
         doc
     }
@@ -735,6 +828,48 @@ mod tests {
         assert_eq!(ticks.len(), 2);
         assert_eq!(ticks[1].as_u64(), Some(2));
         assert_eq!(serve.get("outcome").and_then(Value::as_str), Some("failed"));
+    }
+
+    #[test]
+    fn integrity_section_is_omitted_until_filled() {
+        let mut report = sample_report();
+        let text = report.to_json().to_string_pretty();
+        assert!(
+            !text.contains("\"integrity\""),
+            "unchecked reports carry no integrity section"
+        );
+        report.integrity = Some(IntegritySummary {
+            checks: 41,
+            violations: vec![IntegrityViolationSample {
+                iteration: 7,
+                check: "checksum_spmv".into(),
+                detail: "gap 3.2e-4 exceeds bound 1.1e-12".into(),
+            }],
+            drift: vec![DriftPoint {
+                iteration: 16,
+                recursive: 1e-5,
+                true_residual: 1.05e-5,
+            }],
+            scrub_checks: 2,
+            scrub_evictions: 1,
+            escapes: 0,
+        });
+        let v = json::parse(&report.to_json().to_string_pretty()).expect("valid JSON");
+        let integrity = v.get("integrity").expect("integrity section present");
+        assert_eq!(integrity.get("checks").and_then(Value::as_u64), Some(41));
+        let violations = integrity.get("violations").and_then(Value::as_arr).unwrap();
+        assert_eq!(violations.len(), 1);
+        assert_eq!(
+            violations[0].get("check").and_then(Value::as_str),
+            Some("checksum_spmv")
+        );
+        let drift = integrity.get("drift").and_then(Value::as_arr).unwrap();
+        assert_eq!(drift[0].get("iteration").and_then(Value::as_u64), Some(16));
+        assert_eq!(
+            integrity.get("scrub_evictions").and_then(Value::as_u64),
+            Some(1)
+        );
+        assert_eq!(integrity.get("escapes").and_then(Value::as_u64), Some(0));
     }
 
     #[test]

@@ -26,6 +26,14 @@
 //! to on only under debug assertions); check counts land in the
 //! report's `invariants` section.
 //!
+//! `--integrity` arms the end-to-end numerical-integrity audit
+//! ([`azul::sim::faults::IntegrityPolicy`]): ABFT checksum verification
+//! after cycle-simulated kernel launches, periodic recursive-vs-true
+//! residual drift checks, and a mandatory final true-residual audit.
+//! The audit lands in the JSON report's `integrity` section, and the
+//! process exits nonzero when any wrong-answer escape is journaled —
+//! even if the solver claimed convergence.
+//!
 //! `--supervise` routes the scenario through [`SolveSupervisor`] instead
 //! of the plain prepare/solve pipeline: capacity overflows, factorization
 //! breakdowns, and non-converged solves walk the default degradation
@@ -43,9 +51,10 @@
 
 use azul::mapping::strategies::AzulMapper;
 use azul::mapping::TileGrid;
-use azul::sim::faults::{FaultPlan, RecoveryPolicy};
+use azul::sim::faults::{FaultPlan, IntegrityAudit, IntegrityPolicy, RecoveryPolicy};
 use azul::sim::telemetry::{
-    describe_config, fill_fault_report, fill_invariant_report, fill_report, fill_trace_report,
+    describe_config, fill_fault_report, fill_integrity_report, fill_invariant_report, fill_report,
+    fill_trace_report,
 };
 use azul::sparse::suite::{by_name, Scale};
 use azul::sparse::Csr;
@@ -64,7 +73,7 @@ fn main() -> ExitCode {
         println!("            [--grid 16] [--mapping azul|rr|block|sparsep] [--tol 1e-10]");
         println!("            [--fast] [--out report.json] [--quiet]");
         println!("            [--fault-seed N [--fault-events 4] [--fault-window 100000]]");
-        println!("            [--no-recovery] [--check-invariants]");
+        println!("            [--no-recovery] [--check-invariants] [--integrity]");
         println!("            [--supervise [--max-attempts 12]]");
         println!("            [--trace trace.json]");
         return ExitCode::SUCCESS;
@@ -121,6 +130,9 @@ fn main() -> ExitCode {
     if opts.contains_key("check-invariants") {
         cfg.sim.check_invariants = true;
     }
+    if opts.contains_key("integrity") {
+        cfg.pcg.integrity = IntegrityPolicy::audit();
+    }
     let trace_out = opts.get("trace").cloned();
     if trace_out.is_some() {
         cfg.sim.trace = Some(TraceConfig::default());
@@ -164,6 +176,7 @@ fn main() -> ExitCode {
     fill_fault_report(&mut report, &solve.sim.fault_events, &solve.sim.recoveries);
     fill_invariant_report(&mut report, &solve.sim.stats);
     fill_trace_report(&mut report, &solve.sim.stats);
+    fill_integrity_report(&mut report, &solve.sim.integrity);
     report.absorb_spans(collector.drain());
     report.convergence = solve.sim.convergence.clone();
 
@@ -217,6 +230,7 @@ fn main() -> ExitCode {
                 );
             }
         }
+        print_integrity(&solve.sim.integrity);
         for phase in &report.phases {
             let cycles = phase
                 .cycles
@@ -252,6 +266,13 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
     println!("telemetry report written to {out}");
+    if solve.sim.integrity.escapes > 0 {
+        eprintln!(
+            "integrity: {} wrong-answer escape(s) journaled",
+            solve.sim.integrity.escapes
+        );
+        return ExitCode::FAILURE;
+    }
     if solve.converged {
         ExitCode::SUCCESS
     } else {
@@ -298,6 +319,7 @@ fn run_supervised(
     fill_report(&mut report, &solve.sim_config, &solve.stats);
     fill_supervisor_report(&mut report, &solve);
     fill_trace_report(&mut report, &solve.stats);
+    fill_integrity_report(&mut report, &solve.integrity);
     report.absorb_spans(collector.drain());
     report.convergence = solve.convergence.clone();
 
@@ -339,6 +361,7 @@ fn run_supervised(
                 println!("  {r}");
             }
         }
+        print_integrity(&solve.integrity);
     }
 
     if let Err(e) = report.write_json(Path::new(out)) {
@@ -346,7 +369,42 @@ fn run_supervised(
         return ExitCode::FAILURE;
     }
     println!("telemetry report written to {out}");
+    if solve.integrity.escapes > 0 {
+        eprintln!(
+            "integrity: {} wrong-answer escape(s) journaled",
+            solve.integrity.escapes
+        );
+        return ExitCode::FAILURE;
+    }
     ExitCode::SUCCESS
+}
+
+/// Prints the `--integrity` audit section: check volume, every detected
+/// violation, the recursive-vs-true drift samples, and the escape
+/// count. Silent when no integrity checking ran.
+fn print_integrity(audit: &IntegrityAudit) {
+    if audit.is_empty() {
+        return;
+    }
+    println!(
+        "integrity: {} check(s), {} violation(s), {} drift sample(s), {} escape(s)",
+        audit.checks,
+        audit.violations.len(),
+        audit.drift.len(),
+        audit.escapes
+    );
+    for v in &audit.violations {
+        println!(
+            "  iteration {:>5}  {:<15} {}",
+            v.iteration, v.check, v.detail
+        );
+    }
+    for d in &audit.drift {
+        println!(
+            "  drift at iteration {:>5}: recursive {:.3e}, true {:.3e}",
+            d.iteration, d.recursive, d.true_residual
+        );
+    }
 }
 
 /// Exports a solve's sealed event trace as Chrome trace-event JSON.

@@ -20,14 +20,14 @@ use azul::mapping::strategies::{AzulMapper, Mapper};
 use azul::mapping::TileGrid;
 use azul::sim::bicgstab::{BiCgStabSim, BiCgStabSimConfig};
 use azul::sim::config::SimConfig;
-use azul::sim::faults::{FaultPlan, FaultRecord, RecoveryRecord};
+use azul::sim::faults::{FaultPlan, FaultRecord, IntegrityAudit, IntegrityPolicy, RecoveryRecord};
 use azul::sim::gmres::{GmresSim, GmresSimConfig};
 use azul::sim::invariants::{Checker, RULE_FLIT_CONSERVATION};
 use azul::sim::machine::SimError;
 use azul::sim::pcg::{PcgSim, PcgSimConfig, PcgSimReport};
 use azul::sim::stats::KernelStats;
 use azul::sim::telemetry::{
-    describe_config, fill_fault_report, fill_invariant_report, fill_report,
+    describe_config, fill_fault_report, fill_integrity_report, fill_invariant_report, fill_report,
 };
 use azul::sparse::generate;
 use azul::telemetry::report::IterationSample;
@@ -205,6 +205,134 @@ fn gmres_json(threads: usize, ff: bool, event: bool, faults: Option<FaultPlan>) 
 
 fn seeded_plan() -> Option<FaultPlan> {
     Some(FaultPlan::seeded(42, 16, 3, 60_000))
+}
+
+/// Like [`serialize_parts`] but with the schema-v7 `integrity` section
+/// included, so the byte-compare covers the audit journal too.
+#[allow(clippy::too_many_arguments)]
+fn serialize_audited(
+    cfg: &SimConfig,
+    stats: &KernelStats,
+    fault_events: &[FaultRecord],
+    recoveries: &[RecoveryRecord],
+    convergence: &[IterationSample],
+    audit: &IntegrityAudit,
+) -> String {
+    let mut doc = TelemetryReport::default();
+    describe_config(&mut doc, cfg);
+    fill_report(&mut doc, cfg, stats);
+    fill_fault_report(&mut doc, fault_events, recoveries);
+    fill_invariant_report(&mut doc, stats);
+    fill_integrity_report(&mut doc, audit);
+    doc.convergence = convergence.to_vec();
+    doc.to_json().to_string_pretty()
+}
+
+/// Asserts a fault-free audited solve ran real checks and stayed clean:
+/// ABFT checksums and residual audits must never fire on healthy runs.
+fn assert_clean_audit(solver: &str, audit: &IntegrityAudit) {
+    assert!(audit.checks > 0, "{solver}: integrity checks never ran");
+    assert!(
+        audit.violations.is_empty(),
+        "{solver}: fault-free solve tripped integrity checks: {:?}",
+        audit.violations
+    );
+    assert_eq!(audit.escapes, 0, "{solver}: fault-free solve escaped");
+}
+
+fn pcg_audited_json(threads: usize, ff: bool, event: bool) -> String {
+    let (a, p, grid) = setup();
+    let cfg = engine_cfg(grid, threads, ff, event, None);
+    let run_cfg = PcgSimConfig {
+        timed_iterations: 0,
+        integrity: IntegrityPolicy::audit(),
+        ..PcgSimConfig::default()
+    };
+    let sim = PcgSim::build(&a, &p, &cfg).expect("pcg build");
+    let r = sim.try_run(&rhs(a.rows()), &run_cfg).expect("pcg solve");
+    assert_clean_audit("pcg", &r.integrity);
+    serialize_audited(
+        &cfg,
+        &r.stats,
+        &r.fault_events,
+        &r.recoveries,
+        &r.convergence,
+        &r.integrity,
+    )
+}
+
+fn bicgstab_audited_json(threads: usize, ff: bool, event: bool) -> String {
+    let (a, p, grid) = setup();
+    let cfg = engine_cfg(grid, threads, ff, event, None);
+    let run_cfg = BiCgStabSimConfig {
+        timed_iterations: 0,
+        integrity: IntegrityPolicy::audit(),
+        ..BiCgStabSimConfig::default()
+    };
+    let sim = BiCgStabSim::build(&a, &p, &cfg).expect("bicgstab build");
+    let r = sim
+        .try_run(&rhs(a.rows()), &run_cfg)
+        .expect("bicgstab solve");
+    assert_clean_audit("bicgstab", &r.integrity);
+    serialize_audited(
+        &cfg,
+        &r.stats,
+        &r.fault_events,
+        &r.recoveries,
+        &r.convergence,
+        &r.integrity,
+    )
+}
+
+fn gmres_audited_json(threads: usize, ff: bool, event: bool) -> String {
+    let (a, p, grid) = setup();
+    let cfg = engine_cfg(grid, threads, ff, event, None);
+    let run_cfg = GmresSimConfig {
+        timed_iterations: 0,
+        integrity: IntegrityPolicy::audit(),
+        ..GmresSimConfig::default()
+    };
+    let sim = GmresSim::build(&a, &p, &cfg).expect("gmres build");
+    let r = sim.try_run(&rhs(a.rows()), &run_cfg).expect("gmres solve");
+    assert_clean_audit("gmres", &r.integrity);
+    serialize_audited(
+        &cfg,
+        &r.stats,
+        &r.fault_events,
+        &r.recoveries,
+        &r.convergence,
+        &r.integrity,
+    )
+}
+
+/// Fault-free engine matrix with [`IntegrityPolicy::audit`] armed, for
+/// all three frontends: the audit journal (checks, drift samples, final
+/// audit) must itself be byte-deterministic across host-side engine
+/// knobs, and no healthy run may report a violation or an escape.
+type AuditedJsonFn = fn(usize, bool, bool) -> String;
+
+#[test]
+fn integrity_audited_telemetry_invariant_to_engine_config() {
+    let frontends: [(&str, AuditedJsonFn); 3] = [
+        ("pcg", pcg_audited_json),
+        ("bicgstab", bicgstab_audited_json),
+        ("gmres", gmres_audited_json),
+    ];
+    for (solver, json_of) in frontends {
+        let base = json_of(1, false, false);
+        assert!(
+            base.contains("\"integrity\""),
+            "{solver}: audited journal missing the integrity section"
+        );
+        for (threads, ff, event) in ENGINE_MATRIX {
+            let got = json_of(threads, ff, event);
+            assert_eq!(
+                got, base,
+                "{solver}: audited telemetry diverged at threads={threads} \
+                 fast_forward={ff} event_engine={event}"
+            );
+        }
+    }
 }
 
 /// Runs one solver of the shared scenario with event tracing on and

@@ -10,8 +10,10 @@
 
 use azul::mapping::strategies::{Mapper, RoundRobinMapper};
 use azul::mapping::TileGrid;
+use azul::sim::bicgstab::{BiCgStabSim, BiCgStabSimConfig};
 use azul::sim::config::SimConfig;
-use azul::sim::faults::{FaultEvent, FaultKind, FaultPlan, RecoveryPolicy};
+use azul::sim::faults::{FaultEvent, FaultKind, FaultPlan, IntegrityPolicy, RecoveryPolicy};
+use azul::sim::gmres::{GmresSim, GmresSimConfig};
 use azul::sim::machine::{run_kernel_checked, SimError};
 use azul::sim::pcg::{PcgSim, PcgSimConfig};
 use azul::sim::program::Program;
@@ -236,6 +238,136 @@ fn recovery_disabled_terminates_with_structured_status() {
     assert_eq!(report.fault_events.len(), 3);
 }
 
+/// A high-bit flip landing *before the first checkpoint interval
+/// elapses* — the plan used by the acceptance scenario fires at cycle
+/// 5300, inside the first few iterations, while the first periodic
+/// checkpoint is only taken at iteration `checkpoint_interval` (8).
+fn early_flip_plan() -> FaultPlan {
+    FaultPlan::new(vec![FaultEvent {
+        at_cycle: 5_300,
+        kind: FaultKind::SramBitFlip {
+            tile: 0,
+            slot: 0,
+            bit: 62,
+        },
+    }])
+}
+
+/// Shared assertions for the early-flip regression: the rollback hole
+/// before the first periodic checkpoint is closed by the iteration-0
+/// snapshot of the initial iterate, so a flip striking in the first
+/// interval restores to iteration 0 and the solve still converges.
+fn assert_early_flip_recovered(
+    solver: &str,
+    converged: bool,
+    final_residual: f64,
+    tol: f64,
+    checkpoint_interval: usize,
+    recoveries: &[azul::sim::faults::RecoveryRecord],
+) {
+    assert!(converged, "{solver}: early-flip solve must converge");
+    assert!(
+        final_residual <= tol,
+        "{solver}: early flip degraded the answer: {final_residual:e} > {tol:e}"
+    );
+    assert!(
+        !recoveries.is_empty(),
+        "{solver}: the early flip must force a rollback"
+    );
+    let first = &recoveries[0];
+    assert!(
+        first.iteration < checkpoint_interval,
+        "{solver}: rollback at iteration {} is not before the first \
+         checkpoint interval ({checkpoint_interval})",
+        first.iteration
+    );
+    assert_eq!(
+        first.restored_iteration, 0,
+        "{solver}: a flip before the first checkpoint must restore the \
+         iteration-0 snapshot, restored iteration {}",
+        first.restored_iteration
+    );
+}
+
+/// PCG: bit flip before the first checkpoint interval elapses rolls
+/// back to the iteration-0 snapshot and still converges.
+#[test]
+fn pcg_flip_before_first_checkpoint_rolls_back_to_start() {
+    let (a, p, grid) = poisson_setup();
+    let mut cfg = SimConfig::azul(grid);
+    cfg.faults = Some(early_flip_plan());
+    let sim = PcgSim::build(&a, &p, &cfg).unwrap();
+    let run_cfg = PcgSimConfig {
+        timed_iterations: 0,
+        integrity: IntegrityPolicy::audit(),
+        ..Default::default()
+    };
+    let r = sim
+        .try_run(&rhs(a.rows()), &run_cfg)
+        .expect("recovery must carry the solve through");
+    assert_early_flip_recovered(
+        "pcg",
+        r.converged,
+        r.final_residual,
+        run_cfg.tol,
+        run_cfg.recovery.checkpoint_interval,
+        &r.recoveries,
+    );
+    assert_eq!(r.integrity.escapes, 0, "pcg: no silent wrong answer");
+}
+
+/// BiCGSTAB: same early-flip scenario, same rollback-to-start contract.
+#[test]
+fn bicgstab_flip_before_first_checkpoint_rolls_back_to_start() {
+    let (a, p, grid) = poisson_setup();
+    let mut cfg = SimConfig::azul(grid);
+    cfg.faults = Some(early_flip_plan());
+    let sim = BiCgStabSim::build(&a, &p, &cfg).unwrap();
+    let run_cfg = BiCgStabSimConfig {
+        timed_iterations: 0,
+        integrity: IntegrityPolicy::audit(),
+        ..Default::default()
+    };
+    let r = sim
+        .try_run(&rhs(a.rows()), &run_cfg)
+        .expect("recovery must carry the solve through");
+    assert_early_flip_recovered(
+        "bicgstab",
+        r.converged,
+        r.final_residual,
+        run_cfg.tol,
+        run_cfg.recovery.checkpoint_interval,
+        &r.recoveries,
+    );
+    assert_eq!(r.integrity.escapes, 0, "bicgstab: no silent wrong answer");
+}
+
+/// GMRES: same early-flip scenario, same rollback-to-start contract.
+#[test]
+fn gmres_flip_before_first_checkpoint_rolls_back_to_start() {
+    let (a, p, grid) = poisson_setup();
+    let mut cfg = SimConfig::azul(grid);
+    cfg.faults = Some(early_flip_plan());
+    let sim = GmresSim::build(&a, &p, &cfg).unwrap();
+    let run_cfg = GmresSimConfig {
+        timed_iterations: 0,
+        integrity: IntegrityPolicy::audit(),
+        ..Default::default()
+    };
+    let r = sim
+        .try_run(&rhs(a.rows()), &run_cfg)
+        .expect("recovery must carry the solve through");
+    assert_early_flip_recovered(
+        "gmres",
+        r.converged,
+        r.final_residual,
+        run_cfg.tol,
+        run_cfg.recovery.checkpoint_interval,
+        &r.recoveries,
+    );
+    assert_eq!(r.integrity.escapes, 0, "gmres: no silent wrong answer");
+}
+
 /// Seeded plans drive the whole pipeline deterministically: two solves
 /// under the same seed produce identical fault journals and identical
 /// iterates.
@@ -329,6 +461,84 @@ mod fault_soak {
                             | AzulError::Exhausted { .. }
                             | AzulError::Cancelled { .. }
                     ));
+                }
+            }
+        }
+    }
+}
+
+mod integrity_soak {
+    //! Randomized single-bit value flips against the audited PCG
+    //! frontend: every flip must be *detected or provably harmless*.
+    //! Detected means a journaled integrity violation, a rollback, or a
+    //! loud structured failure; harmless means the returned iterate's
+    //! true residual `||b - A·x||` still meets the tolerance (with the
+    //! final audit's drift slack). What must never happen is the fourth
+    //! quadrant: `converged` claimed while the true residual is off —
+    //! the silent wrong answer.
+
+    use azul::mapping::strategies::{Mapper, RoundRobinMapper};
+    use azul::mapping::TileGrid;
+    use azul::sim::config::SimConfig;
+    use azul::sim::faults::{FaultEvent, FaultKind, FaultPlan, IntegrityPolicy};
+    use azul::sim::pcg::{PcgSim, PcgSimConfig};
+    use azul::sparse::{dense, generate};
+    use proptest::prelude::*;
+
+    fn rhs(n: usize) -> Vec<f64> {
+        (0..n)
+            .map(|i| ((i * 37 % 19) as f64) / 19.0 + 0.5)
+            .collect()
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        #[test]
+        fn seeded_single_bit_flips_are_detected_or_harmless(
+            tile in 0u32..4,
+            slot in 0u32..2,
+            bit in 0u32..64,
+            at_cycle in 1_000u64..40_000,
+        ) {
+            let a = generate::grid_laplacian_2d(16, 16);
+            let grid = TileGrid::new(2, 2);
+            let p = RoundRobinMapper.map(&a, grid);
+            let b = rhs(a.rows());
+            let mut cfg = SimConfig::azul(grid);
+            cfg.faults = Some(FaultPlan::new(vec![FaultEvent {
+                at_cycle,
+                kind: FaultKind::SramBitFlip { tile, slot, bit },
+            }]));
+            let run_cfg = PcgSimConfig {
+                timed_iterations: 0,
+                integrity: IntegrityPolicy::audit(),
+                ..Default::default()
+            };
+            let sim = PcgSim::build(&a, &p, &cfg).expect("build");
+            // A loud, typed failure is a detection, not an escape —
+            // only an Ok report can carry a silent wrong answer.
+            if let Ok(report) = sim.try_run(&b, &run_cfg) {
+                // The mandatory final audit bans silent escapes...
+                prop_assert_eq!(report.integrity.escapes, 0);
+                // ...and the independently recomputed residual
+                // agrees: a converged claim is a true answer.
+                if report.converged {
+                    let ax = a.spmv(&report.x);
+                    let r: Vec<f64> = b.iter()
+                        .zip(&ax)
+                        .map(|(bi, yi)| bi - yi)
+                        .collect();
+                    let true_r = dense::norm2(&r);
+                    let slack =
+                        run_cfg.integrity.drift_factor * run_cfg.tol;
+                    prop_assert!(
+                        true_r <= slack,
+                        "silent escape: converged with true \
+                         residual {:e} > {:e} (tile {} slot {} \
+                         bit {} cycle {})",
+                        true_r, slack, tile, slot, bit, at_cycle
+                    );
                 }
             }
         }

@@ -135,7 +135,7 @@ fn wall_deadline_journals_are_byte_identical_across_runs() {
     assert_eq!(a.result, Err(ServeError::DeadlineExceeded));
     assert_eq!(a.journal, b.journal, "deadline journal must reproduce");
     assert!(a.journal.contains("\"outcome\": \"deadline\""));
-    assert!(a.journal.contains("\"schema_version\": 6"));
+    assert!(a.journal.contains("\"schema_version\": 7"));
     assert!(
         !a.journal.contains("wall_ms"),
         "no wall durations in journals"
